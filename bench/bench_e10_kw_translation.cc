@@ -1,0 +1,154 @@
+// E10 — Section 3.2, exploitation: ordinary users "start with a keyword
+// query" and the system should "guide the user ... to a structured-query
+// reformulation", e.g. by showing candidate query forms. We generate
+// keyword queries whose intended structured query is known from ground
+// truth and measure hit@1 / hit@3 of the translator, plus translation
+// latency. Expected shape: high hit@k for in-vocabulary queries; answers
+// produced by the top form agree with ground truth.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_util.h"
+#include "common/strings.h"
+#include "core/system.h"
+
+namespace structura {
+namespace {
+
+struct Probe {
+  std::string keywords;
+  std::string subject;      // expected subject filter
+  std::string attr_value;   // expected attribute (Eq) — empty if range
+  bool expect_avg = false;
+};
+
+std::vector<Probe> MakeProbes(const corpus::GroundTruth& truth) {
+  std::vector<Probe> probes;
+  const char* month_words[12] = {
+      "january", "february", "march",     "april",   "may",      "june",
+      "july",    "august",   "september", "october", "november",
+      "december"};
+  for (size_t i = 0; i < truth.cities.size() && probes.size() < 40; ++i) {
+    const corpus::CityRecord& c = truth.cities[i];
+    int m = static_cast<int>(i % 12);
+    probes.push_back(Probe{
+        StrFormat("average %s temperature %s", month_words[m],
+                  ToLower(c.name).c_str()),
+        c.name, StrFormat("temp_%02d", m + 1), true});
+    probes.push_back(Probe{
+        StrFormat("population %s", ToLower(c.name).c_str()), c.name,
+        "population", false});
+  }
+  return probes;
+}
+
+bool FormMatches(const query::QueryForm& form, const Probe& probe) {
+  bool subject_ok = false, attr_ok = probe.attr_value.empty();
+  for (const query::Condition& c : form.query.where) {
+    if (c.column == "subject" &&
+        c.literal.ToString() == probe.subject) {
+      subject_ok = true;
+    }
+    if (c.column == "attribute" &&
+        c.literal.ToString() == probe.attr_value) {
+      attr_ok = true;
+    }
+  }
+  bool agg_ok = !probe.expect_avg;
+  for (const query::AggSpec& a : form.query.aggregates) {
+    if (a.fn == query::AggFn::kAvg) agg_ok = true;
+  }
+  return subject_ok && attr_ok && agg_ok;
+}
+
+void BM_TranslationAccuracy(benchmark::State& state) {
+  bench::Workload w = bench::MakeWorkload(state.range(0));
+  auto sys = std::move(core::System::Create({})).value();
+  sys->RegisterStandardOperators();
+  sys->IngestCrawl(w.docs);
+  sys->RunProgram(
+         "CREATE VIEW facts AS EXTRACT infobox, temp_sentence, "
+         "population_sentence FROM pages;")
+      .value();
+  sys->BuildBeliefsFromView("facts");
+  std::vector<Probe> probes = MakeProbes(w.truth);
+
+  double hit1 = 0, hit3 = 0;
+  for (auto _ : state) {
+    size_t h1 = 0, h3 = 0;
+    for (const Probe& p : probes) {
+      auto forms = sys->SuggestQueries(p.keywords);
+      for (size_t i = 0; i < forms.size() && i < 3; ++i) {
+        if (FormMatches(forms[i], p)) {
+          if (i == 0) ++h1;
+          ++h3;
+          break;
+        }
+      }
+    }
+    hit1 = static_cast<double>(h1) / probes.size();
+    hit3 = static_cast<double>(h3) / probes.size();
+  }
+  state.counters["hit_at_1"] = hit1;
+  state.counters["hit_at_3"] = hit3;
+  state.counters["probes"] = static_cast<double>(probes.size());
+}
+BENCHMARK(BM_TranslationAccuracy)->Arg(25)->Arg(50)
+    ->Unit(benchmark::kMillisecond);
+
+// Answer fidelity: run the top form and compare with ground truth.
+void BM_TranslatedAnswerFidelity(benchmark::State& state) {
+  bench::Workload w = bench::MakeWorkload(30, /*dropout=*/0.0);
+  auto sys = std::move(core::System::Create({})).value();
+  sys->RegisterStandardOperators();
+  sys->IngestCrawl(w.docs);
+  sys->RunProgram(
+         "CREATE VIEW facts AS EXTRACT infobox FROM pages;")
+      .value();
+  sys->BuildBeliefsFromView("facts");
+  double correct_rate = 0;
+  for (auto _ : state) {
+    size_t correct = 0, total = 0;
+    for (const corpus::CityRecord& c : w.truth.cities) {
+      auto forms = sys->SuggestQueries("population " + ToLower(c.name));
+      if (forms.empty()) continue;
+      auto rel = sys->RunForm(forms[0]);
+      if (!rel.ok() || rel->empty()) continue;
+      ++total;
+      std::string digits;
+      for (char ch : rel->At(0, "value").ToString()) {
+        if (ch != ',') digits += ch;
+      }
+      if (digits == std::to_string(c.population)) ++correct;
+    }
+    correct_rate =
+        total == 0 ? 0 : static_cast<double>(correct) / total;
+  }
+  state.counters["answer_correct_rate"] = correct_rate;
+}
+BENCHMARK(BM_TranslatedAnswerFidelity)->Unit(benchmark::kMillisecond);
+
+// Pure translation latency.
+void BM_TranslationLatency(benchmark::State& state) {
+  bench::Workload w = bench::MakeWorkload(100);
+  auto sys = std::move(core::System::Create({})).value();
+  sys->RegisterStandardOperators();
+  sys->IngestCrawl(w.docs);
+  sys->RunProgram(
+         "CREATE VIEW facts AS EXTRACT infobox FROM pages;")
+      .value();
+  sys->BuildBeliefsFromView("facts");
+  for (auto _ : state) {
+    auto forms =
+        sys->SuggestQueries("average march september temperature madison");
+    benchmark::DoNotOptimize(forms);
+  }
+}
+BENCHMARK(BM_TranslationLatency)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace structura
+
+BENCHMARK_MAIN();

@@ -1,0 +1,124 @@
+// E12 — Section 4, Part V: the system "handles the uncertainty that
+// arise during the IE, II, and HI processes" and "provides the
+// provenance and explanation for the derived structured data." Both
+// cost something; this experiment quantifies the overhead of belief
+// construction and lineage tracking over the raw pipeline, and the
+// latency of answering "why is this value here?".
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/system.h"
+#include "ie/pipeline.h"
+#include "ie/standard.h"
+#include "provenance/lineage.h"
+#include "uncertainty/confidence.h"
+#include "uncertainty/possible_worlds.h"
+
+namespace structura {
+namespace {
+
+void BM_PipelineRawFacts(benchmark::State& state) {
+  bench::Workload w = bench::MakeWorkload(state.range(0));
+  auto suite = ie::MakeStandardSuite();
+  auto views = ie::Views(suite);
+  for (auto _ : state) {
+    ie::FactSet facts = ie::RunExtractors(views, w.docs);
+    benchmark::DoNotOptimize(facts);
+  }
+}
+BENCHMARK(BM_PipelineRawFacts)->Arg(50)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PipelineWithBeliefs(benchmark::State& state) {
+  bench::Workload w = bench::MakeWorkload(state.range(0));
+  auto suite = ie::MakeStandardSuite();
+  auto views = ie::Views(suite);
+  size_t beliefs = 0;
+  for (auto _ : state) {
+    ie::FactSet facts = ie::RunExtractors(views, w.docs);
+    auto b = uncertainty::BuildBeliefs(facts);
+    beliefs = b.size();
+    benchmark::DoNotOptimize(b);
+  }
+  state.counters["beliefs"] = static_cast<double>(beliefs);
+}
+BENCHMARK(BM_PipelineWithBeliefs)->Arg(50)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PipelineWithBeliefsAndLineage(benchmark::State& state) {
+  bench::Workload w = bench::MakeWorkload(state.range(0));
+  size_t lineage_nodes = 0;
+  for (auto _ : state) {
+    auto sys = std::move(core::System::Create({})).value();
+    sys->RegisterStandardOperators();
+    sys->IngestCrawl(w.docs);
+    sys->RunProgram(
+           "CREATE VIEW facts AS EXTRACT infobox, temp_sentence, "
+           "population_sentence, founded_sentence, elevation_sentence, "
+           "mayor_sentence, residence_sentence FROM pages;")
+        .value();
+    sys->BuildBeliefsFromView("facts");
+    lineage_nodes = sys->lineage().NumNodes();
+  }
+  state.counters["lineage_nodes"] = static_cast<double>(lineage_nodes);
+}
+BENCHMARK(BM_PipelineWithBeliefsAndLineage)->Arg(50)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ExplainLatency(benchmark::State& state) {
+  bench::Workload w = bench::MakeWorkload(100);
+  auto sys = std::move(core::System::Create({})).value();
+  sys->RegisterStandardOperators();
+  sys->IngestCrawl(w.docs);
+  sys->RunProgram(
+         "CREATE VIEW facts AS EXTRACT infobox, temp_sentence "
+         "FROM pages;")
+      .value();
+  sys->BuildBeliefsFromView("facts");
+  const auto& beliefs = sys->beliefs();
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& b = beliefs[i++ % beliefs.size()];
+    auto text = sys->Explain(b.subject, b.attribute);
+    benchmark::DoNotOptimize(text);
+  }
+}
+BENCHMARK(BM_ExplainLatency)->Unit(benchmark::kMicrosecond);
+
+void BM_PossibleWorldsAggregate(benchmark::State& state) {
+  const size_t samples = static_cast<size_t>(state.range(0));
+  bench::Workload w = bench::MakeWorkload(40, 0.5, 0.2);
+  auto suite = ie::MakeStandardSuite();
+  ie::FactSet facts = ie::RunExtractors(ie::Views(suite), w.docs);
+  auto beliefs = uncertainty::BuildBeliefs(facts);
+  double stddev = 0;
+  for (auto _ : state) {
+    auto est = uncertainty::EstimateAggregate(
+        beliefs, samples, 3,
+        [](const uncertainty::World& world) -> std::optional<double> {
+          double sum = 0;
+          size_t n = 0;
+          for (const auto& v : world) {
+            if (!v.has_value()) continue;
+            double x;
+            if (ParseDouble(*v, &x)) {
+              sum += x;
+              ++n;
+            }
+          }
+          if (n == 0) return std::nullopt;
+          return sum / static_cast<double>(n);
+        });
+    stddev = est.stddev;
+    benchmark::DoNotOptimize(est);
+  }
+  state.counters["stddev"] = stddev;
+}
+BENCHMARK(BM_PossibleWorldsAggregate)->Arg(10)->Arg(100)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace structura
+
+BENCHMARK_MAIN();

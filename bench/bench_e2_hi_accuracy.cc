@@ -1,0 +1,119 @@
+// E2 — Section 3.2: "automatic IE and II often will not be 100% accurate
+// ... applications often want to have a human in the loop, to help
+// improve the accuracy". We corrupt free text with digit typos and drop
+// attributes from infoboxes, then measure belief F1 after 0..4 rounds of
+// simulated crowd feedback. Expected shape: F1 rises monotonically with
+// feedback and saturates.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/eval.h"
+#include "core/system.h"
+#include "hi/simulated_user.h"
+#include "ie/pattern_learner.h"
+#include "ie/pipeline.h"
+#include "ie/standard.h"
+
+namespace structura {
+namespace {
+
+void BM_FeedbackRounds(benchmark::State& state) {
+  const int rounds = static_cast<int>(state.range(0));
+  bench::Workload w =
+      bench::MakeWorkload(30, /*dropout=*/0.5, /*typo=*/0.25);
+  double f1_before = 0, f1_after = 0;
+  size_t tasks = 0;
+  for (auto _ : state) {
+    auto sys = std::move(core::System::Create({})).value();
+    sys->RegisterStandardOperators();
+    sys->IngestCrawl(w.docs);
+    sys->RunProgram(
+           "CREATE VIEW facts AS EXTRACT infobox, temp_sentence, "
+           "population_sentence, founded_sentence, elevation_sentence "
+           "FROM pages;")
+        .value();
+    sys->BuildBeliefsFromView("facts");
+    f1_before = core::ScoreBeliefs(sys->beliefs(), w.truth).f1();
+    auto crowd = hi::MakeCrowd(9, 0.7, 0.95, 17);
+    auto oracle = bench::MakeOracle(w.truth);
+    tasks = 0;
+    for (int r = 0; r < rounds; ++r) {
+      core::System::FeedbackOptions options;
+      options.budget = 60;
+      options.answers_per_task = 5;
+      options.aggregation = core::System::Aggregation::kMajority;
+      tasks += sys->RunFeedbackRound(oracle, &crowd, options).value_or(0);
+    }
+    f1_after = core::ScoreBeliefs(sys->beliefs(), w.truth).f1();
+  }
+  state.counters["f1_before"] = f1_before;
+  state.counters["f1_after"] = f1_after;
+  state.counters["tasks_asked"] = static_cast<double>(tasks);
+}
+BENCHMARK(BM_FeedbackRounds)->DenseRange(0, 4, 1)
+    ->Unit(benchmark::kMillisecond);
+
+// Ablation: the same budget spent with differently skilled crowds.
+void BM_CrowdQuality(benchmark::State& state) {
+  const double min_acc = static_cast<double>(state.range(0)) / 100.0;
+  bench::Workload w =
+      bench::MakeWorkload(30, /*dropout=*/0.5, /*typo=*/0.25);
+  double f1_after = 0;
+  for (auto _ : state) {
+    auto sys = std::move(core::System::Create({})).value();
+    sys->RegisterStandardOperators();
+    sys->IngestCrawl(w.docs);
+    sys->RunProgram(
+           "CREATE VIEW facts AS EXTRACT infobox, temp_sentence, "
+           "population_sentence FROM pages;")
+        .value();
+    sys->BuildBeliefsFromView("facts");
+    auto crowd = hi::MakeCrowd(9, min_acc, min_acc + 0.1, 23);
+    auto oracle = bench::MakeOracle(w.truth);
+    core::System::FeedbackOptions options;
+    options.budget = 120;
+    options.answers_per_task = 5;
+    sys->RunFeedbackRound(oracle, &crowd, options).value_or(0);
+    f1_after = core::ScoreBeliefs(sys->beliefs(), w.truth).f1();
+  }
+  state.counters["crowd_accuracy"] = min_acc + 0.05;
+  state.counters["f1_after"] = f1_after;
+}
+BENCHMARK(BM_CrowdQuality)->Arg(55)->Arg(70)->Arg(85)
+    ->Unit(benchmark::kMillisecond);
+
+// Extension: extraction rules induced from a handful of labeled pages
+// (wrapper-induction lite) vs the hand-written suite — the "developers
+// may have to write domain-specific operators" burden, partly automated.
+void BM_LearnedVsHandwrittenExtractors(benchmark::State& state) {
+  const size_t train_docs = static_cast<size_t>(state.range(0));
+  bench::Workload w = bench::MakeWorkload(60, /*dropout=*/0.0);
+  double learned_f1 = 0, handwritten_f1 = 0;
+  size_t rules = 0;
+  for (auto _ : state) {
+    ie::PatternLearner learner;
+    learner.Learn(ie::BuildPatternExamples(w.docs, w.truth, train_docs));
+    auto compiled = learner.Compile();
+    rules = compiled->size();
+    ie::FactSet learned_facts =
+        ie::RunExtractors(ie::Views(*compiled), w.docs);
+    learned_f1 =
+        core::ScoreExtraction(learned_facts, w.truth, "temp_%").f1();
+    auto handwritten = ie::MakeTemperatureExtractor();
+    std::vector<const ie::Extractor*> views{handwritten.get()};
+    ie::FactSet hw_facts = ie::RunExtractors(views, w.docs);
+    handwritten_f1 =
+        core::ScoreExtraction(hw_facts, w.truth, "temp_%").f1();
+  }
+  state.counters["learned_rules"] = static_cast<double>(rules);
+  state.counters["learned_f1"] = learned_f1;
+  state.counters["handwritten_f1"] = handwritten_f1;
+}
+BENCHMARK(BM_LearnedVsHandwrittenExtractors)->Arg(5)->Arg(15)->Arg(40)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace structura
+
+BENCHMARK_MAIN();

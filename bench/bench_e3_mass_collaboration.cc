@@ -1,0 +1,133 @@
+// E3 — Section 3.2: "it may be highly beneficial to allow a multitude of
+// users, instead of just a single one, to provide feedback, in a mass
+// collaboration fashion". Fixed task set; sweep crowd size and compare
+// aggregation schemes. Expected shape: consensus accuracy rises with
+// crowd size; with a noisy crowd, reputation weighting and Dawid-Skene
+// beat plain majority.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "common/random.h"
+#include "common/strings.h"
+#include "hi/aggregation.h"
+#include "hi/simulated_user.h"
+#include "user/accounts.h"
+
+namespace structura {
+namespace {
+
+struct TaskSet {
+  std::vector<hi::Task> tasks;
+  std::vector<std::string> truths;
+  std::map<uint64_t, std::vector<std::string>> options;
+};
+
+TaskSet MakeTasks(size_t n, uint64_t seed) {
+  TaskSet set;
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<std::string> candidates = {
+        StrFormat("%llu", (unsigned long long)rng.NextBounded(100)),
+        StrFormat("%llu", (unsigned long long)(100 + rng.NextBounded(100)))};
+    hi::Task t = hi::MakeChooseValueTask(i + 1, "subject", "attr",
+                                         candidates, 0.5, i);
+    set.options[t.id] = t.options;
+    set.truths.push_back(
+        t.options[rng.NextBounded(t.options.size())]);
+    set.tasks.push_back(std::move(t));
+  }
+  return set;
+}
+
+/// A crowd with a spammy tail: 1/3 of users answer nearly at random.
+std::vector<hi::SimulatedUser> NoisyCrowd(size_t n, uint64_t seed) {
+  std::vector<hi::SimulatedUser> crowd;
+  for (size_t i = 0; i < n; ++i) {
+    hi::SimulatedUser::Profile p;
+    p.name = StrFormat("user_%03zu", i);
+    p.accuracy = (i % 3 == 0) ? 0.55 : 0.9;
+    p.seed = seed + i * 31;
+    crowd.emplace_back(std::move(p));
+  }
+  return crowd;
+}
+
+enum class Mode { kMajority, kWeighted, kDawidSkene };
+
+double RunConsensus(Mode mode, size_t crowd_size, uint64_t seed) {
+  TaskSet set = MakeTasks(120, seed);
+  auto crowd = NoisyCrowd(crowd_size, seed * 7 + 1);
+  std::vector<hi::Answer> all;
+  std::map<uint64_t, std::vector<hi::Answer>> per_task;
+  for (size_t t = 0; t < set.tasks.size(); ++t) {
+    for (hi::SimulatedUser& u : crowd) {
+      hi::Answer a = u.Respond(set.tasks[t], set.truths[t]);
+      per_task[set.tasks[t].id].push_back(a);
+      all.push_back(std::move(a));
+    }
+  }
+  // Reputation weights, learned from the first half of tasks (gold
+  // bootstrap), then applied to consensus scoring.
+  std::map<std::string, double> weights;
+  if (mode == Mode::kWeighted) {
+    user::UserDirectory users;
+    for (const auto& u : crowd) {
+      users.Register(u.name(), "pw", user::Role::kOrdinary);
+    }
+    for (size_t t = 0; t < set.tasks.size() / 2; ++t) {
+      for (const hi::Answer& a : per_task[set.tasks[t].id]) {
+        users.RecordFeedback(a.user, a.choice == set.truths[t]);
+      }
+    }
+    weights = users.ReputationWeights();
+  }
+  std::map<uint64_t, hi::AggregatedAnswer> consensus;
+  if (mode == Mode::kDawidSkene) {
+    consensus = hi::DawidSkene(all, set.options).task_answers;
+  } else {
+    for (auto& [task_id, answers] : per_task) {
+      consensus[task_id] = mode == Mode::kMajority
+                               ? hi::MajorityVote(answers)
+                               : hi::WeightedVote(answers, weights);
+    }
+  }
+  size_t correct = 0;
+  for (size_t t = 0; t < set.tasks.size(); ++t) {
+    if (consensus[set.tasks[t].id].choice == set.truths[t]) ++correct;
+  }
+  return static_cast<double>(correct) / set.tasks.size();
+}
+
+void RunMode(benchmark::State& state, Mode mode) {
+  const size_t crowd_size = static_cast<size_t>(state.range(0));
+  double accuracy = 0;
+  for (auto _ : state) {
+    accuracy = RunConsensus(mode, crowd_size, 5);
+  }
+  state.counters["consensus_accuracy"] = accuracy;
+}
+
+void BM_Majority(benchmark::State& state) {
+  RunMode(state, Mode::kMajority);
+}
+void BM_ReputationWeighted(benchmark::State& state) {
+  RunMode(state, Mode::kWeighted);
+}
+void BM_DawidSkene(benchmark::State& state) {
+  RunMode(state, Mode::kDawidSkene);
+}
+
+BENCHMARK(BM_Majority)->Arg(1)->Arg(3)->Arg(5)->Arg(9)->Arg(17)->Arg(33)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ReputationWeighted)
+    ->Arg(1)->Arg(3)->Arg(5)->Arg(9)->Arg(17)->Arg(33)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DawidSkene)->Arg(1)->Arg(3)->Arg(5)->Arg(9)->Arg(17)->Arg(33)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace structura
+
+BENCHMARK_MAIN();

@@ -1,0 +1,127 @@
+// E4 — Section 3.2's job-seeker scenario: "a user ... may start out
+// extracting only monthly temperatures ... later if the user wants to
+// examine only cities with at least 500,000 people, then he or she may
+// want to also extract city populations, and so on." Incremental,
+// best-effort generation should cost proportionally to what is asked
+// for, not to the full schema.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "corpus/generator.h"
+#include "core/system.h"
+
+namespace structura {
+namespace {
+
+std::unique_ptr<core::System> Boot(const bench::Workload& w) {
+  auto sys = std::move(core::System::Create({})).value();
+  sys->RegisterStandardOperators();
+  sys->IngestCrawl(w.docs);
+  return sys;
+}
+
+// Stage 1 only: temperatures.
+void BM_IncrementalStage1(benchmark::State& state) {
+  bench::Workload w = bench::MakeWorkload(state.range(0));
+  size_t runs = 0;
+  for (auto _ : state) {
+    auto sys = Boot(w);
+    sys->RunProgram(
+           "CREATE VIEW temps AS EXTRACT infobox, temp_sentence "
+           "FROM pages WHERE category = \"City\" "
+           "AND attribute LIKE \"temp_%\";")
+        .value();
+    runs = sys->context().extractor_runs;
+  }
+  state.counters["extractor_runs"] = static_cast<double>(runs);
+}
+BENCHMARK(BM_IncrementalStage1)->Arg(50)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+// Stage 1 + later stage 2 (populations) — the user's need grew.
+void BM_IncrementalStage1Plus2(benchmark::State& state) {
+  bench::Workload w = bench::MakeWorkload(state.range(0));
+  size_t runs = 0;
+  for (auto _ : state) {
+    auto sys = Boot(w);
+    sys->RunProgram(
+           "CREATE VIEW temps AS EXTRACT infobox, temp_sentence "
+           "FROM pages WHERE category = \"City\" "
+           "AND attribute LIKE \"temp_%\";")
+        .value();
+    sys->RunProgram(
+           "CREATE VIEW pops AS EXTRACT infobox, population_sentence "
+           "FROM pages WHERE category = \"City\" "
+           "AND attribute = \"population\";")
+        .value();
+    runs = sys->context().extractor_runs;
+  }
+  state.counters["extractor_runs"] = static_cast<double>(runs);
+}
+BENCHMARK(BM_IncrementalStage1Plus2)->Arg(50)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+// One-shot everything: the non-incremental alternative.
+void BM_OneShotFullSchema(benchmark::State& state) {
+  bench::Workload w = bench::MakeWorkload(state.range(0));
+  size_t runs = 0;
+  for (auto _ : state) {
+    auto sys = Boot(w);
+    sys->RunProgram(
+           "CREATE VIEW all_facts AS EXTRACT infobox, temp_sentence, "
+           "population_sentence, founded_sentence, elevation_sentence, "
+           "mayor_sentence, residence_sentence FROM pages;")
+        .value();
+    runs = sys->context().extractor_runs;
+  }
+  state.counters["extractor_runs"] = static_cast<double>(runs);
+}
+BENCHMARK(BM_OneShotFullSchema)->Arg(50)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+// Re-crawl ablation: day-2 crawl with a given churn rate. REFRESH VIEW
+// re-extracts only the changed pages; the baseline rebuilds the view
+// from scratch. Expected shape: refresh cost ~ churn * full cost.
+void BM_RefreshAfterChurn(benchmark::State& state) {
+  const double churn = static_cast<double>(state.range(0)) / 100.0;
+  bench::Workload w = bench::MakeWorkload(100);
+  size_t refresh_runs = 0, full_runs = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto sys = Boot(w);
+    sys->RunProgram(
+           "CREATE VIEW facts AS EXTRACT infobox, temp_sentence "
+           "FROM pages;")
+        .value();
+    text::DocumentCollection day2 = w.docs;
+    corpus::MutateCrawl(7, churn, &day2);
+    sys->IngestCrawl(day2).ok();
+    size_t base = sys->context().extractor_runs;
+    state.ResumeTiming();
+    sys->RunProgram("REFRESH VIEW facts;").value();
+    refresh_runs = sys->context().extractor_runs - base;
+    state.PauseTiming();
+    base = sys->context().extractor_runs;
+    sys->RunProgram(
+           "CREATE VIEW rebuilt AS EXTRACT infobox, temp_sentence "
+           "FROM pages;")
+        .value();
+    full_runs = sys->context().extractor_runs - base;
+    state.ResumeTiming();
+  }
+  state.counters["refresh_extractor_runs"] =
+      static_cast<double>(refresh_runs);
+  state.counters["full_rebuild_runs"] = static_cast<double>(full_runs);
+  state.counters["work_ratio"] =
+      full_runs == 0 ? 0
+                     : static_cast<double>(refresh_runs) /
+                           static_cast<double>(full_runs);
+}
+BENCHMARK(BM_RefreshAfterChurn)->Arg(1)->Arg(5)->Arg(20)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace structura
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// E6 — Section 4, storage layer: "the daily snapshots will overlap a
+// lot, and hence may be best stored in a device such as Subversion,
+// which only stores the 'diff' across the snapshots, to save space."
+// We simulate 30 daily crawls at several churn rates and report the
+// bytes stored by the diff store vs. storing every version in full,
+// plus reconstruction latency for old and new versions.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "corpus/generator.h"
+#include "storage/snapshot_store.h"
+
+namespace structura {
+namespace {
+
+constexpr int kDays = 30;
+
+storage::SnapshotStore BuildStore(double churn, uint64_t seed,
+                                  text::DocumentCollection* final_docs) {
+  bench::Workload w = bench::MakeWorkload(40, 0.25, 0.0, 0, seed);
+  storage::SnapshotStore store;
+  for (int day = 0; day < kDays; ++day) {
+    if (day > 0) corpus::MutateCrawl(seed + day, churn, &w.docs);
+    for (const text::Document& d : w.docs.docs) {
+      store.Append(d.id, d.text).value();
+    }
+  }
+  if (final_docs != nullptr) *final_docs = w.docs;
+  return store;
+}
+
+void BM_DiffStorageSpace(benchmark::State& state) {
+  const double churn = static_cast<double>(state.range(0)) / 100.0;
+  size_t stored = 0, full = 0;
+  for (auto _ : state) {
+    storage::SnapshotStore store = BuildStore(churn, 11, nullptr);
+    stored = store.StoredBytes();
+    full = store.FullCopyBytes();
+  }
+  state.counters["stored_mb"] = static_cast<double>(stored) / 1e6;
+  state.counters["full_copy_mb"] = static_cast<double>(full) / 1e6;
+  state.counters["space_ratio"] =
+      static_cast<double>(stored) / static_cast<double>(full);
+}
+BENCHMARK(BM_DiffStorageSpace)->Arg(1)->Arg(5)->Arg(10)->Arg(30)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ReconstructLatest(benchmark::State& state) {
+  text::DocumentCollection docs;
+  storage::SnapshotStore store = BuildStore(0.1, 11, &docs);
+  size_t i = 0;
+  for (auto _ : state) {
+    const text::Document& d = docs.docs[i++ % docs.size()];
+    auto text = store.Get(d.id, kDays - 1);
+    benchmark::DoNotOptimize(text);
+  }
+}
+BENCHMARK(BM_ReconstructLatest)->Unit(benchmark::kMicrosecond);
+
+void BM_ReconstructOldVersion(benchmark::State& state) {
+  text::DocumentCollection docs;
+  storage::SnapshotStore store = BuildStore(0.1, 11, &docs);
+  const uint32_t version = static_cast<uint32_t>(state.range(0));
+  size_t i = 0;
+  for (auto _ : state) {
+    const text::Document& d = docs.docs[i++ % docs.size()];
+    auto text = store.Get(d.id, version);
+    benchmark::DoNotOptimize(text);
+  }
+}
+BENCHMARK(BM_ReconstructOldVersion)->Arg(0)->Arg(7)->Arg(15)->Arg(29)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace structura
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// E8 — Section 4, Part VI: the semantic debugger "monitors the data
+// generation process" and flags values "not in sync" with learned
+// application semantics (the temperature-135 example). We corrupt a
+// controlled fraction of extracted numeric facts and measure flagging
+// precision/recall at several corruption rates. Expected shape: high
+// precision throughout; recall bounded by how far a corrupted digit
+// moves the value outside the learned range.
+
+#include <benchmark/benchmark.h>
+
+#include <set>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/strings.h"
+#include "debugger/semantic_debugger.h"
+#include "ie/pipeline.h"
+#include "ie/standard.h"
+
+namespace structura {
+namespace {
+
+/// Corrupts numeric facts in place; returns the ids of corrupted facts.
+std::set<uint64_t> InjectCorruption(ie::FactSet* facts, double rate,
+                                    uint64_t seed) {
+  Rng rng(seed);
+  std::set<uint64_t> corrupted;
+  for (ie::ExtractedFact& f : facts->facts) {
+    double unused;
+    std::string cleaned;
+    for (char c : f.value) {
+      if (c != ',') cleaned += c;
+    }
+    if (!ParseDouble(cleaned, &unused)) continue;
+    if (!rng.NextBool(rate)) continue;
+    // Gross corruption: append a digit (value inflates ~10x) — the
+    // "135 degrees" class of error.
+    f.value += std::to_string(rng.NextBounded(10));
+    corrupted.insert(f.id);
+  }
+  return corrupted;
+}
+
+void BM_FlagCorruption(benchmark::State& state) {
+  const double rate = static_cast<double>(state.range(0)) / 1000.0;
+  bench::Workload w = bench::MakeWorkload(60);
+  auto suite = ie::MakeStandardSuite();
+  ie::FactSet facts = ie::RunExtractors(ie::Views(suite), w.docs);
+  std::set<uint64_t> corrupted = InjectCorruption(&facts, rate, 3);
+
+  double precision = 0, recall = 0;
+  size_t flagged = 0;
+  for (auto _ : state) {
+    debugger::SemanticDebugger dbg;
+    dbg.LearnFromFacts(facts);
+    std::vector<debugger::Violation> violations = dbg.Check(facts);
+    flagged = violations.size();
+    size_t tp = 0;
+    for (const debugger::Violation& v : violations) {
+      if (corrupted.count(v.fact_id) > 0) ++tp;
+    }
+    precision = flagged == 0
+                    ? 1.0
+                    : static_cast<double>(tp) / static_cast<double>(flagged);
+    recall = corrupted.empty()
+                 ? 1.0
+                 : static_cast<double>(tp) /
+                       static_cast<double>(corrupted.size());
+  }
+  state.counters["corruption_rate"] = rate;
+  state.counters["flag_precision"] = precision;
+  state.counters["flag_recall"] = recall;
+  state.counters["flagged"] = static_cast<double>(flagged);
+}
+BENCHMARK(BM_FlagCorruption)->Arg(1)->Arg(10)->Arg(30)->Arg(50)
+    ->Unit(benchmark::kMillisecond);
+
+// Streaming check latency: one fact at a time (monitor mode).
+void BM_StreamingCheck(benchmark::State& state) {
+  bench::Workload w = bench::MakeWorkload(60);
+  auto suite = ie::MakeStandardSuite();
+  ie::FactSet facts = ie::RunExtractors(ie::Views(suite), w.docs);
+  debugger::SemanticDebugger dbg;
+  dbg.LearnFromFacts(facts);
+  size_t i = 0;
+  for (auto _ : state) {
+    auto v = dbg.CheckOne(facts.facts[i++ % facts.facts.size()]);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_StreamingCheck)->Unit(benchmark::kNanosecond);
+
+}  // namespace
+}  // namespace structura
+
+BENCHMARK_MAIN();

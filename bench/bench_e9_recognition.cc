@@ -1,0 +1,129 @@
+// E9 — Section 3.3's principle: "narrowing the set of potential matches
+// to a manageable number allows users to spot the correct match, when
+// they would be swamped by the total number of potential matches." For
+// each mention with a true co-referent, we build a top-k candidate list
+// and measure (a) how often the true match is inside it, and (b) the
+// simulated user's success rate, which decays with list length (longer
+// lists mean more chances to misfire). Expected shape: recall@k rises
+// steeply for small k; user success peaks at small k and the candidate
+// list beats the "swamped" full-list baseline.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "ii/matcher.h"
+#include "ii/resolution.h"
+
+namespace structura {
+namespace {
+
+struct MentionSet {
+  std::vector<ii::MentionRecord> mentions;
+  std::vector<corpus::EntityId> entities;
+};
+
+MentionSet BuildMentions() {
+  bench::Workload w =
+      bench::MakeWorkload(30, 0.25, 0.0, /*news_pages=*/40, 99);
+  MentionSet set;
+  for (const corpus::MentionTruth& m : w.truth.mentions) {
+    ii::MentionRecord rec;
+    rec.id = set.mentions.size();
+    rec.surface = m.surface;
+    set.mentions.push_back(std::move(rec));
+    set.entities.push_back(m.entity);
+  }
+  return set;
+}
+
+/// A user model for scanning a candidate list: examines entries in
+/// order; for each entry, with probability `attention` decides
+/// correctly whether it is the true match; attention decays with list
+/// position (fatigue).
+bool UserFindsMatch(const std::vector<ii::ScoredPair>& candidates,
+                    const std::vector<corpus::EntityId>& entities,
+                    corpus::EntityId truth, Rng& rng) {
+  double attention = 0.98;
+  for (const ii::ScoredPair& c : candidates) {
+    bool is_match = entities[c.b] == truth;
+    bool judged_correctly = rng.NextBool(attention);
+    bool judged_match = judged_correctly ? is_match : !is_match;
+    if (judged_match) return is_match;  // user commits to this entry
+    attention *= 0.97;                  // fatigue per examined entry
+  }
+  return false;
+}
+
+void BM_TopKCandidates(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  static const MentionSet& set = *new MentionSet(BuildMentions());
+  ii::NameMatcher matcher;
+
+  double recall_at_k = 0, user_success = 0;
+  for (auto _ : state) {
+    Rng rng(17);
+    size_t has_coref = 0, found = 0, user_found = 0;
+    for (size_t i = 0; i < set.mentions.size(); i += 7) {
+      // Does mention i have a true co-referent elsewhere?
+      bool any = false;
+      for (size_t j = 0; j < set.mentions.size(); ++j) {
+        if (j != i && set.entities[j] == set.entities[i]) any = true;
+      }
+      if (!any) continue;
+      ++has_coref;
+      auto top = ii::TopKCandidates(set.mentions, i, matcher, k);
+      bool hit = false;
+      for (const ii::ScoredPair& c : top) {
+        if (set.entities[c.b] == set.entities[i]) hit = true;
+      }
+      if (hit) ++found;
+      if (UserFindsMatch(top, set.entities, set.entities[i], rng)) {
+        ++user_found;
+      }
+    }
+    recall_at_k = static_cast<double>(found) / has_coref;
+    user_success = static_cast<double>(user_found) / has_coref;
+  }
+  state.counters["recall_at_k"] = recall_at_k;
+  state.counters["user_success"] = user_success;
+}
+BENCHMARK(BM_TopKCandidates)
+    ->Arg(1)->Arg(3)->Arg(5)->Arg(10)->Arg(25)->Arg(50)
+    ->Unit(benchmark::kMillisecond);
+
+// Baseline: the user scans the entire unsorted mention list ("swamped").
+void BM_FullListBaseline(benchmark::State& state) {
+  static const MentionSet& set = *new MentionSet(BuildMentions());
+  double user_success = 0;
+  for (auto _ : state) {
+    Rng rng(17);
+    size_t has_coref = 0, user_found = 0;
+    for (size_t i = 0; i < set.mentions.size(); i += 7) {
+      bool any = false;
+      for (size_t j = 0; j < set.mentions.size(); ++j) {
+        if (j != i && set.entities[j] == set.entities[i]) any = true;
+      }
+      if (!any) continue;
+      ++has_coref;
+      // Unranked candidate list: everything, arbitrary order.
+      std::vector<ii::ScoredPair> all;
+      for (size_t j = 0; j < set.mentions.size(); ++j) {
+        if (j != i) all.push_back(ii::ScoredPair{i, j, 0});
+      }
+      if (UserFindsMatch(all, set.entities, set.entities[i], rng)) {
+        ++user_found;
+      }
+    }
+    user_success = static_cast<double>(user_found) / has_coref;
+  }
+  state.counters["user_success"] = user_success;
+}
+BENCHMARK(BM_FullListBaseline)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace structura
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+#ifndef STRUCTURA_BENCH_BENCH_UTIL_H_
+#define STRUCTURA_BENCH_BENCH_UTIL_H_
+
+#include <optional>
+#include <string>
+
+#include "corpus/generator.h"
+#include "corpus/records.h"
+#include "text/document.h"
+
+namespace structura::bench {
+
+/// A generated corpus plus its truth, sized by `cities` with proportional
+/// people/companies. Every experiment derives its workload from this.
+struct Workload {
+  text::DocumentCollection docs;
+  corpus::GroundTruth truth;
+};
+
+inline Workload MakeWorkload(size_t cities, double dropout = 0.25,
+                             double typo = 0.0, size_t news_pages = 0,
+                             uint64_t seed = 42) {
+  corpus::CorpusOptions options;
+  options.num_cities = cities;
+  options.num_people = cities * 2;
+  options.num_companies = cities / 2;
+  options.news_pages = news_pages;
+  options.infobox_dropout = dropout;
+  options.typo_prob = typo;
+  options.seed = seed;
+  Workload w;
+  corpus::GenerateCorpus(options, &w.docs, &w.truth);
+  return w;
+}
+
+/// Ground-truth oracle for simulated human feedback.
+inline auto MakeOracle(const corpus::GroundTruth& truth) {
+  return [&truth](const std::string& subject, const std::string& attribute)
+             -> std::optional<std::string> {
+    for (const corpus::FactTruth& f : truth.facts) {
+      auto it = truth.canonical_names.find(f.entity);
+      if (it == truth.canonical_names.end()) continue;
+      if (it->second == subject && f.attribute == attribute) {
+        return f.value;
+      }
+    }
+    return std::nullopt;
+  };
+}
+
+}  // namespace structura::bench
+
+#endif  // STRUCTURA_BENCH_BENCH_UTIL_H_

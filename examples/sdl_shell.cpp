@@ -1,0 +1,165 @@
+// Interactive SDL shell — the "command-line interface (for sophisticated
+// users)" in the paper's user layer. Boots the system over a synthetic
+// wiki slice and reads SDL statements from stdin.
+//
+//   $ ./sdl_shell
+//   sdl> CREATE VIEW facts AS EXTRACT infobox FROM pages WHERE
+//        category = "City";
+//   sdl> SELECT subject, value FROM facts WHERE attribute = "population"
+//        ORDER BY value DESC LIMIT 5;
+//   sdl> EXPLAIN SELECT ...;
+//   sdl> \search average temperature madison     (keyword mode)
+//   sdl> \forms average temperature madison      (keyword -> structured)
+//   sdl> \views   \help   \quit
+//
+// Statements may span lines and end with ';'.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/system.h"
+#include "corpus/generator.h"
+#include "query/browse.h"
+
+using structura::core::System;
+
+namespace {
+
+void PrintHelp() {
+  std::printf(
+      "SDL statements end with ';'. Examples:\n"
+      "  CREATE VIEW v AS EXTRACT infobox, temp_sentence FROM pages\n"
+      "    WHERE category = \"City\";\n"
+      "  CREATE VIEW e AS RESOLVE ENTITIES FROM v USING name\n"
+      "    THRESHOLD 0.8 WITH HUMAN REVIEW BUDGET 20;\n"
+      "  REFRESH VIEW v;\n"
+      "  SELECT subject, AVG(value) AS t FROM v GROUP BY subject\n"
+      "    ORDER BY t DESC LIMIT 5;\n"
+      "  EXPLAIN SELECT ...;\n"
+      "Shell commands:\n"
+      "  \\search <keywords>   BM25 document search with snippets\n"
+      "  \\forms <keywords>    suggested structured queries\n"
+      "  \\browse <entity>     entity profile from current beliefs\n"
+      "  \\views               list materialized views\n"
+      "  \\status              system status report\n"
+      "  \\help                this text\n"
+      "  \\quit                exit\n");
+}
+
+}  // namespace
+
+int main() {
+  structura::corpus::CorpusOptions corpus_options;
+  corpus_options.num_cities = 40;
+  corpus_options.num_people = 60;
+  corpus_options.num_companies = 12;
+  structura::text::DocumentCollection docs;
+  structura::corpus::GroundTruth truth;
+  structura::corpus::GenerateCorpus(corpus_options, &docs, &truth);
+
+  auto sys = std::move(System::Create({})).value();
+  sys->RegisterStandardOperators();
+  sys->IngestCrawl(docs).ok();
+  std::printf(
+      "structura sdl shell — %zu documents loaded; \\help for help\n",
+      docs.size());
+
+  std::string buffer;
+  std::string line;
+  std::printf("sdl> ");
+  std::fflush(stdout);
+  while (std::getline(std::cin, line)) {
+    // Shell commands act immediately.
+    if (buffer.empty() && !line.empty() && line[0] == '\\') {
+      std::string cmd = line.substr(1);
+      if (cmd == "quit" || cmd == "q") break;
+      if (cmd == "help") {
+        PrintHelp();
+      } else if (cmd == "status") {
+        std::printf("%s", sys->StatusReport().c_str());
+      } else if (cmd == "views") {
+        for (const auto& [name, rel] : sys->context().views) {
+          std::printf("  %-20s %zu rows, %zu columns\n", name.c_str(),
+                      rel.size(), rel.columns().size());
+        }
+      } else if (cmd.rfind("search ", 0) == 0) {
+        std::string keywords = cmd.substr(7);
+        for (const auto& hit : sys->KeywordSearch(keywords, 5)) {
+          std::printf("  %-30s score=%.2f\n", hit.title.c_str(),
+                      hit.score);
+          for (const auto& doc : sys->documents().docs) {
+            if (doc.id == hit.doc) {
+              std::printf("    %s\n",
+                          structura::query::MakeSnippet(doc, keywords)
+                              .c_str());
+              break;
+            }
+          }
+        }
+      } else if (cmd.rfind("browse ", 0) == 0) {
+        if (!sys->context().views.empty() && sys->beliefs().empty()) {
+          sys->BuildBeliefsFromView(
+                 sys->context().views.rbegin()->first)
+              .ok();
+        }
+        auto profile = structura::query::BuildProfile(sys->beliefs(),
+                                                      cmd.substr(7));
+        if (!profile.ok()) {
+          std::printf("  %s\n", profile.status().ToString().c_str());
+        } else {
+          std::printf("%s",
+                      structura::query::RenderProfile(*profile).c_str());
+          auto incoming = structura::query::ReferencedBy(sys->beliefs(),
+                                                         cmd.substr(7));
+          for (const auto& [who, how] : incoming) {
+            std::printf("  referenced by %s (%s)\n", who.c_str(),
+                        how.c_str());
+          }
+        }
+      } else if (cmd.rfind("forms ", 0) == 0) {
+        // Forms need a fact view; use the most recent one.
+        if (!sys->context().views.empty()) {
+          sys->BuildBeliefsFromView(
+                 sys->context().views.rbegin()->first)
+              .ok();
+        }
+        auto forms = sys->SuggestQueries(cmd.substr(6));
+        if (forms.empty()) {
+          std::printf("  (no candidate translations)\n");
+        }
+        for (const auto& form : forms) {
+          std::printf("  [%.2f] %s\n", form.score,
+                      form.description.c_str());
+        }
+      } else {
+        std::printf("unknown command; \\help for help\n");
+      }
+      std::printf("sdl> ");
+      std::fflush(stdout);
+      continue;
+    }
+    buffer += line + "\n";
+    if (buffer.find(';') == std::string::npos) {
+      std::printf("...> ");
+      std::fflush(stdout);
+      continue;
+    }
+    auto results = sys->RunProgram(buffer);
+    buffer.clear();
+    if (!results.ok()) {
+      std::printf("error: %s\n", results.status().ToString().c_str());
+    } else {
+      for (const auto& r : *results) {
+        if (r.has_relation) {
+          std::printf("%s", r.relation.ToString().c_str());
+        }
+        std::printf("%s\n", r.text.c_str());
+      }
+    }
+    std::printf("sdl> ");
+    std::fflush(stdout);
+  }
+  std::printf("\nbye\n");
+  return 0;
+}

@@ -1,0 +1,27 @@
+#ifndef STRUCTURA_COMMON_HASH_H_
+#define STRUCTURA_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace structura {
+
+/// 64-bit FNV-1a over arbitrary bytes. Stable across platforms and runs, so
+/// it is safe to persist (used by the snapshot store for chunk identity).
+inline uint64_t Fnv1a64(std::string_view data, uint64_t seed = 0) {
+  uint64_t h = 14695981039346656037ULL ^ seed;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Combines two hashes (boost-style).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9E3779B97F4A7C15ULL + (a << 6) + (a >> 2));
+}
+
+}  // namespace structura
+
+#endif  // STRUCTURA_COMMON_HASH_H_

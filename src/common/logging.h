@@ -1,0 +1,51 @@
+#ifndef STRUCTURA_COMMON_LOGGING_H_
+#define STRUCTURA_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace structura {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped. Thread-safe.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emits one formatted line to stderr. Prefer the STRUCTURA_LOG macro.
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& message);
+
+namespace internal_logging {
+
+/// Accumulates a log line via operator<< and emits it on destruction.
+class LogStream {
+ public:
+  LogStream(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+  ~LogStream() { LogMessage(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace structura
+
+/// Usage: STRUCTURA_LOG(kInfo) << "loaded " << n << " docs";
+#define STRUCTURA_LOG(severity)                                      \
+  ::structura::internal_logging::LogStream(                          \
+      ::structura::LogLevel::severity, __FILE__, __LINE__)
+
+#endif  // STRUCTURA_COMMON_LOGGING_H_

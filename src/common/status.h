@@ -1,0 +1,147 @@
+#ifndef STRUCTURA_COMMON_STATUS_H_
+#define STRUCTURA_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace structura {
+
+/// Machine-readable error categories used across the library. Functions that
+/// can fail return `Status` (or `Result<T>` when they also produce a value)
+/// instead of throwing exceptions across API boundaries.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kAborted,        // e.g. transaction aborted due to deadlock
+  kCorruption,     // on-disk data failed validation
+  kUnimplemented,
+  kInternal,
+  kResourceExhausted,
+};
+
+/// Returns a stable lowercase name for `code` (e.g. "not_found").
+const char* StatusCodeName(StatusCode code);
+
+/// A cheap, copyable success-or-error value. The OK status carries no
+/// allocation; error statuses carry a code and a human-readable message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code_name>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error wrapper. Accessing `value()` on an error result aborts
+/// the process (programming error), so callers must check `ok()` first.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or an error keeps call sites terse:
+  /// `return 42;` or `return Status::NotFound(...)`.
+  Result(T value) : value_(std::move(value)) {}           // NOLINT
+  Result(Status status) : status_(std::move(status)) {}   // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return value_.value(); }
+  T& value() & { return value_.value(); }
+  T&& value() && { return std::move(value_).value(); }
+
+  /// Returns the contained value or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK status to the caller. Use inside functions returning
+/// `Status` or `Result<T>`.
+#define STRUCTURA_RETURN_IF_ERROR(expr)                  \
+  do {                                                   \
+    ::structura::Status _st = (expr);                    \
+    if (!_st.ok()) return _st;                           \
+  } while (0)
+
+/// Evaluates a `Result<T>` expression and either binds its value to `lhs`
+/// or propagates the error.
+#define STRUCTURA_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                    \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).value()
+
+#define STRUCTURA_ASSIGN_OR_RETURN_CAT(a, b) a##b
+#define STRUCTURA_ASSIGN_OR_RETURN_NAME(a, b) STRUCTURA_ASSIGN_OR_RETURN_CAT(a, b)
+#define STRUCTURA_ASSIGN_OR_RETURN(lhs, expr)            \
+  STRUCTURA_ASSIGN_OR_RETURN_IMPL(                       \
+      STRUCTURA_ASSIGN_OR_RETURN_NAME(_res_, __LINE__), lhs, expr)
+
+}  // namespace structura
+
+#endif  // STRUCTURA_COMMON_STATUS_H_

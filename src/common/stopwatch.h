@@ -1,0 +1,29 @@
+#ifndef STRUCTURA_COMMON_STOPWATCH_H_
+#define STRUCTURA_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace structura {
+
+/// Monotonic wall-clock stopwatch for coarse measurements in examples and
+/// experiment harnesses (benchmarks proper use google-benchmark timing).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace structura
+
+#endif  // STRUCTURA_COMMON_STOPWATCH_H_

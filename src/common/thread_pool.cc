@@ -1,0 +1,95 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace structura {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  num_threads = std::max<size_t>(1, num_threads);
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Enqueue(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(fn));
+  }
+  wake_.notify_one();
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(ThreadPool& pool, size_t n,
+                 const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  // Shared ownership: workers may outlive this call by a few
+  // instructions (their final "any work left?" check happens after the
+  // completion notify), so the coordination state must not live on this
+  // frame. `fn` itself is only invoked for indexes < n, all of which
+  // complete before the caller is released — the reference stays valid
+  // for every actual call.
+  struct State {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex m;
+    std::condition_variable cv;
+  };
+  auto state = std::make_shared<State>();
+  size_t workers = std::min(pool.num_threads(), n);
+  for (size_t w = 0; w < workers; ++w) {
+    pool.Submit([state, n, &fn] {
+      while (true) {
+        size_t i = state->next.fetch_add(1);
+        if (i >= n) break;
+        fn(i);
+        if (state->done.fetch_add(1) + 1 == n) {
+          std::lock_guard<std::mutex> lock(state->m);
+          state->cv.notify_all();
+        }
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(state->m);
+  state->cv.wait(lock, [&] { return state->done.load() == n; });
+}
+
+}  // namespace structura

@@ -1,0 +1,118 @@
+#include "core/eval.h"
+
+#include <map>
+#include <set>
+
+#include "common/strings.h"
+#include "query/relation.h"
+
+namespace structura::core {
+namespace {
+
+/// LIKE with '%' — reuse the relation operator for consistency.
+bool AttributeMatches(const std::string& attribute,
+                      const std::string& pattern) {
+  if (pattern.empty()) return true;
+  query::Condition c;
+  c.column = "attribute";
+  c.op = query::CompareOp::kLike;
+  c.literal = query::Value::Str(pattern);
+  return c.Eval(query::Value::Str(attribute));
+}
+
+}  // namespace
+
+std::string Score::ToString() const {
+  return StrFormat("P=%.3f R=%.3f F1=%.3f (tp=%zu fp=%zu fn=%zu)",
+                   precision(), recall(), f1(), true_positives,
+                   false_positives, false_negatives);
+}
+
+std::string NormalizeValue(const std::string& value) {
+  std::string out;
+  for (char c : Trim(value)) {
+    if (c != ',') out += c;
+  }
+  return out;
+}
+
+Score ScoreExtraction(const ie::FactSet& facts,
+                      const corpus::GroundTruth& truth,
+                      const std::string& attribute_filter) {
+  // Truth triples in scope.
+  std::set<std::string> truth_keys;
+  for (const corpus::FactTruth& t : truth.facts) {
+    if (!AttributeMatches(t.attribute, attribute_filter)) continue;
+    truth_keys.insert(StrFormat("%llu\x1f%s\x1f%s",
+                                static_cast<unsigned long long>(t.doc),
+                                t.attribute.c_str(),
+                                NormalizeValue(t.value).c_str()));
+  }
+  std::set<std::string> predicted;
+  for (const ie::ExtractedFact& f : facts.facts) {
+    if (!AttributeMatches(f.attribute, attribute_filter)) continue;
+    // Mention facts have no ground-truth attribute counterpart here.
+    if (StartsWith(f.attribute, "mention_")) continue;
+    predicted.insert(StrFormat("%llu\x1f%s\x1f%s",
+                               static_cast<unsigned long long>(f.doc),
+                               f.attribute.c_str(),
+                               NormalizeValue(f.value).c_str()));
+  }
+  Score s;
+  for (const std::string& key : predicted) {
+    if (truth_keys.count(key) > 0) {
+      ++s.true_positives;
+    } else {
+      ++s.false_positives;
+    }
+  }
+  s.false_negatives = truth_keys.size() - s.true_positives;
+  return s;
+}
+
+Score ScoreBeliefs(
+    const std::vector<uncertainty::AttributeBelief>& beliefs,
+    const corpus::GroundTruth& truth) {
+  // Truth: (canonical subject, attribute) -> normalized value. A fact may
+  // be planted in several docs; values agree by construction.
+  std::map<std::pair<std::string, std::string>, std::string> expected;
+  for (const corpus::FactTruth& t : truth.facts) {
+    auto name_it = truth.canonical_names.find(t.entity);
+    if (name_it == truth.canonical_names.end()) continue;
+    expected[{name_it->second, t.attribute}] = NormalizeValue(t.value);
+  }
+  Score s;
+  std::set<std::pair<std::string, std::string>> answered;
+  for (const uncertainty::AttributeBelief& b : beliefs) {
+    auto it = expected.find({b.subject, b.attribute});
+    if (it == expected.end()) continue;  // out-of-scope belief: ignore
+    const uncertainty::ValueAlternative* top = b.Top();
+    if (top == nullptr) continue;
+    answered.insert({b.subject, b.attribute});
+    if (NormalizeValue(top->value) == it->second) {
+      ++s.true_positives;
+    } else {
+      ++s.false_positives;
+    }
+  }
+  s.false_negatives = expected.size() - answered.size();
+  return s;
+}
+
+Score ScoreClustering(const std::vector<corpus::EntityId>& truth_entities,
+                      const std::vector<size_t>& cluster_of) {
+  Score s;
+  size_t n = std::min(truth_entities.size(), cluster_of.size());
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      bool same_truth = truth_entities[i] == truth_entities[j];
+      bool same_cluster = cluster_of[i] == cluster_of[j];
+      if (same_cluster && same_truth) ++s.true_positives;
+      if (same_cluster && !same_truth) ++s.false_positives;
+      if (!same_cluster && same_truth) ++s.false_negatives;
+    }
+  }
+  return s;
+}
+
+}  // namespace structura::core

@@ -1,0 +1,58 @@
+#ifndef STRUCTURA_CORE_EVAL_H_
+#define STRUCTURA_CORE_EVAL_H_
+
+#include <string>
+#include <vector>
+
+#include "corpus/records.h"
+#include "ie/fact.h"
+#include "uncertainty/confidence.h"
+
+namespace structura::core {
+
+/// Standard precision/recall/F1 triple.
+struct Score {
+  size_t true_positives = 0;
+  size_t false_positives = 0;
+  size_t false_negatives = 0;
+
+  double precision() const {
+    size_t denom = true_positives + false_positives;
+    return denom == 0 ? 0 : static_cast<double>(true_positives) / denom;
+  }
+  double recall() const {
+    size_t denom = true_positives + false_negatives;
+    return denom == 0 ? 0 : static_cast<double>(true_positives) / denom;
+  }
+  double f1() const {
+    double p = precision(), r = recall();
+    return p + r == 0 ? 0 : 2 * p * r / (p + r);
+  }
+  std::string ToString() const;
+};
+
+/// Normalizes a value for comparison: trims, strips thousands commas.
+std::string NormalizeValue(const std::string& value);
+
+/// Scores extracted facts against ground truth on (doc, attribute,
+/// normalized value). Duplicate predictions of the same triple count
+/// once. `attribute_filter` (LIKE pattern, empty = all) restricts which
+/// truth attributes are in scope — used by incremental experiments.
+Score ScoreExtraction(const ie::FactSet& facts,
+                      const corpus::GroundTruth& truth,
+                      const std::string& attribute_filter = "");
+
+/// Scores top-alternative beliefs against ground truth on (subject,
+/// attribute, normalized value), where truth subjects are canonical
+/// entity names.
+Score ScoreBeliefs(const std::vector<uncertainty::AttributeBelief>& beliefs,
+                   const corpus::GroundTruth& truth);
+
+/// Pairwise clustering metrics for entity resolution: over all mention
+/// pairs, a pair is positive when both refer to the same truth entity.
+Score ScoreClustering(const std::vector<corpus::EntityId>& truth_entities,
+                      const std::vector<size_t>& cluster_of);
+
+}  // namespace structura::core
+
+#endif  // STRUCTURA_CORE_EVAL_H_

@@ -1,0 +1,67 @@
+#include "core/schema_unify.h"
+
+#include <algorithm>
+#include <set>
+
+namespace structura::core {
+namespace {
+
+constexpr size_t kSampleCap = 40;
+
+}  // namespace
+
+Result<UnifyResult> UnifySchema(
+    const query::Relation& facts,
+    const std::vector<std::string>& canonical_attributes,
+    const ii::SchemaMatchOptions& options) {
+  int attr_col = facts.ColumnIndex("attribute");
+  int value_col = facts.ColumnIndex("value");
+  if (attr_col < 0 || value_col < 0) {
+    return Status::InvalidArgument(
+        "fact view lacks attribute/value columns");
+  }
+  // Profile every attribute by up to kSampleCap values.
+  std::map<std::string, ii::AttributeProfile> profiles;
+  for (const query::Row& row : facts.rows()) {
+    const std::string attr =
+        row[static_cast<size_t>(attr_col)].ToString();
+    ii::AttributeProfile& p = profiles[attr];
+    if (p.name.empty()) p.name = attr;
+    if (p.sample_values.size() < kSampleCap) {
+      p.sample_values.push_back(
+          row[static_cast<size_t>(value_col)].ToString());
+    }
+  }
+  std::set<std::string> canonical(canonical_attributes.begin(),
+                                  canonical_attributes.end());
+  std::vector<ii::AttributeProfile> candidates, targets;
+  for (const auto& [attr, profile] : profiles) {
+    if (canonical.count(attr) > 0) {
+      targets.push_back(profile);
+    } else {
+      candidates.push_back(profile);
+    }
+  }
+
+  UnifyResult result;
+  result.matches = ii::MatchSchemas(candidates, targets, options);
+  for (const ii::SchemaMatch& m : result.matches) {
+    result.renames[candidates[m.a_index].name] = targets[m.b_index].name;
+  }
+
+  result.unified = query::Relation(facts.columns());
+  for (const query::Row& row : facts.rows()) {
+    query::Row rewritten = row;
+    const std::string attr =
+        row[static_cast<size_t>(attr_col)].ToString();
+    auto it = result.renames.find(attr);
+    if (it != result.renames.end()) {
+      rewritten[static_cast<size_t>(attr_col)] =
+          query::Value::Str(it->second);
+    }
+    STRUCTURA_RETURN_IF_ERROR(result.unified.Append(std::move(rewritten)));
+  }
+  return result;
+}
+
+}  // namespace structura::core

@@ -1,0 +1,37 @@
+#ifndef STRUCTURA_CORE_SCHEMA_UNIFY_H_
+#define STRUCTURA_CORE_SCHEMA_UNIFY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ii/schema_matcher.h"
+#include "query/relation.h"
+
+namespace structura::core {
+
+/// Result of unifying a fact view's attribute vocabulary.
+struct UnifyResult {
+  /// source attribute -> canonical attribute (e.g. "inhabitants" ->
+  /// "population").
+  std::map<std::string, std::string> renames;
+  /// The fact view with attributes rewritten.
+  query::Relation unified;
+  /// The underlying schema matches, for inspection/HI review.
+  std::vector<ii::SchemaMatch> matches;
+};
+
+/// Repairs semantic heterogeneity across sources (the paper's
+/// location/address example): attributes outside `canonical_attributes`
+/// are profiled by their sampled values and matched against the
+/// canonical ones (name + instance similarity); confident matches are
+/// renamed. `facts` must have "attribute" and "value" columns.
+Result<UnifyResult> UnifySchema(
+    const query::Relation& facts,
+    const std::vector<std::string>& canonical_attributes,
+    const ii::SchemaMatchOptions& options);
+
+}  // namespace structura::core
+
+#endif  // STRUCTURA_CORE_SCHEMA_UNIFY_H_

@@ -1,0 +1,458 @@
+#include "core/system.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/hash.h"
+#include "common/strings.h"
+#include "core/eval.h"
+#include "core/schema_unify.h"
+#include "ie/standard.h"
+#include "query/hybrid.h"
+#include "query/structured_query.h"
+
+namespace structura::core {
+
+System::System(Options options)
+    : options_(std::move(options)), users_(options_.seed) {}
+
+Result<std::unique_ptr<System>> System::Create(Options options) {
+  std::unique_ptr<System> sys(new System(std::move(options)));
+  rdbms::DatabaseOptions db_options;
+  if (!sys->options_.workspace.empty()) {
+    db_options.dir = sys->options_.workspace + "/db";
+  }
+  STRUCTURA_ASSIGN_OR_RETURN(sys->db_, rdbms::Database::Open(db_options));
+  return sys;
+}
+
+Status System::IngestCrawl(const text::DocumentCollection& docs) {
+  // Change detection: a page is dirty when its text differs from the
+  // previous crawl (or is new). REFRESH VIEW re-extracts only these.
+  ctx_.dirty_docs.clear();
+  for (const text::Document& doc : docs.docs) {
+    uint64_t h = Fnv1a64(doc.text);
+    auto it = last_text_hash_.find(doc.id);
+    if (it == last_text_hash_.end() || it->second != h) {
+      ctx_.dirty_docs.insert(doc.id);
+      last_text_hash_[doc.id] = h;
+    }
+    STRUCTURA_RETURN_IF_ERROR(
+        snapshots_.Append(doc.id, doc.text).status());
+  }
+  docs_ = docs;
+  keyword_index_ = query::KeywordIndex();
+  for (const text::Document& doc : docs_.docs) {
+    keyword_index_.AddDocument(doc);
+  }
+  keyword_index_.Finalize();
+  ctx_.docs = &docs_;
+  ctx_.db = db_.get();
+  monitor_.RecordDocsProcessed(docs.size());
+  return Status::OK();
+}
+
+void System::RegisterExtractor(std::string name,
+                               ie::ExtractorPtr extractor,
+                               std::string attribute_pattern) {
+  ctx_.extractors[name] = extractor.get();
+  ctx_.extractor_attributes[std::move(name)] =
+      std::move(attribute_pattern);
+  owned_extractors_.push_back(std::move(extractor));
+}
+
+void System::RegisterStandardOperators() {
+  RegisterExtractor("infobox", ie::MakeInfoboxExtractor(), "%");
+  RegisterExtractor("temp_sentence", ie::MakeTemperatureExtractor(),
+                    "temp_%");
+  RegisterExtractor("population_sentence", ie::MakePopulationExtractor(),
+                    "population");
+  RegisterExtractor("founded_sentence", ie::MakeFoundedExtractor(),
+                    "founded");
+  RegisterExtractor("elevation_sentence", ie::MakeElevationExtractor(),
+                    "elevation");
+  RegisterExtractor("mayor_sentence", ie::MakeMayorExtractor(), "mayor");
+  RegisterExtractor("residence_sentence", ie::MakeResidenceExtractor(),
+                    "residence");
+  owned_matchers_.push_back(std::make_unique<ii::NameMatcher>());
+  ctx_.matchers["name"] = owned_matchers_.back().get();
+  owned_matchers_.push_back(std::make_unique<ii::JaroWinklerMatcher>());
+  ctx_.matchers["jaro_winkler"] = owned_matchers_.back().get();
+  owned_matchers_.push_back(std::make_unique<ii::LevenshteinMatcher>());
+  ctx_.matchers["levenshtein"] = owned_matchers_.back().get();
+}
+
+Result<std::vector<lang::Interpreter::StatementResult>> System::RunProgram(
+    const std::string& sdl) {
+  lang::Interpreter::Options opts;
+  opts.optimize = options_.optimize_plans;
+  lang::Interpreter interp(&ctx_, opts);
+  return interp.Run(sdl);
+}
+
+Result<query::Relation> System::Query(const std::string& sdl) {
+  lang::Interpreter::Options opts;
+  opts.optimize = options_.optimize_plans;
+  lang::Interpreter interp(&ctx_, opts);
+  return interp.Query(sdl);
+}
+
+const query::Relation* System::View(const std::string& name) const {
+  auto it = ctx_.views.find(name);
+  return it == ctx_.views.end() ? nullptr : &it->second;
+}
+
+Status System::BuildBeliefsFromView(const std::string& view) {
+  const query::Relation* rel = View(view);
+  if (rel == nullptr) return Status::NotFound("no view " + view);
+  int subject_col = rel->ColumnIndex("entity");
+  if (subject_col < 0) subject_col = rel->ColumnIndex("subject");
+  int attr_col = rel->ColumnIndex("attribute");
+  int value_col = rel->ColumnIndex("value");
+  int conf_col = rel->ColumnIndex("confidence");
+  int doc_col = rel->ColumnIndex("doc");
+  int extractor_col = rel->ColumnIndex("extractor");
+  if (subject_col < 0 || attr_col < 0 || value_col < 0) {
+    return Status::InvalidArgument(
+        "view lacks subject/attribute/value columns");
+  }
+
+  current_facts_ = ie::FactSet();
+  std::map<uint64_t, provenance::NodeId> doc_nodes;
+  std::map<uint64_t, provenance::NodeId> fact_nodes;
+  for (const query::Row& row : rel->rows()) {
+    ie::ExtractedFact fact;
+    fact.subject = row[static_cast<size_t>(subject_col)].ToString();
+    fact.attribute = row[static_cast<size_t>(attr_col)].ToString();
+    fact.value = row[static_cast<size_t>(value_col)].ToString();
+    fact.confidence =
+        conf_col < 0 ? 1.0
+                     : [&] {
+                         double c = 1.0;
+                         row[static_cast<size_t>(conf_col)].ToNumber(&c);
+                         return c;
+                       }();
+    if (doc_col >= 0 && row[static_cast<size_t>(doc_col)].type() ==
+                            rdbms::ValueType::kInt) {
+      fact.doc = static_cast<text::DocId>(
+          row[static_cast<size_t>(doc_col)].as_int());
+    }
+    if (extractor_col >= 0) {
+      fact.extractor =
+          row[static_cast<size_t>(extractor_col)].ToString();
+    }
+    uint64_t id = current_facts_.Add(std::move(fact));
+    const ie::ExtractedFact& added = current_facts_.facts.back();
+    // Provenance: doc -> fact.
+    provenance::NodeId doc_node = 0;
+    auto dn = doc_nodes.find(added.doc);
+    if (dn == doc_nodes.end()) {
+      doc_node = lineage_.AddNode(
+          provenance::NodeKind::kDocument,
+          StrFormat("doc#%llu",
+                    static_cast<unsigned long long>(added.doc)));
+      doc_nodes[added.doc] = doc_node;
+    } else {
+      doc_node = dn->second;
+    }
+    provenance::NodeId fact_node = lineage_.AddNode(
+        provenance::NodeKind::kFact,
+        StrFormat("fact#%llu %s.%s=%s (%s)",
+                  static_cast<unsigned long long>(id),
+                  added.subject.c_str(), added.attribute.c_str(),
+                  added.value.c_str(), added.extractor.c_str()));
+    lineage_.AddEdge(fact_node, doc_node, "extracted-from");
+    fact_nodes[id] = fact_node;
+  }
+
+  beliefs_ = uncertainty::BuildBeliefs(current_facts_);
+  for (const uncertainty::AttributeBelief& b : beliefs_) {
+    provenance::NodeId belief_node = lineage_.AddNode(
+        provenance::NodeKind::kBelief,
+        StrFormat("belief %s.%s", b.subject.c_str(), b.attribute.c_str()));
+    lineage_.Bind("belief:" + b.subject + ":" + b.attribute, belief_node);
+    for (const uncertainty::ValueAlternative& alt : b.alternatives) {
+      for (uint64_t fid : alt.supporting_facts) {
+        auto it = fact_nodes.find(fid);
+        if (it != fact_nodes.end()) {
+          lineage_.AddEdge(belief_node, it->second, "aggregates");
+        }
+      }
+    }
+  }
+  fact_view_ = view;
+  query::KeywordTranslator::Options topt;
+  topt.fact_view = view;
+  translator_ = query::KeywordTranslator(topt);
+  translator_.BuildVocabulary(*rel);
+  monitor_.RecordFactsExtracted(current_facts_.size());
+  return Status::OK();
+}
+
+Result<std::string> System::Explain(const std::string& subject,
+                                    const std::string& attribute) const {
+  STRUCTURA_ASSIGN_OR_RETURN(
+      provenance::NodeId node,
+      lineage_.Lookup("belief:" + subject + ":" + attribute));
+  return lineage_.Explain(node);
+}
+
+std::vector<debugger::Violation> System::AuditFacts() {
+  debugger_.LearnFromFacts(current_facts_);
+  std::vector<debugger::Violation> violations =
+      debugger_.Check(current_facts_);
+  monitor_.RecordViolations(violations.size());
+  return violations;
+}
+
+Result<std::map<std::string, std::string>> System::UnifyViewSchema(
+    const std::string& view,
+    const std::vector<std::string>& canonical_attributes,
+    const ii::SchemaMatchOptions& options) {
+  auto it = ctx_.views.find(view);
+  if (it == ctx_.views.end()) return Status::NotFound("no view " + view);
+  STRUCTURA_ASSIGN_OR_RETURN(
+      UnifyResult unified,
+      UnifySchema(it->second, canonical_attributes, options));
+  it->second = std::move(unified.unified);
+  return unified.renames;
+}
+
+Status System::Watch(query::StandingQueryRegistry::Spec spec) {
+  return watches_.Add(std::move(spec));
+}
+
+Result<std::vector<query::Alert>> System::CheckWatches(
+    const std::string& view) {
+  const query::Relation* rel = View(view);
+  if (rel == nullptr) return Status::NotFound("no view " + view);
+  return watches_.Evaluate(view, *rel);
+}
+
+std::string System::StatusReport() const {
+  std::string out = "== system status ==\n";
+  out += StrFormat("documents: %zu (snapshot store: %zu pages, %.2f MB "
+                   "stored vs %.2f MB full)\n",
+                   docs_.size(), snapshots_.NumPages(),
+                   static_cast<double>(snapshots_.StoredBytes()) / 1e6,
+                   static_cast<double>(snapshots_.FullCopyBytes()) / 1e6);
+  out += StrFormat("views: %zu (", ctx_.views.size());
+  bool first = true;
+  for (const auto& [name, rel] : ctx_.views) {
+    if (!first) out += ", ";
+    first = false;
+    out += StrFormat("%s: %zu rows", name.c_str(), rel.size());
+  }
+  out += ")\n";
+  out += StrFormat("beliefs: %zu over view \"%s\"; lineage: %zu nodes, "
+                   "%zu edges\n",
+                   beliefs_.size(), fact_view_.c_str(),
+                   lineage_.NumNodes(), lineage_.NumEdges());
+  out += StrFormat("users: %zu; standing queries: %zu\n",
+                   users_.NumUsers(), watches_.size());
+  out += "monitor: " + monitor_.Report() + "\n";
+  return out;
+}
+
+Result<size_t> System::RunFeedbackRound(
+    const Oracle& oracle, std::vector<hi::SimulatedUser>* crowd,
+    const FeedbackOptions& options) {
+  if (crowd == nullptr || crowd->empty()) {
+    return Status::InvalidArgument("empty crowd");
+  }
+  // Ensure crowd members have accounts.
+  for (const hi::SimulatedUser& u : *crowd) {
+    if (!users_.GetUser(u.name()).ok()) {
+      STRUCTURA_RETURN_IF_ERROR(
+          users_.Register(u.name(), "pw", user::Role::kOrdinary));
+    }
+  }
+
+  // Rank beliefs by uncertainty of their top alternative.
+  std::vector<size_t> order(beliefs_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  auto top_prob = [&](size_t i) {
+    const uncertainty::ValueAlternative* top = beliefs_[i].Top();
+    return top == nullptr ? 0.0 : top->probability;
+  };
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    double ua = std::abs(top_prob(a) - 0.5);
+    double ub = std::abs(top_prob(b) - 0.5);
+    if (ua != ub) return ua < ub;
+    return a < b;
+  });
+
+  hi::TaskQueue queue;
+  std::map<uint64_t, size_t> task_belief;
+  std::map<uint64_t, std::string> task_truth;
+  std::map<uint64_t, std::vector<std::string>> task_options;
+  for (size_t i : order) {
+    if (queue.size() >= options.budget) break;
+    const uncertainty::AttributeBelief& b = beliefs_[i];
+    std::optional<std::string> truth = oracle(b.subject, b.attribute);
+    if (!truth.has_value()) continue;
+    uint64_t id = next_task_id_++;
+    // Choose-one tasks throughout: users can both *verify* the extracted
+    // candidates and *supply* the right value (the paper's users
+    // "provide domain knowledge"), modeled as a write-in option equal to
+    // the oracle's truth.
+    std::vector<std::string> candidates;
+    for (const uncertainty::ValueAlternative& alt : b.alternatives) {
+      candidates.push_back(alt.value);
+    }
+    hi::Task task = hi::MakeChooseValueTask(
+        id, b.subject, b.attribute, candidates, top_prob(i), i);
+    if (std::find(task.options.begin(), task.options.end(), *truth) ==
+        task.options.end()) {
+      task.options.push_back(*truth);
+    }
+    task_truth[id] = *truth;
+    task_belief[id] = i;
+    task_options[id] = task.options;
+    queue.Push(std::move(task));
+  }
+
+  // Collect crowd answers.
+  std::vector<hi::Answer> all_answers;
+  std::map<uint64_t, std::vector<hi::Answer>> per_task;
+  std::map<uint64_t, hi::Task> tasks;
+  size_t asked = 0;
+  size_t next_user = 0;
+  while (std::optional<hi::Task> task = queue.Pop()) {
+    ++asked;
+    for (size_t a = 0; a < options.answers_per_task; ++a) {
+      hi::SimulatedUser& u = (*crowd)[next_user % crowd->size()];
+      ++next_user;
+      hi::Answer answer = u.Respond(*task, task_truth[task->id]);
+      per_task[task->id].push_back(answer);
+      all_answers.push_back(std::move(answer));
+    }
+    tasks[task->id] = std::move(*task);
+  }
+  monitor_.RecordTasksAnswered(all_answers.size());
+
+  // Aggregate and apply.
+  std::map<uint64_t, hi::AggregatedAnswer> consensus;
+  if (options.aggregation == Aggregation::kDawidSkene) {
+    hi::DawidSkeneResult ds = hi::DawidSkene(all_answers, task_options);
+    consensus = ds.task_answers;
+  } else {
+    std::map<std::string, double> weights;
+    if (options.aggregation == Aggregation::kWeighted) {
+      weights = users_.ReputationWeights();
+    }
+    for (const auto& [task_id, answers] : per_task) {
+      consensus[task_id] = options.aggregation == Aggregation::kMajority
+                               ? hi::MajorityVote(answers)
+                               : hi::WeightedVote(answers, weights);
+    }
+  }
+
+  for (const auto& [task_id, agg] : consensus) {
+    size_t belief_index = task_belief[task_id];
+    uncertainty::AttributeBelief& belief = beliefs_[belief_index];
+    const hi::Task& task = tasks[task_id];
+    double strength = std::min(0.99, std::max(0.55, agg.confidence));
+    if (task.type == hi::Task::Type::kChooseValue) {
+      uncertainty::ConfirmValue(&belief, agg.choice, strength);
+    } else if (agg.choice == "yes") {
+      const uncertainty::ValueAlternative* top = belief.Top();
+      if (top != nullptr) {
+        uncertainty::ConfirmValue(&belief, top->value, strength);
+      }
+    } else {
+      const uncertainty::ValueAlternative* top = belief.Top();
+      if (top != nullptr) {
+        uncertainty::RejectValue(&belief, top->value);
+      }
+    }
+    // Provenance: feedback node supporting the belief.
+    provenance::NodeId fb = lineage_.AddNode(
+        provenance::NodeKind::kUserFeedback,
+        StrFormat("consensus \"%s\" (%.2f) on task#%llu",
+                  agg.choice.c_str(), agg.confidence,
+                  static_cast<unsigned long long>(task_id)));
+    Result<provenance::NodeId> belief_node = lineage_.Lookup(
+        "belief:" + belief.subject + ":" + belief.attribute);
+    if (belief_node.ok()) {
+      lineage_.AddEdge(*belief_node, fb, "adjusted-by");
+    }
+    // Reputation updates: agreement with consensus.
+    for (const hi::Answer& a : per_task[task_id]) {
+      users_.RecordFeedback(a.user, a.choice == agg.choice);
+    }
+  }
+  return asked;
+}
+
+Status System::MaterializeBeliefs(const std::string& table) {
+  if (db_->GetTable(table) == nullptr) {
+    rdbms::TableSchema schema;
+    schema.table_name = table;
+    schema.columns = {{"subject", rdbms::ValueType::kString},
+                      {"attribute", rdbms::ValueType::kString},
+                      {"value", rdbms::ValueType::kString},
+                      {"confidence", rdbms::ValueType::kDouble}};
+    STRUCTURA_RETURN_IF_ERROR(db_->CreateTable(schema).status());
+  }
+  std::unique_ptr<rdbms::Transaction> txn = db_->Begin();
+  for (const uncertainty::AttributeBelief& b : beliefs_) {
+    const uncertainty::ValueAlternative* top = b.Top();
+    if (top == nullptr || top->probability <= 0) continue;
+    rdbms::Row row = {rdbms::Value::Str(b.subject),
+                      rdbms::Value::Str(b.attribute),
+                      rdbms::Value::Str(top->value),
+                      rdbms::Value::Double(top->probability)};
+    STRUCTURA_ASSIGN_OR_RETURN(rdbms::RowId rid,
+                               txn->Insert(table, std::move(row)));
+    provenance::NodeId tuple = lineage_.AddNode(
+        provenance::NodeKind::kTuple,
+        StrFormat("%s[%llu] %s.%s=%s", table.c_str(),
+                  static_cast<unsigned long long>(rid),
+                  b.subject.c_str(), b.attribute.c_str(),
+                  top->value.c_str()));
+    Result<provenance::NodeId> belief_node =
+        lineage_.Lookup("belief:" + b.subject + ":" + b.attribute);
+    if (belief_node.ok()) {
+      lineage_.AddEdge(tuple, *belief_node, "materializes");
+    }
+  }
+  return txn->Commit();
+}
+
+std::vector<query::SearchHit> System::KeywordSearch(const std::string& q,
+                                                    size_t k) const {
+  return keyword_index_.Search(q, k);
+}
+
+std::vector<query::QueryForm> System::SuggestQueries(
+    const std::string& keywords) const {
+  return translator_.Translate(keywords);
+}
+
+Result<std::vector<query::SearchHit>> System::HybridSearch(
+    const std::string& keywords,
+    const std::vector<query::Condition>& conditions, size_t k) const {
+  const query::Relation* rel = View(fact_view_);
+  if (rel == nullptr) {
+    return Status::FailedPrecondition(
+        "no fact view bound (call BuildBeliefsFromView)");
+  }
+  query::HybridQuery hq;
+  hq.keywords = keywords;
+  hq.structured = conditions;
+  return query::HybridSearch(keyword_index_, *rel, hq, k);
+}
+
+Result<query::Relation> System::RunForm(
+    const query::QueryForm& form) const {
+  const query::Relation* rel = View(fact_view_);
+  if (rel == nullptr) {
+    return Status::FailedPrecondition(
+        "no fact view bound (call BuildBeliefsFromView)");
+  }
+  return query::ExecuteStructuredQuery(form.query, *rel);
+}
+
+}  // namespace structura::core

@@ -1,0 +1,211 @@
+#ifndef STRUCTURA_CORE_SYSTEM_H_
+#define STRUCTURA_CORE_SYSTEM_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "debugger/semantic_debugger.h"
+#include "hi/aggregation.h"
+#include "hi/simulated_user.h"
+#include "ie/extractor.h"
+#include "ii/schema_matcher.h"
+#include "lang/executor.h"
+#include "provenance/lineage.h"
+#include "query/keyword_index.h"
+#include "query/standing_query.h"
+#include "query/translator.h"
+#include "rdbms/database.h"
+#include "storage/snapshot_store.h"
+#include "uncertainty/confidence.h"
+#include "user/accounts.h"
+
+namespace structura::core {
+
+/// The end-to-end system of Figure 1, wired together: snapshot storage
+/// for crawls, the SDL processing layer (IE + II + HI), uncertainty +
+/// provenance over derived facts, the semantic debugger, a transactional
+/// final store, and the user layer (keyword search, structured queries,
+/// keyword->structured translation, accounts/reputation).
+///
+/// The DGE loop it implements (Section 3.2):
+///   IngestCrawl -> RunProgram (EXTRACT/RESOLVE) -> BuildBeliefsFromView
+///   -> RunFeedbackRound* -> MaterializeBeliefs -> exploitation
+/// and exploitation can restart generation (incremental, best-effort).
+class System {
+ public:
+  struct Options {
+    /// Directory for the WAL/checkpoint of the final store. Empty =
+    /// fully in-memory (still transactional, not durable).
+    std::string workspace;
+    bool optimize_plans = true;
+    uint64_t seed = 42;
+  };
+
+  static Result<std::unique_ptr<System>> Create(Options options);
+
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  // --- Data generation -------------------------------------------------
+
+  /// Stores a crawl into the versioned snapshot store and makes it the
+  /// working document set (rebuilding the keyword index).
+  Status IngestCrawl(const text::DocumentCollection& docs);
+
+  const text::DocumentCollection& documents() const { return docs_; }
+
+  /// Registers an extractor under an SDL name. `attribute_pattern` is the
+  /// LIKE pattern of attributes it can produce ("temp_%", "%"...); it
+  /// feeds the optimizer. The system takes ownership.
+  void RegisterExtractor(std::string name, ie::ExtractorPtr extractor,
+                         std::string attribute_pattern);
+
+  /// Registers the standard corpus extractor suite and the built-in
+  /// matchers (name, jaro_winkler, levenshtein).
+  void RegisterStandardOperators();
+
+  /// Runs an SDL program (CREATE VIEW / SELECT / EXPLAIN ...).
+  Result<std::vector<lang::Interpreter::StatementResult>> RunProgram(
+      const std::string& sdl);
+
+  /// Runs a program and returns its final relation.
+  Result<query::Relation> Query(const std::string& sdl);
+
+  /// A materialized view by name, or nullptr.
+  const query::Relation* View(const std::string& name) const;
+
+  // --- Uncertainty, provenance, debugging ------------------------------
+
+  /// Folds a fact view (columns subject/attribute/value/confidence; if an
+  /// "entity" column exists it supersedes subject) into beliefs, wiring
+  /// provenance from documents through facts to beliefs.
+  Status BuildBeliefsFromView(const std::string& view);
+
+  const std::vector<uncertainty::AttributeBelief>& beliefs() const {
+    return beliefs_;
+  }
+
+  /// Derivation explanation for a belief (Part V's "explanation").
+  Result<std::string> Explain(const std::string& subject,
+                              const std::string& attribute) const;
+
+  /// Learns semantic constraints from the current facts and returns the
+  /// violations among them (Part VI).
+  std::vector<debugger::Violation> AuditFacts();
+
+  /// Unifies a view's attribute vocabulary against `canonical_attributes`
+  /// (schema matching over names + instances), rewriting the view in
+  /// place. Returns the applied renames.
+  Result<std::map<std::string, std::string>> UnifyViewSchema(
+      const std::string& view,
+      const std::vector<std::string>& canonical_attributes,
+      const ii::SchemaMatchOptions& options);
+
+  // --- Human intervention ----------------------------------------------
+
+  /// Ground-truth oracle used to *simulate* what humans know; returns the
+  /// correct value for (subject, attribute) or nullopt when unknown.
+  using Oracle = std::function<std::optional<std::string>(
+      const std::string& subject, const std::string& attribute)>;
+
+  enum class Aggregation { kMajority, kWeighted, kDawidSkene };
+
+  struct FeedbackOptions {
+    size_t budget = 50;            // questions asked this round
+    size_t answers_per_task = 5;   // crowd answers gathered per question
+    Aggregation aggregation = Aggregation::kMajority;
+  };
+
+  /// One mass-collaboration round: picks the most uncertain beliefs,
+  /// generates tasks, collects crowd answers, aggregates, applies the
+  /// consensus to the beliefs, and updates user reputations. Returns the
+  /// number of tasks asked.
+  Result<size_t> RunFeedbackRound(const Oracle& oracle,
+                                  std::vector<hi::SimulatedUser>* crowd,
+                                  const FeedbackOptions& options);
+
+  // --- Final structured store ------------------------------------------
+
+  /// Writes the top alternative of every belief into an rdbms table
+  /// (subject, attribute, value, confidence) in one transaction,
+  /// recording tuple provenance. Creates the table if needed.
+  Status MaterializeBeliefs(const std::string& table);
+
+  rdbms::Database* database() { return db_.get(); }
+
+  // --- Exploitation -----------------------------------------------------
+
+  std::vector<query::SearchHit> KeywordSearch(const std::string& q,
+                                              size_t k) const;
+
+  /// Candidate structured-query forms for a keyword query, over the view
+  /// last passed to BuildBeliefsFromView.
+  std::vector<query::QueryForm> SuggestQueries(
+      const std::string& keywords) const;
+
+  /// Executes a suggested form against its fact view.
+  Result<query::Relation> RunForm(const query::QueryForm& form) const;
+
+  /// Hybrid DB+IR search: BM25 relevance restricted to documents whose
+  /// extracted facts satisfy the structured conditions (evaluated over
+  /// the view last passed to BuildBeliefsFromView).
+  Result<std::vector<query::SearchHit>> HybridSearch(
+      const std::string& keywords,
+      const std::vector<query::Condition>& conditions, size_t k) const;
+
+  /// Registers a standing query (the "monitoring" exploitation mode).
+  Status Watch(query::StandingQueryRegistry::Spec spec);
+
+  /// Re-evaluates every standing query bound to `view`; returns raised
+  /// alerts. Call after CREATE VIEW / REFRESH VIEW runs.
+  Result<std::vector<query::Alert>> CheckWatches(const std::string& view);
+
+  /// One-page operational summary: documents, snapshot store, views,
+  /// beliefs, lineage, users, and monitor counters.
+  std::string StatusReport() const;
+
+  // --- Component access -------------------------------------------------
+
+  lang::ExecutionContext& context() { return ctx_; }
+  storage::SnapshotStore& snapshots() { return snapshots_; }
+  provenance::LineageGraph& lineage() { return lineage_; }
+  user::UserDirectory& users() { return users_; }
+  debugger::SystemMonitor& monitor() { return monitor_; }
+  debugger::SemanticDebugger& semantic_debugger() { return debugger_; }
+
+ private:
+  explicit System(Options options);
+
+  Options options_;
+  text::DocumentCollection docs_;
+  storage::SnapshotStore snapshots_;
+  query::KeywordIndex keyword_index_;
+  /// Per-page text hash from the previous crawl, for change detection.
+  std::map<text::DocId, uint64_t> last_text_hash_;
+
+  std::vector<ie::ExtractorPtr> owned_extractors_;
+  std::vector<std::unique_ptr<ii::SimilarityMatcher>> owned_matchers_;
+  lang::ExecutionContext ctx_;
+
+  std::unique_ptr<rdbms::Database> db_;
+  std::vector<uncertainty::AttributeBelief> beliefs_;
+  ie::FactSet current_facts_;
+  std::string fact_view_;
+
+  provenance::LineageGraph lineage_;
+  user::UserDirectory users_;
+  debugger::SemanticDebugger debugger_;
+  debugger::SystemMonitor monitor_;
+  query::KeywordTranslator translator_;
+  query::StandingQueryRegistry watches_;
+  uint64_t next_task_id_ = 1;
+};
+
+}  // namespace structura::core
+
+#endif  // STRUCTURA_CORE_SYSTEM_H_

@@ -1,0 +1,441 @@
+#include "corpus/generator.h"
+
+#include <cmath>
+
+#include "common/random.h"
+#include "common/strings.h"
+#include "corpus/names.h"
+
+namespace structura::corpus {
+
+const std::array<const char*, kMonthsPerYear> kMonthNames = {
+    "January",   "February", "March",    "April",
+    "May",       "June",     "July",     "August",
+    "September", "October",  "November", "December"};
+
+namespace {
+
+/// Formats an integer with thousands separators ("233,209"), as values
+/// appear in real wiki text.
+std::string WithCommas(int64_t v) {
+  std::string digits = StrFormat("%lld", static_cast<long long>(v));
+  std::string out;
+  int count = 0;
+  for (size_t i = digits.size(); i-- > 0;) {
+    out.insert(out.begin(), digits[i]);
+    if (++count % 3 == 0 && i > 0 && digits[i - 1] != '-') {
+      out.insert(out.begin(), ',');
+    }
+  }
+  return out;
+}
+
+/// Introduces a single-digit typo into a numeric string.
+std::string DigitTypo(const std::string& s, Rng& rng) {
+  std::string out = s;
+  std::vector<size_t> digit_positions;
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (std::isdigit(static_cast<unsigned char>(out[i]))) {
+      digit_positions.push_back(i);
+    }
+  }
+  if (digit_positions.empty()) return out;
+  size_t pos = digit_positions[rng.NextBounded(digit_positions.size())];
+  char old = out[pos];
+  char sub = static_cast<char>('0' + (old - '0' + 1 + rng.NextBounded(8)) % 10);
+  out[pos] = sub;
+  return out;
+}
+
+struct AttrPlan {
+  bool present = true;     // attribute exists on the page at all
+  bool in_infobox = true;  // also present in the infobox
+};
+
+AttrPlan PlanAttr(const CorpusOptions& o, Rng& rng) {
+  AttrPlan p;
+  if (rng.NextBool(o.attribute_missing)) {
+    p.present = false;
+    p.in_infobox = false;
+    return p;
+  }
+  p.in_infobox = !rng.NextBool(o.infobox_dropout);
+  return p;
+}
+
+class Builder {
+ public:
+  Builder(const CorpusOptions& options, text::DocumentCollection* docs,
+          GroundTruth* truth)
+      : o_(options), docs_(docs), truth_(truth), rng_(options.seed) {}
+
+  void Run() {
+    MakeEntities();
+    for (const CityRecord& c : truth_->cities) EmitCityPage(c);
+    for (const PersonRecord& p : truth_->people) EmitPersonPage(p);
+    for (const CompanyRecord& c : truth_->companies) EmitCompanyPage(c);
+    for (size_t i = 0; i < o_.news_pages; ++i) EmitNewsPage(i);
+  }
+
+ private:
+  EntityId NextEntityId() { return next_entity_id_++; }
+
+  void MakeEntities() {
+    truth_->cities.reserve(o_.num_cities);
+    for (size_t i = 0; i < o_.num_cities; ++i) {
+      CityRecord c;
+      c.id = NextEntityId();
+      c.name = CityName(i);
+      c.state = StateName(i % 16);
+      c.population = 5000 + static_cast<int64_t>(rng_.NextBounded(995000));
+      c.founded_year = 1780 + static_cast<int64_t>(rng_.NextBounded(180));
+      c.elevation_ft = 200 + rng_.NextBounded(8000);
+      double mean = 38 + rng_.NextDouble() * 22;  // 38..60 F annual mean
+      double amp = 18 + rng_.NextDouble() * 16;   // seasonal amplitude
+      for (int m = 0; m < kMonthsPerYear; ++m) {
+        double t = mean - amp * std::cos(2.0 * M_PI * (m + 0.5) / 12.0);
+        c.temps[m] = static_cast<int>(std::lround(t));
+      }
+      truth_->canonical_names[c.id] = c.name;
+      truth_->cities.push_back(std::move(c));
+    }
+    truth_->people.reserve(o_.num_people);
+    for (size_t i = 0; i < o_.num_people; ++i) {
+      PersonRecord p;
+      p.id = NextEntityId();
+      p.name = PersonName(i);
+      p.birth_year = 1930 + static_cast<int64_t>(rng_.NextBounded(70));
+      p.occupation = Occupation(rng_);
+      p.city_id = truth_->cities.empty()
+                      ? 0
+                      : truth_->cities[rng_.NextBounded(
+                                           truth_->cities.size())]
+                            .id;
+      truth_->canonical_names[p.id] = p.name;
+      truth_->people.push_back(std::move(p));
+    }
+    // Assign mayors now that people exist (cities stay mayor-less in
+    // person-free corpora).
+    if (!truth_->people.empty()) {
+      for (CityRecord& c : truth_->cities) {
+        const PersonRecord& p =
+            truth_->people[rng_.NextBounded(truth_->people.size())];
+        c.mayor = p.name;
+      }
+    }
+    truth_->companies.reserve(o_.num_companies);
+    for (size_t i = 0; i < o_.num_companies; ++i) {
+      CompanyRecord c;
+      c.id = NextEntityId();
+      c.name = CompanyName(i);
+      c.founded_year = 1900 + static_cast<int64_t>(rng_.NextBounded(110));
+      c.hq_city_id = truth_->cities.empty()
+                         ? 0
+                         : truth_->cities[rng_.NextBounded(
+                                              truth_->cities.size())]
+                               .id;
+      c.employees = 10 + static_cast<int64_t>(rng_.NextBounded(90000));
+      truth_->canonical_names[c.id] = c.name;
+      truth_->companies.push_back(std::move(c));
+    }
+  }
+
+  void AddMention(text::DocId doc, std::string surface, EntityId entity) {
+    truth_->mentions.push_back({doc, std::move(surface), entity});
+  }
+
+  void AddFact(text::DocId doc, EntityId entity, std::string attr,
+               std::string value, bool numeric, double num,
+               bool in_infobox) {
+    FactTruth f;
+    f.doc = doc;
+    f.entity = entity;
+    f.attribute = std::move(attr);
+    f.value = std::move(value);
+    f.is_numeric = numeric;
+    f.numeric_value = num;
+    f.in_infobox = in_infobox;
+    truth_->facts.push_back(std::move(f));
+  }
+
+  std::string MaybeTypo(const std::string& value) {
+    if (o_.typo_prob > 0 && rng_.NextBool(o_.typo_prob)) {
+      return DigitTypo(value, rng_);
+    }
+    return value;
+  }
+
+  const CityRecord& CityById(EntityId id) const {
+    for (const CityRecord& c : truth_->cities) {
+      if (c.id == id) return c;
+    }
+    static const CityRecord& empty = *new CityRecord();
+    return empty;
+  }
+
+  /// Infobox key under this page's source vocabulary. Ground-truth fact
+  /// attributes always use the canonical names; schema matching is what
+  /// reunifies them downstream.
+  const char* Key(bool alt, const char* canonical) const {
+    if (!alt) return canonical;
+    if (std::string_view(canonical) == "state") return "location";
+    if (std::string_view(canonical) == "population") return "inhabitants";
+    if (std::string_view(canonical) == "elevation") return "altitude";
+    return canonical;
+  }
+
+  void EmitCityPage(const CityRecord& c) {
+    text::Document doc;
+    doc.id = next_doc_id_++;
+    doc.title = c.name;
+    doc.categories = {"City"};
+    // Skip the draw entirely when the feature is off, so corpora stay
+    // byte-identical for configurations that predate it.
+    const bool alt = o_.alt_schema_fraction > 0 &&
+                     rng_.NextBool(o_.alt_schema_fraction);
+    std::string info = "{{Infobox city\n";
+    std::string body;
+
+    info += StrFormat("| name = %s\n", c.name.c_str());
+    info += StrFormat("| %s = %s\n", Key(alt, "state"), c.state.c_str());
+    AddMention(doc.id, c.name, c.id);
+
+    body += StrFormat("'''%s''' is a city in %s, United States.\n",
+                      c.name.c_str(), c.state.c_str());
+
+    AttrPlan pop = PlanAttr(o_, rng_);
+    if (pop.present) {
+      std::string v = WithCommas(c.population);
+      if (pop.in_infobox) {
+        info += StrFormat("| %s = %s\n", Key(alt, "population"),
+                          v.c_str());
+      }
+      body += StrFormat("%s has a population of %s people.\n",
+                        c.name.c_str(), MaybeTypo(v).c_str());
+      AddFact(doc.id, c.id, "population", v, true,
+              static_cast<double>(c.population), pop.in_infobox);
+    }
+
+    AttrPlan founded = PlanAttr(o_, rng_);
+    if (founded.present) {
+      std::string v = StrFormat("%lld", static_cast<long long>(c.founded_year));
+      if (founded.in_infobox) info += StrFormat("| founded = %s\n", v.c_str());
+      body += StrFormat("The city was founded in %s.\n",
+                        MaybeTypo(v).c_str());
+      AddFact(doc.id, c.id, "founded", v, true,
+              static_cast<double>(c.founded_year), founded.in_infobox);
+    }
+
+    AttrPlan mayor = PlanAttr(o_, rng_);
+    if (c.mayor.empty()) mayor.present = false;
+    if (mayor.present) {
+      int variant = rng_.NextBool(o_.mention_variant_prob)
+                        ? 1 + static_cast<int>(rng_.NextBounded(2))
+                        : 0;
+      std::string surface = PersonNameVariant(c.mayor, variant);
+      if (mayor.in_infobox) {
+        info += StrFormat("| mayor = %s\n", c.mayor.c_str());
+      }
+      body += StrFormat("The mayor of %s is %s.\n", c.name.c_str(),
+                        surface.c_str());
+      AddFact(doc.id, c.id, "mayor", c.mayor, false, 0, mayor.in_infobox);
+      // Find the mayor's entity id for mention truth.
+      for (const PersonRecord& p : truth_->people) {
+        if (p.name == c.mayor) {
+          AddMention(doc.id, surface, p.id);
+          break;
+        }
+      }
+    }
+
+    AttrPlan elev = PlanAttr(o_, rng_);
+    if (elev.present) {
+      std::string v = StrFormat("%.0f", c.elevation_ft);
+      if (elev.in_infobox) {
+        info += StrFormat("| %s = %s\n", Key(alt, "elevation"),
+                          v.c_str());
+      }
+      body += StrFormat("It sits at an elevation of %s feet.\n",
+                        MaybeTypo(v).c_str());
+      AddFact(doc.id, c.id, "elevation", v, true, c.elevation_ft,
+              elev.in_infobox);
+    }
+
+    body += "\n== Climate ==\n";
+    for (int m = 0; m < kMonthsPerYear; ++m) {
+      AttrPlan t = PlanAttr(o_, rng_);
+      if (!t.present) continue;
+      std::string attr = StrFormat("temp_%02d", m + 1);
+      std::string v = StrFormat("%d", c.temps[m]);
+      if (t.in_infobox) {
+        info += StrFormat("| %s = %s\n", attr.c_str(), v.c_str());
+      }
+      body += StrFormat("The average temperature in %s is %s degrees.\n",
+                        kMonthNames[m], MaybeTypo(v).c_str());
+      AddFact(doc.id, c.id, attr, v, true,
+              static_cast<double>(c.temps[m]), t.in_infobox);
+    }
+
+    info += "}}\n";
+    doc.text = info + body + "\n[[Category:City]]\n";
+    docs_->docs.push_back(std::move(doc));
+  }
+
+  void EmitPersonPage(const PersonRecord& p) {
+    text::Document doc;
+    doc.id = next_doc_id_++;
+    doc.title = p.name;
+    doc.categories = {"Person"};
+    const CityRecord& city = CityById(p.city_id);
+
+    std::string info = "{{Infobox person\n";
+    info += StrFormat("| name = %s\n", p.name.c_str());
+    AddMention(doc.id, p.name, p.id);
+    std::string body = StrFormat("'''%s''' is a %s.\n", p.name.c_str(),
+                                 p.occupation.c_str());
+
+    AttrPlan birth = PlanAttr(o_, rng_);
+    if (birth.present) {
+      std::string v = StrFormat("%lld", static_cast<long long>(p.birth_year));
+      if (birth.in_infobox) {
+        info += StrFormat("| birth_year = %s\n", v.c_str());
+      }
+      body += StrFormat("Born in %s, %s began a career as a %s.\n",
+                        MaybeTypo(v).c_str(),
+                        PersonNameVariant(p.name, 1).c_str(),
+                        p.occupation.c_str());
+      AddMention(doc.id, PersonNameVariant(p.name, 1), p.id);
+      AddFact(doc.id, p.id, "birth_year", v, true,
+              static_cast<double>(p.birth_year), birth.in_infobox);
+    }
+
+    AttrPlan occ = PlanAttr(o_, rng_);
+    if (occ.present && occ.in_infobox) {
+      info += StrFormat("| occupation = %s\n", p.occupation.c_str());
+    }
+    if (occ.present) {
+      AddFact(doc.id, p.id, "occupation", p.occupation, false, 0,
+              occ.in_infobox);
+    }
+
+    AttrPlan res = PlanAttr(o_, rng_);
+    if (res.present) {
+      int variant = rng_.NextBool(o_.mention_variant_prob)
+                        ? 1 + static_cast<int>(rng_.NextBounded(2))
+                        : 0;
+      std::string surface = CityNameVariant(city.name, city.state, variant);
+      if (res.in_infobox) {
+        info += StrFormat("| residence = %s\n", city.name.c_str());
+      }
+      body += StrFormat("They live in [[%s|%s]].\n", city.name.c_str(),
+                        surface.c_str());
+      AddMention(doc.id, surface, city.id);
+      AddFact(doc.id, p.id, "residence", city.name, false, 0,
+              res.in_infobox);
+    }
+
+    info += "}}\n";
+    doc.text = info + body + "\n[[Category:Person]]\n";
+    docs_->docs.push_back(std::move(doc));
+  }
+
+  void EmitCompanyPage(const CompanyRecord& c) {
+    text::Document doc;
+    doc.id = next_doc_id_++;
+    doc.title = c.name;
+    doc.categories = {"Company"};
+    const CityRecord& hq = CityById(c.hq_city_id);
+
+    std::string info = "{{Infobox company\n";
+    info += StrFormat("| name = %s\n", c.name.c_str());
+    AddMention(doc.id, c.name, c.id);
+    std::string body =
+        StrFormat("'''%s''' is a company headquartered in [[%s]].\n",
+                  c.name.c_str(), hq.name.c_str());
+    AddMention(doc.id, hq.name, hq.id);
+    AddFact(doc.id, c.id, "headquarters", hq.name, false, 0, false);
+
+    AttrPlan founded = PlanAttr(o_, rng_);
+    if (founded.present) {
+      std::string v = StrFormat("%lld", static_cast<long long>(c.founded_year));
+      if (founded.in_infobox) {
+        info += StrFormat("| founded = %s\n", v.c_str());
+      }
+      body += StrFormat("It was founded in %s.\n", MaybeTypo(v).c_str());
+      AddFact(doc.id, c.id, "founded", v, true,
+              static_cast<double>(c.founded_year), founded.in_infobox);
+    }
+
+    AttrPlan emp = PlanAttr(o_, rng_);
+    if (emp.present) {
+      std::string v = WithCommas(c.employees);
+      if (emp.in_infobox) {
+        info += StrFormat("| employees = %s\n", v.c_str());
+      }
+      body += StrFormat("The firm employs %s people.\n",
+                        MaybeTypo(v).c_str());
+      AddFact(doc.id, c.id, "employees", v, true,
+              static_cast<double>(c.employees), emp.in_infobox);
+    }
+
+    info += "}}\n";
+    doc.text = info + body + "\n[[Category:Company]]\n";
+    docs_->docs.push_back(std::move(doc));
+  }
+
+  void EmitNewsPage(size_t index) {
+    text::Document doc;
+    doc.id = next_doc_id_++;
+    doc.title = StrFormat("News Digest %zu", index + 1);
+    doc.categories = {"News"};
+    std::string body = StrFormat("== Digest %zu ==\n", index + 1);
+    for (int i = 0; i < o_.mentions_per_news_page; ++i) {
+      const PersonRecord& p =
+          truth_->people[rng_.NextBounded(truth_->people.size())];
+      const CityRecord& c =
+          truth_->cities[rng_.NextBounded(truth_->cities.size())];
+      int pv = rng_.NextBool(o_.mention_variant_prob)
+                   ? 1 + static_cast<int>(rng_.NextBounded(2))
+                   : 0;
+      int cv = rng_.NextBool(o_.mention_variant_prob)
+                   ? 1 + static_cast<int>(rng_.NextBounded(2))
+                   : 0;
+      std::string ps = PersonNameVariant(p.name, pv);
+      std::string cs = CityNameVariant(c.name, c.state, cv);
+      body += StrFormat("%s, a %s, visited %s this week.\n", ps.c_str(),
+                        p.occupation.c_str(), cs.c_str());
+      AddMention(doc.id, ps, p.id);
+      AddMention(doc.id, cs, c.id);
+    }
+    doc.text = body + "\n[[Category:News]]\n";
+    docs_->docs.push_back(std::move(doc));
+  }
+
+  const CorpusOptions& o_;
+  text::DocumentCollection* docs_;
+  GroundTruth* truth_;
+  Rng rng_;
+  EntityId next_entity_id_ = 1;
+  text::DocId next_doc_id_ = 1;
+};
+
+}  // namespace
+
+void GenerateCorpus(const CorpusOptions& options,
+                    text::DocumentCollection* docs, GroundTruth* truth) {
+  Builder(options, docs, truth).Run();
+}
+
+void MutateCrawl(uint64_t seed, double churn_fraction,
+                 text::DocumentCollection* docs) {
+  Rng rng(seed);
+  for (text::Document& d : docs->docs) {
+    d.version += 1;
+    if (!rng.NextBool(churn_fraction)) continue;
+    d.text += StrFormat(
+        "\nUpdate %u: minor revision recorded on day %u.\n", d.version,
+        d.version);
+  }
+}
+
+}  // namespace structura::corpus

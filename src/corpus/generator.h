@@ -1,0 +1,58 @@
+#ifndef STRUCTURA_CORPUS_GENERATOR_H_
+#define STRUCTURA_CORPUS_GENERATOR_H_
+
+#include <cstdint>
+
+#include "corpus/records.h"
+#include "text/document.h"
+
+namespace structura::corpus {
+
+/// Knobs for the synthetic wiki corpus. Defaults give a small, clean-ish
+/// corpus; experiments raise noise/dropout to stress IE, II, and HI.
+struct CorpusOptions {
+  size_t num_cities = 50;
+  size_t num_people = 100;
+  size_t num_companies = 20;
+  /// Extra news-digest pages that mention entities under surface variants;
+  /// the raw material for entity resolution (E2/E3/E9).
+  size_t news_pages = 0;
+  int mentions_per_news_page = 6;
+
+  uint64_t seed = 42;
+
+  /// Probability an attribute is omitted from the infobox and appears only
+  /// in free text (forces free-text extraction; Section 3.2 "best effort").
+  double infobox_dropout = 0.2;
+  /// Probability an attribute is absent from the page entirely.
+  double attribute_missing = 0.05;
+  /// Probability a planted mention uses a non-canonical variant
+  /// ("D. Smith", "Madison, Wisconsin").
+  double mention_variant_prob = 0.5;
+  /// Probability a free-text numeric value is corrupted by a digit typo —
+  /// realistic extraction noise that human feedback can repair (E2).
+  double typo_prob = 0.0;
+
+  /// Fraction of city pages written by a "second source" community that
+  /// uses different infobox vocabulary (state->location,
+  /// population->inhabitants, elevation->altitude) — the semantic
+  /// heterogeneity that schema matching (Section 3.2) must repair.
+  double alt_schema_fraction = 0.0;
+};
+
+/// Generates the corpus and its ground truth. Deterministic in
+/// `options.seed`: equal options produce byte-identical corpora.
+void GenerateCorpus(const CorpusOptions& options,
+                    text::DocumentCollection* docs, GroundTruth* truth);
+
+/// Simulates the next daily crawl: a `churn_fraction` of pages receive a
+/// small edit (appended news line or a changed value) and all versions are
+/// bumped. Deterministic in `seed`. Used by the snapshot-store experiment
+/// (E6): consecutive crawls overlap heavily, which is exactly the storage
+/// argument the paper makes.
+void MutateCrawl(uint64_t seed, double churn_fraction,
+                 text::DocumentCollection* docs);
+
+}  // namespace structura::corpus
+
+#endif  // STRUCTURA_CORPUS_GENERATOR_H_

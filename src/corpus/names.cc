@@ -1,0 +1,122 @@
+#include "corpus/names.h"
+
+#include <array>
+
+#include "common/strings.h"
+
+namespace structura::corpus {
+namespace {
+
+// "Madison" leads so the paper's motivating example ("find the average
+// temperature of Madison") exists in every generated corpus.
+constexpr std::array<const char*, 24> kCityBases = {
+    "Madison",    "Rivervale",  "Oakfield",   "Lakegrove", "Stonebrook",
+    "Fairmont",   "Cedarholm",  "Ashport",    "Brookside", "Elmhurst",
+    "Granville",  "Hollowell",  "Ironwood",   "Juniper",   "Kingsford",
+    "Larkspur",   "Maplewood",  "Northgate",  "Orchard",   "Pinecrest",
+    "Quarry",     "Redstone",   "Summit",     "Thornbury"};
+
+constexpr std::array<const char*, 12> kCitySuffixes = {
+    "",      " Falls",  " Heights", " Springs", " Junction", " Park",
+    " Bay",  " Ridge",  " Valley",  " Point",   " Grove",    " Mills"};
+
+constexpr std::array<const char*, 16> kStates = {
+    "Wisconsin",  "Minnesota", "Iowa",      "Illinois",
+    "Michigan",   "Ohio",      "Indiana",   "Missouri",
+    "Kansas",     "Nebraska",  "Dakota",    "Montana",
+    "Colorado",   "Oregon",    "Vermont",   "Maine"};
+
+constexpr std::array<const char*, 20> kFirstNames = {
+    "David",  "Sarah", "Michael", "Emily",  "James",   "Anna",  "Robert",
+    "Laura",  "John",  "Maria",   "William","Karen",   "Thomas","Susan",
+    "Daniel", "Linda", "Paul",    "Alice",  "George",  "Helen"};
+
+constexpr std::array<const char*, 20> kLastNames = {
+    "Smith",   "Johnson", "Williams", "Brown",  "Jones",   "Miller",
+    "Davis",   "Garcia",  "Wilson",   "Moore",  "Taylor",  "Anderson",
+    "Thomas",  "Jackson", "White",    "Harris", "Martin",  "Thompson",
+    "Lee",     "Walker"};
+
+constexpr std::array<const char*, 12> kCompanyBases = {
+    "Acme",    "Borealis", "Cardinal", "Dynamo", "Evergreen", "Fulcrum",
+    "Granite", "Horizon",  "Ironclad", "Keystone", "Lumen",   "Meridian"};
+
+constexpr std::array<const char*, 8> kCompanySuffixes = {
+    " Systems", " Industries", " Labs",    " Corporation",
+    " Works",   " Dynamics",   " Holdings", " Technologies"};
+
+constexpr std::array<const char*, 10> kOccupations = {
+    "engineer",  "teacher",   "physician", "architect", "journalist",
+    "professor", "musician",  "attorney",  "chef",      "biologist"};
+
+}  // namespace
+
+std::string CityName(size_t i) {
+  size_t base = i % kCityBases.size();
+  size_t suffix = (i / kCityBases.size()) % kCitySuffixes.size();
+  size_t ordinal = i / (kCityBases.size() * kCitySuffixes.size());
+  std::string name = std::string(kCityBases[base]) + kCitySuffixes[suffix];
+  if (ordinal > 0) name += StrFormat(" %zu", ordinal + 1);
+  return name;
+}
+
+std::string StateName(size_t i) {
+  size_t base = i % kStates.size();
+  size_t ordinal = i / kStates.size();
+  std::string name = kStates[base];
+  if (ordinal > 0) name = StrFormat("New %s %zu", kStates[base], ordinal);
+  return name;
+}
+
+std::string PersonName(size_t i) {
+  size_t first = i % kFirstNames.size();
+  size_t last = (i / kFirstNames.size()) % kLastNames.size();
+  size_t ordinal = i / (kFirstNames.size() * kLastNames.size());
+  std::string name =
+      std::string(kFirstNames[first]) + " " + kLastNames[last];
+  if (ordinal > 0) name += StrFormat(" %zu", ordinal + 1);
+  return name;
+}
+
+std::string CompanyName(size_t i) {
+  size_t base = i % kCompanyBases.size();
+  size_t suffix = (i / kCompanyBases.size()) % kCompanySuffixes.size();
+  size_t ordinal = i / (kCompanyBases.size() * kCompanySuffixes.size());
+  std::string name =
+      std::string(kCompanyBases[base]) + kCompanySuffixes[suffix];
+  if (ordinal > 0) name += StrFormat(" %zu", ordinal + 1);
+  return name;
+}
+
+std::string PersonNameVariant(const std::string& full, int variant) {
+  size_t space = full.find(' ');
+  if (space == std::string::npos) return full;
+  std::string first = full.substr(0, space);
+  std::string rest = full.substr(space + 1);
+  switch (variant % 3) {
+    case 0:
+      return full;
+    case 1:
+      return std::string(1, first[0]) + ". " + rest;  // "D. Smith"
+    default:
+      return rest + ", " + first;  // "Smith, David"
+  }
+}
+
+std::string CityNameVariant(const std::string& city,
+                            const std::string& state, int variant) {
+  switch (variant % 3) {
+    case 0:
+      return city;
+    case 1:
+      return city + ", " + state;
+    default:
+      return "City of " + city;
+  }
+}
+
+std::string Occupation(Rng& rng) {
+  return kOccupations[rng.NextBounded(kOccupations.size())];
+}
+
+}  // namespace structura::corpus

@@ -1,0 +1,41 @@
+#ifndef STRUCTURA_CORPUS_NAMES_H_
+#define STRUCTURA_CORPUS_NAMES_H_
+
+#include <string>
+
+#include "common/random.h"
+
+namespace structura::corpus {
+
+/// Deterministic name factories backed by fixed pools. Uniqueness is
+/// achieved combinatorially (prefix x suffix [x ordinal]), so arbitrarily
+/// large corpora can be generated without collisions.
+
+/// i-th unique city name ("Madison" is always index 0 so the paper's
+/// motivating query works verbatim).
+std::string CityName(size_t i);
+
+/// i-th unique US-style state name (cycled with ordinal suffix if needed).
+std::string StateName(size_t i);
+
+/// i-th unique person name, "First Last".
+std::string PersonName(size_t i);
+
+/// i-th unique company name.
+std::string CompanyName(size_t i);
+
+/// A person-name variant of the kind the paper calls out: "David Smith" ->
+/// "D. Smith", "Smith, David", or the full name. `variant` selects which.
+std::string PersonNameVariant(const std::string& full, int variant);
+
+/// A city-name variant: "Madison" -> "Madison", "Madison, <State>",
+/// "City of Madison".
+std::string CityNameVariant(const std::string& city,
+                            const std::string& state, int variant);
+
+/// An occupation drawn from a fixed pool.
+std::string Occupation(Rng& rng);
+
+}  // namespace structura::corpus
+
+#endif  // STRUCTURA_CORPUS_NAMES_H_

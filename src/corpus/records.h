@@ -1,0 +1,98 @@
+#ifndef STRUCTURA_CORPUS_RECORDS_H_
+#define STRUCTURA_CORPUS_RECORDS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "text/document.h"
+
+namespace structura::corpus {
+
+/// Ground-truth entity ids. Every surface mention in the generated corpus
+/// maps back to one of these, which is what entity-resolution accuracy is
+/// scored against.
+using EntityId = uint64_t;
+
+inline constexpr int kMonthsPerYear = 12;
+
+/// Month names used both by the generator and by extraction dictionaries.
+extern const std::array<const char*, kMonthsPerYear> kMonthNames;
+
+/// Ground truth for one city: the values the generator encoded into the
+/// page (infobox and/or free text).
+struct CityRecord {
+  EntityId id = 0;
+  std::string name;
+  std::string state;
+  int64_t population = 0;
+  int64_t founded_year = 0;
+  std::string mayor;                       // a PersonRecord's canonical name
+  std::array<int, kMonthsPerYear> temps{}; // mean monthly temp, deg F
+  double elevation_ft = 0;
+};
+
+/// Ground truth for one person.
+struct PersonRecord {
+  EntityId id = 0;
+  std::string name;        // canonical "First Last"
+  int64_t birth_year = 0;
+  std::string occupation;
+  EntityId city_id = 0;    // city of residence
+};
+
+/// Ground truth for one company.
+struct CompanyRecord {
+  EntityId id = 0;
+  std::string name;
+  int64_t founded_year = 0;
+  EntityId hq_city_id = 0;
+  int64_t employees = 0;
+};
+
+/// One surface mention the generator planted: document, the literal string,
+/// and the entity it refers to. Drives entity-resolution scoring (the
+/// paper's "David Smith" vs "D. Smith" example).
+struct MentionTruth {
+  text::DocId doc = 0;
+  std::string surface;
+  EntityId entity = 0;
+};
+
+/// One attribute-value fact the generator planted in a document, e.g.
+/// (doc=12, entity=Madison, attribute="temp_mar", value="34"). Numeric
+/// values carry the parsed number for aggregate-query scoring.
+struct FactTruth {
+  text::DocId doc = 0;
+  EntityId entity = 0;
+  std::string attribute;
+  std::string value;
+  double numeric_value = 0;
+  bool is_numeric = false;
+  bool in_infobox = false;  // false: value appears only in free text
+};
+
+/// Everything the evaluation harness needs to score a pipeline run.
+struct GroundTruth {
+  std::vector<CityRecord> cities;
+  std::vector<PersonRecord> people;
+  std::vector<CompanyRecord> companies;
+  std::vector<MentionTruth> mentions;
+  std::vector<FactTruth> facts;
+
+  /// entity id -> canonical name, for reporting.
+  std::unordered_map<EntityId, std::string> canonical_names;
+
+  const CityRecord* FindCity(const std::string& name) const {
+    for (const CityRecord& c : cities) {
+      if (c.name == name) return &c;
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace structura::corpus
+
+#endif  // STRUCTURA_CORPUS_RECORDS_H_

@@ -1,0 +1,178 @@
+#include "debugger/semantic_debugger.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace structura::debugger {
+namespace {
+
+/// Parses a numeric value, tolerating thousands separators.
+bool ParseNumeric(const std::string& value, double* out) {
+  std::string cleaned;
+  for (char c : value) {
+    if (c != ',') cleaned += c;
+  }
+  return ParseDouble(cleaned, out);
+}
+
+double Median(std::vector<double> v) {
+  if (v.empty()) return 0;
+  size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<long>(mid), v.end());
+  return v[mid];
+}
+
+}  // namespace
+
+const char* FormatClassName(FormatClass f) {
+  switch (f) {
+    case FormatClass::kInteger: return "integer";
+    case FormatClass::kDecimal: return "decimal";
+    case FormatClass::kCapitalizedName: return "capitalized_name";
+    case FormatClass::kFreeText: return "free_text";
+  }
+  return "?";
+}
+
+FormatClass SemanticDebugger::ClassifyValue(const std::string& value) {
+  double unused;
+  if (ParseNumeric(value, &unused)) {
+    return value.find('.') == std::string::npos ? FormatClass::kInteger
+                                                : FormatClass::kDecimal;
+  }
+  // Capitalized name: every word starts uppercase, only letters and
+  // separators.
+  bool name_like = !value.empty();
+  bool at_word_start = true;
+  for (char c : value) {
+    unsigned char u = static_cast<unsigned char>(c);
+    if (std::isalpha(u)) {
+      if (at_word_start && !std::isupper(u)) {
+        name_like = false;
+        break;
+      }
+      at_word_start = false;
+    } else if (c == ' ' || c == '.' || c == ',' || c == '\'' || c == '-') {
+      at_word_start = true;
+    } else {
+      name_like = false;
+      break;
+    }
+  }
+  return name_like ? FormatClass::kCapitalizedName : FormatClass::kFreeText;
+}
+
+void SemanticDebugger::LearnFromFacts(const ie::FactSet& facts) {
+  ranges_.clear();
+  formats_.clear();
+  std::map<std::string, std::vector<double>> numeric_samples;
+  std::map<std::string, std::map<FormatClass, size_t>> format_tallies;
+  std::map<std::string, size_t> totals;
+  for (const ie::ExtractedFact& f : facts.facts) {
+    ++totals[f.attribute];
+    double v;
+    if (ParseNumeric(f.value, &v)) {
+      numeric_samples[f.attribute].push_back(v);
+    }
+    ++format_tallies[f.attribute][ClassifyValue(f.value)];
+  }
+  for (auto& [attr, samples] : numeric_samples) {
+    // Only learn a range when the attribute is predominantly numeric.
+    if (samples.size() < options_.min_support) continue;
+    if (samples.size() * 2 < totals[attr]) continue;
+    double med = Median(samples);
+    std::vector<double> deviations;
+    deviations.reserve(samples.size());
+    for (double s : samples) deviations.push_back(std::abs(s - med));
+    double mad = Median(deviations);
+    // Degenerate spread (constant attribute): keep a minimal width.
+    double width = std::max(mad * options_.mad_k, 1.0);
+    RangeConstraint rc;
+    rc.lo = med - width;
+    rc.hi = med + width;
+    rc.support = samples.size();
+    ranges_[attr] = rc;
+  }
+  for (auto& [attr, tally] : format_tallies) {
+    size_t total = totals[attr];
+    if (total < options_.min_support) continue;
+    for (const auto& [format, count] : tally) {
+      if (static_cast<double>(count) >=
+          options_.format_majority * static_cast<double>(total)) {
+        FormatConstraint fc;
+        fc.format = format;
+        fc.support = total;
+        formats_[attr] = fc;
+        break;
+      }
+    }
+  }
+}
+
+std::optional<Violation> SemanticDebugger::CheckOne(
+    const ie::ExtractedFact& fact) const {
+  auto range_it = ranges_.find(fact.attribute);
+  if (range_it != ranges_.end()) {
+    double v;
+    if (ParseNumeric(fact.value, &v)) {
+      if (range_it->second.Violates(v)) {
+        Violation viol;
+        viol.fact_id = fact.id;
+        viol.subject = fact.subject;
+        viol.attribute = fact.attribute;
+        viol.value = fact.value;
+        viol.message = StrFormat(
+            "value %s outside learned range [%.1f, %.1f] (support %zu)",
+            fact.value.c_str(), range_it->second.lo, range_it->second.hi,
+            range_it->second.support);
+        return viol;
+      }
+      return std::nullopt;
+    }
+  }
+  auto fmt_it = formats_.find(fact.attribute);
+  if (fmt_it != formats_.end()) {
+    FormatClass got = ClassifyValue(fact.value);
+    FormatClass want = fmt_it->second.format;
+    bool ok = got == want ||
+              (want == FormatClass::kDecimal &&
+               got == FormatClass::kInteger);
+    if (!ok) {
+      Violation viol;
+      viol.fact_id = fact.id;
+      viol.subject = fact.subject;
+      viol.attribute = fact.attribute;
+      viol.value = fact.value;
+      viol.message = StrFormat(
+          "value \"%s\" has format %s but attribute is usually %s",
+          fact.value.c_str(), FormatClassName(got),
+          FormatClassName(want));
+      return viol;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<Violation> SemanticDebugger::Check(
+    const ie::FactSet& facts) const {
+  std::vector<Violation> out;
+  for (const ie::ExtractedFact& f : facts.facts) {
+    std::optional<Violation> v = CheckOne(f);
+    if (v.has_value()) out.push_back(std::move(*v));
+  }
+  return out;
+}
+
+std::string SystemMonitor::Report() const {
+  return StrFormat(
+      "docs=%zu facts=%zu violations=%zu tasks=%zu violation_rate=%.4f",
+      docs_, facts_, violations_, tasks_,
+      facts_ == 0 ? 0.0
+                  : static_cast<double>(violations_) /
+                        static_cast<double>(facts_));
+}
+
+}  // namespace structura::debugger

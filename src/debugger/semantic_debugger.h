@@ -1,0 +1,121 @@
+#ifndef STRUCTURA_DEBUGGER_SEMANTIC_DEBUGGER_H_
+#define STRUCTURA_DEBUGGER_SEMANTIC_DEBUGGER_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ie/fact.h"
+
+namespace structura::debugger {
+
+/// Learned numeric plausibility interval for an attribute. Robust to the
+/// very outliers it is meant to catch: bounds come from median +/- k*MAD.
+struct RangeConstraint {
+  double lo = 0;
+  double hi = 0;
+  size_t support = 0;  // samples the constraint was learned from
+
+  bool Violates(double v) const { return v < lo || v > hi; }
+};
+
+/// Coarse surface-format classes for string attributes.
+enum class FormatClass : uint8_t {
+  kInteger,
+  kDecimal,
+  kCapitalizedName,
+  kFreeText,
+};
+
+const char* FormatClassName(FormatClass f);
+
+struct FormatConstraint {
+  FormatClass format = FormatClass::kFreeText;
+  size_t support = 0;
+};
+
+/// A flagged fact, in the spirit of the paper's example: "if this module
+/// has learned that the monthly temperature of a city cannot exceed 130
+/// degrees, then it can flag an extracted temperature of 135 as
+/// suspicious" (Section 4, Part VI).
+struct Violation {
+  uint64_t fact_id = 0;
+  std::string subject;
+  std::string attribute;
+  std::string value;
+  std::string message;
+};
+
+/// Learns per-attribute constraints from extracted facts, then monitors
+/// fact streams and flags values out of sync with the learned semantics.
+class SemanticDebugger {
+ public:
+  struct Options {
+    /// Minimum samples before a constraint is trusted.
+    size_t min_support = 10;
+    /// Half-width multiplier: bounds are median +/- k * MAD.
+    double mad_k = 6.0;
+    /// Attributes matching this prefix are pooled per attribute name
+    /// (default behavior anyway; kept for clarity).
+    double format_majority = 0.9;
+  };
+
+  SemanticDebugger() : SemanticDebugger(Options()) {}
+  explicit SemanticDebugger(Options options) : options_(options) {}
+
+  /// Learns range constraints for numeric attributes and format classes
+  /// for the rest. Replaces previously learned state.
+  void LearnFromFacts(const ie::FactSet& facts);
+
+  /// Flags facts violating learned constraints.
+  std::vector<Violation> Check(const ie::FactSet& facts) const;
+
+  /// Single-value check, for streaming use.
+  std::optional<Violation> CheckOne(const ie::ExtractedFact& fact) const;
+
+  const std::map<std::string, RangeConstraint>& ranges() const {
+    return ranges_;
+  }
+  const std::map<std::string, FormatConstraint>& formats() const {
+    return formats_;
+  }
+
+  /// Classification helper, exposed for tests.
+  static FormatClass ClassifyValue(const std::string& value);
+
+ private:
+  Options options_;
+  std::map<std::string, RangeConstraint> ranges_;
+  std::map<std::string, FormatConstraint> formats_;
+};
+
+/// Part VI also monitors the running system itself: throughput counters
+/// and alert thresholds for the system manager.
+class SystemMonitor {
+ public:
+  void RecordDocsProcessed(size_t n) { docs_ += n; }
+  void RecordFactsExtracted(size_t n) { facts_ += n; }
+  void RecordViolations(size_t n) { violations_ += n; }
+  void RecordTasksAnswered(size_t n) { tasks_ += n; }
+
+  /// Alert when the violation rate among extracted facts exceeds
+  /// `threshold` (and enough facts have been seen to judge).
+  bool ViolationAlert(double threshold) const {
+    return facts_ >= 50 &&
+           static_cast<double>(violations_) / static_cast<double>(facts_) >
+               threshold;
+  }
+
+  std::string Report() const;
+
+ private:
+  size_t docs_ = 0;
+  size_t facts_ = 0;
+  size_t violations_ = 0;
+  size_t tasks_ = 0;
+};
+
+}  // namespace structura::debugger
+
+#endif  // STRUCTURA_DEBUGGER_SEMANTIC_DEBUGGER_H_

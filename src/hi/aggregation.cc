@@ -1,0 +1,132 @@
+#include "hi/aggregation.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace structura::hi {
+namespace {
+
+AggregatedAnswer FromTally(const std::map<std::string, double>& tally) {
+  AggregatedAnswer out;
+  double total = 0, best = -1;
+  // std::map iteration is ordered, so ties resolve to the smaller key.
+  for (const auto& [choice, weight] : tally) {
+    total += weight;
+    if (weight > best) {
+      best = weight;
+      out.choice = choice;
+    }
+  }
+  if (total > 0) out.confidence = best / total;
+  return out;
+}
+
+}  // namespace
+
+AggregatedAnswer MajorityVote(const std::vector<Answer>& answers) {
+  std::map<std::string, double> tally;
+  for (const Answer& a : answers) tally[a.choice] += 1.0;
+  return FromTally(tally);
+}
+
+AggregatedAnswer WeightedVote(
+    const std::vector<Answer>& answers,
+    const std::map<std::string, double>& user_weights) {
+  std::map<std::string, double> tally;
+  for (const Answer& a : answers) {
+    auto it = user_weights.find(a.user);
+    tally[a.choice] += it == user_weights.end() ? 1.0 : it->second;
+  }
+  return FromTally(tally);
+}
+
+DawidSkeneResult DawidSkene(
+    const std::vector<Answer>& all_answers,
+    const std::map<uint64_t, std::vector<std::string>>& task_options,
+    int max_iterations) {
+  DawidSkeneResult result;
+  // Group answers by task.
+  std::map<uint64_t, std::vector<const Answer*>> by_task;
+  for (const Answer& a : all_answers) by_task[a.task_id].push_back(&a);
+
+  // Posterior over options per task; initialize from majority vote.
+  std::map<uint64_t, std::map<std::string, double>> posterior;
+  for (const auto& [task, answers] : by_task) {
+    auto opts_it = task_options.find(task);
+    if (opts_it == task_options.end()) continue;
+    std::map<std::string, double> p;
+    for (const std::string& opt : opts_it->second) p[opt] = 1e-6;
+    for (const Answer* a : answers) {
+      if (p.count(a->choice)) p[a->choice] += 1.0;
+    }
+    double z = 0;
+    for (auto& [o, v] : p) z += v;
+    for (auto& [o, v] : p) v /= z;
+    posterior[task] = std::move(p);
+  }
+
+  std::map<std::string, double> accuracy;
+  for (const Answer& a : all_answers) accuracy[a.user] = 0.7;
+
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    result.iterations_run = iter + 1;
+    // M-step: user accuracy = expected agreement with posteriors.
+    std::map<std::string, double> agree, count;
+    for (const Answer& a : all_answers) {
+      auto post_it = posterior.find(a.task_id);
+      if (post_it == posterior.end()) continue;
+      auto p_it = post_it->second.find(a.choice);
+      agree[a.user] += p_it == post_it->second.end() ? 0 : p_it->second;
+      count[a.user] += 1;
+    }
+    double max_delta = 0;
+    for (auto& [user, acc] : accuracy) {
+      if (count[user] == 0) continue;
+      // Clamp away from 0/1 to keep likelihoods finite.
+      double updated =
+          std::clamp(agree[user] / count[user], 0.05, 0.95);
+      max_delta = std::max(max_delta, std::abs(updated - acc));
+      acc = updated;
+    }
+    // E-step: recompute posteriors from accuracies.
+    for (auto& [task, p] : posterior) {
+      const std::vector<std::string>& opts = task_options.at(task);
+      size_t k = std::max<size_t>(2, opts.size());
+      std::map<std::string, double> log_p;
+      for (const std::string& opt : opts) log_p[opt] = 0;
+      for (const Answer* a : by_task[task]) {
+        double acc = accuracy[a->user];
+        for (const std::string& opt : opts) {
+          double like = a->choice == opt
+                            ? acc
+                            : (1.0 - acc) / static_cast<double>(k - 1);
+          log_p[opt] += std::log(std::max(like, 1e-9));
+        }
+      }
+      double max_log = -1e300;
+      for (const auto& [o, lp] : log_p) max_log = std::max(max_log, lp);
+      double z = 0;
+      for (auto& [o, lp] : log_p) {
+        lp = std::exp(lp - max_log);
+        z += lp;
+      }
+      for (const std::string& opt : opts) p[opt] = log_p[opt] / z;
+    }
+    if (max_delta < 1e-4 && iter > 0) break;
+  }
+
+  result.user_accuracy = accuracy;
+  for (const auto& [task, p] : posterior) {
+    AggregatedAnswer best;
+    for (const auto& [opt, prob] : p) {
+      if (prob > best.confidence) {
+        best.choice = opt;
+        best.confidence = prob;
+      }
+    }
+    result.task_answers[task] = std::move(best);
+  }
+  return result;
+}
+
+}  // namespace structura::hi

@@ -1,0 +1,45 @@
+#ifndef STRUCTURA_HI_AGGREGATION_H_
+#define STRUCTURA_HI_AGGREGATION_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hi/task.h"
+
+namespace structura::hi {
+
+/// Consensus over a set of answers to one task.
+struct AggregatedAnswer {
+  std::string choice;
+  double confidence = 0;  // share of (weighted) votes for `choice`
+};
+
+/// Unweighted majority; ties break toward the lexicographically smaller
+/// option for determinism.
+AggregatedAnswer MajorityVote(const std::vector<Answer>& answers);
+
+/// Votes weighted per user (e.g. by reputation). Missing users weigh 1.
+AggregatedAnswer WeightedVote(
+    const std::vector<Answer>& answers,
+    const std::map<std::string, double>& user_weights);
+
+/// Dawid-Skene (one-coin variant): jointly estimates per-user accuracy
+/// and per-task answer posteriors by EM across *all* tasks. Users who
+/// agree with emerging consensus gain weight; spammers lose it — the
+/// mechanism that lets mass collaboration beat naive majority when the
+/// crowd is noisy (E3).
+struct DawidSkeneResult {
+  std::map<uint64_t, AggregatedAnswer> task_answers;
+  std::map<std::string, double> user_accuracy;
+  int iterations_run = 0;
+};
+
+DawidSkeneResult DawidSkene(const std::vector<Answer>& all_answers,
+                            const std::map<uint64_t, std::vector<std::string>>&
+                                task_options,
+                            int max_iterations = 20);
+
+}  // namespace structura::hi
+
+#endif  // STRUCTURA_HI_AGGREGATION_H_

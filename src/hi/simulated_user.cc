@@ -1,0 +1,52 @@
+#include "hi/simulated_user.h"
+
+#include "common/strings.h"
+
+namespace structura::hi {
+
+Answer SimulatedUser::Respond(const Task& task, const std::string& truth) {
+  Answer a;
+  a.task_id = task.id;
+  a.user = profile_.name;
+  if (task.options.empty()) {
+    a.choice = "";
+    return a;
+  }
+  if (rng_.NextBool(profile_.spam_rate)) {
+    a.choice = task.options[rng_.NextBounded(task.options.size())];
+    return a;
+  }
+  if (rng_.NextBool(profile_.accuracy)) {
+    a.choice = truth;
+    return a;
+  }
+  // A wrong answer: uniform over the other options (or the truth when it
+  // is the only option).
+  std::vector<const std::string*> wrong;
+  for (const std::string& opt : task.options) {
+    if (opt != truth) wrong.push_back(&opt);
+  }
+  a.choice = wrong.empty() ? truth
+                           : *wrong[rng_.NextBounded(wrong.size())];
+  return a;
+}
+
+std::vector<SimulatedUser> MakeCrowd(size_t n, double min_accuracy,
+                                     double max_accuracy, uint64_t seed) {
+  std::vector<SimulatedUser> crowd;
+  crowd.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    SimulatedUser::Profile p;
+    p.name = StrFormat("user_%03zu", i);
+    p.accuracy =
+        n <= 1 ? min_accuracy
+               : min_accuracy + (max_accuracy - min_accuracy) *
+                                    static_cast<double>(i) /
+                                    static_cast<double>(n - 1);
+    p.seed = seed + i * 7919;
+    crowd.emplace_back(std::move(p));
+  }
+  return crowd;
+}
+
+}  // namespace structura::hi

@@ -1,0 +1,51 @@
+#ifndef STRUCTURA_HI_SIMULATED_USER_H_
+#define STRUCTURA_HI_SIMULATED_USER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "hi/task.h"
+
+namespace structura::hi {
+
+/// A calibrated stand-in for a human contributor (substitution documented
+/// in DESIGN.md: the paper's mass-collaboration claims concern aggregate
+/// effects of feedback volume and quality, which a per-user accuracy/
+/// spam model reproduces).
+class SimulatedUser {
+ public:
+  struct Profile {
+    std::string name;
+    /// Probability of answering correctly when attempting the task.
+    double accuracy = 0.8;
+    /// Probability of answering at random regardless of the question
+    /// (lazy/spam behavior).
+    double spam_rate = 0.0;
+    uint64_t seed = 1;
+  };
+
+  explicit SimulatedUser(Profile profile)
+      : profile_(std::move(profile)), rng_(profile_.seed) {}
+
+  const std::string& name() const { return profile_.name; }
+  double true_accuracy() const { return profile_.accuracy; }
+
+  /// Answers `task` given the hidden ground-truth option. Correct with
+  /// probability `accuracy`; otherwise a uniformly random *wrong* option.
+  /// Spam answers ignore the truth entirely.
+  Answer Respond(const Task& task, const std::string& truth);
+
+ private:
+  Profile profile_;
+  Rng rng_;
+};
+
+/// Builds a crowd of `n` users with accuracies uniformly spaced in
+/// [min_accuracy, max_accuracy], deterministic from `seed`.
+std::vector<SimulatedUser> MakeCrowd(size_t n, double min_accuracy,
+                                     double max_accuracy, uint64_t seed);
+
+}  // namespace structura::hi
+
+#endif  // STRUCTURA_HI_SIMULATED_USER_H_

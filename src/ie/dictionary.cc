@@ -1,0 +1,25 @@
+#include "ie/dictionary.h"
+
+#include "common/strings.h"
+#include "corpus/records.h"
+
+namespace structura::ie {
+
+void Dictionary::Add(std::string_view surface, std::string canonical) {
+  entries_[ToLower(surface)] = std::move(canonical);
+}
+
+const std::string* Dictionary::Lookup(std::string_view surface) const {
+  auto it = entries_.find(ToLower(surface));
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+Dictionary Dictionary::Months() {
+  Dictionary dict;
+  for (int m = 0; m < corpus::kMonthsPerYear; ++m) {
+    dict.Add(corpus::kMonthNames[m], StrFormat("%02d", m + 1));
+  }
+  return dict;
+}
+
+}  // namespace structura::ie

@@ -1,0 +1,38 @@
+#ifndef STRUCTURA_IE_DICTIONARY_H_
+#define STRUCTURA_IE_DICTIONARY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace structura::ie {
+
+/// A gazetteer: surface form -> canonical form, matched case-insensitively
+/// on single tokens. Used by dictionary slots in TemplateExtractor and by
+/// the mention tagger's features.
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  /// Registers `surface` (lowercased internally) mapping to `canonical`.
+  void Add(std::string_view surface, std::string canonical);
+
+  /// Canonical form for `surface` (any case), or nullptr.
+  const std::string* Lookup(std::string_view surface) const;
+
+  bool Contains(std::string_view surface) const {
+    return Lookup(surface) != nullptr;
+  }
+
+  size_t size() const { return entries_.size(); }
+
+  /// English month names -> "01".."12".
+  static Dictionary Months();
+
+ private:
+  std::unordered_map<std::string, std::string> entries_;
+};
+
+}  // namespace structura::ie
+
+#endif  // STRUCTURA_IE_DICTIONARY_H_

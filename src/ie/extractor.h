@@ -1,0 +1,37 @@
+#ifndef STRUCTURA_IE_EXTRACTOR_H_
+#define STRUCTURA_IE_EXTRACTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ie/fact.h"
+#include "text/document.h"
+
+namespace structura::ie {
+
+/// Base class for information-extraction operators. Extractors are pure
+/// functions of a document; the pipeline (and the SDL executor) decides
+/// where and how often to run them.
+class Extractor {
+ public:
+  virtual ~Extractor() = default;
+
+  /// Stable operator name, recorded into each fact for provenance.
+  virtual std::string name() const = 0;
+
+  /// Extracts facts from one document. Best-effort: malformed input
+  /// yields fewer facts, never an error.
+  virtual std::vector<ExtractedFact> Extract(
+      const text::Document& doc) const = 0;
+
+  /// Relative per-document cost estimate (1.0 = cheap scan). The SDL
+  /// optimizer orders extractors by cost/selectivity using this.
+  virtual double CostPerDoc() const { return 1.0; }
+};
+
+using ExtractorPtr = std::unique_ptr<Extractor>;
+
+}  // namespace structura::ie
+
+#endif  // STRUCTURA_IE_EXTRACTOR_H_

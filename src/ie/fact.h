@@ -1,0 +1,44 @@
+#ifndef STRUCTURA_IE_FACT_H_
+#define STRUCTURA_IE_FACT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "text/document.h"
+
+namespace structura::ie {
+
+/// The unit of derived structure: an attribute-value pair extracted from a
+/// document (Section 3.2 — "in its simplest form this structured data is
+/// attribute-value pairs"). Facts carry their origin (doc, span, extractor)
+/// so the provenance layer can explain them, and a confidence so the
+/// uncertainty layer can reason about them.
+struct ExtractedFact {
+  uint64_t id = 0;            // assigned by the pipeline, dense from 1
+  text::DocId doc = 0;
+  std::string subject;        // surface form of the entity (page title...)
+  std::string attribute;      // e.g. "population", "temp_03", "mention_person"
+  std::string value;          // surface value text
+  text::Span span;            // value location in the document
+  std::string extractor;      // producing operator's name
+  double confidence = 1.0;    // extractor's belief, in [0, 1]
+};
+
+/// A batch of facts with a shared id counter.
+struct FactSet {
+  std::vector<ExtractedFact> facts;
+  uint64_t next_id = 1;
+
+  uint64_t Add(ExtractedFact fact) {
+    fact.id = next_id++;
+    facts.push_back(std::move(fact));
+    return facts.back().id;
+  }
+
+  size_t size() const { return facts.size(); }
+};
+
+}  // namespace structura::ie
+
+#endif  // STRUCTURA_IE_FACT_H_

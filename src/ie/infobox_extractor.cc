@@ -1,0 +1,40 @@
+#include "ie/infobox_extractor.h"
+
+#include <algorithm>
+
+#include "text/wiki_markup.h"
+
+namespace structura::ie {
+
+std::vector<ExtractedFact> InfoboxExtractor::Extract(
+    const text::Document& doc) const {
+  std::vector<ExtractedFact> out;
+  for (const text::Infobox& box : text::ParseInfoboxes(doc.text)) {
+    if (!options_.type_filter.empty() &&
+        box.type != options_.type_filter) {
+      continue;
+    }
+    // Subject: the infobox's own name entry when present, else the title.
+    std::string subject = box.Has("name") ? box.Get("name") : doc.title;
+    for (const auto& [key, value] : box.entries) {
+      if (key == "name" || value.empty()) continue;
+      if (!options_.keys.empty() &&
+          std::find(options_.keys.begin(), options_.keys.end(), key) ==
+              options_.keys.end()) {
+        continue;
+      }
+      ExtractedFact fact;
+      fact.doc = doc.id;
+      fact.subject = subject;
+      fact.attribute = key;
+      fact.value = value;
+      fact.span = box.span;
+      fact.extractor = name();
+      fact.confidence = options_.confidence;
+      out.push_back(std::move(fact));
+    }
+  }
+  return out;
+}
+
+}  // namespace structura::ie

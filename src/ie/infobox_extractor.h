@@ -1,0 +1,41 @@
+#ifndef STRUCTURA_IE_INFOBOX_EXTRACTOR_H_
+#define STRUCTURA_IE_INFOBOX_EXTRACTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "ie/extractor.h"
+
+namespace structura::ie {
+
+/// Extracts attribute-value facts from wiki infobox templates. High
+/// precision (the markup is explicit), limited recall (only what editors
+/// put in the box — the corpus generator drops attributes from infoboxes
+/// on purpose to model that).
+class InfoboxExtractor : public Extractor {
+ public:
+  struct Options {
+    /// Restrict to a given infobox type ("city", "person", ...); empty
+    /// matches all.
+    std::string type_filter;
+    /// Restrict to these attribute keys; empty means all keys.
+    std::vector<std::string> keys;
+    double confidence = 0.95;
+  };
+
+  InfoboxExtractor() : InfoboxExtractor(Options()) {}
+  explicit InfoboxExtractor(Options options)
+      : options_(std::move(options)) {}
+
+  std::string name() const override { return "infobox"; }
+  std::vector<ExtractedFact> Extract(
+      const text::Document& doc) const override;
+  double CostPerDoc() const override { return 1.0; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace structura::ie
+
+#endif  // STRUCTURA_IE_INFOBOX_EXTRACTOR_H_

@@ -1,0 +1,197 @@
+#include "ie/nb_tagger.h"
+
+#include <cctype>
+#include <cmath>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/strings.h"
+#include "text/tokenizer.h"
+
+namespace structura::ie {
+namespace {
+
+bool IsCapWord(const text::Token& tok, const std::string& src) {
+  return tok.is_word &&
+         std::isupper(static_cast<unsigned char>(src[tok.span.begin]));
+}
+
+bool IsSeparator(const text::Token& tok, const std::string& src) {
+  return !tok.is_word && tok.span.length() == 1 &&
+         (src[tok.span.begin] == '.' || src[tok.span.begin] == ',');
+}
+
+}  // namespace
+
+std::vector<MentionCandidate> FindCandidateMentions(
+    const text::Document& doc) {
+  const std::string& src = doc.text;
+  std::vector<text::Token> tokens = text::Tokenize(src);
+  std::vector<MentionCandidate> out;
+  size_t i = 0;
+  while (i < tokens.size()) {
+    if (!IsCapWord(tokens[i], src)) {
+      ++i;
+      continue;
+    }
+    size_t last = i;
+    while (true) {
+      size_t next = last + 1;
+      if (next + 1 < tokens.size() && IsSeparator(tokens[next], src) &&
+          IsCapWord(tokens[next + 1], src)) {
+        last = next + 1;
+        continue;
+      }
+      if (next < tokens.size() && IsCapWord(tokens[next], src)) {
+        last = next;
+        continue;
+      }
+      break;
+    }
+    MentionCandidate c;
+    c.span = text::Span{tokens[i].span.begin, tokens[last].span.end};
+    c.surface = src.substr(c.span.begin, c.span.length());
+    out.push_back(std::move(c));
+    i = last + 1;
+  }
+  return out;
+}
+
+std::vector<std::string> NaiveBayesTagger::FeaturesFor(
+    const text::Document& doc, const MentionCandidate& c) {
+  const std::string& src = doc.text;
+  std::vector<text::Token> tokens = text::Tokenize(src);
+  // Locate tokens adjacent to the span.
+  std::string prev = "<bos>", next = "<eos>";
+  size_t inside = 0;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const text::Token& t = tokens[i];
+    if (t.span.end <= c.span.begin && t.is_word) {
+      prev = ToLower(std::string_view(src).substr(t.span.begin,
+                                                  t.span.length()));
+    }
+    if (t.span.begin >= c.span.begin && t.span.end <= c.span.end &&
+        t.is_word) {
+      ++inside;
+    }
+    if (t.span.begin >= c.span.end && t.is_word && next == "<eos>") {
+      next = ToLower(std::string_view(src).substr(t.span.begin,
+                                                  t.span.length()));
+    }
+  }
+  std::vector<std::string> features;
+  features.push_back("prev=" + prev);
+  features.push_back("next=" + next);
+  features.push_back(StrFormat("len=%zu", inside));
+  if (c.surface.find('.') != std::string::npos) features.push_back("dot");
+  if (c.surface.find(',') != std::string::npos) features.push_back("comma");
+  // First inner word, lowercased (lexical memory — useful for gazetteer
+  // effects, and realistic for NB extractors).
+  size_t sp = c.surface.find_first_of(" .,");
+  features.push_back("w0=" + ToLower(c.surface.substr(
+                                 0, sp == std::string::npos
+                                        ? c.surface.size()
+                                        : sp)));
+  return features;
+}
+
+void NaiveBayesTagger::Train(const std::vector<Example>& examples) {
+  label_counts_.clear();
+  feature_counts_.clear();
+  label_feature_totals_.clear();
+  std::set<std::string> vocab;
+  total_examples_ = 0;
+  for (const Example& ex : examples) {
+    label_counts_[ex.label] += 1;
+    total_examples_ += 1;
+    for (const std::string& f : ex.features) {
+      feature_counts_[ex.label][f] += 1;
+      label_feature_totals_[ex.label] += 1;
+      vocab.insert(f);
+    }
+  }
+  feature_vocab_ = vocab.size();
+}
+
+std::pair<std::string, double> NaiveBayesTagger::Classify(
+    const std::vector<std::string>& features) const {
+  if (label_counts_.empty()) return {"other", 0.0};
+  std::vector<std::pair<std::string, double>> scores;
+  double max_log = -1e300;
+  for (const auto& [label, count] : label_counts_) {
+    double log_p = std::log(count / total_examples_);
+    const auto& fc = feature_counts_.at(label);
+    double denom = label_feature_totals_.at(label) +
+                   static_cast<double>(feature_vocab_) + 1.0;
+    for (const std::string& f : features) {
+      auto it = fc.find(f);
+      double num = (it == fc.end() ? 0.0 : it->second) + 1.0;  // Laplace
+      log_p += std::log(num / denom);
+    }
+    scores.emplace_back(label, log_p);
+    max_log = std::max(max_log, log_p);
+  }
+  double z = 0;
+  for (auto& [label, s] : scores) {
+    s = std::exp(s - max_log);
+    z += s;
+  }
+  std::pair<std::string, double> best{"other", 0.0};
+  for (const auto& [label, s] : scores) {
+    double posterior = s / z;
+    if (posterior > best.second) best = {label, posterior};
+  }
+  return best;
+}
+
+std::vector<ExtractedFact> NaiveBayesTagger::Extract(
+    const text::Document& doc) const {
+  std::vector<ExtractedFact> out;
+  for (const MentionCandidate& c : FindCandidateMentions(doc)) {
+    auto [label, posterior] = Classify(FeaturesFor(doc, c));
+    if (label == "other") continue;
+    ExtractedFact fact;
+    fact.doc = doc.id;
+    fact.subject = c.surface;
+    fact.attribute = "mention_" + label;
+    fact.value = c.surface;
+    fact.span = c.span;
+    fact.extractor = name();
+    fact.confidence = posterior;
+    out.push_back(std::move(fact));
+  }
+  return out;
+}
+
+std::vector<NaiveBayesTagger::Example> BuildMentionTrainingSet(
+    const text::DocumentCollection& docs,
+    const corpus::GroundTruth& truth) {
+  // Entity type lookup.
+  std::unordered_map<corpus::EntityId, std::string> type_of;
+  for (const auto& c : truth.cities) type_of[c.id] = "city";
+  for (const auto& p : truth.people) type_of[p.id] = "person";
+  for (const auto& c : truth.companies) type_of[c.id] = "company";
+  // (doc, surface) -> label.
+  std::unordered_map<std::string, std::string> labeled;
+  for (const corpus::MentionTruth& m : truth.mentions) {
+    labeled[StrFormat("%llu\x1f%s",
+                      static_cast<unsigned long long>(m.doc),
+                      m.surface.c_str())] = type_of[m.entity];
+  }
+  std::vector<NaiveBayesTagger::Example> examples;
+  for (const text::Document& doc : docs.docs) {
+    for (const MentionCandidate& c : FindCandidateMentions(doc)) {
+      NaiveBayesTagger::Example ex;
+      ex.features = NaiveBayesTagger::FeaturesFor(doc, c);
+      auto it = labeled.find(
+          StrFormat("%llu\x1f%s", static_cast<unsigned long long>(doc.id),
+                    c.surface.c_str()));
+      ex.label = it == labeled.end() ? "other" : it->second;
+      examples.push_back(std::move(ex));
+    }
+  }
+  return examples;
+}
+
+}  // namespace structura::ie

@@ -1,0 +1,79 @@
+#ifndef STRUCTURA_IE_NB_TAGGER_H_
+#define STRUCTURA_IE_NB_TAGGER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "corpus/records.h"
+#include "ie/extractor.h"
+#include "text/document.h"
+
+namespace structura::ie {
+
+/// A candidate proper-name mention: a run of capitalized tokens (joined by
+/// optional "." / "," separators) in a document.
+struct MentionCandidate {
+  text::Span span;
+  std::string surface;
+};
+
+/// Finds candidate mentions in a document's raw text.
+std::vector<MentionCandidate> FindCandidateMentions(
+    const text::Document& doc);
+
+/// Learned mention classifier: multinomial naive Bayes over sparse string
+/// features of a candidate (context words, shape, length). Demonstrates
+/// the "trainable IE operator whose output is inherently uncertain"
+/// ingredient of the paper's DGE model — its posteriors feed the
+/// uncertainty layer, and its mistakes are what human feedback repairs.
+class NaiveBayesTagger : public Extractor {
+ public:
+  struct Example {
+    std::vector<std::string> features;
+    std::string label;  // "person", "city", "company", "other", ...
+  };
+
+  NaiveBayesTagger() = default;
+
+  /// Trains from labeled examples (replaces any previous model).
+  void Train(const std::vector<Example>& examples);
+
+  /// Classifies a feature vector; returns (best label, posterior).
+  std::pair<std::string, double> Classify(
+      const std::vector<std::string>& features) const;
+
+  /// Features of candidate `c` in `doc` (context words around the span,
+  /// token count, shape flags).
+  static std::vector<std::string> FeaturesFor(const text::Document& doc,
+                                              const MentionCandidate& c);
+
+  /// Extractor interface: emits one fact per candidate classified as a
+  /// non-"other" label, attribute "mention_<label>", value = surface,
+  /// confidence = posterior.
+  std::string name() const override { return "nb_tagger"; }
+  std::vector<ExtractedFact> Extract(
+      const text::Document& doc) const override;
+  double CostPerDoc() const override { return 4.0; }
+
+  bool trained() const { return !label_counts_.empty(); }
+  size_t vocabulary_size() const { return feature_vocab_; }
+
+ private:
+  std::map<std::string, double> label_counts_;
+  // label -> feature -> count
+  std::map<std::string, std::map<std::string, double>> feature_counts_;
+  std::map<std::string, double> label_feature_totals_;
+  size_t feature_vocab_ = 0;
+  double total_examples_ = 0;
+};
+
+/// Builds training examples from corpus ground truth: every planted
+/// mention becomes a positive example of its entity's type; candidate
+/// mentions that match no planted mention become "other".
+std::vector<NaiveBayesTagger::Example> BuildMentionTrainingSet(
+    const text::DocumentCollection& docs, const corpus::GroundTruth& truth);
+
+}  // namespace structura::ie
+
+#endif  // STRUCTURA_IE_NB_TAGGER_H_

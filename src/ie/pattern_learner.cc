@@ -1,0 +1,150 @@
+#include "ie/pattern_learner.h"
+
+#include <cctype>
+#include <map>
+
+#include "common/strings.h"
+#include "text/tokenizer.h"
+#include "text/wiki_markup.h"
+
+namespace structura::ie {
+namespace {
+
+bool LooksNumeric(std::string_view s) {
+  bool digit = false;
+  for (char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c))) digit = true;
+  }
+  return digit;
+}
+
+}  // namespace
+
+std::string LearnedPattern::ToPatternString() const {
+  std::vector<std::string> parts = prefix;
+  parts.push_back("<v:" + value_kind + ">");
+  for (const std::string& s : suffix) parts.push_back(s);
+  return Join(parts, " ");
+}
+
+void PatternLearner::Learn(const std::vector<PatternExample>& examples) {
+  patterns_.clear();
+  // context key -> (attribute, support).
+  struct ContextInfo {
+    LearnedPattern pattern;
+    size_t count = 0;
+  };
+  std::map<std::string, ContextInfo> contexts;
+  for (const PatternExample& ex : examples) {
+    if (ex.doc == nullptr) continue;
+    const std::string& src = ex.doc->text;
+    std::vector<text::Token> tokens = text::Tokenize(src);
+    // Locate the token index of the value.
+    int value_tok = -1;
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      if (tokens[i].span.begin == ex.value_span.begin) {
+        value_tok = static_cast<int>(i);
+        break;
+      }
+    }
+    if (value_tok < 0) continue;
+    LearnedPattern p;
+    p.attribute = ex.attribute;
+    p.value_kind =
+        LooksNumeric(src.substr(ex.value_span.begin,
+                                ex.value_span.length()))
+            ? "number"
+            : "name";
+    // Prefix: the N word-tokens immediately before the value. Stop at
+    // punctuation other than simple sentence-internal tokens, since the
+    // template matcher matches word literals only.
+    for (int i = value_tok - 1;
+         i >= 0 && p.prefix.size() < options_.prefix_tokens; --i) {
+      if (!tokens[i].is_word) break;
+      p.prefix.insert(p.prefix.begin(),
+                      ToLower(std::string_view(src).substr(
+                          tokens[i].span.begin, tokens[i].span.length())));
+    }
+    for (size_t i = static_cast<size_t>(value_tok) + 1;
+         i < tokens.size() && p.suffix.size() < options_.suffix_tokens;
+         ++i) {
+      if (!tokens[i].is_word) break;
+      p.suffix.push_back(ToLower(std::string_view(src).substr(
+          tokens[i].span.begin, tokens[i].span.length())));
+    }
+    if (p.prefix.empty()) continue;  // need anchoring context
+    std::string key = p.attribute + "\x1f" + Join(p.prefix, " ") +
+                      "\x1f" + p.value_kind + "\x1f" +
+                      Join(p.suffix, " ");
+    ContextInfo& info = contexts[key];
+    if (info.count == 0) info.pattern = std::move(p);
+    ++info.count;
+  }
+  for (auto& [key, info] : contexts) {
+    if (info.count < options_.min_support) continue;
+    info.pattern.support = info.count;
+    patterns_.push_back(std::move(info.pattern));
+  }
+}
+
+Result<std::vector<ExtractorPtr>> PatternLearner::Compile() const {
+  std::vector<ExtractorPtr> out;
+  size_t i = 0;
+  for (const LearnedPattern& p : patterns_) {
+    TemplateExtractor::Spec spec;
+    spec.extractor_name =
+        StrFormat("learned_%s_%zu", p.attribute.c_str(), i++);
+    spec.pattern = p.ToPatternString();
+    spec.attribute = p.attribute;
+    spec.value_slot = "v";
+    spec.confidence = options_.confidence;
+    STRUCTURA_ASSIGN_OR_RETURN(auto extractor,
+                               TemplateExtractor::Create(std::move(spec)));
+    out.push_back(std::move(extractor));
+  }
+  return out;
+}
+
+std::vector<PatternExample> BuildPatternExamples(
+    const text::DocumentCollection& docs, const corpus::GroundTruth& truth,
+    size_t max_docs) {
+  std::map<text::DocId, const text::Document*> by_id;
+  size_t limit = max_docs == 0 ? docs.size() : max_docs;
+  for (size_t i = 0; i < docs.size() && i < limit; ++i) {
+    by_id[docs.docs[i].id] = &docs.docs[i];
+  }
+  std::vector<PatternExample> out;
+  for (const corpus::FactTruth& f : truth.facts) {
+    auto it = by_id.find(f.doc);
+    if (it == by_id.end()) continue;
+    const text::Document& doc = *it->second;
+    // Find the value in prose: search outside the infobox template.
+    std::vector<text::Infobox> boxes = text::ParseInfoboxes(doc.text);
+    size_t pos = 0;
+    while (true) {
+      pos = doc.text.find(f.value, pos);
+      if (pos == std::string::npos) break;
+      bool inside_infobox = false;
+      for (const text::Infobox& box : boxes) {
+        if (pos >= box.span.begin && pos < box.span.end) {
+          inside_infobox = true;
+          break;
+        }
+      }
+      if (!inside_infobox) {
+        PatternExample ex;
+        ex.doc = &doc;
+        ex.value_span =
+            text::Span{static_cast<uint32_t>(pos),
+                       static_cast<uint32_t>(pos + f.value.size())};
+        ex.attribute = f.attribute;
+        out.push_back(std::move(ex));
+        break;
+      }
+      pos += 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace structura::ie

@@ -1,0 +1,77 @@
+#ifndef STRUCTURA_IE_PATTERN_LEARNER_H_
+#define STRUCTURA_IE_PATTERN_LEARNER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "corpus/records.h"
+#include "ie/extractor.h"
+#include "ie/template_extractor.h"
+#include "text/document.h"
+
+namespace structura::ie {
+
+/// One labeled occurrence of an attribute value in a document: the raw
+/// material for pattern induction (the IE tradition the paper builds on:
+/// learn extraction rules from a few labeled pages, apply them to the
+/// rest of the slice).
+struct PatternExample {
+  const text::Document* doc = nullptr;
+  text::Span value_span;      // where the value sits in doc->text
+  std::string attribute;
+};
+
+/// A learned pattern, before compilation: the token context around the
+/// value slot and its support.
+struct LearnedPattern {
+  std::string attribute;
+  std::vector<std::string> prefix;  // lowercased tokens before the value
+  std::string value_kind;           // "number" or "name"
+  std::vector<std::string> suffix;  // lowercased tokens after the value
+  size_t support = 0;
+
+  std::string ToPatternString() const;  // TemplateExtractor syntax
+};
+
+/// Induces extraction patterns from labeled examples: for every
+/// (attribute, prefix-window, value-kind, suffix-window) context seen at
+/// least `min_support` times, emits one pattern. Compile() turns the
+/// surviving patterns into ready-to-run TemplateExtractors.
+class PatternLearner {
+ public:
+  struct Options {
+    size_t prefix_tokens = 3;
+    size_t suffix_tokens = 1;
+    size_t min_support = 3;
+    double confidence = 0.75;  // assigned to extractors built from rules
+  };
+
+  PatternLearner() : PatternLearner(Options()) {}
+  explicit PatternLearner(Options options) : options_(options) {}
+
+  /// Learns patterns; replaces previous state.
+  void Learn(const std::vector<PatternExample>& examples);
+
+  const std::vector<LearnedPattern>& patterns() const { return patterns_; }
+
+  /// Compiles every learned pattern into a TemplateExtractor
+  /// ("learned_<attribute>_<i>").
+  Result<std::vector<ExtractorPtr>> Compile() const;
+
+ private:
+  Options options_;
+  std::vector<LearnedPattern> patterns_;
+};
+
+/// Builds labeled examples from corpus ground truth by locating each
+/// planted fact's value in its page's free text (values that only occur
+/// inside the infobox are skipped — rule induction targets prose).
+/// `max_docs` bounds how many documents are used (train/test splits).
+std::vector<PatternExample> BuildPatternExamples(
+    const text::DocumentCollection& docs, const corpus::GroundTruth& truth,
+    size_t max_docs = 0);
+
+}  // namespace structura::ie
+
+#endif  // STRUCTURA_IE_PATTERN_LEARNER_H_

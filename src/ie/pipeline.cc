@@ -1,0 +1,68 @@
+#include "ie/pipeline.h"
+
+#include <algorithm>
+
+namespace structura::ie {
+
+std::vector<const Extractor*> Views(const std::vector<ExtractorPtr>& v) {
+  std::vector<const Extractor*> out;
+  out.reserve(v.size());
+  for (const ExtractorPtr& p : v) out.push_back(p.get());
+  return out;
+}
+
+FactSet RunExtractors(const std::vector<const Extractor*>& extractors,
+                      const text::DocumentCollection& docs) {
+  FactSet set;
+  for (const text::Document& doc : docs.docs) {
+    for (const Extractor* ex : extractors) {
+      for (ExtractedFact& fact : ex->Extract(doc)) {
+        set.Add(std::move(fact));
+      }
+    }
+  }
+  return set;
+}
+
+Result<FactSet> RunExtractorsMapReduce(
+    const std::vector<const Extractor*>& extractors,
+    const text::DocumentCollection& docs, ThreadPool& pool,
+    const mr::JobConfig& config, mr::JobStats* stats) {
+  // Map: one document in, (doc_id -> facts) out. Reduce: identity-merge.
+  mr::MapReduceJob<const text::Document*, uint64_t, ExtractedFact,
+                   ExtractedFact>
+      job;
+  // Extractor order index for deterministic sorting later.
+  job.set_mapper([&extractors](const text::Document* doc,
+                               const auto& emit) {
+    for (const Extractor* ex : extractors) {
+      for (ExtractedFact& fact : ex->Extract(*doc)) {
+        emit(fact.doc, std::move(fact));
+      }
+    }
+  });
+  job.set_reducer([](const uint64_t& /*doc*/,
+                     const std::vector<ExtractedFact>& facts,
+                     const auto& out) {
+    for (const ExtractedFact& f : facts) out(f);
+  });
+  std::vector<const text::Document*> inputs;
+  inputs.reserve(docs.size());
+  for (const text::Document& d : docs.docs) inputs.push_back(&d);
+  STRUCTURA_ASSIGN_OR_RETURN(
+      std::vector<ExtractedFact> facts,
+      job.Run(pool, inputs, config, stats));
+  std::stable_sort(facts.begin(), facts.end(),
+                   [](const ExtractedFact& a, const ExtractedFact& b) {
+                     if (a.doc != b.doc) return a.doc < b.doc;
+                     if (a.span.begin != b.span.begin) {
+                       return a.span.begin < b.span.begin;
+                     }
+                     return a.extractor < b.extractor;
+                   });
+  FactSet set;
+  for (ExtractedFact& f : facts) set.Add(std::move(f));
+  return set;
+}
+
+}  // namespace structura::ie

@@ -1,0 +1,32 @@
+#ifndef STRUCTURA_IE_PIPELINE_H_
+#define STRUCTURA_IE_PIPELINE_H_
+
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "ie/extractor.h"
+#include "mr/mapreduce.h"
+#include "text/document.h"
+
+namespace structura::ie {
+
+/// Runs `extractors` over every document sequentially; facts are returned
+/// in (document, extractor) order with dense ids.
+FactSet RunExtractors(const std::vector<const Extractor*>& extractors,
+                      const text::DocumentCollection& docs);
+
+/// Same result, executed as a Map-Reduce job on `pool` (the paper's
+/// physical layer: IE is computation-intensive, so it runs as
+/// "Map-Reduce-like processes" over the cluster). Deterministic output
+/// order (facts sorted by doc, then extractor order, then span).
+Result<FactSet> RunExtractorsMapReduce(
+    const std::vector<const Extractor*>& extractors,
+    const text::DocumentCollection& docs, ThreadPool& pool,
+    const mr::JobConfig& config, mr::JobStats* stats = nullptr);
+
+/// Convenience: non-owning views of owning pointers.
+std::vector<const Extractor*> Views(const std::vector<ExtractorPtr>& v);
+
+}  // namespace structura::ie
+
+#endif  // STRUCTURA_IE_PIPELINE_H_

@@ -1,0 +1,46 @@
+#include "ie/regex_extractor.h"
+
+namespace structura::ie {
+
+Result<std::unique_ptr<RegexExtractor>> RegexExtractor::Create(Spec spec) {
+  std::unique_ptr<RegexExtractor> ex(new RegexExtractor(std::move(spec)));
+  try {
+    ex->regex_ = std::regex(ex->spec_.pattern,
+                            std::regex::ECMAScript | std::regex::icase);
+  } catch (const std::regex_error& e) {
+    return Status::InvalidArgument(std::string("bad regex: ") + e.what());
+  }
+  if (ex->spec_.value_group < 0) {
+    return Status::InvalidArgument("value_group must be >= 0");
+  }
+  return ex;
+}
+
+std::vector<ExtractedFact> RegexExtractor::Extract(
+    const text::Document& doc) const {
+  std::vector<ExtractedFact> out;
+  auto begin = std::sregex_iterator(doc.text.begin(), doc.text.end(),
+                                    regex_);
+  auto end = std::sregex_iterator();
+  for (auto it = begin; it != end; ++it) {
+    const std::smatch& m = *it;
+    if (static_cast<size_t>(spec_.value_group) >= m.size()) continue;
+    if (!m[static_cast<size_t>(spec_.value_group)].matched) continue;
+    ExtractedFact fact;
+    fact.doc = doc.id;
+    fact.subject = doc.title;
+    fact.attribute = spec_.attribute;
+    fact.value = m[static_cast<size_t>(spec_.value_group)].str();
+    size_t pos = static_cast<size_t>(
+        m.position(static_cast<size_t>(spec_.value_group)));
+    fact.span = text::Span{
+        static_cast<uint32_t>(pos),
+        static_cast<uint32_t>(pos + fact.value.size())};
+    fact.extractor = name();
+    fact.confidence = spec_.confidence;
+    out.push_back(std::move(fact));
+  }
+  return out;
+}
+
+}  // namespace structura::ie

@@ -1,0 +1,44 @@
+#ifndef STRUCTURA_IE_REGEX_EXTRACTOR_H_
+#define STRUCTURA_IE_REGEX_EXTRACTOR_H_
+
+#include <memory>
+#include <regex>
+#include <string>
+
+#include "common/status.h"
+#include "ie/extractor.h"
+
+namespace structura::ie {
+
+/// General-purpose regex extractor: one capture group becomes the value.
+/// Slower than TemplateExtractor (std::regex scans character-wise) — the
+/// optimizer experiment (E7) exploits exactly this cost difference. The
+/// subject is always the document title.
+class RegexExtractor : public Extractor {
+ public:
+  struct Spec {
+    std::string extractor_name;
+    std::string pattern;       // ECMAScript syntax
+    std::string attribute;
+    int value_group = 1;       // capture group index for the value
+    double confidence = 0.8;
+  };
+
+  /// Compiles the regex; fails on syntax errors.
+  static Result<std::unique_ptr<RegexExtractor>> Create(Spec spec);
+
+  std::string name() const override { return spec_.extractor_name; }
+  std::vector<ExtractedFact> Extract(
+      const text::Document& doc) const override;
+  double CostPerDoc() const override { return 10.0; }
+
+ private:
+  explicit RegexExtractor(Spec spec) : spec_(std::move(spec)) {}
+
+  Spec spec_;
+  std::regex regex_;
+};
+
+}  // namespace structura::ie
+
+#endif  // STRUCTURA_IE_REGEX_EXTRACTOR_H_

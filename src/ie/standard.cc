@@ -1,0 +1,115 @@
+#include "ie/standard.h"
+
+#include "common/logging.h"
+#include "ie/infobox_extractor.h"
+#include "ie/template_extractor.h"
+
+namespace structura::ie {
+namespace {
+
+/// Unwraps a Create() result for the hard-coded specs below; a failure
+/// here is a programming error in this file, so it aborts loudly.
+ExtractorPtr MustCreate(Result<std::unique_ptr<TemplateExtractor>> r) {
+  if (!r.ok()) {
+    STRUCTURA_LOG(kError) << "standard extractor spec invalid: "
+                          << r.status().ToString();
+    std::abort();
+  }
+  return std::move(r).value();
+}
+
+}  // namespace
+
+const Dictionary& MonthsDictionary() {
+  static const Dictionary& dict = *new Dictionary(Dictionary::Months());
+  return dict;
+}
+
+ExtractorPtr MakeTemperatureExtractor() {
+  TemplateExtractor::Spec spec;
+  spec.extractor_name = "temp_sentence";
+  spec.pattern =
+      "the average temperature in <m:dict:months> is <v:number> degrees";
+  spec.dictionaries["months"] = &MonthsDictionary();
+  spec.attribute_fn = [](const SlotMap& slots) {
+    auto it = slots.find("m");
+    return "temp_" + (it == slots.end() ? std::string("00") : it->second);
+  };
+  spec.value_slot = "v";
+  spec.confidence = 0.85;
+  return MustCreate(TemplateExtractor::Create(std::move(spec)));
+}
+
+ExtractorPtr MakePopulationExtractor() {
+  TemplateExtractor::Spec spec;
+  spec.extractor_name = "population_sentence";
+  spec.pattern = "has a population of <v:number> people";
+  spec.attribute = "population";
+  spec.value_slot = "v";
+  spec.confidence = 0.85;
+  return MustCreate(TemplateExtractor::Create(std::move(spec)));
+}
+
+ExtractorPtr MakeFoundedExtractor() {
+  TemplateExtractor::Spec spec;
+  spec.extractor_name = "founded_sentence";
+  spec.pattern = "founded in <v:number>";
+  spec.attribute = "founded";
+  spec.value_slot = "v";
+  spec.confidence = 0.8;
+  return MustCreate(TemplateExtractor::Create(std::move(spec)));
+}
+
+ExtractorPtr MakeElevationExtractor() {
+  TemplateExtractor::Spec spec;
+  spec.extractor_name = "elevation_sentence";
+  spec.pattern = "at an elevation of <v:number> feet";
+  spec.attribute = "elevation";
+  spec.value_slot = "v";
+  spec.confidence = 0.85;
+  return MustCreate(TemplateExtractor::Create(std::move(spec)));
+}
+
+ExtractorPtr MakeMayorExtractor() {
+  TemplateExtractor::Spec spec;
+  spec.extractor_name = "mayor_sentence";
+  spec.pattern = "the mayor of <c:name> is <v:name>";
+  spec.attribute = "mayor";
+  spec.value_slot = "v";
+  spec.subject_slot = "c";
+  spec.confidence = 0.8;
+  return MustCreate(TemplateExtractor::Create(std::move(spec)));
+}
+
+ExtractorPtr MakeResidenceExtractor() {
+  TemplateExtractor::Spec spec;
+  spec.extractor_name = "residence_sentence";
+  spec.pattern = "they live in <v:link>";
+  spec.attribute = "residence";
+  spec.value_slot = "v";
+  spec.confidence = 0.85;
+  return MustCreate(TemplateExtractor::Create(std::move(spec)));
+}
+
+ExtractorPtr MakeInfoboxExtractor() {
+  return std::make_unique<InfoboxExtractor>();
+}
+
+std::vector<ExtractorPtr> MakeFreeTextSuite() {
+  std::vector<ExtractorPtr> suite;
+  suite.push_back(MakeTemperatureExtractor());
+  suite.push_back(MakePopulationExtractor());
+  suite.push_back(MakeFoundedExtractor());
+  suite.push_back(MakeElevationExtractor());
+  suite.push_back(MakeMayorExtractor());
+  suite.push_back(MakeResidenceExtractor());
+  return suite;
+}
+
+std::vector<ExtractorPtr> MakeStandardSuite() {
+  std::vector<ExtractorPtr> suite = MakeFreeTextSuite();
+  suite.push_back(MakeInfoboxExtractor());
+  return suite;
+}
+
+}  // namespace structura::ie

@@ -1,0 +1,45 @@
+#ifndef STRUCTURA_IE_STANDARD_H_
+#define STRUCTURA_IE_STANDARD_H_
+
+#include <vector>
+
+#include "ie/dictionary.h"
+#include "ie/extractor.h"
+
+namespace structura::ie {
+
+/// Month-name gazetteer shared by the standard extractors (never
+/// destroyed; safe to reference from any extractor).
+const Dictionary& MonthsDictionary();
+
+/// Free-text extractor for "The average temperature in <Month> is <N>
+/// degrees" sentences; attribute is "temp_MM".
+ExtractorPtr MakeTemperatureExtractor();
+
+/// "<City> has a population of <N> people" -> population.
+ExtractorPtr MakePopulationExtractor();
+
+/// "... founded in <YYYY>" -> founded.
+ExtractorPtr MakeFoundedExtractor();
+
+/// "... at an elevation of <N> feet" -> elevation.
+ExtractorPtr MakeElevationExtractor();
+
+/// "The mayor of <City> is <Person>" -> mayor (subject = the city).
+ExtractorPtr MakeMayorExtractor();
+
+/// "They live in [[City]]" -> residence (value = link target).
+ExtractorPtr MakeResidenceExtractor();
+
+/// Infobox extractor over all infobox types.
+ExtractorPtr MakeInfoboxExtractor();
+
+/// The full standard free-text suite (everything above except infobox).
+std::vector<ExtractorPtr> MakeFreeTextSuite();
+
+/// Free-text + infobox.
+std::vector<ExtractorPtr> MakeStandardSuite();
+
+}  // namespace structura::ie
+
+#endif  // STRUCTURA_IE_STANDARD_H_

@@ -1,0 +1,223 @@
+#include "ie/template_extractor.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+#include "text/tokenizer.h"
+
+namespace structura::ie {
+namespace {
+
+bool IsNumberToken(const text::Token& tok, const std::string& source) {
+  char c = source[tok.span.begin];
+  return !tok.is_word &&
+         (std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+          c == '+');
+}
+
+bool IsCapitalizedWord(const text::Token& tok, const std::string& source) {
+  return tok.is_word &&
+         std::isupper(static_cast<unsigned char>(source[tok.span.begin]));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<TemplateExtractor>> TemplateExtractor::Create(
+    Spec spec) {
+  std::unique_ptr<TemplateExtractor> ex(
+      new TemplateExtractor(std::move(spec)));
+  STRUCTURA_RETURN_IF_ERROR(ex->Compile());
+  return ex;
+}
+
+Status TemplateExtractor::Compile() {
+  if (spec_.value_slot.empty()) {
+    return Status::InvalidArgument("value_slot must be set");
+  }
+  bool saw_value_slot = false;
+  for (const std::string& piece : SplitAndTrim(spec_.pattern, ' ')) {
+    Elem elem;
+    if (piece.front() == '<' && piece.back() == '>') {
+      std::vector<std::string> parts =
+          Split(piece.substr(1, piece.size() - 2), ':');
+      if (parts.size() < 2 || parts[0].empty()) {
+        return Status::InvalidArgument("bad slot syntax: " + piece);
+      }
+      elem.slot = parts[0];
+      if (elem.slot == spec_.value_slot) saw_value_slot = true;
+      if (parts[1] == "number") {
+        elem.kind = Elem::Kind::kNumber;
+      } else if (parts[1] == "name") {
+        elem.kind = Elem::Kind::kName;
+      } else if (parts[1] == "link") {
+        elem.kind = Elem::Kind::kLink;
+      } else if (parts[1] == "dict") {
+        if (parts.size() != 3) {
+          return Status::InvalidArgument("dict slot needs a name: " + piece);
+        }
+        auto it = spec_.dictionaries.find(parts[2]);
+        if (it == spec_.dictionaries.end() || it->second == nullptr) {
+          return Status::InvalidArgument("unknown dictionary: " + parts[2]);
+        }
+        elem.kind = Elem::Kind::kDict;
+        elem.dict = it->second;
+      } else {
+        return Status::InvalidArgument("unknown slot type: " + parts[1]);
+      }
+    } else {
+      elem.kind = Elem::Kind::kLiteral;
+      elem.literal = ToLower(piece);
+    }
+    elems_.push_back(std::move(elem));
+  }
+  if (elems_.empty()) {
+    return Status::InvalidArgument("empty pattern");
+  }
+  if (!saw_value_slot) {
+    return Status::InvalidArgument("value_slot not present in pattern");
+  }
+  return Status::OK();
+}
+
+std::vector<ExtractedFact> TemplateExtractor::Extract(
+    const text::Document& doc) const {
+  std::vector<ExtractedFact> out;
+  const std::string& src = doc.text;
+  std::vector<text::Token> tokens = text::Tokenize(src);
+
+  // Recursive matcher with backtracking (patterns are short; name slots
+  // try longest runs first).
+  // Captures: slot -> (canonical-or-surface value, span).
+  struct Capture {
+    std::string value;
+    text::Span span;
+  };
+  std::map<std::string, Capture> captures;
+
+  std::function<bool(size_t, size_t)> match = [&](size_t ei,
+                                                  size_t ti) -> bool {
+    if (ei == elems_.size()) return true;
+    if (ti >= tokens.size()) return false;
+    const Elem& elem = elems_[ei];
+    const text::Token& tok = tokens[ti];
+    switch (elem.kind) {
+      case Elem::Kind::kLiteral: {
+        if (!tok.is_word) return false;
+        std::string surface = ToLower(
+            std::string_view(src).substr(tok.span.begin, tok.span.length()));
+        if (surface != elem.literal) return false;
+        return match(ei + 1, ti + 1);
+      }
+      case Elem::Kind::kNumber: {
+        if (!IsNumberToken(tok, src)) return false;
+        captures[elem.slot] = {tok.Text(src), tok.span};
+        if (match(ei + 1, ti + 1)) return true;
+        captures.erase(elem.slot);
+        return false;
+      }
+      case Elem::Kind::kDict: {
+        if (!tok.is_word) return false;
+        const std::string* canonical = elem.dict->Lookup(
+            std::string_view(src).substr(tok.span.begin, tok.span.length()));
+        if (canonical == nullptr) return false;
+        captures[elem.slot] = {*canonical, tok.span};
+        if (match(ei + 1, ti + 1)) return true;
+        captures.erase(elem.slot);
+        return false;
+      }
+      case Elem::Kind::kLink: {
+        // Expect "[[Target|anchor]]" starting at this token.
+        if (tok.is_word || src[tok.span.begin] != '[') return false;
+        if (tok.span.begin + 1 >= src.size() ||
+            src[tok.span.begin + 1] != '[') {
+          return false;
+        }
+        size_t close = src.find("]]", tok.span.begin + 2);
+        if (close == std::string::npos) return false;
+        std::string body = src.substr(tok.span.begin + 2,
+                                      close - tok.span.begin - 2);
+        if (StartsWith(body, "Category:")) return false;
+        size_t bar = body.find('|');
+        std::string target(
+            Trim(bar == std::string::npos ? body : body.substr(0, bar)));
+        // Resume matching at the first token after the closing braces.
+        size_t next_tok = ti;
+        while (next_tok < tokens.size() &&
+               tokens[next_tok].span.begin < close + 2) {
+          ++next_tok;
+        }
+        captures[elem.slot] = {
+            target, text::Span{tok.span.begin,
+                               static_cast<uint32_t>(close + 2)}};
+        if (match(ei + 1, next_tok)) return true;
+        captures.erase(elem.slot);
+        return false;
+      }
+      case Elem::Kind::kName: {
+        if (!IsCapitalizedWord(tok, src)) return false;
+        // Collect candidate run ends: capitalized words, optionally
+        // separated by a single '.' or ',' token.
+        std::vector<size_t> ends;  // inclusive token index of run end
+        size_t last = ti;
+        ends.push_back(last);
+        while (last + 1 < tokens.size() && ends.size() < 5) {
+          size_t next = last + 1;
+          // Optional separator.
+          if (next < tokens.size() && !tokens[next].is_word &&
+              tokens[next].span.length() == 1 &&
+              (src[tokens[next].span.begin] == '.' ||
+               src[tokens[next].span.begin] == ',')) {
+            ++next;
+          }
+          if (next < tokens.size() &&
+              IsCapitalizedWord(tokens[next], src)) {
+            last = next;
+            ends.push_back(last);
+          } else {
+            break;
+          }
+        }
+        // Longest first.
+        for (size_t k = ends.size(); k-- > 0;) {
+          size_t end_tok = ends[k];
+          text::Span span{tok.span.begin, tokens[end_tok].span.end};
+          // Include a trailing '.' directly after a single-letter token
+          // ("D." in "D. Smith" when the initial is last — rare, skip).
+          captures[elem.slot] = {
+              src.substr(span.begin, span.length()), span};
+          if (match(ei + 1, end_tok + 1)) return true;
+        }
+        captures.erase(elem.slot);
+        return false;
+      }
+    }
+    return false;
+  };
+
+  for (size_t ti = 0; ti < tokens.size(); ++ti) {
+    captures.clear();
+    if (!match(0, ti)) continue;
+    SlotMap slots;
+    for (const auto& [slot, cap] : captures) slots[slot] = cap.value;
+    ExtractedFact fact;
+    fact.doc = doc.id;
+    fact.attribute = spec_.attribute_fn ? spec_.attribute_fn(slots)
+                                        : spec_.attribute;
+    auto value_it = captures.find(spec_.value_slot);
+    if (value_it == captures.end()) continue;  // unreachable by Compile
+    fact.value = value_it->second.value;
+    fact.span = value_it->second.span;
+    if (!spec_.subject_slot.empty() &&
+        captures.count(spec_.subject_slot) > 0) {
+      fact.subject = captures[spec_.subject_slot].value;
+    } else {
+      fact.subject = doc.title;
+    }
+    fact.extractor = name();
+    fact.confidence = spec_.confidence;
+    out.push_back(std::move(fact));
+  }
+  return out;
+}
+
+}  // namespace structura::ie

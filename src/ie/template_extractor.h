@@ -1,0 +1,84 @@
+#ifndef STRUCTURA_IE_TEMPLATE_EXTRACTOR_H_
+#define STRUCTURA_IE_TEMPLATE_EXTRACTOR_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ie/dictionary.h"
+#include "ie/extractor.h"
+
+namespace structura::ie {
+
+/// Values captured by one pattern match: slot name -> canonical value
+/// (for dict slots) or surface text (for number/name slots).
+using SlotMap = std::map<std::string, std::string>;
+
+/// Pattern-based free-text extractor. A pattern is a whitespace-separated
+/// sequence of literal tokens and slots:
+///
+///   "the average temperature in <m:dict:months> is <v:number> degrees"
+///   "the mayor of <c:name> is <v:name>"
+///
+/// Slot types:
+///   <x:number>        one numeric token ("233,209", "-5", "70.5")
+///   <x:dict:NAME>     one token found in the named dictionary; the
+///                     captured value is the dictionary's canonical form
+///   <x:name>          a proper-name token run: capitalized words,
+///                     optionally joined by "." or "," ("D. Smith",
+///                     "Madison, Wisconsin"), longest match first
+///   <x:link>          a wiki link "[[Target|anchor]]"; the capture is the
+///                     link target (already canonical)
+///
+/// Literals match case-insensitively against word tokens. For every match
+/// the extractor emits one fact whose attribute is produced by
+/// `attribute_fn(slots)` and whose value is the capture of `value_slot`.
+class TemplateExtractor : public Extractor {
+ public:
+  struct Spec {
+    std::string extractor_name;
+    std::string pattern;
+    /// Dictionaries referenced by <x:dict:NAME> slots, keyed by NAME.
+    /// Pointees must outlive the extractor.
+    std::map<std::string, const Dictionary*> dictionaries;
+    /// Derives the fact's attribute from the captured slots. Default:
+    /// constant `attribute`.
+    std::function<std::string(const SlotMap&)> attribute_fn;
+    std::string attribute;      // used when attribute_fn is unset
+    std::string value_slot;     // slot whose capture becomes fact.value
+    /// Slot whose capture becomes fact.subject; empty = document title.
+    std::string subject_slot;
+    double confidence = 0.85;
+  };
+
+  /// Parses the pattern; fails on syntax errors or unknown dictionaries.
+  static Result<std::unique_ptr<TemplateExtractor>> Create(Spec spec);
+
+  std::string name() const override { return spec_.extractor_name; }
+  std::vector<ExtractedFact> Extract(
+      const text::Document& doc) const override;
+  double CostPerDoc() const override { return 2.0; }
+
+ private:
+  struct Elem {
+    enum class Kind { kLiteral, kNumber, kDict, kName, kLink };
+    Kind kind = Kind::kLiteral;
+    std::string literal;        // lowercased, for kLiteral
+    std::string slot;           // slot name, for slot kinds
+    const Dictionary* dict = nullptr;  // for kDict
+  };
+
+  explicit TemplateExtractor(Spec spec) : spec_(std::move(spec)) {}
+
+  Status Compile();
+
+  Spec spec_;
+  std::vector<Elem> elems_;
+};
+
+}  // namespace structura::ie
+
+#endif  // STRUCTURA_IE_TEMPLATE_EXTRACTOR_H_

@@ -1,0 +1,76 @@
+#include "ii/matcher.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "text/similarity.h"
+#include "text/tokenizer.h"
+
+namespace structura::ii {
+
+double JaroWinklerMatcher::Score(const MentionRecord& a,
+                                 const MentionRecord& b) const {
+  return text::JaroWinklerSimilarity(a.surface, b.surface);
+}
+
+double LevenshteinMatcher::Score(const MentionRecord& a,
+                                 const MentionRecord& b) const {
+  return text::LevenshteinSimilarity(a.surface, b.surface);
+}
+
+std::vector<std::string> NameMatcher::NormalizeTokens(
+    const std::string& s) {
+  // Token-set scoring is order-insensitive, so "Smith, David" needs no
+  // reorder — only lowercasing and stop-token stripping.
+  std::vector<std::string> tokens = text::WordTokens(s);
+  // Drop leading stop tokens ("City of Madison" -> "madison").
+  static const char* kStops[] = {"city", "of", "the", "town"};
+  size_t start = 0;
+  while (start < tokens.size()) {
+    bool is_stop = false;
+    for (const char* stop : kStops) {
+      if (tokens[start] == stop) {
+        is_stop = true;
+        break;
+      }
+    }
+    if (!is_stop) break;
+    ++start;
+  }
+  if (start > 0 && start < tokens.size()) {
+    tokens.erase(tokens.begin(), tokens.begin() + static_cast<long>(start));
+  }
+  return tokens;
+}
+
+double NameMatcher::Score(const MentionRecord& a,
+                          const MentionRecord& b) const {
+  std::vector<std::string> ta = NormalizeTokens(a.surface);
+  std::vector<std::string> tb = NormalizeTokens(b.surface);
+  if (ta.empty() || tb.empty()) return 0.0;
+  if (ta.size() > tb.size()) std::swap(ta, tb);
+  // Greedy alignment of the smaller token set into the larger one;
+  // single-letter tokens ("d" from "D.") match on initial.
+  std::vector<bool> used(tb.size(), false);
+  size_t matched = 0;
+  for (const std::string& x : ta) {
+    for (size_t j = 0; j < tb.size(); ++j) {
+      if (used[j]) continue;
+      const std::string& y = tb[j];
+      bool hit = x == y ||
+                 (x.size() == 1 && !y.empty() && y[0] == x[0]) ||
+                 (y.size() == 1 && !x.empty() && x[0] == y[0]);
+      if (hit) {
+        used[j] = true;
+        ++matched;
+        break;
+      }
+    }
+  }
+  double containment = static_cast<double>(matched) / ta.size();
+  double jw = text::JaroWinklerSimilarity(a.surface, b.surface);
+  // Containment dominates; JW breaks ties between near-misses.
+  return 0.8 * containment + 0.2 * jw;
+}
+
+}  // namespace structura::ii

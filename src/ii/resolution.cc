@@ -1,0 +1,100 @@
+#include "ii/resolution.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "ii/union_find.h"
+
+namespace structura::ii {
+namespace {
+
+/// Candidate pairs that share at least one normalized token (multi-key
+/// token blocking). Deduplicated, a < b.
+std::vector<std::pair<size_t, size_t>> BlockedPairs(
+    const std::vector<MentionRecord>& mentions) {
+  std::unordered_map<std::string, std::vector<size_t>> blocks;
+  for (size_t i = 0; i < mentions.size(); ++i) {
+    for (const std::string& tok :
+         NameMatcher::NormalizeTokens(mentions[i].surface)) {
+      // Single letters ("d" from "D.") block on the initial so they meet
+      // full names starting with the same letter.
+      std::string key = tok.size() == 1 ? tok : tok;
+      blocks[key].push_back(i);
+      if (tok.size() > 1) blocks[std::string(1, tok[0])].push_back(i);
+    }
+  }
+  std::set<std::pair<size_t, size_t>> pairs;
+  for (const auto& [key, members] : blocks) {
+    // Oversized blocks (e.g. an initial shared by thousands) are capped:
+    // classic blocking hygiene to avoid quadratic blowup on stop tokens.
+    if (members.size() > 512) continue;
+    for (size_t i = 0; i < members.size(); ++i) {
+      for (size_t j = i + 1; j < members.size(); ++j) {
+        size_t a = members[i], b = members[j];
+        if (a == b) continue;
+        if (a > b) std::swap(a, b);
+        pairs.emplace(a, b);
+      }
+    }
+  }
+  return {pairs.begin(), pairs.end()};
+}
+
+}  // namespace
+
+ResolutionResult ResolveEntities(const std::vector<MentionRecord>& mentions,
+                                 const ResolutionOptions& options) {
+  ResolutionResult result;
+  result.cluster_of.resize(mentions.size());
+  UnionFind uf(mentions.size());
+
+  std::vector<std::pair<size_t, size_t>> candidates;
+  if (options.use_blocking) {
+    candidates = BlockedPairs(mentions);
+  } else {
+    candidates.reserve(mentions.size() * (mentions.size() - 1) / 2);
+    for (size_t i = 0; i < mentions.size(); ++i) {
+      for (size_t j = i + 1; j < mentions.size(); ++j) {
+        candidates.emplace_back(i, j);
+      }
+    }
+  }
+
+  for (const auto& [a, b] : candidates) {
+    double score = options.matcher->Score(mentions[a], mentions[b]);
+    ++result.pairs_scored;
+    if (score >= options.threshold) {
+      uf.Union(a, b);
+      result.merged_pairs.push_back(ScoredPair{a, b, score});
+    }
+  }
+
+  for (size_t i = 0; i < mentions.size(); ++i) {
+    result.cluster_of[i] = uf.Find(i);
+  }
+  result.num_clusters = uf.NumSets();
+  return result;
+}
+
+std::vector<ScoredPair> TopKCandidates(
+    const std::vector<MentionRecord>& mentions, size_t query,
+    const SimilarityMatcher& matcher, size_t k) {
+  std::vector<ScoredPair> scored;
+  scored.reserve(mentions.size());
+  for (size_t i = 0; i < mentions.size(); ++i) {
+    if (i == query) continue;
+    scored.push_back(
+        ScoredPair{query, i, matcher.Score(mentions[query], mentions[i])});
+  }
+  std::partial_sort(scored.begin(),
+                    scored.begin() + std::min(k, scored.size()),
+                    scored.end(),
+                    [](const ScoredPair& x, const ScoredPair& y) {
+                      return x.score > y.score;
+                    });
+  scored.resize(std::min(k, scored.size()));
+  return scored;
+}
+
+}  // namespace structura::ii

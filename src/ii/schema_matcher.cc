@@ -1,0 +1,100 @@
+#include "ii/schema_matcher.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+#include "text/similarity.h"
+#include "text/tokenizer.h"
+
+namespace structura::ii {
+namespace {
+
+/// True (with parsed range) when most sample values are numeric.
+bool NumericProfile(const AttributeProfile& p, double* lo, double* hi) {
+  size_t numeric = 0;
+  *lo = 1e300;
+  *hi = -1e300;
+  for (const std::string& v : p.sample_values) {
+    std::string cleaned;
+    for (char c : v) {
+      if (c != ',') cleaned += c;
+    }
+    double x;
+    if (ParseDouble(cleaned, &x)) {
+      ++numeric;
+      *lo = std::min(*lo, x);
+      *hi = std::max(*hi, x);
+    }
+  }
+  return !p.sample_values.empty() &&
+         numeric * 2 >= p.sample_values.size();
+}
+
+}  // namespace
+
+double ValueOverlap(const AttributeProfile& a, const AttributeProfile& b) {
+  double alo, ahi, blo, bhi;
+  bool a_num = NumericProfile(a, &alo, &ahi);
+  bool b_num = NumericProfile(b, &blo, &bhi);
+  if (a_num != b_num) return 0.0;
+  if (a_num) {
+    // Range overlap / combined span.
+    double lo = std::max(alo, blo), hi = std::min(ahi, bhi);
+    double span = std::max(ahi, bhi) - std::min(alo, blo);
+    if (span <= 0) return alo == blo ? 1.0 : 0.0;
+    return std::max(0.0, hi - lo) / span;
+  }
+  // Token Jaccard over pooled sample values.
+  std::vector<std::string> ta, tb;
+  for (const std::string& v : a.sample_values) {
+    for (std::string& t : text::WordTokens(v)) ta.push_back(std::move(t));
+  }
+  for (const std::string& v : b.sample_values) {
+    for (std::string& t : text::WordTokens(v)) tb.push_back(std::move(t));
+  }
+  return text::TokenJaccard(ta, tb);
+}
+
+std::vector<SchemaMatch> MatchSchemas(
+    const std::vector<AttributeProfile>& a,
+    const std::vector<AttributeProfile>& b,
+    const SchemaMatchOptions& options) {
+  auto synonym = [&](const std::string& x, const std::string& y) {
+    for (const auto& [s, t] : options.synonyms) {
+      if ((s == x && t == y) || (s == y && t == x)) return true;
+    }
+    return false;
+  };
+  std::vector<SchemaMatch> all;
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t j = 0; j < b.size(); ++j) {
+      std::string an = ToLower(a[i].name), bn = ToLower(b[j].name);
+      double name_sim = synonym(an, bn)
+                            ? 1.0
+                            : text::JaroWinklerSimilarity(an, bn);
+      double value_sim = ValueOverlap(a[i], b[j]);
+      double score = options.name_weight * name_sim +
+                     options.value_weight * value_sim;
+      if (score >= options.threshold) {
+        all.push_back(SchemaMatch{i, j, score});
+      }
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [](const SchemaMatch& x, const SchemaMatch& y) {
+              return x.score > y.score;
+            });
+  // Greedy one-to-one assignment.
+  std::vector<bool> used_a(a.size(), false), used_b(b.size(), false);
+  std::vector<SchemaMatch> out;
+  for (const SchemaMatch& m : all) {
+    if (used_a[m.a_index] || used_b[m.b_index]) continue;
+    used_a[m.a_index] = true;
+    used_b[m.b_index] = true;
+    out.push_back(m);
+  }
+  return out;
+}
+
+}  // namespace structura::ii

@@ -1,0 +1,47 @@
+#ifndef STRUCTURA_II_SCHEMA_MATCHER_H_
+#define STRUCTURA_II_SCHEMA_MATCHER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace structura::ii {
+
+/// One attribute of an extracted schema with a sample of its values —
+/// enough signal for instance-based matching.
+struct AttributeProfile {
+  std::string name;
+  std::vector<std::string> sample_values;
+};
+
+struct SchemaMatch {
+  size_t a_index = 0;
+  size_t b_index = 0;
+  double score = 0;
+};
+
+struct SchemaMatchOptions {
+  double threshold = 0.5;
+  /// Known synonym pairs (both directions), e.g. {"location","address"} —
+  /// the paper's own example of attributes that "may in fact match".
+  std::vector<std::pair<std::string, std::string>> synonyms;
+  double name_weight = 0.5;
+  double value_weight = 0.5;
+};
+
+/// Matches attributes of schema `a` against schema `b`. Score combines
+/// name similarity (Jaro-Winkler, boosted to 1.0 for registered synonyms)
+/// with instance similarity (Jaccard of value-token sets; numeric
+/// attributes compare range overlap). Greedy one-to-one assignment in
+/// descending score order, cut at `threshold`.
+std::vector<SchemaMatch> MatchSchemas(
+    const std::vector<AttributeProfile>& a,
+    const std::vector<AttributeProfile>& b,
+    const SchemaMatchOptions& options);
+
+/// Instance similarity component, exposed for tests.
+double ValueOverlap(const AttributeProfile& a, const AttributeProfile& b);
+
+}  // namespace structura::ii
+
+#endif  // STRUCTURA_II_SCHEMA_MATCHER_H_

@@ -1,0 +1,51 @@
+#ifndef STRUCTURA_II_UNION_FIND_H_
+#define STRUCTURA_II_UNION_FIND_H_
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+namespace structura::ii {
+
+/// Disjoint-set forest with path compression and union by size.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), size_t{0});
+  }
+
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Returns true if the two sets were distinct.
+  bool Union(size_t a, size_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return false;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    --num_sets_adjust_;
+    return true;
+  }
+
+  bool Connected(size_t a, size_t b) { return Find(a) == Find(b); }
+
+  size_t NumSets() { return parent_.size() + num_sets_adjust_; }
+
+  size_t SetSize(size_t x) { return size_[Find(x)]; }
+
+ private:
+  std::vector<size_t> parent_;
+  std::vector<size_t> size_;
+  ptrdiff_t num_sets_adjust_ = 0;
+};
+
+}  // namespace structura::ii
+
+#endif  // STRUCTURA_II_UNION_FIND_H_

@@ -1,0 +1,99 @@
+#ifndef STRUCTURA_LANG_AST_H_
+#define STRUCTURA_LANG_AST_H_
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "query/relation.h"
+
+namespace structura::lang {
+
+/// SDL — the declarative language of the processing layer (Figure 1,
+/// Part I/II): programs combine IE (EXTRACT), II (RESOLVE ENTITIES), HI
+/// (WITH HUMAN REVIEW), and relational exploitation (SELECT) over views.
+///
+///   CREATE VIEW raw AS
+///     EXTRACT infobox, temp_sentence FROM pages
+///     WHERE category = "city" WITH CONFIDENCE >= 0.5;
+///   CREATE VIEW cities AS
+///     RESOLVE ENTITIES FROM raw USING name THRESHOLD 0.8
+///     WITH HUMAN REVIEW BUDGET 50;
+///   SELECT subject, AVG(value) AS avg_temp FROM cities
+///     WHERE attribute LIKE "temp_%" GROUP BY subject;
+
+struct ConditionAst {
+  std::string column;
+  query::CompareOp op = query::CompareOp::kEq;
+  query::Value literal;
+};
+
+struct SelectItemAst {
+  bool is_aggregate = false;
+  query::AggFn fn = query::AggFn::kCount;
+  std::string column;  // plain column, or aggregate argument ("" = *)
+  std::string alias;
+};
+
+struct SelectAst {
+  bool star = false;
+  std::vector<SelectItemAst> items;
+  std::string from;
+  /// Optional equi-join: FROM a JOIN b ON left_col = right_col.
+  std::string join_view;       // empty = no join
+  std::string join_left_col;
+  std::string join_right_col;
+  std::vector<ConditionAst> where;
+  std::vector<std::string> group_by;
+  std::string order_by;
+  bool descending = false;
+  size_t limit = 0;  // 0 = none
+  bool distinct = false;
+};
+
+struct ExtractAst {
+  std::vector<std::string> extractors;
+  std::string source;  // "pages" (the document collection) for now
+  std::vector<ConditionAst> where;
+  double min_confidence = -1;  // <0 = unset
+};
+
+struct ResolveAst {
+  std::string source;        // view name
+  std::string column = "subject";
+  std::string matcher;       // registry name ("name", "jaro_winkler", ...)
+  double threshold = 0.8;
+  int review_budget = 0;     // HI: max questions to ask
+};
+
+/// REFRESH VIEW v: re-run v's stored EXTRACT definition over only the
+/// documents changed since the view was (re)materialized — the
+/// incremental, best-effort generation mode of Section 3.2 applied to
+/// re-crawls.
+struct RefreshAst {
+  std::string view;
+};
+
+/// MATERIALIZE VIEW v INTO t: copy a materialized view into a table of
+/// the transactional final store (column types inferred), in one
+/// transaction — the hand-off from the processing layer to the storage
+/// layer's RDBMS (Figure 1).
+struct MaterializeAst {
+  std::string view;
+  std::string table;
+};
+
+struct Statement {
+  enum class Kind { kCreateView, kSelect, kRefresh, kMaterialize };
+  Kind kind = Kind::kSelect;
+  std::string view_name;  // for kCreateView
+  std::variant<SelectAst, ExtractAst, ResolveAst, RefreshAst,
+               MaterializeAst>
+      body;
+  /// EXPLAIN prefix: render the (optimized) plan instead of executing.
+  bool explain = false;
+};
+
+}  // namespace structura::lang
+
+#endif  // STRUCTURA_LANG_AST_H_

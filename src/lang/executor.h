@@ -1,0 +1,123 @@
+#ifndef STRUCTURA_LANG_EXECUTOR_H_
+#define STRUCTURA_LANG_EXECUTOR_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "hi/task.h"
+#include "ie/extractor.h"
+#include "ii/matcher.h"
+#include "rdbms/database.h"
+#include "lang/optimizer.h"
+#include "lang/parser.h"
+#include "lang/plan.h"
+#include "query/relation.h"
+#include "text/document.h"
+
+namespace structura::lang {
+
+/// Everything a plan needs to run: the corpus, operator registries, the
+/// view namespace, and an optional human-review channel.
+struct ExecutionContext {
+  const text::DocumentCollection* docs = nullptr;
+
+  /// Extractor registry: SDL name -> operator (non-owning).
+  std::map<std::string, const ie::Extractor*> extractors;
+  /// SDL name -> LIKE pattern of attributes the extractor can produce;
+  /// feeds the optimizer's pruning rule.
+  std::map<std::string, std::string> extractor_attributes;
+
+  /// Matcher registry for RESOLVE ENTITIES.
+  std::map<std::string, const ii::SimilarityMatcher*> matchers;
+
+  /// View namespace (materialized results of CREATE VIEW statements).
+  std::map<std::string, query::Relation> views;
+
+  /// Stored EXTRACT definitions, keyed by view name; REFRESH VIEW re-runs
+  /// them over `dirty_docs` only.
+  std::map<std::string, ExtractAst> view_definitions;
+
+  /// Documents changed since the last crawl ingest (maintained by the
+  /// System facade). REFRESH VIEW touches only these.
+  std::set<text::DocId> dirty_docs;
+
+  /// Final structured store for MATERIALIZE VIEW ... INTO (optional;
+  /// non-owning).
+  rdbms::Database* db = nullptr;
+
+  /// Human-review channel for WITH HUMAN REVIEW: gets a yes/no task,
+  /// returns true for "yes". Unset = reviews silently approve.
+  std::function<bool(const hi::Task&)> review_fn;
+
+  /// Execution counters (reset by the caller as needed).
+  size_t docs_scanned = 0;
+  size_t extractor_runs = 0;      // (doc, extractor) invocations
+  size_t review_questions = 0;
+
+  OptimizerCatalog Catalog() const {
+    OptimizerCatalog c;
+    c.extractor_attributes = extractor_attributes;
+    return c;
+  }
+};
+
+/// Executes a logical plan, producing a relation. Extraction relations
+/// have columns: doc, title, category, subject, attribute, value,
+/// confidence, extractor.
+Result<query::Relation> ExecutePlan(const PlanNode& plan,
+                                    ExecutionContext* ctx);
+
+/// Cost estimate for a plan: documents the scan will touch and the total
+/// extractor work (sum of per-doc cost units across extractors). Used by
+/// EXPLAIN to show what the optimizer bought.
+struct PlanCost {
+  double docs_scanned = 0;
+  double extractor_cost = 0;  // cost units (Extractor::CostPerDoc sums)
+
+  std::string ToString() const;
+};
+PlanCost EstimatePlanCost(const PlanNode& plan,
+                          const ExecutionContext& ctx);
+
+/// The statement-level driver: parses, (optionally) optimizes, executes,
+/// and maintains the view namespace across statements.
+class Interpreter {
+ public:
+  struct Options {
+    bool optimize = true;
+  };
+
+  struct StatementResult {
+    std::string text;            // EXPLAIN output or a short status line
+    query::Relation relation;    // SELECT result (empty otherwise)
+    bool has_relation = false;
+  };
+
+  Interpreter(ExecutionContext* ctx, Options options)
+      : ctx_(ctx), options_(options) {}
+  explicit Interpreter(ExecutionContext* ctx)
+      : Interpreter(ctx, Options()) {}
+
+  /// Runs a whole program; returns one result per statement.
+  Result<std::vector<StatementResult>> Run(const std::string& program);
+
+  /// Runs a program and returns the last statement's relation (the usual
+  /// shape: several CREATE VIEWs then one SELECT).
+  Result<query::Relation> Query(const std::string& program);
+
+ private:
+  Result<StatementResult> RunStatement(const Statement& stmt);
+  Result<StatementResult> RunRefresh(const RefreshAst& refresh);
+  Result<StatementResult> RunMaterialize(const MaterializeAst& mat);
+
+  ExecutionContext* ctx_;
+  Options options_;
+};
+
+}  // namespace structura::lang
+
+#endif  // STRUCTURA_LANG_EXECUTOR_H_

@@ -1,0 +1,167 @@
+#include "lang/optimizer.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace structura::lang {
+
+std::string OptimizerReport::ToString() const {
+  return StrFormat(
+      "pushed_category=%d pushed_confidence=%d pruned_extractors=%d "
+      "merged_filters=%d",
+      pushed_category ? 1 : 0, pushed_confidence ? 1 : 0,
+      pruned_extractors, merged_filters);
+}
+
+namespace {
+
+/// Literal prefix of a LIKE pattern (text before the first '%').
+std::string LikePrefix(const std::string& pattern) {
+  size_t pct = pattern.find('%');
+  return pct == std::string::npos ? pattern : pattern.substr(0, pct);
+}
+
+bool IsPrefixOf(const std::string& a, const std::string& b) {
+  return b.size() >= a.size() && b.compare(0, a.size(), a) == 0;
+}
+
+}  // namespace
+
+bool PatternMayMatch(const std::string& produce_pattern,
+                     const query::Condition& condition) {
+  if (condition.column != "attribute") return true;
+  const std::string lit = condition.literal.ToString();
+  bool exact = produce_pattern.find('%') == std::string::npos;
+  const std::string prefix = LikePrefix(produce_pattern);
+
+  if (exact) {
+    // The extractor produces exactly one attribute: evaluate directly.
+    return condition.Eval(query::Value::Str(produce_pattern));
+  }
+  switch (condition.op) {
+    case query::CompareOp::kEq:
+      // s == lit and s starts with prefix.
+      return IsPrefixOf(prefix, lit);
+    case query::CompareOp::kLike: {
+      // Some s matching both patterns requires compatible literal
+      // prefixes (one a prefix of the other). Conservative beyond that.
+      const std::string other = LikePrefix(lit);
+      return IsPrefixOf(prefix, other) || IsPrefixOf(other, prefix);
+    }
+    case query::CompareOp::kGe:
+    case query::CompareOp::kGt: {
+      // Strings with this prefix form the interval
+      // [prefix, prefix+infinity); they intersect [lit, inf) unless every
+      // prefixed string is below lit, which can only happen when lit has
+      // the prefix... conservative: prune only when prefix+"\xff..." < lit,
+      // approximated by: lit does not share the prefix and prefix < lit
+      // and lit is not an extension -> compare against prefix upper bound.
+      std::string upper = prefix;
+      upper += '\x7f';  // above any printable continuation
+      return !(upper < lit);
+    }
+    case query::CompareOp::kLe:
+    case query::CompareOp::kLt:
+      // Intersects (-inf, lit] unless prefix itself already exceeds lit.
+      return !(lit < prefix);
+    case query::CompareOp::kNe:
+    case query::CompareOp::kContains:
+      return true;
+  }
+  return true;
+}
+
+PlanPtr Optimize(PlanPtr plan, const OptimizerCatalog& catalog,
+                 OptimizerReport* report) {
+  OptimizerReport local;
+  OptimizerReport* rep = report != nullptr ? report : &local;
+
+  // Recurse into children first.
+  for (PlanPtr& child : plan->children) {
+    child = Optimize(std::move(child), catalog, rep);
+  }
+
+  // Rule 1: merge Filter(Filter(x)).
+  if (plan->type == PlanNode::Type::kFilter &&
+      plan->children.size() == 1 &&
+      plan->children[0]->type == PlanNode::Type::kFilter) {
+    PlanPtr inner = std::move(plan->children[0]);
+    plan->conditions.insert(plan->conditions.end(),
+                            inner->conditions.begin(),
+                            inner->conditions.end());
+    plan->children.clear();
+    plan->children.push_back(std::move(inner->children[0]));
+    ++rep->merged_filters;
+  }
+
+  // Rules 2-4 operate on Filter directly above Extract.
+  if (plan->type == PlanNode::Type::kFilter &&
+      plan->children.size() == 1 &&
+      plan->children[0]->type == PlanNode::Type::kExtract) {
+    PlanNode* extract = plan->children[0].get();
+    PlanNode* scan = extract->children.empty()
+                         ? nullptr
+                         : extract->children[0].get();
+    std::vector<query::Condition> remaining;
+    std::vector<query::Condition> attribute_conditions;
+    for (query::Condition& cond : plan->conditions) {
+      // Rule 2: category pushdown into the document scan.
+      if (cond.column == "category" && cond.op == query::CompareOp::kEq &&
+          scan != nullptr && scan->type == PlanNode::Type::kScanDocs &&
+          scan->category_filter.empty()) {
+        scan->category_filter = cond.literal.ToString();
+        rep->pushed_category = true;
+        continue;
+      }
+      // Rule 3: confidence pushdown into Extract.
+      if (cond.column == "confidence" &&
+          cond.op == query::CompareOp::kGe) {
+        double v = 0;
+        if (cond.literal.ToNumber(&v)) {
+          extract->min_confidence = std::max(extract->min_confidence, v);
+          rep->pushed_confidence = true;
+          continue;
+        }
+      }
+      if (cond.column == "attribute") {
+        attribute_conditions.push_back(cond);
+      }
+      remaining.push_back(std::move(cond));
+    }
+    plan->conditions = std::move(remaining);
+
+    // Rule 4: prune extractors that cannot satisfy the attribute
+    // predicates. Extractors missing from the catalog are kept.
+    if (!attribute_conditions.empty()) {
+      std::vector<std::string> kept;
+      for (const std::string& name : extract->extractors) {
+        auto it = catalog.extractor_attributes.find(name);
+        bool may_match = true;
+        if (it != catalog.extractor_attributes.end()) {
+          for (const query::Condition& cond : attribute_conditions) {
+            if (!PatternMayMatch(it->second, cond)) {
+              may_match = false;
+              break;
+            }
+          }
+        }
+        if (may_match) {
+          kept.push_back(name);
+        } else {
+          ++rep->pruned_extractors;
+        }
+      }
+      extract->extractors = std::move(kept);
+    }
+
+    // Drop the Filter node entirely when nothing remains.
+    if (plan->conditions.empty()) {
+      PlanPtr child = std::move(plan->children[0]);
+      return child;
+    }
+  }
+  return plan;
+}
+
+}  // namespace structura::lang

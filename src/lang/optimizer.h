@@ -1,0 +1,46 @@
+#ifndef STRUCTURA_LANG_OPTIMIZER_H_
+#define STRUCTURA_LANG_OPTIMIZER_H_
+
+#include <map>
+#include <string>
+
+#include "lang/plan.h"
+
+namespace structura::lang {
+
+/// What the optimizer knows about registered extractors: the LIKE-style
+/// pattern of attributes each can produce ("temp_%", "population", "%").
+struct OptimizerCatalog {
+  std::map<std::string, std::string> extractor_attributes;
+};
+
+struct OptimizerReport {
+  bool pushed_category = false;
+  bool pushed_confidence = false;
+  int pruned_extractors = 0;
+  int merged_filters = 0;
+
+  std::string ToString() const;
+};
+
+/// Rewrites a naive plan:
+///  1. merges stacked Filters,
+///  2. pushes `category = "..."` predicates into the document scan,
+///  3. pushes `confidence >= x` into the Extract node,
+///  4. prunes extractors that provably cannot produce any attribute
+///     satisfying the plan's attribute predicates.
+/// The rewritten plan is semantically equivalent (tests assert equal
+/// results); it just refuses to do work the predicates would discard —
+/// the point of the declarative processing layer.
+PlanPtr Optimize(PlanPtr plan, const OptimizerCatalog& catalog,
+                 OptimizerReport* report = nullptr);
+
+/// True when some attribute string could both match the extractor's
+/// produce-pattern and satisfy `condition`. Conservative: returns true
+/// when unsure. Exposed for tests.
+bool PatternMayMatch(const std::string& produce_pattern,
+                     const query::Condition& condition);
+
+}  // namespace structura::lang
+
+#endif  // STRUCTURA_LANG_OPTIMIZER_H_

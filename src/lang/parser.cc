@@ -1,0 +1,396 @@
+#include "lang/parser.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace structura::lang {
+namespace {
+
+enum class TokKind { kIdent, kNumber, kString, kSymbol, kEnd };
+
+struct Tok {
+  TokKind kind = TokKind::kEnd;
+  std::string text;   // ident (lowercased copy in `lower`), symbol, etc.
+  std::string lower;  // lowercased ident for keyword checks
+  double number = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : src_(src) {}
+
+  Result<std::vector<Tok>> Lex() {
+    std::vector<Tok> out;
+    size_t i = 0;
+    const size_t n = src_.size();
+    while (i < n) {
+      char c = src_[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (c == '#') {  // comment to end of line
+        while (i < n && src_[i] != '\n') ++i;
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t j = i;
+        while (j < n && (std::isalnum(static_cast<unsigned char>(src_[j])) ||
+                         src_[j] == '_')) {
+          ++j;
+        }
+        Tok t;
+        t.kind = TokKind::kIdent;
+        t.text = src_.substr(i, j - i);
+        t.lower = ToLower(t.text);
+        out.push_back(std::move(t));
+        i = j;
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '-' && i + 1 < n &&
+           std::isdigit(static_cast<unsigned char>(src_[i + 1])))) {
+        size_t j = i + 1;
+        while (j < n && (std::isdigit(static_cast<unsigned char>(src_[j])) ||
+                         src_[j] == '.')) {
+          ++j;
+        }
+        Tok t;
+        t.kind = TokKind::kNumber;
+        t.text = src_.substr(i, j - i);
+        if (!ParseDouble(t.text, &t.number)) {
+          return Status::InvalidArgument("bad number: " + t.text);
+        }
+        out.push_back(std::move(t));
+        i = j;
+        continue;
+      }
+      if (c == '"') {
+        size_t j = i + 1;
+        std::string value;
+        while (j < n && src_[j] != '"') {
+          value += src_[j];
+          ++j;
+        }
+        if (j >= n) return Status::InvalidArgument("unterminated string");
+        Tok t;
+        t.kind = TokKind::kString;
+        t.text = std::move(value);
+        out.push_back(std::move(t));
+        i = j + 1;
+        continue;
+      }
+      // Multi-char operators first.
+      auto two = [&](const char* op) {
+        return i + 1 < n && src_[i] == op[0] && src_[i + 1] == op[1];
+      };
+      Tok t;
+      t.kind = TokKind::kSymbol;
+      if (two("!=") || two(">=") || two("<=")) {
+        t.text = src_.substr(i, 2);
+        i += 2;
+      } else {
+        t.text = std::string(1, c);
+        ++i;
+      }
+      out.push_back(std::move(t));
+    }
+    Tok end;
+    end.kind = TokKind::kEnd;
+    out.push_back(std::move(end));
+    return out;
+  }
+
+ private:
+  const std::string& src_;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Tok> toks) : toks_(std::move(toks)) {}
+
+  Result<std::vector<Statement>> ParseProgram() {
+    std::vector<Statement> out;
+    while (!AtEnd()) {
+      if (PeekSymbol(";")) {
+        ++pos_;
+        continue;
+      }
+      STRUCTURA_ASSIGN_OR_RETURN(Statement s, ParseStatement());
+      out.push_back(std::move(s));
+      if (!ConsumeSymbol(";")) {
+        return Status::InvalidArgument("expected ';' after statement");
+      }
+    }
+    return out;
+  }
+
+ private:
+  bool AtEnd() const { return toks_[pos_].kind == TokKind::kEnd; }
+  const Tok& Peek() const { return toks_[pos_]; }
+  const Tok& Next() { return toks_[pos_++]; }
+
+  bool PeekKeyword(const char* kw) const {
+    return Peek().kind == TokKind::kIdent && Peek().lower == kw;
+  }
+  bool ConsumeKeyword(const char* kw) {
+    if (!PeekKeyword(kw)) return false;
+    ++pos_;
+    return true;
+  }
+  bool PeekSymbol(const char* sym) const {
+    return Peek().kind == TokKind::kSymbol && Peek().text == sym;
+  }
+  bool ConsumeSymbol(const char* sym) {
+    if (!PeekSymbol(sym)) return false;
+    ++pos_;
+    return true;
+  }
+  Status Expect(const char* what) {
+    return Status::InvalidArgument(
+        StrFormat("expected %s near \"%s\"", what, Peek().text.c_str()));
+  }
+  Result<std::string> ExpectIdent(const char* what) {
+    if (Peek().kind != TokKind::kIdent) return Expect(what);
+    return Next().text;
+  }
+  Result<double> ExpectNumber(const char* what) {
+    if (Peek().kind != TokKind::kNumber) return Expect(what);
+    return Next().number;
+  }
+
+  Result<Statement> ParseStatement() {
+    Statement stmt;
+    if (ConsumeKeyword("explain")) stmt.explain = true;
+    if (ConsumeKeyword("create")) {
+      if (!ConsumeKeyword("view")) return Expect("VIEW");
+      STRUCTURA_ASSIGN_OR_RETURN(stmt.view_name, ExpectIdent("view name"));
+      if (!ConsumeKeyword("as")) return Expect("AS");
+      stmt.kind = Statement::Kind::kCreateView;
+      if (PeekKeyword("extract")) {
+        STRUCTURA_ASSIGN_OR_RETURN(ExtractAst body, ParseExtract());
+        stmt.body = std::move(body);
+      } else if (PeekKeyword("resolve")) {
+        STRUCTURA_ASSIGN_OR_RETURN(ResolveAst body, ParseResolve());
+        stmt.body = std::move(body);
+      } else if (PeekKeyword("select")) {
+        STRUCTURA_ASSIGN_OR_RETURN(SelectAst body, ParseSelect());
+        stmt.body = std::move(body);
+      } else {
+        return Expect("EXTRACT, RESOLVE, or SELECT");
+      }
+      return stmt;
+    }
+    if (PeekKeyword("select")) {
+      stmt.kind = Statement::Kind::kSelect;
+      STRUCTURA_ASSIGN_OR_RETURN(SelectAst body, ParseSelect());
+      stmt.body = std::move(body);
+      return stmt;
+    }
+    if (ConsumeKeyword("refresh")) {
+      if (!ConsumeKeyword("view")) return Expect("VIEW");
+      stmt.kind = Statement::Kind::kRefresh;
+      RefreshAst refresh;
+      STRUCTURA_ASSIGN_OR_RETURN(refresh.view, ExpectIdent("view name"));
+      stmt.body = std::move(refresh);
+      return stmt;
+    }
+    if (ConsumeKeyword("materialize")) {
+      if (!ConsumeKeyword("view")) return Expect("VIEW");
+      stmt.kind = Statement::Kind::kMaterialize;
+      MaterializeAst mat;
+      STRUCTURA_ASSIGN_OR_RETURN(mat.view, ExpectIdent("view name"));
+      if (!ConsumeKeyword("into")) return Expect("INTO");
+      STRUCTURA_ASSIGN_OR_RETURN(mat.table, ExpectIdent("table name"));
+      stmt.body = std::move(mat);
+      return stmt;
+    }
+    return Expect("CREATE, SELECT, REFRESH, or MATERIALIZE");
+  }
+
+  Result<ExtractAst> ParseExtract() {
+    ExtractAst ast;
+    if (!ConsumeKeyword("extract")) return Expect("EXTRACT");
+    while (true) {
+      STRUCTURA_ASSIGN_OR_RETURN(std::string name,
+                                 ExpectIdent("extractor name"));
+      ast.extractors.push_back(std::move(name));
+      if (!ConsumeSymbol(",")) break;
+    }
+    if (!ConsumeKeyword("from")) return Expect("FROM");
+    STRUCTURA_ASSIGN_OR_RETURN(ast.source, ExpectIdent("source"));
+    if (ConsumeKeyword("where")) {
+      STRUCTURA_ASSIGN_OR_RETURN(ast.where, ParseConditions());
+    }
+    if (ConsumeKeyword("with")) {
+      if (!ConsumeKeyword("confidence")) return Expect("CONFIDENCE");
+      if (!ConsumeSymbol(">=")) return Expect(">=");
+      STRUCTURA_ASSIGN_OR_RETURN(ast.min_confidence,
+                                 ExpectNumber("confidence"));
+    }
+    return ast;
+  }
+
+  Result<ResolveAst> ParseResolve() {
+    ResolveAst ast;
+    if (!ConsumeKeyword("resolve")) return Expect("RESOLVE");
+    if (!ConsumeKeyword("entities")) return Expect("ENTITIES");
+    if (!ConsumeKeyword("from")) return Expect("FROM");
+    STRUCTURA_ASSIGN_OR_RETURN(ast.source, ExpectIdent("source view"));
+    if (ConsumeKeyword("column")) {
+      STRUCTURA_ASSIGN_OR_RETURN(ast.column, ExpectIdent("column"));
+    }
+    if (!ConsumeKeyword("using")) return Expect("USING");
+    STRUCTURA_ASSIGN_OR_RETURN(ast.matcher, ExpectIdent("matcher"));
+    if (!ConsumeKeyword("threshold")) return Expect("THRESHOLD");
+    STRUCTURA_ASSIGN_OR_RETURN(ast.threshold, ExpectNumber("threshold"));
+    if (ConsumeKeyword("with")) {
+      if (!ConsumeKeyword("human")) return Expect("HUMAN");
+      if (!ConsumeKeyword("review")) return Expect("REVIEW");
+      if (!ConsumeKeyword("budget")) return Expect("BUDGET");
+      STRUCTURA_ASSIGN_OR_RETURN(double budget, ExpectNumber("budget"));
+      ast.review_budget = static_cast<int>(budget);
+    }
+    return ast;
+  }
+
+  Result<SelectAst> ParseSelect() {
+    SelectAst ast;
+    if (!ConsumeKeyword("select")) return Expect("SELECT");
+    if (ConsumeKeyword("distinct")) ast.distinct = true;
+    if (ConsumeSymbol("*")) {
+      ast.star = true;
+    } else {
+      while (true) {
+        STRUCTURA_ASSIGN_OR_RETURN(SelectItemAst item, ParseSelectItem());
+        ast.items.push_back(std::move(item));
+        if (!ConsumeSymbol(",")) break;
+      }
+    }
+    if (!ConsumeKeyword("from")) return Expect("FROM");
+    STRUCTURA_ASSIGN_OR_RETURN(ast.from, ExpectIdent("source view"));
+    if (ConsumeKeyword("join")) {
+      STRUCTURA_ASSIGN_OR_RETURN(ast.join_view, ExpectIdent("join view"));
+      if (!ConsumeKeyword("on")) return Expect("ON");
+      STRUCTURA_ASSIGN_OR_RETURN(ast.join_left_col,
+                                 ExpectIdent("left join column"));
+      if (!ConsumeSymbol("=")) return Expect("=");
+      STRUCTURA_ASSIGN_OR_RETURN(ast.join_right_col,
+                                 ExpectIdent("right join column"));
+    }
+    if (ConsumeKeyword("where")) {
+      STRUCTURA_ASSIGN_OR_RETURN(ast.where, ParseConditions());
+    }
+    if (ConsumeKeyword("group")) {
+      if (!ConsumeKeyword("by")) return Expect("BY");
+      while (true) {
+        STRUCTURA_ASSIGN_OR_RETURN(std::string col,
+                                   ExpectIdent("group column"));
+        ast.group_by.push_back(std::move(col));
+        if (!ConsumeSymbol(",")) break;
+      }
+    }
+    if (ConsumeKeyword("order")) {
+      if (!ConsumeKeyword("by")) return Expect("BY");
+      STRUCTURA_ASSIGN_OR_RETURN(ast.order_by, ExpectIdent("order column"));
+      if (ConsumeKeyword("desc")) ast.descending = true;
+      else ConsumeKeyword("asc");
+    }
+    if (ConsumeKeyword("limit")) {
+      STRUCTURA_ASSIGN_OR_RETURN(double n, ExpectNumber("limit"));
+      ast.limit = static_cast<size_t>(n);
+    }
+    return ast;
+  }
+
+  Result<SelectItemAst> ParseSelectItem() {
+    SelectItemAst item;
+    if (Peek().kind != TokKind::kIdent) return Expect("column");
+    static const std::pair<const char*, query::AggFn> kAggs[] = {
+        {"count", query::AggFn::kCount}, {"sum", query::AggFn::kSum},
+        {"avg", query::AggFn::kAvg},     {"min", query::AggFn::kMin},
+        {"max", query::AggFn::kMax}};
+    for (const auto& [kw, fn] : kAggs) {
+      if (Peek().lower == kw && toks_[pos_ + 1].kind == TokKind::kSymbol &&
+          toks_[pos_ + 1].text == "(") {
+        ++pos_;  // agg name
+        ++pos_;  // '('
+        item.is_aggregate = true;
+        item.fn = fn;
+        if (ConsumeSymbol("*")) {
+          item.column.clear();
+        } else {
+          STRUCTURA_ASSIGN_OR_RETURN(item.column,
+                                     ExpectIdent("aggregate column"));
+        }
+        if (!ConsumeSymbol(")")) return Expect(")");
+        if (ConsumeKeyword("as")) {
+          STRUCTURA_ASSIGN_OR_RETURN(item.alias, ExpectIdent("alias"));
+        }
+        return item;
+      }
+    }
+    STRUCTURA_ASSIGN_OR_RETURN(item.column, ExpectIdent("column"));
+    if (ConsumeKeyword("as")) {
+      STRUCTURA_ASSIGN_OR_RETURN(item.alias, ExpectIdent("alias"));
+    }
+    return item;
+  }
+
+  Result<std::vector<ConditionAst>> ParseConditions() {
+    std::vector<ConditionAst> out;
+    while (true) {
+      ConditionAst cond;
+      STRUCTURA_ASSIGN_OR_RETURN(cond.column, ExpectIdent("column"));
+      if (ConsumeSymbol("=")) {
+        cond.op = query::CompareOp::kEq;
+      } else if (ConsumeSymbol("!=")) {
+        cond.op = query::CompareOp::kNe;
+      } else if (ConsumeSymbol("<=")) {
+        cond.op = query::CompareOp::kLe;
+      } else if (ConsumeSymbol(">=")) {
+        cond.op = query::CompareOp::kGe;
+      } else if (ConsumeSymbol("<")) {
+        cond.op = query::CompareOp::kLt;
+      } else if (ConsumeSymbol(">")) {
+        cond.op = query::CompareOp::kGt;
+      } else if (ConsumeKeyword("like")) {
+        cond.op = query::CompareOp::kLike;
+      } else if (ConsumeKeyword("contains")) {
+        cond.op = query::CompareOp::kContains;
+      } else {
+        return Expect("comparison operator");
+      }
+      if (Peek().kind == TokKind::kNumber) {
+        double v = Next().number;
+        if (v == static_cast<int64_t>(v)) {
+          cond.literal = query::Value::Int(static_cast<int64_t>(v));
+        } else {
+          cond.literal = query::Value::Double(v);
+        }
+      } else if (Peek().kind == TokKind::kString) {
+        cond.literal = query::Value::Str(Next().text);
+      } else {
+        return Expect("literal");
+      }
+      out.push_back(std::move(cond));
+      if (!ConsumeKeyword("and")) break;
+    }
+    return out;
+  }
+
+  std::vector<Tok> toks_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::vector<Statement>> Parse(const std::string& program) {
+  Lexer lexer(program);
+  STRUCTURA_ASSIGN_OR_RETURN(std::vector<Tok> toks, lexer.Lex());
+  Parser parser(std::move(toks));
+  return parser.ParseProgram();
+}
+
+}  // namespace structura::lang

@@ -1,0 +1,19 @@
+#ifndef STRUCTURA_LANG_PARSER_H_
+#define STRUCTURA_LANG_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "lang/ast.h"
+
+namespace structura::lang {
+
+/// Parses an SDL program (';'-separated statements). Keywords are
+/// case-insensitive; identifiers are [A-Za-z_][A-Za-z0-9_]*; strings are
+/// double-quoted; '#' starts a comment to end of line.
+Result<std::vector<Statement>> Parse(const std::string& program);
+
+}  // namespace structura::lang
+
+#endif  // STRUCTURA_LANG_PARSER_H_

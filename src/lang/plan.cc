@@ -1,0 +1,223 @@
+#include "lang/plan.h"
+
+#include "common/strings.h"
+
+namespace structura::lang {
+namespace {
+
+query::Condition ToCondition(const ConditionAst& ast) {
+  query::Condition c;
+  c.column = ast.column;
+  c.op = ast.op;
+  c.literal = ast.literal;
+  return c;
+}
+
+PlanPtr MakeNode(PlanNode::Type type) {
+  auto node = std::make_unique<PlanNode>();
+  node->type = type;
+  return node;
+}
+
+Result<PlanPtr> BuildExtractPlan(const ExtractAst& ast) {
+  if (ast.source != "pages") {
+    return Status::InvalidArgument(
+        "EXTRACT source must be 'pages' (got " + ast.source + ")");
+  }
+  PlanPtr scan = MakeNode(PlanNode::Type::kScanDocs);
+  PlanPtr extract = MakeNode(PlanNode::Type::kExtract);
+  extract->extractors = ast.extractors;
+  extract->min_confidence = ast.min_confidence;
+  extract->children.push_back(std::move(scan));
+  PlanPtr top = std::move(extract);
+  if (!ast.where.empty()) {
+    PlanPtr filter = MakeNode(PlanNode::Type::kFilter);
+    for (const ConditionAst& c : ast.where) {
+      filter->conditions.push_back(ToCondition(c));
+    }
+    filter->children.push_back(std::move(top));
+    top = std::move(filter);
+  }
+  return top;
+}
+
+Result<PlanPtr> BuildResolvePlan(const ResolveAst& ast) {
+  PlanPtr source = MakeNode(PlanNode::Type::kViewRef);
+  source->view = ast.source;
+  PlanPtr resolve = MakeNode(PlanNode::Type::kResolve);
+  resolve->resolve = ast;
+  resolve->children.push_back(std::move(source));
+  return resolve;
+}
+
+Result<PlanPtr> BuildSelectPlan(const SelectAst& ast) {
+  PlanPtr top = MakeNode(PlanNode::Type::kViewRef);
+  top->view = ast.from;
+  if (!ast.join_view.empty()) {
+    PlanPtr right = MakeNode(PlanNode::Type::kViewRef);
+    right->view = ast.join_view;
+    PlanPtr join = MakeNode(PlanNode::Type::kJoin);
+    join->join_left_col = ast.join_left_col;
+    join->join_right_col = ast.join_right_col;
+    join->children.push_back(std::move(top));
+    join->children.push_back(std::move(right));
+    top = std::move(join);
+  }
+  if (!ast.where.empty()) {
+    PlanPtr filter = MakeNode(PlanNode::Type::kFilter);
+    for (const ConditionAst& c : ast.where) {
+      filter->conditions.push_back(ToCondition(c));
+    }
+    filter->children.push_back(std::move(top));
+    top = std::move(filter);
+  }
+  bool any_agg = false;
+  for (const SelectItemAst& item : ast.items) {
+    if (item.is_aggregate) any_agg = true;
+  }
+  if (any_agg || !ast.group_by.empty()) {
+    PlanPtr agg = MakeNode(PlanNode::Type::kAggregate);
+    agg->columns = ast.group_by;
+    for (const SelectItemAst& item : ast.items) {
+      if (!item.is_aggregate) {
+        // Non-aggregate items must be group columns.
+        bool grouped = false;
+        for (const std::string& g : ast.group_by) {
+          if (g == item.column) grouped = true;
+        }
+        if (!grouped) {
+          return Status::InvalidArgument(
+              "column " + item.column +
+              " must appear in GROUP BY or an aggregate");
+        }
+        continue;
+      }
+      query::AggSpec spec;
+      spec.fn = item.fn;
+      spec.column = item.column;
+      spec.output_name = item.alias;
+      agg->aggs.push_back(std::move(spec));
+    }
+    agg->children.push_back(std::move(top));
+    top = std::move(agg);
+  } else if (!ast.star && !ast.items.empty()) {
+    PlanPtr project = MakeNode(PlanNode::Type::kProject);
+    for (const SelectItemAst& item : ast.items) {
+      project->columns.push_back(item.column);
+    }
+    project->children.push_back(std::move(top));
+    top = std::move(project);
+  }
+  if (ast.distinct) {
+    PlanPtr distinct = MakeNode(PlanNode::Type::kDistinct);
+    distinct->children.push_back(std::move(top));
+    top = std::move(distinct);
+  }
+  if (!ast.order_by.empty()) {
+    PlanPtr order = MakeNode(PlanNode::Type::kOrderBy);
+    order->order_column = ast.order_by;
+    order->descending = ast.descending;
+    order->children.push_back(std::move(top));
+    top = std::move(order);
+  }
+  if (ast.limit > 0) {
+    PlanPtr limit = MakeNode(PlanNode::Type::kLimit);
+    limit->limit = ast.limit;
+    limit->children.push_back(std::move(top));
+    top = std::move(limit);
+  }
+  return top;
+}
+
+}  // namespace
+
+Result<PlanPtr> BuildPlan(const Statement& stmt) {
+  if (std::holds_alternative<ExtractAst>(stmt.body)) {
+    return BuildExtractPlan(std::get<ExtractAst>(stmt.body));
+  }
+  if (std::holds_alternative<ResolveAst>(stmt.body)) {
+    return BuildResolvePlan(std::get<ResolveAst>(stmt.body));
+  }
+  if (std::holds_alternative<RefreshAst>(stmt.body)) {
+    // REFRESH needs the stored view definition; the interpreter builds
+    // its plan (see Interpreter::RunStatement).
+    return Status::Internal("REFRESH plans are built by the interpreter");
+  }
+  return BuildSelectPlan(std::get<SelectAst>(stmt.body));
+}
+
+std::string PlanNode::ToString(int indent) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string line = pad;
+  switch (type) {
+    case Type::kScanDocs:
+      line += "ScanDocs";
+      if (!category_filter.empty()) {
+        line += " [category = \"" + category_filter + "\"]";
+      }
+      if (!doc_restriction.empty()) {
+        line += StrFormat(" [restricted to %zu changed docs]",
+                          doc_restriction.size());
+      }
+      break;
+    case Type::kExtract: {
+      line += "Extract [" + Join(extractors, ", ") + "]";
+      if (min_confidence >= 0) {
+        line += StrFormat(" [confidence >= %.2f]", min_confidence);
+      }
+      break;
+    }
+    case Type::kViewRef:
+      line += "View " + view;
+      break;
+    case Type::kFilter: {
+      std::vector<std::string> conds;
+      for (const query::Condition& c : conditions) {
+        conds.push_back(c.ToString());
+      }
+      line += "Filter [" + Join(conds, " AND ") + "]";
+      break;
+    }
+    case Type::kProject:
+      line += "Project [" + Join(columns, ", ") + "]";
+      break;
+    case Type::kAggregate: {
+      std::vector<std::string> parts;
+      for (const query::AggSpec& a : aggs) {
+        parts.push_back(StrFormat("%s(%s)", query::AggFnName(a.fn),
+                                  a.column.empty() ? "*"
+                                                   : a.column.c_str()));
+      }
+      line += "Aggregate [" + Join(parts, ", ") + "]";
+      if (!columns.empty()) line += " group by [" + Join(columns, ", ") + "]";
+      break;
+    }
+    case Type::kResolve:
+      line += StrFormat("ResolveEntities [matcher=%s threshold=%.2f",
+                        resolve.matcher.c_str(), resolve.threshold);
+      if (resolve.review_budget > 0) {
+        line += StrFormat(" review_budget=%d", resolve.review_budget);
+      }
+      line += "]";
+      break;
+    case Type::kOrderBy:
+      line += "OrderBy " + order_column + (descending ? " DESC" : "");
+      break;
+    case Type::kJoin:
+      line += "HashJoin [" + join_left_col + " = " + join_right_col + "]";
+      break;
+    case Type::kLimit:
+      line += StrFormat("Limit %zu", limit);
+      break;
+    case Type::kDistinct:
+      line += "Distinct";
+      break;
+  }
+  line += '\n';
+  for (const PlanPtr& child : children) {
+    line += child->ToString(indent + 1);
+  }
+  return line;
+}
+
+}  // namespace structura::lang

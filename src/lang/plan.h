@@ -1,0 +1,81 @@
+#ifndef STRUCTURA_LANG_PLAN_H_
+#define STRUCTURA_LANG_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "lang/ast.h"
+#include "query/relation.h"
+#include "text/document.h"
+
+namespace structura::lang {
+
+/// Logical plan node. The planner builds a *naive* plan straight from the
+/// AST (all filters sit above the extraction); the optimizer then pushes
+/// predicates into the scan and prunes extractors — the measurable win of
+/// having a declarative layer at all (Section 4: programs "can be parsed,
+/// reformulated, optimized, then executed").
+struct PlanNode {
+  enum class Type {
+    kScanDocs,   // leaf: the document collection, optional category filter
+    kExtract,    // run extractors over child (kScanDocs)
+    kViewRef,    // leaf: named view (a prior statement's result)
+    kFilter,
+    kProject,
+    kJoin,       // hash equi-join of two children
+    kAggregate,
+    kResolve,
+    kOrderBy,
+    kLimit,
+    kDistinct,
+  };
+
+  Type type = Type::kViewRef;
+  std::vector<std::unique_ptr<PlanNode>> children;
+
+  // kScanDocs:
+  std::string category_filter;  // empty = all documents
+  /// When non-empty, only these documents are scanned (REFRESH VIEW runs
+  /// extraction over the changed pages only).
+  std::vector<text::DocId> doc_restriction;
+
+  // kExtract:
+  std::vector<std::string> extractors;
+  double min_confidence = -1;
+
+  // kViewRef:
+  std::string view;
+
+  // kFilter:
+  std::vector<query::Condition> conditions;
+
+  // kProject (names) / kAggregate (group columns):
+  std::vector<std::string> columns;
+  std::vector<query::AggSpec> aggs;
+
+  // kJoin:
+  std::string join_left_col;
+  std::string join_right_col;
+
+  // kResolve:
+  ResolveAst resolve;
+
+  // kOrderBy / kLimit:
+  std::string order_column;
+  bool descending = false;
+  size_t limit = 0;
+
+  /// Indented plan rendering (EXPLAIN output).
+  std::string ToString(int indent = 0) const;
+};
+
+using PlanPtr = std::unique_ptr<PlanNode>;
+
+/// Builds the naive logical plan for one statement body.
+Result<PlanPtr> BuildPlan(const Statement& stmt);
+
+}  // namespace structura::lang
+
+#endif  // STRUCTURA_LANG_PLAN_H_

@@ -1,0 +1,206 @@
+#ifndef STRUCTURA_MR_MAPREDUCE_H_
+#define STRUCTURA_MR_MAPREDUCE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+
+namespace structura::mr {
+
+/// Execution knobs for one job. The engine is in-process: "workers" are
+/// threads and "partitions" are shuffle buckets, mirroring the programming
+/// model of the cluster the paper's physical layer calls for.
+struct JobConfig {
+  size_t num_workers = 4;
+  size_t num_partitions = 8;
+  /// Inputs per map task (a "split").
+  size_t split_size = 64;
+  /// Fault injection: probability that a map task attempt fails and must
+  /// be re-executed. Exercises the retry path the cluster setting needs.
+  double map_failure_prob = 0.0;
+  int max_attempts = 4;
+  uint64_t fault_seed = 7;
+};
+
+/// Counters reported by a finished job.
+struct JobStats {
+  size_t map_tasks = 0;
+  size_t reduce_tasks = 0;
+  size_t map_retries = 0;
+  size_t records_mapped = 0;
+  size_t pairs_shuffled = 0;
+  size_t keys_reduced = 0;
+
+  std::string ToString() const;
+};
+
+/// Thrown-free typed MapReduce over in-memory inputs.
+///
+///   MapReduceJob<Doc, std::string, int> job;
+///   job.set_mapper([](const Doc& d, auto emit) { emit(word, 1); });
+///   job.set_reducer([](const std::string& k, const std::vector<int>& vs,
+///                      auto out) { out(k, Sum(vs)); });
+///   auto result = job.Run(pool, docs, config);
+///
+/// Keys must be ordered (std::map is used per shuffle bucket) so reduce
+/// output is deterministic regardless of thread scheduling.
+template <typename Input, typename Key, typename Value, typename Out>
+class MapReduceJob {
+ public:
+  using EmitFn = std::function<void(Key, Value)>;
+  using OutFn = std::function<void(Out)>;
+  using Mapper = std::function<void(const Input&, const EmitFn&)>;
+  /// Optional local pre-aggregation applied to each map task's output for
+  /// one key before the shuffle (classic combiner).
+  using Combiner =
+      std::function<std::vector<Value>(const Key&, std::vector<Value>)>;
+  using Reducer = std::function<void(const Key&, const std::vector<Value>&,
+                                     const OutFn&)>;
+
+  void set_mapper(Mapper m) { mapper_ = std::move(m); }
+  void set_combiner(Combiner c) { combiner_ = std::move(c); }
+  void set_reducer(Reducer r) { reducer_ = std::move(r); }
+
+  /// Runs the job on `pool`. Returns reduce outputs in deterministic
+  /// (partition, key) order. Fails if a map task exhausts its attempts.
+  Result<std::vector<Out>> Run(ThreadPool& pool,
+                               const std::vector<Input>& inputs,
+                               const JobConfig& config,
+                               JobStats* stats = nullptr) {
+    if (!mapper_ || !reducer_) {
+      return Status::FailedPrecondition("mapper and reducer must be set");
+    }
+    JobStats local_stats;
+    const size_t split = std::max<size_t>(1, config.split_size);
+    const size_t num_splits = (inputs.size() + split - 1) / split;
+    const size_t parts = std::max<size_t>(1, config.num_partitions);
+
+    // Per-split, per-partition map output buffers: no locking during map.
+    using Bucket = std::map<Key, std::vector<Value>>;
+    std::vector<std::vector<Bucket>> map_out(
+        num_splits, std::vector<Bucket>(parts));
+    std::atomic<size_t> retries{0};
+    std::atomic<size_t> mapped{0};
+    std::atomic<bool> failed{false};
+    std::mutex fail_mutex;
+    std::string fail_msg;
+
+    ParallelFor(pool, num_splits, [&](size_t s) {
+      Rng rng(config.fault_seed + s * 1000003);
+      int attempt = 0;
+      while (true) {
+        ++attempt;
+        if (attempt > config.max_attempts) {
+          std::lock_guard<std::mutex> lock(fail_mutex);
+          failed.store(true);
+          fail_msg = "map split exhausted attempts";
+          return;
+        }
+        std::vector<Bucket> buckets(parts);
+        bool attempt_failed = false;
+        size_t begin = s * split;
+        size_t end = std::min(inputs.size(), begin + split);
+        // Fault injection decision happens mid-task, after some work,
+        // like a real preempted worker.
+        size_t fail_at = config.map_failure_prob > 0 &&
+                                 rng.NextBool(config.map_failure_prob)
+                             ? begin + rng.NextBounded(end - begin + 1)
+                             : static_cast<size_t>(-1);
+        for (size_t i = begin; i < end; ++i) {
+          if (i == fail_at) {
+            attempt_failed = true;
+            break;
+          }
+          mapper_(inputs[i], [&](Key k, Value v) {
+            size_t p = PartitionOf(k, parts);
+            buckets[p][std::move(k)].push_back(std::move(v));
+          });
+        }
+        if (attempt_failed) {
+          retries.fetch_add(1);
+          continue;  // re-execute the split from scratch
+        }
+        if (combiner_) {
+          for (Bucket& b : buckets) {
+            for (auto& [k, vs] : b) vs = combiner_(k, std::move(vs));
+          }
+        }
+        mapped.fetch_add(end - begin);
+        map_out[s] = std::move(buckets);
+        return;
+      }
+    });
+    if (failed.load()) return Status::Aborted(fail_msg);
+
+    // Shuffle: merge per-split buckets into per-partition tables.
+    std::vector<Bucket> shuffled(parts);
+    size_t pairs = 0;
+    std::mutex pairs_mutex;
+    ParallelFor(pool, parts, [&](size_t p) {
+      size_t local_pairs = 0;
+      for (size_t s = 0; s < num_splits; ++s) {
+        for (auto& [k, vs] : map_out[s][p]) {
+          auto& dst = shuffled[p][k];
+          local_pairs += vs.size();
+          dst.insert(dst.end(), std::make_move_iterator(vs.begin()),
+                     std::make_move_iterator(vs.end()));
+        }
+      }
+      std::lock_guard<std::mutex> lock(pairs_mutex);
+      pairs += local_pairs;
+    });
+
+    // Reduce each partition; collect outputs per partition then
+    // concatenate in partition order for determinism.
+    std::vector<std::vector<Out>> reduce_out(parts);
+    std::atomic<size_t> keys{0};
+    ParallelFor(pool, parts, [&](size_t p) {
+      for (const auto& [k, vs] : shuffled[p]) {
+        keys.fetch_add(1);
+        reducer_(k, vs, [&](Out o) { reduce_out[p].push_back(std::move(o)); });
+      }
+    });
+
+    std::vector<Out> result;
+    for (std::vector<Out>& part : reduce_out) {
+      result.insert(result.end(), std::make_move_iterator(part.begin()),
+                    std::make_move_iterator(part.end()));
+    }
+    if (stats != nullptr) {
+      local_stats.map_tasks = num_splits;
+      local_stats.reduce_tasks = parts;
+      local_stats.map_retries = retries.load();
+      local_stats.records_mapped = mapped.load();
+      local_stats.pairs_shuffled = pairs;
+      local_stats.keys_reduced = keys.load();
+      *stats = local_stats;
+    }
+    return result;
+  }
+
+ private:
+  static size_t PartitionOf(const Key& k, size_t parts) {
+    if constexpr (std::is_convertible_v<Key, std::string_view>) {
+      return Fnv1a64(std::string_view(k)) % parts;
+    } else {
+      return std::hash<Key>{}(k) % parts;
+    }
+  }
+
+  Mapper mapper_;
+  Combiner combiner_;
+  Reducer reducer_;
+};
+
+}  // namespace structura::mr
+
+#endif  // STRUCTURA_MR_MAPREDUCE_H_

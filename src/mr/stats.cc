@@ -1,0 +1,15 @@
+#include "mr/mapreduce.h"
+
+#include "common/strings.h"
+
+namespace structura::mr {
+
+std::string JobStats::ToString() const {
+  return StrFormat(
+      "map_tasks=%zu reduce_tasks=%zu retries=%zu records=%zu "
+      "shuffled=%zu keys=%zu",
+      map_tasks, reduce_tasks, map_retries, records_mapped, pairs_shuffled,
+      keys_reduced);
+}
+
+}  // namespace structura::mr

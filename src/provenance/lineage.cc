@@ -1,0 +1,112 @@
+#include "provenance/lineage.h"
+
+#include <functional>
+#include <set>
+
+namespace structura::provenance {
+
+const char* NodeKindName(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kDocument: return "document";
+    case NodeKind::kFact: return "fact";
+    case NodeKind::kEntity: return "entity";
+    case NodeKind::kBelief: return "belief";
+    case NodeKind::kTuple: return "tuple";
+    case NodeKind::kOperator: return "operator";
+    case NodeKind::kUserFeedback: return "user_feedback";
+  }
+  return "?";
+}
+
+NodeId LineageGraph::AddNode(NodeKind kind, std::string label) {
+  nodes_.push_back(Node{kind, std::move(label), {}});
+  return nodes_.size();
+}
+
+Status LineageGraph::AddEdge(NodeId derived, NodeId source,
+                             std::string relation) {
+  if (!ValidNode(derived) || !ValidNode(source)) {
+    return Status::InvalidArgument("unknown lineage node");
+  }
+  if (derived == source) {
+    return Status::InvalidArgument("self-edge in lineage");
+  }
+  nodes_[derived - 1].sources.push_back(
+      Edge{source, std::move(relation)});
+  ++num_edges_;
+  return Status::OK();
+}
+
+Result<std::string> LineageGraph::Explain(NodeId node,
+                                          int max_depth) const {
+  if (!ValidNode(node)) {
+    return Status::InvalidArgument("unknown lineage node");
+  }
+  std::string out;
+  // Iterative DFS with explicit depth; cycles are impossible if callers
+  // only add derived->source edges for freshly created derived nodes,
+  // but guard with a visited set anyway.
+  std::set<NodeId> on_path;
+  std::function<void(NodeId, int, const std::string&)> rec =
+      [&](NodeId id, int depth, const std::string& relation) {
+        const Node& n = At(id);
+        out.append(static_cast<size_t>(depth) * 2, ' ');
+        if (!relation.empty()) {
+          out += "<- (" + relation + ") ";
+        }
+        out += NodeKindName(n.kind);
+        out += ": ";
+        out += n.label;
+        out += '\n';
+        if (depth >= max_depth || on_path.count(id) > 0) return;
+        on_path.insert(id);
+        for (const Edge& e : n.sources) {
+          rec(e.source, depth + 1, e.relation);
+        }
+        on_path.erase(id);
+      };
+  rec(node, 0, "");
+  return out;
+}
+
+Result<std::vector<NodeId>> LineageGraph::SourcesOf(NodeId node) const {
+  if (!ValidNode(node)) {
+    return Status::InvalidArgument("unknown lineage node");
+  }
+  std::vector<NodeId> out;
+  for (const Edge& e : At(node).sources) out.push_back(e.source);
+  return out;
+}
+
+Result<std::vector<NodeId>> LineageGraph::SupportingDocuments(
+    NodeId node) const {
+  if (!ValidNode(node)) {
+    return Status::InvalidArgument("unknown lineage node");
+  }
+  std::set<NodeId> docs;
+  std::set<NodeId> visited;
+  std::vector<NodeId> stack{node};
+  while (!stack.empty()) {
+    NodeId id = stack.back();
+    stack.pop_back();
+    if (!visited.insert(id).second) continue;
+    const Node& n = At(id);
+    if (n.kind == NodeKind::kDocument) docs.insert(id);
+    for (const Edge& e : n.sources) stack.push_back(e.source);
+  }
+  return std::vector<NodeId>(docs.begin(), docs.end());
+}
+
+void LineageGraph::Bind(const std::string& external_key, NodeId node) {
+  bindings_[external_key] = node;
+}
+
+Result<NodeId> LineageGraph::Lookup(const std::string& external_key) const {
+  auto it = bindings_.find(external_key);
+  if (it == bindings_.end()) {
+    return Status::NotFound("no lineage binding for " + external_key);
+  }
+  return it->second;
+}
+
+}  // namespace structura::provenance

@@ -1,0 +1,82 @@
+#ifndef STRUCTURA_PROVENANCE_LINEAGE_H_
+#define STRUCTURA_PROVENANCE_LINEAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace structura::provenance {
+
+using NodeId = uint64_t;
+
+enum class NodeKind : uint8_t {
+  kDocument,
+  kFact,
+  kEntity,       // resolved cluster
+  kBelief,       // (subject, attribute) distribution
+  kTuple,        // row in the final structured store
+  kOperator,     // extractor / matcher / aggregator instance
+  kUserFeedback, // one human answer
+};
+
+const char* NodeKindName(NodeKind kind);
+
+/// Provenance DAG: every derived artifact points back at what produced it
+/// ("Part V ... provides the provenance and explanation for the derived
+/// structured data"). Edges go from derived node to its sources.
+class LineageGraph {
+ public:
+  LineageGraph() = default;
+
+  /// Creates a node. `label` is a short human-readable description
+  /// ("doc:Madison", "fact#42 population=233,209").
+  NodeId AddNode(NodeKind kind, std::string label);
+
+  /// Records that `derived` was produced from `source` (optionally via a
+  /// named relationship, default "derived-from").
+  Status AddEdge(NodeId derived, NodeId source,
+                 std::string relation = "derived-from");
+
+  /// Multi-line, indented derivation tree for `node`, following source
+  /// edges up to `max_depth`. The "explanation" surface of Part V.
+  Result<std::string> Explain(NodeId node, int max_depth = 6) const;
+
+  /// Direct sources of a node.
+  Result<std::vector<NodeId>> SourcesOf(NodeId node) const;
+
+  /// All transitive source documents of a node ("why is this tuple
+  /// here?" reduced to "which pages support it?").
+  Result<std::vector<NodeId>> SupportingDocuments(NodeId node) const;
+
+  size_t NumNodes() const { return nodes_.size(); }
+  size_t NumEdges() const { return num_edges_; }
+
+  /// Convenience registry: map an external id (e.g. fact id) to a node.
+  void Bind(const std::string& external_key, NodeId node);
+  Result<NodeId> Lookup(const std::string& external_key) const;
+
+ private:
+  struct Edge {
+    NodeId source;
+    std::string relation;
+  };
+  struct Node {
+    NodeKind kind;
+    std::string label;
+    std::vector<Edge> sources;
+  };
+
+  bool ValidNode(NodeId id) const { return id >= 1 && id <= nodes_.size(); }
+  const Node& At(NodeId id) const { return nodes_[id - 1]; }
+
+  std::vector<Node> nodes_;  // ids are 1-based indexes
+  size_t num_edges_ = 0;
+  std::unordered_map<std::string, NodeId> bindings_;
+};
+
+}  // namespace structura::provenance
+
+#endif  // STRUCTURA_PROVENANCE_LINEAGE_H_

@@ -1,0 +1,94 @@
+#include "query/browse.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace structura::query {
+namespace {
+
+/// Attributes whose values name other entities — the browsing edges.
+bool IsEntityValued(const std::string& attribute) {
+  return attribute == "mayor" || attribute == "residence" ||
+         attribute == "headquarters";
+}
+
+}  // namespace
+
+Result<EntityProfile> BuildProfile(
+    const std::vector<uncertainty::AttributeBelief>& beliefs,
+    const std::string& subject) {
+  EntityProfile profile;
+  profile.subject = subject;
+  for (const uncertainty::AttributeBelief& b : beliefs) {
+    if (b.subject != subject) continue;
+    const uncertainty::ValueAlternative* top = b.Top();
+    if (top == nullptr) continue;
+    ProfileAttribute attr;
+    attr.attribute = b.attribute;
+    attr.value = top->value;
+    attr.confidence = top->probability;
+    // Competing values, strongest first.
+    std::vector<const uncertainty::ValueAlternative*> others;
+    for (const uncertainty::ValueAlternative& alt : b.alternatives) {
+      if (alt.value != top->value && alt.probability > 0) {
+        others.push_back(&alt);
+      }
+    }
+    std::sort(others.begin(), others.end(),
+              [](const auto* a, const auto* b) {
+                return a->probability > b->probability;
+              });
+    for (const auto* alt : others) {
+      attr.alternatives.push_back(alt->value);
+    }
+    if (IsEntityValued(b.attribute)) {
+      profile.related.push_back(top->value);
+    }
+    profile.attributes.push_back(std::move(attr));
+  }
+  if (profile.attributes.empty()) {
+    return Status::NotFound("nothing known about " + subject);
+  }
+  std::sort(profile.attributes.begin(), profile.attributes.end(),
+            [](const ProfileAttribute& a, const ProfileAttribute& b) {
+              return a.attribute < b.attribute;
+            });
+  std::sort(profile.related.begin(), profile.related.end());
+  profile.related.erase(
+      std::unique(profile.related.begin(), profile.related.end()),
+      profile.related.end());
+  return profile;
+}
+
+std::vector<std::pair<std::string, std::string>> ReferencedBy(
+    const std::vector<uncertainty::AttributeBelief>& beliefs,
+    const std::string& subject) {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const uncertainty::AttributeBelief& b : beliefs) {
+    if (!IsEntityValued(b.attribute)) continue;
+    const uncertainty::ValueAlternative* top = b.Top();
+    if (top == nullptr || top->value != subject) continue;
+    out.emplace_back(b.subject, b.attribute);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string RenderProfile(const EntityProfile& profile) {
+  std::string out = "== " + profile.subject + " ==\n";
+  for (const ProfileAttribute& attr : profile.attributes) {
+    out += StrFormat("  %-14s %-20s (%.2f)", attr.attribute.c_str(),
+                     attr.value.c_str(), attr.confidence);
+    if (!attr.alternatives.empty()) {
+      out += "  also seen: " + Join(attr.alternatives, ", ");
+    }
+    out += '\n';
+  }
+  if (!profile.related.empty()) {
+    out += "  see also: " + Join(profile.related, ", ") + "\n";
+  }
+  return out;
+}
+
+}  // namespace structura::query

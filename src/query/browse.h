@@ -1,0 +1,50 @@
+#ifndef STRUCTURA_QUERY_BROWSE_H_
+#define STRUCTURA_QUERY_BROWSE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "uncertainty/confidence.h"
+
+namespace structura::query {
+
+/// Browsing — one of the exploitation modes the DGE model must support
+/// ("keyword search, structured querying, browsing, visualization",
+/// Section 3.2). An entity profile assembles everything the system
+/// believes about one subject, with confidences, ready to render.
+
+struct ProfileAttribute {
+  std::string attribute;
+  std::string value;
+  double confidence = 0;
+  /// Competing values, strongest first (excludes the chosen one).
+  std::vector<std::string> alternatives;
+};
+
+struct EntityProfile {
+  std::string subject;
+  std::vector<ProfileAttribute> attributes;  // sorted by attribute name
+  /// Subjects this entity references through entity-valued attributes
+  /// (mayor, residence, headquarters) — the browsing graph's out-edges.
+  std::vector<std::string> related;
+};
+
+/// Builds the profile of `subject` from beliefs. Fails with kNotFound
+/// when the system believes nothing about the subject.
+Result<EntityProfile> BuildProfile(
+    const std::vector<uncertainty::AttributeBelief>& beliefs,
+    const std::string& subject);
+
+/// Entities whose attributes point at `subject` (in-edges: "who lives
+/// here", "whose mayor is this person").
+std::vector<std::pair<std::string, std::string>> ReferencedBy(
+    const std::vector<uncertainty::AttributeBelief>& beliefs,
+    const std::string& subject);
+
+/// Renders a profile as a text card (the CLI browsing surface).
+std::string RenderProfile(const EntityProfile& profile);
+
+}  // namespace structura::query
+
+#endif  // STRUCTURA_QUERY_BROWSE_H_

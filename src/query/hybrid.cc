@@ -1,0 +1,37 @@
+#include "query/hybrid.h"
+
+#include <set>
+
+namespace structura::query {
+
+Result<std::vector<SearchHit>> HybridSearch(const KeywordIndex& index,
+                                            const Relation& facts,
+                                            const HybridQuery& query,
+                                            size_t k) {
+  // 1. Structured side: the set of qualifying documents.
+  STRUCTURA_ASSIGN_OR_RETURN(Relation qualifying,
+                             Filter(facts, query.structured));
+  int doc_col = qualifying.ColumnIndex("doc");
+  if (doc_col < 0) {
+    return Status::InvalidArgument("facts relation lacks a doc column");
+  }
+  std::set<int64_t> doc_ids;
+  for (const Row& row : qualifying.rows()) {
+    const Value& v = row[static_cast<size_t>(doc_col)];
+    if (v.type() == rdbms::ValueType::kInt) doc_ids.insert(v.as_int());
+  }
+
+  // 2. IR side: rank broadly, then keep qualifying docs. Over-fetch so
+  // filtering still leaves k results when possible.
+  std::vector<SearchHit> hits =
+      index.Search(query.keywords, k * 10 + 50);
+  std::vector<SearchHit> out;
+  for (const SearchHit& hit : hits) {
+    if (doc_ids.count(static_cast<int64_t>(hit.doc)) == 0) continue;
+    out.push_back(hit);
+    if (out.size() >= k) break;
+  }
+  return out;
+}
+
+}  // namespace structura::query

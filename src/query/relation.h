@@ -1,0 +1,119 @@
+#ifndef STRUCTURA_QUERY_RELATION_H_
+#define STRUCTURA_QUERY_RELATION_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rdbms/schema.h"
+#include "rdbms/value.h"
+
+namespace structura::query {
+
+using rdbms::Row;
+using rdbms::Value;
+
+/// An in-memory relation: named columns over value rows. The working
+/// currency of the user layer and the SDL executor (rdbms::Table is the
+/// durable final store; Relation is the pipe between operators).
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  const std::vector<std::string>& columns() const { return columns_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  int ColumnIndex(const std::string& name) const;
+
+  /// Appends a row (arity must match).
+  Status Append(Row row);
+
+  /// Value accessor by column name; Null for unknown columns.
+  const Value& At(size_t row, const std::string& column) const;
+
+  /// Pretty-printed table (for examples and the CLI surface).
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<Row> rows_;
+  static const Value kNull;
+};
+
+/// Comparison operator of a predicate condition.
+enum class CompareOp : uint8_t {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kContains,  // substring on the string rendering
+  kLike,      // SQL-ish pattern with '%' wildcards
+};
+
+const char* CompareOpName(CompareOp op);
+
+/// One `column <op> literal` condition.
+struct Condition {
+  std::string column;
+  CompareOp op = CompareOp::kEq;
+  Value literal;
+
+  bool Eval(const Value& v) const;
+  std::string ToString() const;
+};
+
+/// Aggregate functions supported by Aggregate().
+enum class AggFn : uint8_t { kCount, kSum, kAvg, kMin, kMax };
+
+const char* AggFnName(AggFn fn);
+
+struct AggSpec {
+  AggFn fn = AggFn::kCount;
+  std::string column;      // ignored for COUNT(*) (empty)
+  std::string output_name; // result column name
+};
+
+// --- Operators (each returns a new Relation) ---------------------------
+
+/// Rows satisfying every condition (conjunction).
+Result<Relation> Filter(const Relation& in,
+                        const std::vector<Condition>& conditions);
+
+/// Keeps `columns`, in the given order.
+Result<Relation> Project(const Relation& in,
+                         const std::vector<std::string>& columns);
+
+/// Hash equi-join on left_col == right_col. Right columns are prefixed
+/// with `right_prefix` when names collide.
+Result<Relation> HashJoin(const Relation& left, const Relation& right,
+                          const std::string& left_col,
+                          const std::string& right_col,
+                          const std::string& right_prefix = "r_");
+
+/// Group by `group_columns` (may be empty: single global group) and
+/// compute aggregates. Null values are skipped by SUM/AVG/MIN/MAX and
+/// counted only by COUNT(column) when non-null.
+Result<Relation> Aggregate(const Relation& in,
+                           const std::vector<std::string>& group_columns,
+                           const std::vector<AggSpec>& aggs);
+
+/// Stable sort by column (ascending unless `descending`).
+Result<Relation> OrderBy(const Relation& in, const std::string& column,
+                         bool descending = false);
+
+/// First `n` rows.
+Relation Limit(const Relation& in, size_t n);
+
+/// Distinct rows (exact match on all columns).
+Relation Distinct(const Relation& in);
+
+}  // namespace structura::query
+
+#endif  // STRUCTURA_QUERY_RELATION_H_

@@ -1,0 +1,88 @@
+#include "query/standing_query.h"
+
+#include "common/hash.h"
+#include "common/strings.h"
+
+namespace structura::query {
+
+Status StandingQueryRegistry::Add(Spec spec) {
+  if (spec.name.empty()) {
+    return Status::InvalidArgument("standing query needs a name");
+  }
+  if (specs_.count(spec.name) > 0) {
+    return Status::AlreadyExists("standing query " + spec.name);
+  }
+  specs_[spec.name] = std::move(spec);
+  return Status::OK();
+}
+
+Status StandingQueryRegistry::Remove(const std::string& name) {
+  last_fingerprint_.erase(name);
+  return specs_.erase(name) > 0
+             ? Status::OK()
+             : Status::NotFound("standing query " + name);
+}
+
+std::vector<std::string> StandingQueryRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(specs_.size());
+  for (const auto& [name, spec] : specs_) names.push_back(name);
+  return names;
+}
+
+std::string StandingQueryRegistry::Fingerprint(const Relation& rel) {
+  uint64_t h = 1469598103934665603ULL;
+  for (const Row& row : rel.rows()) {
+    std::string blob;
+    for (const Value& v : row) v.AppendTo(&blob);
+    h = HashCombine(h, Fnv1a64(blob));
+  }
+  return StrFormat("%zu:%llx", rel.size(),
+                   static_cast<unsigned long long>(h));
+}
+
+Result<std::vector<Alert>> StandingQueryRegistry::Evaluate(
+    const std::string& view_name, const Relation& view) {
+  std::vector<Alert> alerts;
+  for (auto& [name, spec] : specs_) {
+    if (spec.query.source_view != view_name) continue;
+    STRUCTURA_ASSIGN_OR_RETURN(Relation result,
+                               ExecuteStructuredQuery(spec.query, view));
+    std::string fp = Fingerprint(result);
+    auto last = last_fingerprint_.find(name);
+    bool first = last == last_fingerprint_.end();
+    bool changed = !first && last->second != fp;
+    last_fingerprint_[name] = fp;
+
+    if (spec.on_change && (first || changed)) {
+      Alert alert;
+      alert.query_name = name;
+      alert.kind = first ? "first_result" : "changed";
+      alert.message = StrFormat("%s: result set %s (%zu rows)",
+                                name.c_str(),
+                                first ? "established" : "changed",
+                                result.size());
+      alert.result = result;
+      alerts.push_back(std::move(alert));
+    }
+    if (!spec.threshold_column.empty() && !result.empty()) {
+      Condition cond{spec.threshold_column, spec.threshold_op,
+                     Value::Double(spec.threshold)};
+      const Value& v = result.At(0, spec.threshold_column);
+      if (cond.Eval(v)) {
+        Alert alert;
+        alert.query_name = name;
+        alert.kind = "threshold";
+        alert.message = StrFormat(
+            "%s: %s = %s crosses threshold (%s %.3f)", name.c_str(),
+            spec.threshold_column.c_str(), v.ToString().c_str(),
+            CompareOpName(spec.threshold_op), spec.threshold);
+        alert.result = std::move(result);
+        alerts.push_back(std::move(alert));
+      }
+    }
+  }
+  return alerts;
+}
+
+}  // namespace structura::query

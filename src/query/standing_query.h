@@ -1,0 +1,63 @@
+#ifndef STRUCTURA_QUERY_STANDING_QUERY_H_
+#define STRUCTURA_QUERY_STANDING_QUERY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "query/structured_query.h"
+
+namespace structura::query {
+
+/// Monitoring — the last exploitation mode in the paper's DGE summary
+/// ("keyword search, structured querying, browsing, visualization,
+/// monitoring", §3.2): standing queries re-evaluated whenever their view
+/// refreshes, alerting on changed results.
+
+struct Alert {
+  std::string query_name;
+  /// "first_result", "changed", or "threshold".
+  std::string kind;
+  std::string message;
+  Relation result;  // the new result set
+};
+
+/// Registry of standing queries. Each query watches one view; Evaluate()
+/// runs every query whose view is supplied, diffs against the previous
+/// result, and emits alerts.
+class StandingQueryRegistry {
+ public:
+  struct Spec {
+    std::string name;
+    StructuredQuery query;
+    /// Alert when the (whole) result set differs from last evaluation.
+    bool on_change = true;
+    /// Also alert when the first row's named column crosses `threshold`
+    /// (useful for aggregates: "alert when count > 0"). Empty = off.
+    std::string threshold_column;
+    double threshold = 0;
+    CompareOp threshold_op = CompareOp::kGt;
+  };
+
+  /// Registers a standing query; names must be unique.
+  Status Add(Spec spec);
+  Status Remove(const std::string& name);
+  size_t size() const { return specs_.size(); }
+  std::vector<std::string> Names() const;
+
+  /// Evaluates every standing query whose `source_view` equals
+  /// `view_name` against `view`; returns the alerts raised.
+  Result<std::vector<Alert>> Evaluate(const std::string& view_name,
+                                      const Relation& view);
+
+ private:
+  static std::string Fingerprint(const Relation& rel);
+
+  std::map<std::string, Spec> specs_;
+  std::map<std::string, std::string> last_fingerprint_;
+};
+
+}  // namespace structura::query
+
+#endif  // STRUCTURA_QUERY_STANDING_QUERY_H_

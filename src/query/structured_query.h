@@ -1,0 +1,40 @@
+#ifndef STRUCTURA_QUERY_STRUCTURED_QUERY_H_
+#define STRUCTURA_QUERY_STRUCTURED_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "query/relation.h"
+
+namespace structura::query {
+
+/// A declarative query over a derived-structure view: conjunctive
+/// filters, optional grouping/aggregation, ordering and limit. This is
+/// the object the keyword translator produces, the form renderer shows
+/// to ordinary users, and the executor runs.
+struct StructuredQuery {
+  std::string source_view;              // e.g. "facts"
+  std::vector<Condition> where;
+  std::vector<std::string> group_by;
+  std::vector<AggSpec> aggregates;      // empty = plain select
+  std::vector<std::string> select;      // projection; empty = natural output
+  std::string order_by;                 // empty = no ordering
+  bool descending = false;
+  size_t limit = 0;                     // 0 = no limit
+
+  /// SQL-ish rendering for sophisticated users.
+  std::string ToSql() const;
+
+  /// Form rendering for ordinary users — the "guess and show the user
+  /// several structured queries using form interfaces" surface from
+  /// Section 3.2.
+  std::string ToFormText() const;
+};
+
+/// Runs the query against the relation registered under its source view.
+Result<Relation> ExecuteStructuredQuery(const StructuredQuery& q,
+                                        const Relation& source);
+
+}  // namespace structura::query
+
+#endif  // STRUCTURA_QUERY_STRUCTURED_QUERY_H_

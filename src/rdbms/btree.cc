@@ -1,0 +1,213 @@
+#include "rdbms/btree.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace structura::rdbms {
+
+/// Internal node: keys[i] separates children[i] (< keys[i]) from
+/// children[i+1] (>= keys[i]). Leaf: parallel keys/rows arrays plus a
+/// next-leaf pointer.
+struct BTreeIndex::Node {
+  bool is_leaf = true;
+  std::vector<Value> keys;
+  // Internal nodes:
+  std::vector<std::unique_ptr<Node>> children;
+  // Leaves:
+  std::vector<RowId> rows;
+  Node* next_leaf = nullptr;
+};
+
+struct BTreeIndex::SplitResult {
+  bool split = false;
+  Value separator;
+  std::unique_ptr<Node> right;
+};
+
+BTreeIndex::BTreeIndex() : root_(std::make_unique<Node>()) {}
+BTreeIndex::~BTreeIndex() = default;
+
+BTreeIndex::SplitResult BTreeIndex::InsertRec(Node* node, const Value& key,
+                                              RowId row) {
+  if (node->is_leaf) {
+    // Insert after the last equal key so duplicates keep arrival order.
+    auto it = std::upper_bound(node->keys.begin(), node->keys.end(), key);
+    size_t pos = static_cast<size_t>(it - node->keys.begin());
+    node->keys.insert(it, key);
+    node->rows.insert(node->rows.begin() + static_cast<long>(pos), row);
+    if (node->keys.size() <= kFanout) return {};
+    // Split leaf.
+    auto right = std::make_unique<Node>();
+    right->is_leaf = true;
+    size_t mid = node->keys.size() / 2;
+    right->keys.assign(node->keys.begin() + static_cast<long>(mid),
+                       node->keys.end());
+    right->rows.assign(node->rows.begin() + static_cast<long>(mid),
+                       node->rows.end());
+    node->keys.resize(mid);
+    node->rows.resize(mid);
+    right->next_leaf = node->next_leaf;
+    node->next_leaf = right.get();
+    SplitResult res;
+    res.split = true;
+    res.separator = right->keys.front();
+    res.right = std::move(right);
+    return res;
+  }
+  // Internal: find child such that key < keys[i] goes to children[i].
+  size_t child = static_cast<size_t>(
+      std::upper_bound(node->keys.begin(), node->keys.end(), key) -
+      node->keys.begin());
+  SplitResult child_split =
+      InsertRec(node->children[child].get(), key, row);
+  if (!child_split.split) return {};
+  node->keys.insert(node->keys.begin() + static_cast<long>(child),
+                    child_split.separator);
+  node->children.insert(
+      node->children.begin() + static_cast<long>(child) + 1,
+      std::move(child_split.right));
+  if (node->keys.size() <= kFanout) return {};
+  // Split internal node: middle key moves up.
+  size_t mid = node->keys.size() / 2;
+  auto right = std::make_unique<Node>();
+  right->is_leaf = false;
+  SplitResult res;
+  res.split = true;
+  res.separator = node->keys[mid];
+  right->keys.assign(node->keys.begin() + static_cast<long>(mid) + 1,
+                     node->keys.end());
+  right->children.reserve(node->keys.size() - mid);
+  for (size_t i = mid + 1; i < node->children.size(); ++i) {
+    right->children.push_back(std::move(node->children[i]));
+  }
+  node->children.resize(mid + 1);
+  node->keys.resize(mid);
+  res.right = std::move(right);
+  return res;
+}
+
+void BTreeIndex::Insert(const Value& key, RowId row) {
+  SplitResult res = InsertRec(root_.get(), key, row);
+  if (res.split) {
+    auto new_root = std::make_unique<Node>();
+    new_root->is_leaf = false;
+    new_root->keys.push_back(std::move(res.separator));
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(res.right));
+    root_ = std::move(new_root);
+  }
+  ++size_;
+}
+
+std::vector<RowId> BTreeIndex::Lookup(const Value& key) const {
+  return Range(&key, &key);
+}
+
+std::vector<RowId> BTreeIndex::Range(const Value* lo,
+                                     const Value* hi) const {
+  std::vector<RowId> out;
+  const Node* leaf;
+  if (lo != nullptr) {
+    // Descend toward the lower bound.
+    const Node* node = root_.get();
+    while (!node->is_leaf) {
+      size_t child = static_cast<size_t>(
+          std::lower_bound(node->keys.begin(), node->keys.end(), *lo) -
+          node->keys.begin());
+      node = node->children[child].get();
+    }
+    leaf = node;
+  } else {
+    const Node* node = root_.get();
+    while (!node->is_leaf) node = node->children.front().get();
+    leaf = node;
+  }
+  for (; leaf != nullptr; leaf = leaf->next_leaf) {
+    size_t start = 0;
+    if (lo != nullptr) {
+      start = static_cast<size_t>(
+          std::lower_bound(leaf->keys.begin(), leaf->keys.end(), *lo) -
+          leaf->keys.begin());
+    }
+    for (size_t i = start; i < leaf->keys.size(); ++i) {
+      if (hi != nullptr && *hi < leaf->keys[i]) return out;
+      out.push_back(leaf->rows[i]);
+    }
+  }
+  return out;
+}
+
+bool BTreeIndex::Erase(const Value& key, RowId row) {
+  // Walk leaves from the lower bound until the key range is exhausted.
+  Node* node = root_.get();
+  while (!node->is_leaf) {
+    size_t child = static_cast<size_t>(
+        std::lower_bound(node->keys.begin(), node->keys.end(), key) -
+        node->keys.begin());
+    node = node->children[child].get();
+  }
+  for (Node* leaf = node; leaf != nullptr; leaf = leaf->next_leaf) {
+    auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+    size_t i = static_cast<size_t>(it - leaf->keys.begin());
+    for (; i < leaf->keys.size() && !(key < leaf->keys[i]); ++i) {
+      if (leaf->rows[i] == row) {
+        leaf->keys.erase(leaf->keys.begin() + static_cast<long>(i));
+        leaf->rows.erase(leaf->rows.begin() + static_cast<long>(i));
+        --size_;
+        return true;
+      }
+    }
+    if (i < leaf->keys.size()) return false;  // moved past the key range
+  }
+  return false;
+}
+
+size_t BTreeIndex::height() const {
+  size_t h = 1;
+  const Node* node = root_.get();
+  while (!node->is_leaf) {
+    node = node->children.front().get();
+    ++h;
+  }
+  return h;
+}
+
+bool BTreeIndex::CheckNode(const Node* node, const Value* lo,
+                           const Value* hi) const {
+  for (size_t i = 1; i < node->keys.size(); ++i) {
+    if (node->keys[i] < node->keys[i - 1]) {
+      STRUCTURA_LOG(kError) << "btree: keys out of order";
+      return false;
+    }
+  }
+  if (lo != nullptr && !node->keys.empty() && node->keys.front() < *lo) {
+    STRUCTURA_LOG(kError) << "btree: key below subtree lower bound";
+    return false;
+  }
+  if (hi != nullptr && !node->keys.empty() && *hi < node->keys.back()) {
+    STRUCTURA_LOG(kError) << "btree: key above subtree upper bound";
+    return false;
+  }
+  if (node->is_leaf) {
+    return node->keys.size() == node->rows.size();
+  }
+  if (node->children.size() != node->keys.size() + 1) {
+    STRUCTURA_LOG(kError) << "btree: child count mismatch";
+    return false;
+  }
+  for (size_t i = 0; i < node->children.size(); ++i) {
+    const Value* child_lo = i == 0 ? lo : &node->keys[i - 1];
+    const Value* child_hi = i == node->keys.size() ? hi : &node->keys[i];
+    if (!CheckNode(node->children[i].get(), child_lo, child_hi)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool BTreeIndex::CheckInvariants() const {
+  return CheckNode(root_.get(), nullptr, nullptr);
+}
+
+}  // namespace structura::rdbms

@@ -1,0 +1,61 @@
+#ifndef STRUCTURA_RDBMS_BTREE_H_
+#define STRUCTURA_RDBMS_BTREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "rdbms/schema.h"
+#include "rdbms/value.h"
+
+namespace structura::rdbms {
+
+/// In-memory B+-tree mapping Value keys to RowIds. Duplicate keys are
+/// supported (an index over a non-unique column). Leaves are chained for
+/// ordered range scans. Fanout is fixed; splits propagate upward in the
+/// classic way.
+class BTreeIndex {
+ public:
+  static constexpr size_t kFanout = 64;  // max entries per node
+
+  BTreeIndex();
+  ~BTreeIndex();
+  BTreeIndex(const BTreeIndex&) = delete;
+  BTreeIndex& operator=(const BTreeIndex&) = delete;
+
+  void Insert(const Value& key, RowId row);
+
+  /// Removes one (key, row) pair; returns false if absent. (Underflow is
+  /// tolerated rather than rebalanced — nodes may become sparse, which
+  /// keeps deletion simple and is fine for an in-memory index.)
+  bool Erase(const Value& key, RowId row);
+
+  /// All rows with exactly `key`, in insertion-ish order.
+  std::vector<RowId> Lookup(const Value& key) const;
+
+  /// All rows with lo <= key <= hi (either bound may be omitted by
+  /// passing nullptr), in key order.
+  std::vector<RowId> Range(const Value* lo, const Value* hi) const;
+
+  size_t size() const { return size_; }
+
+  /// Depth of the tree (1 = a single leaf). Exposed for tests.
+  size_t height() const;
+
+  /// Validates B+-tree invariants (key ordering within and across nodes,
+  /// child separation); returns false and logs on violation. Test hook.
+  bool CheckInvariants() const;
+
+ private:
+  struct Node;
+  struct SplitResult;
+
+  SplitResult InsertRec(Node* node, const Value& key, RowId row);
+  bool CheckNode(const Node* node, const Value* lo, const Value* hi) const;
+
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+};
+
+}  // namespace structura::rdbms
+
+#endif  // STRUCTURA_RDBMS_BTREE_H_

@@ -1,0 +1,610 @@
+#include "rdbms/database.h"
+
+#include <filesystem>
+#include <fstream>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace structura::rdbms {
+namespace {
+
+/// Schemas are serialized one field per line; names must not contain
+/// newlines (enforced at CreateTable).
+std::string SerializeSchema(const TableSchema& schema) {
+  std::string out = schema.table_name + "\n";
+  for (const Column& c : schema.columns) {
+    out += c.name;
+    out += ' ';
+    out += ValueTypeName(c.type);
+    out += '\n';
+  }
+  return out;
+}
+
+Result<TableSchema> DeserializeSchema(const std::string& data) {
+  TableSchema schema;
+  std::vector<std::string> lines = Split(data, '\n');
+  if (lines.empty() || lines[0].empty()) {
+    return Status::Corruption("bad schema: missing table name");
+  }
+  schema.table_name = lines[0];
+  for (size_t i = 1; i < lines.size(); ++i) {
+    if (lines[i].empty()) continue;
+    size_t space = lines[i].rfind(' ');
+    if (space == std::string::npos) {
+      return Status::Corruption("bad schema column line");
+    }
+    Column col;
+    col.name = lines[i].substr(0, space);
+    std::string type = lines[i].substr(space + 1);
+    if (type == "int") {
+      col.type = ValueType::kInt;
+    } else if (type == "double") {
+      col.type = ValueType::kDouble;
+    } else if (type == "string") {
+      col.type = ValueType::kString;
+    } else if (type == "null") {
+      col.type = ValueType::kNull;
+    } else {
+      return Status::Corruption("bad schema column type: " + type);
+    }
+    schema.columns.push_back(std::move(col));
+  }
+  return schema;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
+  std::unique_ptr<Database> db(new Database(std::move(options)));
+  if (!db->options_.dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(db->options_.dir, ec);
+    if (ec) {
+      return Status::Internal("cannot create db dir: " + ec.message());
+    }
+    STRUCTURA_RETURN_IF_ERROR(db->Recover());
+    STRUCTURA_ASSIGN_OR_RETURN(db->wal_, WriteAheadLog::Open(db->WalPath()));
+  }
+  return db;
+}
+
+Status Database::Recover() {
+  if (std::filesystem::exists(CheckpointPath())) {
+    STRUCTURA_RETURN_IF_ERROR(LoadCheckpoint(CheckpointPath()));
+  }
+  STRUCTURA_ASSIGN_OR_RETURN(std::vector<LogRecord> log,
+                             WriteAheadLog::ReadAll(WalPath()));
+  STRUCTURA_RETURN_IF_ERROR(ApplyCommitted(log));
+  // Continue txn ids past anything in the log.
+  for (const LogRecord& r : log) {
+    if (r.txn >= next_txn_.load()) next_txn_.store(r.txn + 1);
+  }
+  return Status::OK();
+}
+
+Status Database::ApplyCommitted(const std::vector<LogRecord>& log) {
+  std::unordered_set<TxnId> committed;
+  for (const LogRecord& r : log) {
+    if (r.type == LogRecord::Type::kCommit) committed.insert(r.txn);
+  }
+  for (const LogRecord& r : log) {
+    switch (r.type) {
+      case LogRecord::Type::kCreateTable: {
+        STRUCTURA_ASSIGN_OR_RETURN(TableSchema schema,
+                                   DeserializeSchema(r.payload));
+        auto entry = std::make_unique<TableEntry>();
+        entry->table = std::make_unique<Table>(schema);
+        tables_[schema.table_name] = std::move(entry);
+        break;
+      }
+      case LogRecord::Type::kCreateIndex: {
+        TableEntry* entry = FindEntry(r.table);
+        if (entry == nullptr) {
+          return Status::Corruption("index on unknown table " + r.table);
+        }
+        // Idempotent: a checkpoint may already contain the index.
+        if (!entry->table->HasIndex(r.payload)) {
+          STRUCTURA_RETURN_IF_ERROR(entry->table->CreateIndex(r.payload));
+        }
+        break;
+      }
+      case LogRecord::Type::kDropTable:
+        tables_.erase(r.table);
+        break;
+      case LogRecord::Type::kInsert: {
+        if (committed.count(r.txn) == 0) break;
+        TableEntry* entry = FindEntry(r.table);
+        if (entry == nullptr) {
+          return Status::Corruption("insert into unknown table " + r.table);
+        }
+        STRUCTURA_RETURN_IF_ERROR(
+            entry->table->InsertAt(r.row_id, r.after));
+        break;
+      }
+      case LogRecord::Type::kUpdate: {
+        if (committed.count(r.txn) == 0) break;
+        TableEntry* entry = FindEntry(r.table);
+        if (entry == nullptr) {
+          return Status::Corruption("update of unknown table " + r.table);
+        }
+        STRUCTURA_RETURN_IF_ERROR(entry->table->Update(r.row_id, r.after));
+        break;
+      }
+      case LogRecord::Type::kDelete: {
+        if (committed.count(r.txn) == 0) break;
+        TableEntry* entry = FindEntry(r.table);
+        if (entry == nullptr) {
+          return Status::Corruption("delete from unknown table " + r.table);
+        }
+        STRUCTURA_RETURN_IF_ERROR(entry->table->Delete(r.row_id));
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+Status Database::LoadCheckpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::Internal("cannot open checkpoint");
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  size_t pos = 0;
+  Table* current = nullptr;
+  auto read_to_newline = [&](std::string* out) -> bool {
+    size_t nl = data.find('\n', pos);
+    if (nl == std::string::npos) return false;
+    *out = data.substr(pos, nl - pos);
+    pos = nl + 1;
+    return true;
+  };
+  while (pos < data.size()) {
+    if (data.compare(pos, 6, "TABLE ") == 0) {
+      pos += 6;
+      std::string blob;
+      if (!read_to_newline(&blob)) {
+        return Status::Corruption("truncated checkpoint TABLE line");
+      }
+      // Schema newlines were escaped with \x1f at save time.
+      for (char& c : blob) {
+        if (c == '\x1f') c = '\n';
+      }
+      STRUCTURA_ASSIGN_OR_RETURN(TableSchema schema,
+                                 DeserializeSchema(blob));
+      auto entry = std::make_unique<TableEntry>();
+      entry->table = std::make_unique<Table>(schema);
+      current = entry->table.get();
+      tables_[schema.table_name] = std::move(entry);
+    } else if (data.compare(pos, 4, "ROW ") == 0) {
+      if (current == nullptr) {
+        return Status::Corruption("checkpoint row before table");
+      }
+      pos += 4;
+      size_t space = data.find(' ', pos);
+      if (space == std::string::npos) {
+        return Status::Corruption("bad checkpoint row header");
+      }
+      int64_t row_id = 0;
+      if (!ParseInt64(data.substr(pos, space - pos), &row_id)) {
+        return Status::Corruption("bad checkpoint row id");
+      }
+      pos = space + 1;
+      // Length-framed row parse handles values containing newlines.
+      STRUCTURA_ASSIGN_OR_RETURN(Row row, ParseRowFrom(data, &pos));
+      if (pos >= data.size() || data[pos] != '\n') {
+        return Status::Corruption("bad checkpoint row terminator");
+      }
+      ++pos;
+      STRUCTURA_RETURN_IF_ERROR(
+          current->InsertAt(static_cast<RowId>(row_id), std::move(row)));
+    } else if (data.compare(pos, 6, "INDEX ") == 0) {
+      pos += 6;
+      std::string rest;
+      if (!read_to_newline(&rest)) {
+        return Status::Corruption("truncated checkpoint INDEX line");
+      }
+      std::vector<std::string> parts = Split(rest, ' ');
+      if (parts.size() != 2) {
+        return Status::Corruption("bad checkpoint index line");
+      }
+      TableEntry* entry = FindEntry(parts[0]);
+      if (entry == nullptr) {
+        return Status::Corruption("checkpoint index on unknown table");
+      }
+      STRUCTURA_RETURN_IF_ERROR(entry->table->CreateIndex(parts[1]));
+    } else if (data[pos] == '\n') {
+      ++pos;
+    } else {
+      return Status::Corruption("unknown checkpoint entry");
+    }
+  }
+  return Status::OK();
+}
+
+Status Database::Checkpoint() {
+  if (options_.dir.empty()) {
+    return Status::FailedPrecondition("ephemeral database");
+  }
+  std::lock_guard<std::mutex> catalog(catalog_mutex_);
+  std::string tmp = CheckpointPath() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::Internal("cannot write checkpoint");
+    for (const auto& [name, entry] : tables_) {
+      std::lock_guard<std::mutex> latch(entry->latch);
+      std::string schema_blob = SerializeSchema(entry->table->schema());
+      for (char& c : schema_blob) {
+        if (c == '\n') c = '\x1f';
+      }
+      out << "TABLE " << schema_blob << '\n';
+      // Persisted index list, before rows so load can rebuild on insert.
+      const TableSchema& schema = entry->table->schema();
+      for (const Column& col : schema.columns) {
+        if (entry->table->HasIndex(col.name)) {
+          out << "INDEX " << name << ' ' << col.name << '\n';
+        }
+      }
+      entry->table->Scan([&](RowId id, const Row& row) {
+        std::string line = StrFormat(
+            "ROW %llu ", static_cast<unsigned long long>(id));
+        AppendRowTo(row, &line);
+        out << line << '\n';
+      });
+    }
+    out.flush();
+    if (!out) return Status::Internal("checkpoint write failed");
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, CheckpointPath(), ec);
+  if (ec) return Status::Internal("checkpoint rename failed");
+  std::lock_guard<std::mutex> wal_lock(wal_mutex_);
+  return wal_->Reset();
+}
+
+Database::TableEntry* Database::FindEntry(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Result<Table*> Database::CreateTable(const TableSchema& schema) {
+  if (schema.table_name.empty() ||
+      schema.table_name.find('\n') != std::string::npos ||
+      schema.table_name.find(' ') != std::string::npos) {
+    return Status::InvalidArgument("bad table name");
+  }
+  for (const Column& c : schema.columns) {
+    if (c.name.empty() || c.name.find('\n') != std::string::npos ||
+        c.name.find(' ') != std::string::npos) {
+      return Status::InvalidArgument("bad column name: " + c.name);
+    }
+  }
+  std::lock_guard<std::mutex> catalog(catalog_mutex_);
+  if (tables_.count(schema.table_name) > 0) {
+    return Status::AlreadyExists("table " + schema.table_name);
+  }
+  if (wal_) {
+    LogRecord rec;
+    rec.type = LogRecord::Type::kCreateTable;
+    rec.payload = SerializeSchema(schema);
+    std::lock_guard<std::mutex> wal_lock(wal_mutex_);
+    STRUCTURA_RETURN_IF_ERROR(wal_->Append(rec));
+    STRUCTURA_RETURN_IF_ERROR(wal_->Flush());
+  }
+  auto entry = std::make_unique<TableEntry>();
+  entry->table = std::make_unique<Table>(schema);
+  Table* ptr = entry->table.get();
+  tables_[schema.table_name] = std::move(entry);
+  return ptr;
+}
+
+Status Database::CreateIndex(const std::string& table,
+                             const std::string& column) {
+  TableEntry* entry;
+  {
+    std::lock_guard<std::mutex> catalog(catalog_mutex_);
+    entry = FindEntry(table);
+  }
+  if (entry == nullptr) return Status::NotFound("no table " + table);
+  if (wal_) {
+    LogRecord rec;
+    rec.type = LogRecord::Type::kCreateIndex;
+    rec.table = table;
+    rec.payload = column;
+    std::lock_guard<std::mutex> wal_lock(wal_mutex_);
+    STRUCTURA_RETURN_IF_ERROR(wal_->Append(rec));
+    STRUCTURA_RETURN_IF_ERROR(wal_->Flush());
+  }
+  std::lock_guard<std::mutex> latch(entry->latch);
+  return entry->table->CreateIndex(column);
+}
+
+Status Database::DropTable(const std::string& table) {
+  std::lock_guard<std::mutex> catalog(catalog_mutex_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("no table " + table);
+  if (wal_) {
+    LogRecord rec;
+    rec.type = LogRecord::Type::kDropTable;
+    rec.table = table;
+    std::lock_guard<std::mutex> wal_lock(wal_mutex_);
+    STRUCTURA_RETURN_IF_ERROR(wal_->Append(rec));
+    STRUCTURA_RETURN_IF_ERROR(wal_->Flush());
+  }
+  tables_.erase(it);
+  return Status::OK();
+}
+
+Table* Database::GetTable(const std::string& name) const {
+  std::lock_guard<std::mutex> catalog(catalog_mutex_);
+  TableEntry* entry = FindEntry(name);
+  return entry == nullptr ? nullptr : entry->table.get();
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::lock_guard<std::mutex> catalog(catalog_mutex_);
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, entry] : tables_) names.push_back(name);
+  return names;
+}
+
+std::unique_ptr<Transaction> Database::Begin() {
+  TxnId id = next_txn_.fetch_add(1);
+  std::unique_ptr<Transaction> txn(new Transaction(this, id));
+  if (wal_) {
+    LogRecord rec;
+    rec.type = LogRecord::Type::kBegin;
+    rec.txn = id;
+    std::lock_guard<std::mutex> wal_lock(wal_mutex_);
+    wal_->Append(rec);
+  }
+  return txn;
+}
+
+// ---------------------------------------------------------------------
+// Transaction
+// ---------------------------------------------------------------------
+
+Transaction::~Transaction() {
+  if (state_ == State::kActive) Abort();
+}
+
+Status Transaction::LockTable(const std::string& table, LockMode mode) {
+  return db_->locks_.Acquire(id_, "t:" + table, mode);
+}
+
+Status Transaction::LockRow(const std::string& table, RowId id,
+                            LockMode mode) {
+  return db_->locks_.Acquire(
+      id_,
+      StrFormat("r:%s:%llu", table.c_str(),
+                static_cast<unsigned long long>(id)),
+      mode);
+}
+
+Status Transaction::Log(LogRecord::Type type, const std::string& table,
+                        RowId id, const Row& before, const Row& after) {
+  if (!db_->wal_) return Status::OK();
+  LogRecord rec;
+  rec.type = type;
+  rec.txn = id_;
+  rec.table = table;
+  rec.row_id = id;
+  rec.before = before;
+  rec.after = after;
+  std::lock_guard<std::mutex> wal_lock(db_->wal_mutex_);
+  return db_->wal_->Append(rec);
+}
+
+Result<RowId> Transaction::Insert(const std::string& table, Row row) {
+  if (!active()) return Status::FailedPrecondition("txn not active");
+  Database::TableEntry* entry = nullptr;
+  {
+    std::lock_guard<std::mutex> catalog(db_->catalog_mutex_);
+    entry = db_->FindEntry(table);
+  }
+  if (entry == nullptr) return Status::NotFound("no table " + table);
+  STRUCTURA_RETURN_IF_ERROR(
+      LockTable(table, LockMode::kIntentionExclusive));
+  RowId id;
+  {
+    std::lock_guard<std::mutex> latch(entry->latch);
+    STRUCTURA_ASSIGN_OR_RETURN(id, entry->table->Insert(std::move(row)));
+  }
+  // The row id exists only after the physical insert; lock it now. No
+  // other transaction can have seen it (scans conflict with our IX).
+  STRUCTURA_RETURN_IF_ERROR(LockRow(table, id, LockMode::kExclusive));
+  Row after;
+  {
+    std::lock_guard<std::mutex> latch(entry->latch);
+    STRUCTURA_ASSIGN_OR_RETURN(after, entry->table->Get(id));
+  }
+  STRUCTURA_RETURN_IF_ERROR(
+      Log(LogRecord::Type::kInsert, table, id, {}, after));
+  undo_.push_back(UndoEntry{LogRecord::Type::kInsert, table, id, {}});
+  return id;
+}
+
+Status Transaction::Update(const std::string& table, RowId id, Row row) {
+  if (!active()) return Status::FailedPrecondition("txn not active");
+  Database::TableEntry* entry = nullptr;
+  {
+    std::lock_guard<std::mutex> catalog(db_->catalog_mutex_);
+    entry = db_->FindEntry(table);
+  }
+  if (entry == nullptr) return Status::NotFound("no table " + table);
+  STRUCTURA_RETURN_IF_ERROR(
+      LockTable(table, LockMode::kIntentionExclusive));
+  STRUCTURA_RETURN_IF_ERROR(LockRow(table, id, LockMode::kExclusive));
+  Row before;
+  {
+    std::lock_guard<std::mutex> latch(entry->latch);
+    STRUCTURA_ASSIGN_OR_RETURN(before, entry->table->Get(id));
+    STRUCTURA_RETURN_IF_ERROR(entry->table->Update(id, row));
+  }
+  STRUCTURA_RETURN_IF_ERROR(
+      Log(LogRecord::Type::kUpdate, table, id, before, row));
+  undo_.push_back(
+      UndoEntry{LogRecord::Type::kUpdate, table, id, std::move(before)});
+  return Status::OK();
+}
+
+Status Transaction::Delete(const std::string& table, RowId id) {
+  if (!active()) return Status::FailedPrecondition("txn not active");
+  Database::TableEntry* entry = nullptr;
+  {
+    std::lock_guard<std::mutex> catalog(db_->catalog_mutex_);
+    entry = db_->FindEntry(table);
+  }
+  if (entry == nullptr) return Status::NotFound("no table " + table);
+  STRUCTURA_RETURN_IF_ERROR(
+      LockTable(table, LockMode::kIntentionExclusive));
+  STRUCTURA_RETURN_IF_ERROR(LockRow(table, id, LockMode::kExclusive));
+  Row before;
+  {
+    std::lock_guard<std::mutex> latch(entry->latch);
+    STRUCTURA_ASSIGN_OR_RETURN(before, entry->table->Get(id));
+    STRUCTURA_RETURN_IF_ERROR(entry->table->Delete(id));
+  }
+  STRUCTURA_RETURN_IF_ERROR(
+      Log(LogRecord::Type::kDelete, table, id, before, {}));
+  undo_.push_back(
+      UndoEntry{LogRecord::Type::kDelete, table, id, std::move(before)});
+  return Status::OK();
+}
+
+Result<Row> Transaction::Get(const std::string& table, RowId id) {
+  if (!active()) return Status::FailedPrecondition("txn not active");
+  Database::TableEntry* entry = nullptr;
+  {
+    std::lock_guard<std::mutex> catalog(db_->catalog_mutex_);
+    entry = db_->FindEntry(table);
+  }
+  if (entry == nullptr) return Status::NotFound("no table " + table);
+  STRUCTURA_RETURN_IF_ERROR(LockTable(table, LockMode::kIntentionShared));
+  STRUCTURA_RETURN_IF_ERROR(LockRow(table, id, LockMode::kShared));
+  std::lock_guard<std::mutex> latch(entry->latch);
+  return entry->table->Get(id);
+}
+
+Result<std::vector<std::pair<RowId, Row>>> Transaction::Scan(
+    const std::string& table) {
+  return ScanWhere(table, [](const Row&) { return true; });
+}
+
+Result<std::vector<std::pair<RowId, Row>>> Transaction::ScanWhere(
+    const std::string& table,
+    const std::function<bool(const Row&)>& pred) {
+  if (!active()) return Status::FailedPrecondition("txn not active");
+  Database::TableEntry* entry = nullptr;
+  {
+    std::lock_guard<std::mutex> catalog(db_->catalog_mutex_);
+    entry = db_->FindEntry(table);
+  }
+  if (entry == nullptr) return Status::NotFound("no table " + table);
+  STRUCTURA_RETURN_IF_ERROR(LockTable(table, LockMode::kShared));
+  std::vector<std::pair<RowId, Row>> out;
+  std::lock_guard<std::mutex> latch(entry->latch);
+  entry->table->Scan([&](RowId id, const Row& row) {
+    if (pred(row)) out.emplace_back(id, row);
+  });
+  return out;
+}
+
+Result<std::vector<std::pair<RowId, Row>>> Transaction::IndexLookup(
+    const std::string& table, const std::string& column,
+    const Value& key) {
+  return IndexRange(table, column, &key, &key);
+}
+
+Result<std::vector<std::pair<RowId, Row>>> Transaction::IndexRange(
+    const std::string& table, const std::string& column, const Value* lo,
+    const Value* hi) {
+  if (!active()) return Status::FailedPrecondition("txn not active");
+  Database::TableEntry* entry = nullptr;
+  {
+    std::lock_guard<std::mutex> catalog(db_->catalog_mutex_);
+    entry = db_->FindEntry(table);
+  }
+  if (entry == nullptr) return Status::NotFound("no table " + table);
+  STRUCTURA_RETURN_IF_ERROR(LockTable(table, LockMode::kIntentionShared));
+  std::vector<RowId> ids;
+  {
+    std::lock_guard<std::mutex> latch(entry->latch);
+    STRUCTURA_ASSIGN_OR_RETURN(ids,
+                               entry->table->IndexRange(column, lo, hi));
+  }
+  std::vector<std::pair<RowId, Row>> out;
+  for (RowId id : ids) {
+    STRUCTURA_RETURN_IF_ERROR(LockRow(table, id, LockMode::kShared));
+    std::lock_guard<std::mutex> latch(entry->latch);
+    Result<Row> row = entry->table->Get(id);
+    if (row.ok()) out.emplace_back(id, std::move(*row));
+  }
+  return out;
+}
+
+Status Transaction::Commit() {
+  if (!active()) return Status::FailedPrecondition("txn not active");
+  if (db_->wal_) {
+    LogRecord rec;
+    rec.type = LogRecord::Type::kCommit;
+    rec.txn = id_;
+    std::lock_guard<std::mutex> wal_lock(db_->wal_mutex_);
+    Status s = db_->wal_->Append(rec);  // Append flushes commits
+    if (!s.ok()) return s;
+  }
+  state_ = State::kCommitted;
+  db_->locks_.ReleaseAll(id_);
+  return Status::OK();
+}
+
+void Transaction::RollbackInMemory() {
+  // Undo newest-first using before-images.
+  for (size_t i = undo_.size(); i-- > 0;) {
+    const UndoEntry& u = undo_[i];
+    Database::TableEntry* entry = nullptr;
+    {
+      std::lock_guard<std::mutex> catalog(db_->catalog_mutex_);
+      entry = db_->FindEntry(u.table);
+    }
+    if (entry == nullptr) continue;
+    std::lock_guard<std::mutex> latch(entry->latch);
+    switch (u.op) {
+      case LogRecord::Type::kInsert:
+        entry->table->Delete(u.row_id);
+        break;
+      case LogRecord::Type::kUpdate:
+        entry->table->Update(u.row_id, u.before);
+        break;
+      case LogRecord::Type::kDelete:
+        entry->table->InsertAt(u.row_id, u.before);
+        break;
+      default:
+        break;
+    }
+  }
+  undo_.clear();
+}
+
+Status Transaction::Abort() {
+  if (!active()) return Status::FailedPrecondition("txn not active");
+  RollbackInMemory();
+  if (db_->wal_) {
+    LogRecord rec;
+    rec.type = LogRecord::Type::kAbort;
+    rec.txn = id_;
+    std::lock_guard<std::mutex> wal_lock(db_->wal_mutex_);
+    db_->wal_->Append(rec);
+  }
+  state_ = State::kAborted;
+  db_->locks_.ReleaseAll(id_);
+  return Status::OK();
+}
+
+}  // namespace structura::rdbms

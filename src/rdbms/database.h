@@ -1,0 +1,163 @@
+#ifndef STRUCTURA_RDBMS_DATABASE_H_
+#define STRUCTURA_RDBMS_DATABASE_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "rdbms/lock_manager.h"
+#include "rdbms/table.h"
+#include "rdbms/wal.h"
+
+namespace structura::rdbms {
+
+class Transaction;
+
+struct DatabaseOptions {
+  /// Directory for the WAL and checkpoint. Empty = ephemeral in-memory
+  /// database (no durability, still transactional).
+  std::string dir;
+};
+
+/// The relational engine that stores the *final* structured data — the
+/// paper's Part III argument: once many users edit the derived structure
+/// concurrently, you want real transactions, concurrency control, and
+/// crash recovery under it (Section 4).
+///
+/// Durability model: redo WAL with commit-time flush; recovery replays
+/// committed transactions on top of the latest checkpoint. In-flight
+/// transactions at crash time simply never happened (no-steal: dirty
+/// state lives only in memory).
+class Database {
+ public:
+  /// Opens (and, when `options.dir` is non-empty, recovers) a database.
+  static Result<std::unique_ptr<Database>> Open(DatabaseOptions options);
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Creates a table. Auto-committed DDL: logged immediately.
+  Result<Table*> CreateTable(const TableSchema& schema);
+
+  /// Creates a secondary index. Auto-committed DDL.
+  Status CreateIndex(const std::string& table, const std::string& column);
+
+  /// Drops a table and its indexes. Auto-committed DDL; fails while any
+  /// transaction holds locks on the table.
+  Status DropTable(const std::string& table);
+
+  Table* GetTable(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+
+  /// Starts a transaction. The returned object must see Commit or Abort
+  /// before destruction (the destructor aborts as a safety net).
+  std::unique_ptr<Transaction> Begin();
+
+  /// Writes a full checkpoint and truncates the WAL.
+  Status Checkpoint();
+
+  LockManager& lock_manager() { return locks_; }
+  size_t wal_records() const { return wal_ ? wal_->AppendedRecords() : 0; }
+
+ private:
+  friend class Transaction;
+
+  explicit Database(DatabaseOptions options)
+      : options_(std::move(options)) {}
+
+  Status Recover();
+  Status LoadCheckpoint(const std::string& path);
+  Status ApplyCommitted(const std::vector<LogRecord>& log);
+  std::string WalPath() const { return options_.dir + "/wal.log"; }
+  std::string CheckpointPath() const {
+    return options_.dir + "/checkpoint";
+  }
+
+  struct TableEntry {
+    std::unique_ptr<Table> table;
+    /// Short physical latch serializing structural access to the heap;
+    /// logical isolation is the lock manager's job.
+    std::mutex latch;
+  };
+  TableEntry* FindEntry(const std::string& name) const;
+
+  DatabaseOptions options_;
+  mutable std::mutex catalog_mutex_;
+  std::map<std::string, std::unique_ptr<TableEntry>> tables_;
+  LockManager locks_;
+  std::unique_ptr<WriteAheadLog> wal_;
+  std::mutex wal_mutex_;
+  std::atomic<TxnId> next_txn_{1};
+};
+
+/// Handle for one ACID transaction. All reads/writes go through here so
+/// locks and log records are taken consistently. Not thread-safe — one
+/// thread per transaction.
+class Transaction {
+ public:
+  ~Transaction();
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  TxnId id() const { return id_; }
+  bool active() const { return state_ == State::kActive; }
+
+  Result<RowId> Insert(const std::string& table, Row row);
+  Status Update(const std::string& table, RowId id, Row row);
+  Status Delete(const std::string& table, RowId id);
+  Result<Row> Get(const std::string& table, RowId id);
+
+  /// Snapshot of all live rows (takes a table-level S lock; phantom-safe
+  /// against concurrent inserts which hold IX).
+  Result<std::vector<std::pair<RowId, Row>>> Scan(const std::string& table);
+
+  /// Scan filtered by a predicate evaluated under the same S lock.
+  Result<std::vector<std::pair<RowId, Row>>> ScanWhere(
+      const std::string& table,
+      const std::function<bool(const Row&)>& pred);
+
+  /// Index equality lookup (IS table lock + S row locks).
+  Result<std::vector<std::pair<RowId, Row>>> IndexLookup(
+      const std::string& table, const std::string& column,
+      const Value& key);
+
+  /// Index range scan: rows with lo <= column <= hi (either bound may be
+  /// null to leave that side open). IS table lock + S row locks.
+  Result<std::vector<std::pair<RowId, Row>>> IndexRange(
+      const std::string& table, const std::string& column,
+      const Value* lo, const Value* hi);
+
+  Status Commit();
+  Status Abort();
+
+ private:
+  friend class Database;
+  Transaction(Database* db, TxnId id) : db_(db), id_(id) {}
+
+  enum class State { kActive, kCommitted, kAborted };
+  struct UndoEntry {
+    LogRecord::Type op;  // kInsert/kUpdate/kDelete
+    std::string table;
+    RowId row_id;
+    Row before;
+  };
+
+  Status LockTable(const std::string& table, LockMode mode);
+  Status LockRow(const std::string& table, RowId id, LockMode mode);
+  Status Log(LogRecord::Type type, const std::string& table, RowId id,
+             const Row& before, const Row& after);
+  void RollbackInMemory();
+
+  Database* db_;
+  TxnId id_;
+  State state_ = State::kActive;
+  std::vector<UndoEntry> undo_;
+};
+
+}  // namespace structura::rdbms
+
+#endif  // STRUCTURA_RDBMS_DATABASE_H_

@@ -1,0 +1,69 @@
+#ifndef STRUCTURA_RDBMS_SCHEMA_H_
+#define STRUCTURA_RDBMS_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "rdbms/value.h"
+
+namespace structura::rdbms {
+
+/// One column of a relational schema.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kString;
+};
+
+/// A table schema: ordered named columns.
+struct TableSchema {
+  std::string table_name;
+  std::vector<Column> columns;
+
+  /// Index of `name`, or -1.
+  int ColumnIndex(const std::string& name) const {
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (columns[i].name == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  size_t arity() const { return columns.size(); }
+};
+
+/// A row; invariant: row.size() == schema.arity() (nulls for absent).
+using Row = std::vector<Value>;
+
+/// Stable identifier of a row slot within a table.
+using RowId = uint64_t;
+
+/// Serializes a row for WAL/checkpoint use.
+inline void AppendRowTo(const Row& row, std::string* out) {
+  out->append(std::to_string(row.size()));
+  out->push_back('|');
+  for (const Value& v : row) v.AppendTo(out);
+}
+
+inline Result<Row> ParseRowFrom(const std::string& data, size_t* pos) {
+  size_t bar = data.find('|', *pos);
+  if (bar == std::string::npos) {
+    return Status::Corruption("bad row arity");
+  }
+  int64_t arity = 0;
+  if (!ParseInt64(data.substr(*pos, bar - *pos), &arity) || arity < 0 ||
+      arity > 4096) {
+    return Status::Corruption("bad row arity");
+  }
+  *pos = bar + 1;
+  Row row;
+  row.reserve(static_cast<size_t>(arity));
+  for (int64_t i = 0; i < arity; ++i) {
+    STRUCTURA_ASSIGN_OR_RETURN(Value v, Value::ParseFrom(data, pos));
+    row.push_back(std::move(v));
+  }
+  return row;
+}
+
+}  // namespace structura::rdbms
+
+#endif  // STRUCTURA_RDBMS_SCHEMA_H_

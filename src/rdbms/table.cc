@@ -1,0 +1,139 @@
+#include "rdbms/table.h"
+
+#include "common/strings.h"
+
+namespace structura::rdbms {
+
+Status Table::ValidateRow(const Row& row) const {
+  if (row.size() != schema_.arity()) {
+    return Status::InvalidArgument(StrFormat(
+        "row arity %zu does not match schema arity %zu for table %s",
+        row.size(), schema_.arity(), schema_.table_name.c_str()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].is_null()) continue;
+    ValueType expect = schema_.columns[i].type;
+    ValueType got = row[i].type();
+    bool numeric_ok =
+        (expect == ValueType::kDouble && got == ValueType::kInt);
+    if (got != expect && !numeric_ok) {
+      return Status::InvalidArgument(StrFormat(
+          "column %s expects %s, got %s", schema_.columns[i].name.c_str(),
+          ValueTypeName(expect), ValueTypeName(got)));
+    }
+  }
+  return Status::OK();
+}
+
+Result<RowId> Table::Insert(Row row) {
+  STRUCTURA_RETURN_IF_ERROR(ValidateRow(row));
+  RowId id = slots_.size();
+  IndexInsert(id, row);
+  slots_.push_back(std::move(row));
+  ++live_rows_;
+  return id;
+}
+
+Status Table::InsertAt(RowId id, Row row) {
+  STRUCTURA_RETURN_IF_ERROR(ValidateRow(row));
+  if (id >= slots_.size()) slots_.resize(id + 1);
+  if (slots_[id].has_value()) {
+    return Status::AlreadyExists(StrFormat("slot %llu occupied",
+                                           static_cast<unsigned long long>(id)));
+  }
+  IndexInsert(id, row);
+  slots_[id] = std::move(row);
+  ++live_rows_;
+  return Status::OK();
+}
+
+Result<Row> Table::Get(RowId id) const {
+  if (id >= slots_.size() || !slots_[id].has_value()) {
+    return Status::NotFound("no such row");
+  }
+  return *slots_[id];
+}
+
+Status Table::Update(RowId id, Row row) {
+  STRUCTURA_RETURN_IF_ERROR(ValidateRow(row));
+  if (id >= slots_.size() || !slots_[id].has_value()) {
+    return Status::NotFound("no such row");
+  }
+  IndexErase(id, *slots_[id]);
+  IndexInsert(id, row);
+  slots_[id] = std::move(row);
+  return Status::OK();
+}
+
+Status Table::Delete(RowId id) {
+  if (id >= slots_.size() || !slots_[id].has_value()) {
+    return Status::NotFound("no such row");
+  }
+  IndexErase(id, *slots_[id]);
+  slots_[id].reset();
+  --live_rows_;
+  return Status::OK();
+}
+
+void Table::Scan(const std::function<void(RowId, const Row&)>& fn) const {
+  for (RowId id = 0; id < slots_.size(); ++id) {
+    if (slots_[id].has_value()) fn(id, *slots_[id]);
+  }
+}
+
+Status Table::CreateIndex(const std::string& column) {
+  int col = schema_.ColumnIndex(column);
+  if (col < 0) {
+    return Status::InvalidArgument("no such column: " + column);
+  }
+  if (indexes_.count(column) > 0) {
+    return Status::AlreadyExists("index exists on " + column);
+  }
+  auto index = std::make_unique<BTreeIndex>();
+  for (RowId id = 0; id < slots_.size(); ++id) {
+    if (slots_[id].has_value()) {
+      index->Insert((*slots_[id])[static_cast<size_t>(col)], id);
+    }
+  }
+  indexes_[column] = std::move(index);
+  return Status::OK();
+}
+
+bool Table::HasIndex(const std::string& column) const {
+  return indexes_.count(column) > 0;
+}
+
+Result<std::vector<RowId>> Table::IndexLookup(const std::string& column,
+                                              const Value& key) const {
+  auto it = indexes_.find(column);
+  if (it == indexes_.end()) {
+    return Status::NotFound("no index on " + column);
+  }
+  return it->second->Lookup(key);
+}
+
+Result<std::vector<RowId>> Table::IndexRange(const std::string& column,
+                                             const Value* lo,
+                                             const Value* hi) const {
+  auto it = indexes_.find(column);
+  if (it == indexes_.end()) {
+    return Status::NotFound("no index on " + column);
+  }
+  return it->second->Range(lo, hi);
+}
+
+void Table::IndexInsert(RowId id, const Row& row) {
+  for (auto& [column, index] : indexes_) {
+    int col = schema_.ColumnIndex(column);
+    index->Insert(row[static_cast<size_t>(col)], id);
+  }
+}
+
+void Table::IndexErase(RowId id, const Row& row) {
+  for (auto& [column, index] : indexes_) {
+    int col = schema_.ColumnIndex(column);
+    index->Erase(row[static_cast<size_t>(col)], id);
+  }
+}
+
+}  // namespace structura::rdbms

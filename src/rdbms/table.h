@@ -1,0 +1,74 @@
+#ifndef STRUCTURA_RDBMS_TABLE_H_
+#define STRUCTURA_RDBMS_TABLE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rdbms/btree.h"
+#include "rdbms/schema.h"
+
+namespace structura::rdbms {
+
+/// Heap table: rows live in slots addressed by RowId; deleted slots become
+/// tombstones. Secondary B+-tree indexes are kept in sync on every
+/// mutation. Thread safety is provided above this layer by the lock
+/// manager — Table itself has a single internal mutex-free design and
+/// relies on callers holding appropriate locks.
+class Table {
+ public:
+  explicit Table(TableSchema schema) : schema_(std::move(schema)) {}
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  const TableSchema& schema() const { return schema_; }
+  const std::string& name() const { return schema_.table_name; }
+
+  /// Appends a row; returns its RowId. Row arity must match the schema.
+  Result<RowId> Insert(Row row);
+
+  /// Places a row at a specific slot (recovery replay / checkpoint load).
+  /// Extends the slot array as needed; fails if the slot is occupied.
+  Status InsertAt(RowId id, Row row);
+
+  Result<Row> Get(RowId id) const;
+  Status Update(RowId id, Row row);
+  Status Delete(RowId id);
+
+  /// Invokes `fn` for every live row in RowId order.
+  void Scan(const std::function<void(RowId, const Row&)>& fn) const;
+
+  /// Creates a secondary index on `column` (errors if it exists or the
+  /// column is unknown). Existing rows are indexed immediately.
+  Status CreateIndex(const std::string& column);
+  bool HasIndex(const std::string& column) const;
+
+  /// RowIds whose `column` equals `key` (empty when no such index —
+  /// callers should fall back to Scan).
+  Result<std::vector<RowId>> IndexLookup(const std::string& column,
+                                         const Value& key) const;
+  /// RowIds with lo <= column <= hi via the index.
+  Result<std::vector<RowId>> IndexRange(const std::string& column,
+                                        const Value* lo,
+                                        const Value* hi) const;
+
+  size_t LiveRowCount() const { return live_rows_; }
+  size_t SlotCount() const { return slots_.size(); }
+
+ private:
+  Status ValidateRow(const Row& row) const;
+  void IndexInsert(RowId id, const Row& row);
+  void IndexErase(RowId id, const Row& row);
+
+  TableSchema schema_;
+  std::vector<std::optional<Row>> slots_;
+  size_t live_rows_ = 0;
+  std::map<std::string, std::unique_ptr<BTreeIndex>> indexes_;
+};
+
+}  // namespace structura::rdbms
+
+#endif  // STRUCTURA_RDBMS_TABLE_H_

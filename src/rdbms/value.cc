@@ -1,0 +1,170 @@
+#include "rdbms/value.h"
+
+#include <cmath>
+
+#include "common/hash.h"
+#include "common/strings.h"
+
+namespace structura::rdbms {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull: return "null";
+    case ValueType::kInt: return "int";
+    case ValueType::kDouble: return "double";
+    case ValueType::kString: return "string";
+  }
+  return "?";
+}
+
+bool Value::ToNumber(double* out) const {
+  switch (type()) {
+    case ValueType::kInt:
+      *out = static_cast<double>(as_int());
+      return true;
+    case ValueType::kDouble:
+      *out = as_double();
+      return true;
+    default:
+      return false;
+  }
+}
+
+int Value::Compare(const Value& other) const {
+  ValueType a = type(), b = other.type();
+  auto rank = [](ValueType t) {
+    switch (t) {
+      case ValueType::kNull: return 0;
+      case ValueType::kInt:
+      case ValueType::kDouble: return 1;
+      case ValueType::kString: return 2;
+    }
+    return 3;
+  };
+  if (rank(a) != rank(b)) return rank(a) < rank(b) ? -1 : 1;
+  switch (rank(a)) {
+    case 0:
+      return 0;  // null == null under this total order
+    case 1: {
+      double x = 0, y = 0;
+      ToNumber(&x);
+      other.ToNumber(&y);
+      if (x < y) return -1;
+      if (x > y) return 1;
+      return 0;
+    }
+    default: {
+      int c = as_string().compare(other.as_string());
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+  }
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return StrFormat("%lld", static_cast<long long>(as_int()));
+    case ValueType::kDouble: {
+      double v = as_double();
+      if (v == std::floor(v) && std::abs(v) < 1e15) {
+        return StrFormat("%.1f", v);
+      }
+      return StrFormat("%g", v);
+    }
+    case ValueType::kString:
+      return as_string();
+  }
+  return "?";
+}
+
+void Value::AppendTo(std::string* out) const {
+  switch (type()) {
+    case ValueType::kNull:
+      out->append("n:0:");
+      break;
+    case ValueType::kInt: {
+      std::string s = StrFormat("%lld", static_cast<long long>(as_int()));
+      out->append(StrFormat("i:%zu:", s.size()));
+      out->append(s);
+      break;
+    }
+    case ValueType::kDouble: {
+      std::string s = StrFormat("%.17g", as_double());
+      out->append(StrFormat("d:%zu:", s.size()));
+      out->append(s);
+      break;
+    }
+    case ValueType::kString:
+      out->append(StrFormat("s:%zu:", as_string().size()));
+      out->append(as_string());
+      break;
+  }
+}
+
+Result<Value> Value::ParseFrom(const std::string& data, size_t* pos) {
+  if (*pos + 1 >= data.size() || data[*pos + 1] != ':') {
+    return Status::Corruption("bad value tag");
+  }
+  char tag = data[*pos];
+  size_t len_start = *pos + 2;
+  size_t colon = data.find(':', len_start);
+  if (colon == std::string::npos) {
+    return Status::Corruption("bad value length");
+  }
+  int64_t len = 0;
+  if (!ParseInt64(data.substr(len_start, colon - len_start), &len) ||
+      len < 0 || colon + 1 + static_cast<size_t>(len) > data.size()) {
+    return Status::Corruption("bad value length");
+  }
+  std::string body = data.substr(colon + 1, static_cast<size_t>(len));
+  *pos = colon + 1 + static_cast<size_t>(len);
+  switch (tag) {
+    case 'n':
+      return Value::Null();
+    case 'i': {
+      int64_t v = 0;
+      if (!ParseInt64(body, &v)) return Status::Corruption("bad int body");
+      return Value::Int(v);
+    }
+    case 'd': {
+      double v = 0;
+      if (!ParseDouble(body, &v)) {
+        return Status::Corruption("bad double body");
+      }
+      return Value::Double(v);
+    }
+    case 's':
+      return Value::Str(std::move(body));
+    default:
+      return Status::Corruption("unknown value tag");
+  }
+}
+
+uint64_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9e3779b9;
+    case ValueType::kInt:
+      return HashCombine(1, static_cast<uint64_t>(as_int()));
+    case ValueType::kDouble: {
+      double v = as_double();
+      // Hash doubles that equal integers the same as the integer, to match
+      // the numeric Compare semantics.
+      if (v == std::floor(v) && std::abs(v) < 9.2e18) {
+        return HashCombine(1, static_cast<uint64_t>(
+                                  static_cast<int64_t>(v)));
+      }
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(v));
+      __builtin_memcpy(&bits, &v, sizeof(bits));
+      return HashCombine(2, bits);
+    }
+    case ValueType::kString:
+      return HashCombine(3, Fnv1a64(as_string()));
+  }
+  return 0;
+}
+
+}  // namespace structura::rdbms

@@ -1,0 +1,78 @@
+#ifndef STRUCTURA_RDBMS_VALUE_H_
+#define STRUCTURA_RDBMS_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/status.h"
+
+namespace structura::rdbms {
+
+enum class ValueType : uint8_t { kNull = 0, kInt, kDouble, kString };
+
+const char* ValueTypeName(ValueType type);
+
+/// A dynamically typed relational value. Comparison across kInt and
+/// kDouble is numeric; nulls order before everything (SQL-ish but total,
+/// so values can key ordered indexes).
+class Value {
+ public:
+  Value() : data_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(v); }
+  static Value Double(double v) { return Value(v); }
+  static Value Str(std::string v) { return Value(std::move(v)); }
+
+  ValueType type() const {
+    switch (data_.index()) {
+      case 0: return ValueType::kNull;
+      case 1: return ValueType::kInt;
+      case 2: return ValueType::kDouble;
+      default: return ValueType::kString;
+    }
+  }
+
+  bool is_null() const { return type() == ValueType::kNull; }
+  int64_t as_int() const { return std::get<int64_t>(data_); }
+  double as_double() const { return std::get<double>(data_); }
+  const std::string& as_string() const { return std::get<std::string>(data_); }
+
+  /// Numeric view: kInt and kDouble convert; other types return false.
+  bool ToNumber(double* out) const;
+
+  /// Total order: null < numbers (numeric order) < strings (lexicographic).
+  /// Returns <0, 0, >0.
+  int Compare(const Value& other) const;
+
+  std::string ToString() const;
+
+  /// Serialization used by the WAL: "<t>:<len>:<bytes>". Appends to `out`.
+  void AppendTo(std::string* out) const;
+  /// Parses one serialized value starting at `*pos`; advances `*pos`.
+  static Result<Value> ParseFrom(const std::string& data, size_t* pos);
+
+  uint64_t Hash() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.Compare(b) == 0;
+  }
+  friend bool operator!=(const Value& a, const Value& b) {
+    return a.Compare(b) != 0;
+  }
+  friend bool operator<(const Value& a, const Value& b) {
+    return a.Compare(b) < 0;
+  }
+
+ private:
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+
+  std::variant<std::monostate, int64_t, double, std::string> data_;
+};
+
+}  // namespace structura::rdbms
+
+#endif  // STRUCTURA_RDBMS_VALUE_H_

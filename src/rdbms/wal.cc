@@ -1,0 +1,183 @@
+#include "rdbms/wal.h"
+
+#include <cstdlib>
+
+#include "common/hash.h"
+#include "common/strings.h"
+
+namespace structura::rdbms {
+namespace {
+
+const char* TypeTag(LogRecord::Type t) {
+  switch (t) {
+    case LogRecord::Type::kBegin: return "B";
+    case LogRecord::Type::kCommit: return "C";
+    case LogRecord::Type::kAbort: return "A";
+    case LogRecord::Type::kInsert: return "I";
+    case LogRecord::Type::kUpdate: return "U";
+    case LogRecord::Type::kDelete: return "D";
+    case LogRecord::Type::kCreateTable: return "T";
+    case LogRecord::Type::kCreateIndex: return "X";
+    case LogRecord::Type::kDropTable: return "P";
+    case LogRecord::Type::kCheckpoint: return "K";
+  }
+  return "?";
+}
+
+Result<LogRecord::Type> TypeFromTag(char tag) {
+  switch (tag) {
+    case 'B': return LogRecord::Type::kBegin;
+    case 'C': return LogRecord::Type::kCommit;
+    case 'A': return LogRecord::Type::kAbort;
+    case 'I': return LogRecord::Type::kInsert;
+    case 'U': return LogRecord::Type::kUpdate;
+    case 'D': return LogRecord::Type::kDelete;
+    case 'T': return LogRecord::Type::kCreateTable;
+    case 'X': return LogRecord::Type::kCreateIndex;
+    case 'P': return LogRecord::Type::kDropTable;
+    case 'K': return LogRecord::Type::kCheckpoint;
+    default: return Status::Corruption("unknown log record tag");
+  }
+}
+
+/// Appends "<len>:<bytes>" framing.
+void AppendFramed(std::string_view bytes, std::string* out) {
+  out->append(StrFormat("%zu:", bytes.size()));
+  out->append(bytes);
+}
+
+Result<std::string> ReadFramed(const std::string& data, size_t* pos) {
+  size_t colon = data.find(':', *pos);
+  if (colon == std::string::npos) {
+    return Status::Corruption("bad frame length");
+  }
+  int64_t len = 0;
+  if (!ParseInt64(data.substr(*pos, colon - *pos), &len) || len < 0 ||
+      colon + 1 + static_cast<size_t>(len) > data.size()) {
+    return Status::Corruption("bad frame length");
+  }
+  *pos = colon + 1 + static_cast<size_t>(len);
+  return data.substr(colon + 1, static_cast<size_t>(len));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
+    const std::string& path) {
+  std::unique_ptr<WriteAheadLog> wal(new WriteAheadLog(path));
+  wal->out_.open(path, std::ios::binary | std::ios::app);
+  if (!wal->out_) return Status::Internal("cannot open wal: " + path);
+  return wal;
+}
+
+std::string WriteAheadLog::Encode(const LogRecord& r) {
+  std::string payload;
+  payload += TypeTag(r.type);
+  payload += StrFormat(" %llu ", static_cast<unsigned long long>(r.txn));
+  AppendFramed(r.table, &payload);
+  payload += StrFormat(" %llu ", static_cast<unsigned long long>(r.row_id));
+  std::string before, after;
+  AppendRowTo(r.before, &before);
+  AppendRowTo(r.after, &after);
+  AppendFramed(before, &payload);
+  AppendFramed(after, &payload);
+  AppendFramed(r.payload, &payload);
+  return payload;
+}
+
+Result<LogRecord> WriteAheadLog::Decode(const std::string& payload) {
+  LogRecord r;
+  if (payload.size() < 4) return Status::Corruption("short log record");
+  STRUCTURA_ASSIGN_OR_RETURN(r.type, TypeFromTag(payload[0]));
+  size_t pos = 2;
+  size_t space = payload.find(' ', pos);
+  if (space == std::string::npos) return Status::Corruption("bad txn id");
+  int64_t txn = 0;
+  if (!ParseInt64(payload.substr(pos, space - pos), &txn)) {
+    return Status::Corruption("bad txn id");
+  }
+  r.txn = static_cast<TxnId>(txn);
+  pos = space + 1;
+  STRUCTURA_ASSIGN_OR_RETURN(r.table, ReadFramed(payload, &pos));
+  if (pos >= payload.size() || payload[pos] != ' ') {
+    return Status::Corruption("bad row id separator");
+  }
+  ++pos;
+  space = payload.find(' ', pos);
+  if (space == std::string::npos) return Status::Corruption("bad row id");
+  int64_t row_id = 0;
+  if (!ParseInt64(payload.substr(pos, space - pos), &row_id)) {
+    return Status::Corruption("bad row id");
+  }
+  r.row_id = static_cast<RowId>(row_id);
+  pos = space + 1;
+  STRUCTURA_ASSIGN_OR_RETURN(std::string before, ReadFramed(payload, &pos));
+  STRUCTURA_ASSIGN_OR_RETURN(std::string after, ReadFramed(payload, &pos));
+  STRUCTURA_ASSIGN_OR_RETURN(r.payload, ReadFramed(payload, &pos));
+  size_t bpos = 0, apos = 0;
+  STRUCTURA_ASSIGN_OR_RETURN(r.before, ParseRowFrom(before, &bpos));
+  STRUCTURA_ASSIGN_OR_RETURN(r.after, ParseRowFrom(after, &apos));
+  return r;
+}
+
+Status WriteAheadLog::Append(const LogRecord& record) {
+  std::string payload = Encode(record);
+  // Frame: "<checksum> <len>\n<payload>\n".
+  std::string framed = StrFormat(
+      "%llu %zu\n", static_cast<unsigned long long>(Fnv1a64(payload)),
+      payload.size());
+  framed += payload;
+  framed += '\n';
+  out_.write(framed.data(), static_cast<std::streamsize>(framed.size()));
+  if (!out_) return Status::Internal("wal write failed");
+  ++appended_;
+  if (record.type == LogRecord::Type::kCommit) return Flush();
+  return Status::OK();
+}
+
+Status WriteAheadLog::Flush() {
+  out_.flush();
+  return out_ ? Status::OK() : Status::Internal("wal flush failed");
+}
+
+Result<std::vector<LogRecord>> WriteAheadLog::ReadAll(
+    const std::string& path) {
+  std::vector<LogRecord> records;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return records;  // no log yet: empty history
+  std::string header;
+  while (std::getline(in, header)) {
+    size_t space = header.find(' ');
+    if (space == std::string::npos) break;
+    int64_t len = 0;
+    uint64_t checksum = 0;
+    {
+      int64_t cs = 0;
+      // Checksums are 64-bit; parse as unsigned via strtoull.
+      char* end = nullptr;
+      checksum = std::strtoull(header.c_str(), &end, 10);
+      if (end != header.c_str() + space) break;
+      if (!ParseInt64(header.substr(space + 1), &len) || len < 0) break;
+      (void)cs;
+    }
+    std::string payload(static_cast<size_t>(len), '\0');
+    if (!in.read(payload.data(), len)) break;  // torn tail
+    char nl = 0;
+    if (!in.get(nl) || nl != '\n') break;
+    if (Fnv1a64(payload) != checksum) break;  // corrupt tail
+    Result<LogRecord> rec = Decode(payload);
+    if (!rec.ok()) break;
+    records.push_back(std::move(*rec));
+  }
+  return records;
+}
+
+Status WriteAheadLog::Reset() {
+  out_.close();
+  out_.open(path_, std::ios::binary | std::ios::trunc);
+  if (!out_) return Status::Internal("wal reset failed");
+  appended_ = 0;
+  return Status::OK();
+}
+
+}  // namespace structura::rdbms

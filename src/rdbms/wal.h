@@ -1,0 +1,77 @@
+#ifndef STRUCTURA_RDBMS_WAL_H_
+#define STRUCTURA_RDBMS_WAL_H_
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rdbms/lock_manager.h"
+#include "rdbms/schema.h"
+
+namespace structura::rdbms {
+
+/// One write-ahead-log record. Data records carry both before and after
+/// images: after-images drive redo at recovery, before-images drive
+/// rollback of in-flight transactions at abort time.
+struct LogRecord {
+  enum class Type : uint8_t {
+    kBegin,
+    kCommit,
+    kAbort,
+    kInsert,
+    kUpdate,
+    kDelete,
+    kCreateTable,
+    kCreateIndex,
+    kDropTable,
+    kCheckpoint,
+  };
+  Type type = Type::kBegin;
+  TxnId txn = 0;
+  std::string table;
+  RowId row_id = 0;
+  Row before;
+  Row after;
+  /// For kCreateTable: serialized schema.
+  std::string payload;
+};
+
+/// Append-only redo/undo log with per-record checksums. Commit records are
+/// flushed before Commit returns (durability point); a torn tail left by a
+/// crash is detected by checksum and ignored by ReadAll.
+class WriteAheadLog {
+ public:
+  static Result<std::unique_ptr<WriteAheadLog>> Open(
+      const std::string& path);
+
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  Status Append(const LogRecord& record);
+  Status Flush();
+
+  /// Reads every valid record from `path`, stopping at the first
+  /// corrupt/torn record.
+  static Result<std::vector<LogRecord>> ReadAll(const std::string& path);
+
+  /// Truncates the log (after a checkpoint made it redundant).
+  Status Reset();
+
+  size_t AppendedRecords() const { return appended_; }
+
+ private:
+  explicit WriteAheadLog(std::string path) : path_(std::move(path)) {}
+
+  static std::string Encode(const LogRecord& record);
+  static Result<LogRecord> Decode(const std::string& payload);
+
+  std::string path_;
+  std::ofstream out_;
+  size_t appended_ = 0;
+};
+
+}  // namespace structura::rdbms
+
+#endif  // STRUCTURA_RDBMS_WAL_H_

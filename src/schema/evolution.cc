@@ -1,0 +1,136 @@
+#include "schema/evolution.h"
+
+#include <map>
+
+#include "common/strings.h"
+
+namespace structura::schema {
+
+Result<uint32_t> EvolvingSchema::AddAttribute(const std::string& attribute,
+                                              rdbms::ValueType type,
+                                              std::string reason) {
+  if (HasAttribute(attribute)) {
+    return Status::AlreadyExists("attribute " + attribute);
+  }
+  SchemaChange change;
+  change.kind = SchemaChange::Kind::kAddAttribute;
+  change.attribute = attribute;
+  change.type = type;
+  change.version = ++version_;
+  change.reason = std::move(reason);
+  history_.push_back(std::move(change));
+  return version_;
+}
+
+Result<uint32_t> EvolvingSchema::RenameAttribute(const std::string& from,
+                                                 const std::string& to,
+                                                 std::string reason) {
+  if (!HasAttribute(from)) {
+    return Status::NotFound("attribute " + from);
+  }
+  if (HasAttribute(to)) {
+    return Status::AlreadyExists("attribute " + to);
+  }
+  SchemaChange change;
+  change.kind = SchemaChange::Kind::kRenameAttribute;
+  change.attribute = from;
+  change.renamed_to = to;
+  change.version = ++version_;
+  change.reason = std::move(reason);
+  history_.push_back(std::move(change));
+  return version_;
+}
+
+Result<uint32_t> EvolvingSchema::DropAttribute(const std::string& attribute,
+                                               std::string reason) {
+  if (!HasAttribute(attribute)) {
+    return Status::NotFound("attribute " + attribute);
+  }
+  SchemaChange change;
+  change.kind = SchemaChange::Kind::kDropAttribute;
+  change.attribute = attribute;
+  change.version = ++version_;
+  change.reason = std::move(reason);
+  history_.push_back(std::move(change));
+  return version_;
+}
+
+std::vector<rdbms::Column> EvolvingSchema::AttributesAt(
+    uint32_t version) const {
+  std::vector<rdbms::Column> columns;
+  for (const SchemaChange& change : history_) {
+    if (change.version > version) break;
+    switch (change.kind) {
+      case SchemaChange::Kind::kAddAttribute:
+        columns.push_back(rdbms::Column{change.attribute, change.type});
+        break;
+      case SchemaChange::Kind::kRenameAttribute:
+        for (rdbms::Column& c : columns) {
+          if (c.name == change.attribute) c.name = change.renamed_to;
+        }
+        break;
+      case SchemaChange::Kind::kDropAttribute:
+        for (size_t i = 0; i < columns.size(); ++i) {
+          if (columns[i].name == change.attribute) {
+            columns.erase(columns.begin() + static_cast<long>(i));
+            break;
+          }
+        }
+        break;
+    }
+  }
+  return columns;
+}
+
+bool EvolvingSchema::HasAttribute(const std::string& attribute) const {
+  for (const rdbms::Column& c : CurrentAttributes()) {
+    if (c.name == attribute) return true;
+  }
+  return false;
+}
+
+Result<std::string> MigrateTable(rdbms::Database* db,
+                                 const std::string& table,
+                                 const EvolvingSchema& schema) {
+  rdbms::Table* old_table = db->GetTable(table);
+  if (old_table == nullptr) {
+    return Status::NotFound("no table " + table);
+  }
+  rdbms::TableSchema new_schema;
+  new_schema.table_name =
+      StrFormat("%s_v%u", table.c_str(), schema.current_version());
+  new_schema.columns = schema.CurrentAttributes();
+
+  // Old column -> new column position, following renames: match by name
+  // directly; renamed columns are found by replaying history.
+  const rdbms::TableSchema& old = old_table->schema();
+  std::map<std::string, std::string> renamed;  // old name -> current name
+  for (const rdbms::Column& c : old.columns) renamed[c.name] = c.name;
+  for (const SchemaChange& change : schema.history()) {
+    if (change.kind != SchemaChange::Kind::kRenameAttribute) continue;
+    for (auto& [from, to] : renamed) {
+      if (to == change.attribute) to = change.renamed_to;
+    }
+  }
+
+  STRUCTURA_ASSIGN_OR_RETURN(rdbms::Table * created,
+                             db->CreateTable(new_schema));
+  (void)created;
+  std::unique_ptr<rdbms::Transaction> txn = db->Begin();
+  STRUCTURA_ASSIGN_OR_RETURN(auto rows, txn->Scan(table));
+  for (const auto& [row_id, row] : rows) {
+    rdbms::Row migrated(new_schema.columns.size(), rdbms::Value::Null());
+    for (size_t i = 0; i < old.columns.size(); ++i) {
+      auto it = renamed.find(old.columns[i].name);
+      if (it == renamed.end()) continue;
+      int dst = new_schema.ColumnIndex(it->second);
+      if (dst >= 0) migrated[static_cast<size_t>(dst)] = row[i];
+    }
+    STRUCTURA_RETURN_IF_ERROR(
+        txn->Insert(new_schema.table_name, std::move(migrated)).status());
+  }
+  STRUCTURA_RETURN_IF_ERROR(txn->Commit());
+  return new_schema.table_name;
+}
+
+}  // namespace structura::schema

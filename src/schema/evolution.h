@@ -1,0 +1,78 @@
+#ifndef STRUCTURA_SCHEMA_EVOLUTION_H_
+#define STRUCTURA_SCHEMA_EVOLUTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rdbms/database.h"
+#include "rdbms/schema.h"
+
+namespace structura::schema {
+
+/// One change to the evolving derived schema.
+struct SchemaChange {
+  enum class Kind : uint8_t { kAddAttribute, kRenameAttribute, kDropAttribute };
+  Kind kind = Kind::kAddAttribute;
+  std::string attribute;      // added/dropped name, or rename source
+  std::string renamed_to;     // for kRename
+  rdbms::ValueType type = rdbms::ValueType::kString;
+  uint32_t version = 0;       // version this change produced
+  std::string reason;         // free text ("user requested populations")
+};
+
+/// The incrementally evolving schema of the derived structure (Part IV).
+/// The paper argues structure is generated "in an incremental, best-effort
+/// fashion" so "the schema will evolve over time" — this catalog records
+/// each version and can answer what existed when.
+class EvolvingSchema {
+ public:
+  explicit EvolvingSchema(std::string name) : name_(std::move(name)) {}
+
+  uint32_t current_version() const { return version_; }
+  const std::string& name() const { return name_; }
+
+  /// Adds an attribute; bumps the version. Fails if it already exists.
+  Result<uint32_t> AddAttribute(const std::string& attribute,
+                                rdbms::ValueType type,
+                                std::string reason = "");
+
+  /// Renames an attribute (e.g. unifying "location" and "address" after
+  /// schema matching); bumps the version.
+  Result<uint32_t> RenameAttribute(const std::string& from,
+                                   const std::string& to,
+                                   std::string reason = "");
+
+  /// Drops an attribute; bumps the version.
+  Result<uint32_t> DropAttribute(const std::string& attribute,
+                                 std::string reason = "");
+
+  /// Attributes as of `version` (0 = empty initial schema).
+  std::vector<rdbms::Column> AttributesAt(uint32_t version) const;
+  std::vector<rdbms::Column> CurrentAttributes() const {
+    return AttributesAt(version_);
+  }
+
+  bool HasAttribute(const std::string& attribute) const;
+
+  const std::vector<SchemaChange>& history() const { return history_; }
+
+ private:
+  std::string name_;
+  uint32_t version_ = 0;
+  std::vector<SchemaChange> history_;
+};
+
+/// Migrates an rdbms table to a new column set: creates a table named
+/// `<table>_v<version>` with the evolved columns, copies rows (new columns
+/// null, renamed columns carried over, dropped columns discarded) in one
+/// transaction. Returns the new table's name. The old table stays — cheap
+/// time travel, and the WAL keeps the migration recoverable.
+Result<std::string> MigrateTable(rdbms::Database* db,
+                                 const std::string& table,
+                                 const EvolvingSchema& schema);
+
+}  // namespace structura::schema
+
+#endif  // STRUCTURA_SCHEMA_EVOLUTION_H_

@@ -1,0 +1,141 @@
+#include "sensors/sensor_events.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/strings.h"
+
+namespace structura::sensors {
+
+void GenerateTrace(const TraceOptions& options, SensorTrace* trace,
+                   std::vector<EventTruth>* truth) {
+  Rng rng(options.seed);
+  // Occupancy per room over time, toggled by planted events.
+  std::map<std::string, std::vector<bool>> occupied;
+  for (size_t r = 0; r < options.rooms; ++r) {
+    std::string room = StrFormat("room_%zu", r);
+    std::vector<bool>& occ = occupied[room];
+    occ.assign(options.duration, false);
+    // Alternate entries and exits at random, ordered times.
+    std::vector<uint32_t> times;
+    for (size_t e = 0; e < options.events_per_room; ++e) {
+      times.push_back(static_cast<uint32_t>(
+          5 + rng.NextBounded(options.duration - 20)));
+    }
+    std::sort(times.begin(), times.end());
+    // Enforce a minimum gap so motion windows do not overlap.
+    std::vector<uint32_t> spaced;
+    for (uint32_t t : times) {
+      if (spaced.empty() || t > spaced.back() + 12) spaced.push_back(t);
+    }
+    bool inside = false;
+    for (uint32_t t : spaced) {
+      inside = !inside;
+      truth->push_back(
+          EventTruth{t, room, inside ? "entered" : "left"});
+      for (uint32_t u = t; u < options.duration; ++u) occ[u] = inside;
+    }
+  }
+  // Render sensor readings per tick.
+  for (uint32_t t = 0; t < options.duration; ++t) {
+    for (auto& [room, occ] : occupied) {
+      // Door sensor: spikes exactly at planted event times.
+      double door = 0;
+      for (const EventTruth& e : *truth) {
+        if (e.room == room && e.time == t) door = 1.0;
+      }
+      if (rng.NextBool(options.glitch_rate)) door = 1.0;  // spurious
+      door += rng.NextGaussian() * options.noise_stddev * 0.3;
+      // Motion sensor: high while occupied.
+      double motion = (occ[t] ? 0.8 : 0.05) +
+                      rng.NextGaussian() * options.noise_stddev;
+      trace->readings.push_back(Reading{t, "door_" + room, door});
+      trace->readings.push_back(Reading{t, "motion_" + room, motion});
+    }
+  }
+}
+
+std::vector<ie::ExtractedFact> EventExtractor::Extract(
+    const SensorTrace& trace) const {
+  // Index readings: sensor -> time -> value.
+  std::map<std::string, std::map<uint32_t, double>> by_sensor;
+  uint32_t max_time = 0;
+  for (const Reading& r : trace.readings) {
+    by_sensor[r.sensor][r.time] = r.value;
+    max_time = std::max(max_time, r.time);
+  }
+  std::vector<ie::ExtractedFact> out;
+  for (const auto& [sensor, series] : by_sensor) {
+    if (!StartsWith(sensor, "door_")) continue;
+    std::string room = sensor.substr(5);
+    auto motion_it = by_sensor.find("motion_" + room);
+    if (motion_it == by_sensor.end()) continue;
+    const auto& motion = motion_it->second;
+    auto motion_at = [&](uint32_t t) {
+      auto it = motion.find(t);
+      return it == motion.end() ? 0.0 : it->second;
+    };
+    for (const auto& [t, door_value] : series) {
+      if (door_value < options_.door_threshold) continue;
+      // Compare average motion before vs after the door spike.
+      double before = 0, after = 0;
+      uint32_t w = options_.motion_window;
+      for (uint32_t u = 1; u <= w; ++u) {
+        before += t >= u ? motion_at(t - u) : 0.0;
+        after += motion_at(t + u);
+      }
+      before /= w;
+      after /= w;
+      double delta = after - before;
+      if (std::abs(delta) < options_.motion_delta) continue;  // glitch
+      ie::ExtractedFact fact;
+      fact.subject = room;
+      fact.attribute = delta > 0 ? "entered" : "left";
+      fact.value = StrFormat("%u", t);
+      fact.extractor = "sensor_event_rule";
+      // Cleaner motion transitions yield higher confidence.
+      fact.confidence =
+          std::min(1.0, 0.5 + std::abs(delta));
+      out.push_back(std::move(fact));
+    }
+  }
+  return out;
+}
+
+EventScore ScoreEvents(const std::vector<ie::ExtractedFact>& extracted,
+                       const std::vector<EventTruth>& truth,
+                       uint32_t tolerance) {
+  EventScore score;
+  std::vector<bool> matched(truth.size(), false);
+  for (const ie::ExtractedFact& f : extracted) {
+    int64_t time = 0;
+    if (!ParseInt64(f.value, &time)) {
+      ++score.false_positives;
+      continue;
+    }
+    bool hit = false;
+    for (size_t i = 0; i < truth.size(); ++i) {
+      if (matched[i]) continue;
+      const EventTruth& t = truth[i];
+      if (t.room != f.subject || t.event != f.attribute) continue;
+      if (static_cast<uint32_t>(std::abs(
+              time - static_cast<int64_t>(t.time))) > tolerance) {
+        continue;
+      }
+      matched[i] = true;
+      hit = true;
+      break;
+    }
+    if (hit) {
+      ++score.true_positives;
+    } else {
+      ++score.false_positives;
+    }
+  }
+  for (bool m : matched) {
+    if (!m) ++score.false_negatives;
+  }
+  return score;
+}
+
+}  // namespace structura::sensors

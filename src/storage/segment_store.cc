@@ -1,0 +1,182 @@
+#include "storage/segment_store.h"
+
+#include <sys/stat.h>
+
+#include <cstring>
+#include <filesystem>
+
+#include "common/hash.h"
+#include "common/strings.h"
+
+namespace structura::storage {
+namespace {
+
+// Record layout: [u32 payload_len][u64 fnv1a(payload)][payload bytes].
+constexpr size_t kHeaderBytes = sizeof(uint32_t) + sizeof(uint64_t);
+
+void EncodeHeader(uint32_t len, uint64_t checksum, char* out) {
+  std::memcpy(out, &len, sizeof(len));
+  std::memcpy(out + sizeof(len), &checksum, sizeof(checksum));
+}
+
+void DecodeHeader(const char* in, uint32_t* len, uint64_t* checksum) {
+  std::memcpy(len, in, sizeof(*len));
+  std::memcpy(checksum, in + sizeof(*len), sizeof(*checksum));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SegmentStore>> SegmentStore::Open(
+    const std::string& dir, Options options) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create store directory: " +
+                            ec.message());
+  }
+  std::unique_ptr<SegmentStore> store(new SegmentStore(dir, options));
+  STRUCTURA_RETURN_IF_ERROR(store->ScanExisting());
+  if (store->num_segments_ == 0) {
+    STRUCTURA_RETURN_IF_ERROR(store->RollSegment());
+  } else {
+    // Reopen the last segment for appending.
+    uint32_t last = store->num_segments_ - 1;
+    store->active_.open(store->SegmentPath(last),
+                        std::ios::binary | std::ios::app);
+    if (!store->active_) {
+      return Status::Internal("cannot reopen active segment");
+    }
+    struct stat st {};
+    if (::stat(store->SegmentPath(last).c_str(), &st) == 0) {
+      store->active_bytes_ = static_cast<uint64_t>(st.st_size);
+    }
+  }
+  return store;
+}
+
+std::string SegmentStore::SegmentPath(uint32_t segment) const {
+  return StrFormat("%s/seg-%06u.log", dir_.c_str(), segment);
+}
+
+Status SegmentStore::RollSegment() {
+  if (active_.is_open()) {
+    active_.flush();
+    active_.close();
+  }
+  uint32_t id = num_segments_++;
+  active_.open(SegmentPath(id), std::ios::binary | std::ios::trunc);
+  if (!active_) return Status::Internal("cannot create segment file");
+  active_bytes_ = 0;
+  return Status::OK();
+}
+
+Status SegmentStore::ScanExisting() {
+  // Discover seg-*.log files in order; stop at the first gap.
+  for (uint32_t seg = 0;; ++seg) {
+    std::ifstream in(SegmentPath(seg), std::ios::binary);
+    if (!in) break;
+    num_segments_ = seg + 1;
+    uint64_t offset = 0;
+    char header[kHeaderBytes];
+    while (in.read(header, kHeaderBytes)) {
+      uint32_t len = 0;
+      uint64_t checksum = 0;
+      DecodeHeader(header, &len, &checksum);
+      std::string payload(len, '\0');
+      if (!in.read(payload.data(), len)) break;  // torn tail: drop
+      if (Fnv1a64(payload) != checksum) break;   // corrupt tail: drop
+      index_.push_back(RecordRef{seg, offset, len});
+      offset += kHeaderBytes + len;
+    }
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> SegmentStore::Append(std::string_view record) {
+  if (record.size() > (1u << 30)) {
+    return Status::InvalidArgument("record too large");
+  }
+  if (active_bytes_ >= options_.segment_bytes) {
+    STRUCTURA_RETURN_IF_ERROR(RollSegment());
+  }
+  char header[kHeaderBytes];
+  EncodeHeader(static_cast<uint32_t>(record.size()), Fnv1a64(record),
+               header);
+  uint64_t offset = active_bytes_;
+  active_.write(header, kHeaderBytes);
+  active_.write(record.data(), static_cast<std::streamsize>(record.size()));
+  if (!active_) return Status::Internal("segment write failed");
+  active_bytes_ += kHeaderBytes + record.size();
+  index_.push_back(RecordRef{num_segments_ - 1, offset,
+                             static_cast<uint32_t>(record.size())});
+  return index_.size() - 1;
+}
+
+Status SegmentStore::Flush() {
+  if (active_.is_open()) active_.flush();
+  return active_ ? Status::OK() : Status::Internal("flush failed");
+}
+
+Result<std::string> SegmentStore::ReadAt(const RecordRef& ref,
+                                         std::ifstream* stream,
+                                         int* open_segment) const {
+  if (*open_segment != static_cast<int>(ref.segment)) {
+    stream->close();
+    stream->clear();
+    stream->open(SegmentPath(ref.segment), std::ios::binary);
+    if (!*stream) return Status::Internal("cannot open segment for read");
+    *open_segment = static_cast<int>(ref.segment);
+  }
+  stream->clear();
+  stream->seekg(static_cast<std::streamoff>(ref.offset));
+  char header[kHeaderBytes];
+  if (!stream->read(header, kHeaderBytes)) {
+    return Status::Corruption("short read on record header");
+  }
+  uint32_t len = 0;
+  uint64_t checksum = 0;
+  DecodeHeader(header, &len, &checksum);
+  if (len != ref.length) return Status::Corruption("index/file mismatch");
+  std::string payload(len, '\0');
+  if (!stream->read(payload.data(), len)) {
+    return Status::Corruption("short read on record payload");
+  }
+  if (Fnv1a64(payload) != checksum) {
+    return Status::Corruption("record checksum mismatch");
+  }
+  return payload;
+}
+
+Result<std::string> SegmentStore::Read(uint64_t index) const {
+  if (index >= index_.size()) return Status::NotFound("record index");
+  // Flush pending writes so reads observe them.
+  const_cast<SegmentStore*>(this)->Flush();
+  std::ifstream stream;
+  int open_segment = -1;
+  return ReadAt(index_[index], &stream, &open_segment);
+}
+
+SegmentStore::Iterator::Iterator(const SegmentStore* store)
+    : store_(store) {
+  const_cast<SegmentStore*>(store_)->Flush();
+  Load();
+}
+
+void SegmentStore::Iterator::Load() {
+  if (index_ >= store_->NumRecords()) return;
+  Result<std::string> r =
+      store_->ReadAt(store_->index_[index_], &stream_, &open_segment_);
+  if (!r.ok()) {
+    ok_ = false;
+    status_ = r.status();
+    return;
+  }
+  current_ = std::move(*r);
+}
+
+void SegmentStore::Iterator::Next() {
+  ++index_;
+  Load();
+}
+
+}  // namespace structura::storage

@@ -1,0 +1,103 @@
+#ifndef STRUCTURA_STORAGE_SEGMENT_STORE_H_
+#define STRUCTURA_STORAGE_SEGMENT_STORE_H_
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace structura::storage {
+
+/// Append-only, file-backed record log split into segments — the paper's
+/// storage device for intermediate structured data, which "often executes
+/// only sequential reads and writes" (Section 4). Records are
+/// length-prefixed and checksummed; Open() re-scans segments, validating
+/// every record, so torn tails from a crash are detected and truncated
+/// away.
+class SegmentStore {
+ public:
+  struct Options {
+    size_t segment_bytes = 1 << 20;  // roll to a new file past this size
+  };
+
+  /// Opens (or creates) a store rooted at directory `dir`.
+  static Result<std::unique_ptr<SegmentStore>> Open(const std::string& dir,
+                                                    Options options);
+  static Result<std::unique_ptr<SegmentStore>> Open(
+      const std::string& dir) {
+    return Open(dir, Options());
+  }
+
+  SegmentStore(const SegmentStore&) = delete;
+  SegmentStore& operator=(const SegmentStore&) = delete;
+
+  /// Appends one record; returns its record number (dense, 0-based).
+  Result<uint64_t> Append(std::string_view record);
+
+  /// Random read of record `index`.
+  Result<std::string> Read(uint64_t index) const;
+
+  /// Flushes the active segment to disk.
+  Status Flush();
+
+  /// Sequential scan from record 0. Usage:
+  ///   for (auto it = store.Scan(); it.Valid(); it.Next()) use(it.record());
+  class Iterator {
+   public:
+    bool Valid() const { return index_ < store_->NumRecords() && ok_; }
+    void Next();
+    const std::string& record() const { return current_; }
+    uint64_t index() const { return index_; }
+    const Status& status() const { return status_; }
+
+   private:
+    friend class SegmentStore;
+    explicit Iterator(const SegmentStore* store);
+    void Load();
+
+    const SegmentStore* store_;
+    uint64_t index_ = 0;
+    std::string current_;
+    bool ok_ = true;
+    Status status_;
+    // Reused stream for sequential access (segment id it points into).
+    mutable std::ifstream stream_;
+    mutable int open_segment_ = -1;
+  };
+
+  Iterator Scan() const { return Iterator(this); }
+
+  uint64_t NumRecords() const { return index_.size(); }
+  size_t NumSegments() const { return num_segments_; }
+
+ private:
+  struct RecordRef {
+    uint32_t segment = 0;
+    uint64_t offset = 0;  // byte offset of the record header
+    uint32_t length = 0;  // payload length
+  };
+
+  SegmentStore(std::string dir, Options options)
+      : dir_(std::move(dir)), options_(options) {}
+
+  std::string SegmentPath(uint32_t segment) const;
+  Status RollSegment();
+  Status ScanExisting();
+  Result<std::string> ReadAt(const RecordRef& ref, std::ifstream* stream,
+                             int* open_segment) const;
+
+  std::string dir_;
+  Options options_;
+  std::vector<RecordRef> index_;
+  uint32_t num_segments_ = 0;
+  std::ofstream active_;
+  uint64_t active_bytes_ = 0;
+};
+
+}  // namespace structura::storage
+
+#endif  // STRUCTURA_STORAGE_SEGMENT_STORE_H_

@@ -1,0 +1,76 @@
+#include "storage/snapshot_store.h"
+
+namespace structura::storage {
+
+Result<uint32_t> SnapshotStore::Append(uint64_t page_id,
+                                       const std::string& content) {
+  Page& page = pages_[page_id];
+  uint32_t version = static_cast<uint32_t>(page.versions.size());
+  full_copy_bytes_ += content.size();
+
+  VersionEntry entry;
+  bool keyframe = options_.keyframe_interval > 0 &&
+                  version % options_.keyframe_interval == 0;
+  if (version == 0 || keyframe) {
+    entry.is_full = true;
+    entry.full = content;
+    stored_bytes_ += entry.full.size();
+  } else {
+    // Reconstruct the previous version to diff against. Appends are
+    // sequential, so this walks at most keyframe_interval deltas.
+    Result<std::string> prev = Get(page_id, version - 1);
+    if (!prev.ok()) return prev.status();
+    Delta delta = ComputeDelta(*prev, content);
+    entry.is_full = false;
+    entry.delta = delta.Serialize();
+    // A pathological edit can make the delta bigger than the content;
+    // store full in that case (standard delta-store practice).
+    if (entry.delta.size() >= content.size()) {
+      entry.is_full = true;
+      entry.full = content;
+      entry.delta.clear();
+      stored_bytes_ += entry.full.size();
+    } else {
+      stored_bytes_ += entry.delta.size();
+    }
+  }
+  page.versions.push_back(std::move(entry));
+  return version;
+}
+
+Result<std::string> SnapshotStore::Get(uint64_t page_id,
+                                       uint32_t version) const {
+  auto it = pages_.find(page_id);
+  if (it == pages_.end()) {
+    return Status::NotFound("unknown page id");
+  }
+  const Page& page = it->second;
+  if (version >= page.versions.size()) {
+    return Status::NotFound("unknown version");
+  }
+  // Find the nearest full entry at or before `version`.
+  uint32_t base = version;
+  while (!page.versions[base].is_full) {
+    if (base == 0) return Status::Corruption("version 0 is not full");
+    --base;
+  }
+  std::string text = page.versions[base].full;
+  for (uint32_t v = base + 1; v <= version; ++v) {
+    Result<Delta> delta = Delta::Deserialize(page.versions[v].delta);
+    if (!delta.ok()) return delta.status();
+    Result<std::string> next = ApplyDelta(text, *delta);
+    if (!next.ok()) return next.status();
+    text = std::move(*next);
+  }
+  return text;
+}
+
+Result<uint32_t> SnapshotStore::LatestVersion(uint64_t page_id) const {
+  auto it = pages_.find(page_id);
+  if (it == pages_.end() || it->second.versions.empty()) {
+    return Status::NotFound("unknown page id");
+  }
+  return static_cast<uint32_t>(it->second.versions.size() - 1);
+}
+
+}  // namespace structura::storage

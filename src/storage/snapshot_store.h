@@ -1,0 +1,69 @@
+#ifndef STRUCTURA_STORAGE_SNAPSHOT_STORE_H_
+#define STRUCTURA_STORAGE_SNAPSHOT_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/diff.h"
+
+namespace structura::storage {
+
+/// Version-store for re-crawled documents, in the spirit of the paper's
+/// "store daily snapshots in a device such as Subversion, which only
+/// stores the diff across snapshots" (Section 4). Version 0 of a page is
+/// stored in full; each later version is a line delta against its
+/// predecessor. Reads reconstruct by replaying deltas, with periodic full
+/// "keyframes" bounding reconstruction cost.
+class SnapshotStore {
+ public:
+  struct Options {
+    /// Store a full copy every `keyframe_interval` versions so Get cost
+    /// stays bounded (like SVN skip-deltas, simplified).
+    uint32_t keyframe_interval = 16;
+  };
+
+  SnapshotStore() : SnapshotStore(Options{}) {}
+  explicit SnapshotStore(Options options) : options_(options) {}
+
+  /// Appends `content` as the next version of `page_id`. Versions must be
+  /// added in order starting at 0.
+  Result<uint32_t> Append(uint64_t page_id, const std::string& content);
+
+  /// Reconstructs a specific version.
+  Result<std::string> Get(uint64_t page_id, uint32_t version) const;
+
+  /// Latest version number for a page, or error when unknown.
+  Result<uint32_t> LatestVersion(uint64_t page_id) const;
+
+  /// Bytes this store holds (full texts + serialized deltas). Compare
+  /// against `FullCopyBytes` to measure the diff-storage saving.
+  size_t StoredBytes() const { return stored_bytes_; }
+
+  /// Bytes a naive store-every-version-in-full design would hold.
+  size_t FullCopyBytes() const { return full_copy_bytes_; }
+
+  size_t NumPages() const { return pages_.size(); }
+
+ private:
+  struct VersionEntry {
+    bool is_full = false;
+    std::string full;       // when is_full
+    std::string delta;      // serialized Delta, when !is_full
+  };
+  struct Page {
+    std::vector<VersionEntry> versions;
+  };
+
+  Options options_;
+  std::unordered_map<uint64_t, Page> pages_;
+  size_t stored_bytes_ = 0;
+  size_t full_copy_bytes_ = 0;
+};
+
+}  // namespace structura::storage
+
+#endif  // STRUCTURA_STORAGE_SNAPSHOT_STORE_H_

@@ -1,0 +1,63 @@
+#ifndef STRUCTURA_TEXT_DOCUMENT_H_
+#define STRUCTURA_TEXT_DOCUMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace structura::text {
+
+/// Identifies a document within a collection. Stable across versions of the
+/// same logical page (a re-crawl of "Madison, Wisconsin" keeps its id).
+using DocId = uint64_t;
+
+/// Half-open character range [begin, end) into a document's raw text.
+struct Span {
+  uint32_t begin = 0;
+  uint32_t end = 0;
+
+  uint32_t length() const { return end - begin; }
+  bool empty() const { return begin >= end; }
+  bool Contains(const Span& other) const {
+    return begin <= other.begin && other.end <= end;
+  }
+  bool Overlaps(const Span& other) const {
+    return begin < other.end && other.begin < end;
+  }
+  friend bool operator==(const Span& a, const Span& b) {
+    return a.begin == b.begin && a.end == b.end;
+  }
+};
+
+/// A token produced by the tokenizer: the surface text plus its span in the
+/// source document.
+struct Token {
+  std::string Text(const std::string& source) const {
+    return source.substr(span.begin, span.length());
+  }
+  Span span;
+  bool is_word = true;  // false for punctuation/number-only tokens
+};
+
+/// An unstructured document: wiki-style page with title, category tags and
+/// raw markup text. Versions model daily re-crawls (Section 4, storage
+/// layer discussion).
+struct Document {
+  DocId id = 0;
+  std::string title;
+  std::vector<std::string> categories;
+  std::string text;      // raw wiki markup
+  uint32_t version = 0;  // crawl/snapshot number
+};
+
+/// An in-memory set of documents; the unit the generation pipeline runs on.
+struct DocumentCollection {
+  std::vector<Document> docs;
+
+  size_t size() const { return docs.size(); }
+  const Document& operator[](size_t i) const { return docs[i]; }
+};
+
+}  // namespace structura::text
+
+#endif  // STRUCTURA_TEXT_DOCUMENT_H_

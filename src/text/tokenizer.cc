@@ -1,0 +1,143 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace structura::text {
+namespace {
+
+bool IsWordChar(char c) {
+  return std::isalpha(static_cast<unsigned char>(c));
+}
+
+bool IsDigitChar(char c) {
+  return std::isdigit(static_cast<unsigned char>(c));
+}
+
+}  // namespace
+
+std::vector<Token> Tokenize(std::string_view source) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = source.size();
+  while (i < n) {
+    char c = source[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token tok;
+    tok.span.begin = static_cast<uint32_t>(i);
+    if (IsWordChar(c)) {
+      size_t j = i + 1;
+      while (j < n && (IsWordChar(source[j]) ||
+                       (source[j] == '\'' && j + 1 < n &&
+                        IsWordChar(source[j + 1])))) {
+        ++j;
+      }
+      tok.span.end = static_cast<uint32_t>(j);
+      tok.is_word = true;
+      i = j;
+    } else if (IsDigitChar(c) ||
+               ((c == '-' || c == '+') && i + 1 < n &&
+                IsDigitChar(source[i + 1]))) {
+      size_t j = i + 1;
+      bool seen_dot = false;
+      while (j < n) {
+        char d = source[j];
+        if (IsDigitChar(d)) {
+          ++j;
+        } else if (d == ',' && j + 1 < n && IsDigitChar(source[j + 1])) {
+          ++j;  // thousands separator
+        } else if (d == '.' && !seen_dot && j + 1 < n &&
+                   IsDigitChar(source[j + 1])) {
+          seen_dot = true;
+          ++j;
+        } else {
+          break;
+        }
+      }
+      tok.span.end = static_cast<uint32_t>(j);
+      tok.is_word = false;
+      i = j;
+    } else {
+      tok.span.end = static_cast<uint32_t>(i + 1);
+      tok.is_word = false;
+      ++i;
+    }
+    out.push_back(tok);
+  }
+  return out;
+}
+
+std::vector<Span> SplitSentences(std::string_view source) {
+  std::vector<Span> out;
+  const size_t n = source.size();
+  size_t start = 0;
+  size_t i = 0;
+  auto flush = [&](size_t end) {
+    // Trim whitespace off the sentence boundaries.
+    size_t b = start, e = end;
+    while (b < e &&
+           std::isspace(static_cast<unsigned char>(source[b]))) ++b;
+    while (e > b &&
+           std::isspace(static_cast<unsigned char>(source[e - 1]))) --e;
+    if (e > b) {
+      out.push_back(
+          Span{static_cast<uint32_t>(b), static_cast<uint32_t>(e)});
+    }
+  };
+  while (i < n) {
+    char c = source[i];
+    if (c == '.' || c == '!' || c == '?') {
+      // Abbreviation heuristic: single letter before the period
+      // ("U.S.", middle initials) does not end a sentence.
+      bool abbrev = false;
+      if (c == '.' && i >= 1 &&
+          std::isupper(static_cast<unsigned char>(source[i - 1])) &&
+          (i < 2 || !std::isalpha(static_cast<unsigned char>(source[i - 2])))) {
+        abbrev = true;
+      }
+      // Look ahead: end of text, or whitespace then capital/digit.
+      size_t j = i + 1;
+      while (j < n && (source[j] == ' ' || source[j] == '\t')) ++j;
+      bool boundary =
+          !abbrev &&
+          (j >= n || source[j] == '\n' ||
+           std::isupper(static_cast<unsigned char>(source[j])) ||
+           std::isdigit(static_cast<unsigned char>(source[j])));
+      if (boundary && j > i + 1 + 0) {
+        flush(i + 1);
+        start = j;
+        i = j;
+        continue;
+      }
+      if (boundary && j >= n) {
+        flush(i + 1);
+        start = n;
+        break;
+      }
+    } else if (c == '\n' && i + 1 < n && source[i + 1] == '\n') {
+      flush(i);
+      while (i < n && source[i] == '\n') ++i;
+      start = i;
+      continue;
+    }
+    ++i;
+  }
+  if (start < n) flush(n);
+  return out;
+}
+
+std::vector<std::string> WordTokens(std::string_view source) {
+  std::vector<std::string> out;
+  for (const Token& t : Tokenize(source)) {
+    if (!t.is_word) continue;
+    std::string_view sv = source.substr(t.span.begin, t.span.length());
+    out.push_back(ToLower(sv));
+  }
+  return out;
+}
+
+}  // namespace structura::text

@@ -1,0 +1,29 @@
+#ifndef STRUCTURA_TEXT_TOKENIZER_H_
+#define STRUCTURA_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/document.h"
+
+namespace structura::text {
+
+/// Splits `source` into word, number, and punctuation tokens. Words are
+/// maximal [A-Za-z]+ runs (apostrophes kept inside, e.g. "don't"); numbers
+/// are digit runs with optional decimal point and thousands separators
+/// ("233,209" is one token). Whitespace never appears in tokens.
+std::vector<Token> Tokenize(std::string_view source);
+
+/// Splits `source` into sentence spans. A sentence ends at '.', '!' or '?'
+/// followed by whitespace and an uppercase letter/digit, or at a blank line.
+/// Abbreviation-like patterns ("U.S.", "Dr.") do not end sentences.
+std::vector<Span> SplitSentences(std::string_view source);
+
+/// Lowercased word tokens only — the unit used by the inverted index and
+/// TF-IDF similarity.
+std::vector<std::string> WordTokens(std::string_view source);
+
+}  // namespace structura::text
+
+#endif  // STRUCTURA_TEXT_TOKENIZER_H_

@@ -1,0 +1,196 @@
+#include "text/wiki_markup.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace structura::text {
+namespace {
+
+constexpr std::string_view kInfoboxOpen = "{{Infobox";
+constexpr std::string_view kCategoryOpen = "[[Category:";
+
+/// Finds the matching "}}" for the "{{" at `open`, honoring nesting.
+/// Returns npos when unbalanced.
+size_t FindTemplateClose(std::string_view s, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i + 1 < s.size(); ++i) {
+    if (s[i] == '{' && s[i + 1] == '{') {
+      ++depth;
+      ++i;
+    } else if (s[i] == '}' && s[i + 1] == '}') {
+      --depth;
+      ++i;
+      if (depth == 0) return i + 1;  // one past the closing brace pair
+    }
+  }
+  return std::string_view::npos;
+}
+
+}  // namespace
+
+std::string Infobox::Get(std::string_view key) const {
+  for (const auto& [k, v] : entries) {
+    if (k == key) return v;
+  }
+  return "";
+}
+
+bool Infobox::Has(std::string_view key) const {
+  for (const auto& [k, v] : entries) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+std::vector<Infobox> ParseInfoboxes(std::string_view source) {
+  std::vector<Infobox> out;
+  size_t pos = 0;
+  while (true) {
+    size_t open = source.find(kInfoboxOpen, pos);
+    if (open == std::string_view::npos) break;
+    size_t close = FindTemplateClose(source, open);
+    if (close == std::string_view::npos) break;  // broken markup: stop here
+    pos = close;
+
+    Infobox box;
+    box.span = Span{static_cast<uint32_t>(open),
+                    static_cast<uint32_t>(close)};
+    std::string_view body =
+        source.substr(open + kInfoboxOpen.size(),
+                      close - 2 - (open + kInfoboxOpen.size()));
+    // First segment up to the first '|' is the infobox type.
+    size_t bar = body.find('|');
+    std::string_view type_sv =
+        bar == std::string_view::npos ? body : body.substr(0, bar);
+    box.type = ToLower(Trim(type_sv));
+    if (bar != std::string_view::npos) {
+      std::string_view rest = body.substr(bar + 1);
+      // Split on '|' at top level (nested templates were rare enough to
+      // ignore inside values for this corpus; values with '|' inside
+      // nested braces are not split).
+      size_t start = 0;
+      int depth = 0;
+      auto emit = [&](std::string_view piece) {
+        size_t eq = piece.find('=');
+        if (eq == std::string_view::npos) return;
+        std::string key = ToLower(Trim(piece.substr(0, eq)));
+        std::string value(Trim(piece.substr(eq + 1)));
+        if (!key.empty()) box.entries.emplace_back(key, value);
+      };
+      for (size_t i = 0; i <= rest.size(); ++i) {
+        if (i == rest.size() || (rest[i] == '|' && depth == 0)) {
+          emit(rest.substr(start, i - start));
+          start = i + 1;
+        } else if (i + 1 < rest.size() && rest[i] == '{' &&
+                   rest[i + 1] == '{') {
+          ++depth;
+          ++i;
+        } else if (i + 1 < rest.size() && rest[i] == '}' &&
+                   rest[i + 1] == '}') {
+          --depth;
+          ++i;
+        }
+      }
+    }
+    out.push_back(std::move(box));
+  }
+  return out;
+}
+
+std::vector<WikiLink> ParseLinks(std::string_view source) {
+  std::vector<WikiLink> out;
+  size_t pos = 0;
+  while (true) {
+    size_t open = source.find("[[", pos);
+    if (open == std::string_view::npos) break;
+    size_t close = source.find("]]", open + 2);
+    if (close == std::string_view::npos) break;
+    pos = close + 2;
+    std::string_view body = source.substr(open + 2, close - open - 2);
+    if (StartsWith(body, "Category:")) continue;
+    WikiLink link;
+    link.span = Span{static_cast<uint32_t>(open),
+                     static_cast<uint32_t>(close + 2)};
+    size_t bar = body.find('|');
+    if (bar == std::string_view::npos) {
+      link.target = std::string(Trim(body));
+      link.anchor = link.target;
+    } else {
+      link.target = std::string(Trim(body.substr(0, bar)));
+      link.anchor = std::string(Trim(body.substr(bar + 1)));
+    }
+    out.push_back(std::move(link));
+  }
+  return out;
+}
+
+std::vector<std::string> ParseCategories(std::string_view source) {
+  std::vector<std::string> out;
+  size_t pos = 0;
+  while (true) {
+    size_t open = source.find(kCategoryOpen, pos);
+    if (open == std::string_view::npos) break;
+    size_t close = source.find("]]", open);
+    if (close == std::string_view::npos) break;
+    pos = close + 2;
+    std::string_view name = source.substr(
+        open + kCategoryOpen.size(), close - open - kCategoryOpen.size());
+    out.emplace_back(Trim(name));
+  }
+  return out;
+}
+
+std::string StripMarkup(std::string_view source) {
+  std::string out;
+  out.reserve(source.size());
+  size_t i = 0;
+  const size_t n = source.size();
+  while (i < n) {
+    // Templates: skip entirely.
+    if (i + 1 < n && source[i] == '{' && source[i + 1] == '{') {
+      size_t close = FindTemplateClose(source, i);
+      if (close == std::string_view::npos) break;
+      i = close;
+      continue;
+    }
+    // Links: category tags vanish, others contribute their anchor.
+    if (i + 1 < n && source[i] == '[' && source[i + 1] == '[') {
+      size_t close = source.find("]]", i + 2);
+      if (close == std::string_view::npos) {
+        out += source[i++];
+        continue;
+      }
+      std::string_view body = source.substr(i + 2, close - i - 2);
+      if (!StartsWith(body, "Category:")) {
+        size_t bar = body.find('|');
+        out.append(bar == std::string_view::npos ? body
+                                                 : body.substr(bar + 1));
+      }
+      i = close + 2;
+      continue;
+    }
+    // Heading markers and quote runs.
+    if (source[i] == '=' && (i == 0 || source[i - 1] == '\n' ||
+                             source[i + 1] == '=' ||
+                             (i + 1 < n && source[i + 1] == '\n'))) {
+      // Consume '=' runs used as heading fences.
+      size_t j = i;
+      while (j < n && source[j] == '=') ++j;
+      if (j - i >= 2) {
+        i = j;
+        continue;
+      }
+    }
+    if (source[i] == '\'' && i + 1 < n && source[i + 1] == '\'') {
+      size_t j = i;
+      while (j < n && source[j] == '\'') ++j;
+      i = j;
+      continue;
+    }
+    out += source[i++];
+  }
+  return out;
+}
+
+}  // namespace structura::text

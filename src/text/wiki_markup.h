@@ -1,0 +1,51 @@
+#ifndef STRUCTURA_TEXT_WIKI_MARKUP_H_
+#define STRUCTURA_TEXT_WIKI_MARKUP_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "text/document.h"
+
+namespace structura::text {
+
+/// A parsed `{{Infobox <type> | key = value | ... }}` template. Entry order
+/// is preserved; keys are trimmed and lowercased, values trimmed verbatim.
+struct Infobox {
+  std::string type;  // e.g. "city", "person"
+  std::vector<std::pair<std::string, std::string>> entries;
+  Span span;  // location of the whole template in the source text
+
+  /// First value for `key`, or empty string when absent.
+  std::string Get(std::string_view key) const;
+  bool Has(std::string_view key) const;
+};
+
+/// A `[[Target|anchor]]` (or `[[Target]]`) internal link.
+struct WikiLink {
+  std::string target;
+  std::string anchor;  // equals target when no pipe is present
+  Span span;
+};
+
+/// Parses every infobox template in `source`. Malformed templates (no
+/// closing braces) are skipped rather than reported — real crawls contain
+/// broken markup and extraction is best-effort by design (Section 3.2).
+std::vector<Infobox> ParseInfoboxes(std::string_view source);
+
+/// Parses internal links, excluding `[[Category:...]]` tags.
+std::vector<WikiLink> ParseLinks(std::string_view source);
+
+/// Returns the names of `[[Category:...]]` tags in order of appearance.
+std::vector<std::string> ParseCategories(std::string_view source);
+
+/// Produces plain text: templates removed, links replaced by their anchor
+/// text, heading markers (`==`), bold/italic quotes and category tags
+/// stripped. The result is what keyword indexing and free-text extraction
+/// operate on.
+std::string StripMarkup(std::string_view source);
+
+}  // namespace structura::text
+
+#endif  // STRUCTURA_TEXT_WIKI_MARKUP_H_

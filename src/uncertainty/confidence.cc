@@ -1,0 +1,118 @@
+#include "uncertainty/confidence.h"
+
+#include <map>
+
+namespace structura::uncertainty {
+
+double CombineIndependent(const std::vector<double>& confidences) {
+  double miss = 1.0;
+  for (double p : confidences) {
+    if (p < 0) p = 0;
+    if (p > 1) p = 1;
+    miss *= 1.0 - p;
+  }
+  return 1.0 - miss;
+}
+
+const ValueAlternative* AttributeBelief::Top() const {
+  const ValueAlternative* best = nullptr;
+  for (const ValueAlternative& alt : alternatives) {
+    if (alt.probability <= 0) continue;  // rejected / zero-mass values
+    if (best == nullptr || alt.probability > best->probability) {
+      best = &alt;
+    }
+  }
+  return best;
+}
+
+std::vector<AttributeBelief> BuildBeliefs(const ie::FactSet& facts) {
+  // (subject, attribute) -> value -> {confidences, fact ids}.
+  struct ValueEvidence {
+    std::vector<double> confidences;
+    std::vector<uint64_t> fact_ids;
+  };
+  std::map<std::pair<std::string, std::string>,
+           std::map<std::string, ValueEvidence>>
+      grouped;
+  for (const ie::ExtractedFact& f : facts.facts) {
+    ValueEvidence& ev = grouped[{f.subject, f.attribute}][f.value];
+    ev.confidences.push_back(f.confidence);
+    ev.fact_ids.push_back(f.id);
+  }
+  std::vector<AttributeBelief> out;
+  out.reserve(grouped.size());
+  for (auto& [key, values] : grouped) {
+    AttributeBelief belief;
+    belief.subject = key.first;
+    belief.attribute = key.second;
+    double total = 0;
+    for (auto& [value, ev] : values) {
+      ValueAlternative alt;
+      alt.value = value;
+      alt.probability = CombineIndependent(ev.confidences);
+      alt.supporting_facts = std::move(ev.fact_ids);
+      total += alt.probability;
+      belief.alternatives.push_back(std::move(alt));
+    }
+    // Competing values are mutually exclusive: normalize when the raw
+    // masses over-commit (total > 1).
+    if (total > 1.0) {
+      for (ValueAlternative& alt : belief.alternatives) {
+        alt.probability /= total;
+      }
+    }
+    out.push_back(std::move(belief));
+  }
+  return out;
+}
+
+void ConfirmValue(AttributeBelief* belief, const std::string& value,
+                  double confirm_weight) {
+  double other_mass = 0;
+  bool found = false;
+  for (const ValueAlternative& alt : belief->alternatives) {
+    if (alt.value == value) {
+      found = true;
+    } else {
+      other_mass += alt.probability;
+    }
+  }
+  if (!found) {
+    ValueAlternative alt;
+    alt.value = value;
+    alt.probability = 0;
+    belief->alternatives.push_back(std::move(alt));
+  }
+  double rest = 1.0 - confirm_weight;
+  for (ValueAlternative& alt : belief->alternatives) {
+    if (alt.value == value) {
+      alt.probability = confirm_weight;
+    } else if (other_mass > 0) {
+      alt.probability = rest * (alt.probability / other_mass);
+    } else {
+      alt.probability = 0;
+    }
+  }
+}
+
+void RejectValue(AttributeBelief* belief, const std::string& value) {
+  double removed = 0;
+  for (ValueAlternative& alt : belief->alternatives) {
+    if (alt.value == value) {
+      removed = alt.probability;
+      alt.probability = 0;
+    }
+  }
+  double remaining = 0;
+  for (const ValueAlternative& alt : belief->alternatives) {
+    remaining += alt.probability;
+  }
+  if (remaining > 0 && removed > 0) {
+    // Redistribute the removed mass proportionally.
+    for (ValueAlternative& alt : belief->alternatives) {
+      alt.probability += removed * (alt.probability / remaining);
+    }
+  }
+}
+
+}  // namespace structura::uncertainty

@@ -1,0 +1,72 @@
+#include "uncertainty/possible_worlds.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace structura::uncertainty {
+
+World SampleWorld(const std::vector<AttributeBelief>& beliefs, Rng& rng) {
+  World world(beliefs.size());
+  for (size_t i = 0; i < beliefs.size(); ++i) {
+    double u = rng.NextDouble();
+    double acc = 0;
+    for (const ValueAlternative& alt : beliefs[i].alternatives) {
+      acc += alt.probability;
+      if (u < acc) {
+        world[i] = alt.value;
+        break;
+      }
+    }
+  }
+  return world;
+}
+
+AggregateEstimate EstimateAggregate(
+    const std::vector<AttributeBelief>& beliefs, size_t samples,
+    uint64_t seed,
+    const std::function<std::optional<double>(const World&)>& aggregate) {
+  Rng rng(seed);
+  AggregateEstimate est;
+  est.samples = samples;
+  double sum = 0, sum_sq = 0;
+  size_t defined = 0, empty = 0;
+  for (size_t s = 0; s < samples; ++s) {
+    World world = SampleWorld(beliefs, rng);
+    std::optional<double> v = aggregate(world);
+    if (!v.has_value()) {
+      ++empty;
+      continue;
+    }
+    ++defined;
+    sum += *v;
+    sum_sq += *v * *v;
+  }
+  est.p_empty =
+      samples == 0 ? 0 : static_cast<double>(empty) / samples;
+  if (defined > 0) {
+    est.mean = sum / defined;
+    double var = sum_sq / defined - est.mean * est.mean;
+    est.stddev = var > 0 ? std::sqrt(var) : 0;
+  }
+  return est;
+}
+
+ExpectedValue ExpectedNumeric(const AttributeBelief& belief) {
+  ExpectedValue out;
+  double weighted = 0;
+  for (const ValueAlternative& alt : belief.alternatives) {
+    std::string cleaned;
+    for (char c : alt.value) {
+      if (c != ',') cleaned += c;
+    }
+    double x;
+    if (!ParseDouble(cleaned, &x)) continue;
+    weighted += alt.probability * x;
+    out.p_present += alt.probability;
+  }
+  out.expectation = out.p_present > 0 ? weighted / out.p_present : 0;
+  return out;
+}
+
+}  // namespace structura::uncertainty

@@ -1,0 +1,48 @@
+#ifndef STRUCTURA_UNCERTAINTY_POSSIBLE_WORLDS_H_
+#define STRUCTURA_UNCERTAINTY_POSSIBLE_WORLDS_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "uncertainty/confidence.h"
+
+namespace structura::uncertainty {
+
+/// One sampled world: for each belief, either a chosen value or absent.
+using World = std::vector<std::optional<std::string>>;
+
+/// Samples a possible world: each belief independently picks one
+/// alternative with its probability, or no value with the residual mass.
+World SampleWorld(const std::vector<AttributeBelief>& beliefs, Rng& rng);
+
+/// Monte-Carlo estimate of an aggregate query over uncertain data.
+struct AggregateEstimate {
+  double mean = 0;
+  double stddev = 0;
+  double p_empty = 0;  // fraction of worlds where no value qualified
+  size_t samples = 0;
+};
+
+/// Runs `aggregate` over `samples` sampled worlds. The callback receives
+/// the world and returns the aggregate value, or nullopt when undefined
+/// in that world (e.g. AVG over an empty selection).
+AggregateEstimate EstimateAggregate(
+    const std::vector<AttributeBelief>& beliefs, size_t samples,
+    uint64_t seed,
+    const std::function<std::optional<double>(const World&)>& aggregate);
+
+/// Analytic expectation of a numeric attribute's belief: sum over
+/// alternatives of p * value, plus the probability any value exists.
+/// Non-numeric alternatives are skipped.
+struct ExpectedValue {
+  double expectation = 0;   // conditional on a value existing
+  double p_present = 0;
+};
+ExpectedValue ExpectedNumeric(const AttributeBelief& belief);
+
+}  // namespace structura::uncertainty
+
+#endif  // STRUCTURA_UNCERTAINTY_POSSIBLE_WORLDS_H_

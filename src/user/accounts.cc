@@ -1,0 +1,95 @@
+#include "user/accounts.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/strings.h"
+
+namespace structura::user {
+
+Status UserDirectory::Register(const std::string& name,
+                               const std::string& password, Role role) {
+  if (name.empty()) return Status::InvalidArgument("empty user name");
+  if (users_.count(name) > 0) {
+    return Status::AlreadyExists("user " + name);
+  }
+  UserInfo info;
+  info.name = name;
+  info.role = role;
+  users_[name] = std::move(info);
+  Credential cred;
+  cred.salt = rng_.Next();
+  cred.password_hash = Fnv1a64(password, cred.salt);
+  credentials_[name] = cred;
+  return Status::OK();
+}
+
+Result<std::string> UserDirectory::Login(const std::string& name,
+                                         const std::string& password) {
+  auto it = credentials_.find(name);
+  if (it == credentials_.end()) {
+    return Status::NotFound("unknown user " + name);
+  }
+  if (Fnv1a64(password, it->second.salt) != it->second.password_hash) {
+    return Status::InvalidArgument("bad password");
+  }
+  std::string token =
+      StrFormat("s%016llx%016llx",
+                static_cast<unsigned long long>(rng_.Next()),
+                static_cast<unsigned long long>(rng_.Next()));
+  sessions_[token] = name;
+  return token;
+}
+
+Status UserDirectory::Logout(const std::string& token) {
+  return sessions_.erase(token) > 0
+             ? Status::OK()
+             : Status::NotFound("no such session");
+}
+
+Result<std::string> UserDirectory::Authenticate(
+    const std::string& token) const {
+  auto it = sessions_.find(token);
+  if (it == sessions_.end()) return Status::NotFound("no such session");
+  return it->second;
+}
+
+Result<UserInfo> UserDirectory::GetUser(const std::string& name) const {
+  auto it = users_.find(name);
+  if (it == users_.end()) return Status::NotFound("unknown user " + name);
+  return it->second;
+}
+
+Status UserDirectory::RecordFeedback(const std::string& name,
+                                     bool agreed_with_consensus) {
+  auto it = users_.find(name);
+  if (it == users_.end()) return Status::NotFound("unknown user " + name);
+  UserInfo& u = it->second;
+  constexpr double kAlpha = 0.15;  // EMA step
+  u.reputation =
+      (1 - kAlpha) * u.reputation + kAlpha * (agreed_with_consensus ? 1 : 0);
+  u.feedback_count += 1;
+  u.points += 1 + (agreed_with_consensus ? 2 : 0);
+  return Status::OK();
+}
+
+std::map<std::string, double> UserDirectory::ReputationWeights() const {
+  std::map<std::string, double> weights;
+  for (const auto& [name, info] : users_) {
+    weights[name] = info.reputation;
+  }
+  return weights;
+}
+
+std::vector<UserInfo> UserDirectory::Leaderboard() const {
+  std::vector<UserInfo> out;
+  out.reserve(users_.size());
+  for (const auto& [name, info] : users_) out.push_back(info);
+  std::sort(out.begin(), out.end(), [](const UserInfo& a, const UserInfo& b) {
+    if (a.points != b.points) return a.points > b.points;
+    return a.name < b.name;
+  });
+  return out;
+}
+
+}  // namespace structura::user

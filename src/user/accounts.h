@@ -1,0 +1,78 @@
+#ifndef STRUCTURA_USER_ACCOUNTS_H_
+#define STRUCTURA_USER_ACCOUNTS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace structura::user {
+
+/// User roles from the DGE model: sophisticated developers write SDL and
+/// structured queries; ordinary users search, browse, and give feedback.
+enum class Role : uint8_t { kOrdinary, kDeveloper };
+
+struct UserInfo {
+  std::string name;
+  Role role = Role::kOrdinary;
+  /// Incentive points earned for feedback (Section 4, user layer:
+  /// "manage incentive schemes for soliciting user feedback").
+  int64_t points = 0;
+  /// Smoothed estimate of answer quality in [0, 1], driven by agreement
+  /// with consensus; weights this user's votes.
+  double reputation = 0.5;
+  size_t feedback_count = 0;
+};
+
+/// Registry + authentication + reputation + incentives. Passwords are
+/// stored salted-and-hashed (FNV — a stand-in, not cryptographic; the
+/// layer's role in the blueprint is structural). Sessions are opaque
+/// random tokens.
+class UserDirectory {
+ public:
+  explicit UserDirectory(uint64_t seed = 42) : rng_(seed) {}
+
+  Status Register(const std::string& name, const std::string& password,
+                  Role role);
+
+  /// Returns a session token on success.
+  Result<std::string> Login(const std::string& name,
+                            const std::string& password);
+  Status Logout(const std::string& token);
+
+  /// Resolves a session token to the logged-in user name.
+  Result<std::string> Authenticate(const std::string& token) const;
+
+  Result<UserInfo> GetUser(const std::string& name) const;
+
+  /// Updates reputation from one consensus round: exponential moving
+  /// average toward 1 (agreed) or 0 (disagreed); awards participation
+  /// points plus an agreement bonus.
+  Status RecordFeedback(const std::string& name, bool agreed_with_consensus);
+
+  /// Current reputations as vote weights for hi::WeightedVote.
+  std::map<std::string, double> ReputationWeights() const;
+
+  /// Users sorted by points, descending — the incentive leaderboard.
+  std::vector<UserInfo> Leaderboard() const;
+
+  size_t NumUsers() const { return users_.size(); }
+
+ private:
+  struct Credential {
+    uint64_t salt = 0;
+    uint64_t password_hash = 0;
+  };
+
+  std::map<std::string, UserInfo> users_;
+  std::map<std::string, Credential> credentials_;
+  std::map<std::string, std::string> sessions_;  // token -> user
+  Rng rng_;
+};
+
+}  // namespace structura::user
+
+#endif  // STRUCTURA_USER_ACCOUNTS_H_

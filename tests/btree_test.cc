@@ -1,0 +1,128 @@
+#include <algorithm>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "rdbms/btree.h"
+
+namespace structura::rdbms {
+namespace {
+
+TEST(BTreeTest, InsertAndLookup) {
+  BTreeIndex index;
+  index.Insert(Value::Int(5), 50);
+  index.Insert(Value::Int(3), 30);
+  index.Insert(Value::Int(7), 70);
+  EXPECT_EQ(index.Lookup(Value::Int(5)),
+            (std::vector<RowId>{50}));
+  EXPECT_TRUE(index.Lookup(Value::Int(4)).empty());
+  EXPECT_EQ(index.size(), 3u);
+}
+
+TEST(BTreeTest, DuplicateKeys) {
+  BTreeIndex index;
+  for (RowId r = 0; r < 10; ++r) index.Insert(Value::Str("dup"), r);
+  std::vector<RowId> rows = index.Lookup(Value::Str("dup"));
+  EXPECT_EQ(rows.size(), 10u);
+}
+
+TEST(BTreeTest, SplitsGrowHeight) {
+  BTreeIndex index;
+  for (int i = 0; i < 1000; ++i) {
+    index.Insert(Value::Int(i), static_cast<RowId>(i));
+  }
+  EXPECT_GT(index.height(), 1u);
+  EXPECT_TRUE(index.CheckInvariants());
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(index.Lookup(Value::Int(i)).size(), 1u) << i;
+  }
+}
+
+TEST(BTreeTest, RangeScanOrdered) {
+  BTreeIndex index;
+  for (int i = 99; i >= 0; --i) {
+    index.Insert(Value::Int(i), static_cast<RowId>(i));
+  }
+  Value lo = Value::Int(10), hi = Value::Int(20);
+  std::vector<RowId> rows = index.Range(&lo, &hi);
+  ASSERT_EQ(rows.size(), 11u);
+  for (size_t i = 0; i < rows.size(); ++i) EXPECT_EQ(rows[i], 10 + i);
+}
+
+TEST(BTreeTest, OpenEndedRanges) {
+  BTreeIndex index;
+  for (int i = 0; i < 50; ++i) {
+    index.Insert(Value::Int(i), static_cast<RowId>(i));
+  }
+  Value lo = Value::Int(45);
+  EXPECT_EQ(index.Range(&lo, nullptr).size(), 5u);
+  Value hi = Value::Int(4);
+  EXPECT_EQ(index.Range(nullptr, &hi).size(), 5u);
+  EXPECT_EQ(index.Range(nullptr, nullptr).size(), 50u);
+}
+
+TEST(BTreeTest, EraseRemovesOnePair) {
+  BTreeIndex index;
+  index.Insert(Value::Int(1), 10);
+  index.Insert(Value::Int(1), 11);
+  EXPECT_TRUE(index.Erase(Value::Int(1), 10));
+  EXPECT_EQ(index.Lookup(Value::Int(1)), (std::vector<RowId>{11}));
+  EXPECT_FALSE(index.Erase(Value::Int(1), 10));  // already gone
+  EXPECT_FALSE(index.Erase(Value::Int(9), 1));   // never existed
+  EXPECT_EQ(index.size(), 1u);
+}
+
+TEST(BTreeTest, StringKeysLexicographic) {
+  BTreeIndex index;
+  index.Insert(Value::Str("temp_01"), 1);
+  index.Insert(Value::Str("temp_05"), 5);
+  index.Insert(Value::Str("temp_12"), 12);
+  index.Insert(Value::Str("population"), 99);
+  Value lo = Value::Str("temp_03"), hi = Value::Str("temp_09");
+  EXPECT_EQ(index.Range(&lo, &hi), (std::vector<RowId>{5}));
+}
+
+// Property: after random interleaved inserts/erases, the tree agrees
+// with a reference std::multimap and invariants hold.
+class BTreeFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BTreeFuzzTest, MatchesReferenceModel) {
+  Rng rng(GetParam());
+  BTreeIndex index;
+  std::multimap<int64_t, RowId> reference;
+  for (int step = 0; step < 3000; ++step) {
+    int64_t key = static_cast<int64_t>(rng.NextBounded(200));
+    if (rng.NextBool(0.7)) {
+      RowId row = rng.Next() % 100000;
+      index.Insert(Value::Int(key), row);
+      reference.emplace(key, row);
+    } else {
+      auto it = reference.find(key);
+      if (it != reference.end()) {
+        EXPECT_TRUE(index.Erase(Value::Int(key), it->second));
+        reference.erase(it);
+      } else {
+        // Absent key: erase of any row id must fail.
+        EXPECT_FALSE(index.Erase(Value::Int(key), 424242));
+      }
+    }
+  }
+  EXPECT_EQ(index.size(), reference.size());
+  EXPECT_TRUE(index.CheckInvariants());
+  for (int64_t key = 0; key < 200; ++key) {
+    std::vector<RowId> got = index.Lookup(Value::Int(key));
+    std::vector<RowId> want;
+    auto [lo, hi] = reference.equal_range(key);
+    for (auto it = lo; it != hi; ++it) want.push_back(it->second);
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want) << "key " << key;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreeFuzzTest,
+                         ::testing::Range<uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace structura::rdbms

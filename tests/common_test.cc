@@ -1,0 +1,210 @@
+#include <atomic>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "common/thread_pool.h"
+
+namespace structura {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.ToString(), "not_found: missing thing");
+}
+
+TEST(StatusTest, EveryCodeHasName) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kResourceExhausted);
+       ++c) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "unknown");
+  }
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v * 2;
+}
+
+Result<int> Chained(int v) {
+  STRUCTURA_ASSIGN_OR_RETURN(int doubled, ParsePositive(v));
+  return doubled + 1;
+}
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> ok = ParsePositive(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  Result<int> err = ParsePositive(-1);
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(err.value_or(7), 7);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Chained(5), 11);
+  EXPECT_FALSE(Chained(0).ok());
+}
+
+TEST(StringsTest, SplitKeepsEmptyPieces) {
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringsTest, SplitAndTrimDropsEmpties) {
+  EXPECT_EQ(SplitAndTrim("  a , b ,, c  ", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(StringsTest, JoinRoundTrips) {
+  std::vector<std::string> parts{"x", "y", "z"};
+  EXPECT_EQ(Join(parts, "::"), "x::y::z");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringsTest, TrimAndCase) {
+  EXPECT_EQ(Trim("  hi\t\n"), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(ToLower("MiXeD"), "mixed");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("ar", "bar"));
+}
+
+TEST(StringsTest, ParseDoubleRejectsGarbage) {
+  double v;
+  EXPECT_TRUE(ParseDouble("3.5", &v));
+  EXPECT_DOUBLE_EQ(v, 3.5);
+  EXPECT_TRUE(ParseDouble("  -2 ", &v));
+  EXPECT_FALSE(ParseDouble("3.5x", &v));
+  EXPECT_FALSE(ParseDouble("", &v));
+}
+
+TEST(StringsTest, ParseInt64) {
+  int64_t v;
+  EXPECT_TRUE(ParseInt64("-42", &v));
+  EXPECT_EQ(v, -42);
+  EXPECT_FALSE(ParseInt64("12.5", &v));
+  EXPECT_FALSE(ParseInt64("abc", &v));
+}
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%s", std::string(500, 'a').c_str()),
+            std::string(500, 'a'));
+}
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff |= a.Next() != b.Next();
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+    int64_t v = rng.NextInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliApproximatesP) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.NextBool(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, ZipfSkewsTowardLowRanks) {
+  Rng rng(13);
+  size_t low = 0, n = 10000;
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.NextZipf(100, 1.2) < 10) ++low;
+  }
+  // Rank 0-9 out of 100 should receive far more than 10% of draws.
+  EXPECT_GT(low, n / 4);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  rng.Shuffle(v);
+  std::multiset<int> a(v.begin(), v.end()),
+      b(original.begin(), original.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(HashTest, StableAndSeeded) {
+  EXPECT_EQ(Fnv1a64("hello"), Fnv1a64("hello"));
+  EXPECT_NE(Fnv1a64("hello"), Fnv1a64("hellp"));
+  EXPECT_NE(Fnv1a64("hello", 1), Fnv1a64("hello", 2));
+}
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.Submit([&counter, i] {
+      counter.fetch_add(1);
+      return i;
+    }));
+  }
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(futures[i].get(), i);
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, WaitIdleDrains) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndexes) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  ParallelFor(pool, 100, [&](size_t i) { hits[i].fetch_add(1); });
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmpty) {
+  ThreadPool pool(2);
+  ParallelFor(pool, 0, [](size_t) { FAIL(); });
+}
+
+}  // namespace
+}  // namespace structura

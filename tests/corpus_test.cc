@@ -1,0 +1,174 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "corpus/generator.h"
+#include "corpus/names.h"
+#include "text/wiki_markup.h"
+
+namespace structura::corpus {
+namespace {
+
+CorpusOptions SmallOptions() {
+  CorpusOptions o;
+  o.num_cities = 10;
+  o.num_people = 20;
+  o.num_companies = 5;
+  o.news_pages = 3;
+  o.seed = 99;
+  return o;
+}
+
+TEST(NamesTest, CityNamesUniqueAndMadisonFirst) {
+  EXPECT_EQ(CityName(0), "Madison");
+  std::set<std::string> seen;
+  for (size_t i = 0; i < 500; ++i) {
+    EXPECT_TRUE(seen.insert(CityName(i)).second) << i;
+  }
+}
+
+TEST(NamesTest, PersonNamesUnique) {
+  std::set<std::string> seen;
+  for (size_t i = 0; i < 800; ++i) {
+    EXPECT_TRUE(seen.insert(PersonName(i)).second) << i;
+  }
+}
+
+TEST(NamesTest, PersonVariants) {
+  EXPECT_EQ(PersonNameVariant("David Smith", 0), "David Smith");
+  EXPECT_EQ(PersonNameVariant("David Smith", 1), "D. Smith");
+  EXPECT_EQ(PersonNameVariant("David Smith", 2), "Smith, David");
+}
+
+TEST(NamesTest, CityVariants) {
+  EXPECT_EQ(CityNameVariant("Madison", "Wisconsin", 0), "Madison");
+  EXPECT_EQ(CityNameVariant("Madison", "Wisconsin", 1),
+            "Madison, Wisconsin");
+  EXPECT_EQ(CityNameVariant("Madison", "Wisconsin", 2),
+            "City of Madison");
+}
+
+TEST(GeneratorTest, DeterministicFromSeed) {
+  text::DocumentCollection d1, d2;
+  GroundTruth t1, t2;
+  GenerateCorpus(SmallOptions(), &d1, &t1);
+  GenerateCorpus(SmallOptions(), &d2, &t2);
+  ASSERT_EQ(d1.size(), d2.size());
+  for (size_t i = 0; i < d1.size(); ++i) {
+    EXPECT_EQ(d1.docs[i].text, d2.docs[i].text);
+  }
+  EXPECT_EQ(t1.facts.size(), t2.facts.size());
+  EXPECT_EQ(t1.mentions.size(), t2.mentions.size());
+}
+
+TEST(GeneratorTest, ProducesExpectedPageCounts) {
+  text::DocumentCollection docs;
+  GroundTruth truth;
+  CorpusOptions o = SmallOptions();
+  GenerateCorpus(o, &docs, &truth);
+  EXPECT_EQ(docs.size(),
+            o.num_cities + o.num_people + o.num_companies + o.news_pages);
+  EXPECT_EQ(truth.cities.size(), o.num_cities);
+  EXPECT_EQ(truth.people.size(), o.num_people);
+  EXPECT_EQ(truth.companies.size(), o.num_companies);
+}
+
+TEST(GeneratorTest, CityPageHasParsableInfobox) {
+  text::DocumentCollection docs;
+  GroundTruth truth;
+  CorpusOptions o = SmallOptions();
+  o.infobox_dropout = 0;
+  o.attribute_missing = 0;
+  GenerateCorpus(o, &docs, &truth);
+  const text::Document& madison = docs.docs[0];
+  EXPECT_EQ(madison.title, "Madison");
+  std::vector<text::Infobox> boxes = text::ParseInfoboxes(madison.text);
+  ASSERT_EQ(boxes.size(), 1u);
+  EXPECT_EQ(boxes[0].type, "city");
+  EXPECT_EQ(boxes[0].Get("name"), "Madison");
+  // With zero dropout, all 12 monthly temperatures are in the infobox.
+  for (int m = 1; m <= 12; ++m) {
+    EXPECT_TRUE(boxes[0].Has(
+        m < 10 ? "temp_0" + std::to_string(m) : "temp_" + std::to_string(m)))
+        << m;
+  }
+}
+
+TEST(GeneratorTest, FactTruthValuesAppearInDocuments) {
+  text::DocumentCollection docs;
+  GroundTruth truth;
+  CorpusOptions o = SmallOptions();
+  o.typo_prob = 0;  // planted values must appear verbatim
+  GenerateCorpus(o, &docs, &truth);
+  for (const FactTruth& f : truth.facts) {
+    const text::Document* doc = nullptr;
+    for (const text::Document& d : docs.docs) {
+      if (d.id == f.doc) doc = &d;
+    }
+    ASSERT_NE(doc, nullptr);
+    // Person-valued facts may appear under a surface variant ("G. Smith"
+    // for "George Smith") when dropped from the infobox.
+    bool found = doc->text.find(f.value) != std::string::npos;
+    for (int variant = 1; variant < 3 && !found; ++variant) {
+      found = doc->text.find(PersonNameVariant(f.value, variant)) !=
+              std::string::npos;
+    }
+    EXPECT_TRUE(found) << f.attribute << "=" << f.value
+                       << " missing from " << doc->title;
+  }
+}
+
+TEST(GeneratorTest, MentionsResolveToKnownEntities) {
+  text::DocumentCollection docs;
+  GroundTruth truth;
+  GenerateCorpus(SmallOptions(), &docs, &truth);
+  EXPECT_FALSE(truth.mentions.empty());
+  for (const MentionTruth& m : truth.mentions) {
+    EXPECT_TRUE(truth.canonical_names.count(m.entity) > 0)
+        << m.surface;
+  }
+}
+
+TEST(GeneratorTest, DropoutMovesFactsOutOfInfobox) {
+  text::DocumentCollection docs;
+  GroundTruth truth;
+  CorpusOptions o = SmallOptions();
+  o.infobox_dropout = 1.0;  // nothing in infoboxes
+  o.attribute_missing = 0;
+  GenerateCorpus(o, &docs, &truth);
+  for (const FactTruth& f : truth.facts) {
+    if (f.attribute == "headquarters") continue;  // never in infobox
+    EXPECT_FALSE(f.in_infobox) << f.attribute;
+  }
+}
+
+TEST(GeneratorTest, TemperaturesAreSeasonal) {
+  text::DocumentCollection docs;
+  GroundTruth truth;
+  GenerateCorpus(SmallOptions(), &docs, &truth);
+  for (const CityRecord& c : truth.cities) {
+    // July warmer than January in this hemisphere's generator.
+    EXPECT_GT(c.temps[6], c.temps[0]) << c.name;
+  }
+}
+
+TEST(MutateCrawlTest, ChurnEditsApproximatelyFraction) {
+  text::DocumentCollection docs;
+  GroundTruth truth;
+  CorpusOptions o = SmallOptions();
+  o.num_cities = 100;
+  GenerateCorpus(o, &docs, &truth);
+  std::vector<std::string> before;
+  for (const text::Document& d : docs.docs) before.push_back(d.text);
+  MutateCrawl(5, 0.2, &docs);
+  size_t changed = 0;
+  for (size_t i = 0; i < docs.size(); ++i) {
+    EXPECT_EQ(docs.docs[i].version, 1u);
+    if (docs.docs[i].text != before[i]) ++changed;
+  }
+  double rate = static_cast<double>(changed) / docs.size();
+  EXPECT_NEAR(rate, 0.2, 0.1);
+}
+
+}  // namespace
+}  // namespace structura::corpus

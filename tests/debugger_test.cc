@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+#include "debugger/semantic_debugger.h"
+
+namespace structura::debugger {
+namespace {
+
+ie::FactSet TempsWithOutlier() {
+  ie::FactSet set;
+  // 30 plausible monthly temperatures across cities...
+  for (int i = 0; i < 30; ++i) {
+    ie::ExtractedFact f;
+    f.subject = "City" + std::to_string(i);
+    f.attribute = "temp_07";
+    f.value = std::to_string(60 + (i % 15));  // 60..74
+    set.Add(std::move(f));
+  }
+  // ...plus the paper's suspicious 135.
+  ie::ExtractedFact bad;
+  bad.subject = "Madison";
+  bad.attribute = "temp_07";
+  bad.value = "135";
+  set.Add(std::move(bad));
+  return set;
+}
+
+TEST(SemanticDebuggerTest, FlagsThePaperExample) {
+  // "if this module has learned that the monthly temperature of a city
+  // cannot exceed 130 degrees, then it can flag an extracted temperature
+  // of 135 as suspicious" (Section 4, Part VI).
+  SemanticDebugger dbg;
+  ie::FactSet facts = TempsWithOutlier();
+  dbg.LearnFromFacts(facts);
+  std::vector<Violation> violations = dbg.Check(facts);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].subject, "Madison");
+  EXPECT_EQ(violations[0].value, "135");
+  EXPECT_NE(violations[0].message.find("range"), std::string::npos);
+}
+
+TEST(SemanticDebuggerTest, LearnedRangeIsRobustToTheOutlier) {
+  SemanticDebugger dbg;
+  ie::FactSet facts = TempsWithOutlier();
+  dbg.LearnFromFacts(facts);
+  auto it = dbg.ranges().find("temp_07");
+  ASSERT_NE(it, dbg.ranges().end());
+  // Median/MAD bounds should sit near the bulk, far below 135.
+  EXPECT_LT(it->second.hi, 130.0);
+  EXPECT_GT(it->second.lo, -60.0);
+}
+
+TEST(SemanticDebuggerTest, NoConstraintWithoutSupport) {
+  SemanticDebugger::Options options;
+  options.min_support = 10;
+  SemanticDebugger dbg(options);
+  ie::FactSet facts;
+  for (int i = 0; i < 5; ++i) {
+    ie::ExtractedFact f;
+    f.attribute = "rare";
+    f.value = "1";
+    facts.Add(std::move(f));
+  }
+  dbg.LearnFromFacts(facts);
+  EXPECT_TRUE(dbg.ranges().empty());
+  EXPECT_TRUE(dbg.formats().empty());
+  EXPECT_TRUE(dbg.Check(facts).empty());
+}
+
+TEST(SemanticDebuggerTest, FormatClassification) {
+  EXPECT_EQ(SemanticDebugger::ClassifyValue("233,209"),
+            FormatClass::kInteger);
+  EXPECT_EQ(SemanticDebugger::ClassifyValue("3.5"),
+            FormatClass::kDecimal);
+  EXPECT_EQ(SemanticDebugger::ClassifyValue("David Smith"),
+            FormatClass::kCapitalizedName);
+  EXPECT_EQ(SemanticDebugger::ClassifyValue("D. Smith"),
+            FormatClass::kCapitalizedName);
+  EXPECT_EQ(SemanticDebugger::ClassifyValue("born in madison"),
+            FormatClass::kFreeText);
+}
+
+TEST(SemanticDebuggerTest, FormatConstraintFlagsOddValues) {
+  SemanticDebugger dbg;
+  ie::FactSet facts;
+  for (int i = 0; i < 20; ++i) {
+    ie::ExtractedFact f;
+    f.attribute = "mayor";
+    f.value = "Mayor " + std::string(1, static_cast<char>('A' + i));
+    facts.Add(std::move(f));
+  }
+  ie::ExtractedFact odd;
+  odd.subject = "Madison";
+  odd.attribute = "mayor";
+  odd.value = "not a name at all";
+  facts.Add(std::move(odd));
+  dbg.LearnFromFacts(facts);
+  std::vector<Violation> violations = dbg.Check(facts);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].value, "not a name at all");
+  EXPECT_NE(violations[0].message.find("format"), std::string::npos);
+}
+
+TEST(SemanticDebuggerTest, ThousandsSeparatorsParseNumerically) {
+  SemanticDebugger dbg;
+  ie::FactSet facts;
+  for (int i = 0; i < 20; ++i) {
+    ie::ExtractedFact f;
+    f.attribute = "population";
+    f.value = StrFormat("%d,%03d", 100 + i, 500);
+    facts.Add(std::move(f));
+  }
+  dbg.LearnFromFacts(facts);
+  ASSERT_EQ(dbg.ranges().count("population"), 1u);
+  ie::ExtractedFact probe;
+  probe.attribute = "population";
+  probe.value = "999,999,999";
+  EXPECT_TRUE(dbg.CheckOne(probe).has_value());
+}
+
+TEST(SystemMonitorTest, ViolationAlertThreshold) {
+  SystemMonitor monitor;
+  monitor.RecordFactsExtracted(100);
+  monitor.RecordViolations(2);
+  EXPECT_FALSE(monitor.ViolationAlert(0.05));
+  monitor.RecordViolations(10);
+  EXPECT_TRUE(monitor.ViolationAlert(0.05));
+  EXPECT_NE(monitor.Report().find("violations=12"), std::string::npos);
+}
+
+TEST(SystemMonitorTest, NoAlertOnTinySamples) {
+  SystemMonitor monitor;
+  monitor.RecordFactsExtracted(10);
+  monitor.RecordViolations(9);
+  EXPECT_FALSE(monitor.ViolationAlert(0.05));  // not enough evidence yet
+}
+
+}  // namespace
+}  // namespace structura::debugger

@@ -1,0 +1,173 @@
+#include <numeric>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "mr/mapreduce.h"
+
+namespace structura::mr {
+namespace {
+
+using WordCount = std::pair<std::string, int>;
+
+/// Canonical word-count job over sentences.
+MapReduceJob<std::string, std::string, int, WordCount> WordCountJob() {
+  MapReduceJob<std::string, std::string, int, WordCount> job;
+  job.set_mapper([](const std::string& line, const auto& emit) {
+    std::string word;
+    for (char c : line + " ") {
+      if (c == ' ') {
+        if (!word.empty()) emit(word, 1);
+        word.clear();
+      } else {
+        word += c;
+      }
+    }
+  });
+  job.set_reducer([](const std::string& k, const std::vector<int>& vs,
+                     const auto& out) {
+    out(WordCount{k, std::accumulate(vs.begin(), vs.end(), 0)});
+  });
+  return job;
+}
+
+std::map<std::string, int> AsMap(const std::vector<WordCount>& v) {
+  return {v.begin(), v.end()};
+}
+
+TEST(MapReduceTest, WordCount) {
+  ThreadPool pool(4);
+  auto job = WordCountJob();
+  std::vector<std::string> input{"a b a", "b c", "a"};
+  JobConfig config;
+  config.split_size = 1;
+  auto result = job.Run(pool, input, config);
+  ASSERT_TRUE(result.ok());
+  auto counts = AsMap(*result);
+  EXPECT_EQ(counts["a"], 3);
+  EXPECT_EQ(counts["b"], 2);
+  EXPECT_EQ(counts["c"], 1);
+}
+
+TEST(MapReduceTest, EmptyInput) {
+  ThreadPool pool(2);
+  auto job = WordCountJob();
+  auto result = job.Run(pool, {}, JobConfig{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST(MapReduceTest, MissingMapperFails) {
+  ThreadPool pool(1);
+  MapReduceJob<int, int, int, int> job;
+  auto result = job.Run(pool, {1, 2}, JobConfig{});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(MapReduceTest, CombinerPreservesResult) {
+  ThreadPool pool(4);
+  auto plain = WordCountJob();
+  auto combined = WordCountJob();
+  combined.set_combiner(
+      [](const std::string&, std::vector<int> vs) -> std::vector<int> {
+        return {std::accumulate(vs.begin(), vs.end(), 0)};
+      });
+  std::vector<std::string> input;
+  for (int i = 0; i < 200; ++i) {
+    input.push_back("x y " + std::to_string(i % 7));
+  }
+  JobConfig config;
+  config.split_size = 16;
+  JobStats stats_plain, stats_combined;
+  auto r1 = plain.Run(pool, input, config, &stats_plain);
+  auto r2 = combined.Run(pool, input, config, &stats_combined);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(AsMap(*r1), AsMap(*r2));
+  // The combiner must shrink the shuffle volume.
+  EXPECT_LT(stats_combined.pairs_shuffled, stats_plain.pairs_shuffled);
+}
+
+// Property: the result is identical regardless of parallelism knobs.
+class MrDeterminismTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, size_t>> {
+};
+
+TEST_P(MrDeterminismTest, SameResultAnyConfiguration) {
+  auto [workers, partitions, split] = GetParam();
+  ThreadPool pool(workers);
+  auto job = WordCountJob();
+  std::vector<std::string> input;
+  for (int i = 0; i < 100; ++i) {
+    input.push_back("w" + std::to_string(i % 13) + " shared w" +
+                    std::to_string(i % 5));
+  }
+  JobConfig config;
+  config.num_partitions = partitions;
+  config.split_size = split;
+  auto result = job.Run(pool, input, config);
+  ASSERT_TRUE(result.ok());
+  auto counts = AsMap(*result);
+  EXPECT_EQ(counts["shared"], 100);
+  EXPECT_EQ(counts["w0"], 8 + 20);  // i%13==0 (8 times) + i%5==0 (20)
+  size_t total = 0;
+  for (const auto& [w, c] : counts) total += static_cast<size_t>(c);
+  EXPECT_EQ(total, 300u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, MrDeterminismTest,
+    ::testing::Combine(::testing::Values(1, 2, 8),
+                       ::testing::Values(1, 4, 16),
+                       ::testing::Values(1, 7, 64)));
+
+TEST(MapReduceTest, FaultInjectionRetriesAndSucceeds) {
+  ThreadPool pool(4);
+  auto job = WordCountJob();
+  std::vector<std::string> input;
+  for (int i = 0; i < 100; ++i) input.push_back("tok");
+  JobConfig config;
+  config.split_size = 4;
+  config.map_failure_prob = 0.4;
+  config.max_attempts = 50;  // retries practically always succeed
+  JobStats stats;
+  auto result = job.Run(pool, input, config, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(AsMap(*result)["tok"], 100);
+  EXPECT_GT(stats.map_retries, 0u);
+}
+
+TEST(MapReduceTest, ExhaustedAttemptsAbort) {
+  ThreadPool pool(2);
+  auto job = WordCountJob();
+  std::vector<std::string> input(50, "x");
+  JobConfig config;
+  config.split_size = 1;
+  config.map_failure_prob = 1.0;  // every attempt fails
+  config.max_attempts = 3;
+  auto result = job.Run(pool, input, config);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kAborted);
+}
+
+TEST(MapReduceTest, StatsAreReported) {
+  ThreadPool pool(2);
+  auto job = WordCountJob();
+  std::vector<std::string> input(40, "a b");
+  JobConfig config;
+  config.split_size = 10;
+  config.num_partitions = 4;
+  JobStats stats;
+  ASSERT_TRUE(job.Run(pool, input, config, &stats).ok());
+  EXPECT_EQ(stats.map_tasks, 4u);
+  EXPECT_EQ(stats.reduce_tasks, 4u);
+  EXPECT_EQ(stats.records_mapped, 40u);
+  EXPECT_EQ(stats.pairs_shuffled, 80u);
+  EXPECT_EQ(stats.keys_reduced, 2u);
+  EXPECT_FALSE(stats.ToString().empty());
+}
+
+}  // namespace
+}  // namespace structura::mr

@@ -1,0 +1,254 @@
+// Cross-cutting property and fuzz tests: malformed inputs never crash,
+// algebraic identities hold, and persistence layers tolerate arbitrary
+// truncation.
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/strings.h"
+#include "lang/parser.h"
+#include "lang/plan.h"
+#include "query/relation.h"
+#include "rdbms/wal.h"
+#include "storage/snapshot_store.h"
+#include "text/tokenizer.h"
+#include "text/wiki_markup.h"
+
+namespace structura {
+namespace {
+
+std::string TempDir(const std::string& tag) {
+  std::string dir =
+      (std::filesystem::temp_directory_path() / ("structura_prop_" + tag))
+          .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::string RandomText(Rng& rng, size_t max_len) {
+  static const char* kPieces[] = {
+      "SELECT", "FROM", "WHERE", "CREATE", "VIEW", "EXTRACT", "AS",
+      "GROUP", "BY", "LIMIT", "AND", "RESOLVE", "ENTITIES", "USING",
+      "THRESHOLD", "REFRESH", "JOIN", "ON", "DISTINCT",
+      "\"str", "ing\"", ";", ",", "(", ")", "*", "=", "!=", "<=", ">=",
+      "<", ">", "%", "ident", "temp_03", "0.5", "42", "-7", "#cmt\n",
+      "{{", "}}", "[[", "]]", "|", "'", "\\", "\x01", "\n", "  "};
+  std::string out;
+  size_t n = rng.NextBounded(max_len);
+  for (size_t i = 0; i < n; ++i) {
+    out += kPieces[rng.NextBounded(std::size(kPieces))];
+    out += ' ';
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- Parser
+
+class ParserFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserFuzzTest, NeverCrashesOnGarbage) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    std::string program = RandomText(rng, 40);
+    auto result = lang::Parse(program);  // must return, never crash
+    if (result.ok()) {
+      // Whatever parsed must also plan (or fail cleanly).
+      for (const lang::Statement& stmt : *result) {
+        if (stmt.kind == lang::Statement::Kind::kRefresh) continue;
+        lang::BuildPlan(stmt).ok();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+// ----------------------------------------------------------- Wiki markup
+
+class MarkupFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MarkupFuzzTest, ParsersToleratateBrokenMarkup) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    std::string page = RandomText(rng, 60);
+    text::ParseInfoboxes(page);
+    text::ParseLinks(page);
+    text::ParseCategories(page);
+    std::string plain = text::StripMarkup(page);
+    text::Tokenize(plain);
+    text::SplitSentences(plain);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MarkupFuzzTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+// -------------------------------------------------------------- Relation
+
+query::Relation RandomRelation(Rng& rng, size_t rows) {
+  query::Relation rel({"a", "b", "c"});
+  for (size_t i = 0; i < rows; ++i) {
+    rel.Append({query::Value::Int(static_cast<int64_t>(
+                    rng.NextBounded(10))),
+                query::Value::Str(std::string(1, static_cast<char>(
+                                                     'x' + rng.NextBounded(3)))),
+                query::Value::Double(rng.NextDouble())})
+        .ok();
+  }
+  return rel;
+}
+
+class RelationPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RelationPropertyTest, FilterConjunctionEqualsComposition) {
+  Rng rng(GetParam());
+  query::Relation rel = RandomRelation(rng, 200);
+  query::Condition c1{"a", query::CompareOp::kGe, query::Value::Int(3)};
+  query::Condition c2{"b", query::CompareOp::kEq, query::Value::Str("x")};
+  auto both = query::Filter(rel, {c1, c2});
+  auto composed = query::Filter(*query::Filter(rel, {c1}), {c2});
+  ASSERT_TRUE(both.ok());
+  ASSERT_TRUE(composed.ok());
+  EXPECT_EQ(both->size(), composed->size());
+}
+
+TEST_P(RelationPropertyTest, ProjectCommutesWithFilterOnKeptColumns) {
+  Rng rng(GetParam());
+  query::Relation rel = RandomRelation(rng, 150);
+  query::Condition cond{"a", query::CompareOp::kLt, query::Value::Int(5)};
+  auto filter_then_project =
+      query::Project(*query::Filter(rel, {cond}), {"a", "b"});
+  auto project_then_filter =
+      query::Filter(*query::Project(rel, {"a", "b"}), {cond});
+  ASSERT_TRUE(filter_then_project.ok());
+  ASSERT_TRUE(project_then_filter.ok());
+  ASSERT_EQ(filter_then_project->size(), project_then_filter->size());
+  for (size_t i = 0; i < filter_then_project->size(); ++i) {
+    EXPECT_EQ(filter_then_project->rows()[i][0].Compare(
+                  project_then_filter->rows()[i][0]),
+              0);
+  }
+}
+
+TEST_P(RelationPropertyTest, JoinSizeSymmetric) {
+  Rng rng(GetParam());
+  query::Relation left = RandomRelation(rng, 60);
+  query::Relation right = RandomRelation(rng, 60);
+  auto lr = query::HashJoin(left, right, "a", "a");
+  auto rl = query::HashJoin(right, left, "a", "a");
+  ASSERT_TRUE(lr.ok());
+  ASSERT_TRUE(rl.ok());
+  EXPECT_EQ(lr->size(), rl->size());
+}
+
+TEST_P(RelationPropertyTest, DistinctIdempotent) {
+  Rng rng(GetParam());
+  query::Relation rel = RandomRelation(rng, 120);
+  query::Relation once = query::Distinct(rel);
+  query::Relation twice = query::Distinct(once);
+  EXPECT_EQ(once.size(), twice.size());
+  EXPECT_LE(once.size(), rel.size());
+}
+
+TEST_P(RelationPropertyTest, OrderByPreservesMultiset) {
+  Rng rng(GetParam());
+  query::Relation rel = RandomRelation(rng, 120);
+  auto sorted = query::OrderBy(rel, "c", rng.NextBool(0.5));
+  ASSERT_TRUE(sorted.ok());
+  EXPECT_EQ(sorted->size(), rel.size());
+  double sum_before = 0, sum_after = 0;
+  for (const auto& r : rel.rows()) sum_before += r[2].as_double();
+  for (const auto& r : sorted->rows()) sum_after += r[2].as_double();
+  EXPECT_NEAR(sum_before, sum_after, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RelationPropertyTest,
+                         ::testing::Range<uint64_t>(1, 11));
+
+// ------------------------------------------------------------------- WAL
+
+class WalTruncationTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WalTruncationTest, ArbitraryTruncationYieldsCleanPrefix) {
+  Rng rng(GetParam());
+  std::string dir = TempDir("wal" + std::to_string(GetParam()));
+  std::string path = dir + "/wal.log";
+  size_t full_size;
+  {
+    auto wal = rdbms::WriteAheadLog::Open(path);
+    ASSERT_TRUE(wal.ok());
+    for (int i = 0; i < 30; ++i) {
+      rdbms::LogRecord rec;
+      rec.type = rdbms::LogRecord::Type::kInsert;
+      rec.txn = static_cast<rdbms::TxnId>(i);
+      rec.table = "t";
+      rec.row_id = static_cast<rdbms::RowId>(i);
+      rec.after = {rdbms::Value::Str(RandomText(rng, 4)),
+                   rdbms::Value::Int(static_cast<int64_t>(i))};
+      ASSERT_TRUE((*wal)->Append(rec).ok());
+    }
+    ASSERT_TRUE((*wal)->Flush().ok());
+    full_size = std::filesystem::file_size(path);
+  }
+  auto complete = rdbms::WriteAheadLog::ReadAll(path);
+  ASSERT_TRUE(complete.ok());
+  ASSERT_EQ(complete->size(), 30u);
+  // Truncate at 20 random byte offsets; ReadAll must return a clean
+  // prefix of the full record sequence, never an error or crash.
+  for (int trial = 0; trial < 20; ++trial) {
+    size_t cut = rng.NextBounded(full_size + 1);
+    std::filesystem::resize_file(path, cut);
+    auto partial = rdbms::WriteAheadLog::ReadAll(path);
+    ASSERT_TRUE(partial.ok());
+    ASSERT_LE(partial->size(), complete->size());
+    for (size_t i = 0; i < partial->size(); ++i) {
+      EXPECT_EQ((*partial)[i].txn, (*complete)[i].txn);
+      EXPECT_EQ((*partial)[i].row_id, (*complete)[i].row_id);
+    }
+    // Restore for the next trial.
+    std::filesystem::remove(path);
+    auto wal = rdbms::WriteAheadLog::Open(path);
+    for (const rdbms::LogRecord& rec : *complete) {
+      ASSERT_TRUE((*wal)->Append(rec).ok());
+    }
+    ASSERT_TRUE((*wal)->Flush().ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WalTruncationTest,
+                         ::testing::Range<uint64_t>(1, 6));
+
+// -------------------------------------------------------- Snapshot store
+
+class SnapshotPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SnapshotPropertyTest, EveryVersionReconstructs) {
+  Rng rng(GetParam());
+  storage::SnapshotStore store;
+  std::vector<std::string> history;
+  std::string text;
+  for (int i = 0; i < 30; ++i) {
+    text += RandomText(rng, 6) + "\n";
+    if (rng.NextBool(0.3) && text.size() > 40) {
+      text.erase(rng.NextBounded(text.size() / 2),
+                 rng.NextBounded(20));
+    }
+    history.push_back(text);
+    ASSERT_TRUE(store.Append(5, text).ok());
+  }
+  for (uint32_t v = 0; v < history.size(); ++v) {
+    auto got = store.Get(5, v);
+    ASSERT_TRUE(got.ok()) << v;
+    EXPECT_EQ(*got, history[v]) << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SnapshotPropertyTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace structura

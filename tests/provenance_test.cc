@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "provenance/lineage.h"
+
+namespace structura::provenance {
+namespace {
+
+TEST(LineageTest, AddNodesAndEdges) {
+  LineageGraph g;
+  NodeId doc = g.AddNode(NodeKind::kDocument, "doc:Madison");
+  NodeId fact = g.AddNode(NodeKind::kFact, "fact#1 temp=20");
+  ASSERT_TRUE(g.AddEdge(fact, doc, "extracted-from").ok());
+  EXPECT_EQ(g.NumNodes(), 2u);
+  EXPECT_EQ(g.NumEdges(), 1u);
+  auto sources = g.SourcesOf(fact);
+  ASSERT_TRUE(sources.ok());
+  EXPECT_EQ(*sources, (std::vector<NodeId>{doc}));
+}
+
+TEST(LineageTest, RejectsBadEdges) {
+  LineageGraph g;
+  NodeId a = g.AddNode(NodeKind::kFact, "a");
+  EXPECT_FALSE(g.AddEdge(a, 999).ok());
+  EXPECT_FALSE(g.AddEdge(999, a).ok());
+  EXPECT_FALSE(g.AddEdge(a, a).ok());
+}
+
+TEST(LineageTest, ExplainRendersDerivationTree) {
+  LineageGraph g;
+  NodeId doc = g.AddNode(NodeKind::kDocument, "doc#1");
+  NodeId op = g.AddNode(NodeKind::kOperator, "infobox");
+  NodeId fact = g.AddNode(NodeKind::kFact, "temp_01=20");
+  NodeId belief = g.AddNode(NodeKind::kBelief, "Madison.temp_01");
+  g.AddEdge(fact, doc, "extracted-from");
+  g.AddEdge(fact, op, "produced-by");
+  g.AddEdge(belief, fact, "aggregates");
+  auto text = g.Explain(belief);
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("belief: Madison.temp_01"), std::string::npos);
+  EXPECT_NE(text->find("aggregates"), std::string::npos);
+  EXPECT_NE(text->find("doc#1"), std::string::npos);
+  EXPECT_NE(text->find("infobox"), std::string::npos);
+}
+
+TEST(LineageTest, ExplainDepthLimit) {
+  LineageGraph g;
+  NodeId prev = g.AddNode(NodeKind::kDocument, "level0");
+  for (int i = 1; i <= 10; ++i) {
+    NodeId next =
+        g.AddNode(NodeKind::kFact, "level" + std::to_string(i));
+    g.AddEdge(next, prev);
+    prev = next;
+  }
+  auto text = g.Explain(prev, 3);
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("level7"), std::string::npos);
+  EXPECT_EQ(text->find("level2"), std::string::npos);
+}
+
+TEST(LineageTest, SupportingDocumentsTransitive) {
+  LineageGraph g;
+  NodeId d1 = g.AddNode(NodeKind::kDocument, "d1");
+  NodeId d2 = g.AddNode(NodeKind::kDocument, "d2");
+  NodeId f1 = g.AddNode(NodeKind::kFact, "f1");
+  NodeId f2 = g.AddNode(NodeKind::kFact, "f2");
+  NodeId tuple = g.AddNode(NodeKind::kTuple, "t");
+  g.AddEdge(f1, d1);
+  g.AddEdge(f2, d2);
+  g.AddEdge(tuple, f1);
+  g.AddEdge(tuple, f2);
+  auto docs = g.SupportingDocuments(tuple);
+  ASSERT_TRUE(docs.ok());
+  EXPECT_EQ(docs->size(), 2u);
+}
+
+TEST(LineageTest, Bindings) {
+  LineageGraph g;
+  NodeId n = g.AddNode(NodeKind::kBelief, "b");
+  g.Bind("belief:Madison:temp_01", n);
+  auto found = g.Lookup("belief:Madison:temp_01");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, n);
+  EXPECT_FALSE(g.Lookup("missing").ok());
+}
+
+TEST(LineageTest, UnknownNodeErrors) {
+  LineageGraph g;
+  EXPECT_FALSE(g.Explain(1).ok());
+  EXPECT_FALSE(g.SourcesOf(0).ok());
+  EXPECT_FALSE(g.SupportingDocuments(5).ok());
+}
+
+}  // namespace
+}  // namespace structura::provenance

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "schema/evolution.h"
+
+namespace structura::schema {
+namespace {
+
+using rdbms::Value;
+using rdbms::ValueType;
+
+TEST(EvolvingSchemaTest, AddsVersionedAttributes) {
+  EvolvingSchema s("facts");
+  EXPECT_EQ(s.current_version(), 0u);
+  EXPECT_TRUE(s.AttributesAt(0).empty());
+  ASSERT_TRUE(s.AddAttribute("temp_01", ValueType::kInt, "temps first").ok());
+  ASSERT_TRUE(s.AddAttribute("population", ValueType::kInt).ok());
+  EXPECT_EQ(s.current_version(), 2u);
+  EXPECT_EQ(s.AttributesAt(1).size(), 1u);
+  EXPECT_EQ(s.CurrentAttributes().size(), 2u);
+  EXPECT_TRUE(s.HasAttribute("population"));
+  EXPECT_FALSE(s.HasAttribute("elevation"));
+}
+
+TEST(EvolvingSchemaTest, DuplicateAddRejected) {
+  EvolvingSchema s("facts");
+  ASSERT_TRUE(s.AddAttribute("a", ValueType::kString).ok());
+  EXPECT_FALSE(s.AddAttribute("a", ValueType::kInt).ok());
+}
+
+TEST(EvolvingSchemaTest, RenameTracksHistory) {
+  EvolvingSchema s("facts");
+  s.AddAttribute("location", ValueType::kString).value();
+  ASSERT_TRUE(
+      s.RenameAttribute("location", "address", "schema match").ok());
+  EXPECT_FALSE(s.HasAttribute("location"));
+  EXPECT_TRUE(s.HasAttribute("address"));
+  // Older versions still show the old name.
+  EXPECT_EQ(s.AttributesAt(1)[0].name, "location");
+  EXPECT_EQ(s.AttributesAt(2)[0].name, "address");
+  EXPECT_FALSE(s.RenameAttribute("ghost", "x").ok());
+  s.AddAttribute("other", ValueType::kString).value();
+  EXPECT_FALSE(s.RenameAttribute("address", "other").ok());
+}
+
+TEST(EvolvingSchemaTest, DropRemovesAttribute) {
+  EvolvingSchema s("facts");
+  s.AddAttribute("a", ValueType::kString).value();
+  s.AddAttribute("b", ValueType::kString).value();
+  ASSERT_TRUE(s.DropAttribute("a").ok());
+  EXPECT_FALSE(s.HasAttribute("a"));
+  EXPECT_EQ(s.CurrentAttributes().size(), 1u);
+  EXPECT_FALSE(s.DropAttribute("a").ok());
+  // Time travel: version 2 still had both.
+  EXPECT_EQ(s.AttributesAt(2).size(), 2u);
+}
+
+TEST(EvolvingSchemaTest, HistoryRecordsReasons) {
+  EvolvingSchema s("facts");
+  s.AddAttribute("temp_01", ValueType::kInt, "user wanted temps").value();
+  ASSERT_EQ(s.history().size(), 1u);
+  EXPECT_EQ(s.history()[0].reason, "user wanted temps");
+}
+
+TEST(MigrateTableTest, CopiesRenamesAndNulls) {
+  auto db = rdbms::Database::Open({});
+  ASSERT_TRUE(db.ok());
+  rdbms::TableSchema schema;
+  schema.table_name = "cities";
+  schema.columns = {{"location", ValueType::kString},
+                    {"population", ValueType::kInt}};
+  ASSERT_TRUE((*db)->CreateTable(schema).ok());
+  {
+    auto txn = (*db)->Begin();
+    ASSERT_TRUE(
+        txn->Insert("cities", {Value::Str("Madison"), Value::Int(233209)})
+            .ok());
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  // Evolve: rename location->address, add elevation, keep population.
+  EvolvingSchema evolved("cities");
+  evolved.AddAttribute("location", ValueType::kString).value();
+  evolved.AddAttribute("population", ValueType::kInt).value();
+  evolved.RenameAttribute("location", "address").value();
+  evolved.AddAttribute("elevation", ValueType::kDouble).value();
+
+  auto new_name = MigrateTable(db->get(), "cities", evolved);
+  ASSERT_TRUE(new_name.ok()) << new_name.status().ToString();
+  EXPECT_EQ(*new_name, "cities_v4");
+  auto txn = (*db)->Begin();
+  auto rows = txn->Scan(*new_name);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  const rdbms::Row& row = (*rows)[0].second;
+  rdbms::Table* table = (*db)->GetTable(*new_name);
+  int addr = table->schema().ColumnIndex("address");
+  int pop = table->schema().ColumnIndex("population");
+  int elev = table->schema().ColumnIndex("elevation");
+  ASSERT_GE(addr, 0);
+  ASSERT_GE(pop, 0);
+  ASSERT_GE(elev, 0);
+  EXPECT_EQ(row[static_cast<size_t>(addr)].ToString(), "Madison");
+  EXPECT_EQ(row[static_cast<size_t>(pop)].as_int(), 233209);
+  EXPECT_TRUE(row[static_cast<size_t>(elev)].is_null());
+  txn->Commit();
+  // The old table survives (time travel).
+  EXPECT_NE((*db)->GetTable("cities"), nullptr);
+}
+
+TEST(MigrateTableTest, UnknownTableFails) {
+  auto db = rdbms::Database::Open({});
+  EvolvingSchema s("ghost");
+  s.AddAttribute("a", ValueType::kString).value();
+  EXPECT_FALSE(MigrateTable(db->get(), "ghost", s).ok());
+}
+
+}  // namespace
+}  // namespace structura::schema

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "sensors/sensor_events.h"
+#include "uncertainty/confidence.h"
+
+namespace structura::sensors {
+namespace {
+
+TEST(TraceTest, GeneratesReadingsAndTruth) {
+  TraceOptions options;
+  options.rooms = 3;
+  options.events_per_room = 6;
+  options.duration = 500;
+  SensorTrace trace;
+  std::vector<EventTruth> truth;
+  GenerateTrace(options, &trace, &truth);
+  // door + motion per room per tick.
+  EXPECT_EQ(trace.readings.size(), 3u * 2u * 500u);
+  EXPECT_FALSE(truth.empty());
+  // Events alternate entered/left per room, starting with entered.
+  std::map<std::string, std::string> last;
+  for (const EventTruth& e : truth) {
+    if (last.count(e.room) == 0) {
+      EXPECT_EQ(e.event, "entered") << e.room;
+    } else {
+      EXPECT_NE(e.event, last[e.room]) << e.room;
+    }
+    last[e.room] = e.event;
+  }
+}
+
+TEST(TraceTest, DeterministicFromSeed) {
+  TraceOptions options;
+  SensorTrace t1, t2;
+  std::vector<EventTruth> g1, g2;
+  GenerateTrace(options, &t1, &g1);
+  GenerateTrace(options, &t2, &g2);
+  ASSERT_EQ(t1.readings.size(), t2.readings.size());
+  EXPECT_EQ(g1.size(), g2.size());
+  for (size_t i = 0; i < t1.readings.size(); ++i) {
+    EXPECT_DOUBLE_EQ(t1.readings[i].value, t2.readings[i].value);
+  }
+}
+
+TEST(EventExtractorTest, RecoversPlantedEvents) {
+  TraceOptions options;
+  options.rooms = 4;
+  options.events_per_room = 8;
+  options.duration = 1500;
+  SensorTrace trace;
+  std::vector<EventTruth> truth;
+  GenerateTrace(options, &trace, &truth);
+  EventExtractor extractor;
+  auto facts = extractor.Extract(trace);
+  EXPECT_FALSE(facts.empty());
+  EventScore score = ScoreEvents(facts, truth);
+  EXPECT_GT(score.f1(), 0.8) << "P=" << score.precision()
+                             << " R=" << score.recall();
+  // Facts carry the standard shape: they flow into the belief layer.
+  for (const auto& f : facts) {
+    EXPECT_TRUE(f.attribute == "entered" || f.attribute == "left");
+    EXPECT_GT(f.confidence, 0.0);
+    EXPECT_LE(f.confidence, 1.0);
+  }
+}
+
+TEST(EventExtractorTest, GlitchesMostlyFiltered) {
+  TraceOptions options;
+  options.rooms = 2;
+  options.events_per_room = 4;
+  options.duration = 1200;
+  options.glitch_rate = 0.05;  // lots of spurious door spikes
+  SensorTrace trace;
+  std::vector<EventTruth> truth;
+  GenerateTrace(options, &trace, &truth);
+  EventExtractor extractor;
+  EventScore score = ScoreEvents(extractor.Extract(trace), truth);
+  // The motion-window rule suppresses bare door glitches.
+  EXPECT_GT(score.precision(), 0.6);
+}
+
+TEST(EventExtractorTest, FactsFeedBeliefLayer) {
+  TraceOptions options;
+  options.rooms = 2;
+  options.events_per_room = 4;
+  options.duration = 600;
+  SensorTrace trace;
+  std::vector<EventTruth> truth;
+  GenerateTrace(options, &trace, &truth);
+  EventExtractor extractor;
+  ie::FactSet set;
+  for (auto& f : extractor.Extract(trace)) set.Add(std::move(f));
+  auto beliefs = uncertainty::BuildBeliefs(set);
+  EXPECT_FALSE(beliefs.empty());
+  // Same machinery as text: subjects are rooms, attributes are events.
+  for (const auto& b : beliefs) {
+    EXPECT_TRUE(b.subject.rfind("room_", 0) == 0);
+  }
+}
+
+TEST(ScoreTest, ToleranceWindow) {
+  std::vector<EventTruth> truth = {{100, "room_0", "entered"}};
+  ie::ExtractedFact close;
+  close.subject = "room_0";
+  close.attribute = "entered";
+  close.value = "102";
+  ie::ExtractedFact far;
+  far.subject = "room_0";
+  far.attribute = "entered";
+  far.value = "130";
+  EventScore s1 = ScoreEvents({close}, truth, 3);
+  EXPECT_EQ(s1.true_positives, 1u);
+  EventScore s2 = ScoreEvents({far}, truth, 3);
+  EXPECT_EQ(s2.true_positives, 0u);
+  EXPECT_EQ(s2.false_positives, 1u);
+  EXPECT_EQ(s2.false_negatives, 1u);
+}
+
+}  // namespace
+}  // namespace structura::sensors

@@ -1,0 +1,258 @@
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/strings.h"
+#include "storage/diff.h"
+#include "storage/segment_store.h"
+#include "storage/snapshot_store.h"
+
+namespace structura::storage {
+namespace {
+
+std::string TempDir(const std::string& tag) {
+  std::string dir =
+      (std::filesystem::temp_directory_path() / ("structura_" + tag))
+          .string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+TEST(DiffTest, RoundTripSimpleEdit) {
+  std::string base = "line1\nline2\nline3\n";
+  std::string target = "line1\nlineX\nline3\n";
+  Delta delta = ComputeDelta(base, target);
+  auto restored = ApplyDelta(base, delta);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, target);
+}
+
+TEST(DiffTest, RoundTripNoTrailingNewline) {
+  std::string base = "a\nb";
+  std::string target = "a\nb\nc";
+  Delta delta = ComputeDelta(base, target);
+  auto restored = ApplyDelta(base, delta);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, target);
+}
+
+TEST(DiffTest, EmptyEdgeCases) {
+  for (auto [base, target] : std::vector<std::pair<std::string, std::string>>{
+           {"", ""}, {"", "x\ny\n"}, {"x\ny\n", ""}}) {
+    Delta delta = ComputeDelta(base, target);
+    auto restored = ApplyDelta(base, delta);
+    ASSERT_TRUE(restored.ok());
+    EXPECT_EQ(*restored, target);
+  }
+}
+
+TEST(DiffTest, AppendOnlyDeltaIsSmall) {
+  std::string base;
+  for (int i = 0; i < 200; ++i) {
+    base += StrFormat("line %d with some content\n", i);
+  }
+  std::string target = base + "one new line at the end\n";
+  Delta delta = ComputeDelta(base, target);
+  EXPECT_LT(delta.Serialize().size(), 100u);
+}
+
+TEST(DiffTest, SerializationRoundTrip) {
+  std::string base = "a\nb\nc\nd\n";
+  std::string target = "a\nXX\nc\nnew\n";
+  Delta delta = ComputeDelta(base, target);
+  std::string blob = delta.Serialize();
+  auto parsed = Delta::Deserialize(blob);
+  ASSERT_TRUE(parsed.ok());
+  auto restored = ApplyDelta(base, *parsed);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, target);
+}
+
+TEST(DiffTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(Delta::Deserialize("Z 12\n").ok());
+  EXPECT_FALSE(Delta::Deserialize("C x\n").ok());
+  EXPECT_FALSE(Delta::Deserialize("I 1\n9999:abc\n").ok());
+}
+
+TEST(DiffTest, ApplyToWrongBaseFails) {
+  Delta delta = ComputeDelta("a\nb\nc\n", "a\nX\nc\n");
+  auto r = ApplyDelta("totally\ndifferent\nbase\nlonger\n", delta);
+  EXPECT_FALSE(r.ok());
+}
+
+// Property: round-trip holds under random line edits.
+class DiffPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DiffPropertyTest, RandomEditsRoundTrip) {
+  Rng rng(GetParam());
+  std::vector<std::string> lines;
+  for (int i = 0; i < 50; ++i) {
+    lines.push_back(StrFormat("content line %d\n", i));
+  }
+  auto join = [](const std::vector<std::string>& ls) {
+    std::string out;
+    for (const std::string& l : ls) out += l;
+    return out;
+  };
+  std::string base = join(lines);
+  // Apply 1-10 random edits.
+  int edits = 1 + static_cast<int>(rng.NextBounded(10));
+  for (int e = 0; e < edits; ++e) {
+    size_t pos = rng.NextBounded(lines.size() + 1);
+    switch (rng.NextBounded(3)) {
+      case 0:  // insert
+        lines.insert(lines.begin() + static_cast<long>(pos),
+                     StrFormat("inserted %llu\n",
+                               (unsigned long long)rng.Next()));
+        break;
+      case 1:  // delete
+        if (!lines.empty()) {
+          lines.erase(lines.begin() +
+                      static_cast<long>(pos % lines.size()));
+        }
+        break;
+      default:  // modify
+        if (!lines.empty()) {
+          lines[pos % lines.size()] = StrFormat(
+              "changed %llu\n", (unsigned long long)rng.Next());
+        }
+    }
+  }
+  std::string target = join(lines);
+  Delta delta = ComputeDelta(base, target);
+  auto restored = ApplyDelta(base, delta);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, target);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiffPropertyTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+TEST(SnapshotStoreTest, AppendAndGetVersions) {
+  SnapshotStore store;
+  ASSERT_TRUE(store.Append(1, "v0 content\nshared\n").ok());
+  ASSERT_TRUE(store.Append(1, "v1 content\nshared\n").ok());
+  ASSERT_TRUE(store.Append(1, "v2 content\nshared\nmore\n").ok());
+  EXPECT_EQ(*store.Get(1, 0), "v0 content\nshared\n");
+  EXPECT_EQ(*store.Get(1, 1), "v1 content\nshared\n");
+  EXPECT_EQ(*store.Get(1, 2), "v2 content\nshared\nmore\n");
+  EXPECT_EQ(*store.LatestVersion(1), 2u);
+}
+
+TEST(SnapshotStoreTest, UnknownPageAndVersion) {
+  SnapshotStore store;
+  store.Append(1, "x");
+  EXPECT_FALSE(store.Get(2, 0).ok());
+  EXPECT_FALSE(store.Get(1, 5).ok());
+  EXPECT_FALSE(store.LatestVersion(9).ok());
+}
+
+TEST(SnapshotStoreTest, DiffStorageSavesSpaceOnOverlap) {
+  SnapshotStore store;
+  std::string page;
+  for (int i = 0; i < 100; ++i) {
+    page += StrFormat("stable line %d\n", i);
+  }
+  store.Append(7, page);
+  for (int v = 1; v <= 20; ++v) {
+    page += StrFormat("daily update %d\n", v);
+    store.Append(7, page);
+  }
+  // 21 nearly identical versions: diff storage must be far below full.
+  EXPECT_LT(store.StoredBytes(), store.FullCopyBytes() / 5);
+  // And everything still reconstructs.
+  auto last = store.Get(7, 20);
+  ASSERT_TRUE(last.ok());
+  EXPECT_EQ(*last, page);
+}
+
+TEST(SnapshotStoreTest, KeyframesBoundReconstruction) {
+  SnapshotStore::Options options;
+  options.keyframe_interval = 4;
+  SnapshotStore store(options);
+  std::string page = "base\n";
+  store.Append(3, page);
+  for (int v = 1; v <= 10; ++v) {
+    page += StrFormat("v%d\n", v);
+    store.Append(3, page);
+  }
+  for (uint32_t v = 0; v <= 10; ++v) {
+    ASSERT_TRUE(store.Get(3, v).ok()) << v;
+  }
+}
+
+TEST(SegmentStoreTest, AppendReadScan) {
+  std::string dir = TempDir("segstore1");
+  auto store_or = SegmentStore::Open(dir);
+  ASSERT_TRUE(store_or.ok());
+  auto& store = *store_or;
+  for (int i = 0; i < 100; ++i) {
+    auto idx = store->Append(StrFormat("record-%03d", i));
+    ASSERT_TRUE(idx.ok());
+    EXPECT_EQ(*idx, static_cast<uint64_t>(i));
+  }
+  EXPECT_EQ(*store->Read(42), "record-042");
+  EXPECT_FALSE(store->Read(100).ok());
+  size_t count = 0;
+  for (auto it = store->Scan(); it.Valid(); it.Next()) {
+    EXPECT_EQ(it.record(), StrFormat("record-%03zu", count));
+    ++count;
+  }
+  EXPECT_EQ(count, 100u);
+}
+
+TEST(SegmentStoreTest, RollsSegmentsAndReopens) {
+  std::string dir = TempDir("segstore2");
+  {
+    SegmentStore::Options options;
+    options.segment_bytes = 256;  // force several segments
+    auto store = SegmentStore::Open(dir, options);
+    ASSERT_TRUE(store.ok());
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE((*store)->Append(std::string(40, 'a' + i % 26)).ok());
+    }
+    EXPECT_GT((*store)->NumSegments(), 1u);
+    ASSERT_TRUE((*store)->Flush().ok());
+  }
+  // Reopen: all records rediscovered, appends continue.
+  auto reopened = SegmentStore::Open(dir);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->NumRecords(), 50u);
+  EXPECT_EQ(*(*reopened)->Read(10), std::string(40, 'a' + 10));
+  auto idx = (*reopened)->Append("after reopen");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 50u);
+}
+
+TEST(SegmentStoreTest, TornTailDroppedOnReopen) {
+  std::string dir = TempDir("segstore3");
+  {
+    auto store = SegmentStore::Open(dir);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Append("good record one").ok());
+    ASSERT_TRUE((*store)->Append("good record two").ok());
+    ASSERT_TRUE((*store)->Flush().ok());
+  }
+  // Simulate a crash mid-append: append garbage bytes to the segment.
+  {
+    std::ofstream f(dir + "/seg-000000.log",
+                    std::ios::binary | std::ios::app);
+    f.write("\x08\x00\x00\x00torn", 8);
+  }
+  auto reopened = SegmentStore::Open(dir);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->NumRecords(), 2u);
+  EXPECT_EQ(*(*reopened)->Read(1), "good record two");
+}
+
+TEST(SegmentStoreTest, EmptyRecordAllowed) {
+  std::string dir = TempDir("segstore4");
+  auto store = SegmentStore::Open(dir);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Append("").ok());
+  EXPECT_EQ(*(*store)->Read(0), "");
+}
+
+}  // namespace
+}  // namespace structura::storage

@@ -1,0 +1,177 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "uncertainty/confidence.h"
+#include "uncertainty/possible_worlds.h"
+
+namespace structura::uncertainty {
+namespace {
+
+ie::FactSet MakeFacts(
+    const std::vector<std::tuple<std::string, std::string, std::string,
+                                 double>>& rows) {
+  ie::FactSet set;
+  for (const auto& [subject, attr, value, conf] : rows) {
+    ie::ExtractedFact f;
+    f.subject = subject;
+    f.attribute = attr;
+    f.value = value;
+    f.confidence = conf;
+    set.Add(std::move(f));
+  }
+  return set;
+}
+
+double TotalMass(const AttributeBelief& b) {
+  double total = 0;
+  for (const auto& alt : b.alternatives) total += alt.probability;
+  return total;
+}
+
+TEST(CombineTest, NoisyOr) {
+  EXPECT_DOUBLE_EQ(CombineIndependent({}), 0.0);
+  EXPECT_DOUBLE_EQ(CombineIndependent({0.5}), 0.5);
+  EXPECT_DOUBLE_EQ(CombineIndependent({0.5, 0.5}), 0.75);
+  EXPECT_DOUBLE_EQ(CombineIndependent({1.0, 0.1}), 1.0);
+  EXPECT_DOUBLE_EQ(CombineIndependent({-1, 2}), 1.0);  // clamped
+}
+
+TEST(BeliefsTest, AgreeingFactsReinforce) {
+  auto facts = MakeFacts({{"Madison", "temp_01", "20", 0.9},
+                          {"Madison", "temp_01", "20", 0.8}});
+  auto beliefs = BuildBeliefs(facts);
+  ASSERT_EQ(beliefs.size(), 1u);
+  ASSERT_EQ(beliefs[0].alternatives.size(), 1u);
+  EXPECT_NEAR(beliefs[0].alternatives[0].probability, 0.98, 1e-9);
+  EXPECT_EQ(beliefs[0].alternatives[0].supporting_facts.size(), 2u);
+}
+
+TEST(BeliefsTest, ConflictingValuesShareMass) {
+  auto facts = MakeFacts({{"Madison", "temp_01", "20", 0.9},
+                          {"Madison", "temp_01", "90", 0.9}});
+  auto beliefs = BuildBeliefs(facts);
+  ASSERT_EQ(beliefs.size(), 1u);
+  ASSERT_EQ(beliefs[0].alternatives.size(), 2u);
+  EXPECT_NEAR(TotalMass(beliefs[0]), 1.0, 1e-9);
+  EXPECT_NEAR(beliefs[0].alternatives[0].probability, 0.5, 1e-9);
+}
+
+TEST(BeliefsTest, GroupsBySubjectAndAttribute) {
+  auto facts = MakeFacts({{"Madison", "temp_01", "20", 0.9},
+                          {"Madison", "temp_02", "25", 0.9},
+                          {"Oakfield", "temp_01", "30", 0.9}});
+  auto beliefs = BuildBeliefs(facts);
+  EXPECT_EQ(beliefs.size(), 3u);
+}
+
+TEST(BeliefsTest, TopPicksHighestProbability) {
+  auto facts = MakeFacts({{"M", "a", "x", 0.9},
+                          {"M", "a", "x", 0.9},
+                          {"M", "a", "y", 0.3}});
+  auto beliefs = BuildBeliefs(facts);
+  ASSERT_EQ(beliefs.size(), 1u);
+  EXPECT_EQ(beliefs[0].Top()->value, "x");
+}
+
+TEST(FeedbackTest, ConfirmBoostsAndRenormalizes) {
+  auto facts = MakeFacts({{"M", "a", "x", 0.6}, {"M", "a", "y", 0.6}});
+  auto beliefs = BuildBeliefs(facts);
+  ConfirmValue(&beliefs[0], "y", 0.95);
+  EXPECT_EQ(beliefs[0].Top()->value, "y");
+  EXPECT_NEAR(beliefs[0].Top()->probability, 0.95, 1e-9);
+  EXPECT_NEAR(TotalMass(beliefs[0]), 1.0, 1e-9);
+}
+
+TEST(FeedbackTest, ConfirmUnknownValueAddsIt) {
+  auto facts = MakeFacts({{"M", "a", "x", 0.6}});
+  auto beliefs = BuildBeliefs(facts);
+  ConfirmValue(&beliefs[0], "write_in", 0.9);
+  EXPECT_EQ(beliefs[0].Top()->value, "write_in");
+}
+
+TEST(FeedbackTest, RejectZerosAndRedistributes) {
+  auto facts = MakeFacts({{"M", "a", "x", 0.8}, {"M", "a", "y", 0.4}});
+  auto beliefs = BuildBeliefs(facts);
+  double before = TotalMass(beliefs[0]);
+  RejectValue(&beliefs[0], "x");
+  for (const auto& alt : beliefs[0].alternatives) {
+    if (alt.value == "x") EXPECT_DOUBLE_EQ(alt.probability, 0.0);
+  }
+  EXPECT_EQ(beliefs[0].Top()->value, "y");
+  EXPECT_NEAR(TotalMass(beliefs[0]), before, 1e-9);
+}
+
+TEST(PossibleWorldsTest, SampleRespectsDistribution) {
+  auto facts = MakeFacts({{"M", "a", "x", 0.7}});
+  auto beliefs = BuildBeliefs(facts);
+  Rng rng(5);
+  size_t present = 0;
+  const size_t n = 10000;
+  for (size_t i = 0; i < n; ++i) {
+    World w = SampleWorld(beliefs, rng);
+    if (w[0].has_value()) {
+      ++present;
+      EXPECT_EQ(*w[0], "x");
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(present) / n, 0.7, 0.02);
+}
+
+TEST(PossibleWorldsTest, AggregateEstimateConverges) {
+  // Two independent temps with certain values: AVG is deterministic.
+  auto facts = MakeFacts({{"M", "t1", "10", 1.0}, {"M", "t2", "30", 1.0}});
+  auto beliefs = BuildBeliefs(facts);
+  auto estimate = EstimateAggregate(
+      beliefs, 500, 42, [](const World& w) -> std::optional<double> {
+        double sum = 0;
+        int count = 0;
+        for (const auto& v : w) {
+          if (!v.has_value()) continue;
+          sum += std::stod(*v);
+          ++count;
+        }
+        if (count == 0) return std::nullopt;
+        return sum / count;
+      });
+  EXPECT_NEAR(estimate.mean, 20.0, 1e-9);
+  EXPECT_NEAR(estimate.stddev, 0.0, 1e-9);
+  EXPECT_DOUBLE_EQ(estimate.p_empty, 0.0);
+}
+
+TEST(PossibleWorldsTest, UncertaintyWidensSpread) {
+  auto facts = MakeFacts({{"M", "t", "0", 0.5}, {"M", "t", "100", 0.5}});
+  auto beliefs = BuildBeliefs(facts);
+  auto estimate = EstimateAggregate(
+      beliefs, 2000, 7, [](const World& w) -> std::optional<double> {
+        if (!w[0].has_value()) return std::nullopt;
+        return std::stod(*w[0]);
+      });
+  EXPECT_NEAR(estimate.mean, 50.0, 5.0);
+  EXPECT_GT(estimate.stddev, 40.0);
+}
+
+TEST(ExpectedNumericTest, WeightsByProbability) {
+  auto facts = MakeFacts({{"M", "t", "10", 0.6}, {"M", "t", "20", 0.6}});
+  auto beliefs = BuildBeliefs(facts);
+  ExpectedValue ev = ExpectedNumeric(beliefs[0]);
+  EXPECT_NEAR(ev.expectation, 15.0, 1e-9);  // symmetric masses
+  EXPECT_NEAR(ev.p_present, 1.0, 1e-9);     // normalized to 1
+}
+
+TEST(ExpectedNumericTest, SkipsNonNumeric) {
+  auto facts = MakeFacts({{"M", "mayor", "David Smith", 0.9}});
+  auto beliefs = BuildBeliefs(facts);
+  ExpectedValue ev = ExpectedNumeric(beliefs[0]);
+  EXPECT_DOUBLE_EQ(ev.p_present, 0.0);
+}
+
+TEST(ExpectedNumericTest, ParsesThousandsSeparators) {
+  auto facts = MakeFacts({{"M", "population", "233,209", 1.0}});
+  auto beliefs = BuildBeliefs(facts);
+  ExpectedValue ev = ExpectedNumeric(beliefs[0]);
+  EXPECT_NEAR(ev.expectation, 233209.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace structura::uncertainty

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "user/accounts.h"
+
+namespace structura::user {
+namespace {
+
+TEST(UserDirectoryTest, RegisterAndLogin) {
+  UserDirectory dir;
+  ASSERT_TRUE(dir.Register("alice", "secret", Role::kDeveloper).ok());
+  EXPECT_FALSE(dir.Register("alice", "other", Role::kOrdinary).ok());
+  EXPECT_FALSE(dir.Register("", "x", Role::kOrdinary).ok());
+
+  auto token = dir.Login("alice", "secret");
+  ASSERT_TRUE(token.ok());
+  auto who = dir.Authenticate(*token);
+  ASSERT_TRUE(who.ok());
+  EXPECT_EQ(*who, "alice");
+}
+
+TEST(UserDirectoryTest, BadCredentialsRejected) {
+  UserDirectory dir;
+  dir.Register("alice", "secret", Role::kOrdinary);
+  EXPECT_FALSE(dir.Login("alice", "wrong").ok());
+  EXPECT_FALSE(dir.Login("bob", "secret").ok());
+  EXPECT_FALSE(dir.Authenticate("bogus-token").ok());
+}
+
+TEST(UserDirectoryTest, LogoutInvalidatesSession) {
+  UserDirectory dir;
+  dir.Register("alice", "secret", Role::kOrdinary);
+  std::string token = *dir.Login("alice", "secret");
+  ASSERT_TRUE(dir.Logout(token).ok());
+  EXPECT_FALSE(dir.Authenticate(token).ok());
+  EXPECT_FALSE(dir.Logout(token).ok());
+}
+
+TEST(UserDirectoryTest, DistinctSessionTokens) {
+  UserDirectory dir;
+  dir.Register("alice", "secret", Role::kOrdinary);
+  std::string t1 = *dir.Login("alice", "secret");
+  std::string t2 = *dir.Login("alice", "secret");
+  EXPECT_NE(t1, t2);
+  EXPECT_TRUE(dir.Authenticate(t1).ok());
+  EXPECT_TRUE(dir.Authenticate(t2).ok());
+}
+
+TEST(UserDirectoryTest, ReputationMovesWithAgreement) {
+  UserDirectory dir;
+  dir.Register("good", "x", Role::kOrdinary);
+  dir.Register("bad", "x", Role::kOrdinary);
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(dir.RecordFeedback("good", true).ok());
+    ASSERT_TRUE(dir.RecordFeedback("bad", false).ok());
+  }
+  auto good = dir.GetUser("good");
+  auto bad = dir.GetUser("bad");
+  EXPECT_GT(good->reputation, 0.9);
+  EXPECT_LT(bad->reputation, 0.1);
+  EXPECT_GT(good->points, bad->points);  // agreement bonus
+  EXPECT_EQ(good->feedback_count, 30u);
+  auto weights = dir.ReputationWeights();
+  EXPECT_GT(weights["good"], weights["bad"]);
+}
+
+TEST(UserDirectoryTest, FeedbackForUnknownUserFails) {
+  UserDirectory dir;
+  EXPECT_FALSE(dir.RecordFeedback("ghost", true).ok());
+}
+
+TEST(UserDirectoryTest, LeaderboardSortedByPoints) {
+  UserDirectory dir;
+  dir.Register("a", "x", Role::kOrdinary);
+  dir.Register("b", "x", Role::kOrdinary);
+  dir.Register("c", "x", Role::kOrdinary);
+  for (int i = 0; i < 5; ++i) dir.RecordFeedback("b", true);
+  dir.RecordFeedback("c", true);
+  auto board = dir.Leaderboard();
+  ASSERT_EQ(board.size(), 3u);
+  EXPECT_EQ(board[0].name, "b");
+  EXPECT_EQ(board[1].name, "c");
+  EXPECT_EQ(board[2].name, "a");
+}
+
+}  // namespace
+}  // namespace structura::user
