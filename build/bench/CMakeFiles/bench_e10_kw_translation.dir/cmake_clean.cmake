@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_kw_translation.dir/bench_e10_kw_translation.cc.o"
+  "CMakeFiles/bench_e10_kw_translation.dir/bench_e10_kw_translation.cc.o.d"
+  "bench_e10_kw_translation"
+  "bench_e10_kw_translation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_kw_translation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_transactions.dir/bench_e11_transactions.cc.o"
+  "CMakeFiles/bench_e11_transactions.dir/bench_e11_transactions.cc.o.d"
+  "bench_e11_transactions"
+  "bench_e11_transactions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_transactions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_uncertainty_provenance.dir/bench_e12_uncertainty_provenance.cc.o"
+  "CMakeFiles/bench_e12_uncertainty_provenance.dir/bench_e12_uncertainty_provenance.cc.o.d"
+  "bench_e12_uncertainty_provenance"
+  "bench_e12_uncertainty_provenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_uncertainty_provenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

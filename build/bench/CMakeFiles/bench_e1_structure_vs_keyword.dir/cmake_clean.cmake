@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_structure_vs_keyword.dir/bench_e1_structure_vs_keyword.cc.o"
+  "CMakeFiles/bench_e1_structure_vs_keyword.dir/bench_e1_structure_vs_keyword.cc.o.d"
+  "bench_e1_structure_vs_keyword"
+  "bench_e1_structure_vs_keyword.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_structure_vs_keyword.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_e1_structure_vs_keyword.
+# This may be replaced when dependencies are built.

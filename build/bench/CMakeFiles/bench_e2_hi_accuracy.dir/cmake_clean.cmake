@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_hi_accuracy.dir/bench_e2_hi_accuracy.cc.o"
+  "CMakeFiles/bench_e2_hi_accuracy.dir/bench_e2_hi_accuracy.cc.o.d"
+  "bench_e2_hi_accuracy"
+  "bench_e2_hi_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_hi_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

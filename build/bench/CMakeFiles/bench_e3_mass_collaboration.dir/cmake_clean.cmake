@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_mass_collaboration.dir/bench_e3_mass_collaboration.cc.o"
+  "CMakeFiles/bench_e3_mass_collaboration.dir/bench_e3_mass_collaboration.cc.o.d"
+  "bench_e3_mass_collaboration"
+  "bench_e3_mass_collaboration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_mass_collaboration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_incremental.dir/bench_e4_incremental.cc.o"
+  "CMakeFiles/bench_e4_incremental.dir/bench_e4_incremental.cc.o.d"
+  "bench_e4_incremental"
+  "bench_e4_incremental.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

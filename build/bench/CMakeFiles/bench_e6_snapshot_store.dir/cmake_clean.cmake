@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_snapshot_store.dir/bench_e6_snapshot_store.cc.o"
+  "CMakeFiles/bench_e6_snapshot_store.dir/bench_e6_snapshot_store.cc.o.d"
+  "bench_e6_snapshot_store"
+  "bench_e6_snapshot_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_snapshot_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

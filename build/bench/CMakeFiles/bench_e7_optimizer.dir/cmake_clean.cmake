@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_optimizer.dir/bench_e7_optimizer.cc.o"
+  "CMakeFiles/bench_e7_optimizer.dir/bench_e7_optimizer.cc.o.d"
+  "bench_e7_optimizer"
+  "bench_e7_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_semantic_debugger.dir/bench_e8_semantic_debugger.cc.o"
+  "CMakeFiles/bench_e8_semantic_debugger.dir/bench_e8_semantic_debugger.cc.o.d"
+  "bench_e8_semantic_debugger"
+  "bench_e8_semantic_debugger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_semantic_debugger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

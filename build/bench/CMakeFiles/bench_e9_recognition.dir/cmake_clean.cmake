@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_recognition.dir/bench_e9_recognition.cc.o"
+  "CMakeFiles/bench_e9_recognition.dir/bench_e9_recognition.cc.o.d"
+  "bench_e9_recognition"
+  "bench_e9_recognition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_recognition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/community_portal.dir/community_portal.cpp.o"
+  "CMakeFiles/community_portal.dir/community_portal.cpp.o.d"
+  "community_portal"
+  "community_portal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/community_portal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_jobsearch.dir/incremental_jobsearch.cpp.o"
+  "CMakeFiles/incremental_jobsearch.dir/incremental_jobsearch.cpp.o.d"
+  "incremental_jobsearch"
+  "incremental_jobsearch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_jobsearch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdl_shell.dir/sdl_shell.cpp.o"
+  "CMakeFiles/sdl_shell.dir/sdl_shell.cpp.o.d"
+  "sdl_shell"
+  "sdl_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdl_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semantic_debugging.dir/semantic_debugging.cpp.o"
+  "CMakeFiles/semantic_debugging.dir/semantic_debugging.cpp.o.d"
+  "semantic_debugging"
+  "semantic_debugging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semantic_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

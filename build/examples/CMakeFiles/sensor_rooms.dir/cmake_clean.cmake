@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_rooms.dir/sensor_rooms.cpp.o"
+  "CMakeFiles/sensor_rooms.dir/sensor_rooms.cpp.o.d"
+  "sensor_rooms"
+  "sensor_rooms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_rooms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_sources.dir/two_sources.cpp.o"
+  "CMakeFiles/two_sources.dir/two_sources.cpp.o.d"
+  "two_sources"
+  "two_sources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_sources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,72 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/structura.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/structura.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/structura.dir/common/status.cc.o" "gcc" "src/CMakeFiles/structura.dir/common/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/structura.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/structura.dir/common/strings.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/structura.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/structura.dir/common/thread_pool.cc.o.d"
+  "/root/repo/src/core/eval.cc" "src/CMakeFiles/structura.dir/core/eval.cc.o" "gcc" "src/CMakeFiles/structura.dir/core/eval.cc.o.d"
+  "/root/repo/src/core/schema_unify.cc" "src/CMakeFiles/structura.dir/core/schema_unify.cc.o" "gcc" "src/CMakeFiles/structura.dir/core/schema_unify.cc.o.d"
+  "/root/repo/src/core/system.cc" "src/CMakeFiles/structura.dir/core/system.cc.o" "gcc" "src/CMakeFiles/structura.dir/core/system.cc.o.d"
+  "/root/repo/src/corpus/generator.cc" "src/CMakeFiles/structura.dir/corpus/generator.cc.o" "gcc" "src/CMakeFiles/structura.dir/corpus/generator.cc.o.d"
+  "/root/repo/src/corpus/names.cc" "src/CMakeFiles/structura.dir/corpus/names.cc.o" "gcc" "src/CMakeFiles/structura.dir/corpus/names.cc.o.d"
+  "/root/repo/src/debugger/semantic_debugger.cc" "src/CMakeFiles/structura.dir/debugger/semantic_debugger.cc.o" "gcc" "src/CMakeFiles/structura.dir/debugger/semantic_debugger.cc.o.d"
+  "/root/repo/src/hi/aggregation.cc" "src/CMakeFiles/structura.dir/hi/aggregation.cc.o" "gcc" "src/CMakeFiles/structura.dir/hi/aggregation.cc.o.d"
+  "/root/repo/src/hi/simulated_user.cc" "src/CMakeFiles/structura.dir/hi/simulated_user.cc.o" "gcc" "src/CMakeFiles/structura.dir/hi/simulated_user.cc.o.d"
+  "/root/repo/src/hi/task.cc" "src/CMakeFiles/structura.dir/hi/task.cc.o" "gcc" "src/CMakeFiles/structura.dir/hi/task.cc.o.d"
+  "/root/repo/src/ie/dictionary.cc" "src/CMakeFiles/structura.dir/ie/dictionary.cc.o" "gcc" "src/CMakeFiles/structura.dir/ie/dictionary.cc.o.d"
+  "/root/repo/src/ie/infobox_extractor.cc" "src/CMakeFiles/structura.dir/ie/infobox_extractor.cc.o" "gcc" "src/CMakeFiles/structura.dir/ie/infobox_extractor.cc.o.d"
+  "/root/repo/src/ie/nb_tagger.cc" "src/CMakeFiles/structura.dir/ie/nb_tagger.cc.o" "gcc" "src/CMakeFiles/structura.dir/ie/nb_tagger.cc.o.d"
+  "/root/repo/src/ie/pattern_learner.cc" "src/CMakeFiles/structura.dir/ie/pattern_learner.cc.o" "gcc" "src/CMakeFiles/structura.dir/ie/pattern_learner.cc.o.d"
+  "/root/repo/src/ie/pipeline.cc" "src/CMakeFiles/structura.dir/ie/pipeline.cc.o" "gcc" "src/CMakeFiles/structura.dir/ie/pipeline.cc.o.d"
+  "/root/repo/src/ie/regex_extractor.cc" "src/CMakeFiles/structura.dir/ie/regex_extractor.cc.o" "gcc" "src/CMakeFiles/structura.dir/ie/regex_extractor.cc.o.d"
+  "/root/repo/src/ie/standard.cc" "src/CMakeFiles/structura.dir/ie/standard.cc.o" "gcc" "src/CMakeFiles/structura.dir/ie/standard.cc.o.d"
+  "/root/repo/src/ie/template_extractor.cc" "src/CMakeFiles/structura.dir/ie/template_extractor.cc.o" "gcc" "src/CMakeFiles/structura.dir/ie/template_extractor.cc.o.d"
+  "/root/repo/src/ii/matcher.cc" "src/CMakeFiles/structura.dir/ii/matcher.cc.o" "gcc" "src/CMakeFiles/structura.dir/ii/matcher.cc.o.d"
+  "/root/repo/src/ii/resolution.cc" "src/CMakeFiles/structura.dir/ii/resolution.cc.o" "gcc" "src/CMakeFiles/structura.dir/ii/resolution.cc.o.d"
+  "/root/repo/src/ii/schema_matcher.cc" "src/CMakeFiles/structura.dir/ii/schema_matcher.cc.o" "gcc" "src/CMakeFiles/structura.dir/ii/schema_matcher.cc.o.d"
+  "/root/repo/src/lang/executor.cc" "src/CMakeFiles/structura.dir/lang/executor.cc.o" "gcc" "src/CMakeFiles/structura.dir/lang/executor.cc.o.d"
+  "/root/repo/src/lang/optimizer.cc" "src/CMakeFiles/structura.dir/lang/optimizer.cc.o" "gcc" "src/CMakeFiles/structura.dir/lang/optimizer.cc.o.d"
+  "/root/repo/src/lang/parser.cc" "src/CMakeFiles/structura.dir/lang/parser.cc.o" "gcc" "src/CMakeFiles/structura.dir/lang/parser.cc.o.d"
+  "/root/repo/src/lang/plan.cc" "src/CMakeFiles/structura.dir/lang/plan.cc.o" "gcc" "src/CMakeFiles/structura.dir/lang/plan.cc.o.d"
+  "/root/repo/src/mr/stats.cc" "src/CMakeFiles/structura.dir/mr/stats.cc.o" "gcc" "src/CMakeFiles/structura.dir/mr/stats.cc.o.d"
+  "/root/repo/src/provenance/lineage.cc" "src/CMakeFiles/structura.dir/provenance/lineage.cc.o" "gcc" "src/CMakeFiles/structura.dir/provenance/lineage.cc.o.d"
+  "/root/repo/src/query/browse.cc" "src/CMakeFiles/structura.dir/query/browse.cc.o" "gcc" "src/CMakeFiles/structura.dir/query/browse.cc.o.d"
+  "/root/repo/src/query/hybrid.cc" "src/CMakeFiles/structura.dir/query/hybrid.cc.o" "gcc" "src/CMakeFiles/structura.dir/query/hybrid.cc.o.d"
+  "/root/repo/src/query/keyword_index.cc" "src/CMakeFiles/structura.dir/query/keyword_index.cc.o" "gcc" "src/CMakeFiles/structura.dir/query/keyword_index.cc.o.d"
+  "/root/repo/src/query/relation.cc" "src/CMakeFiles/structura.dir/query/relation.cc.o" "gcc" "src/CMakeFiles/structura.dir/query/relation.cc.o.d"
+  "/root/repo/src/query/standing_query.cc" "src/CMakeFiles/structura.dir/query/standing_query.cc.o" "gcc" "src/CMakeFiles/structura.dir/query/standing_query.cc.o.d"
+  "/root/repo/src/query/structured_query.cc" "src/CMakeFiles/structura.dir/query/structured_query.cc.o" "gcc" "src/CMakeFiles/structura.dir/query/structured_query.cc.o.d"
+  "/root/repo/src/query/translator.cc" "src/CMakeFiles/structura.dir/query/translator.cc.o" "gcc" "src/CMakeFiles/structura.dir/query/translator.cc.o.d"
+  "/root/repo/src/rdbms/btree.cc" "src/CMakeFiles/structura.dir/rdbms/btree.cc.o" "gcc" "src/CMakeFiles/structura.dir/rdbms/btree.cc.o.d"
+  "/root/repo/src/rdbms/database.cc" "src/CMakeFiles/structura.dir/rdbms/database.cc.o" "gcc" "src/CMakeFiles/structura.dir/rdbms/database.cc.o.d"
+  "/root/repo/src/rdbms/lock_manager.cc" "src/CMakeFiles/structura.dir/rdbms/lock_manager.cc.o" "gcc" "src/CMakeFiles/structura.dir/rdbms/lock_manager.cc.o.d"
+  "/root/repo/src/rdbms/table.cc" "src/CMakeFiles/structura.dir/rdbms/table.cc.o" "gcc" "src/CMakeFiles/structura.dir/rdbms/table.cc.o.d"
+  "/root/repo/src/rdbms/value.cc" "src/CMakeFiles/structura.dir/rdbms/value.cc.o" "gcc" "src/CMakeFiles/structura.dir/rdbms/value.cc.o.d"
+  "/root/repo/src/rdbms/wal.cc" "src/CMakeFiles/structura.dir/rdbms/wal.cc.o" "gcc" "src/CMakeFiles/structura.dir/rdbms/wal.cc.o.d"
+  "/root/repo/src/schema/evolution.cc" "src/CMakeFiles/structura.dir/schema/evolution.cc.o" "gcc" "src/CMakeFiles/structura.dir/schema/evolution.cc.o.d"
+  "/root/repo/src/sensors/sensor_events.cc" "src/CMakeFiles/structura.dir/sensors/sensor_events.cc.o" "gcc" "src/CMakeFiles/structura.dir/sensors/sensor_events.cc.o.d"
+  "/root/repo/src/storage/diff.cc" "src/CMakeFiles/structura.dir/storage/diff.cc.o" "gcc" "src/CMakeFiles/structura.dir/storage/diff.cc.o.d"
+  "/root/repo/src/storage/segment_store.cc" "src/CMakeFiles/structura.dir/storage/segment_store.cc.o" "gcc" "src/CMakeFiles/structura.dir/storage/segment_store.cc.o.d"
+  "/root/repo/src/storage/snapshot_store.cc" "src/CMakeFiles/structura.dir/storage/snapshot_store.cc.o" "gcc" "src/CMakeFiles/structura.dir/storage/snapshot_store.cc.o.d"
+  "/root/repo/src/text/similarity.cc" "src/CMakeFiles/structura.dir/text/similarity.cc.o" "gcc" "src/CMakeFiles/structura.dir/text/similarity.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/CMakeFiles/structura.dir/text/tokenizer.cc.o" "gcc" "src/CMakeFiles/structura.dir/text/tokenizer.cc.o.d"
+  "/root/repo/src/text/wiki_markup.cc" "src/CMakeFiles/structura.dir/text/wiki_markup.cc.o" "gcc" "src/CMakeFiles/structura.dir/text/wiki_markup.cc.o.d"
+  "/root/repo/src/uncertainty/confidence.cc" "src/CMakeFiles/structura.dir/uncertainty/confidence.cc.o" "gcc" "src/CMakeFiles/structura.dir/uncertainty/confidence.cc.o.d"
+  "/root/repo/src/uncertainty/possible_worlds.cc" "src/CMakeFiles/structura.dir/uncertainty/possible_worlds.cc.o" "gcc" "src/CMakeFiles/structura.dir/uncertainty/possible_worlds.cc.o.d"
+  "/root/repo/src/user/accounts.cc" "src/CMakeFiles/structura.dir/user/accounts.cc.o" "gcc" "src/CMakeFiles/structura.dir/user/accounts.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

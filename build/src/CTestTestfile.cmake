@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("text")
+subdirs("corpus")
+subdirs("mr")
+subdirs("storage")
+subdirs("rdbms")
+subdirs("ie")
+subdirs("ii")
+subdirs("uncertainty")
+subdirs("provenance")
+subdirs("schema")
+subdirs("hi")
+subdirs("debugger")
+subdirs("lang")
+subdirs("query")
+subdirs("user")
+subdirs("sensors")
+subdirs("core")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hi_test.dir/hi_test.cc.o"
+  "CMakeFiles/hi_test.dir/hi_test.cc.o.d"
+  "hi_test"
+  "hi_test.pdb"
+  "hi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ie_test.dir/ie_test.cc.o"
+  "CMakeFiles/ie_test.dir/ie_test.cc.o.d"
+  "ie_test"
+  "ie_test.pdb"
+  "ie_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ie_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

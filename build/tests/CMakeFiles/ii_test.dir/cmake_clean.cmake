@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ii_test.dir/ii_test.cc.o"
+  "CMakeFiles/ii_test.dir/ii_test.cc.o.d"
+  "ii_test"
+  "ii_test.pdb"
+  "ii_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ii_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
