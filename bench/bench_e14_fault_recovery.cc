@@ -1,0 +1,116 @@
+// E14 — cost of robustness. The failpoint framework sits on the hot
+// path of every WAL append and extractor invocation, so its disarmed
+// fast path must be near-free; and Section 4's crash-recovery promise
+// is only usable if replaying the log after a crash is fast. We measure
+// (a) failpoint evaluation overhead disarmed vs armed, (b) WAL append
+// throughput with the hooks in place, and (c) recovery latency as a
+// function of the committed-transaction count at crash time.
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <string>
+
+#include "common/failpoint.h"
+#include "rdbms/database.h"
+
+namespace structura {
+namespace {
+
+using rdbms::Database;
+using rdbms::TableSchema;
+using rdbms::Value;
+using rdbms::ValueType;
+
+std::string BenchDir(const std::string& tag) {
+  std::string dir =
+      (std::filesystem::temp_directory_path() / ("structura_e14_" + tag))
+          .string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+TableSchema FinalSchema() {
+  TableSchema schema;
+  schema.table_name = "final";
+  schema.columns = {{"subject", ValueType::kString},
+                    {"value", ValueType::kInt}};
+  return schema;
+}
+
+/// The common case: nothing armed, one relaxed atomic load per check.
+void BM_FailpointDisarmed(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MaybeFail("wal.append").ok());
+  }
+}
+BENCHMARK(BM_FailpointDisarmed);
+
+/// Worst case for a disarmed site: some *other* failpoint is armed, so
+/// every check takes the registry lock to look itself up.
+void BM_FailpointOtherArmed(benchmark::State& state) {
+  ScopedFailpoint other("bench.unrelated",
+                        FailpointRegistry::Spec::CountOnly());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MaybeFail("wal.append").ok());
+  }
+}
+BENCHMARK(BM_FailpointOtherArmed);
+
+/// Armed-but-counting at the checked site itself.
+void BM_FailpointArmedCounting(benchmark::State& state) {
+  ScopedFailpoint fp("bench.self", FailpointRegistry::Spec::CountOnly());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MaybeFail("bench.self").ok());
+  }
+}
+BENCHMARK(BM_FailpointArmedCounting);
+
+/// Durable committed transactions per second with the failpoint hooks
+/// compiled into Append/Flush (all disarmed).
+void BM_WalCommitThroughput(benchmark::State& state) {
+  std::string dir = BenchDir("wal");
+  auto db = std::move(Database::Open({dir})).value();
+  db->CreateTable(FinalSchema()).value();
+  int i = 0;
+  for (auto _ : state) {
+    auto txn = db->Begin();
+    txn->Insert("final", {Value::Str("s" + std::to_string(i++)),
+                          Value::Int(i)})
+        .value();
+    benchmark::DoNotOptimize(txn->Commit().ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WalCommitThroughput);
+
+/// Crash-recovery latency: reopen a database whose WAL holds `range(0)`
+/// committed single-insert transactions (no checkpoint — worst case,
+/// full replay).
+void BM_CrashRecoveryReplay(benchmark::State& state) {
+  const int txns = static_cast<int>(state.range(0));
+  std::string dir = BenchDir("recover" + std::to_string(txns));
+  {
+    auto db = std::move(Database::Open({dir})).value();
+    db->CreateTable(FinalSchema()).value();
+    for (int i = 0; i < txns; ++i) {
+      auto txn = db->Begin();
+      txn->Insert("final", {Value::Str("s" + std::to_string(i)),
+                            Value::Int(i)})
+          .value();
+      txn->Commit();
+    }
+    // Drop without checkpoint: the log is the only durable state.
+  }
+  for (auto _ : state) {
+    auto db = std::move(Database::Open({dir})).value();
+    benchmark::DoNotOptimize(db->GetTable("final"));
+  }
+  state.SetItemsProcessed(state.iterations() * txns);
+}
+BENCHMARK(BM_CrashRecoveryReplay)->Arg(64)->Arg(512)->Arg(2048);
+
+}  // namespace
+}  // namespace structura
+
+BENCHMARK_MAIN();

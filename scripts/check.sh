@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Full verification: plain build + tests, then the same suite under
+# ASan+UBSan (STRUCTURA_SANITIZE=address,undefined). Run from anywhere;
+# builds land in build/ and build-asan/ at the repo root.
+#
+# Usage: scripts/check.sh [ctest-args...]
+#   e.g. scripts/check.sh -R RecoverySweep
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+run_suite() {
+  local build_dir="$1"
+  shift
+  cmake -B "$build_dir" -S "$repo_root" "$@"
+  cmake --build "$build_dir" -j "$jobs"
+  ctest --test-dir "$build_dir" --output-on-failure -j "$jobs" "${CTEST_ARGS[@]}"
+}
+
+CTEST_ARGS=("$@")
+
+echo "==> plain build + tests"
+run_suite "$repo_root/build"
+
+echo "==> address+undefined sanitizer build + tests"
+run_suite "$repo_root/build-asan" -DSTRUCTURA_SANITIZE=address,undefined
+
+echo "==> all checks passed"

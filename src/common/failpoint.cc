@@ -1,0 +1,106 @@
+#include "common/failpoint.h"
+
+#include "common/strings.h"
+
+namespace structura {
+
+std::atomic<int> FailpointRegistry::armed_count_{0};
+thread_local int FailpointRegistry::suppression_depth_ = 0;
+
+FailpointRegistry& FailpointRegistry::Instance() {
+  static FailpointRegistry* registry = new FailpointRegistry();
+  return *registry;
+}
+
+void FailpointRegistry::Arm(const std::string& name, Spec spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = entries_[name];
+  if (entry.spec.mode == Spec::Mode::kOff &&
+      spec.mode != Spec::Mode::kOff) {
+    armed_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  entry.spec = spec;
+  entry.counters = Counters{};
+  entry.rng = Rng(spec.seed);
+}
+
+void FailpointRegistry::Disarm(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) return;
+  if (it->second.spec.mode != Spec::Mode::kOff) {
+    armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  it->second.spec.mode = Spec::Mode::kOff;
+}
+
+void FailpointRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, entry] : entries_) {
+    if (entry.spec.mode != Spec::Mode::kOff) {
+      armed_count_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+  entries_.clear();
+}
+
+bool FailpointRegistry::IsArmed(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  return it != entries_.end() &&
+         it->second.spec.mode != Spec::Mode::kOff;
+}
+
+FailpointRegistry::Counters FailpointRegistry::GetCounters(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  return it == entries_.end() ? Counters{} : it->second.counters;
+}
+
+std::vector<std::pair<std::string, FailpointRegistry::Counters>>
+FailpointRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, Counters>> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    out.emplace_back(name, entry.counters);
+  }
+  return out;
+}
+
+Status FailpointRegistry::Evaluate(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end() ||
+      it->second.spec.mode == Spec::Mode::kOff) {
+    return Status::OK();
+  }
+  Entry& entry = it->second;
+  const uint64_t hit = ++entry.counters.hits;
+  bool fire = false;
+  switch (entry.spec.mode) {
+    case Spec::Mode::kOff:
+      break;
+    case Spec::Mode::kAlways:
+      fire = true;
+      break;
+    case Spec::Mode::kNth:
+      fire = hit == entry.spec.n;
+      break;
+    case Spec::Mode::kFrom:
+      fire = hit >= entry.spec.n;
+      break;
+    case Spec::Mode::kProbability:
+      fire = entry.rng.NextBool(entry.spec.probability);
+      break;
+  }
+  if (!fire) return Status::OK();
+  ++entry.counters.fires;
+  return Status::Internal(
+      StrFormat("failpoint '%s' fired (hit %llu)",
+                std::string(name).c_str(),
+                static_cast<unsigned long long>(hit)));
+}
+
+}  // namespace structura

@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 
+#include "common/failpoint.h"
 #include "common/hash.h"
 #include "common/strings.h"
 #include "core/eval.h"
@@ -252,6 +253,28 @@ std::string System::StatusReport() const {
   out += StrFormat("users: %zu; standing queries: %zu\n",
                    users_.NumUsers(), watches_.size());
   out += "monitor: " + monitor_.Report() + "\n";
+  if (!ctx_.extractor_faults.empty()) {
+    out += "degraded operators:";
+    for (const auto& [name, faults] : ctx_.extractor_faults) {
+      out += StrFormat(
+          " %s(faults=%zu%s)", name.c_str(), faults,
+          ctx_.quarantined_extractors.count(name) > 0 ? ", quarantined"
+                                                      : "");
+    }
+    out += '\n';
+  }
+  std::vector<std::pair<std::string, FailpointRegistry::Counters>> fps =
+      FailpointRegistry::Instance().Snapshot();
+  if (!fps.empty()) {
+    out += "failpoints:";
+    for (const auto& [name, counters] : fps) {
+      out += StrFormat(
+          " %s(hits=%llu, fires=%llu)", name.c_str(),
+          static_cast<unsigned long long>(counters.hits),
+          static_cast<unsigned long long>(counters.fires));
+    }
+    out += '\n';
+  }
   return out;
 }
 

@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -166,8 +167,15 @@ class System {
   Result<std::vector<query::Alert>> CheckWatches(const std::string& view);
 
   /// One-page operational summary: documents, snapshot store, views,
-  /// beliefs, lineage, users, and monitor counters.
+  /// beliefs, lineage, users, monitor counters, quarantined operators,
+  /// and fault-injection counters.
   std::string StatusReport() const;
+
+  /// Extractors quarantined after exhausting their error budget during
+  /// program execution (graceful degradation; see ExecutionContext).
+  const std::set<std::string>& QuarantinedExtractors() const {
+    return ctx_.quarantined_extractors;
+  }
 
   // --- Component access -------------------------------------------------
 

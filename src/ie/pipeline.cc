@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/failpoint.h"
+
 namespace structura::ie {
 
 std::vector<const Extractor*> Views(const std::vector<ExtractorPtr>& v) {
@@ -16,6 +18,9 @@ FactSet RunExtractors(const std::vector<const Extractor*>& extractors,
   FactSet set;
   for (const text::Document& doc : docs.docs) {
     for (const Extractor* ex : extractors) {
+      // Best-effort: an injected extractor fault drops this (doc,
+      // extractor) pair's facts instead of aborting the pipeline.
+      if (!MaybeFail("ie.extract").ok()) continue;
       for (ExtractedFact& fact : ex->Extract(doc)) {
         set.Add(std::move(fact));
       }

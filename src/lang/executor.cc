@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 
+#include "common/failpoint.h"
 #include "common/strings.h"
 #include "ii/resolution.h"
 #include "ii/union_find.h"
@@ -54,7 +55,21 @@ Result<query::Relation> ExecuteExtract(const PlanNode& plan,
     ++ctx->docs_scanned;
     std::string doc_category =
         doc.categories.empty() ? "" : doc.categories.front();
-    for (const ie::Extractor* op : ops) {
+    for (size_t op_index = 0; op_index < ops.size(); ++op_index) {
+      const std::string& op_name = plan.extractors[op_index];
+      if (ctx->quarantined_extractors.count(op_name) > 0) continue;
+      Status injected = MaybeFail("ie.extract");
+      if (injected.ok()) injected = MaybeFail("ie.extract." + op_name);
+      if (!injected.ok()) {
+        // A failing extractor degrades the answer, never the program:
+        // charge the fault, quarantine past the budget, move on.
+        size_t faults = ++ctx->extractor_faults[op_name];
+        if (faults >= ctx->extractor_error_budget) {
+          ctx->quarantined_extractors.insert(op_name);
+        }
+        continue;
+      }
+      const ie::Extractor* op = ops[op_index];
       ++ctx->extractor_runs;
       for (const ie::ExtractedFact& fact : op->Extract(doc)) {
         if (plan.min_confidence >= 0 &&

@@ -58,6 +58,17 @@ struct ExecutionContext {
   size_t extractor_runs = 0;      // (doc, extractor) invocations
   size_t review_questions = 0;
 
+  /// Graceful degradation (generation is incremental and best-effort):
+  /// a (doc, extractor) run whose `ie.extract` failpoint fires counts as
+  /// a fault against that operator; once an operator's faults reach
+  /// `extractor_error_budget` it is quarantined — skipped for the rest
+  /// of the session while the program continues with the remaining
+  /// extractors. Counters survive across statements so the System can
+  /// report the degradation.
+  size_t extractor_error_budget = 3;
+  std::map<std::string, size_t> extractor_faults;
+  std::set<std::string> quarantined_extractors;
+
   OptimizerCatalog Catalog() const {
     OptimizerCatalog c;
     c.extractor_attributes = extractor_attributes;

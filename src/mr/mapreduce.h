@@ -2,13 +2,16 @@
 #define STRUCTURA_MR_MAPREDUCE_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/hash.h"
 #include "common/random.h"
 #include "common/status.h"
@@ -27,18 +30,31 @@ struct JobConfig {
   /// Fault injection: probability that a map task attempt fails and must
   /// be re-executed. Exercises the retry path the cluster setting needs.
   double map_failure_prob = 0.0;
+  /// Probability that a reduce task attempt fails and is re-executed
+  /// (independent of the `mr.reduce` failpoint, which also fails reduce
+  /// attempts when armed).
+  double reduce_failure_prob = 0.0;
   int max_attempts = 4;
+  /// Backoff before retry attempt k (2nd execution onward):
+  /// retry_backoff_ms * backoff_multiplier^(k-2) milliseconds. Zero
+  /// disables sleeping; the scheduled delays still land in JobStats.
+  uint64_t retry_backoff_ms = 0;
+  double backoff_multiplier = 2.0;
   uint64_t fault_seed = 7;
 };
 
-/// Counters reported by a finished job.
+/// Counters reported by a finished job (also populated on failure, with
+/// whatever was observed before the job aborted).
 struct JobStats {
   size_t map_tasks = 0;
   size_t reduce_tasks = 0;
   size_t map_retries = 0;
+  size_t reduce_retries = 0;
   size_t records_mapped = 0;
   size_t pairs_shuffled = 0;
   size_t keys_reduced = 0;
+  /// Total retry backoff scheduled across all task attempts, in ms.
+  uint64_t backoff_ms = 0;
 
   std::string ToString() const;
 };
@@ -88,11 +104,37 @@ class MapReduceJob {
     using Bucket = std::map<Key, std::vector<Value>>;
     std::vector<std::vector<Bucket>> map_out(
         num_splits, std::vector<Bucket>(parts));
-    std::atomic<size_t> retries{0};
+    std::atomic<size_t> map_retries{0};
+    std::atomic<size_t> reduce_retries{0};
     std::atomic<size_t> mapped{0};
+    std::atomic<uint64_t> backoff_total_ms{0};
     std::atomic<bool> failed{false};
     std::mutex fail_mutex;
     std::string fail_msg;
+
+    // Exponential per-attempt backoff before re-executing a failed task
+    // attempt; returns the delay scheduled so callers can account it.
+    auto backoff = [&](int attempt) -> uint64_t {
+      if (config.retry_backoff_ms == 0 || attempt < 2) return 0;
+      double delay = static_cast<double>(config.retry_backoff_ms);
+      for (int i = 2; i < attempt; ++i) delay *= config.backoff_multiplier;
+      auto ms = static_cast<uint64_t>(delay);
+      backoff_total_ms.fetch_add(ms);
+      std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+      return ms;
+    };
+    auto fill_stats = [&](size_t pairs, size_t keys) {
+      if (stats == nullptr) return;
+      local_stats.map_tasks = num_splits;
+      local_stats.reduce_tasks = parts;
+      local_stats.map_retries = map_retries.load();
+      local_stats.reduce_retries = reduce_retries.load();
+      local_stats.records_mapped = mapped.load();
+      local_stats.pairs_shuffled = pairs;
+      local_stats.keys_reduced = keys;
+      local_stats.backoff_ms = backoff_total_ms.load();
+      *stats = local_stats;
+    };
 
     ParallelFor(pool, num_splits, [&](size_t s) {
       Rng rng(config.fault_seed + s * 1000003);
@@ -105,15 +147,19 @@ class MapReduceJob {
           fail_msg = "map split exhausted attempts";
           return;
         }
+        backoff(attempt);
         std::vector<Bucket> buckets(parts);
         bool attempt_failed = false;
         size_t begin = s * split;
         size_t end = std::min(inputs.size(), begin + split);
         // Fault injection decision happens mid-task, after some work,
-        // like a real preempted worker.
+        // like a real preempted worker. NextBounded(end - begin) keeps
+        // fail_at inside [begin, end) so a scheduled failure always
+        // fires (a bound of end-begin+1 could land on `end`, silently
+        // skipping the fault).
         size_t fail_at = config.map_failure_prob > 0 &&
                                  rng.NextBool(config.map_failure_prob)
-                             ? begin + rng.NextBounded(end - begin + 1)
+                             ? begin + rng.NextBounded(end - begin)
                              : static_cast<size_t>(-1);
         for (size_t i = begin; i < end; ++i) {
           if (i == fail_at) {
@@ -126,7 +172,7 @@ class MapReduceJob {
           });
         }
         if (attempt_failed) {
-          retries.fetch_add(1);
+          map_retries.fetch_add(1);
           continue;  // re-execute the split from scratch
         }
         if (combiner_) {
@@ -139,7 +185,10 @@ class MapReduceJob {
         return;
       }
     });
-    if (failed.load()) return Status::Aborted(fail_msg);
+    if (failed.load()) {
+      fill_stats(0, 0);
+      return Status::Aborted(fail_msg);
+    }
 
     // Shuffle: merge per-split buckets into per-partition tables.
     std::vector<Bucket> shuffled(parts);
@@ -159,31 +208,54 @@ class MapReduceJob {
       pairs += local_pairs;
     });
 
-    // Reduce each partition; collect outputs per partition then
-    // concatenate in partition order for determinism.
+    // Reduce each partition with the same retry discipline as map:
+    // injected faults (reduce_failure_prob or the `mr.reduce` failpoint)
+    // fail the attempt, which re-executes from scratch after backoff.
+    // Outputs are collected per partition then concatenated in partition
+    // order for determinism.
     std::vector<std::vector<Out>> reduce_out(parts);
     std::atomic<size_t> keys{0};
     ParallelFor(pool, parts, [&](size_t p) {
-      for (const auto& [k, vs] : shuffled[p]) {
-        keys.fetch_add(1);
-        reducer_(k, vs, [&](Out o) { reduce_out[p].push_back(std::move(o)); });
+      Rng rng(config.fault_seed + 0x9E37 + p * 7919);
+      int attempt = 0;
+      while (true) {
+        ++attempt;
+        if (attempt > config.max_attempts) {
+          std::lock_guard<std::mutex> lock(fail_mutex);
+          failed.store(true);
+          fail_msg = "reduce partition exhausted attempts";
+          return;
+        }
+        backoff(attempt);
+        bool attempt_failed =
+            (config.reduce_failure_prob > 0 &&
+             rng.NextBool(config.reduce_failure_prob)) ||
+            !MaybeFail("mr.reduce").ok();
+        if (!attempt_failed) {
+          std::vector<Out> out;
+          size_t part_keys = 0;
+          for (const auto& [k, vs] : shuffled[p]) {
+            ++part_keys;
+            reducer_(k, vs, [&](Out o) { out.push_back(std::move(o)); });
+          }
+          keys.fetch_add(part_keys);
+          reduce_out[p] = std::move(out);
+          return;
+        }
+        reduce_retries.fetch_add(1);
       }
     });
+    if (failed.load()) {
+      fill_stats(pairs, keys.load());
+      return Status::Aborted(fail_msg);
+    }
 
     std::vector<Out> result;
     for (std::vector<Out>& part : reduce_out) {
       result.insert(result.end(), std::make_move_iterator(part.begin()),
                     std::make_move_iterator(part.end()));
     }
-    if (stats != nullptr) {
-      local_stats.map_tasks = num_splits;
-      local_stats.reduce_tasks = parts;
-      local_stats.map_retries = retries.load();
-      local_stats.records_mapped = mapped.load();
-      local_stats.pairs_shuffled = pairs;
-      local_stats.keys_reduced = keys.load();
-      *stats = local_stats;
-    }
+    fill_stats(pairs, keys.load());
     return result;
   }
 

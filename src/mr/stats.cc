@@ -6,10 +6,11 @@ namespace structura::mr {
 
 std::string JobStats::ToString() const {
   return StrFormat(
-      "map_tasks=%zu reduce_tasks=%zu retries=%zu records=%zu "
-      "shuffled=%zu keys=%zu",
-      map_tasks, reduce_tasks, map_retries, records_mapped, pairs_shuffled,
-      keys_reduced);
+      "map_tasks=%zu reduce_tasks=%zu map_retries=%zu reduce_retries=%zu "
+      "records=%zu shuffled=%zu keys=%zu backoff_ms=%llu",
+      map_tasks, reduce_tasks, map_retries, reduce_retries, records_mapped,
+      pairs_shuffled, keys_reduced,
+      static_cast<unsigned long long>(backoff_ms));
 }
 
 }  // namespace structura::mr

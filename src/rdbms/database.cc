@@ -4,6 +4,7 @@
 #include <fstream>
 #include <unordered_set>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/strings.h"
 
@@ -256,6 +257,10 @@ Status Database::Checkpoint() {
         out << line << '\n';
       });
     }
+    // Fires after the tmp file is (partially) written but before it
+    // replaces the live checkpoint: a crash here must leave the old
+    // checkpoint and the un-truncated WAL fully authoritative.
+    STRUCTURA_FAILPOINT("db.checkpoint.write");
     out.flush();
     if (!out) return Status::Internal("checkpoint write failed");
   }

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "common/failpoint.h"
 #include "common/hash.h"
 #include "common/strings.h"
 
@@ -121,6 +122,7 @@ Result<LogRecord> WriteAheadLog::Decode(const std::string& payload) {
 }
 
 Status WriteAheadLog::Append(const LogRecord& record) {
+  STRUCTURA_FAILPOINT("wal.append");
   std::string payload = Encode(record);
   // Frame: "<checksum> <len>\n<payload>\n".
   std::string framed = StrFormat(
@@ -128,6 +130,14 @@ Status WriteAheadLog::Append(const LogRecord& record) {
       payload.size());
   framed += payload;
   framed += '\n';
+  if (Status torn = MaybeFail("wal.append.torn"); !torn.ok()) {
+    // Simulated crash mid-write: only a prefix of the frame reaches the
+    // file. ReadAll must detect and ignore this tail at recovery.
+    out_.write(framed.data(),
+               static_cast<std::streamsize>(framed.size() / 2));
+    out_.flush();
+    return torn;
+  }
   out_.write(framed.data(), static_cast<std::streamsize>(framed.size()));
   if (!out_) return Status::Internal("wal write failed");
   ++appended_;
@@ -136,6 +146,7 @@ Status WriteAheadLog::Append(const LogRecord& record) {
 }
 
 Status WriteAheadLog::Flush() {
+  STRUCTURA_FAILPOINT("wal.flush");
   out_.flush();
   return out_ ? Status::OK() : Status::Internal("wal flush failed");
 }

@@ -1,9 +1,12 @@
 #include "storage/snapshot_store.h"
 
+#include "common/failpoint.h"
+
 namespace structura::storage {
 
 Result<uint32_t> SnapshotStore::Append(uint64_t page_id,
                                        const std::string& content) {
+  STRUCTURA_FAILPOINT("snapshot.append");
   Page& page = pages_[page_id];
   uint32_t version = static_cast<uint32_t>(page.versions.size());
   full_copy_bytes_ += content.size();

@@ -1,8 +1,13 @@
+#include <algorithm>
 #include <atomic>
+#include <map>
 #include <set>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/failpoint.h"
 #include "common/hash.h"
 #include "common/random.h"
 #include "common/status.h"
@@ -204,6 +209,126 @@ TEST(ThreadPoolTest, ParallelForCoversAllIndexes) {
 TEST(ThreadPoolTest, ParallelForEmpty) {
   ThreadPool pool(2);
   ParallelFor(pool, 0, [](size_t) { FAIL(); });
+}
+
+using FpSpec = FailpointRegistry::Spec;
+
+TEST(FailpointTest, DisarmedIsFree) {
+  EXPECT_FALSE(FailpointRegistry::Active());
+  EXPECT_TRUE(MaybeFail("fp.test.unarmed").ok());
+  // No registry traffic when nothing is armed: counters stay empty.
+  EXPECT_EQ(FailpointRegistry::Instance().GetCounters("fp.test.unarmed").hits,
+            0u);
+}
+
+TEST(FailpointTest, OnceFiresExactlyOnce) {
+  ScopedFailpoint fp("fp.test.once", FpSpec::Once());
+  EXPECT_FALSE(MaybeFail("fp.test.once").ok());
+  EXPECT_TRUE(MaybeFail("fp.test.once").ok());
+  EXPECT_TRUE(MaybeFail("fp.test.once").ok());
+  auto counters = FailpointRegistry::Instance().GetCounters("fp.test.once");
+  EXPECT_EQ(counters.hits, 3u);
+  EXPECT_EQ(counters.fires, 1u);
+}
+
+TEST(FailpointTest, NthFiresOnExactHit) {
+  ScopedFailpoint fp("fp.test.nth", FpSpec::Nth(3));
+  EXPECT_TRUE(MaybeFail("fp.test.nth").ok());
+  EXPECT_TRUE(MaybeFail("fp.test.nth").ok());
+  EXPECT_FALSE(MaybeFail("fp.test.nth").ok());
+  EXPECT_TRUE(MaybeFail("fp.test.nth").ok());
+}
+
+TEST(FailpointTest, FromFiresFromHitOnward) {
+  ScopedFailpoint fp("fp.test.from", FpSpec::From(2));
+  EXPECT_TRUE(MaybeFail("fp.test.from").ok());
+  EXPECT_FALSE(MaybeFail("fp.test.from").ok());
+  EXPECT_FALSE(MaybeFail("fp.test.from").ok());
+  EXPECT_EQ(FailpointRegistry::Instance().GetCounters("fp.test.from").fires,
+            2u);
+}
+
+TEST(FailpointTest, ProbabilityIsSeededAndDeterministic) {
+  auto run = [] {
+    ScopedFailpoint fp("fp.test.prob", FpSpec::WithProbability(0.5, 99));
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) {
+      fired.push_back(!MaybeFail("fp.test.prob").ok());
+    }
+    return fired;
+  };
+  std::vector<bool> first = run();
+  EXPECT_EQ(first, run());  // re-arming reseeds: identical sequence
+  size_t fires = std::count(first.begin(), first.end(), true);
+  EXPECT_GT(fires, 16u);
+  EXPECT_LT(fires, 48u);
+}
+
+TEST(FailpointTest, CountOnlyNeverFiresButCounts) {
+  ScopedFailpoint fp("fp.test.count", FpSpec::CountOnly());
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(MaybeFail("fp.test.count").ok());
+  auto counters = FailpointRegistry::Instance().GetCounters("fp.test.count");
+  EXPECT_EQ(counters.hits, 5u);
+  EXPECT_EQ(counters.fires, 0u);
+}
+
+TEST(FailpointTest, ScopedGuardDisarmsOnExit) {
+  {
+    ScopedFailpoint fp("fp.test.scope", FpSpec::Always());
+    EXPECT_TRUE(FailpointRegistry::Instance().IsArmed("fp.test.scope"));
+    EXPECT_FALSE(MaybeFail("fp.test.scope").ok());
+  }
+  EXPECT_FALSE(FailpointRegistry::Instance().IsArmed("fp.test.scope"));
+  EXPECT_TRUE(MaybeFail("fp.test.scope").ok());
+}
+
+TEST(FailpointTest, SuppressionShieldsCurrentThread) {
+  ScopedFailpoint fp("fp.test.suppress", FpSpec::Always());
+  {
+    ScopedFailpointSuppression shield;
+    EXPECT_TRUE(MaybeFail("fp.test.suppress").ok());
+    {
+      ScopedFailpointSuppression nested;  // nesting must compose
+      EXPECT_TRUE(MaybeFail("fp.test.suppress").ok());
+    }
+    EXPECT_TRUE(MaybeFail("fp.test.suppress").ok());
+  }
+  EXPECT_FALSE(MaybeFail("fp.test.suppress").ok());
+}
+
+TEST(FailpointTest, FiredStatusNamesTheFailpoint) {
+  ScopedFailpoint fp("fp.test.named", FpSpec::Always());
+  Status status = MaybeFail("fp.test.named");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_NE(status.message().find("fp.test.named"), std::string::npos);
+}
+
+TEST(FailpointTest, SnapshotListsArmedAndHitFailpoints) {
+  ScopedFailpoint a("fp.test.snap_a", FpSpec::Once());
+  ScopedFailpoint b("fp.test.snap_b", FpSpec::CountOnly());
+  (void)MaybeFail("fp.test.snap_a");
+  (void)MaybeFail("fp.test.snap_b");
+  auto snapshot = FailpointRegistry::Instance().Snapshot();
+  std::map<std::string, FailpointRegistry::Counters> byname(
+      snapshot.begin(), snapshot.end());
+  ASSERT_TRUE(byname.count("fp.test.snap_a"));
+  ASSERT_TRUE(byname.count("fp.test.snap_b"));
+  EXPECT_EQ(byname["fp.test.snap_a"].fires, 1u);
+  EXPECT_EQ(byname["fp.test.snap_b"].fires, 0u);
+}
+
+TEST(FailpointTest, RearmResetsCounters) {
+  auto& registry = FailpointRegistry::Instance();
+  registry.Arm("fp.test.rearm", FpSpec::Always());
+  (void)MaybeFail("fp.test.rearm");
+  EXPECT_EQ(registry.GetCounters("fp.test.rearm").fires, 1u);
+  registry.Arm("fp.test.rearm", FpSpec::Nth(2));
+  EXPECT_EQ(registry.GetCounters("fp.test.rearm").hits, 0u);
+  EXPECT_TRUE(MaybeFail("fp.test.rearm").ok());
+  EXPECT_FALSE(MaybeFail("fp.test.rearm").ok());
+  registry.Disarm("fp.test.rearm");
+  EXPECT_FALSE(registry.IsArmed("fp.test.rearm"));
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/failpoint.h"
 #include "core/eval.h"
 #include "core/schema_unify.h"
 #include "core/system.h"
@@ -450,6 +451,69 @@ TEST_F(SystemFixture, StatusReportSummarizes) {
   EXPECT_NE(report.find("facts:"), std::string::npos);
   EXPECT_NE(report.find("beliefs:"), std::string::npos);
   EXPECT_NE(report.find("monitor:"), std::string::npos);
+}
+
+TEST_F(SystemFixture, FaultedExtractorIsQuarantinedAndSystemDegrades) {
+  // Every temp_sentence invocation faults; after the error budget the
+  // operator is quarantined and generation continues best-effort on the
+  // remaining extractors (Section 3.2's incremental, best-effort DGE).
+  ScopedFailpoint fp("ie.extract.temp_sentence",
+                     FailpointRegistry::Spec::Always());
+  auto results = sys->RunProgram(
+      "CREATE VIEW facts AS EXTRACT infobox, temp_sentence FROM pages;");
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+
+  EXPECT_EQ(sys->QuarantinedExtractors().count("temp_sentence"), 1u);
+  EXPECT_EQ(sys->QuarantinedExtractors().count("infobox"), 0u);
+
+  // The view holds no facts from the quarantined operator, but the
+  // healthy one still produced output.
+  const query::Relation* facts = sys->View("facts");
+  ASSERT_NE(facts, nullptr);
+  ASSERT_GT(facts->rows().size(), 0u);
+  int ecol = facts->ColumnIndex("extractor");
+  ASSERT_GE(ecol, 0);
+  for (const auto& row : facts->rows()) {
+    EXPECT_NE(row[ecol].ToString(), "temp_sentence");
+  }
+
+  // Downstream stages keep working: beliefs materialize into the final
+  // store from the surviving facts.
+  ASSERT_TRUE(sys->BuildBeliefsFromView("facts").ok());
+  EXPECT_GT(sys->beliefs().size(), 0u);
+  ASSERT_TRUE(sys->MaterializeBeliefs("final").ok());
+
+  // The degradation is visible in the operational report.
+  std::string report = sys->StatusReport();
+  EXPECT_NE(report.find("degraded operators:"), std::string::npos);
+  EXPECT_NE(report.find("temp_sentence"), std::string::npos);
+  EXPECT_NE(report.find("quarantined"), std::string::npos);
+  EXPECT_NE(report.find("failpoints:"), std::string::npos);
+  EXPECT_NE(report.find("ie.extract.temp_sentence"), std::string::npos);
+}
+
+TEST_F(SystemFixture, ExtractorFaultsBelowBudgetDoNotQuarantine) {
+  // Two isolated faults stay under the default budget of three: the
+  // extractor keeps running, and the report shows the fault count
+  // without a quarantine marker.
+  ScopedFailpoint fp("ie.extract.temp_sentence",
+                     FailpointRegistry::Spec::Nth(2));
+  ASSERT_TRUE(sys->RunProgram(
+                     "CREATE VIEW facts AS EXTRACT infobox, "
+                     "temp_sentence FROM pages;")
+                  .ok());
+  EXPECT_TRUE(sys->QuarantinedExtractors().empty());
+  // One doc's temp facts were dropped, the rest extracted.
+  const query::Relation* facts = sys->View("facts");
+  ASSERT_NE(facts, nullptr);
+  int ecol = facts->ColumnIndex("extractor");
+  size_t temp_rows = 0;
+  for (const auto& row : facts->rows()) {
+    if (row[ecol].ToString() == "temp_sentence") ++temp_rows;
+  }
+  EXPECT_GT(temp_rows, 0u);
+  std::string report = sys->StatusReport();
+  EXPECT_NE(report.find("temp_sentence(faults=1)"), std::string::npos);
 }
 
 TEST_F(SystemFixture, IncrementalExtractionDoesLessWork) {

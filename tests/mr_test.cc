@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/failpoint.h"
 #include "common/thread_pool.h"
 #include "mr/mapreduce.h"
 
@@ -150,6 +151,106 @@ TEST(MapReduceTest, ExhaustedAttemptsAbort) {
   auto result = job.Run(pool, input, config);
   EXPECT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kAborted);
+}
+
+// Regression for the fault-injection off-by-one: fail_at was drawn from
+// [begin, end] instead of [begin, end) — with split_size=1 a scheduled
+// failure silently missed the split half the time, so a prob=1.0 job
+// could spuriously succeed and retry counts were unstable. With the fix
+// every attempt of every split fails, making the retry count exact.
+TEST(MapReduceTest, MapFaultOffByOneRegressionPinsRetryCount) {
+  ThreadPool pool(4);
+  auto job = WordCountJob();
+  std::vector<std::string> input(10, "x");
+  JobConfig config;
+  config.split_size = 1;
+  config.map_failure_prob = 1.0;
+  config.max_attempts = 3;
+  JobStats stats;
+  auto result = job.Run(pool, input, config, &stats);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kAborted);
+  // 10 splits x 3 failed attempts each, deterministic for any seed.
+  EXPECT_EQ(stats.map_retries, 30u);
+}
+
+TEST(MapReduceTest, RetryCountIsDeterministicForFixedSeed) {
+  std::vector<std::string> input(100, "tok");
+  auto run = [&](size_t workers) {
+    ThreadPool local(workers);
+    auto job = WordCountJob();
+    JobConfig config;
+    config.split_size = 4;
+    config.map_failure_prob = 0.4;
+    config.max_attempts = 50;
+    config.fault_seed = 1234;
+    JobStats stats;
+    auto result = job.Run(local, input, config, &stats);
+    EXPECT_TRUE(result.ok());
+    return stats.map_retries;
+  };
+  size_t first = run(1);
+  EXPECT_GT(first, 0u);
+  // Per-split seeding makes the retry schedule independent of thread
+  // count and scheduling.
+  EXPECT_EQ(first, run(8));
+  EXPECT_EQ(first, run(8));
+}
+
+TEST(MapReduceTest, ReduceFaultsRetryWithBackoff) {
+  ThreadPool pool(4);
+  auto job = WordCountJob();
+  std::vector<std::string> input(100, "tok");
+  JobConfig config;
+  config.split_size = 8;
+  config.reduce_failure_prob = 0.5;
+  config.max_attempts = 50;
+  config.retry_backoff_ms = 1;
+  config.backoff_multiplier = 1.5;
+  JobStats stats;
+  auto result = job.Run(pool, input, config, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(AsMap(*result)["tok"], 100);
+  EXPECT_GT(stats.reduce_retries, 0u);
+  EXPECT_EQ(stats.map_retries, 0u);
+  // Every retry schedules at least retry_backoff_ms of delay.
+  EXPECT_GE(stats.backoff_ms, stats.reduce_retries);
+}
+
+TEST(MapReduceTest, ReduceExhaustedAttemptsAbortWithStats) {
+  ThreadPool pool(2);
+  auto job = WordCountJob();
+  std::vector<std::string> input(10, "x");
+  JobConfig config;
+  config.reduce_failure_prob = 1.0;
+  config.max_attempts = 2;
+  config.num_partitions = 8;
+  JobStats stats;
+  auto result = job.Run(pool, input, config, &stats);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kAborted);
+  EXPECT_NE(result.status().message().find("reduce"), std::string::npos);
+  // Stats survive the failure path: 8 partitions x 2 failed attempts.
+  EXPECT_EQ(stats.reduce_retries, 16u);
+}
+
+TEST(MapReduceTest, ReduceFailpointDrivesRetry) {
+  ThreadPool pool(4);
+  auto job = WordCountJob();
+  std::vector<std::string> input(20, "w");
+  JobConfig config;
+  config.retry_backoff_ms = 2;
+  JobStats stats;
+  // Exactly the first reduce attempt evaluated anywhere fires.
+  ScopedFailpoint fp("mr.reduce", FailpointRegistry::Spec::Nth(1));
+  auto result = job.Run(pool, input, config, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(AsMap(*result)["w"], 20);
+  EXPECT_EQ(stats.reduce_retries, 1u);
+  // One retry => one backoff of retry_backoff_ms (first re-attempt).
+  EXPECT_EQ(stats.backoff_ms, 2u);
+  EXPECT_EQ(FailpointRegistry::Instance().GetCounters("mr.reduce").fires,
+            1u);
 }
 
 TEST(MapReduceTest, StatsAreReported) {

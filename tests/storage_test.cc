@@ -1,7 +1,10 @@
 #include <filesystem>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/failpoint.h"
 #include "common/random.h"
 #include "common/strings.h"
 #include "storage/diff.h"
@@ -180,6 +183,71 @@ TEST(SnapshotStoreTest, KeyframesBoundReconstruction) {
   for (uint32_t v = 0; v <= 10; ++v) {
     ASSERT_TRUE(store.Get(3, v).ok()) << v;
   }
+}
+
+TEST(SnapshotStoreTest, KeyframeBoundaryVersionsReconstructExactly) {
+  SnapshotStore::Options options;
+  options.keyframe_interval = 4;
+  SnapshotStore store(options);
+  std::vector<std::string> contents;
+  std::string page;
+  for (int v = 0; v <= 9; ++v) {
+    page += StrFormat("line-for-version-%d\n", v);
+    contents.push_back(page);
+    auto version = store.Append(7, page);
+    ASSERT_TRUE(version.ok());
+    EXPECT_EQ(*version, static_cast<uint32_t>(v));
+  }
+  // Exact content at the keyframe interval and one version either side
+  // (3 = last delta before the keyframe, 4 = the keyframe itself,
+  // 5 = first delta chained off the keyframe).
+  for (uint32_t v : {3u, 4u, 5u}) {
+    auto got = store.Get(7, v);
+    ASSERT_TRUE(got.ok()) << v;
+    EXPECT_EQ(*got, contents[v]) << v;
+  }
+  // The second keyframe boundary behaves the same.
+  for (uint32_t v : {7u, 8u, 9u}) {
+    auto got = store.Get(7, v);
+    ASSERT_TRUE(got.ok()) << v;
+    EXPECT_EQ(*got, contents[v]) << v;
+  }
+  EXPECT_EQ(*store.LatestVersion(7), 9u);
+}
+
+TEST(SnapshotStoreTest, GetRightAfterKeyframeAppend) {
+  SnapshotStore::Options options;
+  options.keyframe_interval = 2;
+  SnapshotStore store(options);
+  ASSERT_TRUE(store.Append(1, "a\n").ok());
+  ASSERT_TRUE(store.Append(1, "a\nb\n").ok());   // version 2 will keyframe
+  ASSERT_TRUE(store.Append(1, "a\nb\nc\n").ok());
+  // Read the version appended immediately after a keyframe landed.
+  ASSERT_TRUE(store.Append(1, "a\nb\nc\nd\n").ok());
+  auto got = store.Get(1, 3);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "a\nb\nc\nd\n");
+  // Older versions stay readable across the keyframe.
+  EXPECT_EQ(*store.Get(1, 0), "a\n");
+  EXPECT_EQ(*store.Get(1, 2), "a\nb\nc\n");
+}
+
+TEST(SnapshotStoreTest, AppendFailpointLeavesStoreConsistent) {
+  SnapshotStore store;
+  ASSERT_TRUE(store.Append(5, "v0\n").ok());
+  {
+    ScopedFailpoint fp("snapshot.append",
+                       FailpointRegistry::Spec::Once());
+    auto failed = store.Append(5, "v1\n");
+    EXPECT_FALSE(failed.ok());
+    // The failed append must not have consumed a version number.
+    auto retried = store.Append(5, "v1\n");
+    ASSERT_TRUE(retried.ok());
+    EXPECT_EQ(*retried, 1u);
+  }
+  EXPECT_EQ(*store.LatestVersion(5), 1u);
+  EXPECT_EQ(*store.Get(5, 1), "v1\n");
+  EXPECT_EQ(store.NumPages(), 1u);
 }
 
 TEST(SegmentStoreTest, AppendReadScan) {
