@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # Full verification: plain build + tests, then the same suite under
-# ASan+UBSan (STRUCTURA_SANITIZE=address,undefined). Run from anywhere;
-# builds land in build/ and build-asan/ at the repo root.
+# ASan+UBSan (STRUCTURA_SANITIZE=address,undefined), then the
+# concurrency-sensitive tests under TSan (STRUCTURA_SANITIZE=thread).
+# Run from anywhere; builds land in build/, build-asan/, and
+# build-tsan/ at the repo root.
 #
 # Usage: scripts/check.sh [ctest-args...]
 #   e.g. scripts/check.sh -R RecoverySweep
+# Explicit ctest args apply to every leg, including the TSan one.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -25,5 +28,13 @@ run_suite "$repo_root/build"
 
 echo "==> address+undefined sanitizer build + tests"
 run_suite "$repo_root/build-asan" -DSTRUCTURA_SANITIZE=address,undefined
+
+echo "==> thread sanitizer build + concurrency tests"
+if [[ ${#CTEST_ARGS[@]} -eq 0 ]]; then
+  # Default to the suites that exercise real concurrency: the serving
+  # chaos harness, thread pool, map-reduce, and the locking/txn layer.
+  CTEST_ARGS=(-R 'ServeChaos|CircuitBreaker|Frontend|ThreadPool|MapReduce|Concurren|Lock')
+fi
+run_suite "$repo_root/build-tsan" -DSTRUCTURA_SANITIZE=thread
 
 echo "==> all checks passed"

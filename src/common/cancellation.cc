@@ -1,0 +1,15 @@
+#include "common/cancellation.h"
+
+namespace structura {
+
+Status Interrupt::Check() const {
+  if (token.cancelled()) {
+    return Status::Cancelled("request cancelled");
+  }
+  if (deadline.Expired()) {
+    return Status::DeadlineExceeded("deadline exceeded");
+  }
+  return Status::OK();
+}
+
+}  // namespace structura

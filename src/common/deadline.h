@@ -1,0 +1,61 @@
+#ifndef STRUCTURA_COMMON_DEADLINE_H_
+#define STRUCTURA_COMMON_DEADLINE_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace structura {
+
+/// A monotonic point in time after which a request should stop working.
+/// Built on steady_clock so wall-clock adjustments never shorten or
+/// extend a request's budget. Default-constructed deadlines are
+/// infinite: `Expired()` is always false and checks cost nothing beyond
+/// a comparison, so code can take a `Deadline` unconditionally.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+  using TimePoint = Clock::time_point;
+
+  /// Infinite: never expires.
+  Deadline() : at_(TimePoint::max()) {}
+
+  static Deadline Infinite() { return Deadline(); }
+  static Deadline At(TimePoint tp) {
+    Deadline d;
+    d.at_ = tp;
+    return d;
+  }
+  static Deadline AfterMillis(uint64_t ms) {
+    return At(Clock::now() + std::chrono::milliseconds(ms));
+  }
+  static Deadline AfterMicros(uint64_t us) {
+    return At(Clock::now() + std::chrono::microseconds(us));
+  }
+
+  bool IsInfinite() const { return at_ == TimePoint::max(); }
+  bool Expired() const { return !IsInfinite() && Clock::now() >= at_; }
+
+  TimePoint time_point() const { return at_; }
+
+  /// Time left before expiry, clamped at zero. Infinite deadlines report
+  /// the maximum representable duration.
+  Clock::duration Remaining() const {
+    if (IsInfinite()) return Clock::duration::max();
+    TimePoint now = Clock::now();
+    return now >= at_ ? Clock::duration::zero() : at_ - now;
+  }
+
+  uint64_t RemainingMillis() const {
+    if (IsInfinite()) return UINT64_MAX;
+    auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+        Remaining());
+    return static_cast<uint64_t>(ms.count());
+  }
+
+ private:
+  TimePoint at_;
+};
+
+}  // namespace structura
+
+#endif  // STRUCTURA_COMMON_DEADLINE_H_

@@ -26,6 +26,12 @@ const char* StatusCodeName(StatusCode code) {
       return "internal";
     case StatusCode::kResourceExhausted:
       return "resource_exhausted";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case StatusCode::kCancelled:
+      return "cancelled";
+    case StatusCode::kUnavailable:
+      return "unavailable";
   }
   return "unknown";
 }

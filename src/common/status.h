@@ -22,6 +22,9 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kResourceExhausted,
+  kDeadlineExceeded,  // request ran past its deadline
+  kCancelled,         // caller cancelled the request
+  kUnavailable,       // shed under overload / breaker open; retryable later
 };
 
 /// Returns a stable lowercase name for `code` (e.g. "not_found").
@@ -71,6 +74,15 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
 
 namespace structura {
 
-ThreadPool::ThreadPool(size_t num_threads) {
+ThreadPool::ThreadPool(size_t num_threads, size_t max_queue)
+    : max_queue_(max_queue) {
   num_threads = std::max<size_t>(1, num_threads);
   threads_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
@@ -26,13 +28,40 @@ void ThreadPool::Enqueue(std::function<void()> fn) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(fn));
+    queue_high_water_ = std::max(queue_high_water_, queue_.size());
   }
   wake_.notify_one();
+}
+
+void ThreadPool::Post(std::function<void()> fn) { Enqueue(std::move(fn)); }
+
+bool ThreadPool::TryPost(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (max_queue_ > 0 && queue_.size() >= max_queue_) {
+      ++rejected_tasks_;
+      return false;
+    }
+    queue_.push_back(std::move(fn));
+    queue_high_water_ = std::max(queue_high_water_, queue_.size());
+  }
+  wake_.notify_one();
+  return true;
 }
 
 void ThreadPool::WaitIdle() {
   std::unique_lock<std::mutex> lock(mutex_);
   idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats s;
+  s.dropped_tasks = dropped_tasks_;
+  s.rejected_tasks = rejected_tasks_;
+  s.queue_depth = queue_.size();
+  s.queue_high_water = queue_high_water_;
+  return s;
 }
 
 void ThreadPool::WorkerLoop() {
@@ -49,10 +78,20 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
       ++active_;
     }
-    task();
+    bool threw = false;
+    try {
+      task();
+    } catch (...) {
+      // A raw Post()ed task leaked an exception. Letting it escape the
+      // worker would std::terminate the process; swallow it, count it,
+      // and keep the worker serving. (Submit() tasks never reach here:
+      // packaged_task stores their exception in the future.)
+      threw = true;
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --active_;
+      if (threw) ++dropped_tasks_;
       if (queue_.empty() && active_ == 0) idle_.notify_all();
     }
   }
@@ -72,15 +111,25 @@ void ParallelFor(ThreadPool& pool, size_t n,
     std::atomic<size_t> done{0};
     std::mutex m;
     std::condition_variable cv;
+    std::exception_ptr first_error;
   };
   auto state = std::make_shared<State>();
   size_t workers = std::min(pool.num_threads(), n);
   for (size_t w = 0; w < workers; ++w) {
-    pool.Submit([state, n, &fn] {
+    pool.Post([state, n, &fn] {
       while (true) {
         size_t i = state->next.fetch_add(1);
         if (i >= n) break;
-        fn(i);
+        // A throwing body must still count as done, or the caller would
+        // wait forever; the first exception is kept and rethrown there.
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(state->m);
+          if (!state->first_error) {
+            state->first_error = std::current_exception();
+          }
+        }
         if (state->done.fetch_add(1) + 1 == n) {
           std::lock_guard<std::mutex> lock(state->m);
           state->cv.notify_all();
@@ -90,6 +139,7 @@ void ParallelFor(ThreadPool& pool, size_t n,
   }
   std::unique_lock<std::mutex> lock(state->m);
   state->cv.wait(lock, [&] { return state->done.load() == n; });
+  if (state->first_error) std::rethrow_exception(state->first_error);
 }
 
 }  // namespace structura

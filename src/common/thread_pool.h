@@ -2,10 +2,12 @@
 #define STRUCTURA_COMMON_THREAD_POOL_H_
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -13,44 +15,94 @@ namespace structura {
 
 /// Fixed-size worker pool. Tasks are `std::function<void()>`; `Submit`
 /// returns a future for composition. Destruction drains pending tasks.
+///
+/// The queue can be bounded: a pool constructed with `max_queue > 0`
+/// rejects `TryPost`/`TrySubmit` calls once that many tasks are waiting,
+/// which is what the serving frontend's admission control builds on.
+/// `Post`/`Submit` always enqueue regardless of the bound — internal
+/// machinery (ParallelFor, shutdown paths) must never be load-shed.
+///
+/// A raw task that throws is caught inside the worker (the worker stays
+/// alive, the exception is swallowed) and counted in
+/// `Stats::dropped_tasks`; tasks submitted through `Submit` deliver
+/// their exception through the returned future instead.
 class ThreadPool {
  public:
-  /// Spawns `num_threads` workers (minimum 1).
-  explicit ThreadPool(size_t num_threads);
+  struct Stats {
+    uint64_t dropped_tasks = 0;   // raw tasks that threw, caught in-loop
+    uint64_t rejected_tasks = 0;  // TryPost/TrySubmit refused (queue full)
+    size_t queue_depth = 0;       // tasks waiting right now
+    size_t queue_high_water = 0;  // max queue_depth ever observed
+  };
+
+  /// Spawns `num_threads` workers (minimum 1). `max_queue == 0` leaves
+  /// the queue unbounded.
+  explicit ThreadPool(size_t num_threads, size_t max_queue = 0);
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
   ~ThreadPool();
 
-  /// Enqueues `fn`; returns a future resolved when it completes.
+  /// Enqueues `fn`; returns a future resolved when it completes. Not
+  /// subject to the queue bound.
   template <typename Fn>
   auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
     using R = std::invoke_result_t<Fn>;
     auto task = std::make_shared<std::packaged_task<R()>>(
         std::forward<Fn>(fn));
     std::future<R> fut = task->get_future();
-    Enqueue([task]() { (*task)(); });
+    Post([task]() { (*task)(); });
     return fut;
   }
+
+  /// Bounded variant of Submit: returns nullopt (and counts a
+  /// rejection) when the queue is at capacity.
+  template <typename Fn>
+  auto TrySubmit(Fn&& fn)
+      -> std::optional<std::future<std::invoke_result_t<Fn>>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task = std::make_shared<std::packaged_task<R()>>(
+        std::forward<Fn>(fn));
+    std::future<R> fut = task->get_future();
+    if (!TryPost([task]() { (*task)(); })) return std::nullopt;
+    return fut;
+  }
+
+  /// Fire-and-forget enqueue. Not subject to the queue bound.
+  void Post(std::function<void()> fn);
+
+  /// Fire-and-forget enqueue that respects the queue bound; returns
+  /// false (without blocking) when the queue is full.
+  bool TryPost(std::function<void()> fn);
 
   /// Blocks until every task submitted so far has finished.
   void WaitIdle();
 
   size_t num_threads() const { return threads_.size(); }
+  size_t max_queue() const { return max_queue_; }
+
+  Stats stats() const;
 
  private:
   void Enqueue(std::function<void()> fn);
   void WorkerLoop();
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable wake_;
   std::condition_variable idle_;
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> threads_;
+  size_t max_queue_ = 0;
   size_t active_ = 0;
+  uint64_t dropped_tasks_ = 0;
+  uint64_t rejected_tasks_ = 0;
+  size_t queue_high_water_ = 0;
   bool stop_ = false;
 };
 
-/// Runs `fn(i)` for i in [0, n) across `pool`, blocking until all complete.
+/// Runs `fn(i)` for i in [0, n) across `pool`, blocking until all
+/// complete. If any body throws, the first exception is rethrown on the
+/// calling thread after the loop finishes (remaining indexes may or may
+/// not have run).
 void ParallelFor(ThreadPool& pool, size_t n,
                  const std::function<void(size_t)>& fn);
 

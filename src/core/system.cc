@@ -263,6 +263,9 @@ std::string System::StatusReport() const {
     }
     out += '\n';
   }
+  if (serving_stats_) {
+    out += "serving: " + serving_stats_().ToString() + "\n";
+  }
   std::vector<std::pair<std::string, FailpointRegistry::Counters>> fps =
       FailpointRegistry::Instance().Snapshot();
   if (!fps.empty()) {
@@ -449,14 +452,25 @@ std::vector<query::SearchHit> System::KeywordSearch(const std::string& q,
   return keyword_index_.Search(q, k);
 }
 
+Result<std::vector<query::SearchHit>> System::KeywordSearch(
+    const std::string& q, size_t k, const Interrupt& intr) const {
+  return keyword_index_.Search(q, k, intr);
+}
+
 std::vector<query::QueryForm> System::SuggestQueries(
     const std::string& keywords) const {
   return translator_.Translate(keywords);
 }
 
+Result<std::vector<query::QueryForm>> System::SuggestQueries(
+    const std::string& keywords, const Interrupt& intr) const {
+  return translator_.Translate(keywords, intr);
+}
+
 Result<std::vector<query::SearchHit>> System::HybridSearch(
     const std::string& keywords,
-    const std::vector<query::Condition>& conditions, size_t k) const {
+    const std::vector<query::Condition>& conditions, size_t k,
+    const Interrupt& intr) const {
   const query::Relation* rel = View(fact_view_);
   if (rel == nullptr) {
     return Status::FailedPrecondition(
@@ -465,17 +479,17 @@ Result<std::vector<query::SearchHit>> System::HybridSearch(
   query::HybridQuery hq;
   hq.keywords = keywords;
   hq.structured = conditions;
-  return query::HybridSearch(keyword_index_, *rel, hq, k);
+  return query::HybridSearch(keyword_index_, *rel, hq, k, intr);
 }
 
-Result<query::Relation> System::RunForm(
-    const query::QueryForm& form) const {
+Result<query::Relation> System::RunForm(const query::QueryForm& form,
+                                        const Interrupt& intr) const {
   const query::Relation* rel = View(fact_view_);
   if (rel == nullptr) {
     return Status::FailedPrecondition(
         "no fact view bound (call BuildBeliefsFromView)");
   }
-  return query::ExecuteStructuredQuery(form.query, *rel);
+  return query::ExecuteStructuredQuery(form.query, *rel, intr);
 }
 
 }  // namespace structura::core

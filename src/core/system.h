@@ -21,6 +21,7 @@
 #include "query/standing_query.h"
 #include "query/translator.h"
 #include "rdbms/database.h"
+#include "serve/counters.h"
 #include "storage/snapshot_store.h"
 #include "uncertainty/confidence.h"
 #include "user/accounts.h"
@@ -144,20 +145,33 @@ class System {
   std::vector<query::SearchHit> KeywordSearch(const std::string& q,
                                               size_t k) const;
 
+  /// Interruptible keyword search: returns kDeadlineExceeded /
+  /// kCancelled when `intr` fires mid-scoring.
+  Result<std::vector<query::SearchHit>> KeywordSearch(
+      const std::string& q, size_t k, const Interrupt& intr) const;
+
   /// Candidate structured-query forms for a keyword query, over the view
   /// last passed to BuildBeliefsFromView.
   std::vector<query::QueryForm> SuggestQueries(
       const std::string& keywords) const;
 
-  /// Executes a suggested form against its fact view.
-  Result<query::Relation> RunForm(const query::QueryForm& form) const;
+  /// Interruptible translation.
+  Result<std::vector<query::QueryForm>> SuggestQueries(
+      const std::string& keywords, const Interrupt& intr) const;
+
+  /// Executes a suggested form against its fact view. `intr` is polled
+  /// through the evaluation pipeline.
+  Result<query::Relation> RunForm(const query::QueryForm& form,
+                                  const Interrupt& intr = Interrupt{}) const;
 
   /// Hybrid DB+IR search: BM25 relevance restricted to documents whose
   /// extracted facts satisfy the structured conditions (evaluated over
-  /// the view last passed to BuildBeliefsFromView).
+  /// the view last passed to BuildBeliefsFromView). `intr` is polled
+  /// through both sides.
   Result<std::vector<query::SearchHit>> HybridSearch(
       const std::string& keywords,
-      const std::vector<query::Condition>& conditions, size_t k) const;
+      const std::vector<query::Condition>& conditions, size_t k,
+      const Interrupt& intr = Interrupt{}) const;
 
   /// Registers a standing query (the "monitoring" exploitation mode).
   Status Watch(query::StandingQueryRegistry::Spec spec);
@@ -168,8 +182,18 @@ class System {
 
   /// One-page operational summary: documents, snapshot store, views,
   /// beliefs, lineage, users, monitor counters, quarantined operators,
-  /// and fault-injection counters.
+  /// serving counters (when a provider is set), and fault-injection
+  /// counters.
   std::string StatusReport() const;
+
+  /// Wires a serving frontend's counters into StatusReport(). The
+  /// provider is called on each report, so the section always reflects
+  /// live values; pass nullptr to detach (e.g. before the frontend is
+  /// destroyed).
+  using ServingStatsProvider = std::function<serve::ServingCounters()>;
+  void SetServingStatsProvider(ServingStatsProvider provider) {
+    serving_stats_ = std::move(provider);
+  }
 
   /// Extractors quarantined after exhausting their error budget during
   /// program execution (graceful degradation; see ExecutionContext).
@@ -211,6 +235,7 @@ class System {
   debugger::SystemMonitor monitor_;
   query::KeywordTranslator translator_;
   query::StandingQueryRegistry watches_;
+  ServingStatsProvider serving_stats_;
   uint64_t next_task_id_ = 1;
 };
 

@@ -32,7 +32,8 @@ FactSet RunExtractors(const std::vector<const Extractor*>& extractors,
 Result<FactSet> RunExtractorsMapReduce(
     const std::vector<const Extractor*>& extractors,
     const text::DocumentCollection& docs, ThreadPool& pool,
-    const mr::JobConfig& config, mr::JobStats* stats) {
+    const mr::JobConfig& config, mr::JobStats* stats,
+    const Interrupt& intr) {
   // Map: one document in, (doc_id -> facts) out. Reduce: identity-merge.
   mr::MapReduceJob<const text::Document*, uint64_t, ExtractedFact,
                    ExtractedFact>
@@ -56,7 +57,7 @@ Result<FactSet> RunExtractorsMapReduce(
   for (const text::Document& d : docs.docs) inputs.push_back(&d);
   STRUCTURA_ASSIGN_OR_RETURN(
       std::vector<ExtractedFact> facts,
-      job.Run(pool, inputs, config, stats));
+      job.Run(pool, inputs, config, stats, intr));
   std::stable_sort(facts.begin(), facts.end(),
                    [](const ExtractedFact& a, const ExtractedFact& b) {
                      if (a.doc != b.doc) return a.doc < b.doc;

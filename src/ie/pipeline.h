@@ -19,10 +19,12 @@ FactSet RunExtractors(const std::vector<const Extractor*>& extractors,
 /// physical layer: IE is computation-intensive, so it runs as
 /// "Map-Reduce-like processes" over the cluster). Deterministic output
 /// order (facts sorted by doc, then extractor order, then span).
+/// `intr` propagates into the job's map/reduce task loops.
 Result<FactSet> RunExtractorsMapReduce(
     const std::vector<const Extractor*>& extractors,
     const text::DocumentCollection& docs, ThreadPool& pool,
-    const mr::JobConfig& config, mr::JobStats* stats = nullptr);
+    const mr::JobConfig& config, mr::JobStats* stats = nullptr,
+    const Interrupt& intr = Interrupt{});
 
 /// Convenience: non-owning views of owning pointers.
 std::vector<const Extractor*> Views(const std::vector<ExtractorPtr>& v);

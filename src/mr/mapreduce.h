@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/failpoint.h"
 #include "common/hash.h"
 #include "common/random.h"
@@ -88,10 +89,14 @@ class MapReduceJob {
 
   /// Runs the job on `pool`. Returns reduce outputs in deterministic
   /// (partition, key) order. Fails if a map task exhausts its attempts.
+  /// Map and reduce task loops poll `intr` cooperatively: a fired
+  /// deadline or cancellation stops in-flight tasks at the next record
+  /// and the job returns kDeadlineExceeded / kCancelled.
   Result<std::vector<Out>> Run(ThreadPool& pool,
                                const std::vector<Input>& inputs,
                                const JobConfig& config,
-                               JobStats* stats = nullptr) {
+                               JobStats* stats = nullptr,
+                               const Interrupt& intr = Interrupt{}) {
     if (!mapper_ || !reducer_) {
       return Status::FailedPrecondition("mapper and reducer must be set");
     }
@@ -109,8 +114,22 @@ class MapReduceJob {
     std::atomic<size_t> mapped{0};
     std::atomic<uint64_t> backoff_total_ms{0};
     std::atomic<bool> failed{false};
+    std::atomic<bool> interrupted{false};
     std::mutex fail_mutex;
-    std::string fail_msg;
+    Status fail_status;
+    // First failure wins. A plain task failure does NOT stop sibling
+    // tasks — they run their own attempts to completion, keeping retry
+    // accounting deterministic; only an interrupt (deadline/cancel)
+    // makes the remaining tasks bail out early.
+    auto record_failure = [&](Status s) {
+      std::lock_guard<std::mutex> lock(fail_mutex);
+      if (!failed.load()) fail_status = std::move(s);
+      failed.store(true);
+    };
+    auto record_interrupt = [&](Status s) {
+      record_failure(std::move(s));
+      interrupted.store(true);
+    };
 
     // Exponential per-attempt backoff before re-executing a failed task
     // attempt; returns the delay scheduled so callers can account it.
@@ -140,11 +159,14 @@ class MapReduceJob {
       Rng rng(config.fault_seed + s * 1000003);
       int attempt = 0;
       while (true) {
+        if (interrupted.load()) return;  // the request already gave up
+        if (Status s_intr = intr.Check(); !s_intr.ok()) {
+          record_interrupt(std::move(s_intr));
+          return;
+        }
         ++attempt;
         if (attempt > config.max_attempts) {
-          std::lock_guard<std::mutex> lock(fail_mutex);
-          failed.store(true);
-          fail_msg = "map split exhausted attempts";
+          record_failure(Status::Aborted("map split exhausted attempts"));
           return;
         }
         backoff(attempt);
@@ -165,6 +187,14 @@ class MapReduceJob {
           if (i == fail_at) {
             attempt_failed = true;
             break;
+          }
+          // Per-record check-point: a fired deadline mid-split stops the
+          // task here instead of mapping the remainder.
+          if (intr.CanInterrupt()) {
+            if (Status s_intr = intr.Check(); !s_intr.ok()) {
+              record_interrupt(std::move(s_intr));
+              return;
+            }
           }
           mapper_(inputs[i], [&](Key k, Value v) {
             size_t p = PartitionOf(k, parts);
@@ -187,7 +217,7 @@ class MapReduceJob {
     });
     if (failed.load()) {
       fill_stats(0, 0);
-      return Status::Aborted(fail_msg);
+      return fail_status;
     }
 
     // Shuffle: merge per-split buckets into per-partition tables.
@@ -219,11 +249,15 @@ class MapReduceJob {
       Rng rng(config.fault_seed + 0x9E37 + p * 7919);
       int attempt = 0;
       while (true) {
+        if (interrupted.load()) return;
+        if (Status s_intr = intr.Check(); !s_intr.ok()) {
+          record_interrupt(std::move(s_intr));
+          return;
+        }
         ++attempt;
         if (attempt > config.max_attempts) {
-          std::lock_guard<std::mutex> lock(fail_mutex);
-          failed.store(true);
-          fail_msg = "reduce partition exhausted attempts";
+          record_failure(
+              Status::Aborted("reduce partition exhausted attempts"));
           return;
         }
         backoff(attempt);
@@ -235,6 +269,12 @@ class MapReduceJob {
           std::vector<Out> out;
           size_t part_keys = 0;
           for (const auto& [k, vs] : shuffled[p]) {
+            if (intr.CanInterrupt() && (part_keys & 63) == 0) {
+              if (Status s_intr = intr.Check(); !s_intr.ok()) {
+                record_interrupt(std::move(s_intr));
+                return;
+              }
+            }
             ++part_keys;
             reducer_(k, vs, [&](Out o) { out.push_back(std::move(o)); });
           }
@@ -247,7 +287,7 @@ class MapReduceJob {
     });
     if (failed.load()) {
       fill_stats(pairs, keys.load());
-      return Status::Aborted(fail_msg);
+      return fail_status;
     }
 
     std::vector<Out> result;

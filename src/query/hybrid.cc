@@ -7,10 +7,11 @@ namespace structura::query {
 Result<std::vector<SearchHit>> HybridSearch(const KeywordIndex& index,
                                             const Relation& facts,
                                             const HybridQuery& query,
-                                            size_t k) {
+                                            size_t k,
+                                            const Interrupt& intr) {
   // 1. Structured side: the set of qualifying documents.
   STRUCTURA_ASSIGN_OR_RETURN(Relation qualifying,
-                             Filter(facts, query.structured));
+                             Filter(facts, query.structured, intr));
   int doc_col = qualifying.ColumnIndex("doc");
   if (doc_col < 0) {
     return Status::InvalidArgument("facts relation lacks a doc column");
@@ -23,8 +24,9 @@ Result<std::vector<SearchHit>> HybridSearch(const KeywordIndex& index,
 
   // 2. IR side: rank broadly, then keep qualifying docs. Over-fetch so
   // filtering still leaves k results when possible.
-  std::vector<SearchHit> hits =
-      index.Search(query.keywords, k * 10 + 50);
+  STRUCTURA_ASSIGN_OR_RETURN(
+      std::vector<SearchHit> hits,
+      index.Search(query.keywords, k * 10 + 50, intr));
   std::vector<SearchHit> out;
   for (const SearchHit& hit : hits) {
     if (doc_ids.count(static_cast<int64_t>(hit.doc)) == 0) continue;

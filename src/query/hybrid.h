@@ -24,10 +24,12 @@ struct HybridQuery {
 /// extracted facts (a relation with a "doc" column) satisfy the
 /// structured predicates. `facts` must contain every column referenced
 /// by the conditions.
-Result<std::vector<SearchHit>> HybridSearch(const KeywordIndex& index,
-                                            const Relation& facts,
-                                            const HybridQuery& query,
-                                            size_t k);
+/// `intr` is polled through both sides (structured filter scan and BM25
+/// scoring); evaluation stops with kDeadlineExceeded / kCancelled.
+Result<std::vector<SearchHit>> HybridSearch(
+    const KeywordIndex& index, const Relation& facts,
+    const HybridQuery& query, size_t k,
+    const Interrupt& intr = Interrupt{});
 
 }  // namespace structura::query
 

@@ -39,15 +39,30 @@ void KeywordIndex::Finalize() {
 
 std::vector<SearchHit> KeywordIndex::Search(const std::string& query,
                                             size_t k) const {
+  // An infinite interrupt can't fire, so the Result is always a value.
+  return *Search(query, k, Interrupt{});
+}
+
+Result<std::vector<SearchHit>> KeywordIndex::Search(
+    const std::string& query, size_t k, const Interrupt& intr) const {
+  // Cooperative check-point cadence: cheap relative to the scoring work
+  // between polls, frequent enough to honour millisecond deadlines.
+  constexpr size_t kCheckEvery = 4096;
+  size_t since_check = 0;
   std::vector<double> scores(doc_ids_.size(), 0.0);
   const double n = static_cast<double>(doc_ids_.size());
   for (const std::string& term : text::WordTokens(query)) {
+    STRUCTURA_RETURN_IF_ERROR(intr.Check());
     auto it = postings_.find(term);
     if (it == postings_.end()) continue;
     const std::vector<Posting>& plist = it->second;
     double df = static_cast<double>(plist.size());
     double idf = std::log(1.0 + (n - df + 0.5) / (df + 0.5));
     for (const Posting& p : plist) {
+      if (++since_check >= kCheckEvery) {
+        since_check = 0;
+        STRUCTURA_RETURN_IF_ERROR(intr.Check());
+      }
       double tf = p.term_freq;
       double len_norm =
           1.0 - options_.b +
@@ -57,6 +72,7 @@ std::vector<SearchHit> KeywordIndex::Search(const std::string& query,
           idf * tf * (options_.k1 + 1.0) / (tf + options_.k1 * len_norm);
     }
   }
+  STRUCTURA_RETURN_IF_ERROR(intr.Check());
   std::vector<size_t> order;
   for (size_t i = 0; i < scores.size(); ++i) {
     if (scores[i] > 0) order.push_back(i);

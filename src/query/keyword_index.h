@@ -6,6 +6,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/cancellation.h"
+#include "common/status.h"
 #include "text/document.h"
 
 namespace structura::query {
@@ -39,6 +41,12 @@ class KeywordIndex {
 
   /// Top-k BM25 results for a free-text query.
   std::vector<SearchHit> Search(const std::string& query, size_t k) const;
+
+  /// Interruptible variant: the scoring loop polls `intr` between terms
+  /// and every few thousand postings, returning kDeadlineExceeded /
+  /// kCancelled instead of scoring to completion.
+  Result<std::vector<SearchHit>> Search(const std::string& query, size_t k,
+                                        const Interrupt& intr) const;
 
   size_t NumDocuments() const { return doc_lengths_.size(); }
   size_t VocabularySize() const { return postings_.size(); }

@@ -191,7 +191,9 @@ const char* AggFnName(AggFn fn) {
 }
 
 Result<Relation> Filter(const Relation& in,
-                        const std::vector<Condition>& conditions) {
+                        const std::vector<Condition>& conditions,
+                        const Interrupt& intr) {
+  constexpr size_t kCheckEvery = 512;
   std::vector<int> cols;
   cols.reserve(conditions.size());
   for (const Condition& c : conditions) {
@@ -200,7 +202,12 @@ Result<Relation> Filter(const Relation& in,
     cols.push_back(idx);
   }
   Relation out(in.columns());
+  size_t since_check = 0;
   for (const Row& row : in.rows()) {
+    if (++since_check >= kCheckEvery) {
+      since_check = 0;
+      STRUCTURA_RETURN_IF_ERROR(intr.Check());
+    }
     bool keep = true;
     for (size_t i = 0; i < conditions.size(); ++i) {
       if (!conditions[i].Eval(row[static_cast<size_t>(cols[i])])) {

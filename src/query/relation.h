@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/status.h"
 #include "rdbms/schema.h"
 #include "rdbms/value.h"
@@ -82,9 +83,12 @@ struct AggSpec {
 
 // --- Operators (each returns a new Relation) ---------------------------
 
-/// Rows satisfying every condition (conjunction).
+/// Rows satisfying every condition (conjunction). The scan polls `intr`
+/// every few hundred rows and returns kDeadlineExceeded / kCancelled
+/// instead of finishing; the default interrupt never fires.
 Result<Relation> Filter(const Relation& in,
-                        const std::vector<Condition>& conditions);
+                        const std::vector<Condition>& conditions,
+                        const Interrupt& intr = Interrupt{});
 
 /// Keeps `columns`, in the given order.
 Result<Relation> Project(const Relation& in,

@@ -57,17 +57,21 @@ std::string StructuredQuery::ToFormText() const {
 }
 
 Result<Relation> ExecuteStructuredQuery(const StructuredQuery& q,
-                                        const Relation& source) {
+                                        const Relation& source,
+                                        const Interrupt& intr) {
+  STRUCTURA_RETURN_IF_ERROR(intr.Check());
   Relation current = source;
   if (!q.where.empty()) {
-    STRUCTURA_ASSIGN_OR_RETURN(current, Filter(current, q.where));
+    STRUCTURA_ASSIGN_OR_RETURN(current, Filter(current, q.where, intr));
   }
+  STRUCTURA_RETURN_IF_ERROR(intr.Check());
   if (!q.aggregates.empty() || !q.group_by.empty()) {
     STRUCTURA_ASSIGN_OR_RETURN(current,
                                Aggregate(current, q.group_by, q.aggregates));
   } else if (!q.select.empty()) {
     STRUCTURA_ASSIGN_OR_RETURN(current, Project(current, q.select));
   }
+  STRUCTURA_RETURN_IF_ERROR(intr.Check());
   if (!q.order_by.empty()) {
     STRUCTURA_ASSIGN_OR_RETURN(current,
                                OrderBy(current, q.order_by, q.descending));

@@ -32,8 +32,11 @@ struct StructuredQuery {
 };
 
 /// Runs the query against the relation registered under its source view.
-Result<Relation> ExecuteStructuredQuery(const StructuredQuery& q,
-                                        const Relation& source);
+/// `intr` is polled between pipeline stages and inside the filter scan;
+/// evaluation stops with kDeadlineExceeded / kCancelled when it fires.
+Result<Relation> ExecuteStructuredQuery(
+    const StructuredQuery& q, const Relation& source,
+    const Interrupt& intr = Interrupt{});
 
 }  // namespace structura::query
 

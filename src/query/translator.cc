@@ -77,6 +77,13 @@ void KeywordTranslator::AddAttributeSynonym(
 
 std::vector<QueryForm> KeywordTranslator::Translate(
     const std::string& keywords) const {
+  // An infinite interrupt can't fire, so the Result is always a value.
+  return *Translate(keywords, Interrupt{});
+}
+
+Result<std::vector<QueryForm>> KeywordTranslator::Translate(
+    const std::string& keywords, const Interrupt& intr) const {
+  constexpr size_t kCheckEvery = 256;
   std::vector<std::string> tokens = text::WordTokens(keywords);
   std::vector<bool> consumed(tokens.size(), false);
 
@@ -116,7 +123,13 @@ std::vector<QueryForm> KeywordTranslator::Translate(
     }
   }
   // Exact attribute names typed verbatim.
+  size_t since_check = 0;
   for (size_t i = 0; i < tokens.size(); ++i) {
+    if (!attributes_.empty() &&
+        (since_check += attributes_.size()) >= kCheckEvery) {
+      since_check = 0;
+      STRUCTURA_RETURN_IF_ERROR(intr.Check());
+    }
     for (const std::string& attr : attributes_) {
       if (tokens[i] == ToLower(attr)) {
         if (std::find(attr_patterns.begin(), attr_patterns.end(), attr) ==
@@ -131,7 +144,12 @@ std::vector<QueryForm> KeywordTranslator::Translate(
   // 4. Subject matches: a subject matches if all its tokens appear in
   // the (unconsumed-or-not) query; prefer longer subjects.
   std::vector<std::pair<const SubjectEntry*, size_t>> subject_hits;
+  since_check = 0;
   for (const SubjectEntry& s : subjects_) {
+    if (++since_check >= kCheckEvery) {
+      since_check = 0;
+      STRUCTURA_RETURN_IF_ERROR(intr.Check());
+    }
     if (s.tokens.empty()) continue;
     size_t found = 0;
     for (const std::string& st : s.tokens) {

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "query/relation.h"
 #include "query/structured_query.h"
 
@@ -49,6 +50,12 @@ class KeywordTranslator {
 
   /// Ranked candidate structured queries for `keywords`.
   std::vector<QueryForm> Translate(const std::string& keywords) const;
+
+  /// Interruptible variant: the subject-matching loop (linear in the
+  /// learned vocabulary) polls `intr` and returns kDeadlineExceeded /
+  /// kCancelled instead of finishing translation.
+  Result<std::vector<QueryForm>> Translate(const std::string& keywords,
+                                           const Interrupt& intr) const;
 
   size_t NumSubjects() const { return subjects_.size(); }
   size_t NumAttributes() const { return attributes_.size(); }

@@ -1,0 +1,95 @@
+#include "serve/circuit_breaker.h"
+
+namespace structura::serve {
+
+const char* CircuitBreaker::StateName(State s) {
+  switch (s) {
+    case State::kClosed:
+      return "closed";
+    case State::kOpen:
+      return "open";
+    case State::kHalfOpen:
+      return "half-open";
+  }
+  return "?";
+}
+
+void CircuitBreaker::OpenLocked() {
+  state_ = State::kOpen;
+  opened_at_ = Clock::now();
+  inflight_probes_ = 0;
+  ++open_transitions_;
+}
+
+bool CircuitBreaker::Allow() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen: {
+      auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+          Clock::now() - opened_at_);
+      if (static_cast<uint64_t>(elapsed.count()) < options_.open_ms) {
+        ++rejected_;
+        return false;
+      }
+      // Cooldown over: probe recovery.
+      state_ = State::kHalfOpen;
+      inflight_probes_ = 1;
+      return true;
+    }
+    case State::kHalfOpen:
+      if (inflight_probes_ >= options_.half_open_probes) {
+        ++rejected_;
+        return false;
+      }
+      ++inflight_probes_;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  consecutive_failures_ = 0;
+  if (state_ == State::kHalfOpen) {
+    // One healthy probe is evidence enough: re-close and resume traffic.
+    state_ = State::kClosed;
+    inflight_probes_ = 0;
+  }
+}
+
+void CircuitBreaker::RecordFailure() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case State::kClosed:
+      if (++consecutive_failures_ >= options_.failure_threshold) {
+        OpenLocked();
+      }
+      break;
+    case State::kHalfOpen:
+      // The probe failed: back to open, cooldown restarts.
+      OpenLocked();
+      break;
+    case State::kOpen:
+      // A straggler from before the breaker opened; nothing to update.
+      break;
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+uint64_t CircuitBreaker::open_transitions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return open_transitions_;
+}
+
+uint64_t CircuitBreaker::rejected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rejected_;
+}
+
+}  // namespace structura::serve

@@ -1,0 +1,75 @@
+#ifndef STRUCTURA_SERVE_CIRCUIT_BREAKER_H_
+#define STRUCTURA_SERVE_CIRCUIT_BREAKER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+namespace structura::serve {
+
+/// Per-operator circuit breaker.
+///
+/// State machine:
+///   closed --(failure_threshold consecutive failures)--> open
+///   open --(open cooldown elapses)--> half-open
+///   half-open --(probe succeeds)--> closed
+///   half-open --(probe fails)--> open (cooldown restarts)
+///
+/// While open, `Allow()` refuses every call so a struggling operator
+/// sees no traffic at all (the appliance degrades instead of queueing
+/// callers behind a sick component). Once the cooldown elapses, up to
+/// `half_open_probes` in-flight calls are let through to test recovery;
+/// the first success re-closes the breaker, the first failure re-opens
+/// it. Thread-safe; every transition is counted for StatusReport().
+class CircuitBreaker {
+ public:
+  struct Options {
+    /// Consecutive failures in closed state before opening.
+    uint32_t failure_threshold = 5;
+    /// How long the breaker stays open before probing.
+    uint64_t open_ms = 100;
+    /// Concurrent probes admitted in half-open state.
+    uint32_t half_open_probes = 1;
+  };
+
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  static const char* StateName(State s);
+
+  CircuitBreaker() : CircuitBreaker(Options{}) {}
+  explicit CircuitBreaker(Options options) : options_(options) {}
+
+  /// True when a call may proceed. An open breaker whose cooldown has
+  /// elapsed transitions to half-open here and admits the caller as a
+  /// probe; callers that got `true` MUST report RecordSuccess or
+  /// RecordFailure so probe accounting stays balanced.
+  bool Allow();
+
+  void RecordSuccess();
+  void RecordFailure();
+
+  State state() const;
+  /// closed->open transitions since construction.
+  uint64_t open_transitions() const;
+  /// Calls refused because the breaker was open (or half-open with all
+  /// probe slots taken).
+  uint64_t rejected() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  Options options_;
+  mutable std::mutex mutex_;
+  State state_ = State::kClosed;
+  uint32_t consecutive_failures_ = 0;
+  uint32_t inflight_probes_ = 0;
+  Clock::time_point opened_at_{};
+  uint64_t open_transitions_ = 0;
+  uint64_t rejected_ = 0;
+
+  void OpenLocked();
+};
+
+}  // namespace structura::serve
+
+#endif  // STRUCTURA_SERVE_CIRCUIT_BREAKER_H_

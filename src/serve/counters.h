@@ -1,0 +1,37 @@
+#ifndef STRUCTURA_SERVE_COUNTERS_H_
+#define STRUCTURA_SERVE_COUNTERS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace structura::serve {
+
+/// Point-in-time snapshot of the frontend's serving counters, consumed
+/// by System::StatusReport(). Invariants the chaos test enforces:
+///   admitted + shed == issued                    (admission is binary)
+///   ok + deadline_exceeded + cancelled
+///      + unavailable == resolved requests        (every request ends)
+struct ServingCounters {
+  uint64_t issued = 0;             // Submit() calls
+  uint64_t admitted = 0;           // accepted onto the queue
+  uint64_t shed = 0;               // refused at admission (queue full)
+  uint64_t ok = 0;                 // resolved OK
+  uint64_t deadline_exceeded = 0;  // resolved kDeadlineExceeded
+  uint64_t cancelled = 0;          // resolved kCancelled
+  uint64_t unavailable = 0;        // resolved kUnavailable post-admission
+  uint64_t shed_queued_wait = 0;   // of `unavailable`: stale in queue
+  uint64_t breaker_rejected = 0;   // of `unavailable`: breaker open
+  uint64_t retries = 0;            // re-attempts charged to budgets
+  uint64_t queue_high_water = 0;   // max queued tasks ever observed
+  /// (operator, breaker state name), in registration order.
+  std::vector<std::pair<std::string, std::string>> breakers;
+
+  /// One-line rendering used by StatusReport().
+  std::string ToString() const;
+};
+
+}  // namespace structura::serve
+
+#endif  // STRUCTURA_SERVE_COUNTERS_H_

@@ -1,0 +1,225 @@
+#include "serve/frontend.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/failpoint.h"
+#include "common/random.h"
+#include "common/strings.h"
+
+namespace structura::serve {
+
+using Clock = std::chrono::steady_clock;
+
+std::string ServingCounters::ToString() const {
+  std::string out = StrFormat(
+      "issued=%llu admitted=%llu shed=%llu ok=%llu deadline_exceeded=%llu "
+      "cancelled=%llu unavailable=%llu (queued_wait=%llu breaker=%llu) "
+      "retries=%llu queue_high_water=%llu",
+      static_cast<unsigned long long>(issued),
+      static_cast<unsigned long long>(admitted),
+      static_cast<unsigned long long>(shed),
+      static_cast<unsigned long long>(ok),
+      static_cast<unsigned long long>(deadline_exceeded),
+      static_cast<unsigned long long>(cancelled),
+      static_cast<unsigned long long>(unavailable),
+      static_cast<unsigned long long>(shed_queued_wait),
+      static_cast<unsigned long long>(breaker_rejected),
+      static_cast<unsigned long long>(retries),
+      static_cast<unsigned long long>(queue_high_water));
+  if (!breakers.empty()) {
+    out += "; breakers:";
+    for (const auto& [op, state] : breakers) {
+      out += StrFormat(" %s(%s)", op.c_str(), state.c_str());
+    }
+  }
+  return out;
+}
+
+Frontend::Frontend(Options options)
+    : options_(options),
+      pool_(options.num_threads,
+            options.shed_enabled ? options.max_queue_depth : 0) {}
+
+void Frontend::RegisterOperator(const std::string& name, Handler handler) {
+  std::lock_guard<std::mutex> lock(ops_mutex_);
+  auto [it, inserted] =
+      ops_.emplace(name, std::make_unique<Operator>(options_.breaker));
+  if (inserted) op_order_.push_back(name);
+  it->second->handler = std::move(handler);
+}
+
+std::future<Status> Frontend::Submit(const std::string& op_name,
+                                     RequestContext ctx) {
+  issued_.fetch_add(1, std::memory_order_relaxed);
+  auto done = std::make_shared<std::promise<Status>>();
+  std::future<Status> fut = done->get_future();
+
+  Operator* op = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(ops_mutex_);
+    auto it = ops_.find(op_name);
+    if (it != ops_.end()) op = it->second.get();  // node-stable address
+  }
+  if (op == nullptr) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    done->set_value(Status::NotFound("no operator " + op_name));
+    return fut;
+  }
+
+  Clock::time_point enqueued_at = Clock::now();
+  auto task = [this, op, op_name, ctx = std::move(ctx), enqueued_at,
+               done]() { Execute(op, op_name, ctx, enqueued_at, done.get()); };
+  bool accepted;
+  if (options_.shed_enabled) {
+    accepted = pool_.TryPost(std::move(task));
+  } else {
+    pool_.Post(std::move(task));
+    accepted = true;
+  }
+  if (!accepted) {
+    // Shed at admission: the caller learns *now* instead of waiting
+    // behind a queue that is already past its latency budget.
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    done->set_value(Status::Unavailable("shed: queue full"));
+    return fut;
+  }
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  return fut;
+}
+
+Status Frontend::Call(const std::string& op, RequestContext ctx) {
+  return Submit(op, std::move(ctx)).get();
+}
+
+void Frontend::WaitIdle() { pool_.WaitIdle(); }
+
+void Frontend::Resolve(std::promise<Status>* done, Status s) {
+  switch (s.code()) {
+    case StatusCode::kOk:
+      ok_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case StatusCode::kDeadlineExceeded:
+      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case StatusCode::kCancelled:
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case StatusCode::kUnavailable:
+      unavailable_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    default:
+      break;
+  }
+  done->set_value(std::move(s));
+}
+
+void Frontend::Execute(Operator* op, const std::string& op_name,
+                       const RequestContext& ctx,
+                       Clock::time_point enqueued_at,
+                       std::promise<Status>* done) {
+  if (options_.shed_enabled) {
+    auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+        Clock::now() - enqueued_at);
+    if (static_cast<uint64_t>(std::max<int64_t>(0, waited.count())) >
+        options_.max_queue_wait_ms) {
+      // Running a request whose latency budget was spent waiting would
+      // only add load exactly when the system is already behind.
+      shed_queued_wait_.fetch_add(1, std::memory_order_relaxed);
+      Resolve(done, Status::Unavailable("shed: queued too long"));
+      return;
+    }
+  }
+
+  Rng rng(options_.seed ^ (ctx.id * 0x9E3779B97F4A7C15ULL));
+  uint32_t budget = ctx.retry_budget;
+  uint32_t attempt = 0;
+  while (true) {
+    if (Status s = ctx.interrupt.Check(); !s.ok()) {
+      Resolve(done, std::move(s));
+      return;
+    }
+    if (!op->breaker.Allow()) {
+      breaker_rejected_.fetch_add(1, std::memory_order_relaxed);
+      Resolve(done, Status::Unavailable("breaker open for " + op_name));
+      return;
+    }
+    ++attempt;
+    // Failpoint-injected operator errors land here, before the real
+    // handler — the hook tests and the chaos harness use to drive
+    // breakers and retry paths deterministically.
+    Status st = MaybeFail("serve.op");
+    if (st.ok()) st = MaybeFail("serve.op." + op_name);
+    if (st.ok()) st = op->handler(ctx);
+    if (st.ok()) {
+      op->breaker.RecordSuccess();
+      Resolve(done, Status::OK());
+      return;
+    }
+    if (st.code() == StatusCode::kCancelled) {
+      // Client intent, not operator health: release the (possible)
+      // probe slot without poisoning the breaker.
+      op->breaker.RecordSuccess();
+      Resolve(done, std::move(st));
+      return;
+    }
+    if (st.code() == StatusCode::kDeadlineExceeded) {
+      // Slowness IS a health signal — count it against the operator,
+      // but don't retry: the budget is gone.
+      op->breaker.RecordFailure();
+      Resolve(done, std::move(st));
+      return;
+    }
+    op->breaker.RecordFailure();
+    if (budget == 0) {
+      Resolve(done, Status::Unavailable(StrFormat(
+                        "%s failed after %u attempts: %s", op_name.c_str(),
+                        attempt, st.message().c_str())));
+      return;
+    }
+    --budget;
+    retries_.fetch_add(1, std::memory_order_relaxed);
+    // Jittered exponential backoff, clipped to the remaining deadline.
+    double base = static_cast<double>(options_.retry_base_ms);
+    for (uint32_t i = 1; i < attempt; ++i) base *= options_.retry_multiplier;
+    base = std::min(base, static_cast<double>(options_.retry_max_ms));
+    auto backoff_ms =
+        static_cast<uint64_t>(base * (0.5 + 0.5 * rng.NextDouble()));
+    backoff_ms = std::min(backoff_ms, ctx.interrupt.deadline.RemainingMillis());
+    if (backoff_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    }
+  }
+}
+
+ServingCounters Frontend::Counters() const {
+  ServingCounters c;
+  c.issued = issued_.load(std::memory_order_relaxed);
+  c.admitted = admitted_.load(std::memory_order_relaxed);
+  c.shed = shed_.load(std::memory_order_relaxed);
+  c.ok = ok_.load(std::memory_order_relaxed);
+  c.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  c.cancelled = cancelled_.load(std::memory_order_relaxed);
+  c.unavailable = unavailable_.load(std::memory_order_relaxed);
+  c.shed_queued_wait = shed_queued_wait_.load(std::memory_order_relaxed);
+  c.breaker_rejected = breaker_rejected_.load(std::memory_order_relaxed);
+  c.retries = retries_.load(std::memory_order_relaxed);
+  c.queue_high_water = pool_.stats().queue_high_water;
+  std::lock_guard<std::mutex> lock(ops_mutex_);
+  for (const std::string& name : op_order_) {
+    c.breakers.emplace_back(
+        name, CircuitBreaker::StateName(ops_.at(name)->breaker.state()));
+  }
+  return c;
+}
+
+CircuitBreaker::State Frontend::BreakerState(const std::string& op) const {
+  std::lock_guard<std::mutex> lock(ops_mutex_);
+  auto it = ops_.find(op);
+  return it == ops_.end() ? CircuitBreaker::State::kClosed
+                          : it->second->breaker.state();
+}
+
+}  // namespace structura::serve

@@ -1,0 +1,134 @@
+#ifndef STRUCTURA_SERVE_FRONTEND_H_
+#define STRUCTURA_SERVE_FRONTEND_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "serve/circuit_breaker.h"
+#include "serve/counters.h"
+#include "serve/request_context.h"
+
+namespace structura::serve {
+
+/// Request-serving frontend: the overload-policy layer between callers
+/// and the query operators (keyword, structured, hybrid, translate, …).
+///
+/// Responsibilities:
+///  - **Admission control.** Work is dispatched onto a bounded
+///    ThreadPool; when the queue is full the request is shed
+///    *immediately* with kUnavailable — the caller is never blocked
+///    behind a queue it cannot see. Requests that sat queued longer
+///    than `max_queue_wait_ms` are shed at dequeue instead of running
+///    with an already-blown latency budget.
+///  - **Per-operator circuit breakers.** Consecutive operator failures
+///    open the breaker and traffic to that operator fails fast with
+///    kUnavailable until a cooldown passes and a probe succeeds.
+///  - **Retries.** Retryable operator failures are re-attempted with
+///    jittered exponential backoff, charged against the request's
+///    retry budget and clipped to its deadline.
+///
+/// Every submitted request resolves to exactly one Status: OK,
+/// kDeadlineExceeded, kCancelled, or kUnavailable (plus kNotFound for
+/// unregistered operators). Counters reconcile: admitted + shed ==
+/// issued, and every admitted request resolves.
+///
+/// The failpoint sites `serve.op` and `serve.op.<name>` are evaluated
+/// before each handler attempt, so tests can drive breakers and retry
+/// paths without touching the operators themselves.
+class Frontend {
+ public:
+  struct Options {
+    size_t num_threads = 4;
+    /// Queue bound for admission control (tasks waiting, not running).
+    size_t max_queue_depth = 64;
+    /// Requests queued longer than this are shed at dequeue.
+    uint64_t max_queue_wait_ms = 50;
+    CircuitBreaker::Options breaker;
+    /// Backoff before retry k (1-based): jittered
+    /// retry_base_ms * retry_multiplier^(k-1), capped at retry_max_ms
+    /// and at the request's remaining deadline.
+    uint64_t retry_base_ms = 1;
+    double retry_multiplier = 2.0;
+    uint64_t retry_max_ms = 16;
+    uint64_t seed = 1;
+    /// When false the queue is unbounded and queued-wait shedding is
+    /// off — the "no overload policy" baseline bench_e15 compares
+    /// against. Breakers and retries stay active.
+    bool shed_enabled = true;
+  };
+
+  /// An operator handler: does the work, honours ctx.interrupt, returns
+  /// its Status. Must be thread-safe — the pool invokes it concurrently.
+  using Handler = std::function<Status(const RequestContext&)>;
+
+  explicit Frontend(Options options);
+  Frontend(const Frontend&) = delete;
+  Frontend& operator=(const Frontend&) = delete;
+  /// Drains queued requests (their futures all resolve).
+  ~Frontend() = default;
+
+  /// Registers an operator. Call before serving traffic; names are
+  /// stable for the frontend's lifetime.
+  void RegisterOperator(const std::string& name, Handler handler);
+
+  /// Dispatches a request. Never blocks the caller: the future is
+  /// either queued work or an immediately-resolved shed decision.
+  std::future<Status> Submit(const std::string& op, RequestContext ctx);
+
+  /// Convenience: Submit + wait.
+  Status Call(const std::string& op, RequestContext ctx);
+
+  /// Blocks until every submitted request has resolved.
+  void WaitIdle();
+
+  ServingCounters Counters() const;
+  CircuitBreaker::State BreakerState(const std::string& op) const;
+
+ private:
+  struct Operator {
+    Handler handler;
+    CircuitBreaker breaker;
+
+    explicit Operator(CircuitBreaker::Options bopts) : breaker(bopts) {}
+  };
+
+  /// Runs on a pool worker: queued-wait shedding, breaker check,
+  /// failpoint + handler, retry loop; resolves `done`.
+  void Execute(Operator* op, const std::string& op_name,
+               const RequestContext& ctx,
+               std::chrono::steady_clock::time_point enqueued_at,
+               std::promise<Status>* done);
+
+  void Resolve(std::promise<Status>* done, Status s);
+
+  Options options_;
+  ThreadPool pool_;
+
+  mutable std::mutex ops_mutex_;
+  std::map<std::string, std::unique_ptr<Operator>> ops_;
+  std::vector<std::string> op_order_;
+
+  std::atomic<uint64_t> issued_{0};
+  std::atomic<uint64_t> admitted_{0};
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> ok_{0};
+  std::atomic<uint64_t> deadline_exceeded_{0};
+  std::atomic<uint64_t> cancelled_{0};
+  std::atomic<uint64_t> unavailable_{0};
+  std::atomic<uint64_t> shed_queued_wait_{0};
+  std::atomic<uint64_t> breaker_rejected_{0};
+  std::atomic<uint64_t> retries_{0};
+};
+
+}  // namespace structura::serve
+
+#endif  // STRUCTURA_SERVE_FRONTEND_H_

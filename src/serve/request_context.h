@@ -1,0 +1,25 @@
+#ifndef STRUCTURA_SERVE_REQUEST_CONTEXT_H_
+#define STRUCTURA_SERVE_REQUEST_CONTEXT_H_
+
+#include <cstdint>
+
+#include "common/cancellation.h"
+
+namespace structura::serve {
+
+/// Everything a request carries through the serving path: identity, the
+/// cooperative interrupt (deadline + cancellation token) that inner
+/// loops poll, and a retry budget the frontend charges for each
+/// re-attempt after a retryable operator failure. The budget is
+/// per-request so a flapping operator cannot multiply one call into an
+/// unbounded retry storm.
+struct RequestContext {
+  uint64_t id = 0;
+  Interrupt interrupt;
+  /// Re-attempts allowed beyond the first try.
+  uint32_t retry_budget = 2;
+};
+
+}  // namespace structura::serve
+
+#endif  // STRUCTURA_SERVE_REQUEST_CONTEXT_H_

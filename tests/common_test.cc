@@ -1,12 +1,17 @@
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <map>
 #include <set>
+#include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/cancellation.h"
+#include "common/deadline.h"
 #include "common/failpoint.h"
 #include "common/hash.h"
 #include "common/random.h"
@@ -32,7 +37,7 @@ TEST(StatusTest, ErrorCarriesCodeAndMessage) {
 }
 
 TEST(StatusTest, EveryCodeHasName) {
-  for (int c = 0; c <= static_cast<int>(StatusCode::kResourceExhausted);
+  for (int c = 0; c <= static_cast<int>(StatusCode::kUnavailable);
        ++c) {
     EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "unknown");
   }
@@ -209,6 +214,140 @@ TEST(ThreadPoolTest, ParallelForCoversAllIndexes) {
 TEST(ThreadPoolTest, ParallelForEmpty) {
   ThreadPool pool(2);
   ParallelFor(pool, 0, [](size_t) { FAIL(); });
+}
+
+TEST(ThreadPoolTest, WorkerSurvivesThrowingTask) {
+  // Regression: a raw Post()ed task that throws used to escape
+  // WorkerLoop and std::terminate the process. Now the task is dropped,
+  // counted, and the worker keeps serving.
+  ThreadPool pool(1);
+  pool.Post([] { throw std::runtime_error("boom"); });
+  pool.WaitIdle();
+  EXPECT_EQ(pool.stats().dropped_tasks, 1u);
+
+  // Same worker still processes later work.
+  std::atomic<int> counter{0};
+  pool.Post([&counter] { counter.fetch_add(1); });
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 1);
+  EXPECT_EQ(pool.stats().dropped_tasks, 1u);
+}
+
+TEST(ThreadPoolTest, BoundedQueueRejectsOverflow) {
+  ThreadPool pool(1, /*max_queue=*/2);
+  EXPECT_EQ(pool.max_queue(), 2u);
+  std::atomic<bool> release{false};
+  std::atomic<int> ran{0};
+  // Occupy the worker so subsequent posts stay queued.
+  ASSERT_TRUE(pool.TryPost([&] {
+    while (!release.load()) std::this_thread::yield();
+    ran.fetch_add(1);
+  }));
+  // Wait for the blocker to leave the queue and start running.
+  while (pool.stats().queue_depth > 0) std::this_thread::yield();
+
+  size_t accepted = 0;
+  std::vector<std::optional<std::future<int>>> futures;
+  for (int i = 0; i < 6; ++i) {
+    auto f = pool.TrySubmit([&ran] {
+      ran.fetch_add(1);
+      return 1;
+    });
+    if (f.has_value()) {
+      ++accepted;
+      futures.push_back(std::move(f));
+    }
+  }
+  EXPECT_EQ(accepted, 2u);  // queue capacity
+  EXPECT_EQ(pool.stats().rejected_tasks, 4u);
+  EXPECT_GE(pool.stats().queue_high_water, 2u);
+
+  release.store(true);
+  for (auto& f : futures) EXPECT_EQ(f->get(), 1);
+  pool.WaitIdle();
+  EXPECT_EQ(ran.load(), 3);  // blocker + the two accepted
+}
+
+TEST(ThreadPoolTest, UnboundedSubmitNeverRejects) {
+  ThreadPool pool(2);  // max_queue = 0: unbounded
+  std::vector<std::optional<std::future<int>>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.TrySubmit([i] { return i; }));
+    ASSERT_TRUE(futures.back().has_value());
+  }
+  for (int i = 0; i < 64; ++i) EXPECT_EQ((*futures[i]).get(), i);
+  EXPECT_EQ(pool.stats().rejected_tasks, 0u);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesBodyException) {
+  // Regression: a throwing body used to strand the `done` counter and
+  // hang ParallelFor forever. Now the first exception is rethrown on
+  // the calling thread once every index has been attempted.
+  ThreadPool pool(4);
+  EXPECT_THROW(ParallelFor(pool, 100,
+                           [](size_t i) {
+                             if (i == 37) throw std::runtime_error("i=37");
+                           }),
+               std::runtime_error);
+  // The pool is still healthy afterwards.
+  std::atomic<int> hits{0};
+  ParallelFor(pool, 10, [&](size_t) { hits.fetch_add(1); });
+  EXPECT_EQ(hits.load(), 10);
+}
+
+TEST(DeadlineTest, InfiniteByDefaultAndExpires) {
+  Deadline d;
+  EXPECT_TRUE(d.IsInfinite());
+  EXPECT_FALSE(d.Expired());
+  EXPECT_EQ(d.RemainingMillis(), UINT64_MAX);
+
+  Deadline past = Deadline::AfterMillis(0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_FALSE(past.IsInfinite());
+  EXPECT_TRUE(past.Expired());
+  EXPECT_EQ(past.RemainingMillis(), 0u);
+
+  Deadline future = Deadline::AfterMillis(60000);
+  EXPECT_FALSE(future.Expired());
+  EXPECT_GT(future.RemainingMillis(), 0u);
+  EXPECT_LE(future.RemainingMillis(), 60000u);
+}
+
+TEST(CancellationTest, TokenObservesSourceAndIsSticky) {
+  CancellationSource source;
+  CancellationToken token = source.token();
+  EXPECT_FALSE(token.cancelled());
+  source.Cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(source.cancelled());
+  // Copies observe the same flag.
+  CancellationToken copy = token;
+  EXPECT_TRUE(copy.cancelled());
+  // A default token can never be cancelled.
+  EXPECT_FALSE(CancellationToken().cancelled());
+}
+
+TEST(CancellationTest, InterruptCheckReportsTheRightCode) {
+  EXPECT_TRUE(Interrupt{}.Check().ok());
+  EXPECT_FALSE(Interrupt{}.CanInterrupt());
+
+  Interrupt timed;
+  timed.deadline = Deadline::AfterMillis(0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_TRUE(timed.CanInterrupt());
+  EXPECT_EQ(timed.Check().code(), StatusCode::kDeadlineExceeded);
+
+  CancellationSource source;
+  source.Cancel();
+  Interrupt cancelled;
+  cancelled.token = source.token();
+  EXPECT_EQ(cancelled.Check().code(), StatusCode::kCancelled);
+
+  // Cancellation wins over an expired deadline: the caller asked first.
+  Interrupt both;
+  both.deadline = Deadline::AfterMillis(0);
+  both.token = source.token();
+  EXPECT_EQ(both.Check().code(), StatusCode::kCancelled);
 }
 
 using FpSpec = FailpointRegistry::Spec;

@@ -10,6 +10,7 @@
 #include "corpus/generator.h"
 #include "ie/pipeline.h"
 #include "ie/standard.h"
+#include "serve/frontend.h"
 
 namespace structura::core {
 namespace {
@@ -451,6 +452,52 @@ TEST_F(SystemFixture, StatusReportSummarizes) {
   EXPECT_NE(report.find("facts:"), std::string::npos);
   EXPECT_NE(report.find("beliefs:"), std::string::npos);
   EXPECT_NE(report.find("monitor:"), std::string::npos);
+}
+
+TEST_F(SystemFixture, StatusReportIncludesServingCounters) {
+  // Without a provider, the section is absent.
+  EXPECT_EQ(sys->StatusReport().find("serving:"), std::string::npos);
+
+  serve::Frontend::Options fopts;
+  fopts.num_threads = 2;
+  serve::Frontend frontend(fopts);
+  frontend.RegisterOperator("keyword", [this](const serve::RequestContext&) {
+    return sys->KeywordSearch("Madison", 3).empty()
+               ? Status::NotFound("no hits")
+               : Status::OK();
+  });
+  sys->SetServingStatsProvider([&frontend] { return frontend.Counters(); });
+
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(frontend.Call("keyword", serve::RequestContext{}).ok());
+  }
+  {
+    // A burst of injected faults exhausts the retry budget and resolves
+    // kUnavailable — the report must show the non-OK outcome too.
+    ScopedFailpoint fp("serve.op.keyword", FailpointRegistry::Spec::Always());
+    serve::RequestContext ctx;
+    ctx.retry_budget = 0;
+    EXPECT_EQ(frontend.Call("keyword", std::move(ctx)).code(),
+              StatusCode::kUnavailable);
+  }
+
+  // The provider is live: the section matches the counters snapshot
+  // taken at the same point, and reflects the real request totals.
+  serve::ServingCounters counters = frontend.Counters();
+  EXPECT_EQ(counters.issued, 5u);
+  EXPECT_EQ(counters.admitted + counters.shed, counters.issued);
+  EXPECT_EQ(counters.ok, 4u);
+  EXPECT_EQ(counters.unavailable, 1u);
+  std::string report = sys->StatusReport();
+  EXPECT_NE(report.find("serving: " + counters.ToString()), std::string::npos);
+  EXPECT_NE(report.find("issued=5"), std::string::npos);
+  EXPECT_NE(report.find("keyword(closed)"), std::string::npos);
+  // The serve.op failpoint site shows up in the fault-injection section.
+  EXPECT_NE(report.find("serve.op.keyword"), std::string::npos);
+
+  // Detaching removes the section (and makes the frontend safe to drop).
+  sys->SetServingStatsProvider(nullptr);
+  EXPECT_EQ(sys->StatusReport().find("serving:"), std::string::npos);
 }
 
 TEST_F(SystemFixture, FaultedExtractorIsQuarantinedAndSystemDegrades) {

@@ -1,0 +1,509 @@
+// Resilient-serving tests: circuit breaker and frontend unit coverage,
+// plus the concurrent chaos harness — a multi-threaded mixed workload
+// (keyword + hybrid + structured + translate + write + extract) under
+// probabilistic failpoints and randomized 1–50ms deadlines. Run plain
+// and under -DSTRUCTURA_SANITIZE=thread.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <filesystem>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/cancellation.h"
+#include "common/failpoint.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "core/system.h"
+#include "corpus/generator.h"
+#include "ie/pipeline.h"
+#include "ie/standard.h"
+#include "rdbms/database.h"
+#include "serve/frontend.h"
+
+namespace structura::serve {
+namespace {
+
+// ------------------------------------------------------- CircuitBreaker
+
+TEST(CircuitBreakerTest, OpensAfterConsecutiveFailuresAndProbesClosed) {
+  CircuitBreaker::Options opts;
+  opts.failure_threshold = 3;
+  opts.open_ms = 20;
+  CircuitBreaker cb(opts);
+
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kClosed);
+  cb.RecordFailure();
+  cb.RecordFailure();
+  // A success resets the *consecutive* count.
+  cb.RecordSuccess();
+  cb.RecordFailure();
+  cb.RecordFailure();
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kClosed);
+  cb.RecordFailure();
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(cb.open_transitions(), 1u);
+
+  // Open: traffic is refused until the cooldown elapses.
+  EXPECT_FALSE(cb.Allow());
+  EXPECT_GE(cb.rejected(), 1u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+
+  // Cooldown over: exactly one probe is admitted (half_open_probes=1).
+  EXPECT_TRUE(cb.Allow());
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_FALSE(cb.Allow());  // probe slot taken
+
+  cb.RecordSuccess();
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(cb.Allow());
+}
+
+TEST(CircuitBreakerTest, FailedProbeReopensWithFreshCooldown) {
+  CircuitBreaker::Options opts;
+  opts.failure_threshold = 1;
+  opts.open_ms = 20;
+  CircuitBreaker cb(opts);
+
+  cb.RecordFailure();
+  ASSERT_EQ(cb.state(), CircuitBreaker::State::kOpen);
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  ASSERT_TRUE(cb.Allow());
+  cb.RecordFailure();  // probe failed
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(cb.open_transitions(), 2u);
+  // The cooldown restarted: still refusing immediately after.
+  EXPECT_FALSE(cb.Allow());
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  EXPECT_TRUE(cb.Allow());
+  cb.RecordSuccess();
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kClosed);
+}
+
+// --------------------------------------------------------- Frontend
+
+TEST(FrontendTest, ResolvesBasicStatuses) {
+  Frontend::Options opts;
+  opts.num_threads = 2;
+  Frontend fe(opts);
+  fe.RegisterOperator("ok", [](const RequestContext&) { return Status::OK(); });
+
+  EXPECT_TRUE(fe.Call("ok", RequestContext{}).ok());
+  EXPECT_EQ(fe.Call("missing", RequestContext{}).code(),
+            StatusCode::kNotFound);
+
+  RequestContext expired;
+  expired.interrupt.deadline = Deadline::AfterMillis(0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(fe.Call("ok", std::move(expired)).code(),
+            StatusCode::kDeadlineExceeded);
+
+  CancellationSource source;
+  source.Cancel();
+  RequestContext cancelled;
+  cancelled.interrupt.token = source.token();
+  EXPECT_EQ(fe.Call("ok", std::move(cancelled)).code(),
+            StatusCode::kCancelled);
+
+  ServingCounters c = fe.Counters();
+  EXPECT_EQ(c.issued, 4u);
+  EXPECT_EQ(c.admitted, 3u);  // "missing" was refused at admission
+  EXPECT_EQ(c.shed, 1u);
+  EXPECT_EQ(c.ok, 1u);
+  EXPECT_EQ(c.deadline_exceeded, 1u);
+  EXPECT_EQ(c.cancelled, 1u);
+}
+
+TEST(FrontendTest, ShedsAtAdmissionWhenQueueIsFull) {
+  Frontend::Options opts;
+  opts.num_threads = 1;
+  opts.max_queue_depth = 1;
+  opts.max_queue_wait_ms = 10000;  // isolate admission-control shedding
+  Frontend fe(opts);
+
+  std::mutex m;
+  std::condition_variable cv;
+  bool release = false;
+  fe.RegisterOperator("slow", [&](const RequestContext&) {
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return release; });
+    return Status::OK();
+  });
+
+  // One request occupies the worker; wait until it is actually running
+  // so the queue-depth accounting below is deterministic.
+  std::future<Status> running = fe.Submit("slow", RequestContext{});
+  while (fe.Counters().queue_high_water < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+
+  // Fill the queue (depth 1), then overflow it.
+  std::vector<std::future<Status>> waiting;
+  size_t shed = 0;
+  for (int i = 0; i < 8; ++i) {
+    std::future<Status> f = fe.Submit("slow", RequestContext{});
+    if (f.wait_for(std::chrono::seconds(0)) == std::future_status::ready) {
+      Status s = f.get();
+      EXPECT_EQ(s.code(), StatusCode::kUnavailable) << s.ToString();
+      ++shed;
+    } else {
+      waiting.push_back(std::move(f));
+    }
+  }
+  EXPECT_GE(shed, 6u);  // 8 submitted, at most ~2 fit (queue + races)
+
+  {
+    std::lock_guard<std::mutex> lock(m);
+    release = true;
+  }
+  cv.notify_all();
+  EXPECT_TRUE(running.get().ok());
+  for (auto& f : waiting) EXPECT_TRUE(f.get().ok());
+
+  ServingCounters c = fe.Counters();
+  EXPECT_EQ(c.issued, 9u);
+  EXPECT_EQ(c.admitted + c.shed, c.issued);
+  EXPECT_EQ(c.shed, shed);
+}
+
+TEST(FrontendTest, ShedsRequestsThatWaitedPastTheQueueBudget) {
+  Frontend::Options opts;
+  opts.num_threads = 1;
+  opts.max_queue_depth = 16;
+  opts.max_queue_wait_ms = 5;
+  Frontend fe(opts);
+
+  std::mutex m;
+  std::condition_variable cv;
+  bool release = false;
+  fe.RegisterOperator("slow", [&](const RequestContext&) {
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return release; });
+    return Status::OK();
+  });
+  fe.RegisterOperator("fast",
+                      [](const RequestContext&) { return Status::OK(); });
+
+  std::future<Status> head = fe.Submit("slow", RequestContext{});
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  // This request sits behind `slow` far longer than its 5ms budget.
+  std::future<Status> stale = fe.Submit("fast", RequestContext{});
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  {
+    std::lock_guard<std::mutex> lock(m);
+    release = true;
+  }
+  cv.notify_all();
+
+  EXPECT_TRUE(head.get().ok());
+  Status s = stale.get();
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable) << s.ToString();
+  ServingCounters c = fe.Counters();
+  EXPECT_EQ(c.shed_queued_wait, 1u);
+  EXPECT_EQ(c.admitted, 2u);  // it *was* admitted, then shed at dequeue
+}
+
+TEST(FrontendTest, RetriesInjectedFaultWithinBudget) {
+  Frontend::Options opts;
+  opts.num_threads = 1;
+  Frontend fe(opts);
+  fe.RegisterOperator("flaky",
+                      [](const RequestContext&) { return Status::OK(); });
+
+  ScopedFailpoint fp("serve.op.flaky", FailpointRegistry::Spec::Nth(1));
+  RequestContext ctx;
+  ctx.retry_budget = 2;
+  EXPECT_TRUE(fe.Call("flaky", std::move(ctx)).ok());
+
+  ServingCounters c = fe.Counters();
+  EXPECT_EQ(c.ok, 1u);
+  EXPECT_EQ(c.retries, 1u);
+}
+
+TEST(FrontendTest, ExhaustedRetryBudgetResolvesUnavailable) {
+  Frontend::Options opts;
+  opts.num_threads = 1;
+  opts.breaker.failure_threshold = 100;  // keep the breaker out of this
+  Frontend fe(opts);
+  fe.RegisterOperator("down",
+                      [](const RequestContext&) { return Status::OK(); });
+
+  ScopedFailpoint fp("serve.op.down", FailpointRegistry::Spec::Always());
+  RequestContext ctx;
+  ctx.retry_budget = 2;
+  Status s = fe.Call("down", std::move(ctx));
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable) << s.ToString();
+
+  ServingCounters c = fe.Counters();
+  EXPECT_EQ(c.unavailable, 1u);
+  EXPECT_EQ(c.retries, 2u);  // the whole budget was spent
+}
+
+TEST(FrontendTest, BreakerOpensUnderFaultBurstAndRecloses) {
+  Frontend::Options opts;
+  opts.num_threads = 1;
+  opts.breaker.failure_threshold = 3;
+  opts.breaker.open_ms = 20;
+  Frontend fe(opts);
+  fe.RegisterOperator("svc",
+                      [](const RequestContext&) { return Status::OK(); });
+
+  {
+    ScopedFailpoint fp("serve.op.svc", FailpointRegistry::Spec::Always());
+    for (int i = 0; i < 3; ++i) {
+      RequestContext ctx;
+      ctx.retry_budget = 0;
+      EXPECT_EQ(fe.Call("svc", std::move(ctx)).code(),
+                StatusCode::kUnavailable);
+    }
+    EXPECT_EQ(fe.BreakerState("svc"), CircuitBreaker::State::kOpen);
+
+    // While open, calls fail fast without touching the operator.
+    Status s = fe.Call("svc", RequestContext{});
+    EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+    EXPECT_GE(fe.Counters().breaker_rejected, 1u);
+  }
+
+  // Faults stopped; after the cooldown a probe succeeds and re-closes.
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  EXPECT_TRUE(fe.Call("svc", RequestContext{}).ok());
+  EXPECT_EQ(fe.BreakerState("svc"), CircuitBreaker::State::kClosed);
+}
+
+// ------------------------------------------------------- Chaos harness
+
+std::string TempDir(const std::string& tag) {
+  std::string dir =
+      (std::filesystem::temp_directory_path() / ("structura_serve_" + tag))
+          .string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// Mixed workload under probabilistic faults: every request must
+// terminate with a well-formed Status, counters must reconcile with the
+// number of issued requests, and breakers must re-close once the fault
+// burst ends. No crashes, no hangs, no leaked promises.
+TEST(ServeChaosTest, MixedWorkloadUnderFaultsTerminatesAndReconciles) {
+  corpus::CorpusOptions copts;
+  copts.num_cities = 15;
+  copts.num_people = 20;
+  copts.num_companies = 5;
+  copts.seed = 41;
+  text::DocumentCollection docs;
+  corpus::GroundTruth truth;
+  corpus::GenerateCorpus(copts, &docs, &truth);
+
+  // A real workspace so the final store has a WAL — the wal.append
+  // failpoint needs one to fire through.
+  core::System::Options sopts;
+  sopts.workspace = TempDir("chaos");
+  auto sys_or = core::System::Create(sopts);
+  ASSERT_TRUE(sys_or.ok()) << sys_or.status().ToString();
+  std::unique_ptr<core::System> sys = std::move(sys_or).value();
+  sys->RegisterStandardOperators();
+  ASSERT_TRUE(sys->IngestCrawl(docs).ok());
+  // Bind a fact view so translate/structured/hybrid have data to serve.
+  ASSERT_TRUE(
+      sys->RunProgram("CREATE VIEW facts AS EXTRACT infobox FROM pages;")
+          .ok());
+  ASSERT_TRUE(sys->BuildBeliefsFromView("facts").ok());
+
+  rdbms::TableSchema schema;
+  schema.table_name = "chaos_log";
+  schema.columns = {{"client", rdbms::ValueType::kInt},
+                    {"seq", rdbms::ValueType::kInt}};
+  ASSERT_TRUE(sys->database()->CreateTable(schema).ok());
+
+  // Extraction runs as a Map-Reduce job on its own pool (a frontend
+  // worker must never run ParallelFor on the frontend's pool).
+  ThreadPool mr_pool(4);
+  std::vector<ie::ExtractorPtr> suite = ie::MakeStandardSuite();
+  std::vector<const ie::Extractor*> extractors = ie::Views(suite);
+
+  Frontend::Options fopts;
+  fopts.num_threads = 8;
+  fopts.max_queue_depth = 256;
+  fopts.max_queue_wait_ms = 40;
+  fopts.breaker.failure_threshold = 8;
+  fopts.breaker.open_ms = 30;
+  fopts.breaker.half_open_probes = 2;
+  Frontend fe(fopts);
+  sys->SetServingStatsProvider([&fe] { return fe.Counters(); });
+
+  const std::vector<std::string> kQueries = {
+      "Madison", "population", "mayor", "temperature", "company",
+      "founded", "elevation"};
+
+  fe.RegisterOperator("keyword", [&](const RequestContext& ctx) {
+    auto hits = sys->KeywordSearch(kQueries[ctx.id % kQueries.size()], 5,
+                                   ctx.interrupt);
+    return hits.status();
+  });
+  fe.RegisterOperator("translate", [&](const RequestContext& ctx) {
+    auto forms = sys->SuggestQueries(kQueries[ctx.id % kQueries.size()],
+                                     ctx.interrupt);
+    return forms.status();
+  });
+  fe.RegisterOperator("structured", [&](const RequestContext& ctx) {
+    auto forms = sys->SuggestQueries("population", ctx.interrupt);
+    if (!forms.ok()) return forms.status();
+    if (forms->empty()) return Status::OK();  // nothing to run is fine
+    auto rel = sys->RunForm((*forms)[0], ctx.interrupt);
+    return rel.status();
+  });
+  fe.RegisterOperator("hybrid", [&](const RequestContext& ctx) {
+    std::vector<query::Condition> conds;
+    conds.push_back({"attribute", query::CompareOp::kEq,
+                     rdbms::Value::Str("population")});
+    auto hits = sys->HybridSearch(kQueries[ctx.id % kQueries.size()], conds,
+                                  5, ctx.interrupt);
+    return hits.status();
+  });
+  std::mutex write_mutex;
+  std::atomic<uint64_t> write_seq{0};
+  fe.RegisterOperator("write", [&](const RequestContext& ctx) {
+    // One writer at a time: lock conflicts aren't what this harness is
+    // probing — WAL faults and retry/deadline behaviour are.
+    std::lock_guard<std::mutex> lock(write_mutex);
+    auto txn = sys->database()->Begin();
+    auto row = txn->Insert(
+        "chaos_log",
+        {rdbms::Value::Int(static_cast<int64_t>(ctx.id)),
+         rdbms::Value::Int(static_cast<int64_t>(write_seq.fetch_add(1)))});
+    if (!row.ok()) return row.status();
+    return txn->Commit();
+  });
+  fe.RegisterOperator("extract", [&](const RequestContext& ctx) {
+    mr::JobConfig config;
+    config.num_workers = 2;
+    config.split_size = 8;
+    config.max_attempts = 2;
+    auto facts = ie::RunExtractorsMapReduce(extractors, docs, mr_pool,
+                                            config, nullptr, ctx.interrupt);
+    return facts.status();
+  });
+
+  const std::vector<std::string> kOps = {
+      "keyword", "keyword", "keyword",  // weight the cheap reads
+      "translate", "translate", "structured", "structured",
+      "hybrid",    "hybrid",   "write",      "write",
+      "extract"};
+
+  constexpr int kClients = 8;
+  constexpr int kRequestsPerClient = 250;  // 2000 total
+  std::atomic<uint64_t> client_ok{0}, client_deadline{0}, client_cancel{0},
+      client_unavailable{0};
+
+  {
+    // Probabilistic faults across WAL, extraction, reduce, and the
+    // serving layer itself, all live while the workload runs.
+    ScopedFailpoint wal_fp(
+        "wal.append", FailpointRegistry::Spec::WithProbability(0.05, 11));
+    ScopedFailpoint ie_fp(
+        "ie.extract", FailpointRegistry::Spec::WithProbability(0.05, 12));
+    ScopedFailpoint mr_fp(
+        "mr.reduce", FailpointRegistry::Spec::WithProbability(0.05, 13));
+    ScopedFailpoint serve_fp(
+        "serve.op", FailpointRegistry::Spec::WithProbability(0.05, 14));
+
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        Rng rng(1000 + static_cast<uint64_t>(c));
+        for (int i = 0; i < kRequestsPerClient; ++i) {
+          RequestContext ctx;
+          ctx.id = static_cast<uint64_t>(c) * kRequestsPerClient + i;
+          ctx.interrupt.deadline =
+              Deadline::AfterMillis(1 + rng.NextBounded(50));
+          ctx.retry_budget = static_cast<uint32_t>(rng.NextBounded(3));
+          CancellationSource source;
+          bool cancel = rng.NextBool(0.05);
+          if (cancel) ctx.interrupt.token = source.token();
+          const std::string& op = kOps[rng.NextBounded(kOps.size())];
+          std::future<Status> fut = fe.Submit(op, std::move(ctx));
+          if (cancel) {
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(rng.NextBounded(3000)));
+            source.Cancel();
+          }
+          Status result = fut.get();
+          switch (result.code()) {
+            case StatusCode::kOk:
+              ++client_ok;
+              break;
+            case StatusCode::kDeadlineExceeded:
+              ++client_deadline;
+              break;
+            case StatusCode::kCancelled:
+              ++client_cancel;
+              break;
+            case StatusCode::kUnavailable:
+              ++client_unavailable;
+              break;
+            default:
+              ADD_FAILURE() << "unexpected terminal status "
+                            << result.ToString();
+          }
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+  }  // fault scope ends: failpoints disarmed
+
+  constexpr uint64_t kTotal =
+      static_cast<uint64_t>(kClients) * kRequestsPerClient;
+  EXPECT_EQ(client_ok + client_deadline + client_cancel + client_unavailable,
+            kTotal);
+
+  ServingCounters c = fe.Counters();
+  EXPECT_EQ(c.issued, kTotal);
+  EXPECT_EQ(c.admitted + c.shed, c.issued);
+  // Every admitted request resolved to exactly one terminal status.
+  EXPECT_EQ(c.ok + c.deadline_exceeded + c.cancelled + c.unavailable,
+            c.admitted);
+  // Client-observed outcomes match the frontend's accounting (queue-full
+  // sheds surface to clients as kUnavailable).
+  EXPECT_EQ(client_ok.load(), c.ok);
+  EXPECT_EQ(client_deadline.load(), c.deadline_exceeded);
+  EXPECT_EQ(client_cancel.load(), c.cancelled);
+  EXPECT_EQ(client_unavailable.load(), c.unavailable + c.shed);
+  EXPECT_GT(c.ok, 0u);  // the system did real work under chaos
+
+  // The serving section of the status report reflects the live counters.
+  std::string report = sys->StatusReport();
+  EXPECT_NE(report.find("serving:"), std::string::npos);
+  EXPECT_NE(report.find("keyword("), std::string::npos);
+
+  // Faults stopped: every operator must recover. Generous deadlines,
+  // polling through breaker cooldowns until traffic flows again.
+  for (const std::string op :
+       {"keyword", "translate", "structured", "hybrid", "write", "extract"}) {
+    Status last;
+    bool recovered = false;
+    for (int attempt = 0; attempt < 100 && !recovered; ++attempt) {
+      RequestContext ctx;
+      ctx.interrupt.deadline = Deadline::AfterMillis(2000);
+      last = fe.Call(op, std::move(ctx));
+      if (last.ok()) {
+        recovered = true;
+      } else {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    }
+    EXPECT_TRUE(recovered) << op << " never recovered: " << last.ToString();
+    EXPECT_EQ(fe.BreakerState(op), CircuitBreaker::State::kClosed) << op;
+  }
+
+  sys->SetServingStatsProvider(nullptr);
+  std::filesystem::remove_all(sopts.workspace);
+}
+
+}  // namespace
+}  // namespace structura::serve
