@@ -18,49 +18,61 @@ void CircuitBreaker::OpenLocked() {
   state_ = State::kOpen;
   opened_at_ = Clock::now();
   inflight_probes_ = 0;
+  ++generation_;
   ++open_transitions_;
 }
 
-bool CircuitBreaker::Allow() {
+bool CircuitBreaker::Allow(uint64_t* admission) {
   std::lock_guard<std::mutex> lock(mutex_);
+  bool admitted = false;
   switch (state_) {
     case State::kClosed:
-      return true;
+      admitted = true;
+      break;
     case State::kOpen: {
       auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
           Clock::now() - opened_at_);
       if (static_cast<uint64_t>(elapsed.count()) < options_.open_ms) {
         ++rejected_;
-        return false;
+        break;
       }
       // Cooldown over: probe recovery.
       state_ = State::kHalfOpen;
+      ++generation_;
       inflight_probes_ = 1;
-      return true;
+      admitted = true;
+      break;
     }
     case State::kHalfOpen:
       if (inflight_probes_ >= options_.half_open_probes) {
         ++rejected_;
-        return false;
+        break;
       }
       ++inflight_probes_;
-      return true;
+      admitted = true;
+      break;
   }
-  return true;
+  if (admitted && admission != nullptr) *admission = generation_;
+  return admitted;
 }
 
-void CircuitBreaker::RecordSuccess() {
+void CircuitBreaker::RecordSuccess(uint64_t admission) {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (StaleLocked(admission)) return;  // pre-transition straggler
   consecutive_failures_ = 0;
   if (state_ == State::kHalfOpen) {
     // One healthy probe is evidence enough: re-close and resume traffic.
+    // Probes still in flight carry the old generation, so their later
+    // results are discarded instead of polluting the closed state.
     state_ = State::kClosed;
     inflight_probes_ = 0;
+    ++generation_;
   }
 }
 
-void CircuitBreaker::RecordFailure() {
+void CircuitBreaker::RecordFailure(uint64_t admission) {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (StaleLocked(admission)) return;  // pre-transition straggler
   switch (state_) {
     case State::kClosed:
       if (++consecutive_failures_ >= options_.failure_threshold) {
@@ -72,8 +84,17 @@ void CircuitBreaker::RecordFailure() {
       OpenLocked();
       break;
     case State::kOpen:
-      // A straggler from before the breaker opened; nothing to update.
+      // Only reachable with kCurrentAdmission (legacy callers); nothing
+      // to update — the breaker is already open.
       break;
+  }
+}
+
+void CircuitBreaker::ReleaseProbe(uint64_t admission) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (StaleLocked(admission)) return;
+  if (state_ == State::kHalfOpen && inflight_probes_ > 0) {
+    --inflight_probes_;
   }
 }
 

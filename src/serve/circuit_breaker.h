@@ -21,6 +21,17 @@ namespace structura::serve {
 /// `half_open_probes` in-flight calls are let through to test recovery;
 /// the first success re-closes the breaker, the first failure re-opens
 /// it. Thread-safe; every transition is counted for StatusReport().
+///
+/// **Admission generations.** Every state transition bumps an internal
+/// generation; `Allow()` hands the admitting generation back through its
+/// out-parameter. A result reported with a stale admission — one taken
+/// before the last state transition — is ignored, so probes that were
+/// still in flight when the breaker re-closed (or re-opened) cannot
+/// poison the fresh state: a pre-recovery straggler failure neither
+/// counts toward `consecutive_failures_` nor re-opens the breaker, and
+/// a straggler success cannot spuriously close it. Callers that omit
+/// the admission (the single-threaded convenience form) are treated as
+/// current-generation.
 class CircuitBreaker {
  public:
   struct Options {
@@ -34,6 +45,11 @@ class CircuitBreaker {
 
   enum class State { kClosed, kOpen, kHalfOpen };
 
+  /// Sentinel admission meaning "attribute to the current generation"
+  /// (skip the staleness check). What the no-argument Record*/Release
+  /// defaults pass.
+  static constexpr uint64_t kCurrentAdmission = ~uint64_t{0};
+
   static const char* StateName(State s);
 
   CircuitBreaker() : CircuitBreaker(Options{}) {}
@@ -41,12 +57,25 @@ class CircuitBreaker {
 
   /// True when a call may proceed. An open breaker whose cooldown has
   /// elapsed transitions to half-open here and admits the caller as a
-  /// probe; callers that got `true` MUST report RecordSuccess or
-  /// RecordFailure so probe accounting stays balanced.
-  bool Allow();
+  /// probe. Callers that got `true` MUST balance the admission with
+  /// exactly one of RecordSuccess / RecordFailure / ReleaseProbe, and
+  /// should pass back the admission written to `admission` so stale
+  /// (pre-transition) results are discarded.
+  bool Allow(uint64_t* admission = nullptr);
 
-  void RecordSuccess();
-  void RecordFailure();
+  /// The admitted call completed healthy. Re-closes a half-open
+  /// breaker; resets the consecutive-failure count.
+  void RecordSuccess(uint64_t admission = kCurrentAdmission);
+
+  /// The admitted call failed. Counts toward opening (closed) or
+  /// re-opens with a fresh cooldown (half-open).
+  void RecordFailure(uint64_t admission = kCurrentAdmission);
+
+  /// The admitted call ended without evidence either way (e.g. the
+  /// client cancelled). Releases the probe slot a half-open admission
+  /// held, but neither closes the breaker nor counts as a failure — a
+  /// cancellation says nothing about the operator's health.
+  void ReleaseProbe(uint64_t admission = kCurrentAdmission);
 
   State state() const;
   /// closed->open transitions since construction.
@@ -63,11 +92,18 @@ class CircuitBreaker {
   State state_ = State::kClosed;
   uint32_t consecutive_failures_ = 0;
   uint32_t inflight_probes_ = 0;
+  /// Bumped on every state transition; admissions from an older
+  /// generation report into a world that no longer exists and are
+  /// ignored (see class comment).
+  uint64_t generation_ = 0;
   Clock::time_point opened_at_{};
   uint64_t open_transitions_ = 0;
   uint64_t rejected_ = 0;
 
   void OpenLocked();
+  bool StaleLocked(uint64_t admission) const {
+    return admission != kCurrentAdmission && admission != generation_;
+  }
 };
 
 }  // namespace structura::serve

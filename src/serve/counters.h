@@ -10,13 +10,14 @@ namespace structura::serve {
 
 /// Point-in-time snapshot of the frontend's serving counters, consumed
 /// by System::StatusReport(). Invariants the chaos test enforces:
-///   admitted + shed == issued                    (admission is binary)
+///   admitted + shed + not_found == issued        (every Submit decided)
 ///   ok + deadline_exceeded + cancelled
-///      + unavailable == resolved requests        (every request ends)
+///      + unavailable == resolved admitted        (every admitted ends)
 struct ServingCounters {
   uint64_t issued = 0;             // Submit() calls
   uint64_t admitted = 0;           // accepted onto the queue
   uint64_t shed = 0;               // refused at admission (queue full)
+  uint64_t not_found = 0;          // refused at admission (unknown operator)
   uint64_t ok = 0;                 // resolved OK
   uint64_t deadline_exceeded = 0;  // resolved kDeadlineExceeded
   uint64_t cancelled = 0;          // resolved kCancelled

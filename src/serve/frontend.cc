@@ -15,12 +15,14 @@ using Clock = std::chrono::steady_clock;
 
 std::string ServingCounters::ToString() const {
   std::string out = StrFormat(
-      "issued=%llu admitted=%llu shed=%llu ok=%llu deadline_exceeded=%llu "
+      "issued=%llu admitted=%llu shed=%llu not_found=%llu ok=%llu "
+      "deadline_exceeded=%llu "
       "cancelled=%llu unavailable=%llu (queued_wait=%llu breaker=%llu) "
       "retries=%llu queue_high_water=%llu",
       static_cast<unsigned long long>(issued),
       static_cast<unsigned long long>(admitted),
       static_cast<unsigned long long>(shed),
+      static_cast<unsigned long long>(not_found),
       static_cast<unsigned long long>(ok),
       static_cast<unsigned long long>(deadline_exceeded),
       static_cast<unsigned long long>(cancelled),
@@ -64,7 +66,7 @@ std::future<Status> Frontend::Submit(const std::string& op_name,
     if (it != ops_.end()) op = it->second.get();  // node-stable address
   }
   if (op == nullptr) {
-    shed_.fetch_add(1, std::memory_order_relaxed);
+    not_found_.fetch_add(1, std::memory_order_relaxed);
     done->set_value(Status::NotFound("no operator " + op_name));
     return fut;
   }
@@ -141,7 +143,8 @@ void Frontend::Execute(Operator* op, const std::string& op_name,
       Resolve(done, std::move(s));
       return;
     }
-    if (!op->breaker.Allow()) {
+    uint64_t admission = CircuitBreaker::kCurrentAdmission;
+    if (!op->breaker.Allow(&admission)) {
       breaker_rejected_.fetch_add(1, std::memory_order_relaxed);
       Resolve(done, Status::Unavailable("breaker open for " + op_name));
       return;
@@ -154,25 +157,26 @@ void Frontend::Execute(Operator* op, const std::string& op_name,
     if (st.ok()) st = MaybeFail("serve.op." + op_name);
     if (st.ok()) st = op->handler(ctx);
     if (st.ok()) {
-      op->breaker.RecordSuccess();
+      op->breaker.RecordSuccess(admission);
       Resolve(done, Status::OK());
       return;
     }
     if (st.code() == StatusCode::kCancelled) {
       // Client intent, not operator health: release the (possible)
-      // probe slot without poisoning the breaker.
-      op->breaker.RecordSuccess();
+      // probe slot without recording evidence either way — a cancelled
+      // probe must not re-close a half-open breaker.
+      op->breaker.ReleaseProbe(admission);
       Resolve(done, std::move(st));
       return;
     }
     if (st.code() == StatusCode::kDeadlineExceeded) {
       // Slowness IS a health signal — count it against the operator,
       // but don't retry: the budget is gone.
-      op->breaker.RecordFailure();
+      op->breaker.RecordFailure(admission);
       Resolve(done, std::move(st));
       return;
     }
-    op->breaker.RecordFailure();
+    op->breaker.RecordFailure(admission);
     if (budget == 0) {
       Resolve(done, Status::Unavailable(StrFormat(
                         "%s failed after %u attempts: %s", op_name.c_str(),
@@ -199,6 +203,7 @@ ServingCounters Frontend::Counters() const {
   c.issued = issued_.load(std::memory_order_relaxed);
   c.admitted = admitted_.load(std::memory_order_relaxed);
   c.shed = shed_.load(std::memory_order_relaxed);
+  c.not_found = not_found_.load(std::memory_order_relaxed);
   c.ok = ok_.load(std::memory_order_relaxed);
   c.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
   c.cancelled = cancelled_.load(std::memory_order_relaxed);

@@ -38,8 +38,8 @@ namespace structura::serve {
 ///
 /// Every submitted request resolves to exactly one Status: OK,
 /// kDeadlineExceeded, kCancelled, or kUnavailable (plus kNotFound for
-/// unregistered operators). Counters reconcile: admitted + shed ==
-/// issued, and every admitted request resolves.
+/// unregistered operators). Counters reconcile: admitted + shed +
+/// not_found == issued, and every admitted request resolves.
 ///
 /// The failpoint sites `serve.op` and `serve.op.<name>` are evaluated
 /// before each handler attempt, so tests can drive breakers and retry
@@ -111,7 +111,6 @@ class Frontend {
   void Resolve(std::promise<Status>* done, Status s);
 
   Options options_;
-  ThreadPool pool_;
 
   mutable std::mutex ops_mutex_;
   std::map<std::string, std::unique_ptr<Operator>> ops_;
@@ -120,6 +119,7 @@ class Frontend {
   std::atomic<uint64_t> issued_{0};
   std::atomic<uint64_t> admitted_{0};
   std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> not_found_{0};
   std::atomic<uint64_t> ok_{0};
   std::atomic<uint64_t> deadline_exceeded_{0};
   std::atomic<uint64_t> cancelled_{0};
@@ -127,6 +127,13 @@ class Frontend {
   std::atomic<uint64_t> shed_queued_wait_{0};
   std::atomic<uint64_t> breaker_rejected_{0};
   std::atomic<uint64_t> retries_{0};
+
+  // MUST stay the last member: ~ThreadPool drains still-queued Execute()
+  // tasks, which dereference ops_ and the counters above. Members are
+  // destroyed in reverse declaration order, so the pool (and with it the
+  // drain) must go first or destruction with queued work is a
+  // use-after-free (FrontendTest.DestructionDrainsQueuedRequests).
+  ThreadPool pool_;
 };
 
 }  // namespace structura::serve

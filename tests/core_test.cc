@@ -485,7 +485,8 @@ TEST_F(SystemFixture, StatusReportIncludesServingCounters) {
   // taken at the same point, and reflects the real request totals.
   serve::ServingCounters counters = frontend.Counters();
   EXPECT_EQ(counters.issued, 5u);
-  EXPECT_EQ(counters.admitted + counters.shed, counters.issued);
+  EXPECT_EQ(counters.admitted + counters.shed + counters.not_found,
+            counters.issued);
   EXPECT_EQ(counters.ok, 4u);
   EXPECT_EQ(counters.unavailable, 1u);
   std::string report = sys->StatusReport();

@@ -85,6 +85,64 @@ TEST(CircuitBreakerTest, FailedProbeReopensWithFreshCooldown) {
   EXPECT_EQ(cb.state(), CircuitBreaker::State::kClosed);
 }
 
+TEST(CircuitBreakerTest, ReleasedProbeFreesSlotWithoutReclosing) {
+  CircuitBreaker::Options opts;
+  opts.failure_threshold = 1;
+  opts.open_ms = 10;
+  CircuitBreaker cb(opts);
+
+  cb.RecordFailure();
+  ASSERT_EQ(cb.state(), CircuitBreaker::State::kOpen);
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+
+  uint64_t probe = 0;
+  ASSERT_TRUE(cb.Allow(&probe));
+  ASSERT_EQ(cb.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_FALSE(cb.Allow());  // the single probe slot is taken
+
+  // The probe was cancelled by the client: no evidence either way. The
+  // slot frees up, but the breaker must NOT re-close.
+  cb.ReleaseProbe(probe);
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kHalfOpen);
+
+  uint64_t retry = 0;
+  EXPECT_TRUE(cb.Allow(&retry));  // slot available again
+  cb.RecordSuccess(retry);
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, StaleProbeResultsAreIgnoredAfterReclose) {
+  CircuitBreaker::Options opts;
+  opts.failure_threshold = 1;  // any counted failure would re-open
+  opts.open_ms = 10;
+  opts.half_open_probes = 2;
+  CircuitBreaker cb(opts);
+
+  cb.RecordFailure();
+  ASSERT_EQ(cb.state(), CircuitBreaker::State::kOpen);
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+
+  uint64_t p1 = 0, p2 = 0;
+  ASSERT_TRUE(cb.Allow(&p1));
+  ASSERT_TRUE(cb.Allow(&p2));
+
+  // First probe recovers the operator while the second is still out.
+  cb.RecordSuccess(p1);
+  ASSERT_EQ(cb.state(), CircuitBreaker::State::kClosed);
+
+  // The straggler was admitted before recovery; its failure says
+  // nothing about the re-closed breaker and must not re-open it (with
+  // failure_threshold=1 a counted failure would).
+  cb.RecordFailure(p2);
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(cb.open_transitions(), 1u);
+
+  // A post-recovery failure still counts normally.
+  cb.RecordFailure();
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(cb.open_transitions(), 2u);
+}
+
 // --------------------------------------------------------- Frontend
 
 TEST(FrontendTest, ResolvesBasicStatuses) {
@@ -112,8 +170,9 @@ TEST(FrontendTest, ResolvesBasicStatuses) {
 
   ServingCounters c = fe.Counters();
   EXPECT_EQ(c.issued, 4u);
-  EXPECT_EQ(c.admitted, 3u);  // "missing" was refused at admission
-  EXPECT_EQ(c.shed, 1u);
+  EXPECT_EQ(c.admitted, 3u);   // "missing" was refused at admission
+  EXPECT_EQ(c.not_found, 1u);  // ... and tracked as such, not as a shed
+  EXPECT_EQ(c.shed, 0u);
   EXPECT_EQ(c.ok, 1u);
   EXPECT_EQ(c.deadline_exceeded, 1u);
   EXPECT_EQ(c.cancelled, 1u);
@@ -168,7 +227,7 @@ TEST(FrontendTest, ShedsAtAdmissionWhenQueueIsFull) {
 
   ServingCounters c = fe.Counters();
   EXPECT_EQ(c.issued, 9u);
-  EXPECT_EQ(c.admitted + c.shed, c.issued);
+  EXPECT_EQ(c.admitted + c.shed + c.not_found, c.issued);
   EXPECT_EQ(c.shed, shed);
 }
 
@@ -274,6 +333,67 @@ TEST(FrontendTest, BreakerOpensUnderFaultBurstAndRecloses) {
   std::this_thread::sleep_for(std::chrono::milliseconds(25));
   EXPECT_TRUE(fe.Call("svc", RequestContext{}).ok());
   EXPECT_EQ(fe.BreakerState("svc"), CircuitBreaker::State::kClosed);
+}
+
+TEST(FrontendTest, CancelledProbeDoesNotRecloseBreaker) {
+  Frontend::Options opts;
+  opts.num_threads = 1;
+  opts.breaker.failure_threshold = 1;
+  opts.breaker.open_ms = 20;
+  Frontend fe(opts);
+  std::atomic<bool> cancel_in_handler{true};
+  fe.RegisterOperator("svc", [&](const RequestContext&) {
+    // Models an operator noticing mid-work that the client went away.
+    return cancel_in_handler ? Status::Cancelled("client went away")
+                             : Status::OK();
+  });
+
+  {
+    ScopedFailpoint fp("serve.op.svc", FailpointRegistry::Spec::Always());
+    RequestContext ctx;
+    ctx.retry_budget = 0;
+    EXPECT_EQ(fe.Call("svc", std::move(ctx)).code(),
+              StatusCode::kUnavailable);
+  }
+  ASSERT_EQ(fe.BreakerState("svc"), CircuitBreaker::State::kOpen);
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+
+  // The recovery probe is cancelled: no health evidence, so the breaker
+  // must stay half-open rather than re-admitting full traffic.
+  EXPECT_EQ(fe.Call("svc", RequestContext{}).code(), StatusCode::kCancelled);
+  EXPECT_EQ(fe.BreakerState("svc"), CircuitBreaker::State::kHalfOpen);
+
+  // A genuinely healthy probe re-closes it.
+  cancel_in_handler = false;
+  EXPECT_TRUE(fe.Call("svc", RequestContext{}).ok());
+  EXPECT_EQ(fe.BreakerState("svc"), CircuitBreaker::State::kClosed);
+}
+
+TEST(FrontendTest, DestructionDrainsQueuedRequests) {
+  // Destroying a Frontend with work still queued must resolve every
+  // future and must not touch freed state: the queued Execute() tasks
+  // dereference the operator map and bump the counters while the pool
+  // drains, so those members have to outlive the pool (run under
+  // ASan/TSan via scripts/check.sh).
+  std::vector<std::future<Status>> futures;
+  {
+    Frontend::Options opts;
+    opts.num_threads = 1;
+    opts.max_queue_depth = 64;
+    opts.max_queue_wait_ms = 10000;  // nothing sheds at dequeue
+    Frontend fe(opts);
+    fe.RegisterOperator("slowish", [](const RequestContext&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      return Status::OK();
+    });
+    for (int i = 0; i < 32; ++i) {
+      futures.push_back(fe.Submit("slowish", RequestContext{}));
+    }
+  }  // ~Frontend drains the backlog with every other member still alive
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+    EXPECT_TRUE(f.get().ok());
+  }
 }
 
 // ------------------------------------------------------- Chaos harness
@@ -464,7 +584,8 @@ TEST(ServeChaosTest, MixedWorkloadUnderFaultsTerminatesAndReconciles) {
 
   ServingCounters c = fe.Counters();
   EXPECT_EQ(c.issued, kTotal);
-  EXPECT_EQ(c.admitted + c.shed, c.issued);
+  EXPECT_EQ(c.not_found, 0u);  // every op in kOps is registered
+  EXPECT_EQ(c.admitted + c.shed + c.not_found, c.issued);
   // Every admitted request resolved to exactly one terminal status.
   EXPECT_EQ(c.ok + c.deadline_exceeded + c.cancelled + c.unavailable,
             c.admitted);
