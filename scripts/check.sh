@@ -29,6 +29,12 @@ run_suite "$repo_root/build"
 echo "==> address+undefined sanitizer build + tests"
 run_suite "$repo_root/build-asan" -DSTRUCTURA_SANITIZE=address,undefined
 
+echo "==> storage-integrity byte-flip sweep under ASan/UBSan"
+# Explicit leg so the corruption sweep always runs sanitized even when
+# the caller narrowed CTEST_ARGS above.
+ctest --test-dir "$repo_root/build-asan" --output-on-failure -j "$jobs" \
+  -R 'IntegritySweep'
+
 echo "==> thread sanitizer build + concurrency tests"
 if [[ ${#CTEST_ARGS[@]} -eq 0 ]]; then
   # Default to the suites that exercise real concurrency: the serving

@@ -1,0 +1,44 @@
+#ifndef STRUCTURA_COMMON_CRC32C_H_
+#define STRUCTURA_COMMON_CRC32C_H_
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace structura {
+namespace internal_crc32c {
+
+/// Byte-at-a-time table for the Castagnoli polynomial (reflected
+/// 0x82F63B78), built at compile time.
+constexpr std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int k = 0; k < 8; ++k) {
+      crc = (crc >> 1) ^ (0x82F63B78u & (0u - (crc & 1u)));
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+inline constexpr std::array<uint32_t, 256> kTable = MakeTable();
+
+}  // namespace internal_crc32c
+
+/// CRC32C (Castagnoli) over `data`. Guarantees detection of any single
+/// flipped bit and any burst error up to 32 bits, which is why storage
+/// headers use it instead of FNV (FNV has no such guarantee). Chainable:
+/// `Crc32c(b, Crc32c(a)) == Crc32c(a + b)`. Stable across platforms, so
+/// it is safe to persist.
+inline uint32_t Crc32c(std::string_view data, uint32_t crc = 0) {
+  crc = ~crc;
+  for (unsigned char c : data) {
+    crc = internal_crc32c::kTable[(crc ^ c) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace structura
+
+#endif  // STRUCTURA_COMMON_CRC32C_H_

@@ -69,6 +69,28 @@ FailpointRegistry::Snapshot() const {
   return out;
 }
 
+namespace {
+
+/// Applies the armed firing policy to one evaluation. Caller holds the
+/// registry mutex.
+bool PolicyFires(FailpointRegistry::Spec& spec, uint64_t hit, Rng& rng) {
+  switch (spec.mode) {
+    case FailpointRegistry::Spec::Mode::kOff:
+      return false;
+    case FailpointRegistry::Spec::Mode::kAlways:
+      return true;
+    case FailpointRegistry::Spec::Mode::kNth:
+      return hit == spec.n;
+    case FailpointRegistry::Spec::Mode::kFrom:
+      return hit >= spec.n;
+    case FailpointRegistry::Spec::Mode::kProbability:
+      return rng.NextBool(spec.probability);
+  }
+  return false;
+}
+
+}  // namespace
+
 Status FailpointRegistry::Evaluate(std::string_view name) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(name);
@@ -78,29 +100,41 @@ Status FailpointRegistry::Evaluate(std::string_view name) {
   }
   Entry& entry = it->second;
   const uint64_t hit = ++entry.counters.hits;
-  bool fire = false;
-  switch (entry.spec.mode) {
-    case Spec::Mode::kOff:
-      break;
-    case Spec::Mode::kAlways:
-      fire = true;
-      break;
-    case Spec::Mode::kNth:
-      fire = hit == entry.spec.n;
-      break;
-    case Spec::Mode::kFrom:
-      fire = hit >= entry.spec.n;
-      break;
-    case Spec::Mode::kProbability:
-      fire = entry.rng.NextBool(entry.spec.probability);
-      break;
-  }
-  if (!fire) return Status::OK();
+  if (!PolicyFires(entry.spec, hit, entry.rng)) return Status::OK();
   ++entry.counters.fires;
   return Status::Internal(
       StrFormat("failpoint '%s' fired (hit %llu)",
                 std::string(name).c_str(),
                 static_cast<unsigned long long>(hit)));
+}
+
+Status FailpointRegistry::EvaluateCorrupt(std::string_view name,
+                                          std::string* buf) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end() ||
+      it->second.spec.mode == Spec::Mode::kOff) {
+    return Status::OK();
+  }
+  Entry& entry = it->second;
+  const uint64_t hit = ++entry.counters.hits;
+  if (!PolicyFires(entry.spec, hit, entry.rng)) return Status::OK();
+  ++entry.counters.fires;
+  if (entry.spec.payload == Spec::Payload::kError) {
+    return Status::Internal(
+        StrFormat("failpoint '%s' fired (hit %llu)",
+                  std::string(name).c_str(),
+                  static_cast<unsigned long long>(hit)));
+  }
+  if (buf != nullptr && !buf->empty()) {
+    size_t off =
+        static_cast<size_t>(entry.spec.corrupt_offset % buf->size());
+    char& byte = (*buf)[off];
+    byte = entry.spec.payload == Spec::Payload::kFlipByte
+               ? static_cast<char>(byte ^ '\xFF')
+               : '\0';
+  }
+  return Status::OK();  // silent corruption: the write proceeds
 }
 
 }  // namespace structura

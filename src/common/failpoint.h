@@ -27,8 +27,15 @@ namespace structura {
 ///   wal.append.torn     same site; fires a simulated torn tail (half the
 ///                       frame reaches the file, then "crash")
 ///   wal.flush           rdbms::WriteAheadLog::Flush
+///   wal.frame           the framed WAL bytes about to be written;
+///                       corruption specs silently damage them (bit-rot)
 ///   db.checkpoint.write rdbms::Database::Checkpoint, before the rename
+///   checkpoint.write    the full checkpoint image (incl. footer) about
+///                       to be written; corruption specs damage it
+///   segment.record      a framed SegmentStore record about to be written
 ///   snapshot.append     storage::SnapshotStore::Append
+///   snapshot.delta      a stored snapshot delta; corruption specs damage
+///                       it after its content checksum was recorded
 ///   mr.reduce           mr::MapReduceJob reduce-task attempt
 ///   ie.extract          one (document, extractor) run; also evaluated as
 ///                       "ie.extract.<name>" to target a single operator
@@ -44,10 +51,19 @@ class FailpointRegistry {
       kFrom,         // every hit >= n fires (models a crashed process)
       kProbability,  // each hit fires with probability p (seeded rng)
     };
+    /// What a firing evaluation does at a corruption-capable site
+    /// (MaybeCorrupt): kError injects an error Status like any other
+    /// failpoint; kFlipByte / kZeroByte silently damage one byte of the
+    /// payload at `corrupt_offset` (mod payload size) and let the write
+    /// "succeed" — deterministic bit-rot.
+    enum class Payload { kError, kFlipByte, kZeroByte };
+
     Mode mode = Mode::kOff;
     uint64_t n = 1;
     double probability = 0.0;
     uint64_t seed = 0;
+    Payload payload = Payload::kError;
+    uint64_t corrupt_offset = 0;
 
     static Spec Once() { return Nth(1); }
     static Spec Nth(uint64_t n) {
@@ -77,6 +93,21 @@ class FailpointRegistry {
     /// Never fires; useful to count hits at a site (e.g. to size a
     /// crash sweep before running it).
     static Spec CountOnly() { return Nth(0); }
+    /// On the nth evaluation, flip every bit of payload byte `offset`
+    /// (mod payload size); the write itself succeeds.
+    static Spec FlipByteAt(uint64_t nth, uint64_t offset) {
+      Spec s = Nth(nth);
+      s.payload = Payload::kFlipByte;
+      s.corrupt_offset = offset;
+      return s;
+    }
+    /// Like FlipByteAt but zeroes the byte.
+    static Spec ZeroByteAt(uint64_t nth, uint64_t offset) {
+      Spec s = Nth(nth);
+      s.payload = Payload::kZeroByte;
+      s.corrupt_offset = offset;
+      return s;
+    }
   };
 
   struct Counters {
@@ -106,6 +137,11 @@ class FailpointRegistry {
   /// Slow path used by MaybeFail; call Active() first.
   Status Evaluate(std::string_view name);
 
+  /// Slow path used by MaybeCorrupt: like Evaluate, but a firing spec
+  /// whose payload is a corruption mode mutates `buf` in place and
+  /// returns OK (the caller's write proceeds with damaged bytes).
+  Status EvaluateCorrupt(std::string_view name, std::string* buf);
+
  private:
   friend class ScopedFailpointSuppression;
 
@@ -130,6 +166,17 @@ class FailpointRegistry {
 inline Status MaybeFail(std::string_view name) {
   if (!FailpointRegistry::Active()) return Status::OK();
   return FailpointRegistry::Instance().Evaluate(name);
+}
+
+/// Evaluates a corruption-capable failpoint over the bytes about to be
+/// written. Disarmed: OK, bytes untouched (one atomic load). Armed with
+/// a corruption spec: when the policy fires, one byte of `buf` is
+/// deterministically flipped/zeroed and OK is returned — the write
+/// "succeeds", modeling silent media corruption the reader must catch.
+/// Armed with a plain error spec: behaves exactly like MaybeFail.
+inline Status MaybeCorrupt(std::string_view name, std::string* buf) {
+  if (!FailpointRegistry::Active()) return Status::OK();
+  return FailpointRegistry::Instance().EvaluateCorrupt(name, buf);
 }
 
 /// Declares a failpoint inside a function returning Status or Result<T>:

@@ -1,0 +1,37 @@
+#ifndef STRUCTURA_COMMON_INTEGRITY_H_
+#define STRUCTURA_COMMON_INTEGRITY_H_
+
+#include <cstdint>
+#include <string>
+
+namespace structura {
+
+/// Counters describing what storage recovery and scrubbing found —
+/// the bit-rot analogue of the serving layer's ServingCounters.
+/// Accumulated by WAL/checkpoint recovery, SegmentStore reopen, and the
+/// Scrub() passes; surfaced by System::StatusReport().
+struct IntegrityCounters {
+  uint64_t records_verified = 0;   // records whose checksums validated
+  uint64_t corrupt_records = 0;    // damaged frames / failed validations
+  uint64_t salvaged_records = 0;   // valid records recovered past damage
+  uint64_t lost_txns = 0;          // transactions dropped atomically
+  uint64_t quarantined_segments = 0;  // segment files with mid-file damage
+  uint64_t torn_tail_bytes = 0;    // trailing bytes truncated as torn
+  uint64_t checkpoints_rejected = 0;  // checkpoint images failing their footer
+
+  void Merge(const IntegrityCounters& other);
+
+  /// True when any damage (as opposed to clean verification) was seen.
+  bool AnyDamage() const {
+    return corrupt_records > 0 || lost_txns > 0 ||
+           quarantined_segments > 0 || torn_tail_bytes > 0 ||
+           checkpoints_rejected > 0;
+  }
+
+  /// One-line rendering used by StatusReport().
+  std::string ToString() const;
+};
+
+}  // namespace structura
+
+#endif  // STRUCTURA_COMMON_INTEGRITY_H_

@@ -1,0 +1,111 @@
+#include "common/recordio.h"
+
+#include <cstring>
+
+#include "common/crc32c.h"
+
+namespace structura {
+
+// Non-text bytes bracket the marker so document payloads (wiki markup,
+// SDL text, serialized rows) can never collide with it by accident.
+const char kFrameMagic[kFrameMagicBytes] = {'\xD7', '\x9C', 'S', 'T',
+                                            'R',    'v',    '1', '\xA5'};
+
+void AppendFrame(std::string_view payload, std::string* out) {
+  char header[kFrameHeaderBytes];
+  std::memcpy(header, kFrameMagic, kFrameMagicBytes);
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  uint32_t payload_crc = Crc32c(payload);
+  std::memcpy(header + kFrameMagicBytes, &len, sizeof(len));
+  std::memcpy(header + kFrameMagicBytes + 4, &payload_crc,
+              sizeof(payload_crc));
+  uint32_t header_crc =
+      Crc32c(std::string_view(header, kFrameMagicBytes + 8));
+  std::memcpy(header + kFrameMagicBytes + 8, &header_crc,
+              sizeof(header_crc));
+  out->append(header, kFrameHeaderBytes);
+  out->append(payload);
+}
+
+std::string FrameRecord(std::string_view payload) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  AppendFrame(payload, &out);
+  return out;
+}
+
+bool FrameReader::ValidFrameAt(size_t pos, uint32_t* len) const {
+  if (pos + kFrameHeaderBytes > buf_.size()) return false;
+  if (std::memcmp(buf_.data() + pos, kFrameMagic, kFrameMagicBytes) != 0) {
+    return false;
+  }
+  uint32_t stored_header_crc = 0;
+  std::memcpy(&stored_header_crc, buf_.data() + pos + kFrameMagicBytes + 8,
+              sizeof(stored_header_crc));
+  if (Crc32c(buf_.substr(pos, kFrameMagicBytes + 8)) != stored_header_crc) {
+    return false;
+  }
+  uint32_t payload_len = 0;
+  uint32_t payload_crc = 0;
+  std::memcpy(&payload_len, buf_.data() + pos + kFrameMagicBytes,
+              sizeof(payload_len));
+  std::memcpy(&payload_crc, buf_.data() + pos + kFrameMagicBytes + 4,
+              sizeof(payload_crc));
+  if (pos + kFrameHeaderBytes + payload_len > buf_.size()) return false;
+  if (Crc32c(buf_.substr(pos + kFrameHeaderBytes, payload_len)) !=
+      payload_crc) {
+    return false;
+  }
+  *len = payload_len;
+  return true;
+}
+
+std::optional<FrameReader::Frame> FrameReader::Next() {
+  if (pos_ >= buf_.size()) return std::nullopt;
+  uint32_t len = 0;
+  if (ValidFrameAt(pos_, &len)) {
+    Frame frame;
+    frame.payload = buf_.substr(pos_ + kFrameHeaderBytes, len);
+    frame.offset = pos_;
+    ++report_.frames_valid;
+    if (report_.damaged_regions > 0) ++report_.frames_salvaged;
+    pos_ += kFrameHeaderBytes + len;
+    return frame;
+  }
+  // Damage starting at pos_: scan forward for the next fully valid
+  // frame. Candidates are validated end-to-end (header CRC and payload
+  // CRC), so magic-shaped bytes inside a damaged payload cannot cause a
+  // false resync.
+  const size_t bad_start = pos_;
+  if (report_.first_damage_offset == FrameScanReport::kNoDamage) {
+    report_.first_damage_offset = bad_start;
+  }
+  const std::string_view magic(kFrameMagic, kFrameMagicBytes);
+  size_t search = bad_start + 1;
+  while (search < buf_.size()) {
+    size_t candidate = buf_.find(magic, search);
+    if (candidate == std::string_view::npos) break;
+    if (ValidFrameAt(candidate, &len)) {
+      ++report_.damaged_regions;
+      report_.lost_ranges.emplace_back(bad_start, candidate);
+      Frame frame;
+      frame.payload = buf_.substr(candidate + kFrameHeaderBytes, len);
+      frame.offset = candidate;
+      frame.after_damage = true;
+      ++report_.frames_valid;
+      ++report_.frames_salvaged;
+      pos_ = candidate + kFrameHeaderBytes + len;
+      return frame;
+    }
+    search = candidate + 1;
+  }
+  // No later valid frame: everything from bad_start on is a tail the
+  // store may truncate (a torn write, or end-of-file damage).
+  report_.torn_tail = true;
+  report_.torn_tail_offset = bad_start;
+  report_.torn_tail_bytes = buf_.size() - bad_start;
+  pos_ = buf_.size();
+  return std::nullopt;
+}
+
+}  // namespace structura

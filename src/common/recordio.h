@@ -1,0 +1,95 @@
+#ifndef STRUCTURA_COMMON_RECORDIO_H_
+#define STRUCTURA_COMMON_RECORDIO_H_
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace structura {
+
+/// Shared on-disk record framing for the append-only stores (WAL,
+/// segment store). Every record is wrapped as
+///
+///   [magic 8B][payload_len u32][payload_crc32c u32][header_crc32c u32]
+///   [payload bytes]
+///
+/// The magic doubles as a resync marker: a reader that finds a damaged
+/// frame (bit-rot anywhere in header or payload) can scan forward for
+/// the next magic whose header *and* payload checksums validate, and
+/// continue from there. That turns "one flipped byte truncates the rest
+/// of the file" into "one flipped byte loses one frame" — the reader
+/// reports exactly which byte ranges were lost so the storage layer can
+/// drop the affected transactions atomically. The header CRC lets a
+/// reader distinguish a corrupted length field from a genuinely torn
+/// tail instead of trusting a garbage length.
+inline constexpr size_t kFrameMagicBytes = 8;
+inline constexpr size_t kFrameHeaderBytes = kFrameMagicBytes + 12;
+extern const char kFrameMagic[kFrameMagicBytes];
+
+/// Appends one framed record to `out`.
+void AppendFrame(std::string_view payload, std::string* out);
+
+/// Returns `payload` wrapped in a frame.
+std::string FrameRecord(std::string_view payload);
+
+/// What a full pass over a framed buffer found.
+struct FrameScanReport {
+  static constexpr uint64_t kNoDamage =
+      std::numeric_limits<uint64_t>::max();
+
+  uint64_t frames_valid = 0;
+  /// Valid frames recovered *after* the first damaged region — records
+  /// the pre-resync reader would have silently dropped.
+  uint64_t frames_salvaged = 0;
+  /// Damaged regions skipped mid-file by resyncing to a later frame.
+  uint64_t damaged_regions = 0;
+  /// Byte ranges [begin, end) lost to mid-file damage.
+  std::vector<std::pair<uint64_t, uint64_t>> lost_ranges;
+  /// Trailing bytes with no later valid frame: a torn write (or damage
+  /// so close to the end that nothing could be resynced past it). The
+  /// store may safely truncate the file at `torn_tail_offset`.
+  bool torn_tail = false;
+  uint64_t torn_tail_offset = 0;
+  uint64_t torn_tail_bytes = 0;
+  /// File offset of the first damaged byte region, kNoDamage when clean.
+  uint64_t first_damage_offset = kNoDamage;
+
+  bool clean() const { return damaged_regions == 0 && !torn_tail; }
+};
+
+/// Iterates the valid frames of an in-memory buffer, resyncing past
+/// damage. Usage:
+///   FrameReader reader(bytes);
+///   while (auto frame = reader.Next()) use(frame->payload);
+///   const FrameScanReport& report = reader.report();
+class FrameReader {
+ public:
+  explicit FrameReader(std::string_view buffer) : buf_(buffer) {}
+
+  struct Frame {
+    std::string_view payload;
+    uint64_t offset = 0;       // frame start within the buffer
+    bool after_damage = false; // a damaged region immediately precedes
+  };
+
+  /// Next valid frame, or nullopt at end of buffer. The report is
+  /// complete once this returns nullopt.
+  std::optional<Frame> Next();
+
+  const FrameScanReport& report() const { return report_; }
+
+ private:
+  bool ValidFrameAt(size_t pos, uint32_t* len) const;
+
+  std::string_view buf_;
+  size_t pos_ = 0;
+  FrameScanReport report_;
+};
+
+}  // namespace structura
+
+#endif  // STRUCTURA_COMMON_RECORDIO_H_

@@ -6,6 +6,7 @@
 
 #include "common/failpoint.h"
 #include "common/hash.h"
+#include "common/logging.h"
 #include "common/strings.h"
 #include "core/eval.h"
 #include "core/schema_unify.h"
@@ -25,6 +26,12 @@ Result<std::unique_ptr<System>> System::Create(Options options) {
     db_options.dir = sys->options_.workspace + "/db";
   }
   STRUCTURA_ASSIGN_OR_RETURN(sys->db_, rdbms::Database::Open(db_options));
+  if (!sys->options_.workspace.empty()) {
+    STRUCTURA_ASSIGN_OR_RETURN(
+        sys->intermediate_,
+        storage::SegmentStore::Open(sys->options_.workspace +
+                                    "/intermediate"));
+  }
   return sys;
 }
 
@@ -266,6 +273,15 @@ std::string System::StatusReport() const {
   if (serving_stats_) {
     out += "serving: " + serving_stats_().ToString() + "\n";
   }
+  IntegrityCounters recovered = db_->recovery_report();
+  if (intermediate_ != nullptr) {
+    recovered.Merge(intermediate_->recovery_report());
+  }
+  if (recovered.AnyDamage() || scrubbed_) {
+    out += "integrity: recovery " + recovered.ToString();
+    if (scrubbed_) out += "; last scrub " + last_scrub_.ToString();
+    out += '\n';
+  }
   std::vector<std::pair<std::string, FailpointRegistry::Counters>> fps =
       FailpointRegistry::Instance().Snapshot();
   if (!fps.empty()) {
@@ -443,8 +459,33 @@ Status System::MaterializeBeliefs(const std::string& table) {
     if (belief_node.ok()) {
       lineage_.AddEdge(tuple, *belief_node, "materializes");
     }
+    // Best-effort copy into the sequential intermediate log (feeds
+    // downstream batch consumers; the transactional store remains the
+    // source of truth).
+    if (intermediate_ != nullptr) {
+      Result<uint64_t> appended = intermediate_->Append(
+          StrFormat("%s\t%s\t%s\t%.6f", b.subject.c_str(),
+                    b.attribute.c_str(), top->value.c_str(),
+                    top->probability));
+      if (!appended.ok()) {
+        STRUCTURA_LOG(kWarning) << "intermediate log append failed: "
+                                << appended.status().ToString();
+      }
+    }
   }
   return txn->Commit();
+}
+
+Result<IntegrityCounters> System::ScrubStorage() {
+  IntegrityCounters counters;
+  STRUCTURA_RETURN_IF_ERROR(db_->Scrub(&counters));
+  if (intermediate_ != nullptr) {
+    STRUCTURA_RETURN_IF_ERROR(intermediate_->Scrub(&counters));
+  }
+  STRUCTURA_RETURN_IF_ERROR(snapshots_.Scrub(&counters));
+  last_scrub_ = counters;
+  scrubbed_ = true;
+  return counters;
 }
 
 std::vector<query::SearchHit> System::KeywordSearch(const std::string& q,

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/integrity.h"
 #include "common/status.h"
 #include "debugger/semantic_debugger.h"
 #include "hi/aggregation.h"
@@ -22,6 +23,7 @@
 #include "query/translator.h"
 #include "rdbms/database.h"
 #include "serve/counters.h"
+#include "storage/segment_store.h"
 #include "storage/snapshot_store.h"
 #include "uncertainty/confidence.h"
 #include "user/accounts.h"
@@ -140,6 +142,17 @@ class System {
 
   rdbms::Database* database() { return db_.get(); }
 
+  /// Append-only log of materialized belief tuples — the paper's
+  /// sequential "intermediate structured data" device. Null for an
+  /// in-memory (workspace-less) system.
+  storage::SegmentStore* intermediate_store() { return intermediate_.get(); }
+
+  /// Re-reads and re-verifies every byte of persistent storage — the
+  /// final store's checkpoint and WAL, the intermediate segment log, and
+  /// every snapshot version — and returns what it found. The result is
+  /// also remembered and surfaced in StatusReport().
+  Result<IntegrityCounters> ScrubStorage();
+
   // --- Exploitation -----------------------------------------------------
 
   std::vector<query::SearchHit> KeywordSearch(const std::string& q,
@@ -182,8 +195,9 @@ class System {
 
   /// One-page operational summary: documents, snapshot store, views,
   /// beliefs, lineage, users, monitor counters, quarantined operators,
-  /// serving counters (when a provider is set), and fault-injection
-  /// counters.
+  /// serving counters (when a provider is set), storage-integrity
+  /// counters (recovery findings and the last scrub), and
+  /// fault-injection counters.
   std::string StatusReport() const;
 
   /// Wires a serving frontend's counters into StatusReport(). The
@@ -225,6 +239,9 @@ class System {
   lang::ExecutionContext ctx_;
 
   std::unique_ptr<rdbms::Database> db_;
+  std::unique_ptr<storage::SegmentStore> intermediate_;
+  IntegrityCounters last_scrub_;
+  bool scrubbed_ = false;
   std::vector<uncertainty::AttributeBelief> beliefs_;
   ie::FactSet current_facts_;
   std::string fact_view_;

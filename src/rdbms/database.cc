@@ -2,8 +2,11 @@
 
 #include <filesystem>
 #include <fstream>
+#include <iterator>
+#include <unordered_map>
 #include <unordered_set>
 
+#include "common/crc32c.h"
 #include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/strings.h"
@@ -56,6 +59,42 @@ Result<TableSchema> DeserializeSchema(const std::string& data) {
   return schema;
 }
 
+/// Reads a checkpoint file and verifies its footer
+/// ("FOOTER <crc32c> <body_len>\n" as the last line, CRC over the body)
+/// before handing back the body. Any mismatch — missing footer, bad
+/// length, checksum failure — is kCorruption, so recovery can fall back
+/// to WAL-only replay instead of loading garbage.
+Result<std::string> ReadVerifiedCheckpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::Internal("cannot open checkpoint");
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (data.empty() || data.back() != '\n') {
+    return Status::Corruption("checkpoint missing footer");
+  }
+  size_t prev_nl = data.rfind('\n', data.size() - 2);
+  size_t footer_start = prev_nl == std::string::npos ? 0 : prev_nl + 1;
+  if (data.compare(footer_start, 7, "FOOTER ") != 0) {
+    return Status::Corruption("checkpoint missing footer");
+  }
+  std::vector<std::string> parts = Split(
+      data.substr(footer_start + 7, data.size() - footer_start - 8), ' ');
+  int64_t crc = 0;
+  int64_t body_len = 0;
+  if (parts.size() != 2 || !ParseInt64(parts[0], &crc) ||
+      !ParseInt64(parts[1], &body_len) || crc < 0 || body_len < 0) {
+    return Status::Corruption("bad checkpoint footer");
+  }
+  if (static_cast<size_t>(body_len) != footer_start) {
+    return Status::Corruption("checkpoint footer length mismatch");
+  }
+  std::string body = data.substr(0, footer_start);
+  if (Crc32c(body) != static_cast<uint32_t>(crc)) {
+    return Status::Corruption("checkpoint checksum mismatch");
+  }
+  return body;
+}
+
 }  // namespace
 
 Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
@@ -73,25 +112,128 @@ Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
 }
 
 Status Database::Recover() {
+  recovery_ = IntegrityCounters{};
+  bool salvage = false;
   if (std::filesystem::exists(CheckpointPath())) {
-    STRUCTURA_RETURN_IF_ERROR(LoadCheckpoint(CheckpointPath()));
+    Status loaded = LoadCheckpoint(CheckpointPath());
+    if (loaded.code() == StatusCode::kCorruption) {
+      // A corrupt checkpoint must never be served; drop whatever it
+      // half-loaded and fall back to WAL-only replay. Data covered only
+      // by the (now-truncated) pre-checkpoint WAL is reported lost
+      // rather than silently replaced with garbage.
+      STRUCTURA_LOG(kWarning)
+          << "checkpoint rejected (" << loaded.message()
+          << "); falling back to WAL-only replay";
+      tables_.clear();
+      ++recovery_.checkpoints_rejected;
+      ++recovery_.corrupt_records;
+      salvage = true;
+    } else if (!loaded.ok()) {
+      return loaded;
+    }
   }
-  STRUCTURA_ASSIGN_OR_RETURN(std::vector<LogRecord> log,
+  STRUCTURA_ASSIGN_OR_RETURN(WalReadResult log,
                              WriteAheadLog::ReadAll(WalPath()));
-  STRUCTURA_RETURN_IF_ERROR(ApplyCommitted(log));
+  recovery_.records_verified += log.records.size();
+  recovery_.corrupt_records +=
+      log.frames.damaged_regions + log.undecodable_frames;
+  recovery_.salvaged_records += log.frames.frames_salvaged;
+  if (!log.gaps.empty()) {
+    salvage = true;
+    for (const auto& [begin, end] : log.frames.lost_ranges) {
+      STRUCTURA_LOG(kWarning)
+          << "wal corruption: lost byte range [" << begin << ", " << end
+          << ") of " << WalPath() << "; salvaged later records";
+    }
+  }
+  if (log.frames.torn_tail) {
+    // A torn tail is the expected artifact of a crash mid-append: not
+    // reported as corruption, but truncated away so future appends
+    // start at the last valid frame — and, unlike the pre-salvage
+    // reader, reported to the caller instead of silently dropped.
+    recovery_.torn_tail_bytes += log.frames.torn_tail_bytes;
+    STRUCTURA_LOG(kWarning)
+        << "wal torn tail: truncating " << log.frames.torn_tail_bytes
+        << " bytes at offset " << log.frames.torn_tail_offset << " of "
+        << WalPath();
+    std::error_code ec;
+    std::filesystem::resize_file(WalPath(), log.frames.torn_tail_offset,
+                                 ec);
+    if (ec) {
+      return Status::Internal("cannot truncate torn wal tail: " +
+                              ec.message());
+    }
+  }
+  STRUCTURA_RETURN_IF_ERROR(ApplyCommitted(log, salvage));
   // Continue txn ids past anything in the log.
-  for (const LogRecord& r : log) {
+  for (const LogRecord& r : log.records) {
     if (r.txn >= next_txn_.load()) next_txn_.store(r.txn + 1);
   }
   return Status::OK();
 }
 
-Status Database::ApplyCommitted(const std::vector<LogRecord>& log) {
+Status Database::ApplyCommitted(const WalReadResult& log, bool salvage) {
+  // Every frame of a transaction lies between its kBegin and its
+  // kCommit, so a committed transaction can only have lost frames if a
+  // damaged region (gap) falls inside that span — or if its kBegin
+  // itself is gone. Such "tainted" transactions are dropped atomically:
+  // none of their surviving records are redone, so a partially-damaged
+  // transaction never half-applies.
   std::unordered_set<TxnId> committed;
-  for (const LogRecord& r : log) {
-    if (r.type == LogRecord::Type::kCommit) committed.insert(r.txn);
+  std::unordered_set<TxnId> has_begin;
+  std::unordered_set<TxnId> has_finish;  // commit or abort seen
+  std::unordered_map<TxnId, size_t> first_idx;
+  std::unordered_map<TxnId, size_t> commit_idx;
+  const std::vector<LogRecord>& records = log.records;
+  for (size_t i = 0; i < records.size(); ++i) {
+    const LogRecord& r = records[i];
+    if (r.txn == 0) continue;  // auto-committed DDL
+    first_idx.emplace(r.txn, i);
+    if (r.type == LogRecord::Type::kBegin) has_begin.insert(r.txn);
+    if (r.type == LogRecord::Type::kAbort) has_finish.insert(r.txn);
+    if (r.type == LogRecord::Type::kCommit) {
+      committed.insert(r.txn);
+      has_finish.insert(r.txn);
+      commit_idx[r.txn] = i;
+    }
   }
-  for (const LogRecord& r : log) {
+  std::unordered_set<TxnId> tainted;
+  if (!log.gaps.empty()) {
+    for (TxnId txn : committed) {
+      size_t first = first_idx[txn];
+      size_t commit = commit_idx[txn];
+      bool gap_inside = false;
+      for (size_t gap : log.gaps) {
+        if (gap > first && gap <= commit) {
+          gap_inside = true;
+          break;
+        }
+      }
+      if (gap_inside || has_begin.count(txn) == 0) {
+        tainted.insert(txn);
+        ++recovery_.lost_txns;
+        STRUCTURA_LOG(kWarning)
+            << "dropping transaction " << txn
+            << " whose frames span a damaged wal region";
+      }
+    }
+    // A transaction with records but no commit/abort after a mid-file
+    // gap may have lost its commit record to damage: it is dropped like
+    // any in-flight transaction, but counted as potentially lost.
+    for (const auto& [txn, first] : first_idx) {
+      if (has_finish.count(txn) > 0) continue;
+      for (size_t gap : log.gaps) {
+        if (gap > first) {
+          ++recovery_.lost_txns;
+          break;
+        }
+      }
+    }
+  }
+  auto replay = [&](TxnId txn) {
+    return committed.count(txn) > 0 && tainted.count(txn) == 0;
+  };
+  for (const LogRecord& r : records) {
     switch (r.type) {
       case LogRecord::Type::kCreateTable: {
         STRUCTURA_ASSIGN_OR_RETURN(TableSchema schema,
@@ -104,6 +246,7 @@ Status Database::ApplyCommitted(const std::vector<LogRecord>& log) {
       case LogRecord::Type::kCreateIndex: {
         TableEntry* entry = FindEntry(r.table);
         if (entry == nullptr) {
+          if (salvage) break;  // table DDL lost to damage: skip
           return Status::Corruption("index on unknown table " + r.table);
         }
         // Idempotent: a checkpoint may already contain the index.
@@ -116,31 +259,36 @@ Status Database::ApplyCommitted(const std::vector<LogRecord>& log) {
         tables_.erase(r.table);
         break;
       case LogRecord::Type::kInsert: {
-        if (committed.count(r.txn) == 0) break;
+        if (!replay(r.txn)) break;
         TableEntry* entry = FindEntry(r.table);
         if (entry == nullptr) {
+          if (salvage) break;
           return Status::Corruption("insert into unknown table " + r.table);
         }
-        STRUCTURA_RETURN_IF_ERROR(
-            entry->table->InsertAt(r.row_id, r.after));
+        Status applied = entry->table->InsertAt(r.row_id, r.after);
+        if (!applied.ok() && !salvage) return applied;
         break;
       }
       case LogRecord::Type::kUpdate: {
-        if (committed.count(r.txn) == 0) break;
+        if (!replay(r.txn)) break;
         TableEntry* entry = FindEntry(r.table);
         if (entry == nullptr) {
+          if (salvage) break;
           return Status::Corruption("update of unknown table " + r.table);
         }
-        STRUCTURA_RETURN_IF_ERROR(entry->table->Update(r.row_id, r.after));
+        Status applied = entry->table->Update(r.row_id, r.after);
+        if (!applied.ok() && !salvage) return applied;
         break;
       }
       case LogRecord::Type::kDelete: {
-        if (committed.count(r.txn) == 0) break;
+        if (!replay(r.txn)) break;
         TableEntry* entry = FindEntry(r.table);
         if (entry == nullptr) {
+          if (salvage) break;
           return Status::Corruption("delete from unknown table " + r.table);
         }
-        STRUCTURA_RETURN_IF_ERROR(entry->table->Delete(r.row_id));
+        Status applied = entry->table->Delete(r.row_id);
+        if (!applied.ok() && !salvage) return applied;
         break;
       }
       default:
@@ -151,10 +299,11 @@ Status Database::ApplyCommitted(const std::vector<LogRecord>& log) {
 }
 
 Status Database::LoadCheckpoint(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::Internal("cannot open checkpoint");
-  std::string data((std::istreambuf_iterator<char>(in)),
-                   std::istreambuf_iterator<char>());
+  // The footer CRC is verified before any of the body is trusted; a
+  // flipped byte anywhere in the image surfaces as kCorruption here and
+  // recovery falls back to WAL-only replay.
+  STRUCTURA_ASSIGN_OR_RETURN(std::string data,
+                             ReadVerifiedCheckpoint(path));
   size_t pos = 0;
   Table* current = nullptr;
   auto read_to_newline = [&](std::string* out) -> bool {
@@ -233,33 +382,42 @@ Status Database::Checkpoint() {
   }
   std::lock_guard<std::mutex> catalog(catalog_mutex_);
   std::string tmp = CheckpointPath() + ".tmp";
+  std::string image;
+  for (const auto& [name, entry] : tables_) {
+    std::lock_guard<std::mutex> latch(entry->latch);
+    std::string schema_blob = SerializeSchema(entry->table->schema());
+    for (char& c : schema_blob) {
+      if (c == '\n') c = '\x1f';
+    }
+    image += "TABLE " + schema_blob + '\n';
+    // Persisted index list, before rows so load can rebuild on insert.
+    const TableSchema& schema = entry->table->schema();
+    for (const Column& col : schema.columns) {
+      if (entry->table->HasIndex(col.name)) {
+        image += "INDEX " + name + ' ' + col.name + '\n';
+      }
+    }
+    entry->table->Scan([&](RowId id, const Row& row) {
+      std::string line =
+          StrFormat("ROW %llu ", static_cast<unsigned long long>(id));
+      AppendRowTo(row, &line);
+      image += line;
+      image += '\n';
+    });
+  }
+  image += StrFormat("FOOTER %llu %zu\n",
+                     static_cast<unsigned long long>(Crc32c(image)),
+                     image.size());
+  // Deterministic bit-rot injection over the full image (body or
+  // footer); LoadCheckpoint must reject the file either way.
+  STRUCTURA_RETURN_IF_ERROR(MaybeCorrupt("checkpoint.write", &image));
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) return Status::Internal("cannot write checkpoint");
-    for (const auto& [name, entry] : tables_) {
-      std::lock_guard<std::mutex> latch(entry->latch);
-      std::string schema_blob = SerializeSchema(entry->table->schema());
-      for (char& c : schema_blob) {
-        if (c == '\n') c = '\x1f';
-      }
-      out << "TABLE " << schema_blob << '\n';
-      // Persisted index list, before rows so load can rebuild on insert.
-      const TableSchema& schema = entry->table->schema();
-      for (const Column& col : schema.columns) {
-        if (entry->table->HasIndex(col.name)) {
-          out << "INDEX " << name << ' ' << col.name << '\n';
-        }
-      }
-      entry->table->Scan([&](RowId id, const Row& row) {
-        std::string line = StrFormat(
-            "ROW %llu ", static_cast<unsigned long long>(id));
-        AppendRowTo(row, &line);
-        out << line << '\n';
-      });
-    }
-    // Fires after the tmp file is (partially) written but before it
-    // replaces the live checkpoint: a crash here must leave the old
-    // checkpoint and the un-truncated WAL fully authoritative.
+    out.write(image.data(), static_cast<std::streamsize>(image.size()));
+    // Fires after the tmp file is written but before it replaces the
+    // live checkpoint: a crash here must leave the old checkpoint and
+    // the un-truncated WAL fully authoritative.
     STRUCTURA_FAILPOINT("db.checkpoint.write");
     out.flush();
     if (!out) return Status::Internal("checkpoint write failed");
@@ -269,6 +427,25 @@ Status Database::Checkpoint() {
   if (ec) return Status::Internal("checkpoint rename failed");
   std::lock_guard<std::mutex> wal_lock(wal_mutex_);
   return wal_->Reset();
+}
+
+Status Database::Scrub(IntegrityCounters* counters) {
+  if (options_.dir.empty()) return Status::OK();  // ephemeral: no disk
+  if (std::filesystem::exists(CheckpointPath())) {
+    Result<std::string> body = ReadVerifiedCheckpoint(CheckpointPath());
+    if (body.ok()) {
+      ++counters->records_verified;
+    } else if (body.status().code() == StatusCode::kCorruption) {
+      ++counters->corrupt_records;
+      ++counters->checkpoints_rejected;
+    } else {
+      return body.status();
+    }
+  }
+  // Hold the WAL lock so the scrub sees a consistent, flushed file.
+  std::lock_guard<std::mutex> wal_lock(wal_mutex_);
+  if (wal_ != nullptr) STRUCTURA_RETURN_IF_ERROR(wal_->Flush());
+  return WriteAheadLog::Scrub(WalPath(), counters);
 }
 
 Database::TableEntry* Database::FindEntry(const std::string& name) const {

@@ -57,8 +57,19 @@ class Database {
   /// before destruction (the destructor aborts as a safety net).
   std::unique_ptr<Transaction> Begin();
 
-  /// Writes a full checkpoint and truncates the WAL.
+  /// Writes a full checkpoint (with a CRC32C footer) and truncates the
+  /// WAL.
   Status Checkpoint();
+
+  /// What the last Open()/Recover() found: records replayed, damaged
+  /// frames salvaged around, transactions dropped, checkpoints
+  /// rejected. All zeros for a clean open.
+  const IntegrityCounters& recovery_report() const { return recovery_; }
+
+  /// Verifies every byte of the on-disk state — checkpoint footer and
+  /// all WAL frames — without modifying anything, folding findings into
+  /// `counters`. A no-op for an ephemeral database.
+  Status Scrub(IntegrityCounters* counters);
 
   LockManager& lock_manager() { return locks_; }
   size_t wal_records() const { return wal_ ? wal_->AppendedRecords() : 0; }
@@ -71,7 +82,11 @@ class Database {
 
   Status Recover();
   Status LoadCheckpoint(const std::string& path);
-  Status ApplyCommitted(const std::vector<LogRecord>& log);
+  /// Replays committed transactions. When `salvage` is set (the log had
+  /// damaged regions or the checkpoint was rejected), records that no
+  /// longer apply (e.g. writes to a table whose DDL was lost) are
+  /// skipped and counted instead of failing recovery.
+  Status ApplyCommitted(const WalReadResult& log, bool salvage);
   std::string WalPath() const { return options_.dir + "/wal.log"; }
   std::string CheckpointPath() const {
     return options_.dir + "/checkpoint";
@@ -86,6 +101,7 @@ class Database {
   TableEntry* FindEntry(const std::string& name) const;
 
   DatabaseOptions options_;
+  IntegrityCounters recovery_;
   mutable std::mutex catalog_mutex_;
   std::map<std::string, std::unique_ptr<TableEntry>> tables_;
   LockManager locks_;

@@ -1,9 +1,9 @@
 #include "rdbms/wal.h"
 
-#include <cstdlib>
+#include <fstream>
+#include <iterator>
 
 #include "common/failpoint.h"
-#include "common/hash.h"
 #include "common/strings.h"
 
 namespace structura::rdbms {
@@ -123,13 +123,10 @@ Result<LogRecord> WriteAheadLog::Decode(const std::string& payload) {
 
 Status WriteAheadLog::Append(const LogRecord& record) {
   STRUCTURA_FAILPOINT("wal.append");
-  std::string payload = Encode(record);
-  // Frame: "<checksum> <len>\n<payload>\n".
-  std::string framed = StrFormat(
-      "%llu %zu\n", static_cast<unsigned long long>(Fnv1a64(payload)),
-      payload.size());
-  framed += payload;
-  framed += '\n';
+  std::string framed = FrameRecord(Encode(record));
+  // Deterministic bit-rot injection over the framed bytes (header or
+  // payload); the write below still "succeeds".
+  STRUCTURA_RETURN_IF_ERROR(MaybeCorrupt("wal.frame", &framed));
   if (Status torn = MaybeFail("wal.append.torn"); !torn.ok()) {
     // Simulated crash mid-write: only a prefix of the frame reaches the
     // file. ReadAll must detect and ignore this tail at recovery.
@@ -151,36 +148,43 @@ Status WriteAheadLog::Flush() {
   return out_ ? Status::OK() : Status::Internal("wal flush failed");
 }
 
-Result<std::vector<LogRecord>> WriteAheadLog::ReadAll(
-    const std::string& path) {
-  std::vector<LogRecord> records;
+Result<WalReadResult> WriteAheadLog::ReadAll(const std::string& path) {
+  WalReadResult out;
   std::ifstream in(path, std::ios::binary);
-  if (!in) return records;  // no log yet: empty history
-  std::string header;
-  while (std::getline(in, header)) {
-    size_t space = header.find(' ');
-    if (space == std::string::npos) break;
-    int64_t len = 0;
-    uint64_t checksum = 0;
-    {
-      int64_t cs = 0;
-      // Checksums are 64-bit; parse as unsigned via strtoull.
-      char* end = nullptr;
-      checksum = std::strtoull(header.c_str(), &end, 10);
-      if (end != header.c_str() + space) break;
-      if (!ParseInt64(header.substr(space + 1), &len) || len < 0) break;
-      (void)cs;
+  if (!in) return out;  // no log yet: empty history
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  FrameReader reader(data);
+  bool pending_gap = false;
+  while (std::optional<FrameReader::Frame> frame = reader.Next()) {
+    Result<LogRecord> rec = Decode(std::string(frame->payload));
+    if (!rec.ok()) {
+      // Checksums validated but the payload does not parse: treat it as
+      // a damaged frame so spanning transactions are dropped atomically.
+      ++out.undecodable_frames;
+      pending_gap = true;
+      continue;
     }
-    std::string payload(static_cast<size_t>(len), '\0');
-    if (!in.read(payload.data(), len)) break;  // torn tail
-    char nl = 0;
-    if (!in.get(nl) || nl != '\n') break;
-    if (Fnv1a64(payload) != checksum) break;  // corrupt tail
-    Result<LogRecord> rec = Decode(payload);
-    if (!rec.ok()) break;
-    records.push_back(std::move(*rec));
+    if (frame->after_damage || pending_gap) {
+      out.gaps.push_back(out.records.size());
+      pending_gap = false;
+    }
+    out.records.push_back(std::move(*rec));
   }
-  return records;
+  out.frames = reader.report();
+  return out;
+}
+
+Status WriteAheadLog::Scrub(const std::string& path,
+                            IntegrityCounters* counters) {
+  STRUCTURA_ASSIGN_OR_RETURN(WalReadResult result, ReadAll(path));
+  counters->records_verified += result.records.size();
+  counters->corrupt_records +=
+      result.frames.damaged_regions + result.undecodable_frames +
+      (result.frames.torn_tail ? 1 : 0);
+  counters->salvaged_records += result.frames.frames_salvaged;
+  counters->torn_tail_bytes += result.frames.torn_tail_bytes;
+  return Status::OK();
 }
 
 Status WriteAheadLog::Reset() {

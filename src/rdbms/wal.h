@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "common/integrity.h"
+#include "common/recordio.h"
 #include "rdbms/lock_manager.h"
 #include "rdbms/schema.h"
 
@@ -38,9 +40,35 @@ struct LogRecord {
   std::string payload;
 };
 
-/// Append-only redo/undo log with per-record checksums. Commit records are
-/// flushed before Commit returns (durability point); a torn tail left by a
-/// crash is detected by checksum and ignored by ReadAll.
+/// Everything ReadAll learned from one pass over a log file: the valid
+/// records, where damage sat relative to them, and the raw framing
+/// report (lost byte ranges, torn tail). Callers use `gaps` to drop
+/// transactions that may have lost frames, and the report to log what
+/// was truncated instead of silently returning a prefix.
+struct WalReadResult {
+  std::vector<LogRecord> records;
+  /// Indices into `records` immediately *after* a damaged region: an
+  /// entry `i` means frames were lost between records[i-1] and
+  /// records[i] (i == 0: before the first surviving record). Sorted.
+  std::vector<size_t> gaps;
+  /// Frames whose checksums validated but whose payload failed to
+  /// decode — counted as damage and reflected in `gaps` as well.
+  uint64_t undecodable_frames = 0;
+  /// Framing-level scan report (lost ranges, torn tail, salvage count).
+  FrameScanReport frames;
+
+  bool clean() const {
+    return frames.clean() && undecodable_frames == 0;
+  }
+};
+
+/// Append-only redo/undo log. Records are framed with a magic resync
+/// marker, a CRC32C over the header, and a CRC32C over the payload
+/// (common/recordio.h). Commit records are flushed before Commit
+/// returns (durability point). At recovery, a torn tail left by a crash
+/// is cleanly truncated, while mid-file bit-rot is *salvaged*: the
+/// reader resyncs to the next valid frame and reports the lost range so
+/// the database can drop only the damaged transactions.
 class WriteAheadLog {
  public:
   static Result<std::unique_ptr<WriteAheadLog>> Open(
@@ -52,9 +80,16 @@ class WriteAheadLog {
   Status Append(const LogRecord& record);
   Status Flush();
 
-  /// Reads every valid record from `path`, stopping at the first
-  /// corrupt/torn record.
-  static Result<std::vector<LogRecord>> ReadAll(const std::string& path);
+  /// Reads every valid record from `path`, resyncing past damaged
+  /// frames, and reports exactly what was lost (see WalReadResult). A
+  /// missing file is an empty history.
+  static Result<WalReadResult> ReadAll(const std::string& path);
+
+  /// Verifies every frame of `path` (including decode) and folds the
+  /// findings into `counters`: records_verified, corrupt_records,
+  /// salvaged_records, torn_tail_bytes.
+  static Status Scrub(const std::string& path,
+                      IntegrityCounters* counters);
 
   /// Truncates the log (after a checkpoint made it redundant).
   Status Reset();

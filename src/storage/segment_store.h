@@ -8,16 +8,19 @@
 #include <string_view>
 #include <vector>
 
+#include "common/integrity.h"
 #include "common/status.h"
 
 namespace structura::storage {
 
 /// Append-only, file-backed record log split into segments — the paper's
 /// storage device for intermediate structured data, which "often executes
-/// only sequential reads and writes" (Section 4). Records are
-/// length-prefixed and checksummed; Open() re-scans segments, validating
-/// every record, so torn tails from a crash are detected and truncated
-/// away.
+/// only sequential reads and writes" (Section 4). Records are framed with
+/// a magic resync marker plus header and payload CRC32C (common/
+/// recordio.h); Open() re-scans segments validating every record, so a
+/// torn tail from a crash is truncated away while mid-file bit-rot loses
+/// only the damaged records — later valid records are salvaged and the
+/// affected segment is reported as quarantined in recovery_report().
 class SegmentStore {
  public:
   struct Options {
@@ -71,6 +74,14 @@ class SegmentStore {
 
   Iterator Scan() const { return Iterator(this); }
 
+  /// Re-reads and re-validates every byte of every segment file without
+  /// modifying anything, folding findings into `counters`: records
+  /// verified, damaged regions, salvaged records, quarantined segments.
+  Status Scrub(IntegrityCounters* counters);
+
+  /// What the last Open() scan found (all zeros for a clean open).
+  const IntegrityCounters& recovery_report() const { return recovery_; }
+
   uint64_t NumRecords() const { return index_.size(); }
   size_t NumSegments() const { return num_segments_; }
 
@@ -92,6 +103,7 @@ class SegmentStore {
 
   std::string dir_;
   Options options_;
+  IntegrityCounters recovery_;
   std::vector<RecordRef> index_;
   uint32_t num_segments_ = 0;
   std::ofstream active_;

@@ -1,5 +1,6 @@
 #include "storage/snapshot_store.h"
 
+#include "common/crc32c.h"
 #include "common/failpoint.h"
 
 namespace structura::storage {
@@ -12,6 +13,7 @@ Result<uint32_t> SnapshotStore::Append(uint64_t page_id,
   full_copy_bytes_ += content.size();
 
   VersionEntry entry;
+  entry.content_crc = Crc32c(content);
   bool keyframe = options_.keyframe_interval > 0 &&
                   version % options_.keyframe_interval == 0;
   if (version == 0 || keyframe) {
@@ -37,6 +39,10 @@ Result<uint32_t> SnapshotStore::Append(uint64_t page_id,
       stored_bytes_ += entry.delta.size();
     }
   }
+  // Deterministic bit-rot injection over whichever representation was
+  // stored; the checksum above was taken first, so Get() detects it.
+  std::string* stored = entry.is_full ? &entry.full : &entry.delta;
+  STRUCTURA_RETURN_IF_ERROR(MaybeCorrupt("snapshot.delta", stored));
   page.versions.push_back(std::move(entry));
   return version;
 }
@@ -65,7 +71,23 @@ Result<std::string> SnapshotStore::Get(uint64_t page_id,
     if (!next.ok()) return next.status();
     text = std::move(*next);
   }
+  if (Crc32c(text) != page.versions[version].content_crc) {
+    return Status::Corruption("snapshot reconstruction mismatch");
+  }
   return text;
+}
+
+Status SnapshotStore::Scrub(IntegrityCounters* counters) const {
+  for (const auto& [page_id, page] : pages_) {
+    for (uint32_t v = 0; v < page.versions.size(); ++v) {
+      if (Get(page_id, v).ok()) {
+        ++counters->records_verified;
+      } else {
+        ++counters->corrupt_records;
+      }
+    }
+  }
+  return Status::OK();
 }
 
 Result<uint32_t> SnapshotStore::LatestVersion(uint64_t page_id) const {

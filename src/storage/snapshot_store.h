@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/integrity.h"
 #include "common/status.h"
 #include "storage/diff.h"
 
@@ -33,8 +34,14 @@ class SnapshotStore {
   /// added in order starting at 0.
   Result<uint32_t> Append(uint64_t page_id, const std::string& content);
 
-  /// Reconstructs a specific version.
+  /// Reconstructs a specific version. The result is verified against the
+  /// CRC32C recorded at Append time, so a damaged delta chain yields
+  /// kCorruption instead of silently wrong text.
   Result<std::string> Get(uint64_t page_id, uint32_t version) const;
+
+  /// Reconstructs and re-verifies every stored version, folding findings
+  /// into `counters` (records_verified / corrupt_records).
+  Status Scrub(IntegrityCounters* counters) const;
 
   /// Latest version number for a page, or error when unknown.
   Result<uint32_t> LatestVersion(uint64_t page_id) const;
@@ -53,6 +60,7 @@ class SnapshotStore {
     bool is_full = false;
     std::string full;       // when is_full
     std::string delta;      // serialized Delta, when !is_full
+    uint32_t content_crc = 0;  // CRC32C of the reconstructed content
   };
   struct Page {
     std::vector<VersionEntry> versions;

@@ -196,7 +196,8 @@ TEST_P(WalTruncationTest, ArbitraryTruncationYieldsCleanPrefix) {
   }
   auto complete = rdbms::WriteAheadLog::ReadAll(path);
   ASSERT_TRUE(complete.ok());
-  ASSERT_EQ(complete->size(), 30u);
+  ASSERT_EQ(complete->records.size(), 30u);
+  ASSERT_TRUE(complete->clean());
   // Truncate at 20 random byte offsets; ReadAll must return a clean
   // prefix of the full record sequence, never an error or crash.
   for (int trial = 0; trial < 20; ++trial) {
@@ -204,15 +205,15 @@ TEST_P(WalTruncationTest, ArbitraryTruncationYieldsCleanPrefix) {
     std::filesystem::resize_file(path, cut);
     auto partial = rdbms::WriteAheadLog::ReadAll(path);
     ASSERT_TRUE(partial.ok());
-    ASSERT_LE(partial->size(), complete->size());
-    for (size_t i = 0; i < partial->size(); ++i) {
-      EXPECT_EQ((*partial)[i].txn, (*complete)[i].txn);
-      EXPECT_EQ((*partial)[i].row_id, (*complete)[i].row_id);
+    ASSERT_LE(partial->records.size(), complete->records.size());
+    for (size_t i = 0; i < partial->records.size(); ++i) {
+      EXPECT_EQ(partial->records[i].txn, complete->records[i].txn);
+      EXPECT_EQ(partial->records[i].row_id, complete->records[i].row_id);
     }
     // Restore for the next trial.
     std::filesystem::remove(path);
     auto wal = rdbms::WriteAheadLog::Open(path);
-    for (const rdbms::LogRecord& rec : *complete) {
+    for (const rdbms::LogRecord& rec : complete->records) {
       ASSERT_TRUE((*wal)->Append(rec).ok());
     }
     ASSERT_TRUE((*wal)->Flush().ok());

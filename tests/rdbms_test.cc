@@ -129,10 +129,11 @@ TEST(WalTest, AppendReadRoundTrip) {
   }
   auto records = WriteAheadLog::ReadAll(path);
   ASSERT_TRUE(records.ok());
-  ASSERT_EQ(records->size(), 3u);
-  EXPECT_EQ((*records)[1].table, "cities");
-  EXPECT_EQ((*records)[1].row_id, 4u);
-  EXPECT_EQ((*records)[1].after[0].ToString(), "Madison");
+  ASSERT_EQ(records->records.size(), 3u);
+  EXPECT_TRUE(records->clean());
+  EXPECT_EQ(records->records[1].table, "cities");
+  EXPECT_EQ(records->records[1].row_id, 4u);
+  EXPECT_EQ(records->records[1].after[0].ToString(), "Madison");
 }
 
 TEST(WalTest, TornTailIgnored) {
@@ -152,13 +153,17 @@ TEST(WalTest, TornTailIgnored) {
   }
   auto records = WriteAheadLog::ReadAll(path);
   ASSERT_TRUE(records.ok());
-  EXPECT_EQ(records->size(), 1u);
+  EXPECT_EQ(records->records.size(), 1u);
+  // The garbage tail is reported, not silently swallowed.
+  EXPECT_TRUE(records->frames.torn_tail);
+  EXPECT_GT(records->frames.torn_tail_bytes, 0u);
 }
 
 TEST(WalTest, MissingFileIsEmptyHistory) {
   auto records = WriteAheadLog::ReadAll("/nonexistent/wal.log");
   ASSERT_TRUE(records.ok());
-  EXPECT_TRUE(records->empty());
+  EXPECT_TRUE(records->records.empty());
+  EXPECT_TRUE(records->clean());
 }
 
 // Writes `n` single-insert committed transactions' records to `path`.
@@ -193,8 +198,10 @@ TEST(WalTest, TruncationMidRecordStopsAtDamage) {
   std::filesystem::resize_file(path, std::filesystem::file_size(path) - 4);
   auto records = WriteAheadLog::ReadAll(path);
   ASSERT_TRUE(records.ok());
-  EXPECT_EQ(records->size(), 8u);
-  EXPECT_EQ(records->back().type, LogRecord::Type::kInsert);
+  EXPECT_EQ(records->records.size(), 8u);
+  EXPECT_EQ(records->records.back().type, LogRecord::Type::kInsert);
+  EXPECT_TRUE(records->frames.torn_tail);
+  EXPECT_GT(records->frames.torn_tail_offset, 0u);
 }
 
 TEST(WalTest, CorruptChecksumStopsAtDamage) {
@@ -211,7 +218,8 @@ TEST(WalTest, CorruptChecksumStopsAtDamage) {
   }
   auto records = WriteAheadLog::ReadAll(path);
   ASSERT_TRUE(records.ok());
-  EXPECT_EQ(records->size(), 8u);
+  EXPECT_EQ(records->records.size(), 8u);
+  EXPECT_FALSE(records->clean());
 }
 
 TEST(DatabaseTest, RecoverReplaysValidPrefixAfterTornTail) {
