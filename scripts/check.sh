@@ -38,8 +38,9 @@ ctest --test-dir "$repo_root/build-asan" --output-on-failure -j "$jobs" \
 echo "==> thread sanitizer build + concurrency tests"
 if [[ ${#CTEST_ARGS[@]} -eq 0 ]]; then
   # Default to the suites that exercise real concurrency: the serving
-  # chaos harness, thread pool, map-reduce, and the locking/txn layer.
-  CTEST_ARGS=(-R 'ServeChaos|CircuitBreaker|Frontend|ThreadPool|MapReduce|Concurren|Lock')
+  # chaos harness, thread pool, map-reduce, the locking/txn layer, and
+  # the metrics/tracing hot paths (sharded atomics + lock-free rings).
+  CTEST_ARGS=(-R 'ServeChaos|CircuitBreaker|Frontend|ThreadPool|MapReduce|Concurren|Lock|Metrics|Trace|Exposition|Logging')
 fi
 run_suite "$repo_root/build-tsan" -DSTRUCTURA_SANITIZE=thread
 

@@ -4,13 +4,56 @@
 #include <cstdio>
 #include <mutex>
 
+#include "obs/metrics.h"
+
 namespace structura {
 namespace {
 
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarning)};
 std::mutex g_log_mutex;
 
-const char* LevelName(LogLevel level) {
+// Guarded by g_log_mutex. Leaked (function-local static to a pointer)
+// so a sink installed for process lifetime never runs ~function during
+// static destruction.
+LogSink* SinkSlot() {
+  static LogSink* sink = new LogSink();
+  return sink;
+}
+
+obs::Counter* LineCounter(LogLevel level) {
+  // One registry counter per level; resolved once, then lock-free.
+  static obs::Counter* debug =
+      obs::MetricsRegistry::Default().GetCounter("log.lines.debug");
+  static obs::Counter* info =
+      obs::MetricsRegistry::Default().GetCounter("log.lines.info");
+  static obs::Counter* warning =
+      obs::MetricsRegistry::Default().GetCounter("log.lines.warning");
+  static obs::Counter* error =
+      obs::MetricsRegistry::Default().GetCounter("log.lines.error");
+  switch (level) {
+    case LogLevel::kDebug:
+      return debug;
+    case LogLevel::kInfo:
+      return info;
+    case LogLevel::kWarning:
+      return warning;
+    case LogLevel::kError:
+      return error;
+  }
+  return error;
+}
+
+const char* Basename(const char* file) {
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  return base;
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug:
       return "DEBUG";
@@ -24,8 +67,6 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
-}  // namespace
-
 void SetLogLevel(LogLevel level) {
   g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
@@ -34,20 +75,63 @@ LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
 }
 
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  *SinkSlot() = std::move(sink);
+}
+
 void LogMessage(LogLevel level, const char* file, int line,
                 const std::string& message) {
   if (static_cast<int>(level) <
       g_min_level.load(std::memory_order_relaxed)) {
     return;
   }
-  // Strip directories from __FILE__ for terse output.
-  const char* base = file;
-  for (const char* p = file; *p; ++p) {
-    if (*p == '/') base = p + 1;
-  }
+  LineCounter(level)->Increment();
+  const char* base = Basename(file);
   std::lock_guard<std::mutex> lock(g_log_mutex);
-  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), base, line,
+  const LogSink& sink = *SinkSlot();
+  if (sink) {
+    sink(level, base, line, message);
+    return;
+  }
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LogLevelName(level), base, line,
                message.c_str());
+}
+
+struct ScopedLogCapture::State {
+  mutable std::mutex mutex;
+  std::vector<Line> lines;
+  LogSink previous;
+};
+
+ScopedLogCapture::ScopedLogCapture() : state_(std::make_shared<State>()) {
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  state_->previous = *SinkSlot();
+  std::shared_ptr<State> state = state_;
+  *SinkSlot() = [state](LogLevel level, const char* file, int line,
+                        const std::string& message) {
+    std::lock_guard<std::mutex> lines_lock(state->mutex);
+    state->lines.push_back(Line{level, file, line, message});
+  };
+}
+
+ScopedLogCapture::~ScopedLogCapture() {
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  *SinkSlot() = std::move(state_->previous);
+}
+
+std::vector<ScopedLogCapture::Line> ScopedLogCapture::Lines() const {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->lines;
+}
+
+size_t ScopedLogCapture::CountAtLevel(LogLevel level) const {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  size_t n = 0;
+  for (const Line& l : state_->lines) {
+    if (l.level == level) ++n;
+  }
+  return n;
 }
 
 }  // namespace structura

@@ -1,20 +1,60 @@
 #ifndef STRUCTURA_COMMON_LOGGING_H_
 #define STRUCTURA_COMMON_LOGGING_H_
 
+#include <functional>
+#include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace structura {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
+const char* LogLevelName(LogLevel level);
+
 /// Process-wide minimum level; messages below it are dropped. Thread-safe.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
-/// Emits one formatted line to stderr. Prefer the STRUCTURA_LOG macro.
+/// Pluggable sink for emitted log lines. The default sink writes one
+/// formatted line to stderr; tests install a capture sink to assert on
+/// warnings. Sinks are invoked serially under the logging mutex (they
+/// must not log recursively). Passing nullptr restores the default.
+using LogSink = std::function<void(
+    LogLevel level, const char* file, int line, const std::string& message)>;
+void SetLogSink(LogSink sink);
+
+/// Emits one line through the active sink (stderr by default) and bumps
+/// the `log.lines.<level>` registry counters. Prefer STRUCTURA_LOG.
 void LogMessage(LogLevel level, const char* file, int line,
                 const std::string& message);
+
+/// RAII test helper: captures every emitted line (regardless of sink)
+/// for the scope's lifetime and restores the previous sink behaviour on
+/// destruction. Captured lines do NOT also reach stderr.
+class ScopedLogCapture {
+ public:
+  struct Line {
+    LogLevel level;
+    std::string file;  // basename
+    int line;
+    std::string message;
+  };
+
+  ScopedLogCapture();
+  ScopedLogCapture(const ScopedLogCapture&) = delete;
+  ScopedLogCapture& operator=(const ScopedLogCapture&) = delete;
+  ~ScopedLogCapture();
+
+  std::vector<Line> Lines() const;
+  size_t CountAtLevel(LogLevel level) const;
+
+ private:
+  struct State;
+  std::shared_ptr<State> state_;
+};
 
 namespace internal_logging {
 

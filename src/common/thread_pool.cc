@@ -4,6 +4,8 @@
 #include <atomic>
 #include <exception>
 
+#include "obs/metrics.h"
+
 namespace structura {
 
 ThreadPool::ThreadPool(size_t num_threads, size_t max_queue)
@@ -16,12 +18,47 @@ ThreadPool::ThreadPool(size_t num_threads, size_t max_queue)
 }
 
 ThreadPool::~ThreadPool() {
+  // Gauge callbacks read this pool's state; remove them before any
+  // member is torn down.
+  UnpublishMetrics();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stop_ = true;
   }
   wake_.notify_all();
   for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::PublishMetrics(const std::string& name) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  auto publish = [&](const std::string& stat,
+                     std::function<int64_t()> fn) {
+    std::string gauge = "threadpool." + name + "." + stat;
+    uint64_t id = registry.RegisterGaugeFn(gauge, std::move(fn));
+    published_gauges_.emplace_back(std::move(gauge), id);
+  };
+  publish("queue_depth", [this] {
+    return static_cast<int64_t>(stats().queue_depth);
+  });
+  publish("queue_high_water", [this] {
+    return static_cast<int64_t>(stats().queue_high_water);
+  });
+  publish("active_workers", [this] {
+    return static_cast<int64_t>(stats().active_workers);
+  });
+  publish("dropped_tasks", [this] {
+    return static_cast<int64_t>(stats().dropped_tasks);
+  });
+  publish("rejected_tasks", [this] {
+    return static_cast<int64_t>(stats().rejected_tasks);
+  });
+}
+
+void ThreadPool::UnpublishMetrics() {
+  for (const auto& [gauge, id] : published_gauges_) {
+    obs::MetricsRegistry::Default().UnregisterGaugeFn(gauge, id);
+  }
+  published_gauges_.clear();
 }
 
 void ThreadPool::Enqueue(std::function<void()> fn) {
@@ -61,6 +98,7 @@ ThreadPool::Stats ThreadPool::stats() const {
   s.rejected_tasks = rejected_tasks_;
   s.queue_depth = queue_.size();
   s.queue_high_water = queue_high_water_;
+  s.active_workers = active_;
   return s;
 }
 

@@ -8,7 +8,9 @@
 #include <future>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace structura {
@@ -33,6 +35,7 @@ class ThreadPool {
     uint64_t rejected_tasks = 0;  // TryPost/TrySubmit refused (queue full)
     size_t queue_depth = 0;       // tasks waiting right now
     size_t queue_high_water = 0;  // max queue_depth ever observed
+    size_t active_workers = 0;    // workers running a task right now
   };
 
   /// Spawns `num_threads` workers (minimum 1). `max_queue == 0` leaves
@@ -82,9 +85,19 @@ class ThreadPool {
 
   Stats stats() const;
 
+  /// Publishes this pool's live stats as registry callback gauges
+  /// (`threadpool.<name>.queue_depth`, `.queue_high_water`,
+  /// `.active_workers`, `.dropped_tasks`, `.rejected_tasks`) until the
+  /// pool is destroyed. Re-publishing a name (another pool, later in
+  /// the process) replaces the previous registration. All stat updates
+  /// are read-modify-writes under the pool mutex, so the gauges never
+  /// observe a torn or reset value.
+  void PublishMetrics(const std::string& name);
+
  private:
   void Enqueue(std::function<void()> fn);
   void WorkerLoop();
+  void UnpublishMetrics();
 
   mutable std::mutex mutex_;
   std::condition_variable wake_;
@@ -97,6 +110,9 @@ class ThreadPool {
   uint64_t rejected_tasks_ = 0;
   size_t queue_high_water_ = 0;
   bool stop_ = false;
+  /// (gauge name, registration id) pairs from PublishMetrics, removed
+  /// in the destructor so the callbacks never outlive the pool.
+  std::vector<std::pair<std::string, uint64_t>> published_gauges_;
 };
 
 /// Runs `fn(i)` for i in [0, n) across `pool`, blocking until all

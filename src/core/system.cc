@@ -11,10 +11,34 @@
 #include "core/eval.h"
 #include "core/schema_unify.h"
 #include "ie/standard.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/hybrid.h"
 #include "query/structured_query.h"
 
 namespace structura::core {
+namespace {
+
+/// Mirrors an IntegrityCounters snapshot into registry gauges under
+/// `prefix` (e.g. integrity.scrub.records_verified). Gauges, not
+/// counters: each recovery/scrub re-verifies everything, so the values
+/// are "latest pass" readings rather than monotonic event counts.
+void PublishIntegrityGauges(const std::string& prefix,
+                            const IntegrityCounters& c) {
+  obs::MetricsRegistry& r = obs::MetricsRegistry::Default();
+  auto set = [&](const char* name, uint64_t v) {
+    r.GetGauge(prefix + "." + name)->Set(static_cast<int64_t>(v));
+  };
+  set("records_verified", c.records_verified);
+  set("corrupt_records", c.corrupt_records);
+  set("salvaged_records", c.salvaged_records);
+  set("lost_txns", c.lost_txns);
+  set("quarantined_segments", c.quarantined_segments);
+  set("torn_tail_bytes", c.torn_tail_bytes);
+  set("checkpoints_rejected", c.checkpoints_rejected);
+}
+
+}  // namespace
 
 System::System(Options options)
     : options_(std::move(options)), users_(options_.seed) {}
@@ -32,6 +56,11 @@ Result<std::unique_ptr<System>> System::Create(Options options) {
         storage::SegmentStore::Open(sys->options_.workspace +
                                     "/intermediate"));
   }
+  IntegrityCounters recovered = sys->db_->recovery_report();
+  if (sys->intermediate_ != nullptr) {
+    recovered.Merge(sys->intermediate_->recovery_report());
+  }
+  PublishIntegrityGauges("integrity.recovery", recovered);
   return sys;
 }
 
@@ -294,7 +323,20 @@ std::string System::StatusReport() const {
     }
     out += '\n';
   }
+  // Process metrics registry: the same snapshot type MetricsPrometheus /
+  // MetricsJson render, compacted for operators.
+  std::string metrics =
+      obs::RenderCompact(obs::MetricsRegistry::Default().Snapshot());
+  if (!metrics.empty()) out += metrics;
   return out;
+}
+
+std::string System::MetricsPrometheus() {
+  return obs::RenderPrometheus(obs::MetricsRegistry::Default().Snapshot());
+}
+
+std::string System::MetricsJson() {
+  return obs::RenderJson(obs::MetricsRegistry::Default().Snapshot());
 }
 
 Result<size_t> System::RunFeedbackRound(
@@ -477,6 +519,9 @@ Status System::MaterializeBeliefs(const std::string& table) {
 }
 
 Result<IntegrityCounters> System::ScrubStorage() {
+  TRACE_SPAN("system.scrub");
+  static obs::Counter* scrubs =
+      obs::MetricsRegistry::Default().GetCounter("integrity.scrubs");
   IntegrityCounters counters;
   STRUCTURA_RETURN_IF_ERROR(db_->Scrub(&counters));
   if (intermediate_ != nullptr) {
@@ -485,6 +530,8 @@ Result<IntegrityCounters> System::ScrubStorage() {
   STRUCTURA_RETURN_IF_ERROR(snapshots_.Scrub(&counters));
   last_scrub_ = counters;
   scrubbed_ = true;
+  scrubs->Increment();
+  PublishIntegrityGauges("integrity.scrub", counters);
   return counters;
 }
 

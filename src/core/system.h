@@ -196,9 +196,18 @@ class System {
   /// One-page operational summary: documents, snapshot store, views,
   /// beliefs, lineage, users, monitor counters, quarantined operators,
   /// serving counters (when a provider is set), storage-integrity
-  /// counters (recovery findings and the last scrub), and
-  /// fault-injection counters.
+  /// counters (recovery findings and the last scrub), fault-injection
+  /// counters, and the process metrics registry (rendered compactly from
+  /// the same snapshot MetricsPrometheus/MetricsJson expose).
   std::string StatusReport() const;
+
+  /// Prometheus text exposition of the process metrics registry. Both
+  /// formats and StatusReport() render from one registry snapshot type,
+  /// so they always agree on names and values.
+  static std::string MetricsPrometheus();
+
+  /// JSON exposition of the process metrics registry.
+  static std::string MetricsJson();
 
   /// Wires a serving frontend's counters into StatusReport(). The
   /// provider is called on each report, so the section always reflects

@@ -3,8 +3,33 @@
 #include <algorithm>
 
 #include "common/failpoint.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace structura::ie {
+
+namespace {
+struct IeMetrics {
+  obs::Counter* runs;
+  obs::Counter* docs_processed;
+  obs::Counter* facts_extracted;
+  obs::Counter* faults_dropped;
+  obs::Histogram* run_latency_ns;
+};
+IeMetrics& Metrics() {
+  static IeMetrics m = [] {
+    obs::MetricsRegistry& r = obs::MetricsRegistry::Default();
+    return IeMetrics{
+        r.GetCounter("ie.runs"),
+        r.GetCounter("ie.docs_processed"),
+        r.GetCounter("ie.facts_extracted"),
+        r.GetCounter("ie.faults_dropped"),
+        r.GetHistogram("ie.run.latency_ns"),
+    };
+  }();
+  return m;
+}
+}  // namespace
 
 std::vector<const Extractor*> Views(const std::vector<ExtractorPtr>& v) {
   std::vector<const Extractor*> out;
@@ -15,17 +40,28 @@ std::vector<const Extractor*> Views(const std::vector<ExtractorPtr>& v) {
 
 FactSet RunExtractors(const std::vector<const Extractor*>& extractors,
                       const text::DocumentCollection& docs) {
+  TRACE_SPAN("ie.extract");
+  IeMetrics& im = Metrics();
+  im.runs->Increment();
+  obs::ScopedLatency latency(im.run_latency_ns);
   FactSet set;
+  uint64_t facts = 0;
   for (const text::Document& doc : docs.docs) {
+    im.docs_processed->Increment();
     for (const Extractor* ex : extractors) {
       // Best-effort: an injected extractor fault drops this (doc,
       // extractor) pair's facts instead of aborting the pipeline.
-      if (!MaybeFail("ie.extract").ok()) continue;
+      if (!MaybeFail("ie.extract").ok()) {
+        im.faults_dropped->Increment();
+        continue;
+      }
       for (ExtractedFact& fact : ex->Extract(doc)) {
+        ++facts;
         set.Add(std::move(fact));
       }
     }
   }
+  im.facts_extracted->Add(facts);
   return set;
 }
 
@@ -34,6 +70,10 @@ Result<FactSet> RunExtractorsMapReduce(
     const text::DocumentCollection& docs, ThreadPool& pool,
     const mr::JobConfig& config, mr::JobStats* stats,
     const Interrupt& intr) {
+  TRACE_SPAN("ie.extract_mr");
+  IeMetrics& im = Metrics();
+  im.runs->Increment();
+  obs::ScopedLatency latency(im.run_latency_ns);
   // Map: one document in, (doc_id -> facts) out. Reduce: identity-merge.
   mr::MapReduceJob<const text::Document*, uint64_t, ExtractedFact,
                    ExtractedFact>
@@ -66,6 +106,8 @@ Result<FactSet> RunExtractorsMapReduce(
                      }
                      return a.extractor < b.extractor;
                    });
+  im.docs_processed->Add(docs.size());
+  im.facts_extracted->Add(facts.size());
   FactSet set;
   for (ExtractedFact& f : facts) set.Add(std::move(f));
   return set;

@@ -8,9 +8,31 @@
 #include "common/strings.h"
 #include "ii/resolution.h"
 #include "ii/union_find.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace structura::lang {
 namespace {
+
+/// Span name per plan node type (string literals: process-lifetime, as
+/// the trace ring requires). Recursive ExecutePlan() calls nest, so a
+/// trace of one query renders as its plan tree.
+const char* PlanSpanName(PlanNode::Type t) {
+  switch (t) {
+    case PlanNode::Type::kScanDocs: return "query.eval.scan_docs";
+    case PlanNode::Type::kExtract: return "query.eval.extract";
+    case PlanNode::Type::kViewRef: return "query.eval.view_ref";
+    case PlanNode::Type::kFilter: return "query.eval.filter";
+    case PlanNode::Type::kProject: return "query.eval.project";
+    case PlanNode::Type::kJoin: return "query.eval.join";
+    case PlanNode::Type::kDistinct: return "query.eval.distinct";
+    case PlanNode::Type::kAggregate: return "query.eval.aggregate";
+    case PlanNode::Type::kResolve: return "query.eval.resolve";
+    case PlanNode::Type::kOrderBy: return "query.eval.order_by";
+    case PlanNode::Type::kLimit: return "query.eval.limit";
+  }
+  return "query.eval.unknown";
+}
 
 const std::vector<std::string>& ExtractionColumns() {
   static const std::vector<std::string>& cols =
@@ -189,6 +211,10 @@ Result<query::Relation> ExecuteResolve(const PlanNode& plan,
 
 Result<query::Relation> ExecutePlan(const PlanNode& plan,
                                     ExecutionContext* ctx) {
+  obs::ScopedSpan span(PlanSpanName(plan.type));
+  static obs::Counter* nodes =
+      obs::MetricsRegistry::Default().GetCounter("query.eval.nodes");
+  nodes->Increment();
   switch (plan.type) {
     case PlanNode::Type::kScanDocs:
       return Status::Internal("ScanDocs cannot execute standalone");

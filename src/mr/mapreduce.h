@@ -17,8 +17,45 @@
 #include "common/random.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace structura::mr {
+
+namespace internal {
+/// Registry handles for the engine-level MR metrics, resolved once.
+/// Header-only (the job is a template), hence the function-local static.
+struct EngineMetrics {
+  obs::Counter* jobs;
+  obs::Counter* jobs_failed;
+  obs::Counter* map_tasks;
+  obs::Counter* map_retries;
+  obs::Counter* reduce_tasks;
+  obs::Counter* reduce_retries;
+  obs::Counter* records_mapped;
+  obs::Counter* pairs_shuffled;
+  obs::Counter* keys_reduced;
+  obs::Histogram* job_latency_ns;
+};
+inline EngineMetrics& Metrics() {
+  static EngineMetrics m = [] {
+    obs::MetricsRegistry& r = obs::MetricsRegistry::Default();
+    return EngineMetrics{
+        r.GetCounter("mr.jobs"),
+        r.GetCounter("mr.jobs_failed"),
+        r.GetCounter("mr.map.tasks"),
+        r.GetCounter("mr.map.retries"),
+        r.GetCounter("mr.reduce.tasks"),
+        r.GetCounter("mr.reduce.retries"),
+        r.GetCounter("mr.records.mapped"),
+        r.GetCounter("mr.pairs.shuffled"),
+        r.GetCounter("mr.keys.reduced"),
+        r.GetHistogram("mr.job.latency_ns"),
+    };
+  }();
+  return m;
+}
+}  // namespace internal
 
 /// Execution knobs for one job. The engine is in-process: "workers" are
 /// threads and "partitions" are shuffle buckets, mirroring the programming
@@ -100,6 +137,13 @@ class MapReduceJob {
     if (!mapper_ || !reducer_) {
       return Status::FailedPrecondition("mapper and reducer must be set");
     }
+    // Job span on the caller's thread; map/reduce tasks run on pool
+    // threads, so each task adopts the caller's trace explicitly below.
+    TRACE_SPAN("mr.job");
+    const obs::TraceHandle job_trace = obs::CurrentTrace();
+    internal::EngineMetrics& em = internal::Metrics();
+    em.jobs->Increment();
+    obs::ScopedLatency job_latency(em.job_latency_ns);
     JobStats local_stats;
     const size_t split = std::max<size_t>(1, config.split_size);
     const size_t num_splits = (inputs.size() + split - 1) / split;
@@ -142,7 +186,17 @@ class MapReduceJob {
       std::this_thread::sleep_for(std::chrono::milliseconds(ms));
       return ms;
     };
+    // Called exactly once per exit path: fills the caller's JobStats and
+    // mirrors the same deltas into the process registry (mr.*).
     auto fill_stats = [&](size_t pairs, size_t keys) {
+      em.map_tasks->Add(num_splits);
+      em.reduce_tasks->Add(parts);
+      em.map_retries->Add(map_retries.load());
+      em.reduce_retries->Add(reduce_retries.load());
+      em.records_mapped->Add(mapped.load());
+      em.pairs_shuffled->Add(pairs);
+      em.keys_reduced->Add(keys);
+      if (failed.load()) em.jobs_failed->Increment();
       if (stats == nullptr) return;
       local_stats.map_tasks = num_splits;
       local_stats.reduce_tasks = parts;
@@ -156,6 +210,8 @@ class MapReduceJob {
     };
 
     ParallelFor(pool, num_splits, [&](size_t s) {
+      obs::ScopedTraceContext adopt(job_trace);
+      TRACE_SPAN("mr.map");
       Rng rng(config.fault_seed + s * 1000003);
       int attempt = 0;
       while (true) {
@@ -225,6 +281,8 @@ class MapReduceJob {
     size_t pairs = 0;
     std::mutex pairs_mutex;
     ParallelFor(pool, parts, [&](size_t p) {
+      obs::ScopedTraceContext adopt(job_trace);
+      TRACE_SPAN("mr.shuffle");
       size_t local_pairs = 0;
       for (size_t s = 0; s < num_splits; ++s) {
         for (auto& [k, vs] : map_out[s][p]) {
@@ -246,6 +304,8 @@ class MapReduceJob {
     std::vector<std::vector<Out>> reduce_out(parts);
     std::atomic<size_t> keys{0};
     ParallelFor(pool, parts, [&](size_t p) {
+      obs::ScopedTraceContext adopt(job_trace);
+      TRACE_SPAN("mr.reduce");
       Rng rng(config.fault_seed + 0x9E37 + p * 7919);
       int attempt = 0;
       while (true) {

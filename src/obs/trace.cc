@@ -1,0 +1,298 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <map>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "obs/metrics.h"
+
+namespace structura::obs {
+
+namespace {
+
+std::atomic<bool> g_tracing_enabled{true};
+std::atomic<uint64_t> g_slow_threshold_ns{0};
+std::atomic<uint64_t> g_next_trace_id{1};
+std::atomic<uint32_t> g_next_span_id{1};
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+thread_local TraceHandle t_current_trace;
+
+uint32_t NextSpanId() {
+  uint32_t id = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  // Span id 0 means "no parent"; skip it on wrap.
+  return id == 0 ? g_next_span_id.fetch_add(1, std::memory_order_relaxed)
+                 : id;
+}
+
+Counter* SpansRecordedCounter() {
+  static Counter* c =
+      MetricsRegistry::Default().GetCounter("obs.spans.recorded");
+  return c;
+}
+
+Counter* TraceRootsCounter() {
+  static Counter* c =
+      MetricsRegistry::Default().GetCounter("obs.trace.roots");
+  return c;
+}
+
+Counter* SlowRequestsCounter() {
+  static Counter* c =
+      MetricsRegistry::Default().GetCounter("obs.trace.slow_requests");
+  return c;
+}
+
+/// Writes one completed span into the calling thread's ring. The trace
+/// id is stored last with release ordering: a reader that observes it
+/// sees every other field of this record.
+void RecordSpan(uint64_t trace_id, uint32_t span_id, uint32_t parent_id,
+                const char* name, uint64_t start_ns, uint64_t duration_ns) {
+  internal::ThreadRing* ring = TraceRecorder::Instance().Ring();
+  uint64_t seq = ring->next.fetch_add(1, std::memory_order_relaxed);
+  internal::SpanSlot& slot =
+      ring->slots[seq % internal::ThreadRing::kSlots];
+  // Invalidate the slot first so a concurrent reader cannot match the
+  // old trace id against the new fields.
+  slot.trace_id.store(0, std::memory_order_release);
+  slot.start_ns.store(start_ns, std::memory_order_relaxed);
+  slot.duration_ns.store(duration_ns, std::memory_order_relaxed);
+  slot.name.store(name, std::memory_order_relaxed);
+  slot.span_id.store(span_id, std::memory_order_relaxed);
+  slot.parent_id.store(parent_id, std::memory_order_relaxed);
+  slot.trace_id.store(trace_id, std::memory_order_release);
+  SpansRecordedCounter()->Increment();
+}
+
+}  // namespace
+
+void SetTracingEnabled(bool enabled) {
+  g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool TracingEnabled() {
+  return g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+void SetSlowRequestThresholdNanos(uint64_t nanos) {
+  g_slow_threshold_ns.store(nanos, std::memory_order_relaxed);
+}
+
+uint64_t SlowRequestThresholdNanos() {
+  return g_slow_threshold_ns.load(std::memory_order_relaxed);
+}
+
+uint64_t NextTraceId() {
+  return g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+TraceHandle CurrentTrace() { return t_current_trace; }
+
+// ----------------------------------------------------------- recorder
+
+TraceRecorder& TraceRecorder::Instance() {
+  // Leaked: rings must stay readable for any late scanner.
+  static TraceRecorder* instance = new TraceRecorder();
+  return *instance;
+}
+
+/// Thread-lifetime lease on a ring: acquired on the thread's first span,
+/// released (recycled for future threads) when the thread exits.
+struct TraceRecorder::RingLease {
+  internal::ThreadRing* ring;
+  RingLease() : ring(Instance().AcquireRing()) {}
+  ~RingLease() { Instance().ReleaseRing(ring); }
+};
+
+internal::ThreadRing* TraceRecorder::Ring() {
+  thread_local RingLease lease;
+  return lease.ring;
+}
+
+internal::ThreadRing* TraceRecorder::AcquireRing() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& ring : rings_) {
+    if (!ring->in_use.load(std::memory_order_relaxed)) {
+      ring->in_use.store(true, std::memory_order_relaxed);
+      return ring.get();
+    }
+  }
+  rings_.push_back(std::make_unique<internal::ThreadRing>());
+  rings_.back()->in_use.store(true, std::memory_order_relaxed);
+  return rings_.back().get();
+}
+
+void TraceRecorder::ReleaseRing(internal::ThreadRing* ring) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring->in_use.store(false, std::memory_order_relaxed);
+}
+
+std::vector<SpanView> TraceRecorder::Collect(uint64_t trace_id) const {
+  std::vector<const internal::ThreadRing*> rings;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    rings.reserve(rings_.size());
+    for (const auto& ring : rings_) rings.push_back(ring.get());
+  }
+  std::vector<SpanView> out;
+  for (const internal::ThreadRing* ring : rings) {
+    for (const internal::SpanSlot& slot : ring->slots) {
+      if (slot.trace_id.load(std::memory_order_acquire) != trace_id) {
+        continue;
+      }
+      SpanView view;
+      view.trace_id = trace_id;
+      view.span_id = slot.span_id.load(std::memory_order_relaxed);
+      view.parent_id = slot.parent_id.load(std::memory_order_relaxed);
+      const char* name = slot.name.load(std::memory_order_relaxed);
+      view.name = name == nullptr ? "" : name;
+      view.start_ns = slot.start_ns.load(std::memory_order_relaxed);
+      view.duration_ns = slot.duration_ns.load(std::memory_order_relaxed);
+      out.push_back(view);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanView& a, const SpanView& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.span_id < b.span_id;
+            });
+  return out;
+}
+
+std::string TraceRecorder::RenderTree(uint64_t trace_id) const {
+  std::vector<SpanView> spans = Collect(trace_id);
+  if (spans.empty()) {
+    return StrFormat("trace %llu: no spans captured\n",
+                     static_cast<unsigned long long>(trace_id));
+  }
+  // Children grouped under their parent span id; spans whose parent was
+  // lost (ring wrap, cross-thread hop without adoption) render at the
+  // top level after the root.
+  std::map<uint32_t, std::vector<const SpanView*>> children;
+  std::map<uint32_t, const SpanView*> by_id;
+  for (const SpanView& s : spans) by_id[s.span_id] = &s;
+  std::vector<const SpanView*> top;
+  for (const SpanView& s : spans) {
+    if (s.parent_id != 0 && by_id.count(s.parent_id) > 0) {
+      children[s.parent_id].push_back(&s);
+    } else {
+      top.push_back(&s);
+    }
+  }
+  std::string out = StrFormat("trace %llu (%zu spans)\n",
+                              static_cast<unsigned long long>(trace_id),
+                              spans.size());
+  uint64_t origin = spans.front().start_ns;
+  std::function<void(const SpanView*, int)> render =
+      [&](const SpanView* s, int depth) {
+        out += StrFormat(
+            "%*s%s +%lluus %lluus\n", depth * 2, "", s->name,
+            static_cast<unsigned long long>((s->start_ns - origin) / 1000),
+            static_cast<unsigned long long>(s->duration_ns / 1000));
+        auto it = children.find(s->span_id);
+        if (it == children.end()) return;
+        for (const SpanView* child : it->second) render(child, depth + 1);
+      };
+  for (const SpanView* s : top) render(s, 0);
+  return out;
+}
+
+// ----------------------------------------------------------- contexts
+
+ScopedTraceContext::ScopedTraceContext(const TraceHandle& handle)
+    : saved_(t_current_trace) {
+  t_current_trace = handle;
+}
+
+ScopedTraceContext::~ScopedTraceContext() { t_current_trace = saved_; }
+
+ScopedSpan::ScopedSpan(const char* name) : name_(name) {
+  if (!TracingEnabled() || !t_current_trace.active()) return;
+  active_ = true;
+  parent_id_ = t_current_trace.span_id;
+  span_id_ = NextSpanId();
+  t_current_trace.span_id = span_id_;
+  start_ns_ = NowNanos();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  uint64_t duration = NowNanos() - start_ns_;
+  uint64_t trace_id = t_current_trace.trace_id;
+  t_current_trace.span_id = parent_id_;
+  RecordSpan(trace_id, span_id_, parent_id_, name_, start_ns_, duration);
+}
+
+TraceRequestScope::TraceRequestScope(uint64_t trace_id,
+                                     const char* root_name)
+    : saved_(t_current_trace), name_(root_name), trace_id_(trace_id) {
+  if (!TracingEnabled() || trace_id == 0) return;
+  active_ = true;
+  span_id_ = NextSpanId();
+  t_current_trace = TraceHandle{trace_id, span_id_};
+  start_ns_ = NowNanos();
+  TraceRootsCounter()->Increment();
+}
+
+TraceRequestScope::~TraceRequestScope() {
+  if (!active_) {
+    t_current_trace = saved_;
+    return;
+  }
+  uint64_t duration = NowNanos() - start_ns_;
+  RecordSpan(trace_id_, span_id_, 0, name_, start_ns_, duration);
+  t_current_trace = saved_;
+  uint64_t threshold = SlowRequestThresholdNanos();
+  if (threshold > 0 && duration >= threshold) {
+    SlowRequestsCounter()->Increment();
+    SlowRequestLog::Entry entry;
+    entry.trace_id = trace_id_;
+    entry.duration_ns = duration;
+    entry.root_name = name_;
+    entry.tree = TraceRecorder::Instance().RenderTree(trace_id_);
+    STRUCTURA_LOG(kWarning)
+        << "slow request " << entry.root_name << " trace=" << trace_id_
+        << " took " << duration / 1000 << "us\n"
+        << entry.tree;
+    SlowRequestLog::Instance().Record(std::move(entry));
+  }
+}
+
+// ------------------------------------------------------- slow requests
+
+SlowRequestLog& SlowRequestLog::Instance() {
+  static SlowRequestLog* instance = new SlowRequestLog();
+  return *instance;
+}
+
+void SlowRequestLog::Record(Entry entry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.push_back(std::move(entry));
+  if (entries_.size() > kKeep) {
+    entries_.erase(entries_.begin(),
+                   entries_.begin() +
+                       static_cast<ptrdiff_t>(entries_.size() - kKeep));
+  }
+}
+
+std::vector<SlowRequestLog::Entry> SlowRequestLog::Recent() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_;
+}
+
+void SlowRequestLog::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+}
+
+}  // namespace structura::obs

@@ -2,6 +2,9 @@
 
 #include <set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace structura::query {
 
 Result<std::vector<SearchHit>> HybridSearch(const KeywordIndex& index,
@@ -9,6 +12,13 @@ Result<std::vector<SearchHit>> HybridSearch(const KeywordIndex& index,
                                             const HybridQuery& query,
                                             size_t k,
                                             const Interrupt& intr) {
+  TRACE_SPAN("query.hybrid");
+  static obs::Counter* searches =
+      obs::MetricsRegistry::Default().GetCounter("query.hybrid.searches");
+  static obs::Histogram* latency = obs::MetricsRegistry::Default().GetHistogram(
+      "query.hybrid.latency_ns");
+  searches->Increment();
+  obs::ScopedLatency record_latency(latency);
   // 1. Structured side: the set of qualifying documents.
   STRUCTURA_ASSIGN_OR_RETURN(Relation qualifying,
                              Filter(facts, query.structured, intr));

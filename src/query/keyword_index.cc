@@ -5,6 +5,8 @@
 #include <cmath>
 #include <map>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "text/tokenizer.h"
 #include "text/wiki_markup.h"
 
@@ -45,6 +47,13 @@ std::vector<SearchHit> KeywordIndex::Search(const std::string& query,
 
 Result<std::vector<SearchHit>> KeywordIndex::Search(
     const std::string& query, size_t k, const Interrupt& intr) const {
+  TRACE_SPAN("query.keyword");
+  static obs::Counter* searches =
+      obs::MetricsRegistry::Default().GetCounter("query.keyword.searches");
+  static obs::Histogram* latency = obs::MetricsRegistry::Default().GetHistogram(
+      "query.keyword.latency_ns");
+  searches->Increment();
+  obs::ScopedLatency record_latency(latency);
   // Cooperative check-point cadence: cheap relative to the scoring work
   // between polls, frequent enough to honour millisecond deadlines.
   constexpr size_t kCheckEvery = 4096;

@@ -1,6 +1,8 @@
 #include "query/structured_query.h"
 
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace structura::query {
 
@@ -59,6 +61,13 @@ std::string StructuredQuery::ToFormText() const {
 Result<Relation> ExecuteStructuredQuery(const StructuredQuery& q,
                                         const Relation& source,
                                         const Interrupt& intr) {
+  TRACE_SPAN("query.structured");
+  static obs::Counter* queries =
+      obs::MetricsRegistry::Default().GetCounter("query.structured.queries");
+  static obs::Histogram* latency = obs::MetricsRegistry::Default().GetHistogram(
+      "query.structured.latency_ns");
+  queries->Increment();
+  obs::ScopedLatency record_latency(latency);
   STRUCTURA_RETURN_IF_ERROR(intr.Check());
   Relation current = source;
   if (!q.where.empty()) {

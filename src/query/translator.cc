@@ -6,6 +6,8 @@
 
 #include "common/strings.h"
 #include "corpus/records.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "text/tokenizer.h"
 
 namespace structura::query {
@@ -83,6 +85,13 @@ std::vector<QueryForm> KeywordTranslator::Translate(
 
 Result<std::vector<QueryForm>> KeywordTranslator::Translate(
     const std::string& keywords, const Interrupt& intr) const {
+  TRACE_SPAN("query.translate");
+  static obs::Counter* translations =
+      obs::MetricsRegistry::Default().GetCounter("query.translate.requests");
+  static obs::Histogram* latency = obs::MetricsRegistry::Default().GetHistogram(
+      "query.translate.latency_ns");
+  translations->Increment();
+  obs::ScopedLatency record_latency(latency);
   constexpr size_t kCheckEvery = 256;
   std::vector<std::string> tokens = text::WordTokens(keywords);
   std::vector<bool> consumed(tokens.size(), false);

@@ -5,9 +5,30 @@
 
 #include "common/failpoint.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace structura::rdbms {
 namespace {
+
+struct WalMetrics {
+  obs::Counter* appends;
+  obs::Counter* flushes;
+  obs::Histogram* append_ns;
+  obs::Histogram* flush_ns;
+};
+WalMetrics& Metrics() {
+  static WalMetrics m = [] {
+    obs::MetricsRegistry& r = obs::MetricsRegistry::Default();
+    return WalMetrics{
+        r.GetCounter("storage.wal.appends"),
+        r.GetCounter("storage.wal.flushes"),
+        r.GetHistogram("storage.wal.append_ns"),
+        r.GetHistogram("storage.wal.flush_ns"),
+    };
+  }();
+  return m;
+}
 
 const char* TypeTag(LogRecord::Type t) {
   switch (t) {
@@ -122,6 +143,10 @@ Result<LogRecord> WriteAheadLog::Decode(const std::string& payload) {
 }
 
 Status WriteAheadLog::Append(const LogRecord& record) {
+  TRACE_SPAN("wal.append");
+  WalMetrics& wm = Metrics();
+  wm.appends->Increment();
+  obs::ScopedLatency latency(wm.append_ns);
   STRUCTURA_FAILPOINT("wal.append");
   std::string framed = FrameRecord(Encode(record));
   // Deterministic bit-rot injection over the framed bytes (header or
@@ -143,6 +168,10 @@ Status WriteAheadLog::Append(const LogRecord& record) {
 }
 
 Status WriteAheadLog::Flush() {
+  TRACE_SPAN("wal.flush");
+  WalMetrics& wm = Metrics();
+  wm.flushes->Increment();
+  obs::ScopedLatency latency(wm.flush_ns);
   STRUCTURA_FAILPOINT("wal.flush");
   out_.flush();
   return out_ ? Status::OK() : Status::Internal("wal flush failed");

@@ -9,10 +9,16 @@
 namespace structura::serve {
 
 /// Point-in-time snapshot of the frontend's serving counters, consumed
-/// by System::StatusReport(). Invariants the chaos test enforces:
+/// by System::StatusReport(). Since the observability PR these are a
+/// *view over the process MetricsRegistry* (`serve.requests.*`): the
+/// frontend bumps registry counters and Counters() reports the delta
+/// since the frontend's construction, so existing exact-count tests
+/// keep passing while the registry stays the single source of truth.
+/// Invariants the chaos test enforces:
 ///   admitted + shed + not_found == issued        (every Submit decided)
 ///   ok + deadline_exceeded + cancelled
 ///      + unavailable == resolved admitted        (every admitted ends)
+///   root_spans == admitted                       (one root span each)
 struct ServingCounters {
   uint64_t issued = 0;             // Submit() calls
   uint64_t admitted = 0;           // accepted onto the queue
@@ -25,6 +31,7 @@ struct ServingCounters {
   uint64_t shed_queued_wait = 0;   // of `unavailable`: stale in queue
   uint64_t breaker_rejected = 0;   // of `unavailable`: breaker open
   uint64_t retries = 0;            // re-attempts charged to budgets
+  uint64_t root_spans = 0;         // request root spans recorded
   uint64_t queue_high_water = 0;   // max queued tasks ever observed
   /// (operator, breaker state name), in registration order.
   std::vector<std::pair<std::string, std::string>> breakers;

@@ -8,6 +8,7 @@
 #include "common/failpoint.h"
 #include "common/random.h"
 #include "common/strings.h"
+#include "obs/trace.h"
 
 namespace structura::serve {
 
@@ -18,7 +19,7 @@ std::string ServingCounters::ToString() const {
       "issued=%llu admitted=%llu shed=%llu not_found=%llu ok=%llu "
       "deadline_exceeded=%llu "
       "cancelled=%llu unavailable=%llu (queued_wait=%llu breaker=%llu) "
-      "retries=%llu queue_high_water=%llu",
+      "retries=%llu root_spans=%llu queue_high_water=%llu",
       static_cast<unsigned long long>(issued),
       static_cast<unsigned long long>(admitted),
       static_cast<unsigned long long>(shed),
@@ -30,6 +31,7 @@ std::string ServingCounters::ToString() const {
       static_cast<unsigned long long>(shed_queued_wait),
       static_cast<unsigned long long>(breaker_rejected),
       static_cast<unsigned long long>(retries),
+      static_cast<unsigned long long>(root_spans),
       static_cast<unsigned long long>(queue_high_water));
   if (!breakers.empty()) {
     out += "; breakers:";
@@ -42,8 +44,32 @@ std::string ServingCounters::ToString() const {
 
 Frontend::Frontend(Options options)
     : options_(options),
+      registry_(options.registry != nullptr
+                    ? options.registry
+                    : &obs::MetricsRegistry::Default()),
+      issued_(registry_->GetCounter("serve.requests.issued")),
+      admitted_(registry_->GetCounter("serve.requests.admitted")),
+      shed_(registry_->GetCounter("serve.requests.shed")),
+      not_found_(registry_->GetCounter("serve.requests.not_found")),
+      ok_(registry_->GetCounter("serve.requests.ok")),
+      deadline_exceeded_(
+          registry_->GetCounter("serve.requests.deadline_exceeded")),
+      cancelled_(registry_->GetCounter("serve.requests.cancelled")),
+      unavailable_(registry_->GetCounter("serve.requests.unavailable")),
+      shed_queued_wait_(
+          registry_->GetCounter("serve.requests.shed_queued_wait")),
+      breaker_rejected_(
+          registry_->GetCounter("serve.requests.breaker_rejected")),
+      retries_(registry_->GetCounter("serve.requests.retries")),
+      root_spans_(registry_->GetCounter("serve.spans.root")),
+      request_latency_(
+          registry_->GetHistogram("serve.request.latency_ns")),
+      queue_wait_(registry_->GetHistogram("serve.queue.wait_ns")),
       pool_(options.num_threads,
-            options.shed_enabled ? options.max_queue_depth : 0) {}
+            options.shed_enabled ? options.max_queue_depth : 0) {
+  base_ = RegistryValues();
+  pool_.PublishMetrics("serve");
+}
 
 void Frontend::RegisterOperator(const std::string& name, Handler handler) {
   std::lock_guard<std::mutex> lock(ops_mutex_);
@@ -51,11 +77,13 @@ void Frontend::RegisterOperator(const std::string& name, Handler handler) {
       ops_.emplace(name, std::make_unique<Operator>(options_.breaker));
   if (inserted) op_order_.push_back(name);
   it->second->handler = std::move(handler);
+  it->second->span_name = obs::InternName("serve." + name);
 }
 
 std::future<Status> Frontend::Submit(const std::string& op_name,
                                      RequestContext ctx) {
-  issued_.fetch_add(1, std::memory_order_relaxed);
+  issued_->Increment();
+  if (ctx.trace_id == 0) ctx.trace_id = obs::NextTraceId();
   auto done = std::make_shared<std::promise<Status>>();
   std::future<Status> fut = done->get_future();
 
@@ -66,7 +94,7 @@ std::future<Status> Frontend::Submit(const std::string& op_name,
     if (it != ops_.end()) op = it->second.get();  // node-stable address
   }
   if (op == nullptr) {
-    not_found_.fetch_add(1, std::memory_order_relaxed);
+    not_found_->Increment();
     done->set_value(Status::NotFound("no operator " + op_name));
     return fut;
   }
@@ -84,11 +112,11 @@ std::future<Status> Frontend::Submit(const std::string& op_name,
   if (!accepted) {
     // Shed at admission: the caller learns *now* instead of waiting
     // behind a queue that is already past its latency budget.
-    shed_.fetch_add(1, std::memory_order_relaxed);
+    shed_->Increment();
     done->set_value(Status::Unavailable("shed: queue full"));
     return fut;
   }
-  admitted_.fetch_add(1, std::memory_order_relaxed);
+  admitted_->Increment();
   return fut;
 }
 
@@ -101,16 +129,16 @@ void Frontend::WaitIdle() { pool_.WaitIdle(); }
 void Frontend::Resolve(std::promise<Status>* done, Status s) {
   switch (s.code()) {
     case StatusCode::kOk:
-      ok_.fetch_add(1, std::memory_order_relaxed);
+      ok_->Increment();
       break;
     case StatusCode::kDeadlineExceeded:
-      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      deadline_exceeded_->Increment();
       break;
     case StatusCode::kCancelled:
-      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      cancelled_->Increment();
       break;
     case StatusCode::kUnavailable:
-      unavailable_.fetch_add(1, std::memory_order_relaxed);
+      unavailable_->Increment();
       break;
     default:
       break;
@@ -122,14 +150,36 @@ void Frontend::Execute(Operator* op, const std::string& op_name,
                        const RequestContext& ctx,
                        Clock::time_point enqueued_at,
                        std::promise<Status>* done) {
+  // Exactly one root span per admitted request: every Execute() runs
+  // under this scope, including the queued-too-long shed path below.
+  obs::TraceRequestScope root(ctx.trace_id, op->span_name);
+  root_spans_->Increment();
+  auto dequeued_at = Clock::now();
+  queue_wait_->Record(static_cast<uint64_t>(
+      std::max<int64_t>(0, std::chrono::duration_cast<std::chrono::nanoseconds>(
+                               dequeued_at - enqueued_at)
+                               .count())));
+  // Request latency spans queue wait + every attempt, recorded on every
+  // resolution path.
+  struct LatencyRecorder {
+    obs::Histogram* h;
+    Clock::time_point from;
+    ~LatencyRecorder() {
+      h->Record(static_cast<uint64_t>(std::max<int64_t>(
+          0, std::chrono::duration_cast<std::chrono::nanoseconds>(
+                 Clock::now() - from)
+                 .count())));
+    }
+  } latency{request_latency_, enqueued_at};
+
   if (options_.shed_enabled) {
     auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
-        Clock::now() - enqueued_at);
+        dequeued_at - enqueued_at);
     if (static_cast<uint64_t>(std::max<int64_t>(0, waited.count())) >
         options_.max_queue_wait_ms) {
       // Running a request whose latency budget was spent waiting would
       // only add load exactly when the system is already behind.
-      shed_queued_wait_.fetch_add(1, std::memory_order_relaxed);
+      shed_queued_wait_->Increment();
       Resolve(done, Status::Unavailable("shed: queued too long"));
       return;
     }
@@ -145,7 +195,7 @@ void Frontend::Execute(Operator* op, const std::string& op_name,
     }
     uint64_t admission = CircuitBreaker::kCurrentAdmission;
     if (!op->breaker.Allow(&admission)) {
-      breaker_rejected_.fetch_add(1, std::memory_order_relaxed);
+      breaker_rejected_->Increment();
       Resolve(done, Status::Unavailable("breaker open for " + op_name));
       return;
     }
@@ -155,7 +205,10 @@ void Frontend::Execute(Operator* op, const std::string& op_name,
     // breakers and retry paths deterministically.
     Status st = MaybeFail("serve.op");
     if (st.ok()) st = MaybeFail("serve.op." + op_name);
-    if (st.ok()) st = op->handler(ctx);
+    if (st.ok()) {
+      TRACE_SPAN("serve.handler");
+      st = op->handler(ctx);
+    }
     if (st.ok()) {
       op->breaker.RecordSuccess(admission);
       Resolve(done, Status::OK());
@@ -184,7 +237,7 @@ void Frontend::Execute(Operator* op, const std::string& op_name,
       return;
     }
     --budget;
-    retries_.fetch_add(1, std::memory_order_relaxed);
+    retries_->Increment();
     // Jittered exponential backoff, clipped to the remaining deadline.
     double base = static_cast<double>(options_.retry_base_ms);
     for (uint32_t i = 1; i < attempt; ++i) base *= options_.retry_multiplier;
@@ -193,24 +246,43 @@ void Frontend::Execute(Operator* op, const std::string& op_name,
         static_cast<uint64_t>(base * (0.5 + 0.5 * rng.NextDouble()));
     backoff_ms = std::min(backoff_ms, ctx.interrupt.deadline.RemainingMillis());
     if (backoff_ms > 0) {
+      TRACE_SPAN("serve.retry_backoff");
       std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
     }
   }
 }
 
-ServingCounters Frontend::Counters() const {
+ServingCounters Frontend::RegistryValues() const {
   ServingCounters c;
-  c.issued = issued_.load(std::memory_order_relaxed);
-  c.admitted = admitted_.load(std::memory_order_relaxed);
-  c.shed = shed_.load(std::memory_order_relaxed);
-  c.not_found = not_found_.load(std::memory_order_relaxed);
-  c.ok = ok_.load(std::memory_order_relaxed);
-  c.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
-  c.cancelled = cancelled_.load(std::memory_order_relaxed);
-  c.unavailable = unavailable_.load(std::memory_order_relaxed);
-  c.shed_queued_wait = shed_queued_wait_.load(std::memory_order_relaxed);
-  c.breaker_rejected = breaker_rejected_.load(std::memory_order_relaxed);
-  c.retries = retries_.load(std::memory_order_relaxed);
+  c.issued = issued_->Value();
+  c.admitted = admitted_->Value();
+  c.shed = shed_->Value();
+  c.not_found = not_found_->Value();
+  c.ok = ok_->Value();
+  c.deadline_exceeded = deadline_exceeded_->Value();
+  c.cancelled = cancelled_->Value();
+  c.unavailable = unavailable_->Value();
+  c.shed_queued_wait = shed_queued_wait_->Value();
+  c.breaker_rejected = breaker_rejected_->Value();
+  c.retries = retries_->Value();
+  c.root_spans = root_spans_->Value();
+  return c;
+}
+
+ServingCounters Frontend::Counters() const {
+  ServingCounters c = RegistryValues();
+  c.issued -= base_.issued;
+  c.admitted -= base_.admitted;
+  c.shed -= base_.shed;
+  c.not_found -= base_.not_found;
+  c.ok -= base_.ok;
+  c.deadline_exceeded -= base_.deadline_exceeded;
+  c.cancelled -= base_.cancelled;
+  c.unavailable -= base_.unavailable;
+  c.shed_queued_wait -= base_.shed_queued_wait;
+  c.breaker_rejected -= base_.breaker_rejected;
+  c.retries -= base_.retries;
+  c.root_spans -= base_.root_spans;
   c.queue_high_water = pool_.stats().queue_high_water;
   std::lock_guard<std::mutex> lock(ops_mutex_);
   for (const std::string& name : op_order_) {

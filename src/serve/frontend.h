@@ -13,6 +13,7 @@
 
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 #include "serve/circuit_breaker.h"
 #include "serve/counters.h"
 #include "serve/request_context.h"
@@ -64,6 +65,10 @@ class Frontend {
     /// off — the "no overload policy" baseline bench_e15 compares
     /// against. Breakers and retries stay active.
     bool shed_enabled = true;
+    /// Registry the serving counters/histograms live in. Defaults to
+    /// the process-wide obs::MetricsRegistry::Default(); tests may
+    /// inject a private registry (it must outlive the frontend).
+    obs::MetricsRegistry* registry = nullptr;
   };
 
   /// An operator handler: does the work, honours ctx.interrupt, returns
@@ -97,6 +102,8 @@ class Frontend {
   struct Operator {
     Handler handler;
     CircuitBreaker breaker;
+    /// Interned copy of the operator name, usable as a span name.
+    const char* span_name = "";
 
     explicit Operator(CircuitBreaker::Options bopts) : breaker(bopts) {}
   };
@@ -110,23 +117,38 @@ class Frontend {
 
   void Resolve(std::promise<Status>* done, Status s);
 
+  /// Raw (process-cumulative) registry values for this frontend's
+  /// counters; Counters() returns these minus base_.
+  ServingCounters RegistryValues() const;
+
   Options options_;
 
   mutable std::mutex ops_mutex_;
   std::map<std::string, std::unique_ptr<Operator>> ops_;
   std::vector<std::string> op_order_;
 
-  std::atomic<uint64_t> issued_{0};
-  std::atomic<uint64_t> admitted_{0};
-  std::atomic<uint64_t> shed_{0};
-  std::atomic<uint64_t> not_found_{0};
-  std::atomic<uint64_t> ok_{0};
-  std::atomic<uint64_t> deadline_exceeded_{0};
-  std::atomic<uint64_t> cancelled_{0};
-  std::atomic<uint64_t> unavailable_{0};
-  std::atomic<uint64_t> shed_queued_wait_{0};
-  std::atomic<uint64_t> breaker_rejected_{0};
-  std::atomic<uint64_t> retries_{0};
+  // Serving counters live in the metrics registry (serve.requests.*);
+  // the members are cached handles. The registry outlives the frontend
+  // (process-wide default, or caller-provided with wider scope), so the
+  // pool-drained Execute() tasks may safely bump them during teardown.
+  obs::MetricsRegistry* registry_ = nullptr;
+  obs::Counter* issued_ = nullptr;
+  obs::Counter* admitted_ = nullptr;
+  obs::Counter* shed_ = nullptr;
+  obs::Counter* not_found_ = nullptr;
+  obs::Counter* ok_ = nullptr;
+  obs::Counter* deadline_exceeded_ = nullptr;
+  obs::Counter* cancelled_ = nullptr;
+  obs::Counter* unavailable_ = nullptr;
+  obs::Counter* shed_queued_wait_ = nullptr;
+  obs::Counter* breaker_rejected_ = nullptr;
+  obs::Counter* retries_ = nullptr;
+  obs::Counter* root_spans_ = nullptr;
+  obs::Histogram* request_latency_ = nullptr;
+  obs::Histogram* queue_wait_ = nullptr;
+  /// Registry values at construction; subtracted so ServingCounters
+  /// reads as this frontend's own traffic.
+  ServingCounters base_;
 
   // MUST stay the last member: ~ThreadPool drains still-queued Execute()
   // tasks, which dereference ops_ and the counters above. Members are

@@ -18,6 +18,10 @@ struct RequestContext {
   Interrupt interrupt;
   /// Re-attempts allowed beyond the first try.
   uint32_t retry_budget = 2;
+  /// Request trace id (obs/trace.h). 0 = let the frontend mint one at
+  /// Submit(); callers with an existing trace pass it through so spans
+  /// recorded downstream join the same tree.
+  uint64_t trace_id = 0;
 };
 
 }  // namespace structura::serve

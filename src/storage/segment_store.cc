@@ -11,9 +11,36 @@
 #include "common/logging.h"
 #include "common/recordio.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace structura::storage {
 namespace {
+
+struct StoreMetrics {
+  obs::Counter* appends;
+  obs::Counter* reads;
+  obs::Counter* read_errors;
+  obs::Counter* segments_rolled;
+  obs::Counter* scrubs;
+  obs::Histogram* append_ns;
+  obs::Histogram* read_ns;
+};
+StoreMetrics& Metrics() {
+  static StoreMetrics m = [] {
+    obs::MetricsRegistry& r = obs::MetricsRegistry::Default();
+    return StoreMetrics{
+        r.GetCounter("storage.segment.appends"),
+        r.GetCounter("storage.segment.reads"),
+        r.GetCounter("storage.segment.read_errors"),
+        r.GetCounter("storage.segment.segments_rolled"),
+        r.GetCounter("storage.segment.scrubs"),
+        r.GetHistogram("storage.segment.append_ns"),
+        r.GetHistogram("storage.segment.read_ns"),
+    };
+  }();
+  return m;
+}
 
 /// Reads one whole segment file; missing file -> nullopt.
 std::optional<std::string> ReadSegmentFile(const std::string& path) {
@@ -58,6 +85,7 @@ std::string SegmentStore::SegmentPath(uint32_t segment) const {
 }
 
 Status SegmentStore::RollSegment() {
+  Metrics().segments_rolled->Increment();
   if (active_.is_open()) {
     active_.flush();
     active_.close();
@@ -113,6 +141,10 @@ Status SegmentStore::ScanExisting() {
 }
 
 Result<uint64_t> SegmentStore::Append(std::string_view record) {
+  TRACE_SPAN("storage.segment.append");
+  StoreMetrics& sm = Metrics();
+  sm.appends->Increment();
+  obs::ScopedLatency latency(sm.append_ns);
   if (record.size() > (1u << 30)) {
     return Status::InvalidArgument("record too large");
   }
@@ -180,15 +212,23 @@ Result<std::string> SegmentStore::ReadAt(const RecordRef& ref,
 }
 
 Result<std::string> SegmentStore::Read(uint64_t index) const {
+  TRACE_SPAN("storage.segment.read");
+  StoreMetrics& sm = Metrics();
+  sm.reads->Increment();
+  obs::ScopedLatency latency(sm.read_ns);
   if (index >= index_.size()) return Status::NotFound("record index");
   // Flush pending writes so reads observe them.
   const_cast<SegmentStore*>(this)->Flush();
   std::ifstream stream;
   int open_segment = -1;
-  return ReadAt(index_[index], &stream, &open_segment);
+  Result<std::string> r = ReadAt(index_[index], &stream, &open_segment);
+  if (!r.ok()) sm.read_errors->Increment();
+  return r;
 }
 
 Status SegmentStore::Scrub(IntegrityCounters* counters) {
+  TRACE_SPAN("storage.segment.scrub");
+  Metrics().scrubs->Increment();
   STRUCTURA_RETURN_IF_ERROR(Flush());
   for (uint32_t seg = 0; seg < num_segments_; ++seg) {
     std::optional<std::string> data = ReadSegmentFile(SegmentPath(seg));

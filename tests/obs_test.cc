@@ -1,0 +1,482 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "core/system.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace structura {
+namespace {
+
+using obs::MetricsRegistry;
+
+// --- Metrics registry ----------------------------------------------------
+
+TEST(MetricsTest, CounterAddAndValue) {
+  MetricsRegistry r;
+  obs::Counter* c = r.GetCounter("test.counter");
+  EXPECT_EQ(c->Value(), 0u);
+  c->Increment();
+  c->Add(41);
+  EXPECT_EQ(c->Value(), 42u);
+}
+
+TEST(MetricsTest, GetReturnsStableHandle) {
+  MetricsRegistry r;
+  obs::Counter* a = r.GetCounter("test.same");
+  obs::Counter* b = r.GetCounter("test.same");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(r.GetCounter("test.other"), a);
+}
+
+TEST(MetricsTest, GaugeSetAndAdd) {
+  MetricsRegistry r;
+  obs::Gauge* g = r.GetGauge("test.gauge");
+  g->Set(10);
+  g->Add(-3);
+  EXPECT_EQ(g->Value(), 7);
+}
+
+TEST(MetricsTest, HistogramBucketsAndStats) {
+  MetricsRegistry r;
+  obs::Histogram* h = r.GetHistogram("test.hist");
+  h->Record(0);     // bucket 0
+  h->Record(1);     // bucket 1
+  h->Record(7);     // bucket 3: [4, 8)
+  h->Record(1000);  // bucket 10: [512, 1024)
+  EXPECT_EQ(h->Count(), 4u);
+  EXPECT_EQ(h->Sum(), 1008u);
+
+  obs::MetricsSnapshot snap = r.Snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const auto& hv = snap.histograms[0];
+  EXPECT_EQ(hv.name, "test.hist");
+  EXPECT_EQ(hv.count, 4u);
+  EXPECT_EQ(hv.buckets[0], 1u);
+  EXPECT_EQ(hv.buckets[1], 1u);
+  EXPECT_EQ(hv.buckets[3], 1u);
+  EXPECT_EQ(hv.buckets[10], 1u);
+  EXPECT_DOUBLE_EQ(hv.Mean(), 252.0);
+  // p50 falls in the second occupied bucket; p100 in the last.
+  EXPECT_EQ(hv.Quantile(0.5), obs::BucketUpperBound(1));
+  EXPECT_EQ(hv.Quantile(1.0), obs::BucketUpperBound(10));
+  EXPECT_EQ(hv.Quantile(0.0), obs::BucketUpperBound(0));
+}
+
+TEST(MetricsTest, BucketUpperBounds) {
+  EXPECT_EQ(obs::BucketUpperBound(0), 0u);
+  EXPECT_EQ(obs::BucketUpperBound(1), 1u);
+  EXPECT_EQ(obs::BucketUpperBound(4), 15u);
+  EXPECT_EQ(obs::BucketUpperBound(64), ~uint64_t{0});
+}
+
+TEST(MetricsTest, SnapshotSortedByName) {
+  MetricsRegistry r;
+  r.GetCounter("test.b")->Increment();
+  r.GetCounter("test.a")->Increment();
+  r.GetCounter("test.c")->Increment();
+  obs::MetricsSnapshot snap = r.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].first, "test.a");
+  EXPECT_EQ(snap.counters[1].first, "test.b");
+  EXPECT_EQ(snap.counters[2].first, "test.c");
+}
+
+TEST(MetricsTest, CallbackGauges) {
+  MetricsRegistry r;
+  int64_t live = 5;
+  uint64_t id = r.RegisterGaugeFn("test.fn", [&live] { return live; });
+  obs::MetricsSnapshot snap = r.Snapshot();
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].second, 5);
+  live = 9;
+  EXPECT_EQ(r.Snapshot().gauges[0].second, 9);
+
+  // Re-registration replaces the callback; the stale id can no longer
+  // remove the successor's registration.
+  uint64_t id2 = r.RegisterGaugeFn("test.fn", [] { return int64_t{77}; });
+  ASSERT_NE(id, id2);
+  r.UnregisterGaugeFn("test.fn", id);  // stale: must be a no-op
+  ASSERT_EQ(r.Snapshot().gauges.size(), 1u);
+  EXPECT_EQ(r.Snapshot().gauges[0].second, 77);
+  r.UnregisterGaugeFn("test.fn", id2);
+  EXPECT_TRUE(r.Snapshot().gauges.empty());
+}
+
+TEST(MetricsTest, KillSwitchGatesHistogramsNotCounters) {
+  MetricsRegistry r;
+  obs::Counter* c = r.GetCounter("test.gated.counter");
+  obs::Histogram* h = r.GetHistogram("test.gated.hist");
+  obs::SetMetricsEnabled(false);
+  c->Increment();
+  h->Record(100);
+  obs::SetMetricsEnabled(true);
+  EXPECT_EQ(c->Value(), 1u) << "counters are never gated";
+  EXPECT_EQ(h->Count(), 0u) << "histograms respect the kill-switch";
+  h->Record(100);
+  EXPECT_EQ(h->Count(), 1u);
+}
+
+TEST(MetricsTest, InternNameIsStable) {
+  const char* a = obs::InternName("test.interned.name");
+  const char* b = obs::InternName("test.interned.name");
+  EXPECT_EQ(a, b);
+  EXPECT_STREQ(a, "test.interned.name");
+  EXPECT_STRNE(obs::InternName("test.interned.other"), a);
+}
+
+// 16 threads hammer one counter + one histogram concurrently; totals
+// must be exact. Run under TSan in the sanitizer CI leg.
+TEST(MetricsHammerTest, ConcurrentCountersAreExact) {
+  MetricsRegistry r;
+  obs::Counter* c = r.GetCounter("test.hammer.counter");
+  obs::Histogram* h = r.GetHistogram("test.hammer.hist");
+  constexpr int kThreads = 16;
+  constexpr int kOps = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kOps; ++i) {
+        c->Increment();
+        h->Record(static_cast<uint64_t>(i));
+      }
+    });
+  }
+  // Concurrent snapshots must be race-free against the writers.
+  for (int i = 0; i < 50; ++i) {
+    obs::MetricsSnapshot snap = r.Snapshot();
+    EXPECT_LE(snap.counters.size(), 1u);
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c->Value(), uint64_t{kThreads} * kOps);
+  EXPECT_EQ(h->Count(), uint64_t{kThreads} * kOps);
+}
+
+// --- Exposition ----------------------------------------------------------
+
+TEST(ExpositionTest, Prometheus) {
+  MetricsRegistry r;
+  r.GetCounter("test.requests.total")->Add(3);
+  r.GetGauge("test.queue.depth")->Set(4);
+  r.GetHistogram("test.latency_ns")->Record(100);
+  std::string out = obs::RenderPrometheus(r.Snapshot());
+  EXPECT_NE(out.find("# TYPE test_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(out.find("test_requests_total 3"), std::string::npos);
+  EXPECT_NE(out.find("test_queue_depth 4"), std::string::npos);
+  EXPECT_NE(out.find("test_latency_ns_count 1"), std::string::npos);
+  EXPECT_NE(out.find("test_latency_ns_sum 100"), std::string::npos);
+  EXPECT_NE(out.find("le=\"+Inf\""), std::string::npos);
+}
+
+TEST(ExpositionTest, Json) {
+  MetricsRegistry r;
+  r.GetCounter("test.requests.total")->Add(3);
+  r.GetHistogram("test.latency_ns")->Record(100);
+  std::string out = obs::RenderJson(r.Snapshot());
+  EXPECT_NE(out.find("\"counters\""), std::string::npos);
+  EXPECT_NE(out.find("\"test.requests.total\":3"), std::string::npos);
+  EXPECT_NE(out.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(out.find("\"count\":1"), std::string::npos);
+}
+
+TEST(ExpositionTest, CompactGroupsByPrefix) {
+  MetricsRegistry r;
+  r.GetCounter("serve.requests.ok")->Add(7);
+  r.GetCounter("serve.requests.shed")->Add(2);
+  r.GetCounter("mr.jobs")->Add(1);
+  r.GetCounter("test.zero");  // zero-valued: omitted
+  std::string out = obs::RenderCompact(r.Snapshot());
+  EXPECT_NE(out.find("metrics[serve]"), std::string::npos);
+  EXPECT_NE(out.find("requests.ok=7"), std::string::npos);
+  EXPECT_NE(out.find("metrics[mr]"), std::string::npos);
+  EXPECT_EQ(out.find("test.zero"), std::string::npos);
+}
+
+TEST(ExpositionTest, AllFormatsRenderFromOneSnapshot) {
+  MetricsRegistry r;
+  r.GetCounter("test.one")->Add(11);
+  obs::MetricsSnapshot snap = r.Snapshot();
+  std::string prom = obs::RenderPrometheus(snap);
+  std::string json = obs::RenderJson(snap);
+  std::string compact = obs::RenderCompact(snap);
+  EXPECT_NE(prom.find("test_one 11"), std::string::npos);
+  EXPECT_NE(json.find("\"test.one\":11"), std::string::npos);
+  EXPECT_NE(compact.find("one=11"), std::string::npos);
+}
+
+TEST(ExpositionTest, SystemEndpointsAgree) {
+  MetricsRegistry::Default().GetCounter("test.system.endpoint")->Add(5);
+  std::string prom = core::System::MetricsPrometheus();
+  std::string json = core::System::MetricsJson();
+  EXPECT_NE(prom.find("test_system_endpoint 5"), std::string::npos);
+  EXPECT_NE(json.find("\"test.system.endpoint\":5"), std::string::npos);
+}
+
+// --- Tracing -------------------------------------------------------------
+
+TEST(TraceTest, RootAndNestedSpans) {
+  uint64_t trace = obs::NextTraceId();
+  {
+    obs::TraceRequestScope root(trace, "test.root");
+    {
+      TRACE_SPAN("test.child");
+      { TRACE_SPAN("test.grandchild"); }
+    }
+    TRACE_SPAN("test.sibling");
+  }
+  std::vector<obs::SpanView> spans =
+      obs::TraceRecorder::Instance().Collect(trace);
+  ASSERT_EQ(spans.size(), 4u);
+
+  const obs::SpanView* root = nullptr;
+  const obs::SpanView* child = nullptr;
+  const obs::SpanView* grandchild = nullptr;
+  const obs::SpanView* sibling = nullptr;
+  for (const obs::SpanView& s : spans) {
+    std::string name = s.name;
+    if (name == "test.root") root = &s;
+    if (name == "test.child") child = &s;
+    if (name == "test.grandchild") grandchild = &s;
+    if (name == "test.sibling") sibling = &s;
+  }
+  ASSERT_NE(root, nullptr);
+  ASSERT_NE(child, nullptr);
+  ASSERT_NE(grandchild, nullptr);
+  ASSERT_NE(sibling, nullptr);
+  EXPECT_EQ(root->parent_id, 0u);
+  EXPECT_EQ(child->parent_id, root->span_id);
+  EXPECT_EQ(grandchild->parent_id, child->span_id);
+  EXPECT_EQ(sibling->parent_id, root->span_id);
+}
+
+TEST(TraceTest, RenderTreeShowsHierarchy) {
+  uint64_t trace = obs::NextTraceId();
+  {
+    obs::TraceRequestScope root(trace, "test.tree.root");
+    TRACE_SPAN("test.tree.inner");
+  }
+  std::string tree = obs::TraceRecorder::Instance().RenderTree(trace);
+  EXPECT_NE(tree.find("test.tree.root"), std::string::npos);
+  EXPECT_NE(tree.find("test.tree.inner"), std::string::npos);
+  // Child is indented under the root.
+  EXPECT_LT(tree.find("test.tree.root"), tree.find("test.tree.inner"));
+}
+
+TEST(TraceTest, NoSpansWithoutActiveTrace) {
+  uint64_t before =
+      MetricsRegistry::Default().GetCounter("obs.spans.recorded")->Value();
+  { TRACE_SPAN("test.orphan"); }
+  uint64_t after =
+      MetricsRegistry::Default().GetCounter("obs.spans.recorded")->Value();
+  EXPECT_EQ(before, after) << "spans outside a trace are not recorded";
+}
+
+TEST(TraceTest, KillSwitchDisablesRecording) {
+  obs::SetTracingEnabled(false);
+  uint64_t trace = obs::NextTraceId();
+  {
+    obs::TraceRequestScope root(trace, "test.disabled.root");
+    TRACE_SPAN("test.disabled.child");
+  }
+  obs::SetTracingEnabled(true);
+  EXPECT_TRUE(obs::TraceRecorder::Instance().Collect(trace).empty());
+}
+
+TEST(TraceTest, CrossThreadAdoption) {
+  uint64_t trace = obs::NextTraceId();
+  {
+    obs::TraceRequestScope root(trace, "test.hop.root");
+    obs::TraceHandle handle = obs::CurrentTrace();
+    std::thread worker([handle] {
+      obs::ScopedTraceContext adopt(handle);
+      TRACE_SPAN("test.hop.worker");
+    });
+    worker.join();
+  }
+  std::vector<obs::SpanView> spans =
+      obs::TraceRecorder::Instance().Collect(trace);
+  ASSERT_EQ(spans.size(), 2u);
+  bool found_worker = false;
+  for (const obs::SpanView& s : spans) {
+    if (std::string(s.name) == "test.hop.worker") {
+      found_worker = true;
+      EXPECT_NE(s.parent_id, 0u) << "worker span parents onto the root";
+    }
+  }
+  EXPECT_TRUE(found_worker);
+}
+
+TEST(TraceTest, ConcurrentSpanRecordingReconciles) {
+  uint64_t trace = obs::NextTraceId();
+  constexpr int kThreads = 16;
+  constexpr int kSpansPerThread = 1000;  // < ring capacity per thread
+  obs::TraceHandle handle{trace, 0};
+  // Barriers keep all threads alive until every one has recorded: a
+  // thread that exited early would release its ring for a later thread
+  // to reuse, overwriting slots this test wants to count exactly.
+  std::atomic<int> started{0};
+  std::atomic<int> done{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, handle] {
+      obs::ScopedTraceContext adopt(handle);
+      started.fetch_add(1);
+      while (started.load() < kThreads) std::this_thread::yield();
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        TRACE_SPAN("test.concurrent.span");
+      }
+      done.fetch_add(1);
+      while (done.load() < kThreads) std::this_thread::yield();
+    });
+  }
+  // Concurrent reads must be race-free against recording threads.
+  for (int i = 0; i < 20; ++i) {
+    obs::TraceRecorder::Instance().Collect(trace);
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(obs::TraceRecorder::Instance().Collect(trace).size(),
+            static_cast<size_t>(kThreads) * kSpansPerThread);
+}
+
+TEST(TraceTest, SlowRequestCaptured) {
+  obs::SlowRequestLog::Instance().Clear();
+  obs::SetSlowRequestThresholdNanos(1);  // everything is "slow"
+  ScopedLogCapture capture;              // swallow the kWarning dump
+  uint64_t trace = obs::NextTraceId();
+  {
+    obs::TraceRequestScope root(trace, "test.slow.root");
+    TRACE_SPAN("test.slow.child");
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  obs::SetSlowRequestThresholdNanos(0);
+  std::vector<obs::SlowRequestLog::Entry> entries =
+      obs::SlowRequestLog::Instance().Recent();
+  ASSERT_FALSE(entries.empty());
+  const obs::SlowRequestLog::Entry& e = entries.back();
+  EXPECT_EQ(e.trace_id, trace);
+  EXPECT_EQ(e.root_name, "test.slow.root");
+  EXPECT_GT(e.duration_ns, 0u);
+  EXPECT_NE(e.tree.find("test.slow.child"), std::string::npos);
+  EXPECT_GE(capture.CountAtLevel(LogLevel::kWarning), 1u);
+  obs::SlowRequestLog::Instance().Clear();
+}
+
+// --- Logging sink + counters --------------------------------------------
+
+TEST(LoggingTest, CaptureSinkSeesLines) {
+  ScopedLogCapture capture;
+  STRUCTURA_LOG(kWarning) << "captured " << 42;
+  STRUCTURA_LOG(kError) << "boom";
+  std::vector<ScopedLogCapture::Line> lines = capture.Lines();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].level, LogLevel::kWarning);
+  EXPECT_EQ(lines[0].message, "captured 42");
+  EXPECT_EQ(lines[0].file, "obs_test.cc");
+  EXPECT_EQ(capture.CountAtLevel(LogLevel::kError), 1u);
+  EXPECT_EQ(capture.CountAtLevel(LogLevel::kInfo), 0u);
+}
+
+TEST(LoggingTest, LinesBumpRegistryCounters) {
+  obs::Counter* warnings =
+      MetricsRegistry::Default().GetCounter("log.lines.warning");
+  uint64_t before = warnings->Value();
+  ScopedLogCapture capture;  // keep stderr clean
+  STRUCTURA_LOG(kWarning) << "counted";
+  EXPECT_EQ(warnings->Value(), before + 1);
+}
+
+TEST(LoggingTest, CustomSinkReceivesAndRestores) {
+  std::vector<std::string> seen;
+  SetLogSink([&seen](LogLevel, const char*, int, const std::string& msg) {
+    seen.push_back(msg);
+  });
+  STRUCTURA_LOG(kWarning) << "to custom sink";
+  SetLogSink(nullptr);  // restore stderr default
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], "to custom sink");
+}
+
+TEST(LoggingTest, LevelFilterStillApplies) {
+  ScopedLogCapture capture;
+  SetLogLevel(LogLevel::kError);
+  STRUCTURA_LOG(kWarning) << "dropped";
+  STRUCTURA_LOG(kError) << "kept";
+  SetLogLevel(LogLevel::kInfo);
+  std::vector<ScopedLogCapture::Line> lines = capture.Lines();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].message, "kept");
+}
+
+// --- ThreadPool gauges ---------------------------------------------------
+
+TEST(ThreadPoolMetricsTest, PublishesAndUnpublishesGauges) {
+  auto gauge_value = [](const std::string& name,
+                        int64_t* out) -> bool {
+    obs::MetricsSnapshot snap = MetricsRegistry::Default().Snapshot();
+    for (const auto& [n, v] : snap.gauges) {
+      if (n == name) {
+        *out = v;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  {
+    ThreadPool pool(2, /*max_queue=*/4);
+    pool.PublishMetrics("obs_test");
+    std::atomic<bool> release{false};
+    std::atomic<int> running{0};
+    for (int i = 0; i < 2; ++i) {
+      pool.Post([&] {
+        running.fetch_add(1);
+        while (!release.load()) std::this_thread::yield();
+      });
+    }
+    while (running.load() < 2) std::this_thread::yield();
+    pool.Post([] {});  // queued behind the two busy workers
+
+    int64_t v = -1;
+    ASSERT_TRUE(gauge_value("threadpool.obs_test.active_workers", &v));
+    EXPECT_EQ(v, 2);
+    ASSERT_TRUE(gauge_value("threadpool.obs_test.queue_depth", &v));
+    EXPECT_EQ(v, 1);
+    ASSERT_TRUE(gauge_value("threadpool.obs_test.queue_high_water", &v));
+    EXPECT_GE(v, 1);
+    release.store(true);
+    pool.WaitIdle();
+  }
+  // Pool destroyed: its gauges must be unregistered so snapshots cannot
+  // call into freed memory.
+  int64_t v = 0;
+  EXPECT_FALSE(gauge_value("threadpool.obs_test.active_workers", &v));
+  EXPECT_FALSE(gauge_value("threadpool.obs_test.queue_depth", &v));
+}
+
+TEST(ThreadPoolMetricsTest, StatsCountActiveWorkers) {
+  ThreadPool pool(2);
+  std::atomic<bool> release{false};
+  std::atomic<int> running{0};
+  pool.Post([&] {
+    running.fetch_add(1);
+    while (!release.load()) std::this_thread::yield();
+  });
+  while (running.load() < 1) std::this_thread::yield();
+  EXPECT_EQ(pool.stats().active_workers, 1u);
+  release.store(true);
+  pool.WaitIdle();
+  EXPECT_EQ(pool.stats().active_workers, 0u);
+}
+
+}  // namespace
+}  // namespace structura

@@ -176,6 +176,7 @@ TEST(FrontendTest, ResolvesBasicStatuses) {
   EXPECT_EQ(c.ok, 1u);
   EXPECT_EQ(c.deadline_exceeded, 1u);
   EXPECT_EQ(c.cancelled, 1u);
+  EXPECT_EQ(c.root_spans, c.admitted);  // one root span per admitted request
 }
 
 TEST(FrontendTest, ShedsAtAdmissionWhenQueueIsFull) {
@@ -596,11 +597,19 @@ TEST(ServeChaosTest, MixedWorkloadUnderFaultsTerminatesAndReconciles) {
   EXPECT_EQ(client_cancel.load(), c.cancelled);
   EXPECT_EQ(client_unavailable.load(), c.unavailable + c.shed);
   EXPECT_GT(c.ok, 0u);  // the system did real work under chaos
+  // Tracing reconciles with admission control: every admitted request —
+  // and only admitted requests — recorded exactly one root span.
+  EXPECT_EQ(c.root_spans, c.admitted);
 
   // The serving section of the status report reflects the live counters.
   std::string report = sys->StatusReport();
   EXPECT_NE(report.find("serving:"), std::string::npos);
   EXPECT_NE(report.find("keyword("), std::string::npos);
+  // And the registry-rendered metrics section agrees with the same
+  // snapshot the Prometheus/JSON endpoints use.
+  EXPECT_NE(report.find("metrics[serve]"), std::string::npos);
+  EXPECT_NE(core::System::MetricsPrometheus().find("serve_requests_issued"),
+            std::string::npos);
 
   // Faults stopped: every operator must recover. Generous deadlines,
   // polling through breaker cooldowns until traffic flows again.
