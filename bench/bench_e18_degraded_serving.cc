@@ -1,0 +1,302 @@
+// E18 — degraded serving: what the health-driven degradation ladder
+// buys. We drive a mixed-priority open-loop stream at 1x/4x/16x the
+// measured capacity while the hybrid operator suffers a 40% fault rate,
+// with the degradation machinery (priority brownout + health model +
+// fallback ladder) ON vs OFF, and report goodput, the p99 latency of
+// successful *interactive* requests, the fraction of interactive
+// requests that succeeded, and the fraction of answers served degraded.
+// With degradation on, breaker-open windows are carried by the keyword
+// fallback (answers marked degraded, never silently wrong) and brownout
+// sheds background/batch first, so interactive goodput holds; with it
+// off, every breaker-open window is an outage for all tiers equally. A
+// second benchmark measures fallback switch latency: the time from "the
+// primary starts failing" to "a degraded answer is served through the
+// fallback".
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/failpoint.h"
+#include "core/system.h"
+#include "serve/frontend.h"
+
+namespace structura {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// A System serving hybrid search behind a Frontend with the degradation
+/// ladder either fully wired (brownout + health + keyword fallback +
+/// watchdog) or fully off (the documented DegradationPolicy baseline),
+/// plus the measured single-request service time.
+struct DegradedHarness {
+  explicit DegradedHarness(bool degradation_on) {
+    bench::Workload w = bench::MakeWorkload(30);
+    auto sys_or = core::System::Create(core::System::Options{});
+    sys = std::move(sys_or).value();
+    sys->RegisterStandardOperators();
+    sys->IngestCrawl(w.docs).ok();
+    sys->RunProgram("CREATE VIEW facts AS EXTRACT infobox FROM pages;")
+        .value();
+    sys->BuildBeliefsFromView("facts").ok();
+
+    serve::Frontend::Options fopts;
+    fopts.num_threads = 4;
+    fopts.max_queue_depth = 16;
+    // Shed by brownout / breaker, not queue age, so the two harnesses
+    // differ only in the degradation machinery under test.
+    fopts.max_queue_wait_ms = 10000;
+    fopts.breaker.failure_threshold = 4;
+    fopts.breaker.open_ms = 20;
+    fopts.brownout.enabled = degradation_on;
+    fopts.health = degradation_on ? &sys->health() : nullptr;
+    frontend = std::make_unique<serve::Frontend>(fopts);
+
+    frontend->RegisterOperator(
+        "keyword", [this](const serve::RequestContext& ctx) {
+          return sys->KeywordSearch("population city", 5, ctx.interrupt)
+              .status();
+        });
+    // Each request runs hybrid probes for a fixed ~300us of work — a
+    // single probe on this corpus is too cheap (~20us) for queueing
+    // effects to dominate over scheduler noise.
+    frontend->RegisterOperator(
+        "hybrid", [this](const serve::RequestContext& ctx) {
+          std::vector<query::Condition> conds;
+          conds.push_back({"attribute", query::CompareOp::kEq,
+                           rdbms::Value::Str("population")});
+          Clock::time_point t0 = Clock::now();
+          Status last = Status::OK();
+          do {
+            last = sys->HybridSearch("population city", conds, 5,
+                                     ctx.interrupt)
+                       .status();
+          } while (last.ok() &&
+                   Clock::now() - t0 < std::chrono::microseconds(300));
+          return last;
+        });
+    if (degradation_on) {
+      frontend->TagOperator("hybrid", "query.structured");
+      frontend->TagOperator("keyword", "query.keyword");
+      frontend->SetFallback("hybrid", "keyword");
+      core::System::WatchdogOptions wopts;
+      wopts.interval_ms = 10;
+      sys->StartWatchdog(wopts);
+    }
+
+    // Calibrate: unloaded sequential service time.
+    Clock::time_point t0 = Clock::now();
+    constexpr int kProbes = 30;
+    for (int i = 0; i < kProbes; ++i) {
+      frontend->Call("hybrid", serve::RequestContext{});
+    }
+    service_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                     Clock::now() - t0)
+                     .count() /
+                 kProbes;
+    if (service_us < 1) service_us = 1;
+  }
+
+  std::unique_ptr<core::System> sys;
+  std::unique_ptr<serve::Frontend> frontend;
+  int64_t service_us = 0;
+};
+
+double Percentile(std::vector<double>* v, double p) {
+  if (v->empty()) return 0.0;
+  std::sort(v->begin(), v->end());
+  size_t idx = static_cast<size_t>(p * (v->size() - 1));
+  return (*v)[idx];
+}
+
+void RunDegradedLoad(benchmark::State& state, bool degradation_on) {
+  const int64_t multiplier = state.range(0);
+  static DegradedHarness* on_harness = new DegradedHarness(true);
+  static DegradedHarness* off_harness = new DegradedHarness(false);
+  DegradedHarness& h = degradation_on ? *on_harness : *off_harness;
+
+  constexpr int kClients = 6;
+  constexpr int kWorkers = 4;
+  constexpr int kPerClient = 60;  // 20 per tier per client
+  const int64_t gap_us =
+      std::max<int64_t>(1, h.service_us * kClients /
+                               (kWorkers * std::max<int64_t>(1, multiplier)));
+
+  std::vector<double> interactive_ok_us;
+  uint64_t issued = 0, ok = 0, degraded = 0;
+  uint64_t interactive_issued = 0, interactive_ok = 0;
+  double elapsed_s = 0;
+  for (auto _ : state) {
+    // The hybrid operator is in real trouble for the whole run: its
+    // breaker flaps open, and what happens during the open windows is
+    // exactly what the two harnesses disagree about.
+    ScopedFailpoint hybrid_fault(
+        "serve.op.hybrid", FailpointRegistry::Spec::WithProbability(0.4, 18));
+    std::mutex merge_mutex;
+    Clock::time_point start = Clock::now();
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        struct Pending {
+          std::future<Status> fut;
+          std::shared_ptr<serve::ResponseMeta> response;
+          serve::Priority tier;
+          Clock::time_point sent;
+          bool resolved = false;
+        };
+        std::vector<Pending> pending;
+        pending.reserve(kPerClient);
+        std::vector<double> local_int_us;
+        uint64_t lok = 0, ldeg = 0, lint_issued = 0, lint_ok = 0;
+        size_t done = 0;
+        // Sweep ready futures so completion times are observed promptly
+        // (latency is measured submit -> observed-ready).
+        auto sweep = [&] {
+          for (Pending& p : pending) {
+            if (p.resolved ||
+                p.fut.wait_for(std::chrono::seconds(0)) !=
+                    std::future_status::ready) {
+              continue;
+            }
+            p.resolved = true;
+            ++done;
+            if (!p.fut.get().ok()) continue;
+            ++lok;
+            if (p.response->degraded) ++ldeg;
+            if (p.tier == serve::Priority::kInteractive) {
+              ++lint_ok;
+              local_int_us.push_back(
+                  std::chrono::duration_cast<std::chrono::microseconds>(
+                      Clock::now() - p.sent)
+                      .count());
+            }
+          }
+        };
+        for (int i = 0; i < kPerClient; ++i) {
+          serve::RequestContext ctx;
+          ctx.id = static_cast<uint64_t>(c) * kPerClient + i;
+          ctx.priority = static_cast<serve::Priority>(i % serve::kNumPriorities);
+          ctx.response = std::make_shared<serve::ResponseMeta>();
+          if (ctx.priority == serve::Priority::kInteractive) ++lint_issued;
+          Pending p;
+          p.response = ctx.response;
+          p.tier = ctx.priority;
+          p.sent = Clock::now();
+          p.fut = h.frontend->Submit("hybrid", std::move(ctx));
+          pending.push_back(std::move(p));
+          std::this_thread::sleep_for(std::chrono::microseconds(gap_us));
+          sweep();
+        }
+        while (done < pending.size()) {
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+          sweep();
+        }
+        std::lock_guard<std::mutex> lock(merge_mutex);
+        issued += pending.size();
+        ok += lok;
+        degraded += ldeg;
+        interactive_issued += lint_issued;
+        interactive_ok += lint_ok;
+        interactive_ok_us.insert(interactive_ok_us.end(),
+                                 local_int_us.begin(), local_int_us.end());
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    elapsed_s += std::chrono::duration_cast<std::chrono::duration<double>>(
+                     Clock::now() - start)
+                     .count();
+  }
+
+  state.counters["service_us"] = static_cast<double>(h.service_us);
+  state.counters["goodput_rps"] =
+      elapsed_s > 0 ? static_cast<double>(ok) / elapsed_s : 0;
+  state.counters["interactive_p99_us"] = Percentile(&interactive_ok_us, 0.99);
+  state.counters["interactive_ok_frac"] =
+      interactive_issued > 0
+          ? static_cast<double>(interactive_ok) /
+                static_cast<double>(interactive_issued)
+          : 0;
+  state.counters["degraded_frac"] =
+      ok > 0 ? static_cast<double>(degraded) / static_cast<double>(ok) : 0;
+}
+
+void BM_DegradedServingOn(benchmark::State& state) {
+  RunDegradedLoad(state, /*degradation_on=*/true);
+}
+BENCHMARK(BM_DegradedServingOn)->Arg(1)->Arg(4)->Arg(16)->Unit(
+    benchmark::kMillisecond);
+
+void BM_DegradedServingOff(benchmark::State& state) {
+  RunDegradedLoad(state, /*degradation_on=*/false);
+}
+BENCHMARK(BM_DegradedServingOff)->Arg(1)->Arg(4)->Arg(16)->Unit(
+    benchmark::kMillisecond);
+
+// Fallback switch latency: from the instant the primary starts failing
+// hard to the first answer served (degraded) through the fallback —
+// i.e. the cost of burning the breaker threshold plus one fallback
+// call. Measured on bare operators so the number is the frontend
+// mechanism, not query time.
+void BM_FallbackSwitchLatency(benchmark::State& state) {
+  serve::Frontend::Options fopts;
+  fopts.num_threads = 2;
+  fopts.breaker.failure_threshold = 3;
+  fopts.breaker.open_ms = 10;
+  serve::Frontend fe(fopts);
+  fe.RegisterOperator(
+      "hybrid", [](const serve::RequestContext&) { return Status::OK(); });
+  fe.RegisterOperator(
+      "keyword", [](const serve::RequestContext&) { return Status::OK(); });
+  fe.SetFallback("hybrid", "keyword");
+
+  double total_switch_ms = 0;
+  uint64_t bursts = 0;
+  for (auto _ : state) {
+    {
+      ScopedFailpoint fp("serve.op.hybrid",
+                         FailpointRegistry::Spec::Always());
+      Clock::time_point t0 = Clock::now();
+      // Drive until a degraded (fallback-served) answer comes back: the
+      // first few calls burn the breaker threshold, then the ladder has
+      // switched.
+      while (true) {
+        serve::RequestContext ctx;
+        ctx.retry_budget = 0;
+        ctx.response = std::make_shared<serve::ResponseMeta>();
+        std::shared_ptr<serve::ResponseMeta> resp = ctx.response;
+        Status s = fe.Call("hybrid", std::move(ctx));
+        if (s.ok() && resp->degraded) break;
+      }
+      total_switch_ms +=
+          std::chrono::duration_cast<
+              std::chrono::duration<double, std::milli>>(Clock::now() - t0)
+              .count();
+      ++bursts;
+    }
+    // Recover to the healthy steady state (breaker re-closed, primary
+    // serving) so the next burst measures a fresh switch.
+    while (true) {
+      serve::RequestContext ctx;
+      ctx.response = std::make_shared<serve::ResponseMeta>();
+      std::shared_ptr<serve::ResponseMeta> resp = ctx.response;
+      Status s = fe.Call("hybrid", std::move(ctx));
+      if (s.ok() && !resp->degraded) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  state.counters["switch_ms"] =
+      bursts > 0 ? total_switch_ms / static_cast<double>(bursts) : 0;
+}
+BENCHMARK(BM_FallbackSwitchLatency)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace structura
+
+BENCHMARK_MAIN();

@@ -23,6 +23,12 @@ run_suite() {
 
 CTEST_ARGS=("$@")
 
+# On test failure the chaos/degradation suites dump a Prometheus metrics
+# snapshot and the health-model JSON here (see DumpArtifactsOnFailure in
+# tests/serve_chaos_test.cc) so a red run is debuggable after the fact.
+export STRUCTURA_ARTIFACT_DIR="${STRUCTURA_ARTIFACT_DIR:-$repo_root/build-artifacts}"
+mkdir -p "$STRUCTURA_ARTIFACT_DIR"
+
 echo "==> plain build + tests"
 run_suite "$repo_root/build"
 
@@ -43,5 +49,13 @@ if [[ ${#CTEST_ARGS[@]} -eq 0 ]]; then
   CTEST_ARGS=(-R 'ServeChaos|CircuitBreaker|Frontend|ThreadPool|MapReduce|Concurren|Lock|Metrics|Trace|Exposition|Logging')
 fi
 run_suite "$repo_root/build-tsan" -DSTRUCTURA_SANITIZE=thread
+
+echo "==> degraded-mode chaos leg under TSan"
+# Explicit leg so the graceful-degradation machinery (health model,
+# brownout, fallback ladder, watchdog self-heal) always runs sanitized
+# even when the caller narrowed CTEST_ARGS above: the failure modes here
+# are races between the watchdog's Evaluate and frontend teardown.
+ctest --test-dir "$repo_root/build-tsan" --output-on-failure -j "$jobs" \
+  -R 'ServeChaos|Health|Brownout|Watchdog|Degrad|Fallback|Priority|HybridSearch'
 
 echo "==> all checks passed"

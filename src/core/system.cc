@@ -43,6 +43,8 @@ void PublishIntegrityGauges(const std::string& prefix,
 System::System(Options options)
     : options_(std::move(options)), users_(options_.seed) {}
 
+System::~System() { StopWatchdog(); }
+
 Result<std::unique_ptr<System>> System::Create(Options options) {
   std::unique_ptr<System> sys(new System(std::move(options)));
   rdbms::DatabaseOptions db_options;
@@ -61,7 +63,158 @@ Result<std::unique_ptr<System>> System::Create(Options options) {
     recovered.Merge(sys->intermediate_->recovery_report());
   }
   PublishIntegrityGauges("integrity.recovery", recovered);
+  sys->RegisterBuiltinHealthSignals();
   return sys;
+}
+
+void System::RegisterBuiltinHealthSignals() {
+  // storage.wal: the final store's WAL + checkpoint. Judged by the
+  // latest scrub once one ran (a clean scrub is what heals the
+  // subsystem), else by what recovery found at open.
+  health_.Register("storage.wal", "integrity", [this] {
+    {
+      std::lock_guard<std::mutex> lock(scrub_mutex_);
+      if (scrubbed_) {
+        if (last_scrub_db_.AnyDamage()) {
+          return serve::HealthSample{serve::HealthState::kDegraded,
+                                     "scrub: " + last_scrub_db_.ToString()};
+        }
+        return serve::HealthSample{};
+      }
+    }
+    IntegrityCounters rec = db_->recovery_report();
+    if (rec.AnyDamage()) {
+      return serve::HealthSample{serve::HealthState::kDegraded,
+                                 "recovery: " + rec.ToString()};
+    }
+    return serve::HealthSample{};
+  });
+  // storage.segments: the intermediate segment log + snapshot store.
+  health_.Register("storage.segments", "integrity", [this] {
+    {
+      std::lock_guard<std::mutex> lock(scrub_mutex_);
+      if (scrubbed_) {
+        IntegrityCounters c = last_scrub_segments_;
+        c.Merge(last_scrub_snapshots_);
+        if (c.AnyDamage()) {
+          return serve::HealthSample{serve::HealthState::kDegraded,
+                                     "scrub: " + c.ToString()};
+        }
+        return serve::HealthSample{};
+      }
+    }
+    if (intermediate_ != nullptr) {
+      IntegrityCounters rec = intermediate_->recovery_report();
+      if (rec.AnyDamage()) {
+        return serve::HealthSample{serve::HealthState::kDegraded,
+                                   "recovery: " + rec.ToString()};
+      }
+    }
+    return serve::HealthSample{};
+  });
+  // ie: extraction faults + quarantines, read from the registry only —
+  // never from ctx_, which the executor mutates concurrently. Baselines
+  // discount counts left behind by earlier Systems in this process
+  // (the registry is process-global).
+  obs::MetricsRegistry& r = obs::MetricsRegistry::Default();
+  obs::Counter* faults = r.GetCounter("ie.extract.faults");
+  obs::Gauge* quarantined = r.GetGauge("ie.quarantined_extractors");
+  int64_t quarantine_base = quarantined->Value();
+  health_.Register(
+      "ie", "faults",
+      // `last` is safe mutable lambda state: Evaluate() is serialized.
+      [this, faults, quarantined, quarantine_base,
+       last = faults->Value()]() mutable {
+        int64_t q = quarantined->Value() - quarantine_base;
+        size_t total = extractor_count_.load();
+        if (total > 0 && q >= static_cast<int64_t>(total)) {
+          return serve::HealthSample{serve::HealthState::kCritical,
+                                     "all extractors quarantined"};
+        }
+        uint64_t now = faults->Value();
+        uint64_t delta = now - last;
+        last = now;
+        if (q > 0) {
+          return serve::HealthSample{
+              serve::HealthState::kDegraded,
+              std::to_string(q) + " extractor(s) quarantined"};
+        }
+        if (delta > 0) {
+          return serve::HealthSample{
+              serve::HealthState::kDegraded,
+              std::to_string(delta) + " extraction fault(s) since last check"};
+        }
+        return serve::HealthSample{};
+      });
+}
+
+void System::StartWatchdog(WatchdogOptions options) {
+  StopWatchdog();
+  watchdog_options_ = options;
+  {
+    std::lock_guard<std::mutex> lock(watchdog_mutex_);
+    watchdog_stop_ = false;
+  }
+  watchdog_running_.store(true);
+  watchdog_ = std::thread([this] { WatchdogLoop(); });
+}
+
+void System::StopWatchdog() {
+  {
+    std::lock_guard<std::mutex> lock(watchdog_mutex_);
+    watchdog_stop_ = true;
+  }
+  watchdog_cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
+  watchdog_running_.store(false);
+}
+
+void System::WatchdogLoop() {
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point last_auto_scrub{};  // epoch: first scrub is immediate
+  while (true) {
+    health_.Evaluate();
+    watchdog_ticks_.fetch_add(1);
+    if (watchdog_options_.auto_scrub) {
+      bool storage_trouble =
+          health_.StateOf("storage.wal") != serve::HealthState::kHealthy ||
+          health_.StateOf("storage.segments") != serve::HealthState::kHealthy;
+      Clock::time_point now = Clock::now();
+      bool cooled =
+          last_auto_scrub == Clock::time_point{} ||
+          now - last_auto_scrub >=
+              std::chrono::milliseconds(watchdog_options_.scrub_cooldown_ms);
+      if (storage_trouble && cooled) {
+        last_auto_scrub = now;
+        watchdog_scrubs_.fetch_add(1);
+        // A failed scrub (e.g. an injected fault) is itself evidence;
+        // the signals see it on the next evaluation either way.
+        (void)ScrubStorage();
+        // Fold the fresh scrub verdict in right away, so healing costs
+        // one cooldown rather than cooldown + promote_after intervals.
+        health_.Evaluate();
+        watchdog_ticks_.fetch_add(1);
+      }
+    }
+    std::unique_lock<std::mutex> lock(watchdog_mutex_);
+    if (watchdog_cv_.wait_for(
+            lock, std::chrono::milliseconds(watchdog_options_.interval_ms),
+            [this] { return watchdog_stop_; })) {
+      return;
+    }
+  }
+}
+
+std::string System::HealthJson() const {
+  std::string out = "{\"health\":";
+  out += health_.ToJson();
+  out += ",\"watchdog\":{\"running\":";
+  out += watchdog_running_.load() ? "true" : "false";
+  out += ",\"interval_ms\":" + std::to_string(watchdog_options_.interval_ms);
+  out += ",\"ticks\":" + std::to_string(watchdog_ticks_.load());
+  out += ",\"auto_scrubs\":" + std::to_string(watchdog_scrubs_.load());
+  out += "}}";
+  return out;
 }
 
 Status System::IngestCrawl(const text::DocumentCollection& docs) {
@@ -97,6 +250,9 @@ void System::RegisterExtractor(std::string name,
   ctx_.extractor_attributes[std::move(name)] =
       std::move(attribute_pattern);
   owned_extractors_.push_back(std::move(extractor));
+  // Registered-extractor census for the "ie" health signal (atomic:
+  // the watchdog reads it concurrently).
+  extractor_count_.store(ctx_.extractors.size());
 }
 
 void System::RegisterStandardOperators() {
@@ -302,13 +458,34 @@ std::string System::StatusReport() const {
   if (serving_stats_) {
     out += "serving: " + serving_stats_().ToString() + "\n";
   }
+  if (health_.evaluations() > 0) {
+    out += StrFormat("health: overall %s (watchdog %s, %llu ticks, %llu "
+                     "auto-scrubs)",
+                     serve::HealthStateName(health_.Overall()),
+                     WatchdogRunning() ? "running" : "stopped",
+                     static_cast<unsigned long long>(WatchdogTicks()),
+                     static_cast<unsigned long long>(WatchdogAutoScrubs()));
+    for (const serve::HealthModel::SourceStatus& s : health_.Snapshot()) {
+      if (s.state == serve::HealthState::kHealthy) continue;
+      out += StrFormat("; %s %s (%s)", s.subsystem.c_str(),
+                       serve::HealthStateName(s.state), s.reason.c_str());
+    }
+    out += '\n';
+  }
   IntegrityCounters recovered = db_->recovery_report();
   if (intermediate_ != nullptr) {
     recovered.Merge(intermediate_->recovery_report());
   }
-  if (recovered.AnyDamage() || scrubbed_) {
+  IntegrityCounters scrub_snapshot;
+  bool scrubbed;
+  {
+    std::lock_guard<std::mutex> lock(scrub_mutex_);
+    scrubbed = scrubbed_;
+    scrub_snapshot = last_scrub_;
+  }
+  if (recovered.AnyDamage() || scrubbed) {
     out += "integrity: recovery " + recovered.ToString();
-    if (scrubbed_) out += "; last scrub " + last_scrub_.ToString();
+    if (scrubbed) out += "; last scrub " + scrub_snapshot.ToString();
     out += '\n';
   }
   std::vector<std::pair<std::string, FailpointRegistry::Counters>> fps =
@@ -522,14 +699,27 @@ Result<IntegrityCounters> System::ScrubStorage() {
   TRACE_SPAN("system.scrub");
   static obs::Counter* scrubs =
       obs::MetricsRegistry::Default().GetCounter("integrity.scrubs");
-  IntegrityCounters counters;
-  STRUCTURA_RETURN_IF_ERROR(db_->Scrub(&counters));
+  // Per-store passes, so the health signals can tell WAL trouble from
+  // segment-log trouble.
+  IntegrityCounters db_counters;
+  IntegrityCounters segment_counters;
+  IntegrityCounters snapshot_counters;
+  STRUCTURA_RETURN_IF_ERROR(db_->Scrub(&db_counters));
   if (intermediate_ != nullptr) {
-    STRUCTURA_RETURN_IF_ERROR(intermediate_->Scrub(&counters));
+    STRUCTURA_RETURN_IF_ERROR(intermediate_->Scrub(&segment_counters));
   }
-  STRUCTURA_RETURN_IF_ERROR(snapshots_.Scrub(&counters));
-  last_scrub_ = counters;
-  scrubbed_ = true;
+  STRUCTURA_RETURN_IF_ERROR(snapshots_.Scrub(&snapshot_counters));
+  IntegrityCounters counters = db_counters;
+  counters.Merge(segment_counters);
+  counters.Merge(snapshot_counters);
+  {
+    std::lock_guard<std::mutex> lock(scrub_mutex_);
+    last_scrub_db_ = db_counters;
+    last_scrub_segments_ = segment_counters;
+    last_scrub_snapshots_ = snapshot_counters;
+    last_scrub_ = counters;
+    scrubbed_ = true;
+  }
   scrubs->Increment();
   PublishIntegrityGauges("integrity.scrub", counters);
   return counters;
@@ -568,6 +758,40 @@ Result<std::vector<query::SearchHit>> System::HybridSearch(
   hq.keywords = keywords;
   hq.structured = conditions;
   return query::HybridSearch(keyword_index_, *rel, hq, k, intr);
+}
+
+Result<query::HybridAnswer> System::HybridSearchDegraded(
+    const std::string& keywords,
+    const std::vector<query::Condition>& conditions, size_t k,
+    const Interrupt& intr) const {
+  const query::Relation* rel = View(fact_view_);
+  query::HybridFallback fb;
+  if (rel == nullptr) {
+    fb.structured_available = false;
+    fb.structured_reason = "no fact view bound";
+  }
+  // Health-driven rungs: a side whose subsystem is not healthy is
+  // skipped up front instead of discovered broken mid-query.
+  if (serve::HealthState s = health_.StateOf("query.structured");
+      s != serve::HealthState::kHealthy) {
+    fb.structured_available = false;
+    fb.structured_reason = std::string("query.structured ") +
+                           serve::HealthStateName(s) + ": " +
+                           health_.ReasonOf("query.structured");
+  }
+  if (serve::HealthState s = health_.StateOf("query.keyword");
+      s != serve::HealthState::kHealthy) {
+    fb.keyword_available = false;
+    fb.keyword_reason = std::string("query.keyword ") +
+                        serve::HealthStateName(s) + ": " +
+                        health_.ReasonOf("query.keyword");
+  }
+  query::HybridQuery hq;
+  hq.keywords = keywords;
+  hq.structured = conditions;
+  static const query::Relation kEmptyFacts;
+  return query::HybridSearchDegradable(
+      keyword_index_, rel != nullptr ? *rel : kEmptyFacts, hq, k, fb, intr);
 }
 
 Result<query::Relation> System::RunForm(const query::QueryForm& form,

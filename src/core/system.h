@@ -1,12 +1,16 @@
 #ifndef STRUCTURA_CORE_SYSTEM_H_
 #define STRUCTURA_CORE_SYSTEM_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/integrity.h"
@@ -18,11 +22,13 @@
 #include "ii/schema_matcher.h"
 #include "lang/executor.h"
 #include "provenance/lineage.h"
+#include "query/hybrid.h"
 #include "query/keyword_index.h"
 #include "query/standing_query.h"
 #include "query/translator.h"
 #include "rdbms/database.h"
 #include "serve/counters.h"
+#include "serve/health.h"
 #include "storage/segment_store.h"
 #include "storage/snapshot_store.h"
 #include "uncertainty/confidence.h"
@@ -54,6 +60,8 @@ class System {
 
   System(const System&) = delete;
   System& operator=(const System&) = delete;
+  /// Stops the watchdog (if running) before members are destroyed.
+  ~System();
 
   // --- Data generation -------------------------------------------------
 
@@ -153,6 +161,53 @@ class System {
   /// also remembered and surfaced in StatusReport().
   Result<IntegrityCounters> ScrubStorage();
 
+  // --- Health & self-healing -------------------------------------------
+
+  /// The system's health ledger. Built-in signals (registered at
+  /// Create): `storage.wal` and `storage.segments` from recovery
+  /// reports + the latest per-store scrub, `ie` from extraction-fault
+  /// and quarantine telemetry. Serving components add their own
+  /// (Frontend tags operator breakers into `query.*` / `serve`). The
+  /// model lives as long as the System; registrants must detach before
+  /// the System is destroyed.
+  serve::HealthModel& health() { return health_; }
+  const serve::HealthModel& health() const { return health_; }
+
+  struct WatchdogOptions {
+    /// Health evaluation cadence.
+    uint64_t interval_ms = 50;
+    /// Minimum spacing between automatic scrubs, so a persistently
+    /// damaged store doesn't turn the watchdog into a scrub loop.
+    uint64_t scrub_cooldown_ms = 500;
+    /// When true, an unhealthy storage signal triggers ScrubStorage()
+    /// — re-verifying (and thereby re-judging) the stores, which
+    /// promotes them back to healthy once the damage is repaired.
+    /// Assumes ingest is quiesced while the watchdog runs (snapshot
+    /// appends are not locked against the scrubber).
+    bool auto_scrub = true;
+  };
+
+  /// Starts the self-healing watchdog: a thread that evaluates the
+  /// health model every `interval_ms`, auto-scrubs storage when its
+  /// signals report trouble (with cooldown), and thereby re-probes
+  /// degraded subsystems back toward healthy. Idempotent (restarts
+  /// with the new options).
+  void StartWatchdog(WatchdogOptions options);
+  void StartWatchdog() { StartWatchdog(WatchdogOptions{}); }
+
+  /// Stops and joins the watchdog. Safe when not running.
+  void StopWatchdog();
+
+  bool WatchdogRunning() const { return watchdog_running_.load(); }
+  /// Health evaluations the watchdog has performed.
+  uint64_t WatchdogTicks() const { return watchdog_ticks_.load(); }
+  /// Automatic scrubs the watchdog has triggered.
+  uint64_t WatchdogAutoScrubs() const { return watchdog_scrubs_.load(); }
+
+  /// Machine-readable health: the model's JSON plus a watchdog block.
+  /// {"health":{…},"watchdog":{"running":…,"ticks":…,"auto_scrubs":…}}
+  std::string HealthJson() const;
+
   // --- Exploitation -----------------------------------------------------
 
   std::vector<query::SearchHit> KeywordSearch(const std::string& q,
@@ -182,6 +237,17 @@ class System {
   /// the view last passed to BuildBeliefsFromView). `intr` is polled
   /// through both sides.
   Result<std::vector<query::SearchHit>> HybridSearch(
+      const std::string& keywords,
+      const std::vector<query::Condition>& conditions, size_t k,
+      const Interrupt& intr = Interrupt{}) const;
+
+  /// HybridSearch through the fallback ladder: consults the health
+  /// model (`query.structured` / `query.keyword`) to skip an unhealthy
+  /// side up front, and degrades at runtime when a side fails with
+  /// infrastructure trouble. A missing fact view no longer refuses the
+  /// query — it degrades to keyword-only. The answer carries the
+  /// explicit degraded flag + reason; both sides down → kUnavailable.
+  Result<query::HybridAnswer> HybridSearchDegraded(
       const std::string& keywords,
       const std::vector<query::Condition>& conditions, size_t k,
       const Interrupt& intr = Interrupt{}) const;
@@ -236,6 +302,12 @@ class System {
  private:
   explicit System(Options options);
 
+  /// Registers the built-in storage/ie signals into health_ (called
+  /// from Create, after the stores are open).
+  void RegisterBuiltinHealthSignals();
+  /// The watchdog thread body.
+  void WatchdogLoop();
+
   Options options_;
   text::DocumentCollection docs_;
   storage::SnapshotStore snapshots_;
@@ -249,8 +321,31 @@ class System {
 
   std::unique_ptr<rdbms::Database> db_;
   std::unique_ptr<storage::SegmentStore> intermediate_;
+  /// Guards the scrub results below: StatusReport() (any thread) and
+  /// the watchdog's auto-scrub both touch them.
+  mutable std::mutex scrub_mutex_;
   IntegrityCounters last_scrub_;
+  /// Per-store views of the last scrub, so the health signals can tell
+  /// WAL trouble from segment-log trouble.
+  IntegrityCounters last_scrub_db_;
+  IntegrityCounters last_scrub_segments_;
+  IntegrityCounters last_scrub_snapshots_;
   bool scrubbed_ = false;
+
+  /// Health ledger + self-healing watchdog. health_ must outlive every
+  /// registrant: the built-in signals detach-never (they die with the
+  /// System), external ones (Frontend) must detach before the System
+  /// is destroyed. ~System stops the watchdog before any member dies.
+  serve::HealthModel health_;
+  std::atomic<size_t> extractor_count_{0};
+  WatchdogOptions watchdog_options_;
+  std::mutex watchdog_mutex_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;
+  std::atomic<bool> watchdog_running_{false};
+  std::atomic<uint64_t> watchdog_ticks_{0};
+  std::atomic<uint64_t> watchdog_scrubs_{0};
+  std::thread watchdog_;
   std::vector<uncertainty::AttributeBelief> beliefs_;
   ie::FactSet current_facts_;
   std::string fact_view_;

@@ -84,10 +84,20 @@ Result<query::Relation> ExecuteExtract(const PlanNode& plan,
       if (injected.ok()) injected = MaybeFail("ie.extract." + op_name);
       if (!injected.ok()) {
         // A failing extractor degrades the answer, never the program:
-        // charge the fault, quarantine past the budget, move on.
+        // charge the fault, quarantine past the budget, move on. The
+        // registry mirror of these counts is what the health model's
+        // "ie" signal reads — it must never touch ctx directly (the
+        // watchdog runs concurrently with this loop).
+        static obs::Counter* fault_counter =
+            obs::MetricsRegistry::Default().GetCounter("ie.extract.faults");
+        static obs::Gauge* quarantined_gauge =
+            obs::MetricsRegistry::Default().GetGauge(
+                "ie.quarantined_extractors");
+        fault_counter->Increment();
         size_t faults = ++ctx->extractor_faults[op_name];
-        if (faults >= ctx->extractor_error_budget) {
-          ctx->quarantined_extractors.insert(op_name);
+        if (faults >= ctx->extractor_error_budget &&
+            ctx->quarantined_extractors.insert(op_name).second) {
+          quarantined_gauge->Add(1);
         }
         continue;
       }

@@ -40,15 +40,35 @@ bool CircuitBreaker::Allow(uint64_t* admission) {
       state_ = State::kHalfOpen;
       ++generation_;
       inflight_probes_ = 1;
+      last_probe_at_ = Clock::now();
       admitted = true;
       break;
     }
     case State::kHalfOpen:
       if (inflight_probes_ >= options_.half_open_probes) {
+        // Every probe slot is taken. If none was handed out recently,
+        // the outstanding probes are presumed stuck (a hung handler
+        // that will never report): invalidate them — the generation
+        // bump makes their eventual results stale — and admit a fresh
+        // probe in the reclaimed slot. Without this, one wedged probe
+        // parks the breaker in half-open forever.
+        if (options_.probe_timeout_ms > 0 &&
+            static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    Clock::now() - last_probe_at_)
+                    .count()) >= options_.probe_timeout_ms) {
+          ++generation_;
+          ++probe_reclaims_;
+          inflight_probes_ = 1;
+          last_probe_at_ = Clock::now();
+          admitted = true;
+          break;
+        }
         ++rejected_;
         break;
       }
       ++inflight_probes_;
+      last_probe_at_ = Clock::now();
       admitted = true;
       break;
   }
@@ -111,6 +131,11 @@ uint64_t CircuitBreaker::open_transitions() const {
 uint64_t CircuitBreaker::rejected() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return rejected_;
+}
+
+uint64_t CircuitBreaker::probe_reclaims() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return probe_reclaims_;
 }
 
 }  // namespace structura::serve

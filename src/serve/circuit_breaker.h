@@ -41,6 +41,14 @@ class CircuitBreaker {
     uint64_t open_ms = 100;
     /// Concurrent probes admitted in half-open state.
     uint32_t half_open_probes = 1;
+    /// Half-open probe slots are reclaimed after this long: if every
+    /// slot is taken and none was admitted within the window, the
+    /// outstanding probes are presumed stuck (a hung handler that will
+    /// never report) — their admissions are invalidated via a
+    /// generation bump and a fresh probe is admitted, so a probe that
+    /// never completes cannot wedge the breaker in half-open forever.
+    /// 0 disables reclamation.
+    uint64_t probe_timeout_ms = 1000;
   };
 
   enum class State { kClosed, kOpen, kHalfOpen };
@@ -83,6 +91,9 @@ class CircuitBreaker {
   /// Calls refused because the breaker was open (or half-open with all
   /// probe slots taken).
   uint64_t rejected() const;
+  /// Half-open probe slots reclaimed from stuck probes (see
+  /// Options::probe_timeout_ms).
+  uint64_t probe_reclaims() const;
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -97,8 +108,12 @@ class CircuitBreaker {
   /// ignored (see class comment).
   uint64_t generation_ = 0;
   Clock::time_point opened_at_{};
+  /// When the most recent half-open probe was admitted; the staleness
+  /// anchor for probe-slot reclamation.
+  Clock::time_point last_probe_at_{};
   uint64_t open_transitions_ = 0;
   uint64_t rejected_ = 0;
+  uint64_t probe_reclaims_ = 0;
 
   void OpenLocked();
   bool StaleLocked(uint64_t admission) const {

@@ -1,0 +1,37 @@
+#include "serve/degradation.h"
+
+#include <algorithm>
+
+namespace structura::serve {
+
+DegradationPolicy::Decision DegradationPolicy::Admit(Priority p,
+                                                     size_t queue_depth,
+                                                     size_t capacity) const {
+  if (!options_.enabled || capacity == 0 || p == Priority::kInteractive) {
+    return Decision{};
+  }
+  HealthState h =
+      health_ != nullptr ? health_->Overall() : HealthState::kHealthy;
+  double fraction = p == Priority::kBatch ? options_.batch_queue_fraction
+                                          : options_.background_queue_fraction;
+  switch (h) {
+    case HealthState::kHealthy:
+      break;
+    case HealthState::kDegraded:
+      fraction *= options_.degraded_tighten;
+      break;
+    case HealthState::kCritical:
+      if (p == Priority::kBackground) {
+        return Decision{false, "brownout: background refused while critical"};
+      }
+      fraction *= options_.degraded_tighten * options_.degraded_tighten;
+      break;
+  }
+  double allowed = fraction * static_cast<double>(capacity);
+  if (static_cast<double>(queue_depth) < allowed) return Decision{};
+  return Decision{false, p == Priority::kBatch
+                             ? "brownout: batch queue share full"
+                             : "brownout: background queue share full"};
+}
+
+}  // namespace structura::serve

@@ -1,0 +1,68 @@
+#ifndef STRUCTURA_SERVE_DEGRADATION_H_
+#define STRUCTURA_SERVE_DEGRADATION_H_
+
+#include <cstddef>
+
+#include "serve/health.h"
+#include "serve/request_context.h"
+
+namespace structura::serve {
+
+/// Priority-aware brownout admission: each tier may only occupy a
+/// fraction of the frontend's bounded admission queue, so as load (or
+/// ill health) grows, background work is shed first, then batch, and
+/// interactive traffic keeps the whole queue to itself — the classic
+/// brownout ladder, implemented as weighted thresholds on the queue the
+/// frontend already bounds.
+///
+///   admit(tier) ⇔ queue_depth < fraction(tier) × capacity
+///
+/// where fraction(interactive) = 1 (interactive is only ever refused by
+/// the hard queue bound itself), and the batch/background fractions
+/// tighten when the health model reports the system degraded. Under
+/// critical health, background traffic is refused outright.
+///
+/// Stateless: a decision reads the queue depth the caller passes in
+/// plus the health model's current overall state (one brief mutex
+/// acquisition), so Admit() can sit on the Submit() hot path.
+class DegradationPolicy {
+ public:
+  struct Options {
+    /// Master switch; off = every tier admitted up to the queue bound
+    /// (the "no brownout" baseline bench_e18 compares against).
+    bool enabled = true;
+    /// Queue fraction the batch tier may fill.
+    double batch_queue_fraction = 0.60;
+    /// Queue fraction the background tier may fill.
+    double background_queue_fraction = 0.25;
+    /// Multiplier applied to the fractions while overall health is
+    /// degraded (and again, squared, for batch under critical health).
+    double degraded_tighten = 0.5;
+  };
+
+  DegradationPolicy() : DegradationPolicy(Options{}, nullptr) {}
+  DegradationPolicy(Options options, const HealthModel* health)
+      : options_(options), health_(health) {}
+
+  struct Decision {
+    bool admit = true;
+    /// Static string describing the refusal ("" when admitted).
+    const char* reason = "";
+  };
+
+  /// Should a request of tier `p` be admitted with `queue_depth` tasks
+  /// already waiting on a queue bounded at `capacity`? `capacity == 0`
+  /// (unbounded queue) always admits — brownout is meaningless without
+  /// a bound.
+  Decision Admit(Priority p, size_t queue_depth, size_t capacity) const;
+
+  const HealthModel* health() const { return health_; }
+
+ private:
+  Options options_;
+  const HealthModel* health_;
+};
+
+}  // namespace structura::serve
+
+#endif  // STRUCTURA_SERVE_DEGRADATION_H_

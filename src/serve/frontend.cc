@@ -11,28 +11,48 @@
 #include "obs/trace.h"
 
 namespace structura::serve {
+namespace {
+
+/// Under a critical subsystem verdict, one request in this many still
+/// attempts the primary operator (the rest go straight to the
+/// fallback). See the canary comment in Execute().
+constexpr uint64_t kCriticalCanaryEvery = 8;
+
+}  // namespace
 
 using Clock = std::chrono::steady_clock;
 
 std::string ServingCounters::ToString() const {
   std::string out = StrFormat(
-      "issued=%llu admitted=%llu shed=%llu not_found=%llu ok=%llu "
-      "deadline_exceeded=%llu "
+      "issued=%llu admitted=%llu shed=%llu (brownout=%llu) not_found=%llu "
+      "ok=%llu (degraded=%llu) deadline_exceeded=%llu "
       "cancelled=%llu unavailable=%llu (queued_wait=%llu breaker=%llu) "
-      "retries=%llu root_spans=%llu queue_high_water=%llu",
+      "fallback_served=%llu retries=%llu root_spans=%llu queue_high_water=%llu",
       static_cast<unsigned long long>(issued),
       static_cast<unsigned long long>(admitted),
       static_cast<unsigned long long>(shed),
+      static_cast<unsigned long long>(shed_brownout),
       static_cast<unsigned long long>(not_found),
       static_cast<unsigned long long>(ok),
+      static_cast<unsigned long long>(degraded_answers),
       static_cast<unsigned long long>(deadline_exceeded),
       static_cast<unsigned long long>(cancelled),
       static_cast<unsigned long long>(unavailable),
       static_cast<unsigned long long>(shed_queued_wait),
       static_cast<unsigned long long>(breaker_rejected),
+      static_cast<unsigned long long>(fallback_served),
       static_cast<unsigned long long>(retries),
       static_cast<unsigned long long>(root_spans),
       static_cast<unsigned long long>(queue_high_water));
+  out += "; tiers:";
+  for (size_t t = 0; t < kNumPriorities; ++t) {
+    out += StrFormat(" %s(issued=%llu admitted=%llu shed=%llu nf=%llu)",
+                     PriorityName(static_cast<Priority>(t)),
+                     static_cast<unsigned long long>(tiers[t].issued),
+                     static_cast<unsigned long long>(tiers[t].admitted),
+                     static_cast<unsigned long long>(tiers[t].shed),
+                     static_cast<unsigned long long>(tiers[t].not_found));
+  }
   if (!breakers.empty()) {
     out += "; breakers:";
     for (const auto& [op, state] : breakers) {
@@ -60,15 +80,57 @@ Frontend::Frontend(Options options)
           registry_->GetCounter("serve.requests.shed_queued_wait")),
       breaker_rejected_(
           registry_->GetCounter("serve.requests.breaker_rejected")),
+      shed_brownout_(registry_->GetCounter("serve.requests.shed_brownout")),
+      fallback_served_(registry_->GetCounter("serve.requests.fallback_served")),
+      degraded_answers_(
+          registry_->GetCounter("serve.requests.degraded_answers")),
       retries_(registry_->GetCounter("serve.requests.retries")),
       root_spans_(registry_->GetCounter("serve.spans.root")),
       request_latency_(
           registry_->GetHistogram("serve.request.latency_ns")),
       queue_wait_(registry_->GetHistogram("serve.queue.wait_ns")),
+      policy_(options.brownout, options.health),
       pool_(options.num_threads,
             options.shed_enabled ? options.max_queue_depth : 0) {
+  for (size_t t = 0; t < kNumPriorities; ++t) {
+    const std::string prefix = std::string("serve.requests.tier.") +
+                               PriorityName(static_cast<Priority>(t));
+    tier_issued_[t] = registry_->GetCounter(prefix + ".issued");
+    tier_admitted_[t] = registry_->GetCounter(prefix + ".admitted");
+    tier_shed_[t] = registry_->GetCounter(prefix + ".shed");
+    tier_not_found_[t] = registry_->GetCounter(prefix + ".not_found");
+  }
   base_ = RegistryValues();
   pool_.PublishMetrics("serve");
+  if (options_.health != nullptr) {
+    uint64_t id = options_.health->Register(
+        "serve", "serve.admission", [this] { return AdmissionSignal(); });
+    std::lock_guard<std::mutex> lock(ops_mutex_);
+    health_registrations_["serve"] = id;
+  }
+}
+
+Frontend::~Frontend() {
+  // Detach every health registration FIRST, before any member is
+  // destroyed: Detach blocks until no evaluation is in flight, so after
+  // this loop a concurrent watchdog can no longer run BreakerSignal /
+  // AdmissionSignal against soon-to-be-freed breakers and pool state.
+  // The ids are collected under ops_mutex_ but Detach runs unlocked —
+  // the signal fns themselves take ops_mutex_, so detaching while
+  // holding it would deadlock against an in-flight evaluation.
+  if (options_.health != nullptr) {
+    std::vector<uint64_t> ids;
+    {
+      std::lock_guard<std::mutex> lock(ops_mutex_);
+      for (const auto& [subsystem, id] : health_registrations_) {
+        if (id != 0) ids.push_back(id);
+      }
+      health_registrations_.clear();
+    }
+    for (uint64_t id : ids) options_.health->Detach(id);
+  }
+  // pool_ (last member) is destroyed first, draining queued Execute()
+  // tasks while ops_ and the counters are still alive.
 }
 
 void Frontend::RegisterOperator(const std::string& name, Handler handler) {
@@ -80,9 +142,46 @@ void Frontend::RegisterOperator(const std::string& name, Handler handler) {
   it->second->span_name = obs::InternName("serve." + name);
 }
 
+void Frontend::TagOperator(const std::string& name,
+                           const std::string& subsystem) {
+  bool need_register = false;
+  {
+    std::lock_guard<std::mutex> lock(ops_mutex_);
+    auto it = ops_.find(name);
+    if (it == ops_.end()) return;
+    it->second->subsystem = subsystem;
+    if (options_.health != nullptr &&
+        health_registrations_.find(subsystem) == health_registrations_.end()) {
+      // Reserve the slot so a concurrent TagOperator for the same
+      // subsystem doesn't double-register; the real id lands below.
+      health_registrations_[subsystem] = 0;
+      need_register = true;
+    }
+  }
+  if (need_register) {
+    // Register() may block draining an in-flight evaluation whose
+    // signal fns take ops_mutex_ — so it must run unlocked.
+    uint64_t id = options_.health->Register(
+        subsystem, "serve.breakers",
+        [this, subsystem] { return BreakerSignal(subsystem); });
+    std::lock_guard<std::mutex> lock(ops_mutex_);
+    health_registrations_[subsystem] = id;
+  }
+}
+
+void Frontend::SetFallback(const std::string& primary,
+                           const std::string& fallback) {
+  std::lock_guard<std::mutex> lock(ops_mutex_);
+  auto it = ops_.find(primary);
+  if (it == ops_.end() || ops_.find(fallback) == ops_.end()) return;
+  it->second->fallback = fallback;
+}
+
 std::future<Status> Frontend::Submit(const std::string& op_name,
                                      RequestContext ctx) {
+  const size_t tier = static_cast<size_t>(ctx.priority);
   issued_->Increment();
+  tier_issued_[tier]->Increment();
   if (ctx.trace_id == 0) ctx.trace_id = obs::NextTraceId();
   auto done = std::make_shared<std::promise<Status>>();
   std::future<Status> fut = done->get_future();
@@ -95,8 +194,24 @@ std::future<Status> Frontend::Submit(const std::string& op_name,
   }
   if (op == nullptr) {
     not_found_->Increment();
+    tier_not_found_[tier]->Increment();
     done->set_value(Status::NotFound("no operator " + op_name));
     return fut;
+  }
+
+  if (options_.shed_enabled) {
+    // Brownout: batch/background tiers only get their share of the
+    // queue, shrinking as health worsens — the lower tiers shed first,
+    // long before the queue itself is full.
+    DegradationPolicy::Decision d = policy_.Admit(
+        ctx.priority, pool_.stats().queue_depth, options_.max_queue_depth);
+    if (!d.admit) {
+      shed_->Increment();
+      shed_brownout_->Increment();
+      tier_shed_[tier]->Increment();
+      done->set_value(Status::Unavailable(std::string("shed: ") + d.reason));
+      return fut;
+    }
   }
 
   Clock::time_point enqueued_at = Clock::now();
@@ -113,10 +228,12 @@ std::future<Status> Frontend::Submit(const std::string& op_name,
     // Shed at admission: the caller learns *now* instead of waiting
     // behind a queue that is already past its latency budget.
     shed_->Increment();
+    tier_shed_[tier]->Increment();
     done->set_value(Status::Unavailable("shed: queue full"));
     return fut;
   }
   admitted_->Increment();
+  tier_admitted_[tier]->Increment();
   return fut;
 }
 
@@ -144,6 +261,67 @@ void Frontend::Resolve(std::promise<Status>* done, Status s) {
       break;
   }
   done->set_value(std::move(s));
+}
+
+bool Frontend::TryFallback(Operator* primary, const RequestContext& ctx,
+                           const std::string& why,
+                           std::promise<Status>* done) {
+  Operator* fb = nullptr;
+  std::string fb_name;
+  {
+    std::lock_guard<std::mutex> lock(ops_mutex_);
+    if (primary->fallback.empty()) return false;
+    fb_name = primary->fallback;
+    auto it = ops_.find(fb_name);
+    if (it != ops_.end()) fb = it->second.get();
+  }
+  if (fb == nullptr) return false;
+  if (Status s = ctx.interrupt.Check(); !s.ok()) {
+    Resolve(done, std::move(s));
+    return true;
+  }
+  uint64_t admission = CircuitBreaker::kCurrentAdmission;
+  if (!fb->breaker.Allow(&admission)) {
+    // Both rungs of the ladder refused; the caller resolves the
+    // original refusal (counted there, not double-counted here).
+    return false;
+  }
+  TRACE_SPAN("serve.fallback");
+  // The fallback attempt runs through the same failpoint sites as a
+  // primary attempt, so chaos reaches it too.
+  Status st = MaybeFail("serve.op");
+  if (st.ok()) st = MaybeFail("serve.op." + fb_name);
+  if (st.ok()) {
+    TRACE_SPAN("serve.handler");
+    st = fb->handler(ctx);
+  }
+  if (st.ok()) {
+    fb->breaker.RecordSuccess(admission);
+    // The degraded flag is the contract: a fallback-served answer is
+    // never silently substituted for the requested operator's answer.
+    if (ctx.response != nullptr) {
+      ctx.response->degraded = true;
+      ctx.response->degraded_reason = why;
+      ctx.response->served_by = fb_name;
+    }
+    fallback_served_->Increment();
+    degraded_answers_->Increment();
+    Resolve(done, Status::OK());
+    return true;
+  }
+  if (st.code() == StatusCode::kCancelled) {
+    fb->breaker.ReleaseProbe(admission);
+    Resolve(done, std::move(st));
+    return true;
+  }
+  fb->breaker.RecordFailure(admission);
+  if (st.code() == StatusCode::kDeadlineExceeded) {
+    Resolve(done, std::move(st));
+    return true;
+  }
+  // Single fallback attempt failed with a retryable error: fall back to
+  // the caller's path (primary refusal, or the primary retry loop).
+  return false;
 }
 
 void Frontend::Execute(Operator* op, const std::string& op_name,
@@ -185,6 +363,33 @@ void Frontend::Execute(Operator* op, const std::string& op_name,
     }
   }
 
+  // Health-driven rung of the fallback ladder: when the operator's
+  // subsystem is critical, don't even offer it the request — serve the
+  // degraded answer directly. (A merely-degraded subsystem still gets
+  // the traffic; its breaker decides.)
+  if (options_.health != nullptr) {
+    std::string subsystem, fallback;
+    {
+      std::lock_guard<std::mutex> lock(ops_mutex_);
+      subsystem = op->subsystem;
+      fallback = op->fallback;
+    }
+    if (!subsystem.empty() && !fallback.empty() &&
+        options_.health->StateOf(subsystem) == HealthState::kCritical) {
+      // Canary trickle: every kCriticalCanaryEvery-th request still
+      // attempts the primary, so recovery evidence (breaker probes,
+      // fresh successes) keeps flowing. Routing *everything* around a
+      // critical subsystem would starve the very signal that could
+      // clear the verdict, wedging it critical forever.
+      bool canary = op->canary.fetch_add(1, std::memory_order_relaxed) %
+                        kCriticalCanaryEvery ==
+                    kCriticalCanaryEvery - 1;
+      if (!canary) {
+        if (TryFallback(op, ctx, subsystem + " critical", done)) return;
+      }
+    }
+  }
+
   Rng rng(options_.seed ^ (ctx.id * 0x9E3779B97F4A7C15ULL));
   uint32_t budget = ctx.retry_budget;
   uint32_t attempt = 0;
@@ -196,6 +401,8 @@ void Frontend::Execute(Operator* op, const std::string& op_name,
     uint64_t admission = CircuitBreaker::kCurrentAdmission;
     if (!op->breaker.Allow(&admission)) {
       breaker_rejected_->Increment();
+      // Breaker-refused rung: try the fallback before failing the call.
+      if (TryFallback(op, ctx, "breaker open for " + op_name, done)) return;
       Resolve(done, Status::Unavailable("breaker open for " + op_name));
       return;
     }
@@ -231,6 +438,9 @@ void Frontend::Execute(Operator* op, const std::string& op_name,
     }
     op->breaker.RecordFailure(admission);
     if (budget == 0) {
+      // Retry budget exhausted: one last chance to answer degraded
+      // instead of not at all.
+      if (TryFallback(op, ctx, op_name + " failing", done)) return;
       Resolve(done, Status::Unavailable(StrFormat(
                         "%s failed after %u attempts: %s", op_name.c_str(),
                         attempt, st.message().c_str())));
@@ -252,6 +462,54 @@ void Frontend::Execute(Operator* op, const std::string& op_name,
   }
 }
 
+HealthSample Frontend::BreakerSignal(const std::string& subsystem) const {
+  size_t total = 0, open = 0, half_open = 0;
+  std::string worst_op;
+  {
+    std::lock_guard<std::mutex> lock(ops_mutex_);
+    for (const auto& [name, op] : ops_) {
+      if (op->subsystem != subsystem) continue;
+      ++total;
+      switch (op->breaker.state()) {
+        case CircuitBreaker::State::kOpen:
+          ++open;
+          worst_op = name;
+          break;
+        case CircuitBreaker::State::kHalfOpen:
+          ++half_open;
+          if (open == 0) worst_op = name;
+          break;
+        case CircuitBreaker::State::kClosed:
+          break;
+      }
+    }
+  }
+  if (total == 0 || (open == 0 && half_open == 0)) return HealthSample{};
+  if (open == total) {
+    return HealthSample{HealthState::kCritical,
+                        "all breakers open (" + worst_op + ")"};
+  }
+  if (open > 0) {
+    return HealthSample{HealthState::kDegraded, "breaker open: " + worst_op};
+  }
+  return HealthSample{HealthState::kDegraded,
+                      "breaker half-open: " + worst_op};
+}
+
+HealthSample Frontend::AdmissionSignal() const {
+  if (!options_.shed_enabled || options_.max_queue_depth == 0) {
+    return HealthSample{};
+  }
+  size_t depth = pool_.stats().queue_depth;
+  if (depth >= options_.max_queue_depth) {
+    return HealthSample{HealthState::kCritical, "admission queue full"};
+  }
+  if (depth * 4 >= options_.max_queue_depth * 3) {
+    return HealthSample{HealthState::kDegraded, "admission queue >=75% full"};
+  }
+  return HealthSample{};
+}
+
 ServingCounters Frontend::RegistryValues() const {
   ServingCounters c;
   c.issued = issued_->Value();
@@ -264,8 +522,17 @@ ServingCounters Frontend::RegistryValues() const {
   c.unavailable = unavailable_->Value();
   c.shed_queued_wait = shed_queued_wait_->Value();
   c.breaker_rejected = breaker_rejected_->Value();
+  c.shed_brownout = shed_brownout_->Value();
+  c.fallback_served = fallback_served_->Value();
+  c.degraded_answers = degraded_answers_->Value();
   c.retries = retries_->Value();
   c.root_spans = root_spans_->Value();
+  for (size_t t = 0; t < kNumPriorities; ++t) {
+    c.tiers[t].issued = tier_issued_[t]->Value();
+    c.tiers[t].admitted = tier_admitted_[t]->Value();
+    c.tiers[t].shed = tier_shed_[t]->Value();
+    c.tiers[t].not_found = tier_not_found_[t]->Value();
+  }
   return c;
 }
 
@@ -281,8 +548,17 @@ ServingCounters Frontend::Counters() const {
   c.unavailable -= base_.unavailable;
   c.shed_queued_wait -= base_.shed_queued_wait;
   c.breaker_rejected -= base_.breaker_rejected;
+  c.shed_brownout -= base_.shed_brownout;
+  c.fallback_served -= base_.fallback_served;
+  c.degraded_answers -= base_.degraded_answers;
   c.retries -= base_.retries;
   c.root_spans -= base_.root_spans;
+  for (size_t t = 0; t < kNumPriorities; ++t) {
+    c.tiers[t].issued -= base_.tiers[t].issued;
+    c.tiers[t].admitted -= base_.tiers[t].admitted;
+    c.tiers[t].shed -= base_.tiers[t].shed;
+    c.tiers[t].not_found -= base_.tiers[t].not_found;
+  }
   c.queue_high_water = pool_.stats().queue_high_water;
   std::lock_guard<std::mutex> lock(ops_mutex_);
   for (const std::string& name : op_order_) {

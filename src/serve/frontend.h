@@ -16,6 +16,8 @@
 #include "obs/metrics.h"
 #include "serve/circuit_breaker.h"
 #include "serve/counters.h"
+#include "serve/degradation.h"
+#include "serve/health.h"
 #include "serve/request_context.h"
 
 namespace structura::serve {
@@ -30,21 +32,43 @@ namespace structura::serve {
 ///    behind a queue it cannot see. Requests that sat queued longer
 ///    than `max_queue_wait_ms` are shed at dequeue instead of running
 ///    with an already-blown latency budget.
+///  - **Priority brownout.** Each RequestContext carries a Priority
+///    tier; batch and background requests are only admitted while the
+///    queue is below their tier's share (DegradationPolicy), so under
+///    overload or ill health the lower tiers are shed first and
+///    interactive traffic keeps its latency budget.
 ///  - **Per-operator circuit breakers.** Consecutive operator failures
 ///    open the breaker and traffic to that operator fails fast with
 ///    kUnavailable until a cooldown passes and a probe succeeds.
+///  - **Fallback ladder.** An operator may name a fallback
+///    (SetFallback): when the primary's breaker refuses a request — or
+///    its tagged subsystem is critical in the health model — the
+///    request is served by the fallback instead, and the answer is
+///    explicitly marked degraded through ctx.response. A degraded
+///    answer is a contract, never a silent substitution. While a
+///    subsystem is critical a trickle of canary requests still attempts
+///    the primary, so the evidence needed to clear the verdict (breaker
+///    probes, fresh successes) keeps flowing.
+///  - **Health signals.** When Options::health is set, the frontend
+///    feeds it: per-subsystem breaker aggregates for every subsystem
+///    named via TagOperator, plus a "serve" admission-queue signal.
+///    ~Frontend detaches these registrations (draining any in-flight
+///    evaluation) before the breakers and counters are destroyed, so a
+///    watchdog evaluating concurrently can never touch freed state.
 ///  - **Retries.** Retryable operator failures are re-attempted with
 ///    jittered exponential backoff, charged against the request's
 ///    retry budget and clipped to its deadline.
 ///
 /// Every submitted request resolves to exactly one Status: OK,
 /// kDeadlineExceeded, kCancelled, or kUnavailable (plus kNotFound for
-/// unregistered operators). Counters reconcile: admitted + shed +
-/// not_found == issued, and every admitted request resolves.
+/// unregistered operators). Counters reconcile globally and per tier:
+/// admitted + shed + not_found == issued, and every admitted request
+/// resolves.
 ///
 /// The failpoint sites `serve.op` and `serve.op.<name>` are evaluated
-/// before each handler attempt, so tests can drive breakers and retry
-/// paths without touching the operators themselves.
+/// before each handler attempt (fallback attempts included), so tests
+/// can drive breakers, retries, and the fallback ladder without
+/// touching the operators themselves.
 class Frontend {
  public:
   struct Options {
@@ -63,8 +87,17 @@ class Frontend {
     uint64_t seed = 1;
     /// When false the queue is unbounded and queued-wait shedding is
     /// off — the "no overload policy" baseline bench_e15 compares
-    /// against. Breakers and retries stay active.
+    /// against. Breakers, retries, and brownout-free admission stay
+    /// active.
     bool shed_enabled = true;
+    /// Brownout thresholds for the batch/background tiers (evaluated
+    /// against max_queue_depth; inert when shed_enabled is false).
+    DegradationPolicy::Options brownout;
+    /// Health model to feed (breaker aggregates per tagged subsystem,
+    /// admission-queue state) and to consult for fallback decisions.
+    /// Optional; must outlive the frontend. The frontend detaches all
+    /// of its registrations in its destructor.
+    HealthModel* health = nullptr;
     /// Registry the serving counters/histograms live in. Defaults to
     /// the process-wide obs::MetricsRegistry::Default(); tests may
     /// inject a private registry (it must outlive the frontend).
@@ -78,12 +111,29 @@ class Frontend {
   explicit Frontend(Options options);
   Frontend(const Frontend&) = delete;
   Frontend& operator=(const Frontend&) = delete;
-  /// Drains queued requests (their futures all resolve).
-  ~Frontend() = default;
+  /// Detaches health-model registrations (draining any in-flight
+  /// watchdog evaluation), then drains queued requests (their futures
+  /// all resolve).
+  ~Frontend();
 
   /// Registers an operator. Call before serving traffic; names are
   /// stable for the frontend's lifetime.
   void RegisterOperator(const std::string& name, Handler handler);
+
+  /// Tags an operator as belonging to a health subsystem (e.g.
+  /// "query.keyword", "storage.wal"). When Options::health is set, the
+  /// frontend registers one breaker-aggregate signal per distinct
+  /// subsystem: all tagged breakers closed → healthy, any open or
+  /// half-open → degraded, all open → critical. Call during setup,
+  /// before serving traffic.
+  void TagOperator(const std::string& name, const std::string& subsystem);
+
+  /// Names `fallback` as the reduced-fidelity stand-in for `primary`
+  /// (e.g. hybrid → keyword-only). Both operators must already be
+  /// registered. The fallback runs when the primary's breaker refuses
+  /// a request or its subsystem is critical; answers served this way
+  /// are marked degraded via ctx.response and counted.
+  void SetFallback(const std::string& primary, const std::string& fallback);
 
   /// Dispatches a request. Never blocks the caller: the future is
   /// either queued work or an immediately-resolved shed decision.
@@ -104,6 +154,13 @@ class Frontend {
     CircuitBreaker breaker;
     /// Interned copy of the operator name, usable as a span name.
     const char* span_name = "";
+    /// Health subsystem this operator's breaker feeds ("" = untagged).
+    std::string subsystem;
+    /// Operator to serve through when this one's breaker refuses.
+    std::string fallback;
+    /// Requests seen while the subsystem was critical; every Nth one is
+    /// let through to the primary as a recovery canary (see Execute()).
+    std::atomic<uint64_t> canary{0};
 
     explicit Operator(CircuitBreaker::Options bopts) : breaker(bopts) {}
   };
@@ -115,7 +172,19 @@ class Frontend {
                std::chrono::steady_clock::time_point enqueued_at,
                std::promise<Status>* done);
 
+  /// Attempts the fallback ladder for `primary` (reason: `why`).
+  /// Returns true when it resolved `done` (served degraded, or the
+  /// fallback attempt itself terminated the request); false when no
+  /// fallback is available and the normal refusal path should run.
+  bool TryFallback(Operator* primary, const RequestContext& ctx,
+                   const std::string& why, std::promise<Status>* done);
+
   void Resolve(std::promise<Status>* done, Status s);
+
+  /// Breaker aggregate over operators tagged with `subsystem`.
+  HealthSample BreakerSignal(const std::string& subsystem) const;
+  /// Admission-queue fill signal for the "serve" subsystem.
+  HealthSample AdmissionSignal() const;
 
   /// Raw (process-cumulative) registry values for this frontend's
   /// counters; Counters() returns these minus base_.
@@ -142,13 +211,28 @@ class Frontend {
   obs::Counter* unavailable_ = nullptr;
   obs::Counter* shed_queued_wait_ = nullptr;
   obs::Counter* breaker_rejected_ = nullptr;
+  obs::Counter* shed_brownout_ = nullptr;
+  obs::Counter* fallback_served_ = nullptr;
+  obs::Counter* degraded_answers_ = nullptr;
   obs::Counter* retries_ = nullptr;
   obs::Counter* root_spans_ = nullptr;
+  /// Per-tier admission counters, indexed by Priority.
+  std::array<obs::Counter*, kNumPriorities> tier_issued_{};
+  std::array<obs::Counter*, kNumPriorities> tier_admitted_{};
+  std::array<obs::Counter*, kNumPriorities> tier_shed_{};
+  std::array<obs::Counter*, kNumPriorities> tier_not_found_{};
   obs::Histogram* request_latency_ = nullptr;
   obs::Histogram* queue_wait_ = nullptr;
   /// Registry values at construction; subtracted so ServingCounters
   /// reads as this frontend's own traffic.
   ServingCounters base_;
+
+  /// Brownout admission policy (reads options_.brownout + health).
+  DegradationPolicy policy_;
+  /// Health-model registration ids owned by this frontend, detached in
+  /// the destructor BEFORE any member (breakers, pool) is destroyed.
+  /// Guarded by ops_mutex_; keyed by subsystem to avoid duplicates.
+  std::map<std::string, uint64_t> health_registrations_;
 
   // MUST stay the last member: ~ThreadPool drains still-queued Execute()
   // tasks, which dereference ops_ and the counters above. Members are

@@ -1,18 +1,62 @@
 #ifndef STRUCTURA_SERVE_REQUEST_CONTEXT_H_
 #define STRUCTURA_SERVE_REQUEST_CONTEXT_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <string>
 
 #include "common/cancellation.h"
 
 namespace structura::serve {
 
+/// Request priority class for brownout-style admission: under overload
+/// or degraded health, lower tiers are shed first so interactive
+/// traffic keeps its latency budget. Order matters — larger = lower
+/// priority = shed earlier.
+enum class Priority : uint8_t {
+  kInteractive = 0,  // a human is waiting (search-as-you-type, pages)
+  kBatch = 1,        // throughput work with a deadline (reports, sync)
+  kBackground = 2,   // best-effort (re-extraction, prefetch, scrubs)
+};
+
+inline constexpr size_t kNumPriorities = 3;
+
+inline const char* PriorityName(Priority p) {
+  switch (p) {
+    case Priority::kInteractive:
+      return "interactive";
+    case Priority::kBatch:
+      return "batch";
+    case Priority::kBackground:
+      return "background";
+  }
+  return "?";
+}
+
+/// Out-of-band response annotations a handler (or the frontend's
+/// fallback path) attaches to an answer. A degraded answer is an
+/// explicit contract: the caller is told the result was produced with
+/// reduced fidelity and why — never a silent wrong answer.
+///
+/// Thread-safety: written by the worker running the request strictly
+/// before its promise resolves; the caller reads it only after
+/// future.get() returns, so the promise provides the happens-before
+/// edge and no lock is needed.
+struct ResponseMeta {
+  bool degraded = false;
+  std::string degraded_reason;
+  /// Operator that actually produced the answer (set by the frontend's
+  /// fallback path; empty = the operator the caller asked for).
+  std::string served_by;
+};
+
 /// Everything a request carries through the serving path: identity, the
 /// cooperative interrupt (deadline + cancellation token) that inner
-/// loops poll, and a retry budget the frontend charges for each
-/// re-attempt after a retryable operator failure. The budget is
-/// per-request so a flapping operator cannot multiply one call into an
-/// unbounded retry storm.
+/// loops poll, a retry budget the frontend charges for each re-attempt
+/// after a retryable operator failure, and the priority tier brownout
+/// admission keys off. The budget is per-request so a flapping operator
+/// cannot multiply one call into an unbounded retry storm.
 struct RequestContext {
   uint64_t id = 0;
   Interrupt interrupt;
@@ -22,6 +66,12 @@ struct RequestContext {
   /// Submit(); callers with an existing trace pass it through so spans
   /// recorded downstream join the same tree.
   uint64_t trace_id = 0;
+  /// Admission tier; see Priority.
+  Priority priority = Priority::kInteractive;
+  /// Optional out-channel for degradation annotations. Callers that
+  /// care allocate it before Submit(); handlers and the fallback path
+  /// write through the shared pointer.
+  std::shared_ptr<ResponseMeta> response;
 };
 
 }  // namespace structura::serve

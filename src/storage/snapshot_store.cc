@@ -2,6 +2,7 @@
 
 #include "common/crc32c.h"
 #include "common/failpoint.h"
+#include "obs/metrics.h"
 
 namespace structura::storage {
 
@@ -75,6 +76,39 @@ Result<std::string> SnapshotStore::Get(uint64_t page_id,
     return Status::Corruption("snapshot reconstruction mismatch");
   }
   return text;
+}
+
+Result<SnapshotStore::ReadResult> SnapshotStore::GetWithFallback(
+    uint64_t page_id, uint32_t version) const {
+  Result<std::string> primary = Get(page_id, version);
+  if (primary.ok()) {
+    ReadResult r;
+    r.content = std::move(primary).value();
+    r.version = version;
+    return r;
+  }
+  if (primary.status().code() == StatusCode::kNotFound) {
+    return primary.status();
+  }
+  static obs::Counter* fallback_reads =
+      obs::MetricsRegistry::Default().GetCounter(
+          "storage.snapshot.fallback_reads");
+  // The requested version is damaged: serve the newest older version
+  // that still verifies, clearly labeled as stale.
+  for (uint32_t v = version; v-- > 0;) {
+    Result<std::string> older = Get(page_id, v);
+    if (!older.ok()) continue;
+    fallback_reads->Increment();
+    ReadResult r;
+    r.content = std::move(older).value();
+    r.version = v;
+    r.degraded = true;
+    r.reason = "version " + std::to_string(version) +
+               " corrupt; served last-good version " + std::to_string(v);
+    return r;
+  }
+  return Status::Corruption("no clean version of page available: " +
+                            primary.status().message());
 }
 
 Status SnapshotStore::Scrub(IntegrityCounters* counters) const {

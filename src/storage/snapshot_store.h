@@ -39,6 +39,27 @@ class SnapshotStore {
   /// kCorruption instead of silently wrong text.
   Result<std::string> Get(uint64_t page_id, uint32_t version) const;
 
+  /// A Get() that survived corruption by falling back. `degraded` is
+  /// the contract: when true, `content` is NOT the requested version
+  /// but the newest *older* version that still verifies, `version` says
+  /// which one, and `reason` says why — last-good data clearly labeled
+  /// beats an error for read paths that can tolerate staleness.
+  struct ReadResult {
+    std::string content;
+    uint32_t version = 0;
+    bool degraded = false;
+    std::string reason;
+  };
+
+  /// Like Get(), but when the requested version fails its checksum the
+  /// read walks back toward version 0 and serves the newest older
+  /// version that still reconstructs cleanly, marked degraded (counter
+  /// `storage.snapshot.fallback_reads`). Unknown page/version is still
+  /// kNotFound; a page with no clean version at all is kCorruption —
+  /// the store never fabricates content.
+  Result<ReadResult> GetWithFallback(uint64_t page_id,
+                                     uint32_t version) const;
+
   /// Reconstructs and re-verifies every stored version, folding findings
   /// into `counters` (records_verified / corrupt_records).
   Status Scrub(IntegrityCounters* counters) const;

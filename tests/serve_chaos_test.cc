@@ -7,7 +7,9 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <future>
 #include <mutex>
 #include <thread>
@@ -141,6 +143,40 @@ TEST(CircuitBreakerTest, StaleProbeResultsAreIgnoredAfterReclose) {
   cb.RecordFailure();
   EXPECT_EQ(cb.state(), CircuitBreaker::State::kOpen);
   EXPECT_EQ(cb.open_transitions(), 2u);
+}
+
+TEST(CircuitBreakerTest, StuckProbeSlotIsReclaimedAfterTimeout) {
+  CircuitBreaker::Options opts;
+  opts.failure_threshold = 1;
+  opts.open_ms = 10;
+  opts.probe_timeout_ms = 100;
+  CircuitBreaker cb(opts);
+
+  cb.RecordFailure();
+  ASSERT_EQ(cb.state(), CircuitBreaker::State::kOpen);
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+
+  // The probe is admitted... and its handler hangs, never reporting.
+  uint64_t stuck = 0;
+  ASSERT_TRUE(cb.Allow(&stuck));
+  ASSERT_EQ(cb.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_FALSE(cb.Allow());  // slot taken, timeout not yet elapsed
+
+  // Past the probe timeout the slot is reclaimed: a probe that never
+  // completes must not wedge the breaker in half-open forever.
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  uint64_t fresh = 0;
+  EXPECT_TRUE(cb.Allow(&fresh));
+  EXPECT_EQ(cb.probe_reclaims(), 1u);
+
+  // The reclaimed probe's admission was invalidated: if the stuck
+  // handler ever does report, the result is discarded (an honored
+  // failure would re-open the breaker here).
+  cb.RecordFailure(stuck);
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kHalfOpen);
+
+  cb.RecordSuccess(fresh);
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kClosed);
 }
 
 // --------------------------------------------------------- Frontend
@@ -397,6 +433,317 @@ TEST(FrontendTest, DestructionDrainsQueuedRequests) {
   }
 }
 
+// ------------------------------------------------------- Health model
+
+TEST(HealthModelTest, DemotesImmediatelyAndPromotesAfterStreak) {
+  HealthModel::Options hopts;
+  hopts.promote_after = 2;
+  HealthModel hm(hopts);
+
+  std::mutex m;
+  HealthSample next;  // what the signal reports on the next Evaluate()
+  hm.Register("storage.wal", "integrity", [&] {
+    std::lock_guard<std::mutex> lock(m);
+    return next;
+  });
+  EXPECT_EQ(hm.StateOf("storage.wal"), HealthState::kHealthy);
+  EXPECT_EQ(hm.StateOf("no.such.subsystem"), HealthState::kHealthy);
+
+  auto set = [&](HealthState s, const std::string& reason) {
+    std::lock_guard<std::mutex> lock(m);
+    next = HealthSample{s, reason};
+  };
+
+  // Demotion is immediate: one bad sample flips the state.
+  set(HealthState::kCritical, "wal torn");
+  hm.Evaluate();
+  EXPECT_EQ(hm.StateOf("storage.wal"), HealthState::kCritical);
+  EXPECT_EQ(hm.ReasonOf("storage.wal"), "wal torn");
+  EXPECT_EQ(hm.Overall(), HealthState::kCritical);
+  EXPECT_EQ(hm.transitions(), 1u);
+
+  // Promotion needs promote_after consecutive better samples: one lucky
+  // probe is not recovery.
+  set(HealthState::kDegraded, "replaying");
+  hm.Evaluate();
+  EXPECT_EQ(hm.StateOf("storage.wal"), HealthState::kCritical);
+  hm.Evaluate();
+  EXPECT_EQ(hm.StateOf("storage.wal"), HealthState::kDegraded);
+  EXPECT_EQ(hm.ReasonOf("storage.wal"), "replaying");
+
+  // A relapse mid-streak demotes immediately and resets the streak.
+  set(HealthState::kHealthy, "");
+  hm.Evaluate();
+  EXPECT_EQ(hm.StateOf("storage.wal"), HealthState::kDegraded);
+  set(HealthState::kCritical, "torn again");
+  hm.Evaluate();
+  EXPECT_EQ(hm.StateOf("storage.wal"), HealthState::kCritical);
+
+  // Two consecutive clean samples promote straight back to healthy.
+  set(HealthState::kHealthy, "");
+  hm.Evaluate();
+  hm.Evaluate();
+  EXPECT_EQ(hm.StateOf("storage.wal"), HealthState::kHealthy);
+  EXPECT_EQ(hm.ReasonOf("storage.wal"), "");
+  EXPECT_EQ(hm.Overall(), HealthState::kHealthy);
+  EXPECT_EQ(hm.evaluations(), 7u);
+}
+
+TEST(HealthModelTest, SubsystemIsWorstOfItsSourcesAndJsonRenders) {
+  HealthModel hm;
+  hm.Register("query.structured", "breakers", [] { return HealthSample{}; });
+  uint64_t latency_id = hm.Register("query.structured", "latency", [] {
+    return HealthSample{HealthState::kDegraded, "p99 over budget"};
+  });
+  hm.Register("ie", "faults", [] { return HealthSample{}; });
+  hm.Evaluate();
+
+  EXPECT_EQ(hm.StateOf("query.structured"), HealthState::kDegraded);
+  EXPECT_EQ(hm.ReasonOf("query.structured"), "p99 over budget");
+  EXPECT_EQ(hm.StateOf("ie"), HealthState::kHealthy);
+  EXPECT_EQ(hm.ReasonOf("ie"), "");
+  EXPECT_EQ(hm.Overall(), HealthState::kDegraded);
+
+  std::vector<HealthModel::SourceStatus> snap = hm.Snapshot();
+  ASSERT_EQ(snap.size(), 3u);  // sorted by (subsystem, source)
+  EXPECT_EQ(snap[0].subsystem, "ie");
+  EXPECT_EQ(snap[1].source, "breakers");
+  EXPECT_EQ(snap[2].source, "latency");
+  EXPECT_EQ(snap[2].transitions, 1u);
+
+  std::string json = hm.ToJson();
+  EXPECT_NE(json.find("\"overall\":\"degraded\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"query.structured\":{\"state\":\"degraded\""),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"latency\":{\"state\":\"degraded\",\"reason\":"
+                      "\"p99 over budget\""),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"ie\":{\"state\":\"healthy\""), std::string::npos)
+      << json;
+
+  // A detached source stops voting.
+  hm.Detach(latency_id);
+  EXPECT_EQ(hm.StateOf("query.structured"), HealthState::kHealthy);
+  EXPECT_EQ(hm.Overall(), HealthState::kHealthy);
+}
+
+TEST(HealthModelTest, DetachedSignalNeverRunsAgain) {
+  HealthModel hm;
+  std::atomic<uint64_t> runs{0};
+  uint64_t id = hm.Register("svc", "probe", [&] {
+    ++runs;
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    return HealthSample{HealthState::kDegraded, "still counting"};
+  });
+  std::atomic<bool> stop{false};
+  std::thread evaluator([&] {
+    while (!stop.load()) hm.Evaluate();
+  });
+  while (runs.load() == 0) std::this_thread::sleep_for(
+      std::chrono::milliseconds(1));
+
+  // Detach drains any in-flight evaluation: after it returns the signal
+  // fn is guaranteed to never run again, even with Evaluate() looping.
+  hm.Detach(id);
+  uint64_t at_detach = runs.load();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(runs.load(), at_detach);
+  // ... and the detached source no longer votes.
+  EXPECT_EQ(hm.StateOf("svc"), HealthState::kHealthy);
+
+  stop.store(true);
+  evaluator.join();
+}
+
+// ------------------------------------------------- Brownout admission
+
+TEST(DegradationPolicyTest, LowerTiersShedFirstAsHealthWorsens) {
+  HealthModel hm;
+  std::mutex m;
+  HealthSample next;
+  hm.Register("svc", "probe", [&] {
+    std::lock_guard<std::mutex> lock(m);
+    return next;
+  });
+  DegradationPolicy::Options opts;
+  opts.batch_queue_fraction = 0.5;
+  opts.background_queue_fraction = 0.25;
+  opts.degraded_tighten = 0.5;
+  DegradationPolicy policy(opts, &hm);
+  const size_t kCap = 100;
+
+  // Healthy: interactive owns the whole queue; the lower tiers only
+  // their shares (background's ⊂ batch's ⊂ everything).
+  EXPECT_TRUE(policy.Admit(Priority::kInteractive, 99, kCap).admit);
+  EXPECT_TRUE(policy.Admit(Priority::kBatch, 49, kCap).admit);
+  EXPECT_FALSE(policy.Admit(Priority::kBatch, 50, kCap).admit);
+  EXPECT_TRUE(policy.Admit(Priority::kBackground, 24, kCap).admit);
+  EXPECT_FALSE(policy.Admit(Priority::kBackground, 25, kCap).admit);
+
+  // Degraded: the shares tighten.
+  {
+    std::lock_guard<std::mutex> lock(m);
+    next = HealthSample{HealthState::kDegraded, "wobbling"};
+  }
+  hm.Evaluate();  // demotion is immediate
+  EXPECT_TRUE(policy.Admit(Priority::kInteractive, 99, kCap).admit);
+  EXPECT_TRUE(policy.Admit(Priority::kBatch, 24, kCap).admit);
+  EXPECT_FALSE(policy.Admit(Priority::kBatch, 25, kCap).admit);
+  EXPECT_TRUE(policy.Admit(Priority::kBackground, 12, kCap).admit);
+  EXPECT_FALSE(policy.Admit(Priority::kBackground, 13, kCap).admit);
+
+  // Critical: background is refused outright, batch tightens again.
+  {
+    std::lock_guard<std::mutex> lock(m);
+    next = HealthSample{HealthState::kCritical, "on fire"};
+  }
+  hm.Evaluate();
+  DegradationPolicy::Decision d = policy.Admit(Priority::kBackground, 0, kCap);
+  EXPECT_FALSE(d.admit);
+  EXPECT_NE(std::string(d.reason).find("critical"), std::string::npos)
+      << d.reason;
+  EXPECT_TRUE(policy.Admit(Priority::kBatch, 12, kCap).admit);
+  EXPECT_FALSE(policy.Admit(Priority::kBatch, 13, kCap).admit);
+  EXPECT_TRUE(policy.Admit(Priority::kInteractive, 99, kCap).admit);
+
+  // Disabled policy (the bench baseline) or an unbounded queue admits
+  // every tier regardless of health.
+  DegradationPolicy::Options off = opts;
+  off.enabled = false;
+  DegradationPolicy no_brownout(off, &hm);
+  EXPECT_TRUE(no_brownout.Admit(Priority::kBackground, 99, kCap).admit);
+  EXPECT_TRUE(policy.Admit(Priority::kBackground, 99, 0).admit);
+}
+
+// ------------------------------------------------- Fallback ladder
+
+TEST(FrontendTest, BreakerRefusalServesFallbackMarkedDegraded) {
+  Frontend::Options opts;
+  opts.num_threads = 1;
+  opts.breaker.failure_threshold = 1;
+  opts.breaker.open_ms = 60000;  // stays open for the whole test
+  Frontend fe(opts);
+  fe.RegisterOperator("hybrid",
+                      [](const RequestContext&) { return Status::OK(); });
+  std::atomic<uint64_t> keyword_calls{0};
+  fe.RegisterOperator("keyword", [&](const RequestContext&) {
+    ++keyword_calls;
+    return Status::OK();
+  });
+  fe.SetFallback("hybrid", "keyword");
+
+  {  // The failing attempt exhausts its budget and opens the breaker;
+     // the very same request is already answered through the fallback.
+    ScopedFailpoint fp("serve.op.hybrid", FailpointRegistry::Spec::Always());
+    RequestContext ctx;
+    ctx.retry_budget = 0;
+    Status s = fe.Call("hybrid", std::move(ctx));
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  }
+  ASSERT_EQ(fe.BreakerState("hybrid"), CircuitBreaker::State::kOpen);
+
+  // While the breaker refuses the primary, the fallback serves — and
+  // the answer says so. A degraded answer is a contract, not a secret.
+  RequestContext ctx;
+  ctx.response = std::make_shared<ResponseMeta>();
+  std::shared_ptr<ResponseMeta> response = ctx.response;
+  Status s = fe.Call("hybrid", std::move(ctx));
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  EXPECT_TRUE(response->degraded);
+  EXPECT_EQ(response->served_by, "keyword");
+  EXPECT_NE(response->degraded_reason.find("breaker open"), std::string::npos)
+      << response->degraded_reason;
+  EXPECT_EQ(keyword_calls.load(), 2u);
+
+  ServingCounters c = fe.Counters();
+  EXPECT_EQ(c.issued, 2u);
+  EXPECT_EQ(c.ok, 2u);  // both answered despite the primary being down
+  EXPECT_EQ(c.fallback_served, 2u);
+  EXPECT_EQ(c.degraded_answers, 2u);
+  EXPECT_EQ(c.breaker_rejected, 1u);
+  EXPECT_EQ(c.unavailable, 0u);
+}
+
+TEST(FrontendTest, CriticalSubsystemIsBypassedViaFallback) {
+  HealthModel hm;
+  hm.Register("query.structured", "test", [] {
+    return HealthSample{HealthState::kCritical, "index wedged"};
+  });
+  hm.Evaluate();
+
+  Frontend::Options opts;
+  opts.num_threads = 1;
+  opts.health = &hm;
+  Frontend fe(opts);
+  std::atomic<uint64_t> hybrid_calls{0}, keyword_calls{0};
+  fe.RegisterOperator("hybrid", [&](const RequestContext&) {
+    ++hybrid_calls;
+    return Status::OK();
+  });
+  fe.RegisterOperator("keyword", [&](const RequestContext&) {
+    ++keyword_calls;
+    return Status::OK();
+  });
+  fe.TagOperator("hybrid", "query.structured");
+  fe.SetFallback("hybrid", "keyword");
+
+  RequestContext ctx;
+  ctx.response = std::make_shared<ResponseMeta>();
+  std::shared_ptr<ResponseMeta> response = ctx.response;
+  EXPECT_TRUE(fe.Call("hybrid", std::move(ctx)).ok());
+  EXPECT_EQ(hybrid_calls.load(), 0u);  // never touched the sick subsystem
+  EXPECT_EQ(keyword_calls.load(), 1u);
+  EXPECT_TRUE(response->degraded);
+  EXPECT_EQ(response->served_by, "keyword");
+  EXPECT_NE(response->degraded_reason.find("critical"), std::string::npos)
+      << response->degraded_reason;
+
+  // The subsystem recovers: traffic returns to the primary.
+  hm.Register("query.structured", "test", [] { return HealthSample{}; });
+  hm.Evaluate();
+  EXPECT_TRUE(fe.Call("hybrid", RequestContext{}).ok());
+  EXPECT_EQ(hybrid_calls.load(), 1u);
+}
+
+TEST(FrontendTest, DestructionDetachesHealthSignalsUnderLiveEvaluation) {
+  // Regression: a watchdog evaluating health signals concurrently with
+  // ~Frontend must never touch freed breakers or counters. The
+  // destructor detaches its registrations (draining any in-flight
+  // evaluation) before any member dies. Run under TSan via
+  // scripts/check.sh.
+  HealthModel hm;
+  std::atomic<bool> stop{false};
+  std::thread evaluator([&] {
+    while (!stop.load()) hm.Evaluate();
+  });
+  for (int round = 0; round < 16; ++round) {
+    std::vector<std::future<Status>> futures;
+    Frontend::Options opts;
+    opts.num_threads = 2;
+    opts.max_queue_depth = 64;
+    opts.max_queue_wait_ms = 10000;
+    opts.health = &hm;
+    Frontend fe(opts);
+    fe.RegisterOperator("q", [](const RequestContext&) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      return Status::OK();
+    });
+    fe.TagOperator("q", "query.keyword");
+    for (int i = 0; i < 16; ++i) {
+      futures.push_back(fe.Submit("q", RequestContext{}));
+    }
+    // fe is destroyed here with work still queued and the evaluator
+    // polling its breaker signal.
+  }
+  stop.store(true);
+  evaluator.join();
+  // Every frontend detached on destruction: nothing votes any more.
+  EXPECT_EQ(hm.StateOf("query.keyword"), HealthState::kHealthy);
+  EXPECT_EQ(hm.StateOf("serve"), HealthState::kHealthy);
+}
+
 // ------------------------------------------------------- Chaos harness
 
 std::string TempDir(const std::string& tag) {
@@ -405,6 +752,23 @@ std::string TempDir(const std::string& tag) {
           .string();
   std::filesystem::remove_all(dir);
   return dir;
+}
+
+// When a chaos leg fails in CI, the counters and the health ledger are
+// the first things an investigator wants. scripts/check.sh and the CI
+// workflow point STRUCTURA_ARTIFACT_DIR at a directory they upload.
+void DumpArtifactsOnFailure(core::System* sys, const std::string& tag) {
+  if (!::testing::Test::HasFailure()) return;
+  const char* dir = std::getenv("STRUCTURA_ARTIFACT_DIR");
+  if (dir == nullptr || dir[0] == '\0') return;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  std::ofstream(std::string(dir) + "/" + tag + "-metrics.prom")
+      << core::System::MetricsPrometheus();
+  if (sys != nullptr) {
+    std::ofstream(std::string(dir) + "/" + tag + "-health.json")
+        << sys->HealthJson();
+  }
 }
 
 // Mixed workload under probabilistic faults: every request must
@@ -631,7 +995,286 @@ TEST(ServeChaosTest, MixedWorkloadUnderFaultsTerminatesAndReconciles) {
     EXPECT_EQ(fe.BreakerState(op), CircuitBreaker::State::kClosed) << op;
   }
 
+  DumpArtifactsOnFailure(sys.get(), "chaos");
   sys->SetServingStatsProvider(nullptr);
+  std::filesystem::remove_all(sopts.workspace);
+}
+
+// Mixed-priority workload under faults: the brownout ladder must shed
+// background before batch before interactive, per-tier accounting must
+// reconcile, every fallback-served answer must be explicitly marked
+// degraded (no silent wrong answers), and once the faults clear the
+// watchdog must walk every subsystem back to healthy.
+TEST(ServeChaosTest, MixedPriorityBrownoutShedsLowerTiersFirst) {
+  corpus::CorpusOptions copts;
+  copts.num_cities = 10;
+  copts.num_people = 10;
+  copts.num_companies = 3;
+  copts.seed = 43;
+  text::DocumentCollection docs;
+  corpus::GroundTruth truth;
+  corpus::GenerateCorpus(copts, &docs, &truth);
+
+  core::System::Options sopts;
+  sopts.workspace = TempDir("brownout");
+  auto sys_or = core::System::Create(sopts);
+  ASSERT_TRUE(sys_or.ok()) << sys_or.status().ToString();
+  std::unique_ptr<core::System> sys = std::move(sys_or).value();
+  sys->RegisterStandardOperators();
+  ASSERT_TRUE(sys->IngestCrawl(docs).ok());
+  ASSERT_TRUE(
+      sys->RunProgram("CREATE VIEW facts AS EXTRACT infobox FROM pages;")
+          .ok());
+  ASSERT_TRUE(sys->BuildBeliefsFromView("facts").ok());
+
+  Frontend::Options fopts;
+  fopts.num_threads = 4;
+  fopts.max_queue_depth = 32;
+  fopts.max_queue_wait_ms = 10000;  // shed by brownout, not queue age
+  fopts.breaker.failure_threshold = 3;
+  fopts.breaker.open_ms = 30;
+  fopts.brownout.batch_queue_fraction = 0.5;
+  fopts.brownout.background_queue_fraction = 0.25;
+  fopts.health = &sys->health();
+  Frontend fe(fopts);
+  sys->SetServingStatsProvider([&fe] { return fe.Counters(); });
+
+  const std::vector<std::string> kQueries = {"Madison", "population",
+                                             "mayor", "company"};
+  fe.RegisterOperator("keyword", [&](const RequestContext& ctx) {
+    auto hits = sys->KeywordSearch(kQueries[ctx.id % kQueries.size()], 5,
+                                   ctx.interrupt);
+    return hits.status();
+  });
+  fe.RegisterOperator("hybrid", [&](const RequestContext& ctx) {
+    std::vector<query::Condition> conds;
+    conds.push_back({"attribute", query::CompareOp::kEq,
+                     rdbms::Value::Str("population")});
+    auto hits = sys->HybridSearch(kQueries[ctx.id % kQueries.size()], conds,
+                                  5, ctx.interrupt);
+    return hits.status();
+  });
+  fe.TagOperator("keyword", "query.keyword");
+  fe.TagOperator("hybrid", "query.structured");
+  fe.SetFallback("hybrid", "keyword");
+
+  core::System::WatchdogOptions wopts;
+  wopts.interval_ms = 10;
+  sys->StartWatchdog(wopts);
+  ASSERT_TRUE(sys->WatchdogRunning());
+
+  constexpr int kClients = 6;
+  constexpr int kRequestsPerClient = 300;  // 100 per tier per client
+  std::atomic<uint64_t> interactive_ok{0};
+  std::atomic<uint64_t> degraded_seen{0};
+  std::atomic<uint64_t> silent_degraded{0};
+
+  {
+    // The hybrid operator is in real trouble; everything else sees only
+    // the background fault rate. Heavy enough that the hybrid breaker
+    // opens and the fallback ladder carries its traffic.
+    ScopedFailpoint hybrid_fp(
+        "serve.op.hybrid", FailpointRegistry::Spec::WithProbability(0.5, 21));
+    ScopedFailpoint serve_fp(
+        "serve.op", FailpointRegistry::Spec::WithProbability(0.05, 22));
+
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        Rng rng(2000 + static_cast<uint64_t>(c));
+        struct Pending {
+          std::future<Status> fut;
+          std::shared_ptr<ResponseMeta> response;
+          Priority tier;
+        };
+        std::vector<Pending> pending;
+        pending.reserve(kRequestsPerClient);
+        // Submit the whole batch as fast as possible so the queue
+        // actually fills and the brownout thresholds bite, then drain.
+        for (int i = 0; i < kRequestsPerClient; ++i) {
+          RequestContext ctx;
+          ctx.id = static_cast<uint64_t>(c) * kRequestsPerClient + i;
+          ctx.priority = static_cast<Priority>(i % kNumPriorities);
+          ctx.interrupt.deadline = Deadline::AfterMillis(2000);
+          ctx.retry_budget = static_cast<uint32_t>(rng.NextBounded(2));
+          ctx.response = std::make_shared<ResponseMeta>();
+          Pending p;
+          p.response = ctx.response;
+          p.tier = ctx.priority;
+          const std::string& op = (i % 2 == 0) ? "hybrid" : "keyword";
+          p.fut = fe.Submit(op, std::move(ctx));
+          pending.push_back(std::move(p));
+        }
+        for (Pending& p : pending) {
+          Status result = p.fut.get();
+          if (!result.ok()) continue;
+          if (p.tier == Priority::kInteractive) ++interactive_ok;
+          if (p.response->degraded) {
+            ++degraded_seen;
+            EXPECT_FALSE(p.response->served_by.empty());
+            EXPECT_FALSE(p.response->degraded_reason.empty());
+          } else if (!p.response->served_by.empty()) {
+            ++silent_degraded;  // answered by a stand-in, not marked
+          }
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+  }  // failpoints disarmed
+
+  constexpr uint64_t kTotal =
+      static_cast<uint64_t>(kClients) * kRequestsPerClient;
+  ServingCounters c = fe.Counters();
+  EXPECT_EQ(c.issued, kTotal);
+  EXPECT_EQ(c.admitted + c.shed + c.not_found, c.issued);
+  uint64_t tier_issued_sum = 0;
+  for (size_t t = 0; t < kNumPriorities; ++t) {
+    const ServingCounters::Tier& tier = c.tiers[t];
+    EXPECT_EQ(tier.admitted + tier.shed + tier.not_found, tier.issued)
+        << PriorityName(static_cast<Priority>(t));
+    EXPECT_EQ(tier.issued, kTotal / kNumPriorities);
+    tier_issued_sum += tier.issued;
+  }
+  EXPECT_EQ(tier_issued_sum, c.issued);
+
+  const ServingCounters::Tier& interactive =
+      c.tiers[static_cast<size_t>(Priority::kInteractive)];
+  const ServingCounters::Tier& batch =
+      c.tiers[static_cast<size_t>(Priority::kBatch)];
+  const ServingCounters::Tier& background =
+      c.tiers[static_cast<size_t>(Priority::kBackground)];
+  // The brownout ladder: refusal thresholds are nested (background's
+  // queue share ⊂ batch's ⊂ the full queue), so with equal per-tier
+  // issue rates the shed counts must come out ordered.
+  EXPECT_GE(background.shed, batch.shed);
+  EXPECT_GE(batch.shed, interactive.shed);
+  EXPECT_GE(interactive.admitted, batch.admitted);
+  EXPECT_GE(batch.admitted, background.admitted);
+  EXPECT_GT(c.shed_brownout, 0u);        // the ladder actually engaged
+  EXPECT_GT(interactive_ok.load(), 0u);  // interactive goodput survived
+
+  // Degradation is a contract: every stand-in answer was marked, and
+  // the frontend's count of degraded answers matches what the clients
+  // actually observed — nothing degraded silently in either direction.
+  EXPECT_EQ(silent_degraded.load(), 0u);
+  EXPECT_GT(c.fallback_served, 0u);
+  EXPECT_EQ(degraded_seen.load(), c.degraded_answers);
+
+  // StatusReport carries the health line an operator reads first.
+  std::string report = sys->StatusReport();
+  EXPECT_NE(report.find("health: overall"), std::string::npos) << report;
+
+  // Faults cleared: drive traffic until the breakers re-close, then the
+  // watchdog must promote every subsystem back to healthy.
+  for (const std::string op : {"keyword", "hybrid"}) {
+    Status last;
+    bool recovered = false;
+    for (int attempt = 0; attempt < 200 && !recovered; ++attempt) {
+      RequestContext ctx;
+      ctx.interrupt.deadline = Deadline::AfterMillis(2000);
+      last = fe.Call(op, std::move(ctx));
+      recovered = last.ok() &&
+                  fe.BreakerState(op) == CircuitBreaker::State::kClosed;
+      if (!recovered) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    }
+    EXPECT_TRUE(recovered) << op << ": " << last.ToString();
+  }
+  HealthState overall = sys->health().Overall();
+  for (int attempt = 0; attempt < 500 && overall != HealthState::kHealthy;
+       ++attempt) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    overall = sys->health().Overall();
+  }
+  EXPECT_EQ(overall, HealthState::kHealthy) << sys->HealthJson();
+  EXPECT_GT(sys->WatchdogTicks(), 0u);
+  std::string health_json = sys->HealthJson();
+  EXPECT_NE(health_json.find("\"overall\":\"healthy\""), std::string::npos)
+      << health_json;
+  EXPECT_NE(health_json.find("\"running\":true"), std::string::npos)
+      << health_json;
+  EXPECT_NE(health_json.find("\"ie\""), std::string::npos) << health_json;
+
+  DumpArtifactsOnFailure(sys.get(), "brownout");
+  sys->SetServingStatsProvider(nullptr);
+  sys->StopWatchdog();
+  std::filesystem::remove_all(sopts.workspace);
+}
+
+// Deterministic self-healing: tear the intermediate segment log's tail,
+// reopen, and let the watchdog notice (degraded), auto-scrub, and
+// promote the subsystem back to healthy — no operator in the loop.
+TEST(ServeChaosTest, WatchdogAutoScrubHealsTornSegmentTail) {
+  corpus::CorpusOptions copts;
+  copts.num_cities = 6;
+  copts.num_people = 6;
+  copts.num_companies = 2;
+  copts.seed = 47;
+  text::DocumentCollection docs;
+  corpus::GroundTruth truth;
+  corpus::GenerateCorpus(copts, &docs, &truth);
+
+  core::System::Options sopts;
+  sopts.workspace = TempDir("heal");
+  {
+    auto sys_or = core::System::Create(sopts);
+    ASSERT_TRUE(sys_or.ok()) << sys_or.status().ToString();
+    std::unique_ptr<core::System> sys = std::move(sys_or).value();
+    sys->RegisterStandardOperators();
+    ASSERT_TRUE(sys->IngestCrawl(docs).ok());
+    ASSERT_TRUE(
+        sys->RunProgram("CREATE VIEW facts AS EXTRACT infobox FROM pages;")
+            .ok());
+    ASSERT_TRUE(sys->BuildBeliefsFromView("facts").ok());
+    // Feeds the intermediate segment log (the torn-tail victim below).
+    ASSERT_TRUE(sys->MaterializeBeliefs("beliefs_out").ok());
+  }  // clean shutdown: everything flushed
+
+  // A crash mid-append: garbage after the last valid frame, too short
+  // to even be a frame header.
+  const std::string seg0 = sopts.workspace + "/intermediate/seg-000000.log";
+  ASSERT_TRUE(std::filesystem::exists(seg0));
+  {
+    std::ofstream out(seg0, std::ios::binary | std::ios::app);
+    out << "TORNTAIL";
+  }
+
+  auto sys_or = core::System::Create(sopts);
+  ASSERT_TRUE(sys_or.ok()) << sys_or.status().ToString();
+  std::unique_ptr<core::System> sys = std::move(sys_or).value();
+  // Reopen recovery spotted (and truncated) the torn tail...
+  ASSERT_NE(sys->intermediate_store(), nullptr);
+  EXPECT_GT(sys->intermediate_store()->recovery_report().torn_tail_bytes, 0u);
+  // ...so the first health evaluation demotes storage.segments.
+  sys->health().Evaluate();
+  ASSERT_EQ(sys->health().StateOf("storage.segments"), HealthState::kDegraded)
+      << sys->health().ToJson();
+
+  core::System::WatchdogOptions wopts;
+  wopts.interval_ms = 5;
+  wopts.scrub_cooldown_ms = 20;
+  sys->StartWatchdog(wopts);
+
+  // The watchdog auto-scrubs (the truncated log verifies clean) and the
+  // promote-slow streak walks the subsystem back to healthy.
+  HealthState state = sys->health().StateOf("storage.segments");
+  for (int attempt = 0; attempt < 400 && state != HealthState::kHealthy;
+       ++attempt) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    state = sys->health().StateOf("storage.segments");
+  }
+  EXPECT_EQ(state, HealthState::kHealthy) << sys->HealthJson();
+  EXPECT_GE(sys->WatchdogAutoScrubs(), 1u);
+  EXPECT_EQ(sys->health().Overall(), HealthState::kHealthy)
+      << sys->HealthJson();
+  std::string json = sys->HealthJson();
+  EXPECT_NE(json.find("\"storage.segments\":{\"state\":\"healthy\""),
+            std::string::npos)
+      << json;
+
+  DumpArtifactsOnFailure(sys.get(), "heal");
+  sys->StopWatchdog();
   std::filesystem::remove_all(sopts.workspace);
 }
 

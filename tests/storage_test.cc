@@ -250,6 +250,60 @@ TEST(SnapshotStoreTest, AppendFailpointLeavesStoreConsistent) {
   EXPECT_EQ(store.NumPages(), 1u);
 }
 
+TEST(SnapshotStoreTest, GetWithFallbackServesLastGoodVersion) {
+  SnapshotStore store;
+  ASSERT_TRUE(store.Append(7, "v0\nshared\n").ok());
+  ASSERT_TRUE(store.Append(7, "v1\nshared\n").ok());
+  {
+    // Bit-rot lands on the newest version's stored representation.
+    ScopedFailpoint fp("snapshot.delta",
+                       FailpointRegistry::Spec::FlipByteAt(1, 2));
+    ASSERT_TRUE(store.Append(7, "v2\nshared\n").ok());
+  }
+
+  // Clean reads pass through untouched (and unflagged).
+  auto clean = store.GetWithFallback(7, 1);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  EXPECT_FALSE(clean->degraded);
+  EXPECT_EQ(clean->content, "v1\nshared\n");
+  EXPECT_EQ(clean->version, 1u);
+
+  // The requested version is damaged: the plain Get refuses...
+  EXPECT_EQ(store.Get(7, 2).status().code(), StatusCode::kCorruption);
+  // ...and the fallback read serves the newest older version that still
+  // verifies, clearly labeled as stale rather than passed off as v2.
+  auto degraded = store.GetWithFallback(7, 2);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_TRUE(degraded->degraded);
+  EXPECT_EQ(degraded->version, 1u);
+  EXPECT_EQ(degraded->content, "v1\nshared\n");
+  EXPECT_NE(degraded->reason.find("version 2 corrupt"), std::string::npos)
+      << degraded->reason;
+  EXPECT_NE(degraded->reason.find("last-good version 1"), std::string::npos)
+      << degraded->reason;
+
+  // Unknown pages/versions are still kNotFound — absence is not damage,
+  // and must not trigger a fallback.
+  EXPECT_EQ(store.GetWithFallback(9, 0).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(store.GetWithFallback(7, 9).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SnapshotStoreTest, GetWithFallbackRefusesWhenNoCleanVersionRemains) {
+  SnapshotStore store;
+  {
+    ScopedFailpoint fp("snapshot.delta",
+                       FailpointRegistry::Spec::FlipByteAt(1, 2));
+    ASSERT_TRUE(store.Append(3, "only version\n").ok());
+  }
+  // Every stored version is damaged: refuse loudly, never serve wrong
+  // bytes.
+  auto r = store.GetWithFallback(3, 0);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
 TEST(SegmentStoreTest, AppendReadScan) {
   std::string dir = TempDir("segstore1");
   auto store_or = SegmentStore::Open(dir);
