@@ -122,9 +122,14 @@ void System::RegisterBuiltinHealthSignals() {
   int64_t quarantine_base = quarantined->Value();
   health_.Register(
       "ie", "faults",
-      // `last` is safe mutable lambda state: Evaluate() is serialized.
+      // The fault baseline lives behind a shared_ptr because Evaluate()
+      // invokes a *copy* of each SignalFn: plain mutable lambda state
+      // would be mutated on the copy and discarded, leaving delta > 0
+      // forever after one fault (permanently-degraded "ie"). Sharing it
+      // lets every copy advance the same baseline; Evaluate() is
+      // serialized, so no further synchronization is needed.
       [this, faults, quarantined, quarantine_base,
-       last = faults->Value()]() mutable {
+       last = std::make_shared<uint64_t>(faults->Value())] {
         int64_t q = quarantined->Value() - quarantine_base;
         size_t total = extractor_count_.load();
         if (total > 0 && q >= static_cast<int64_t>(total)) {
@@ -132,8 +137,8 @@ void System::RegisterBuiltinHealthSignals() {
                                      "all extractors quarantined"};
         }
         uint64_t now = faults->Value();
-        uint64_t delta = now - last;
-        last = now;
+        uint64_t delta = now - *last;
+        *last = now;
         if (q > 0) {
           return serve::HealthSample{
               serve::HealthState::kDegraded,
@@ -150,9 +155,9 @@ void System::RegisterBuiltinHealthSignals() {
 
 void System::StartWatchdog(WatchdogOptions options) {
   StopWatchdog();
-  watchdog_options_ = options;
   {
     std::lock_guard<std::mutex> lock(watchdog_mutex_);
+    watchdog_options_ = options;
     watchdog_stop_ = false;
   }
   watchdog_running_.store(true);
@@ -206,11 +211,18 @@ void System::WatchdogLoop() {
 }
 
 std::string System::HealthJson() const {
+  uint64_t interval_ms;
+  {
+    // Snapshot under the lock: StartWatchdog() may be reassigning
+    // watchdog_options_ concurrently on a restart.
+    std::lock_guard<std::mutex> lock(watchdog_mutex_);
+    interval_ms = watchdog_options_.interval_ms;
+  }
   std::string out = "{\"health\":";
   out += health_.ToJson();
   out += ",\"watchdog\":{\"running\":";
   out += watchdog_running_.load() ? "true" : "false";
-  out += ",\"interval_ms\":" + std::to_string(watchdog_options_.interval_ms);
+  out += ",\"interval_ms\":" + std::to_string(interval_ms);
   out += ",\"ticks\":" + std::to_string(watchdog_ticks_.load());
   out += ",\"auto_scrubs\":" + std::to_string(watchdog_scrubs_.load());
   out += "}}";

@@ -338,8 +338,13 @@ class System {
   /// is destroyed. ~System stops the watchdog before any member dies.
   serve::HealthModel health_;
   std::atomic<size_t> extractor_count_{0};
+  /// Guarded by watchdog_mutex_: StartWatchdog() reassigns it on a
+  /// restart while HealthJson()/StatusReport() read it from other
+  /// threads. The loop itself reads it unlocked — safe, because
+  /// StartWatchdog joins the old thread before assigning and spawns the
+  /// new one after (thread creation provides the happens-before edge).
   WatchdogOptions watchdog_options_;
-  std::mutex watchdog_mutex_;
+  mutable std::mutex watchdog_mutex_;
   std::condition_variable watchdog_cv_;
   bool watchdog_stop_ = false;
   std::atomic<bool> watchdog_running_{false};

@@ -47,8 +47,11 @@ class CircuitBreaker {
     /// never report) — their admissions are invalidated via a
     /// generation bump and a fresh probe is admitted, so a probe that
     /// never completes cannot wedge the breaker in half-open forever.
-    /// 0 disables reclamation.
-    uint64_t probe_timeout_ms = 1000;
+    /// 0 (the default) disables reclamation; opt in with a value
+    /// comfortably above the slowest healthy probe, or every slow-but-
+    /// healthy probe is invalidated before it can report success and
+    /// the breaker churns in half-open instead of re-closing.
+    uint64_t probe_timeout_ms = 0;
   };
 
   enum class State { kClosed, kOpen, kHalfOpen };

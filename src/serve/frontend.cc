@@ -179,6 +179,13 @@ void Frontend::SetFallback(const std::string& primary,
 
 std::future<Status> Frontend::Submit(const std::string& op_name,
                                      RequestContext ctx) {
+  // A Priority forged from an out-of-range int would index the tier
+  // counter arrays out of bounds; clamp unknown values to the lowest
+  // tier (shed-first is the safe misclassification) so every
+  // downstream consumer sees a valid tier.
+  if (static_cast<size_t>(ctx.priority) >= kNumPriorities) {
+    ctx.priority = Priority::kBackground;
+  }
   const size_t tier = static_cast<size_t>(ctx.priority);
   issued_->Increment();
   tier_issued_[tier]->Increment();
@@ -266,6 +273,11 @@ void Frontend::Resolve(std::promise<Status>* done, Status s) {
 bool Frontend::TryFallback(Operator* primary, const RequestContext& ctx,
                            const std::string& why,
                            std::promise<Status>* done) {
+  // No response channel means no way to flag the answer as degraded —
+  // serving the fallback anyway would be exactly the silent
+  // substitution the degraded contract forbids. Let the primary's
+  // refusal stand instead.
+  if (ctx.response == nullptr) return false;
   Operator* fb = nullptr;
   std::string fb_name;
   {
@@ -299,11 +311,10 @@ bool Frontend::TryFallback(Operator* primary, const RequestContext& ctx,
     fb->breaker.RecordSuccess(admission);
     // The degraded flag is the contract: a fallback-served answer is
     // never silently substituted for the requested operator's answer.
-    if (ctx.response != nullptr) {
-      ctx.response->degraded = true;
-      ctx.response->degraded_reason = why;
-      ctx.response->served_by = fb_name;
-    }
+    // (ctx.response is non-null — checked at entry.)
+    ctx.response->degraded = true;
+    ctx.response->degraded_reason = why;
+    ctx.response->served_by = fb_name;
     fallback_served_->Increment();
     degraded_answers_->Increment();
     Resolve(done, Status::OK());

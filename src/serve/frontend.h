@@ -45,7 +45,9 @@ namespace structura::serve {
 ///    its tagged subsystem is critical in the health model — the
 ///    request is served by the fallback instead, and the answer is
 ///    explicitly marked degraded through ctx.response. A degraded
-///    answer is a contract, never a silent substitution. While a
+///    answer is a contract, never a silent substitution — so the
+///    ladder only runs for requests that allocated ctx.response; the
+///    rest get the primary's refusal. While a
 ///    subsystem is critical a trickle of canary requests still attempts
 ///    the primary, so the evidence needed to clear the verdict (breaker
 ///    probes, fresh successes) keeps flowing.
@@ -132,7 +134,10 @@ class Frontend {
   /// (e.g. hybrid → keyword-only). Both operators must already be
   /// registered. The fallback runs when the primary's breaker refuses
   /// a request or its subsystem is critical; answers served this way
-  /// are marked degraded via ctx.response and counted.
+  /// are marked degraded via ctx.response and counted. Requests that
+  /// carry no ctx.response never take the ladder — without the channel
+  /// the degraded flag cannot be delivered, and serving the fallback
+  /// anyway would be a silent substitution.
   void SetFallback(const std::string& primary, const std::string& fallback);
 
   /// Dispatches a request. Never blocks the caller: the future is

@@ -635,12 +635,17 @@ TEST(FrontendTest, BreakerRefusalServesFallbackMarkedDegraded) {
   fe.SetFallback("hybrid", "keyword");
 
   {  // The failing attempt exhausts its budget and opens the breaker;
-     // the very same request is already answered through the fallback.
+     // the very same request is already answered through the fallback
+     // (marked degraded through its response channel).
     ScopedFailpoint fp("serve.op.hybrid", FailpointRegistry::Spec::Always());
     RequestContext ctx;
     ctx.retry_budget = 0;
+    ctx.response = std::make_shared<ResponseMeta>();
+    std::shared_ptr<ResponseMeta> first_response = ctx.response;
     Status s = fe.Call("hybrid", std::move(ctx));
     EXPECT_TRUE(s.ok()) << s.ToString();
+    EXPECT_TRUE(first_response->degraded);
+    EXPECT_EQ(first_response->served_by, "keyword");
   }
   ASSERT_EQ(fe.BreakerState("hybrid"), CircuitBreaker::State::kOpen);
 
@@ -664,6 +669,45 @@ TEST(FrontendTest, BreakerRefusalServesFallbackMarkedDegraded) {
   EXPECT_EQ(c.degraded_answers, 2u);
   EXPECT_EQ(c.breaker_rejected, 1u);
   EXPECT_EQ(c.unavailable, 0u);
+}
+
+TEST(FrontendTest, NoResponseChannelMeansNoFallback) {
+  // A request that allocated no ctx.response has no way to receive the
+  // degraded flag, so serving the fallback would be exactly the silent
+  // substitution the contract forbids. The ladder must be skipped and
+  // the primary's refusal must stand.
+  Frontend::Options opts;
+  opts.num_threads = 1;
+  opts.breaker.failure_threshold = 1;
+  opts.breaker.open_ms = 60000;  // stays open for the whole test
+  Frontend fe(opts);
+  fe.RegisterOperator("hybrid",
+                      [](const RequestContext&) { return Status::OK(); });
+  std::atomic<uint64_t> keyword_calls{0};
+  fe.RegisterOperator("keyword", [&](const RequestContext&) {
+    ++keyword_calls;
+    return Status::OK();
+  });
+  fe.SetFallback("hybrid", "keyword");
+
+  {  // Open the breaker; without a response channel even this failing
+     // request fails outright instead of degrading silently.
+    ScopedFailpoint fp("serve.op.hybrid", FailpointRegistry::Spec::Always());
+    RequestContext ctx;
+    ctx.retry_budget = 0;
+    Status s = fe.Call("hybrid", std::move(ctx));
+    EXPECT_EQ(s.code(), StatusCode::kUnavailable) << s.ToString();
+  }
+  ASSERT_EQ(fe.BreakerState("hybrid"), CircuitBreaker::State::kOpen);
+
+  Status s = fe.Call("hybrid", RequestContext{});
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable) << s.ToString();
+  EXPECT_EQ(keyword_calls.load(), 0u);  // the fallback never ran
+
+  ServingCounters c = fe.Counters();
+  EXPECT_EQ(c.fallback_served, 0u);
+  EXPECT_EQ(c.degraded_answers, 0u);
+  EXPECT_EQ(c.unavailable, 2u);
 }
 
 TEST(FrontendTest, CriticalSubsystemIsBypassedViaFallback) {
