@@ -41,6 +41,14 @@ echo "==> storage-integrity byte-flip sweep under ASan/UBSan"
 ctest --test-dir "$repo_root/build-asan" --output-on-failure -j "$jobs" \
   -R 'IntegritySweep'
 
+echo "==> durability fault-injection sweep under ASan/UBSan"
+# Explicit leg for the env-level fault sweep (ENOSPC/EIO/short
+# writes/failed fsync at every syscall site): acked-then-lost bugs and
+# the sticky-failure rule are exactly what ASan-visible lifetime bugs
+# hide behind.
+ctest --test-dir "$repo_root/build-asan" --output-on-failure -j "$jobs" \
+  -R 'DurabilitySweep'
+
 echo "==> thread sanitizer build + concurrency tests"
 if [[ ${#CTEST_ARGS[@]} -eq 0 ]]; then
   # Default to the suites that exercise real concurrency: the serving

@@ -39,6 +39,15 @@ namespace structura {
 ///   mr.reduce           mr::MapReduceJob reduce-task attempt
 ///   ie.extract          one (document, extractor) run; also evaluated as
 ///                       "ie.extract.<name>" to target a single operator
+///   env.open            FaultInjectingEnv::NewWritableFile (kIoError)
+///   env.write           FaultInjectingEnv file append (kIoError, no
+///                       bytes written)
+///   env.write.enospc    same site, fails with kResourceExhausted
+///   env.write.short     same site, power cut: half the bytes land,
+///                       then kIoError and the file latches sticky
+///   env.sync            FaultInjectingEnv fsync (kIoError)
+///   env.rename          FaultInjectingEnv::RenameFile (kIoError)
+///   env.syncdir         FaultInjectingEnv::SyncDir (kIoError)
 class FailpointRegistry {
  public:
   /// Firing policy for one armed failpoint. Hit indices are 1-based and

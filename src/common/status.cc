@@ -32,6 +32,8 @@ const char* StatusCodeName(StatusCode code) {
       return "cancelled";
     case StatusCode::kUnavailable:
       return "unavailable";
+    case StatusCode::kIoError:
+      return "io_error";
   }
   return "unknown";
 }

@@ -25,6 +25,7 @@ enum class StatusCode {
   kDeadlineExceeded,  // request ran past its deadline
   kCancelled,         // caller cancelled the request
   kUnavailable,       // shed under overload / breaker open; retryable later
+  kIoError,           // storage syscall failed (EIO, failed fsync, ...)
 };
 
 /// Returns a stable lowercase name for `code` (e.g. "not_found").
@@ -83,6 +84,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

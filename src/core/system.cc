@@ -48,20 +48,28 @@ System::~System() { StopWatchdog(); }
 Result<std::unique_ptr<System>> System::Create(Options options) {
   std::unique_ptr<System> sys(new System(std::move(options)));
   rdbms::DatabaseOptions db_options;
+  db_options.wal.env = sys->options_.env;
   if (!sys->options_.workspace.empty()) {
     db_options.dir = sys->options_.workspace + "/db";
   }
   STRUCTURA_ASSIGN_OR_RETURN(sys->db_, rdbms::Database::Open(db_options));
   if (!sys->options_.workspace.empty()) {
+    storage::SegmentStore::Options seg_options;
+    seg_options.env = sys->options_.env;
     STRUCTURA_ASSIGN_OR_RETURN(
         sys->intermediate_,
-        storage::SegmentStore::Open(sys->options_.workspace +
-                                    "/intermediate"));
+        storage::SegmentStore::Open(
+            sys->options_.workspace + "/intermediate", seg_options));
+    // Snapshots get a durable journal too: every acknowledged crawl
+    // version survives a restart.
+    STRUCTURA_RETURN_IF_ERROR(sys->snapshots_.AttachJournal(
+        sys->options_.workspace + "/snapshots", sys->options_.env));
   }
   IntegrityCounters recovered = sys->db_->recovery_report();
   if (sys->intermediate_ != nullptr) {
     recovered.Merge(sys->intermediate_->recovery_report());
   }
+  recovered.Merge(sys->snapshots_.recovery_report());
   PublishIntegrityGauges("integrity.recovery", recovered);
   sys->RegisterBuiltinHealthSignals();
   return sys;
@@ -112,6 +120,41 @@ void System::RegisterBuiltinHealthSignals() {
     }
     return serve::HealthSample{};
   });
+  // storage.disk: the I/O environment itself. Cheap while quiet (two
+  // relaxed loads); when the env's failure ledger advances or a sink
+  // is latched failed, it probes the workspace with a real
+  // write+fsync. Unwritable disk or a sink pending heal → critical;
+  // the serve layer keys read-only brownout off this signal. The
+  // baseline lives behind a shared_ptr for the same copied-SignalFn
+  // reason as the ie signal below.
+  Env* e = env();
+  health_.Register(
+      "storage.disk", "io",
+      [this, e,
+       seen = std::make_shared<std::atomic<uint64_t>>(e->io_failures())] {
+        if (options_.workspace.empty()) return serve::HealthSample{};
+        uint64_t now = e->io_failures();
+        bool sink_failed = ReadOnly();
+        if (now == seen->load() && !sink_failed) {
+          return serve::HealthSample{};
+        }
+        Status probe = e->ProbeWrite(options_.workspace);
+        if (!probe.ok()) {
+          // The probe itself advances the ledger, so the next
+          // evaluation re-probes instead of trusting a stale verdict.
+          return serve::HealthSample{serve::HealthState::kCritical,
+                                     "disk unwritable: " + probe.message()};
+        }
+        seen->store(now);
+        if (sink_failed) {
+          return serve::HealthSample{
+              serve::HealthState::kCritical,
+              "write path failed (pending heal): " + ReadOnlyReason()};
+        }
+        return serve::HealthSample{serve::HealthState::kDegraded,
+                                   "i/o failure(s) observed; probe ok: " +
+                                       e->last_io_error()};
+      });
   // ie: extraction faults + quarantines, read from the registry only —
   // never from ctx_, which the executor mutates concurrently. Baselines
   // discount counts left behind by earlier Systems in this process
@@ -153,6 +196,48 @@ void System::RegisterBuiltinHealthSignals() {
       });
 }
 
+bool System::ReadOnly() const {
+  return db_->WalFailed() ||
+         (intermediate_ != nullptr && intermediate_->Failed()) ||
+         snapshots_.Failed();
+}
+
+std::string System::ReadOnlyReason() const {
+  std::string reason;
+  auto add = [&](const std::string& part) {
+    if (!reason.empty()) reason += "; ";
+    reason += part;
+  };
+  if (db_->WalFailed()) {
+    add("wal: " + db_->WalFailedStatus().message());
+  }
+  if (intermediate_ != nullptr && intermediate_->Failed()) {
+    add("intermediate segment log failed");
+  }
+  if (snapshots_.Failed()) add("snapshot journal failed");
+  return reason;
+}
+
+Status System::HealStorage() {
+  if (options_.workspace.empty()) return Status::OK();
+  // Gate on a real probe: handing fresh handles to a still-dead disk
+  // would just re-latch them (and burn the WAL's checkpoint work).
+  STRUCTURA_RETURN_IF_ERROR(env()->ProbeWrite(options_.workspace));
+  if (db_->WalFailed()) {
+    // Checkpoint is the WAL's recovery point: it durably captures the
+    // in-memory state, then Reset() opens a fresh handle — so the new
+    // WAL never diverges from what memory already holds.
+    STRUCTURA_RETURN_IF_ERROR(db_->Checkpoint());
+  }
+  if (intermediate_ != nullptr && intermediate_->Failed()) {
+    STRUCTURA_RETURN_IF_ERROR(intermediate_->ReopenActive());
+  }
+  if (snapshots_.Failed()) {
+    STRUCTURA_RETURN_IF_ERROR(snapshots_.ReopenJournal());
+  }
+  return Status::OK();
+}
+
 void System::StartWatchdog(WatchdogOptions options) {
   StopWatchdog();
   {
@@ -177,9 +262,31 @@ void System::StopWatchdog() {
 void System::WatchdogLoop() {
   using Clock = std::chrono::steady_clock;
   Clock::time_point last_auto_scrub{};  // epoch: first scrub is immediate
+  Clock::time_point last_auto_heal{};
   while (true) {
     health_.Evaluate();
     watchdog_ticks_.fetch_add(1);
+    if (watchdog_options_.auto_heal &&
+        health_.StateOf("storage.disk") != serve::HealthState::kHealthy) {
+      Clock::time_point now = Clock::now();
+      if (last_auto_heal == Clock::time_point{} ||
+          now - last_auto_heal >= std::chrono::milliseconds(
+                                      watchdog_options_.heal_cooldown_ms)) {
+        last_auto_heal = now;
+        watchdog_heals_.fetch_add(1);
+        // A failed heal (disk still dead) is fine: the signal stays
+        // critical and the next cooldown window retries the probe.
+        Status healed = HealStorage();
+        if (!healed.ok()) {
+          STRUCTURA_LOG(kWarning)
+              << "watchdog heal attempt failed: " << healed.ToString();
+        }
+        // Fold the post-heal verdict in right away so the brownout
+        // lifts in one cooldown rather than cooldown + promote_after.
+        health_.Evaluate();
+        watchdog_ticks_.fetch_add(1);
+      }
+    }
     if (watchdog_options_.auto_scrub) {
       bool storage_trouble =
           health_.StateOf("storage.wal") != serve::HealthState::kHealthy ||
@@ -225,6 +332,7 @@ std::string System::HealthJson() const {
   out += ",\"interval_ms\":" + std::to_string(interval_ms);
   out += ",\"ticks\":" + std::to_string(watchdog_ticks_.load());
   out += ",\"auto_scrubs\":" + std::to_string(watchdog_scrubs_.load());
+  out += ",\"auto_heals\":" + std::to_string(watchdog_heals_.load());
   out += "}}";
   return out;
 }
@@ -243,6 +351,9 @@ Status System::IngestCrawl(const text::DocumentCollection& docs) {
     STRUCTURA_RETURN_IF_ERROR(
         snapshots_.Append(doc.id, doc.text).status());
   }
+  // Durability point for the whole crawl: one fsync covers every
+  // journaled append above.
+  STRUCTURA_RETURN_IF_ERROR(snapshots_.Sync());
   docs_ = docs;
   keyword_index_ = query::KeywordIndex();
   for (const text::Document& doc : docs_.docs) {
@@ -470,13 +581,17 @@ std::string System::StatusReport() const {
   if (serving_stats_) {
     out += "serving: " + serving_stats_().ToString() + "\n";
   }
+  if (ReadOnly()) {
+    out += "mode: READ-ONLY (" + ReadOnlyReason() + ")\n";
+  }
   if (health_.evaluations() > 0) {
     out += StrFormat("health: overall %s (watchdog %s, %llu ticks, %llu "
-                     "auto-scrubs)",
+                     "auto-scrubs, %llu auto-heals)",
                      serve::HealthStateName(health_.Overall()),
                      WatchdogRunning() ? "running" : "stopped",
                      static_cast<unsigned long long>(WatchdogTicks()),
-                     static_cast<unsigned long long>(WatchdogAutoScrubs()));
+                     static_cast<unsigned long long>(WatchdogAutoScrubs()),
+                     static_cast<unsigned long long>(WatchdogAutoHeals()));
     for (const serve::HealthModel::SourceStatus& s : health_.Snapshot()) {
       if (s.state == serve::HealthState::kHealthy) continue;
       out += StrFormat("; %s %s (%s)", s.subsystem.c_str(),
@@ -660,6 +775,12 @@ Result<size_t> System::RunFeedbackRound(
 }
 
 Status System::MaterializeBeliefs(const std::string& table) {
+  if (ReadOnly()) {
+    // Read-only brownout: refuse up front instead of letting the
+    // transaction fail halfway through its inserts.
+    return Status::Unavailable("system is read-only (storage failure): " +
+                               ReadOnlyReason());
+  }
   if (db_->GetTable(table) == nullptr) {
     rdbms::TableSchema schema;
     schema.table_name = table;
@@ -704,7 +825,18 @@ Status System::MaterializeBeliefs(const std::string& table) {
       }
     }
   }
-  return txn->Commit();
+  STRUCTURA_RETURN_IF_ERROR(txn->Commit());
+  // The intermediate log is best-effort (the transactional store is
+  // the source of truth), but push its copies to disk while we're at
+  // a batch boundary — a failure here degrades, not aborts.
+  if (intermediate_ != nullptr) {
+    Status synced = intermediate_->Sync();
+    if (!synced.ok()) {
+      STRUCTURA_LOG(kWarning)
+          << "intermediate log sync failed: " << synced.ToString();
+    }
+  }
+  return Status::OK();
 }
 
 Result<IntegrityCounters> System::ScrubStorage() {

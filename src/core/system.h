@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/env.h"
 #include "common/integrity.h"
 #include "common/status.h"
 #include "debugger/semantic_debugger.h"
@@ -52,6 +53,11 @@ class System {
     /// Directory for the WAL/checkpoint of the final store. Empty =
     /// fully in-memory (still transactional, not durable).
     std::string workspace;
+    /// I/O environment for every durable store (WAL, checkpoint,
+    /// intermediate segment log, snapshot journal). nullptr =
+    /// Env::Default(); tests pass a FaultInjectingEnv to exercise
+    /// syscall-level failures.
+    Env* env = nullptr;
     bool optimize_plans = true;
     uint64_t seed = 42;
   };
@@ -163,10 +169,32 @@ class System {
 
   // --- Health & self-healing -------------------------------------------
 
+  /// True while any durable write sink is latched failed (WAL,
+  /// intermediate segment log, or snapshot journal): the system is in
+  /// read-only brownout — reads keep serving, writes are refused with
+  /// kUnavailable until the watchdog (or an explicit HealStorage call)
+  /// repairs the failed sinks. Always false for an in-memory system.
+  bool ReadOnly() const;
+  /// Why ReadOnly() is true (empty string otherwise).
+  std::string ReadOnlyReason() const;
+
+  /// Repairs failed durable sinks after the underlying disk recovers:
+  /// probes the workspace with a real write+fsync first (a dead disk
+  /// returns its error and heals nothing), then checkpoints the
+  /// database (giving the WAL a fresh handle), rolls the intermediate
+  /// log to a fresh segment, and rewrites the snapshot journal from
+  /// memory. Idempotent; the watchdog calls this automatically.
+  /// Assumes foreground writes are quiesced (same contract as the
+  /// watchdog's auto-scrub).
+  Status HealStorage();
+
   /// The system's health ledger. Built-in signals (registered at
   /// Create): `storage.wal` and `storage.segments` from recovery
-  /// reports + the latest per-store scrub, `ie` from extraction-fault
-  /// and quarantine telemetry. Serving components add their own
+  /// reports + the latest per-store scrub, `storage.disk` from the I/O
+  /// environment's failure ledger plus a live probe write (critical
+  /// while the disk is unwritable or a sink is pending heal — the
+  /// serve layer keys read-only brownout off it), `ie` from
+  /// extraction-fault and quarantine telemetry. Serving components add their own
   /// (Frontend tags operator breakers into `query.*` / `serve`). The
   /// model lives as long as the System; registrants must detach before
   /// the System is destroyed.
@@ -185,6 +213,13 @@ class System {
     /// Assumes ingest is quiesced while the watchdog runs (snapshot
     /// appends are not locked against the scrubber).
     bool auto_scrub = true;
+    /// When true, an unhealthy `storage.disk` signal triggers
+    /// HealStorage() — probe the disk, and once it accepts writes
+    /// again, give every latched-failed sink a fresh handle. Paired
+    /// with its own cooldown so a still-dead disk is probed, not
+    /// hammered.
+    bool auto_heal = true;
+    uint64_t heal_cooldown_ms = 200;
   };
 
   /// Starts the self-healing watchdog: a thread that evaluates the
@@ -203,9 +238,12 @@ class System {
   uint64_t WatchdogTicks() const { return watchdog_ticks_.load(); }
   /// Automatic scrubs the watchdog has triggered.
   uint64_t WatchdogAutoScrubs() const { return watchdog_scrubs_.load(); }
+  /// Automatic heal attempts the watchdog has triggered.
+  uint64_t WatchdogAutoHeals() const { return watchdog_heals_.load(); }
 
   /// Machine-readable health: the model's JSON plus a watchdog block.
-  /// {"health":{…},"watchdog":{"running":…,"ticks":…,"auto_scrubs":…}}
+  /// {"health":{…},"watchdog":{"running":…,"ticks":…,"auto_scrubs":…,
+  /// "auto_heals":…}}
   std::string HealthJson() const;
 
   // --- Exploitation -----------------------------------------------------
@@ -302,6 +340,10 @@ class System {
  private:
   explicit System(Options options);
 
+  Env* env() const {
+    return options_.env != nullptr ? options_.env : Env::Default();
+  }
+
   /// Registers the built-in storage/ie signals into health_ (called
   /// from Create, after the stores are open).
   void RegisterBuiltinHealthSignals();
@@ -350,6 +392,7 @@ class System {
   std::atomic<bool> watchdog_running_{false};
   std::atomic<uint64_t> watchdog_ticks_{0};
   std::atomic<uint64_t> watchdog_scrubs_{0};
+  std::atomic<uint64_t> watchdog_heals_{0};
   std::thread watchdog_;
   std::vector<uncertainty::AttributeBelief> beliefs_;
   ie::FactSet current_facts_;

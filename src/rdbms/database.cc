@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "common/crc32c.h"
+#include "common/env.h"
 #include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/strings.h"
@@ -106,7 +107,8 @@ Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
       return Status::Internal("cannot create db dir: " + ec.message());
     }
     STRUCTURA_RETURN_IF_ERROR(db->Recover());
-    STRUCTURA_ASSIGN_OR_RETURN(db->wal_, WriteAheadLog::Open(db->WalPath()));
+    STRUCTURA_ASSIGN_OR_RETURN(
+        db->wal_, WriteAheadLog::Open(db->WalPath(), db->options_.wal));
   }
   return db;
 }
@@ -381,7 +383,6 @@ Status Database::Checkpoint() {
     return Status::FailedPrecondition("ephemeral database");
   }
   std::lock_guard<std::mutex> catalog(catalog_mutex_);
-  std::string tmp = CheckpointPath() + ".tmp";
   std::string image;
   for (const auto& [name, entry] : tables_) {
     std::lock_guard<std::mutex> latch(entry->latch);
@@ -411,20 +412,15 @@ Status Database::Checkpoint() {
   // Deterministic bit-rot injection over the full image (body or
   // footer); LoadCheckpoint must reject the file either way.
   STRUCTURA_RETURN_IF_ERROR(MaybeCorrupt("checkpoint.write", &image));
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return Status::Internal("cannot write checkpoint");
-    out.write(image.data(), static_cast<std::streamsize>(image.size()));
-    // Fires after the tmp file is written but before it replaces the
-    // live checkpoint: a crash here must leave the old checkpoint and
-    // the un-truncated WAL fully authoritative.
-    STRUCTURA_FAILPOINT("db.checkpoint.write");
-    out.flush();
-    if (!out) return Status::Internal("checkpoint write failed");
-  }
-  std::error_code ec;
-  std::filesystem::rename(tmp, CheckpointPath(), ec);
-  if (ec) return Status::Internal("checkpoint rename failed");
+  // Atomic replacement: fsync the tmp file, rename it over the live
+  // checkpoint, fsync the parent directory. The "db.checkpoint.write"
+  // failpoint fires after the tmp write but before the durability
+  // steps: a crash there must leave the old checkpoint and the
+  // un-truncated WAL fully authoritative.
+  STRUCTURA_RETURN_IF_ERROR(AtomicReplaceFile(
+      env(), CheckpointPath(), image, "db.checkpoint.write"));
+  // Only now — with the new checkpoint durably in place — is the WAL
+  // redundant and safe to truncate.
   std::lock_guard<std::mutex> wal_lock(wal_mutex_);
   return wal_->Reset();
 }
@@ -474,8 +470,8 @@ Result<Table*> Database::CreateTable(const TableSchema& schema) {
     rec.type = LogRecord::Type::kCreateTable;
     rec.payload = SerializeSchema(schema);
     std::lock_guard<std::mutex> wal_lock(wal_mutex_);
-    STRUCTURA_RETURN_IF_ERROR(wal_->Append(rec));
-    STRUCTURA_RETURN_IF_ERROR(wal_->Flush());
+    STRUCTURA_ASSIGN_OR_RETURN(uint64_t ticket, wal_->AppendRecord(rec));
+    STRUCTURA_RETURN_IF_ERROR(wal_->WaitDurable(ticket));
   }
   auto entry = std::make_unique<TableEntry>();
   entry->table = std::make_unique<Table>(schema);
@@ -498,8 +494,8 @@ Status Database::CreateIndex(const std::string& table,
     rec.table = table;
     rec.payload = column;
     std::lock_guard<std::mutex> wal_lock(wal_mutex_);
-    STRUCTURA_RETURN_IF_ERROR(wal_->Append(rec));
-    STRUCTURA_RETURN_IF_ERROR(wal_->Flush());
+    STRUCTURA_ASSIGN_OR_RETURN(uint64_t ticket, wal_->AppendRecord(rec));
+    STRUCTURA_RETURN_IF_ERROR(wal_->WaitDurable(ticket));
   }
   std::lock_guard<std::mutex> latch(entry->latch);
   return entry->table->CreateIndex(column);
@@ -514,8 +510,8 @@ Status Database::DropTable(const std::string& table) {
     rec.type = LogRecord::Type::kDropTable;
     rec.table = table;
     std::lock_guard<std::mutex> wal_lock(wal_mutex_);
-    STRUCTURA_RETURN_IF_ERROR(wal_->Append(rec));
-    STRUCTURA_RETURN_IF_ERROR(wal_->Flush());
+    STRUCTURA_ASSIGN_OR_RETURN(uint64_t ticket, wal_->AppendRecord(rec));
+    STRUCTURA_RETURN_IF_ERROR(wal_->WaitDurable(ticket));
   }
   tables_.erase(it);
   return Status::OK();
@@ -543,7 +539,14 @@ std::unique_ptr<Transaction> Database::Begin() {
     rec.type = LogRecord::Type::kBegin;
     rec.txn = id;
     std::lock_guard<std::mutex> wal_lock(wal_mutex_);
-    wal_->Append(rec);
+    Status logged = wal_->Append(rec);
+    if (!logged.ok()) {
+      // The transaction can still run; its Commit will observe the same
+      // (sticky) failure and refuse the acknowledgement.
+      STRUCTURA_LOG(kWarning)
+          << "wal begin-record append failed for txn " << id << ": "
+          << logged.ToString();
+    }
   }
   return txn;
 }
@@ -734,12 +737,30 @@ Result<std::vector<std::pair<RowId, Row>>> Transaction::IndexRange(
 Status Transaction::Commit() {
   if (!active()) return Status::FailedPrecondition("txn not active");
   if (db_->wal_) {
+    // Two-phase commit against the log: append the commit record under
+    // the wal mutex (serializing log order), then wait for durability
+    // OUTSIDE it — so concurrent commits coalesce into one fsync under
+    // the group-commit policy instead of serializing their syncs.
     LogRecord rec;
     rec.type = LogRecord::Type::kCommit;
     rec.txn = id_;
-    std::lock_guard<std::mutex> wal_lock(db_->wal_mutex_);
-    Status s = db_->wal_->Append(rec);  // Append flushes commits
-    if (!s.ok()) return s;
+    Result<uint64_t> ticket = [&]() -> Result<uint64_t> {
+      std::lock_guard<std::mutex> wal_lock(db_->wal_mutex_);
+      return db_->wal_->AppendRecord(rec);
+    }();
+    Status durable =
+        ticket.ok() ? db_->wal_->WaitDurable(*ticket) : ticket.status();
+    if (!durable.ok()) {
+      // The commit was never acknowledged: undo our in-memory effects
+      // while we still hold the exclusive locks, then release them. No
+      // abort record is appended — the log is likely the thing that
+      // failed, and recovery treats a commit-less transaction as never
+      // having happened.
+      RollbackInMemory();
+      state_ = State::kAborted;
+      db_->locks_.ReleaseAll(id_);
+      return durable;
+    }
   }
   state_ = State::kCommitted;
   db_->locks_.ReleaseAll(id_);

@@ -21,6 +21,10 @@ struct DatabaseOptions {
   /// Directory for the WAL and checkpoint. Empty = ephemeral in-memory
   /// database (no durability, still transactional).
   std::string dir;
+  /// WAL sync policy and I/O environment. The env (nullptr =
+  /// Env::Default()) is also used for the checkpoint's atomic
+  /// tmp+rename+dir-sync replacement.
+  WalOptions wal;
 };
 
 /// The relational engine that stores the *final* structured data — the
@@ -57,9 +61,23 @@ class Database {
   /// before destruction (the destructor aborts as a safety net).
   std::unique_ptr<Transaction> Begin();
 
-  /// Writes a full checkpoint (with a CRC32C footer) and truncates the
-  /// WAL.
+  /// Writes a full checkpoint (with a CRC32C footer) via atomic
+  /// tmp+fsync+rename+dir-sync replacement, then truncates the WAL.
+  /// Because Reset() opens a fresh WAL file handle, a successful
+  /// checkpoint is also the healing step for a sticky-failed WAL: the
+  /// failed records were never acknowledged, and the durable checkpoint
+  /// now captures the authoritative state.
   Status Checkpoint();
+
+  /// True while the WAL is sticky-failed (a write or fsync failed):
+  /// every commit and DDL is being refused with the original error
+  /// until a successful Checkpoint() heals it. Always false for an
+  /// ephemeral database.
+  bool WalFailed() const { return wal_ != nullptr && wal_->Failed(); }
+  /// The WAL's sticky error (OK when healthy/ephemeral).
+  Status WalFailedStatus() const {
+    return wal_ ? wal_->FailedStatus() : Status::OK();
+  }
 
   /// What the last Open()/Recover() found: records replayed, damaged
   /// frames salvaged around, transactions dropped, checkpoints
@@ -79,6 +97,10 @@ class Database {
 
   explicit Database(DatabaseOptions options)
       : options_(std::move(options)) {}
+
+  Env* env() const {
+    return options_.wal.env != nullptr ? options_.wal.env : Env::Default();
+  }
 
   Status Recover();
   Status LoadCheckpoint(const std::string& path);

@@ -1,5 +1,6 @@
 #include "rdbms/wal.h"
 
+#include <chrono>
 #include <fstream>
 #include <iterator>
 
@@ -14,8 +15,10 @@ namespace {
 struct WalMetrics {
   obs::Counter* appends;
   obs::Counter* flushes;
+  obs::Counter* syncs;
   obs::Histogram* append_ns;
   obs::Histogram* flush_ns;
+  obs::Histogram* sync_ns;
 };
 WalMetrics& Metrics() {
   static WalMetrics m = [] {
@@ -23,8 +26,10 @@ WalMetrics& Metrics() {
     return WalMetrics{
         r.GetCounter("storage.wal.appends"),
         r.GetCounter("storage.wal.flushes"),
+        r.GetCounter("storage.wal.syncs"),
         r.GetHistogram("storage.wal.append_ns"),
         r.GetHistogram("storage.wal.flush_ns"),
+        r.GetHistogram("storage.wal.sync_ns"),
     };
   }();
   return m;
@@ -86,10 +91,21 @@ Result<std::string> ReadFramed(const std::string& data, size_t* pos) {
 
 Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
     const std::string& path) {
-  std::unique_ptr<WriteAheadLog> wal(new WriteAheadLog(path));
-  wal->out_.open(path, std::ios::binary | std::ios::app);
-  if (!wal->out_) return Status::Internal("cannot open wal: " + path);
+  return Open(path, WalOptions{});
+}
+
+Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
+    const std::string& path, WalOptions options) {
+  std::unique_ptr<WriteAheadLog> wal(new WriteAheadLog(path, options));
+  std::lock_guard<std::mutex> lock(wal->sync_mutex_);
+  STRUCTURA_RETURN_IF_ERROR(wal->OpenFileLocked(/*truncate=*/false));
   return wal;
+}
+
+Status WriteAheadLog::OpenFileLocked(bool truncate) {
+  Env* env = options_.env != nullptr ? options_.env : Env::Default();
+  STRUCTURA_ASSIGN_OR_RETURN(file_, env->NewWritableFile(path_, truncate));
+  return Status::OK();
 }
 
 std::string WriteAheadLog::Encode(const LogRecord& r) {
@@ -142,12 +158,21 @@ Result<LogRecord> WriteAheadLog::Decode(const std::string& payload) {
   return r;
 }
 
-Status WriteAheadLog::Append(const LogRecord& record) {
+Result<uint64_t> WriteAheadLog::AppendRecord(const LogRecord& record) {
   TRACE_SPAN("wal.append");
   WalMetrics& wm = Metrics();
   wm.appends->Increment();
   obs::ScopedLatency latency(wm.append_ns);
   STRUCTURA_FAILPOINT("wal.append");
+  WritableFile* file = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(sync_mutex_);
+    if (file_ == nullptr) {
+      return Status::IoError("wal has no open file: " + path_);
+    }
+    if (file_->failed()) return file_->sticky_status();
+    file = file_.get();
+  }
   std::string framed = FrameRecord(Encode(record));
   // Deterministic bit-rot injection over the framed bytes (header or
   // payload); the write below still "succeeds".
@@ -155,16 +180,85 @@ Status WriteAheadLog::Append(const LogRecord& record) {
   if (Status torn = MaybeFail("wal.append.torn"); !torn.ok()) {
     // Simulated crash mid-write: only a prefix of the frame reaches the
     // file. ReadAll must detect and ignore this tail at recovery.
-    out_.write(framed.data(),
-               static_cast<std::streamsize>(framed.size() / 2));
-    out_.flush();
+    file->Append(std::string_view(framed).substr(0, framed.size() / 2));
+    file->Flush();
     return torn;
   }
-  out_.write(framed.data(), static_cast<std::streamsize>(framed.size()));
-  if (!out_) return Status::Internal("wal write failed");
+  STRUCTURA_RETURN_IF_ERROR(file->Append(framed));
   ++appended_;
-  if (record.type == LogRecord::Type::kCommit) return Flush();
+  std::lock_guard<std::mutex> lock(sync_mutex_);
+  return ++written_lsn_;
+}
+
+Status WriteAheadLog::Append(const LogRecord& record) {
+  STRUCTURA_ASSIGN_OR_RETURN(uint64_t ticket, AppendRecord(record));
+  if (record.type == LogRecord::Type::kCommit) return WaitDurable(ticket);
   return Status::OK();
+}
+
+Status WriteAheadLog::WaitDurable(uint64_t ticket) {
+  if (options_.sync_policy == WalSyncPolicy::kOff) return Status::OK();
+  return SyncTo(ticket);
+}
+
+Status WriteAheadLog::Sync() {
+  uint64_t target = 0;
+  {
+    std::lock_guard<std::mutex> lock(sync_mutex_);
+    target = written_lsn_;
+  }
+  return SyncTo(target);
+}
+
+Status WriteAheadLog::SyncTo(uint64_t ticket) {
+  std::unique_lock<std::mutex> lock(sync_mutex_);
+  const uint64_t epoch = epoch_;
+  for (;;) {
+    if (epoch_ != epoch) {
+      // The log was Reset() while we waited: a durable checkpoint now
+      // covers every record our ticket refers to.
+      return Status::OK();
+    }
+    if (file_ == nullptr) {
+      return Status::IoError("wal has no open file: " + path_);
+    }
+    if (file_->failed()) return file_->sticky_status();
+    if (durable_lsn_ >= ticket) return Status::OK();
+    if (sync_in_progress_) {
+      sync_cv_.wait(lock);
+      continue;
+    }
+    // Become the sync leader. Under kGroupCommit, linger briefly so
+    // commits racing in behind us ride this same fsync.
+    sync_in_progress_ = true;
+    if (options_.sync_policy == WalSyncPolicy::kGroupCommit &&
+        options_.group_commit_window_us > 0) {
+      sync_cv_.wait_for(
+          lock, std::chrono::microseconds(options_.group_commit_window_us));
+    }
+    WritableFile* file = file_.get();
+    const uint64_t target = written_lsn_;
+    lock.unlock();
+    WalMetrics& wm = Metrics();
+    wm.syncs->Increment();
+    Status synced = MaybeFail("wal.flush");
+    if (synced.ok()) {
+      obs::ScopedLatency latency(wm.sync_ns);
+      synced = file->Sync();
+    }
+    lock.lock();
+    sync_in_progress_ = false;
+    if (synced.ok() && epoch_ == epoch && target > durable_lsn_) {
+      durable_lsn_ = target;
+    }
+    sync_cv_.notify_all();
+    if (!synced.ok()) {
+      // A real fsync failure latched the file sticky and every waiter
+      // sees it above; an injected (failpoint) failure fails only this
+      // leader — followers retry with their own evaluation.
+      return synced;
+    }
+  }
 }
 
 Status WriteAheadLog::Flush() {
@@ -173,8 +267,16 @@ Status WriteAheadLog::Flush() {
   wm.flushes->Increment();
   obs::ScopedLatency latency(wm.flush_ns);
   STRUCTURA_FAILPOINT("wal.flush");
-  out_.flush();
-  return out_ ? Status::OK() : Status::Internal("wal flush failed");
+  WritableFile* file = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(sync_mutex_);
+    if (file_ == nullptr) {
+      return Status::IoError("wal has no open file: " + path_);
+    }
+    if (file_->failed()) return file_->sticky_status();
+    file = file_.get();
+  }
+  return file->Flush();
 }
 
 Result<WalReadResult> WriteAheadLog::ReadAll(const std::string& path) {
@@ -217,11 +319,36 @@ Status WriteAheadLog::Scrub(const std::string& path,
 }
 
 Status WriteAheadLog::Reset() {
-  out_.close();
-  out_.open(path_, std::ios::binary | std::ios::trunc);
-  if (!out_) return Status::Internal("wal reset failed");
+  std::unique_lock<std::mutex> lock(sync_mutex_);
+  sync_cv_.wait(lock, [&] { return !sync_in_progress_; });
+  // The old handle — sticky-failed or healthy — is superseded by the
+  // checkpoint that triggered this reset; drop it and start fresh.
+  file_.reset();
+  Status opened = OpenFileLocked(/*truncate=*/true);
   appended_ = 0;
-  return Status::OK();
+  written_lsn_ = 0;
+  durable_lsn_ = 0;
+  ++epoch_;
+  sync_cv_.notify_all();
+  return opened;
+}
+
+bool WriteAheadLog::Failed() const {
+  std::lock_guard<std::mutex> lock(sync_mutex_);
+  return file_ == nullptr || file_->failed();
+}
+
+Status WriteAheadLog::FailedStatus() const {
+  std::lock_guard<std::mutex> lock(sync_mutex_);
+  if (file_ == nullptr) {
+    return Status::IoError("wal has no open file: " + path_);
+  }
+  return file_->sticky_status();
+}
+
+uint64_t WriteAheadLog::LastLsn() const {
+  std::lock_guard<std::mutex> lock(sync_mutex_);
+  return written_lsn_;
 }
 
 }  // namespace structura::rdbms

@@ -1,12 +1,14 @@
 #ifndef STRUCTURA_RDBMS_WAL_H_
 #define STRUCTURA_RDBMS_WAL_H_
 
+#include <condition_variable>
 #include <cstdint>
-#include <fstream>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/env.h"
 #include "common/integrity.h"
 #include "common/recordio.h"
 #include "rdbms/lock_manager.h"
@@ -62,23 +64,88 @@ struct WalReadResult {
   }
 };
 
+/// When Append acknowledges a commit record relative to fsync.
+enum class WalSyncPolicy : uint8_t {
+  /// Every commit fsyncs before it is acknowledged. Concurrent commits
+  /// still share one fsync when they arrive while another is in flight.
+  kAlways,
+  /// Commits are acknowledged only after fsync, but the syncing thread
+  /// (the "leader") first waits a short coalescing window so concurrent
+  /// commits ride the same fsync — higher throughput, same guarantee.
+  kGroupCommit,
+  /// Commits never wait for fsync: a crash can lose the acknowledged
+  /// tail (bounded by the OS flush interval). For data whose loss is
+  /// tolerable, or benchmarking the cost of durability.
+  kOff,
+};
+
+struct WalOptions {
+  WalSyncPolicy sync_policy = WalSyncPolicy::kAlways;
+  /// kGroupCommit only: how long the sync leader gathers followers
+  /// before paying the fsync.
+  uint64_t group_commit_window_us = 100;
+  /// I/O environment; nullptr = Env::Default().
+  Env* env = nullptr;
+};
+
 /// Append-only redo/undo log. Records are framed with a magic resync
 /// marker, a CRC32C over the header, and a CRC32C over the payload
-/// (common/recordio.h). Commit records are flushed before Commit
-/// returns (durability point). At recovery, a torn tail left by a crash
-/// is cleanly truncated, while mid-file bit-rot is *salvaged*: the
-/// reader resyncs to the next valid frame and reports the lost range so
-/// the database can drop only the damaged transactions.
+/// (common/recordio.h). Commit records are made durable per the
+/// configured WalSyncPolicy before Append returns (the durability
+/// point is a real fsync, not a userspace flush). At recovery, a torn
+/// tail left by a crash is cleanly truncated, while mid-file bit-rot is
+/// *salvaged*: the reader resyncs to the next valid frame and reports
+/// the lost range so the database can drop only the damaged
+/// transactions.
+///
+/// Failure model: every write and sync goes through a WritableFile
+/// (common/env.h) whose first i/o failure latches the file sticky — no
+/// record is ever acknowledged after a failed write or fsync, and no
+/// later operation silently retries past one. A failed log refuses all
+/// further appends with the original error; recovery is explicit (a
+/// checkpoint calls Reset(), which opens a fresh file once the
+/// checkpoint durably superseded the log).
+///
+/// Threading: Append/AppendRecord/Flush/Reset must be externally
+/// serialized (the database holds its wal mutex); WaitDurable and Sync
+/// are safe to call concurrently from any thread, which is what group
+/// commit exploits — appends happen under the caller's lock, the
+/// durability wait happens outside it.
 class WriteAheadLog {
  public:
   static Result<std::unique_ptr<WriteAheadLog>> Open(
       const std::string& path);
+  static Result<std::unique_ptr<WriteAheadLog>> Open(
+      const std::string& path, WalOptions options);
 
   WriteAheadLog(const WriteAheadLog&) = delete;
   WriteAheadLog& operator=(const WriteAheadLog&) = delete;
 
+  /// Appends one record. Commit records additionally wait for
+  /// durability per the sync policy (equivalent to AppendRecord +
+  /// WaitDurable).
   Status Append(const LogRecord& record);
+
+  /// Appends one record WITHOUT waiting for durability and returns its
+  /// ticket (monotone LSN). Callers acknowledge the record only after
+  /// WaitDurable(ticket) — the two-phase shape that lets a database
+  /// append under its own mutex but wait for the fsync outside it, so
+  /// concurrent commits coalesce into one fsync.
+  Result<uint64_t> AppendRecord(const LogRecord& record);
+
+  /// Blocks until every record with ticket <= `ticket` is durable per
+  /// the sync policy (kOff: returns immediately). One waiter becomes
+  /// the sync leader and fsyncs for everyone; the rest ride along.
+  /// Returns the log's sticky error if the write or sync failed — the
+  /// record MUST NOT be acknowledged in that case.
+  Status WaitDurable(uint64_t ticket);
+
+  /// Pushes buffered bytes to the OS. NOT a durability point.
   Status Flush();
+
+  /// Forces an fsync covering everything appended so far, regardless
+  /// of policy.
+  Status Sync();
 
   /// Reads every valid record from `path`, resyncing past damaged
   /// frames, and reports exactly what was lost (see WalReadResult). A
@@ -91,20 +158,53 @@ class WriteAheadLog {
   static Status Scrub(const std::string& path,
                       IntegrityCounters* counters);
 
-  /// Truncates the log (after a checkpoint made it redundant).
+  /// Truncates the log (after a checkpoint made it redundant). Opens a
+  /// fresh file handle, so this is also the recovery point for a
+  /// sticky-failed log: the failed records were never acknowledged and
+  /// the checkpoint captured the authoritative state.
   Status Reset();
 
+  /// True once a write or sync failed: the log refuses further appends
+  /// with FailedStatus() until a checkpoint Reset()s it.
+  bool Failed() const;
+  Status FailedStatus() const;
+
   size_t AppendedRecords() const { return appended_; }
+  /// Ticket of the most recently appended record.
+  uint64_t LastLsn() const;
 
  private:
-  explicit WriteAheadLog(std::string path) : path_(std::move(path)) {}
+  WriteAheadLog(std::string path, WalOptions options)
+      : path_(std::move(path)), options_(options) {}
+
+  /// Opens/reopens the file handle (append or truncate). Caller holds
+  /// sync_mutex_.
+  Status OpenFileLocked(bool truncate);
+  /// Leader/follower fsync protocol behind WaitDurable and Sync.
+  Status SyncTo(uint64_t ticket);
 
   static std::string Encode(const LogRecord& record);
   static Result<LogRecord> Decode(const std::string& payload);
 
   std::string path_;
-  std::ofstream out_;
+  WalOptions options_;
   size_t appended_ = 0;
+
+  /// Guards the fields below. file_ itself serializes its operations;
+  /// this mutex serializes the durability bookkeeping around them.
+  mutable std::mutex sync_mutex_;
+  std::condition_variable sync_cv_;
+  std::unique_ptr<WritableFile> file_;
+  /// Ticket of the last record fully handed to file_->Append.
+  uint64_t written_lsn_ = 0;
+  /// Every record with ticket <= durable_lsn_ survived an fsync.
+  uint64_t durable_lsn_ = 0;
+  /// A leader is currently gathering/syncing; followers wait.
+  bool sync_in_progress_ = false;
+  /// Bumped by Reset(): outstanding WaitDurable tickets from before the
+  /// reset return OK, because the checkpoint that triggered the reset
+  /// durably superseded every record they cover.
+  uint64_t epoch_ = 0;
 };
 
 }  // namespace structura::rdbms

@@ -43,6 +43,7 @@ struct ServingCounters {
   uint64_t unavailable = 0;        // resolved kUnavailable post-admission
   uint64_t shed_queued_wait = 0;   // of `unavailable`: stale in queue
   uint64_t breaker_rejected = 0;   // of `unavailable`: breaker open
+  uint64_t read_only_refused = 0;  // of `unavailable`: write in brownout
   uint64_t shed_brownout = 0;      // of `shed`: brownout tier refusal
   uint64_t fallback_served = 0;    // answered by a fallback operator
   uint64_t degraded_answers = 0;   // of `ok`: flagged degraded

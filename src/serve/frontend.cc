@@ -26,7 +26,8 @@ std::string ServingCounters::ToString() const {
   std::string out = StrFormat(
       "issued=%llu admitted=%llu shed=%llu (brownout=%llu) not_found=%llu "
       "ok=%llu (degraded=%llu) deadline_exceeded=%llu "
-      "cancelled=%llu unavailable=%llu (queued_wait=%llu breaker=%llu) "
+      "cancelled=%llu unavailable=%llu (queued_wait=%llu breaker=%llu "
+      "read_only=%llu) "
       "fallback_served=%llu retries=%llu root_spans=%llu queue_high_water=%llu",
       static_cast<unsigned long long>(issued),
       static_cast<unsigned long long>(admitted),
@@ -40,6 +41,7 @@ std::string ServingCounters::ToString() const {
       static_cast<unsigned long long>(unavailable),
       static_cast<unsigned long long>(shed_queued_wait),
       static_cast<unsigned long long>(breaker_rejected),
+      static_cast<unsigned long long>(read_only_refused),
       static_cast<unsigned long long>(fallback_served),
       static_cast<unsigned long long>(retries),
       static_cast<unsigned long long>(root_spans),
@@ -80,6 +82,8 @@ Frontend::Frontend(Options options)
           registry_->GetCounter("serve.requests.shed_queued_wait")),
       breaker_rejected_(
           registry_->GetCounter("serve.requests.breaker_rejected")),
+      read_only_refused_(
+          registry_->GetCounter("serve.requests.read_only_refused")),
       shed_brownout_(registry_->GetCounter("serve.requests.shed_brownout")),
       fallback_served_(registry_->GetCounter("serve.requests.fallback_served")),
       degraded_answers_(
@@ -167,6 +171,12 @@ void Frontend::TagOperator(const std::string& name,
     std::lock_guard<std::mutex> lock(ops_mutex_);
     health_registrations_[subsystem] = id;
   }
+}
+
+void Frontend::MarkWrite(const std::string& name) {
+  std::lock_guard<std::mutex> lock(ops_mutex_);
+  auto it = ops_.find(name);
+  if (it != ops_.end()) it->second->is_write = true;
 }
 
 void Frontend::SetFallback(const std::string& primary,
@@ -374,6 +384,34 @@ void Frontend::Execute(Operator* op, const std::string& op_name,
     }
   }
 
+  // Read-only brownout: while the gate subsystem (the disk) is
+  // critical, write operators are refused outright — letting the
+  // handler fail halfway through a mutation would just re-latch the
+  // storage layer the watchdog is trying to heal. Reads flow on.
+  if (options_.health != nullptr && !options_.read_only_gate.empty()) {
+    bool is_write;
+    {
+      std::lock_guard<std::mutex> lock(ops_mutex_);
+      is_write = op->is_write;
+    }
+    if (is_write && options_.health->StateOf(options_.read_only_gate) ==
+                        HealthState::kCritical) {
+      std::string why =
+          "read-only: " + options_.read_only_gate + " critical: " +
+          options_.health->ReasonOf(options_.read_only_gate);
+      if (ctx.response != nullptr) {
+        // Not a degraded *answer* — there is none — but the channel
+        // still carries the reason so callers can tell brownout from
+        // a generic refusal.
+        ctx.response->degraded = true;
+        ctx.response->degraded_reason = why;
+      }
+      read_only_refused_->Increment();
+      Resolve(done, Status::Unavailable(std::move(why)));
+      return;
+    }
+  }
+
   // Health-driven rung of the fallback ladder: when the operator's
   // subsystem is critical, don't even offer it the request — serve the
   // degraded answer directly. (A merely-degraded subsystem still gets
@@ -533,6 +571,7 @@ ServingCounters Frontend::RegistryValues() const {
   c.unavailable = unavailable_->Value();
   c.shed_queued_wait = shed_queued_wait_->Value();
   c.breaker_rejected = breaker_rejected_->Value();
+  c.read_only_refused = read_only_refused_->Value();
   c.shed_brownout = shed_brownout_->Value();
   c.fallback_served = fallback_served_->Value();
   c.degraded_answers = degraded_answers_->Value();
@@ -559,6 +598,7 @@ ServingCounters Frontend::Counters() const {
   c.unavailable -= base_.unavailable;
   c.shed_queued_wait -= base_.shed_queued_wait;
   c.breaker_rejected -= base_.breaker_rejected;
+  c.read_only_refused -= base_.read_only_refused;
   c.shed_brownout -= base_.shed_brownout;
   c.fallback_served -= base_.fallback_served;
   c.degraded_answers -= base_.degraded_answers;

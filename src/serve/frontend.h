@@ -51,6 +51,12 @@ namespace structura::serve {
 ///    subsystem is critical a trickle of canary requests still attempts
 ///    the primary, so the evidence needed to clear the verdict (breaker
 ///    probes, fresh successes) keeps flowing.
+///  - **Read-only brownout.** Operators marked as writes (MarkWrite)
+///    are refused with kUnavailable while the `read_only_gate` health
+///    subsystem (default "storage.disk") is critical — reads keep
+///    serving off the durable prefix while the storage layer heals.
+///    The refusal is counted (read_only_refused) and, when the request
+///    carries a response channel, explained through ctx.response.
 ///  - **Health signals.** When Options::health is set, the frontend
 ///    feeds it: per-subsystem breaker aggregates for every subsystem
 ///    named via TagOperator, plus a "serve" admission-queue signal.
@@ -100,6 +106,12 @@ class Frontend {
     /// Optional; must outlive the frontend. The frontend detaches all
     /// of its registrations in its destructor.
     HealthModel* health = nullptr;
+    /// Health subsystem gating write operators (see MarkWrite). While
+    /// this subsystem is critical the frontend is in read-only
+    /// brownout: writes are refused with kUnavailable (reads keep
+    /// serving), and the refusal reason travels through ctx.response.
+    /// Empty disables the gate; inert without Options::health.
+    std::string read_only_gate = "storage.disk";
     /// Registry the serving counters/histograms live in. Defaults to
     /// the process-wide obs::MetricsRegistry::Default(); tests may
     /// inject a private registry (it must outlive the frontend).
@@ -129,6 +141,12 @@ class Frontend {
   /// half-open → degraded, all open → critical. Call during setup,
   /// before serving traffic.
   void TagOperator(const std::string& name, const std::string& subsystem);
+
+  /// Marks an operator as a *write*: it mutates durable storage, so it
+  /// is refused (kUnavailable, counted as read_only_refused) while the
+  /// `read_only_gate` subsystem is critical — the read-only brownout.
+  /// Reads are never gated. Call during setup, before serving traffic.
+  void MarkWrite(const std::string& name);
 
   /// Names `fallback` as the reduced-fidelity stand-in for `primary`
   /// (e.g. hybrid → keyword-only). Both operators must already be
@@ -163,6 +181,9 @@ class Frontend {
     std::string subsystem;
     /// Operator to serve through when this one's breaker refuses.
     std::string fallback;
+    /// True for operators that mutate durable storage (MarkWrite):
+    /// refused while the read_only_gate subsystem is critical.
+    bool is_write = false;
     /// Requests seen while the subsystem was critical; every Nth one is
     /// let through to the primary as a recovery canary (see Execute()).
     std::atomic<uint64_t> canary{0};
@@ -216,6 +237,7 @@ class Frontend {
   obs::Counter* unavailable_ = nullptr;
   obs::Counter* shed_queued_wait_ = nullptr;
   obs::Counter* breaker_rejected_ = nullptr;
+  obs::Counter* read_only_refused_ = nullptr;
   obs::Counter* shed_brownout_ = nullptr;
   obs::Counter* fallback_served_ = nullptr;
   obs::Counter* degraded_answers_ = nullptr;

@@ -67,11 +67,9 @@ Result<std::unique_ptr<SegmentStore>> SegmentStore::Open(
   } else {
     // Reopen the last segment for appending.
     uint32_t last = store->num_segments_ - 1;
-    store->active_.open(store->SegmentPath(last),
-                        std::ios::binary | std::ios::app);
-    if (!store->active_) {
-      return Status::Internal("cannot reopen active segment");
-    }
+    STRUCTURA_ASSIGN_OR_RETURN(
+        store->active_, store->env()->NewWritableFile(
+                            store->SegmentPath(last), /*truncate=*/false));
     struct stat st {};
     if (::stat(store->SegmentPath(last).c_str(), &st) == 0) {
       store->active_bytes_ = static_cast<uint64_t>(st.st_size);
@@ -86,15 +84,31 @@ std::string SegmentStore::SegmentPath(uint32_t segment) const {
 
 Status SegmentStore::RollSegment() {
   Metrics().segments_rolled->Increment();
-  if (active_.is_open()) {
-    active_.flush();
-    active_.close();
+  if (active_ != nullptr) {
+    // Durable seal: the finished segment must survive a crash before
+    // any record is acknowledged in its successor.
+    STRUCTURA_RETURN_IF_ERROR(active_->Sync());
+    STRUCTURA_RETURN_IF_ERROR(active_->Close());
+    active_.reset();
   }
-  uint32_t id = num_segments_++;
-  active_.open(SegmentPath(id), std::ios::binary | std::ios::trunc);
-  if (!active_) return Status::Internal("cannot create segment file");
+  // num_segments_ advances only after the new file exists, so a failed
+  // create retries the same segment id instead of leaving a numbering
+  // gap that would hide later segments from ScanExisting.
+  uint32_t id = num_segments_;
+  STRUCTURA_ASSIGN_OR_RETURN(
+      active_, env()->NewWritableFile(SegmentPath(id), /*truncate=*/true));
+  STRUCTURA_RETURN_IF_ERROR(env()->SyncDir(dir_));
+  num_segments_ = id + 1;
   active_bytes_ = 0;
   return Status::OK();
+}
+
+Status SegmentStore::ReopenActive() {
+  // The failed handle is dropped, never retried: its acknowledged
+  // records are intact on disk and stay readable through the index;
+  // any torn bytes past them were never indexed.
+  active_.reset();
+  return RollSegment();
 }
 
 Status SegmentStore::ScanExisting() {
@@ -148,6 +162,10 @@ Result<uint64_t> SegmentStore::Append(std::string_view record) {
   if (record.size() > (1u << 30)) {
     return Status::InvalidArgument("record too large");
   }
+  if (active_ == nullptr) {
+    return Status::IoError("segment store has no active segment: " + dir_);
+  }
+  if (active_->failed()) return active_->sticky_status();
   if (active_bytes_ >= options_.segment_bytes) {
     STRUCTURA_RETURN_IF_ERROR(RollSegment());
   }
@@ -156,8 +174,7 @@ Result<uint64_t> SegmentStore::Append(std::string_view record) {
   // below still "succeeds" and the damage surfaces at Read/Scrub time.
   STRUCTURA_RETURN_IF_ERROR(MaybeCorrupt("segment.record", &frame));
   uint64_t offset = active_bytes_;
-  active_.write(frame.data(), static_cast<std::streamsize>(frame.size()));
-  if (!active_) return Status::Internal("segment write failed");
+  STRUCTURA_RETURN_IF_ERROR(active_->Append(frame));
   active_bytes_ += frame.size();
   index_.push_back(RecordRef{num_segments_ - 1, offset,
                              static_cast<uint32_t>(record.size())});
@@ -165,8 +182,19 @@ Result<uint64_t> SegmentStore::Append(std::string_view record) {
 }
 
 Status SegmentStore::Flush() {
-  if (active_.is_open()) active_.flush();
-  return active_ ? Status::OK() : Status::Internal("flush failed");
+  if (active_ == nullptr || active_->failed()) {
+    // Nothing to push: writes are unbuffered, and a failed handle's
+    // durable prefix is already visible to readers.
+    return Status::OK();
+  }
+  return active_->Flush();
+}
+
+Status SegmentStore::Sync() {
+  if (active_ == nullptr) {
+    return Status::IoError("segment store has no active segment: " + dir_);
+  }
+  return active_->Sync();
 }
 
 Result<std::string> SegmentStore::ReadAt(const RecordRef& ref,

@@ -8,6 +8,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/env.h"
 #include "common/integrity.h"
 #include "common/status.h"
 
@@ -25,6 +26,8 @@ class SegmentStore {
  public:
   struct Options {
     size_t segment_bytes = 1 << 20;  // roll to a new file past this size
+    /// I/O environment; nullptr = Env::Default().
+    Env* env = nullptr;
   };
 
   /// Opens (or creates) a store rooted at directory `dir`.
@@ -44,8 +47,25 @@ class SegmentStore {
   /// Random read of record `index`.
   Result<std::string> Read(uint64_t index) const;
 
-  /// Flushes the active segment to disk.
+  /// Pushes buffered writes to the OS. NOT a durability point, and a
+  /// no-op for a failed handle (its durable prefix is already visible).
   Status Flush();
+
+  /// Durability point: fsyncs the active segment. Sealed segments were
+  /// already synced when they were rolled.
+  Status Sync();
+
+  /// True once a write or sync on the active segment failed: appends
+  /// are being refused with the original (sticky) error — reads keep
+  /// serving every indexed record. ReopenActive() heals.
+  bool Failed() const {
+    return active_ == nullptr || active_->failed();
+  }
+
+  /// Heals a failed store by rolling to a fresh segment file. The
+  /// failed segment's acknowledged records stay readable (its torn
+  /// tail, if any, was never indexed and is truncated at next Open).
+  Status ReopenActive();
 
   /// Sequential scan from record 0. Usage:
   ///   for (auto it = store.Scan(); it.Valid(); it.Next()) use(it.record());
@@ -95,6 +115,10 @@ class SegmentStore {
   SegmentStore(std::string dir, Options options)
       : dir_(std::move(dir)), options_(options) {}
 
+  Env* env() const {
+    return options_.env != nullptr ? options_.env : Env::Default();
+  }
+
   std::string SegmentPath(uint32_t segment) const;
   Status RollSegment();
   Status ScanExisting();
@@ -106,7 +130,7 @@ class SegmentStore {
   IntegrityCounters recovery_;
   std::vector<RecordRef> index_;
   uint32_t num_segments_ = 0;
-  std::ofstream active_;
+  std::unique_ptr<WritableFile> active_;
   uint64_t active_bytes_ = 0;
 };
 

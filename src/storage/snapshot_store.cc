@@ -1,14 +1,150 @@
 #include "storage/snapshot_store.h"
 
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+
 #include "common/crc32c.h"
 #include "common/failpoint.h"
+#include "common/logging.h"
+#include "common/recordio.h"
+#include "common/strings.h"
 #include "obs/metrics.h"
 
 namespace structura::storage {
+namespace {
+
+/// Journal payload: "<page_id> <content>"; content may hold any bytes.
+std::string EncodeJournalEntry(uint64_t page_id,
+                               const std::string& content) {
+  std::string out =
+      StrFormat("%llu ", static_cast<unsigned long long>(page_id));
+  out += content;
+  return out;
+}
+
+}  // namespace
+
+Status SnapshotStore::ApplyJournalEntry(std::string_view payload) {
+  size_t space = payload.find(' ');
+  if (space == std::string_view::npos) {
+    return Status::Corruption("bad snapshot journal entry");
+  }
+  int64_t page_id = 0;
+  if (!ParseInt64(std::string(payload.substr(0, space)), &page_id) ||
+      page_id < 0) {
+    return Status::Corruption("bad snapshot journal page id");
+  }
+  std::string content(payload.substr(space + 1));
+  Result<uint32_t> applied =
+      Append(static_cast<uint64_t>(page_id), content);
+  return applied.ok() ? Status::OK() : applied.status();
+}
+
+Status SnapshotStore::AttachJournal(const std::string& dir, Env* env) {
+  if (attached_) {
+    return Status::FailedPrecondition("journal already attached");
+  }
+  env_ = env != nullptr ? env : Env::Default();
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create snapshot dir: " + ec.message());
+  }
+  journal_path_ = dir + "/snapshots.journal";
+  recovery_ = IntegrityCounters{};
+  // Replay whatever survived. Version numbers are implicit in entry
+  // order, so entries AFTER the first damaged region are dropped —
+  // applying them would renumber versions relative to what was
+  // acknowledged before the crash. Recovery must not trip armed
+  // failpoints meant for foreground traffic.
+  uint64_t keep_end = 0;
+  {
+    std::ifstream in(journal_path_, std::ios::binary);
+    if (in) {
+      std::string data((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+      ScopedFailpointSuppression shield;
+      FrameReader reader(data);
+      while (std::optional<FrameReader::Frame> frame = reader.Next()) {
+        if (frame->after_damage) break;
+        Status applied = ApplyJournalEntry(frame->payload);
+        if (!applied.ok()) {
+          ++recovery_.corrupt_records;
+          break;
+        }
+        ++recovery_.records_verified;
+        keep_end = frame->offset + kFrameHeaderBytes + frame->payload.size();
+      }
+      const FrameScanReport& report = reader.report();
+      if (report.damaged_regions > 0) {
+        recovery_.corrupt_records += report.damaged_regions;
+        STRUCTURA_LOG(kWarning)
+            << "snapshot journal " << journal_path_
+            << ": dropping entries past first damaged region (offset "
+            << report.first_damage_offset << ")";
+      }
+      recovery_.torn_tail_bytes += report.torn_tail_bytes;
+      if (data.size() > keep_end) {
+        // Truncate damage and torn tails so future appends extend a
+        // fully-valid prefix.
+        std::filesystem::resize_file(journal_path_, keep_end, ec);
+        if (ec) {
+          return Status::Internal("cannot truncate snapshot journal: " +
+                                  ec.message());
+        }
+      }
+    }
+  }
+  STRUCTURA_ASSIGN_OR_RETURN(
+      journal_, env_->NewWritableFile(journal_path_, /*truncate=*/false));
+  attached_ = true;
+  return Status::OK();
+}
+
+Status SnapshotStore::Sync() {
+  if (!attached_) return Status::OK();
+  if (journal_ == nullptr) {
+    return Status::IoError("snapshot journal unavailable: " + journal_path_);
+  }
+  return journal_->Sync();
+}
+
+Status SnapshotStore::ReopenJournal() {
+  if (!attached_) {
+    return Status::FailedPrecondition("no snapshot journal attached");
+  }
+  // Rebuild the full journal from memory: every acknowledged version is
+  // in memory, so the rewrite loses nothing the store ever promised.
+  journal_.reset();
+  std::string image;
+  for (const auto& [page_id, page] : pages_) {
+    for (uint32_t v = 0; v < page.versions.size(); ++v) {
+      Result<std::string> content = Get(page_id, v);
+      if (!content.ok()) return content.status();
+      AppendFrame(EncodeJournalEntry(page_id, *content), &image);
+    }
+  }
+  STRUCTURA_RETURN_IF_ERROR(AtomicReplaceFile(env_, journal_path_, image));
+  STRUCTURA_ASSIGN_OR_RETURN(
+      journal_, env_->NewWritableFile(journal_path_, /*truncate=*/false));
+  return Status::OK();
+}
 
 Result<uint32_t> SnapshotStore::Append(uint64_t page_id,
                                        const std::string& content) {
   STRUCTURA_FAILPOINT("snapshot.append");
+  if (attached_) {
+    // Journal before memory: an entry that fails to reach the OS is
+    // refused outright (sticky), never acknowledged-then-lost.
+    if (journal_ == nullptr) {
+      return Status::IoError("snapshot journal unavailable: " +
+                             journal_path_);
+    }
+    if (journal_->failed()) return journal_->sticky_status();
+    STRUCTURA_RETURN_IF_ERROR(
+        journal_->Append(FrameRecord(EncodeJournalEntry(page_id, content))));
+  }
   Page& page = pages_[page_id];
   uint32_t version = static_cast<uint32_t>(page.versions.size());
   full_copy_bytes_ += content.size();

@@ -3,10 +3,12 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/env.h"
 #include "common/integrity.h"
 #include "common/status.h"
 #include "storage/diff.h"
@@ -30,8 +32,37 @@ class SnapshotStore {
   SnapshotStore() : SnapshotStore(Options{}) {}
   explicit SnapshotStore(Options options) : options_(options) {}
 
+  /// Attaches a durable journal at `dir`/snapshots.journal (the
+  /// directory is created if needed). Any existing journal is replayed
+  /// into memory first — a torn tail from a crash is truncated away,
+  /// and entries past mid-file damage are dropped (reported in
+  /// recovery_report()) so version numbering stays consistent with
+  /// what was acknowledged. Every subsequent Append is journaled
+  /// (page id + full content, CRC-framed) before it mutates memory;
+  /// Sync() is the durability point. nullptr env = Env::Default().
+  /// Call once, before any Append.
+  Status AttachJournal(const std::string& dir, Env* env = nullptr);
+
+  /// Durability point for journaled appends (no-op when detached).
+  Status Sync();
+
+  /// True once a journal write/sync failed: appends are being refused
+  /// with the sticky error — reads keep serving. ReopenJournal() heals.
+  bool Failed() const {
+    return attached_ && (journal_ == nullptr || journal_->failed());
+  }
+
+  /// Heals a failed journal by atomically rewriting it from the
+  /// in-memory state (every page, every version) and opening a fresh
+  /// handle.
+  Status ReopenJournal();
+
+  /// What AttachJournal's replay found (zeros for a clean journal).
+  const IntegrityCounters& recovery_report() const { return recovery_; }
+
   /// Appends `content` as the next version of `page_id`. Versions must be
-  /// added in order starting at 0.
+  /// added in order starting at 0. When a journal is attached the entry
+  /// is journaled first; a failed journal refuses the append (sticky).
   Result<uint32_t> Append(uint64_t page_id, const std::string& content);
 
   /// Reconstructs a specific version. The result is verified against the
@@ -87,10 +118,20 @@ class SnapshotStore {
     std::vector<VersionEntry> versions;
   };
 
+  /// Replays one journal payload ("<page_id> <content>") into memory.
+  Status ApplyJournalEntry(std::string_view payload);
+
   Options options_;
   std::unordered_map<uint64_t, Page> pages_;
   size_t stored_bytes_ = 0;
   size_t full_copy_bytes_ = 0;
+
+  /// Durable journal state (inert until AttachJournal).
+  bool attached_ = false;
+  Env* env_ = nullptr;
+  std::string journal_path_;
+  std::unique_ptr<WritableFile> journal_;
+  IntegrityCounters recovery_;
 };
 
 }  // namespace structura::storage

@@ -205,7 +205,7 @@ TEST_F(SystemFixture, MaterializeAndRecover) {
   std::string dir = TempDir("materialize");
   {
     auto sys2_or =
-        core::System::Create(core::System::Options{dir, true, 42});
+        core::System::Create(core::System::Options{dir});
     ASSERT_TRUE(sys2_or.ok());
     auto sys2 = std::move(sys2_or).value();
     sys2->RegisterStandardOperators();
@@ -223,7 +223,7 @@ TEST_F(SystemFixture, MaterializeAndRecover) {
   }
   // Reopen from the same workspace: the final table is durable.
   auto again_or =
-      core::System::Create(core::System::Options{dir, true, 42});
+      core::System::Create(core::System::Options{dir});
   ASSERT_TRUE(again_or.ok());
   auto again = std::move(again_or).value();
   rdbms::Table* table = again->database()->GetTable("final");

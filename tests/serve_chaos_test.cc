@@ -18,6 +18,7 @@
 #include <gtest/gtest.h>
 
 #include "common/cancellation.h"
+#include "common/env.h"
 #include "common/failpoint.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
@@ -1318,6 +1319,131 @@ TEST(ServeChaosTest, WatchdogAutoScrubHealsTornSegmentTail) {
       << json;
 
   DumpArtifactsOnFailure(sys.get(), "heal");
+  sys->StopWatchdog();
+  std::filesystem::remove_all(sopts.workspace);
+}
+
+// A dying disk must brown the system out to read-only — writes refused
+// with an explained kUnavailable, reads serving the durable prefix —
+// and once the device recovers the watchdog must probe, heal the
+// latched WAL, and lift the brownout without operator intervention.
+TEST(ServeChaosTest, DiskFaultEngagesReadOnlyBrownoutAndHeals) {
+  core::System::Options sopts;
+  sopts.workspace = TempDir("readonly");
+  FaultInjectingEnv fenv;
+  sopts.env = &fenv;
+  auto sys_or = core::System::Create(sopts);
+  ASSERT_TRUE(sys_or.ok()) << sys_or.status().ToString();
+  std::unique_ptr<core::System> sys = std::move(sys_or).value();
+
+  text::DocumentCollection docs;
+  text::Document doc;
+  doc.id = 1;
+  doc.title = "Madison";
+  doc.text = "Madison has a population of 233,209.";
+  docs.docs.push_back(doc);
+  ASSERT_TRUE(sys->IngestCrawl(docs).ok());
+
+  rdbms::TableSchema schema;
+  schema.table_name = "ro_log";
+  schema.columns = {{"seq", rdbms::ValueType::kInt}};
+  ASSERT_TRUE(sys->database()->CreateTable(schema).ok());
+
+  Frontend::Options fopts;
+  fopts.num_threads = 2;
+  // Breakers stay out of the picture: this test isolates the read-only
+  // gate (Options::read_only_gate defaults to "storage.disk").
+  fopts.breaker.failure_threshold = 1000;
+  fopts.health = &sys->health();
+  Frontend fe(fopts);
+  std::atomic<int64_t> seq{0};
+  fe.RegisterOperator("read", [&](const RequestContext& ctx) {
+    auto hits = sys->KeywordSearch("Madison", 3, ctx.interrupt);
+    return hits.status();
+  });
+  fe.RegisterOperator("write", [&](const RequestContext& ctx) {
+    (void)ctx;
+    auto txn = sys->database()->Begin();
+    auto row = txn->Insert("ro_log", {rdbms::Value::Int(seq.fetch_add(1))});
+    if (!row.ok()) {
+      (void)txn->Abort();
+      return row.status();
+    }
+    return txn->Commit();
+  });
+  fe.MarkWrite("write");
+
+  // Healthy baseline: both paths serve.
+  ASSERT_TRUE(fe.Call("read", RequestContext{}).ok());
+  ASSERT_TRUE(fe.Call("write", RequestContext{}).ok());
+  sys->health().Evaluate();
+  ASSERT_EQ(sys->health().StateOf("storage.disk"), HealthState::kHealthy);
+
+  {
+    // The device stops accepting fsyncs: the next commit fails at its
+    // durability point and latches the WAL sticky.
+    ScopedFailpoint fp("env.sync", FailpointRegistry::Spec::Always());
+    Status failed = fe.Call("write", RequestContext{});
+    EXPECT_FALSE(failed.ok()) << failed.ToString();
+    EXPECT_TRUE(sys->ReadOnly()) << sys->ReadOnlyReason();
+
+    // The health signal probes the device (the probe fails too — the
+    // disk really is unwritable) and demotes storage.disk to critical.
+    sys->health().Evaluate();
+    ASSERT_EQ(sys->health().StateOf("storage.disk"), HealthState::kCritical)
+        << sys->HealthJson();
+
+    // Writes are now refused at the frontend with an explained
+    // kUnavailable; the handler (and the dying disk) is never touched.
+    auto meta = std::make_shared<ResponseMeta>();
+    RequestContext wctx;
+    wctx.response = meta;
+    Status refused = fe.Call("write", std::move(wctx));
+    EXPECT_EQ(refused.code(), StatusCode::kUnavailable)
+        << refused.ToString();
+    EXPECT_TRUE(meta->degraded);
+    EXPECT_NE(meta->degraded_reason.find("read-only"), std::string::npos)
+        << meta->degraded_reason;
+
+    // Reads keep serving the durable prefix.
+    EXPECT_TRUE(fe.Call("read", RequestContext{}).ok());
+
+    // The operator-facing report says so in as many words.
+    std::string report = sys->StatusReport();
+    EXPECT_NE(report.find("READ-ONLY"), std::string::npos) << report;
+  }  // the device recovers: failpoint disarmed
+
+  // The watchdog re-probes, heals the WAL via checkpoint, and the
+  // brownout lifts — no operator intervention.
+  core::System::WatchdogOptions wopts;
+  wopts.interval_ms = 5;
+  wopts.heal_cooldown_ms = 10;
+  sys->StartWatchdog(wopts);
+  Status write_again;
+  for (int attempt = 0; attempt < 400; ++attempt) {
+    write_again = fe.Call("write", RequestContext{});
+    if (write_again.ok()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(write_again.ok())
+      << write_again.ToString() << "\n" << sys->HealthJson();
+  EXPECT_FALSE(sys->ReadOnly()) << sys->ReadOnlyReason();
+  EXPECT_GE(sys->WatchdogAutoHeals(), 1u);
+
+  // The promote-slow streak walks storage.disk back to healthy.
+  HealthState state = sys->health().StateOf("storage.disk");
+  for (int attempt = 0; attempt < 400 && state != HealthState::kHealthy;
+       ++attempt) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    state = sys->health().StateOf("storage.disk");
+  }
+  EXPECT_EQ(state, HealthState::kHealthy) << sys->HealthJson();
+
+  ServingCounters c = fe.Counters();
+  EXPECT_GE(c.read_only_refused, 1u);
+  EXPECT_GE(c.unavailable, c.read_only_refused);
+
+  DumpArtifactsOnFailure(sys.get(), "readonly");
   sys->StopWatchdog();
   std::filesystem::remove_all(sopts.workspace);
 }
