@@ -183,9 +183,11 @@ class System {
   /// returns its error and heals nothing), then checkpoints the
   /// database (giving the WAL a fresh handle), rolls the intermediate
   /// log to a fresh segment, and rewrites the snapshot journal from
-  /// memory. Idempotent; the watchdog calls this automatically.
-  /// Assumes foreground writes are quiesced (same contract as the
-  /// watchdog's auto-scrub).
+  /// memory. Idempotent; the watchdog calls this automatically. Safe
+  /// under live transactional traffic: the heal checkpoint quiesces
+  /// writers itself (Database::Checkpoint takes shared table locks), so
+  /// it cannot persist another transaction's uncommitted rows. Snapshot
+  /// ingest, as ever, must not race the journal rewrite.
   Status HealStorage();
 
   /// The system's health ledger. Built-in signals (registered at

@@ -382,7 +382,58 @@ Status Database::Checkpoint() {
   if (options_.dir.empty()) {
     return Status::FailedPrecondition("ephemeral database");
   }
+  // Quiesce writers so the image is transactionally consistent: a
+  // shared table lock on every table (under a private txn id) conflicts
+  // with any writer's IX, and strict 2PL keeps that IX until the writer
+  // commits or aborts — so the image can never capture another
+  // transaction's uncommitted rows. The watchdog's auto-heal calls
+  // this concurrently with live traffic, which is why the quiesce
+  // lives here rather than in the callers. Locks are acquired without
+  // holding catalog_mutex_ (writers need it mid-statement; waiting on
+  // them while holding it would deadlock) and looped until the table
+  // set is stable, so a table created while we locked is covered too.
+  TxnId cp_txn = next_txn_.fetch_add(1);
+  std::unordered_set<std::string> locked;
+  Status result;
+  for (;;) {
+    std::vector<std::string> names;
+    {
+      std::lock_guard<std::mutex> catalog(catalog_mutex_);
+      for (const auto& [name, entry] : tables_) names.push_back(name);
+    }
+    for (const std::string& name : names) {
+      if (locked.count(name) > 0) continue;
+      if (Status s = locks_.Acquire(cp_txn, "t:" + name, LockMode::kShared);
+          !s.ok()) {
+        // Deadlock victim: give way to the foreground transaction. The
+        // caller (watchdog heal) simply retries after its cooldown.
+        locks_.ReleaseAll(cp_txn);
+        return s;
+      }
+      locked.insert(name);
+    }
+    // The image build re-checks the catalog under its own lock and
+    // bounces (raced=true) if a table slipped in after the pass above;
+    // the next pass locks it too.
+    bool raced = false;
+    result = CheckpointQuiesced(locked, &raced);
+    if (!raced) break;
+  }
+  locks_.ReleaseAll(cp_txn);
+  return result;
+}
+
+Status Database::CheckpointQuiesced(
+    const std::unordered_set<std::string>& locked, bool* raced) {
   std::lock_guard<std::mutex> catalog(catalog_mutex_);
+  for (const auto& [name, entry] : tables_) {
+    if (locked.count(name) == 0) {
+      // Created after the quiesce pass: without its table lock the
+      // image could capture an in-flight writer's uncommitted rows.
+      *raced = true;
+      return Status::OK();
+    }
+  }
   std::string image;
   for (const auto& [name, entry] : tables_) {
     std::lock_guard<std::mutex> latch(entry->latch);
@@ -609,8 +660,16 @@ Result<RowId> Transaction::Insert(const std::string& table, Row row) {
     std::lock_guard<std::mutex> latch(entry->latch);
     STRUCTURA_ASSIGN_OR_RETURN(after, entry->table->Get(id));
   }
-  STRUCTURA_RETURN_IF_ERROR(
-      Log(LogRecord::Type::kInsert, table, id, {}, after));
+  if (Status logged = Log(LogRecord::Type::kInsert, table, id, {}, after);
+      !logged.ok()) {
+    // The WAL refused the record: the statement fails, so the physical
+    // insert above must leave no trace — otherwise a later heal
+    // checkpoint would durably persist a write the client was told
+    // failed.
+    std::lock_guard<std::mutex> latch(entry->latch);
+    entry->table->Delete(id);
+    return logged;
+  }
   undo_.push_back(UndoEntry{LogRecord::Type::kInsert, table, id, {}});
   return id;
 }
@@ -632,8 +691,13 @@ Status Transaction::Update(const std::string& table, RowId id, Row row) {
     STRUCTURA_ASSIGN_OR_RETURN(before, entry->table->Get(id));
     STRUCTURA_RETURN_IF_ERROR(entry->table->Update(id, row));
   }
-  STRUCTURA_RETURN_IF_ERROR(
-      Log(LogRecord::Type::kUpdate, table, id, before, row));
+  if (Status logged = Log(LogRecord::Type::kUpdate, table, id, before, row);
+      !logged.ok()) {
+    // Refused write leaves no trace: restore the before-image.
+    std::lock_guard<std::mutex> latch(entry->latch);
+    entry->table->Update(id, before);
+    return logged;
+  }
   undo_.push_back(
       UndoEntry{LogRecord::Type::kUpdate, table, id, std::move(before)});
   return Status::OK();
@@ -656,8 +720,13 @@ Status Transaction::Delete(const std::string& table, RowId id) {
     STRUCTURA_ASSIGN_OR_RETURN(before, entry->table->Get(id));
     STRUCTURA_RETURN_IF_ERROR(entry->table->Delete(id));
   }
-  STRUCTURA_RETURN_IF_ERROR(
-      Log(LogRecord::Type::kDelete, table, id, before, {}));
+  if (Status logged = Log(LogRecord::Type::kDelete, table, id, before, {});
+      !logged.ok()) {
+    // Refused write leaves no trace: reinstate the deleted row.
+    std::lock_guard<std::mutex> latch(entry->latch);
+    entry->table->InsertAt(id, before);
+    return logged;
+  }
   undo_.push_back(
       UndoEntry{LogRecord::Type::kDelete, table, id, std::move(before)});
   return Status::OK();

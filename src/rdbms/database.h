@@ -7,6 +7,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "rdbms/lock_manager.h"
@@ -63,6 +64,11 @@ class Database {
 
   /// Writes a full checkpoint (with a CRC32C footer) via atomic
   /// tmp+fsync+rename+dir-sync replacement, then truncates the WAL.
+  /// Quiesces foreground writers first — a shared lock on every table
+  /// waits out in-flight writing transactions — so the image is
+  /// transactionally consistent and safe to take under live traffic
+  /// (blocks until writers drain; may return kAborted as a deadlock
+  /// victim, in which case the caller should retry).
   /// Because Reset() opens a fresh WAL file handle, a successful
   /// checkpoint is also the healing step for a sticky-failed WAL: the
   /// failed records were never acknowledged, and the durable checkpoint
@@ -103,6 +109,13 @@ class Database {
   }
 
   Status Recover();
+  /// Checkpoint body; the public Checkpoint() holds shared locks on
+  /// every table in `locked` around this call so the image is
+  /// transactionally consistent and the WAL reset admits no
+  /// interleaved commit. Sets `*raced` (and writes nothing) when a
+  /// table not in `locked` appeared — the caller locks it and retries.
+  Status CheckpointQuiesced(const std::unordered_set<std::string>& locked,
+                            bool* raced);
   Status LoadCheckpoint(const std::string& path);
   /// Replays committed transactions. When `salvage` is set (the log had
   /// damaged regions or the checkpoint was rejected), records that no

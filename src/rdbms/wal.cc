@@ -219,11 +219,15 @@ Status WriteAheadLog::SyncTo(uint64_t ticket) {
       // covers every record our ticket refers to.
       return Status::OK();
     }
+    // A ticket the durable LSN already covers is acknowledged even if a
+    // LATER append latched the file sticky: its record is fsynced, and
+    // refusing it would roll back in memory a commit that a crash would
+    // then resurrect from the log.
+    if (durable_lsn_ >= ticket) return Status::OK();
     if (file_ == nullptr) {
       return Status::IoError("wal has no open file: " + path_);
     }
     if (file_->failed()) return file_->sticky_status();
-    if (durable_lsn_ >= ticket) return Status::OK();
     if (sync_in_progress_) {
       sync_cv_.wait(lock);
       continue;

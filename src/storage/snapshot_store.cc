@@ -114,16 +114,65 @@ Status SnapshotStore::ReopenJournal() {
   if (!attached_) {
     return Status::FailedPrecondition("no snapshot journal attached");
   }
-  // Rebuild the full journal from memory: every acknowledged version is
-  // in memory, so the rewrite loses nothing the store ever promised.
+  // Rebuild the full journal from memory. Bit-rot may have made some
+  // versions unreconstructable — a heal runs in exactly that state —
+  // so a damaged version is rewritten from the newest older version
+  // that still verifies (the same last-good contract GetWithFallback
+  // gives readers) instead of failing the whole rewrite, which would
+  // wedge every heal attempt and leave the system read-only even after
+  // the disk recovers. A version with no clean ancestor at all
+  // truncates its page there, in memory and journal together, so the
+  // implicit order-is-version numbering stays aligned across restarts.
+  // Everything degraded or dropped is counted and logged.
   journal_.reset();
+  static obs::Counter* degraded_rewrites =
+      obs::MetricsRegistry::Default().GetCounter(
+          "storage.snapshot.heal_degraded_versions");
+  static obs::Counter* dropped_versions =
+      obs::MetricsRegistry::Default().GetCounter(
+          "storage.snapshot.heal_dropped_versions");
   std::string image;
-  for (const auto& [page_id, page] : pages_) {
+  for (auto& [page_id, page] : pages_) {
     for (uint32_t v = 0; v < page.versions.size(); ++v) {
-      Result<std::string> content = Get(page_id, v);
-      if (!content.ok()) return content.status();
-      AppendFrame(EncodeJournalEntry(page_id, *content), &image);
+      Result<ReadResult> content = GetWithFallback(page_id, v);
+      if (!content.ok()) {
+        size_t drop = page.versions.size() - v;
+        dropped_versions->Add(drop);
+        STRUCTURA_LOG(kWarning)
+            << "snapshot heal: page " << page_id
+            << " has no clean version at or below " << v << "; dropping "
+            << drop << " version(s): " << content.status().ToString();
+        for (uint32_t d = v; d < page.versions.size(); ++d) {
+          const VersionEntry& e = page.versions[d];
+          stored_bytes_ -=
+              e.is_full ? e.full.size() : e.delta.size();
+        }
+        page.versions.resize(v);
+        break;
+      }
+      if (content->degraded) {
+        degraded_rewrites->Increment();
+        STRUCTURA_LOG(kWarning)
+            << "snapshot heal: page " << page_id << " version " << v
+            << " rewritten degraded (" << content->reason << ")";
+        // Repair memory to match the rewritten journal: replace the
+        // unreconstructable entry with a full copy of the last-good
+        // content — exactly what a restart replaying the new journal
+        // would yield — so later versions of the page re-verify and
+        // appends flow again instead of tripping over the dead delta.
+        VersionEntry& ve = page.versions[v];
+        stored_bytes_ -= ve.is_full ? ve.full.size() : ve.delta.size();
+        ve.is_full = true;
+        ve.full = content->content;
+        ve.delta.clear();
+        ve.content_crc = Crc32c(ve.full);
+        stored_bytes_ += ve.full.size();
+      }
+      AppendFrame(EncodeJournalEntry(page_id, content->content), &image);
     }
+  }
+  for (auto it = pages_.begin(); it != pages_.end();) {
+    it = it->second.versions.empty() ? pages_.erase(it) : std::next(it);
   }
   STRUCTURA_RETURN_IF_ERROR(AtomicReplaceFile(env_, journal_path_, image));
   STRUCTURA_ASSIGN_OR_RETURN(
@@ -134,20 +183,17 @@ Status SnapshotStore::ReopenJournal() {
 Result<uint32_t> SnapshotStore::Append(uint64_t page_id,
                                        const std::string& content) {
   STRUCTURA_FAILPOINT("snapshot.append");
-  if (attached_) {
-    // Journal before memory: an entry that fails to reach the OS is
-    // refused outright (sticky), never acknowledged-then-lost.
-    if (journal_ == nullptr) {
-      return Status::IoError("snapshot journal unavailable: " +
-                             journal_path_);
-    }
-    if (journal_->failed()) return journal_->sticky_status();
-    STRUCTURA_RETURN_IF_ERROR(
-        journal_->Append(FrameRecord(EncodeJournalEntry(page_id, content))));
-  }
-  Page& page = pages_[page_id];
-  uint32_t version = static_cast<uint32_t>(page.versions.size());
-  full_copy_bytes_ += content.size();
+  // Stage the whole version entry BEFORE journaling: the delta build
+  // can fail (a corrupt predecessor refuses to reconstruct), and an
+  // entry that reached the journal but never reached memory would
+  // shift every later acknowledged version of the page by one on
+  // replay — an acked version N reading back as different content.
+  // Once the entry is staged, the in-memory append cannot fail, so
+  // journal order stays identical to acknowledged version order.
+  auto it = pages_.find(page_id);
+  uint32_t version =
+      it == pages_.end() ? 0
+                         : static_cast<uint32_t>(it->second.versions.size());
 
   VersionEntry entry;
   entry.content_crc = Crc32c(content);
@@ -156,7 +202,6 @@ Result<uint32_t> SnapshotStore::Append(uint64_t page_id,
   if (version == 0 || keyframe) {
     entry.is_full = true;
     entry.full = content;
-    stored_bytes_ += entry.full.size();
   } else {
     // Reconstruct the previous version to diff against. Appends are
     // sequential, so this walks at most keyframe_interval deltas.
@@ -171,16 +216,29 @@ Result<uint32_t> SnapshotStore::Append(uint64_t page_id,
       entry.is_full = true;
       entry.full = content;
       entry.delta.clear();
-      stored_bytes_ += entry.full.size();
-    } else {
-      stored_bytes_ += entry.delta.size();
     }
   }
   // Deterministic bit-rot injection over whichever representation was
   // stored; the checksum above was taken first, so Get() detects it.
+  // The journal below carries the pristine content either way.
   std::string* stored = entry.is_full ? &entry.full : &entry.delta;
   STRUCTURA_RETURN_IF_ERROR(MaybeCorrupt("snapshot.delta", stored));
-  page.versions.push_back(std::move(entry));
+
+  if (attached_) {
+    // Journal before memory: an entry that fails to reach the OS is
+    // refused outright (sticky), never acknowledged-then-lost.
+    if (journal_ == nullptr) {
+      return Status::IoError("snapshot journal unavailable: " +
+                             journal_path_);
+    }
+    if (journal_->failed()) return journal_->sticky_status();
+    STRUCTURA_RETURN_IF_ERROR(
+        journal_->Append(FrameRecord(EncodeJournalEntry(page_id, content))));
+  }
+
+  full_copy_bytes_ += content.size();
+  stored_bytes_ += entry.is_full ? entry.full.size() : entry.delta.size();
+  pages_[page_id].versions.push_back(std::move(entry));
   return version;
 }
 

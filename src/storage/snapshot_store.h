@@ -54,7 +54,14 @@ class SnapshotStore {
 
   /// Heals a failed journal by atomically rewriting it from the
   /// in-memory state (every page, every version) and opening a fresh
-  /// handle.
+  /// handle. A version whose delta chain no longer reconstructs (bit
+  /// rot) is rewritten — on disk and in memory — from its newest clean
+  /// ancestor (GetWithFallback semantics, a full copy of the last-good
+  /// content), so one corrupt version cannot wedge the heal; a page
+  /// with no clean version at all is truncated at the damage (memory
+  /// and journal together, keeping version numbering aligned). Both
+  /// cases are logged and counted
+  /// (`storage.snapshot.heal_{degraded,dropped}_versions`).
   Status ReopenJournal();
 
   /// What AttachJournal's replay found (zeros for a clean journal).

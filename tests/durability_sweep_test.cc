@@ -12,6 +12,10 @@
 //     again and the healed state survives another reopen.
 // Run plain and under -DSTRUCTURA_SANITIZE=address.
 
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <mutex>
@@ -48,8 +52,11 @@ using storage::SnapshotStore;
 using FpSpec = FailpointRegistry::Spec;
 
 std::string TempDir(const std::string& tag) {
+  // Per-process suffix: ctest -j runs tests from this binary in parallel
+  // processes, and several tests share a tag.
   std::string dir = (std::filesystem::temp_directory_path() /
-                     ("structura_durable_" + tag))
+                     ("structura_durable_" + tag + "_" +
+                      std::to_string(::getpid())))
                         .string();
   std::filesystem::remove_all(dir);
   std::filesystem::create_directories(dir);
@@ -497,6 +504,234 @@ TEST(DurabilitySweepTest, WalAppendSurfacesIoErrorNotStreamState) {
     ASSERT_FALSE(s.ok());
     EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
   }
+  std::filesystem::remove_all(dir);
+}
+
+// ------------------------------------------- refused writes leave no trace
+
+TEST(DurabilitySweepTest, RefusedStatementLeavesNoTraceAfterHealCheckpoint) {
+  // A statement whose WAL append is refused must not leave its physical
+  // mutation behind: the client was told it failed, so neither the
+  // in-memory table nor the post-heal checkpoint may contain it.
+  std::string dir = TempDir("refused_stmt");
+  FaultInjectingEnv fenv;
+  DatabaseOptions dopts;
+  dopts.dir = dir;
+  dopts.wal.env = &fenv;
+  auto db = Database::Open(dopts);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->CreateTable(KvSchema()).ok());
+  {
+    auto txn = (*db)->Begin();
+    ASSERT_TRUE(txn->Insert("kv", {Value::Str("k1"), Value::Int(1)}).ok());
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  rdbms::RowId update_target = 0;
+  {
+    auto txn = (*db)->Begin();
+    auto rid = txn->Insert("kv", {Value::Str("k2"), Value::Int(2)});
+    ASSERT_TRUE(rid.ok());
+    update_target = *rid;
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+
+  {
+    ScopedFailpoint fp("env.write", FpSpec::Always());
+    auto txn = (*db)->Begin();
+    // Insert refused: the physically inserted row must be reverted.
+    EXPECT_FALSE(
+        txn->Insert("kv", {Value::Str("k3"), Value::Int(3)}).ok());
+    (void)txn->Abort();
+    // Update refused: the before-image must be restored.
+    auto txn2 = (*db)->Begin();
+    EXPECT_FALSE(
+        txn2->Update("kv", update_target,
+                     {Value::Str("k2"), Value::Int(99)})
+            .ok());
+    (void)txn2->Abort();
+    // Delete refused: the row must be reinstated.
+    auto txn3 = (*db)->Begin();
+    EXPECT_FALSE(txn3->Delete("kv", update_target).ok());
+    (void)txn3->Abort();
+  }
+  EXPECT_TRUE((*db)->WalFailed());
+
+  // Heal: the checkpoint captures the in-memory state and resets the
+  // WAL. If any refused statement left a trace, it becomes durable
+  // here — the bug this test pins down.
+  ASSERT_TRUE((*db)->Checkpoint().ok());
+  EXPECT_FALSE((*db)->WalFailed());
+  db->reset();
+
+  std::set<int64_t> present = RecoveredValues(dir);
+  EXPECT_TRUE(present.count(1));
+  EXPECT_TRUE(present.count(2));   // delete was refused: row survives
+  EXPECT_FALSE(present.count(3));  // insert was refused: no orphan row
+  EXPECT_FALSE(present.count(99));  // update was refused: old value stands
+  std::filesystem::remove_all(dir);
+}
+
+// --------------------------------------- durable tickets beat sticky errors
+
+TEST(DurabilitySweepTest, AlreadyDurableCommitNotRefusedByLaterStickyError) {
+  // A commit whose record is already fsynced must be acknowledged even
+  // after a LATER operation latched the file sticky: refusing it would
+  // roll back in memory a transaction a crash would then resurrect
+  // from the log.
+  std::string dir = TempDir("durable_ticket");
+  FaultInjectingEnv fenv;
+  WalOptions wopts;
+  wopts.env = &fenv;
+  auto wal = WriteAheadLog::Open(dir + "/wal.log", wopts);
+  ASSERT_TRUE(wal.ok());
+  LogRecord rec;
+  rec.type = LogRecord::Type::kCommit;
+  rec.txn = 1;
+  auto t1 = (*wal)->AppendRecord(rec);
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE((*wal)->WaitDurable(*t1).ok());  // fsynced: durable
+
+  rec.txn = 2;
+  Result<uint64_t> t2 = Status::Internal("not appended");
+  {
+    ScopedFailpoint fp("env.sync", FpSpec::Always());
+    t2 = (*wal)->AppendRecord(rec);
+    ASSERT_TRUE(t2.ok());  // the append landed; only the fsync fails
+    EXPECT_FALSE((*wal)->WaitDurable(*t2).ok());
+  }
+  EXPECT_TRUE((*wal)->Failed());
+  // Ticket 1 is covered by the durable LSN: acknowledged despite the
+  // sticky latch. Ticket 2 never reached disk: still refused.
+  EXPECT_TRUE((*wal)->WaitDurable(*t1).ok());
+  EXPECT_FALSE((*wal)->WaitDurable(*t2).ok());
+  std::filesystem::remove_all(dir);
+}
+
+// ------------------------------------------- checkpoint quiesces writers
+
+TEST(DurabilitySweepTest, CheckpointWaitsOutInFlightTransactions) {
+  // Checkpoint must not capture another transaction's uncommitted rows:
+  // it takes shared table locks, so it blocks until in-flight writers
+  // commit or abort, and an aborted transaction's rows never become
+  // durable.
+  std::string dir = TempDir("ckpt_quiesce");
+  DatabaseOptions dopts;
+  dopts.dir = dir;
+  auto db = Database::Open(dopts);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->CreateTable(KvSchema()).ok());
+  {
+    auto txn = (*db)->Begin();
+    ASSERT_TRUE(txn->Insert("kv", {Value::Str("k1"), Value::Int(1)}).ok());
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+
+  auto txn = (*db)->Begin();
+  ASSERT_TRUE(txn->Insert("kv", {Value::Str("k2"), Value::Int(2)}).ok());
+
+  std::atomic<bool> done{false};
+  Status ckpt_status;
+  std::thread checkpointer([&] {
+    ckpt_status = (*db)->Checkpoint();
+    done.store(true);
+  });
+  // The checkpoint must be parked behind the writer's IX lock.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_FALSE(done.load())
+      << "checkpoint completed while a writer was in flight";
+
+  ASSERT_TRUE(txn->Abort().ok());
+  checkpointer.join();
+  ASSERT_TRUE(ckpt_status.ok()) << ckpt_status.ToString();
+  db->reset();
+
+  // The aborted row is in neither the checkpoint nor the (reset) WAL.
+  std::set<int64_t> present = RecoveredValues(dir);
+  EXPECT_TRUE(present.count(1));
+  EXPECT_FALSE(present.count(2))
+      << "checkpoint durably captured an uncommitted row";
+  std::filesystem::remove_all(dir);
+}
+
+// --------------------------------------- heal survives bit-rotted versions
+
+TEST(DurabilitySweepTest, SnapshotHealSurvivesCorruptVersion) {
+  // One bit-rotted version must not wedge the heal: the journal rewrite
+  // substitutes the last-good ancestor for the dead delta (logged and
+  // counted) instead of failing every ReopenJournal and leaving the
+  // system permanently read-only.
+  std::string dir = TempDir("snap_heal_rot");
+  FaultInjectingEnv fenv;
+  SnapshotStore store;
+  ASSERT_TRUE(store.AttachJournal(dir, &fenv).ok());
+  ASSERT_TRUE(store.Append(1, "alpha").ok());
+  {
+    // Silent bit-rot in version 1's stored delta; the append acks.
+    ScopedFailpoint rot("snapshot.delta", FpSpec::FlipByteAt(1, 3));
+    ASSERT_TRUE(store.Append(1, "alpha and beta").ok());
+  }
+  ASSERT_TRUE(store.Append(2, "other page").ok());
+  ASSERT_TRUE(store.Sync().ok());
+  ASSERT_FALSE(store.Get(1, 1).ok());  // the rot is real
+
+  {
+    ScopedFailpoint fp("env.sync", FpSpec::Always());
+    EXPECT_FALSE(store.Sync().ok());
+  }
+  EXPECT_TRUE(store.Failed());
+
+  // Heal succeeds despite the unreconstructable version...
+  ASSERT_TRUE(store.ReopenJournal().ok());
+  EXPECT_FALSE(store.Failed());
+  // ...the damaged slot now serves the last-good content cleanly, with
+  // numbering intact...
+  ASSERT_EQ(*store.LatestVersion(1), 1u);
+  EXPECT_EQ(*store.Get(1, 0), "alpha");
+  EXPECT_EQ(*store.Get(1, 1), "alpha");  // substituted last-good
+  EXPECT_EQ(*store.Get(2, 0), "other page");
+  // ...and the page accepts appends again.
+  ASSERT_TRUE(store.Append(1, "gamma").ok());
+  ASSERT_TRUE(store.Sync().ok());
+
+  SnapshotStore reopened;
+  ASSERT_TRUE(reopened.AttachJournal(dir, nullptr).ok());
+  EXPECT_FALSE(reopened.recovery_report().AnyDamage());
+  ASSERT_EQ(*reopened.LatestVersion(1), 2u);
+  EXPECT_EQ(*reopened.Get(1, 1), "alpha");
+  EXPECT_EQ(*reopened.Get(1, 2), "gamma");
+  std::filesystem::remove_all(dir);
+}
+
+// ------------------------------------- journal order == acked version order
+
+TEST(DurabilitySweepTest, RefusedSnapshotAppendNeverReachesJournal) {
+  // An append that fails its delta build must leave no journal entry:
+  // otherwise a restart replays the refused write, shifting every later
+  // acknowledged version of the page by one.
+  std::string dir = TempDir("snap_stage");
+  FaultInjectingEnv fenv;
+  SnapshotStore store;
+  ASSERT_TRUE(store.AttachJournal(dir, &fenv).ok());
+  ASSERT_TRUE(store.Append(1, "alpha").ok());
+  {
+    ScopedFailpoint rot("snapshot.delta", FpSpec::FlipByteAt(1, 3));
+    ASSERT_TRUE(store.Append(1, "alpha and beta").ok());
+  }
+  // Version 1 is rotted in memory, so the next delta build fails and
+  // the append is refused — before anything reaches the journal.
+  EXPECT_FALSE(store.Append(1, "gamma").ok());
+  EXPECT_EQ(*store.LatestVersion(1), 1u);
+  EXPECT_FALSE(store.Failed());  // a refused append is not a disk failure
+  ASSERT_TRUE(store.Sync().ok());
+
+  // Restart: exactly the acknowledged versions come back, and the
+  // journal's pristine copy even heals the in-memory rot.
+  SnapshotStore reopened;
+  ASSERT_TRUE(reopened.AttachJournal(dir, nullptr).ok());
+  EXPECT_FALSE(reopened.recovery_report().AnyDamage());
+  ASSERT_EQ(*reopened.LatestVersion(1), 1u);
+  EXPECT_EQ(*reopened.Get(1, 0), "alpha");
+  EXPECT_EQ(*reopened.Get(1, 1), "alpha and beta");
   std::filesystem::remove_all(dir);
 }
 
