@@ -1,0 +1,175 @@
+// E20 — crash-recovery cost curve. The crash-simulation harness
+// (tests/crash_sim_test.cc) proves recovery is *correct* at every cut
+// point; this bench measures what recovery *costs* as a function of the
+// two knobs an operator actually controls: how long the WAL is allowed
+// to grow and how stale the last checkpoint is. Each scenario builds a
+// workspace with a known (checkpoint_rows, wal_records) shape, then
+// times cold `Database::Open` — checkpoint load + full log replay —
+// several times. Results land in BENCH_e20.json so successive runs are
+// diffable; this seeds the repo's bench-artifact trajectory.
+//
+// Usage: bench_e20_crash_recovery [out.json]
+//   (default output path: BENCH_e20.json in the working directory;
+//    $STRUCTURA_BENCH_OUT overrides when no argument is given)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rdbms/database.h"
+
+namespace structura {
+namespace {
+
+using rdbms::Database;
+using rdbms::TableSchema;
+using rdbms::Value;
+using rdbms::ValueType;
+
+constexpr int kRepeats = 7;
+
+struct Scenario {
+  // Rows committed before the checkpoint (0 = no checkpoint at all).
+  int checkpoint_rows = 0;
+  // Committed single-insert transactions left in the WAL after the
+  // checkpoint — the "checkpoint age" measured in transactions.
+  int wal_records = 0;
+};
+
+struct RunResult {
+  Scenario scenario;
+  std::vector<double> open_ms;  // sorted ascending after Measure()
+};
+
+double NowMs() {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+TableSchema FinalSchema() {
+  TableSchema schema;
+  schema.table_name = "final";
+  schema.columns = {{"subject", ValueType::kString},
+                    {"value", ValueType::kInt}};
+  return schema;
+}
+
+std::string BenchDir(const Scenario& s) {
+  std::string dir = (std::filesystem::temp_directory_path() /
+                     ("structura_e20_c" + std::to_string(s.checkpoint_rows) +
+                      "_w" + std::to_string(s.wal_records)))
+                        .string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+void InsertRows(Database* db, int begin, int count) {
+  for (int i = begin; i < begin + count; ++i) {
+    auto txn = db->Begin();
+    txn->Insert("final",
+                {Value::Str("s" + std::to_string(i)), Value::Int(i)})
+        .value();
+    if (!txn->Commit().ok()) std::abort();
+  }
+}
+
+// Builds a workspace whose durable state has exactly the scenario's
+// shape, then times cold opens over it.
+RunResult Measure(const Scenario& s) {
+  std::string dir = BenchDir(s);
+  {
+    auto db = std::move(Database::Open({dir})).value();
+    db->CreateTable(FinalSchema()).value();
+    if (s.checkpoint_rows > 0) {
+      InsertRows(db.get(), 0, s.checkpoint_rows);
+      if (!db->Checkpoint().ok()) std::abort();
+    }
+    InsertRows(db.get(), s.checkpoint_rows, s.wal_records);
+    // Drop without a final checkpoint: the WAL tail is live and every
+    // Open below replays it in full, as after a crash.
+  }
+
+  RunResult result;
+  result.scenario = s;
+  for (int r = 0; r < kRepeats; ++r) {
+    double start = NowMs();
+    auto db = std::move(Database::Open({dir})).value();
+    double elapsed = NowMs() - start;
+    if (db->GetTable("final") == nullptr) {
+      std::fprintf(stderr, "e20: table missing after recovery\n");
+      std::abort();
+    }
+    result.open_ms.push_back(elapsed);
+  }
+  std::sort(result.open_ms.begin(), result.open_ms.end());
+  std::filesystem::remove_all(dir);
+  return result;
+}
+
+std::string ToJson(const std::vector<RunResult>& runs) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(3);
+  out << "{\n"
+      << "  \"bench\": \"e20_crash_recovery\",\n"
+      << "  \"unit\": \"ms\",\n"
+      << "  \"repeats\": " << kRepeats << ",\n"
+      << "  \"runs\": [\n";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const RunResult& r = runs[i];
+    const std::vector<double>& ms = r.open_ms;
+    out << "    {\"checkpoint_rows\": " << r.scenario.checkpoint_rows
+        << ", \"wal_records\": " << r.scenario.wal_records
+        << ", \"open_ms_min\": " << ms.front()
+        << ", \"open_ms_p50\": " << ms[ms.size() / 2]
+        << ", \"open_ms_max\": " << ms.back() << "}"
+        << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+}  // namespace
+}  // namespace structura
+
+int main(int argc, char** argv) {
+  using structura::Measure;
+  using structura::RunResult;
+  using structura::Scenario;
+
+  // Axis 1: recovery time vs. WAL length, no checkpoint (worst case —
+  // the whole history replays). Axis 2: a fixed 4096-row table with
+  // checkpoints of varying age, isolating replay cost from image load.
+  const std::vector<Scenario> scenarios = {
+      {0, 0},       {0, 256},     {0, 1024},   {0, 4096},
+      {4096, 0},    {3584, 512},  {2048, 2048},
+  };
+
+  std::vector<RunResult> runs;
+  for (const Scenario& s : scenarios) {
+    RunResult r = Measure(s);
+    std::printf("checkpoint_rows=%-5d wal_records=%-5d open_p50=%.3fms\n",
+                s.checkpoint_rows, s.wal_records,
+                r.open_ms[r.open_ms.size() / 2]);
+    runs.push_back(std::move(r));
+  }
+
+  const char* env_out = std::getenv("STRUCTURA_BENCH_OUT");
+  std::string out_path =
+      argc > 1 ? argv[1] : (env_out != nullptr ? env_out : "BENCH_e20.json");
+  std::ofstream out(out_path, std::ios::trunc);
+  out << structura::ToJson(runs);
+  out.close();
+  if (!out) {
+    std::fprintf(stderr, "e20: failed writing %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -32,6 +32,18 @@ mkdir -p "$STRUCTURA_ARTIFACT_DIR"
 echo "==> plain build + tests"
 run_suite "$repo_root/build"
 
+echo "==> randomized crash-simulation sweep (time-seeded)"
+# The deterministic boundary sweep (power-cut at every sync boundary)
+# already ran above as part of tier-1; this leg is the long randomized
+# sweep, labelled `sim` so it can scale independently. Seeding from the
+# wall clock makes every invocation explore fresh cut points; a failure
+# prints the exact STRUCTURA_SIM_SEED/STRUCTURA_SIM_CUT pair and drops
+# the repro line into STRUCTURA_ARTIFACT_DIR, so any red run replays
+# verbatim with no other state.
+STRUCTURA_SIM_SEED="${STRUCTURA_SIM_SEED:-$(date +%s)}" \
+STRUCTURA_SIM_ROUNDS="${STRUCTURA_SIM_ROUNDS:-100}" \
+  ctest --test-dir "$repo_root/build" --output-on-failure -L sim
+
 echo "==> address+undefined sanitizer build + tests"
 run_suite "$repo_root/build-asan" -DSTRUCTURA_SANITIZE=address,undefined
 

@@ -1,0 +1,103 @@
+#include "common/clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace structura {
+
+namespace {
+
+class RealClock : public Clock {
+ public:
+  int64_t NowNanos() override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  void SleepForNanos(int64_t nanos) override {
+    if (nanos <= 0) return;
+    std::this_thread::sleep_for(std::chrono::nanoseconds(nanos));
+  }
+
+  std::cv_status WaitFor(std::condition_variable& cv,
+                         std::unique_lock<std::mutex>& lock,
+                         int64_t nanos) override {
+    if (nanos <= 0) return std::cv_status::timeout;
+    return cv.wait_for(lock, std::chrono::nanoseconds(nanos));
+  }
+};
+
+}  // namespace
+
+Clock* Clock::Real() {
+  static RealClock* real = new RealClock();
+  return real;
+}
+
+SimulatedClock::SimulatedClock(Options options)
+    : options_(options),
+      // Start well above zero so "now - large_budget" style arithmetic
+      // in client code never goes negative.
+      now_(int64_t{1} << 30) {}
+
+void SimulatedClock::RaiseTo(int64_t target) {
+  int64_t cur = now_.load(std::memory_order_relaxed);
+  while (cur < target &&
+         !now_.compare_exchange_weak(cur, target, std::memory_order_acq_rel)) {
+  }
+  advanced_.notify_all();
+}
+
+void SimulatedClock::AdvanceNanos(int64_t nanos) {
+  if (nanos <= 0) return;
+  // Serialize external advances so now_ moves by exactly the sum of
+  // the requested steps.
+  std::lock_guard<std::mutex> guard(mutex_);
+  now_.fetch_add(nanos, std::memory_order_acq_rel);
+  advanced_.notify_all();
+}
+
+void SimulatedClock::SleepForNanos(int64_t nanos) {
+  if (nanos <= 0) return;
+  int64_t target = NowNanos() + nanos;
+  if (options_.auto_advance) {
+    RaiseTo(target);
+    // Give other runnable threads a chance, mimicking a real sleep's
+    // scheduling effect without its latency.
+    std::this_thread::yield();
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  advanced_.wait(lock, [&] { return NowNanos() >= target; });
+}
+
+std::cv_status SimulatedClock::WaitFor(std::condition_variable& cv,
+                                       std::unique_lock<std::mutex>& lock,
+                                       int64_t nanos) {
+  if (nanos <= 0) return std::cv_status::timeout;
+  int64_t target = NowNanos() + nanos;
+  if (options_.auto_advance) {
+    // Short real wait first so a notification racing with this wait is
+    // observed (the notifier holds/held `lock`'s mutex, same as with a
+    // real cv); then declare the simulated timeout elapsed.
+    std::cv_status real = cv.wait_for(
+        lock, std::chrono::nanoseconds(options_.real_wait_slice_nanos));
+    RaiseTo(target);
+    return real == std::cv_status::no_timeout ? std::cv_status::no_timeout
+                                              : std::cv_status::timeout;
+  }
+  // Manual mode: one bounded real-time slice, handed back to the
+  // caller as a (possibly spurious) wakeup. Returning every slice —
+  // rather than looping here until notified — lets predicate loops
+  // re-check under the held lock, so a notify_all that fires between
+  // slices (when this thread is NOT parked in wait_for) can never be
+  // lost. Timeout is reported only once simulated time really passed
+  // the target.
+  std::cv_status real = cv.wait_for(lock, std::chrono::milliseconds(1));
+  if (real == std::cv_status::no_timeout) return std::cv_status::no_timeout;
+  return NowNanos() >= target ? std::cv_status::timeout
+                              : std::cv_status::no_timeout;
+}
+
+}  // namespace structura

@@ -1,0 +1,122 @@
+#ifndef STRUCTURA_COMMON_CLOCK_H_
+#define STRUCTURA_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace structura {
+
+/// Injectable time source, the second half of the simulation boundary
+/// that Env opened for storage I/O: everything timing-dependent
+/// (deadlines, breaker cooldowns, group-commit windows, retry backoff,
+/// the watchdog tick) reads time and sleeps through a Clock so tests
+/// can swap in SimulatedClock and make timing deterministic — a
+/// 30-second brownout plays out in microseconds, and two runs with the
+/// same seed schedule identically.
+///
+/// Time is a raw monotonic nanosecond count, not a time_point: a
+/// simulated clock has no epoch relationship with steady_clock, so
+/// exposing one would invite mixing the two.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Process-wide real (steady_clock) implementation.
+  static Clock* Real();
+  /// Resolves the ubiquitous "nullptr means real time" option default.
+  static Clock* OrReal(Clock* clock) { return clock ? clock : Real(); }
+
+  /// Monotonic now, in nanoseconds. Starts at an arbitrary positive
+  /// value; only differences are meaningful.
+  virtual int64_t NowNanos() = 0;
+
+  /// Blocks the caller for `nanos` of *this clock's* time. A simulated
+  /// clock in auto-advance mode returns immediately after bumping time.
+  virtual void SleepForNanos(int64_t nanos) = 0;
+
+  /// cv.wait_for against this clock: blocks until notified or until
+  /// `nanos` of clock time passed. Spurious wakeups are allowed (as
+  /// with the raw primitive); callers loop on their predicate. `lock`
+  /// must be held, as for condition_variable::wait_for.
+  virtual std::cv_status WaitFor(std::condition_variable& cv,
+                                 std::unique_lock<std::mutex>& lock,
+                                 int64_t nanos) = 0;
+
+  void SleepForMillis(uint64_t ms) {
+    SleepForNanos(static_cast<int64_t>(ms) * 1'000'000);
+  }
+  void SleepForMicros(uint64_t us) {
+    SleepForNanos(static_cast<int64_t>(us) * 1'000);
+  }
+
+  /// wait_for with a predicate: returns the predicate's value at exit
+  /// (true = condition met, false = timed out first).
+  template <typename Pred>
+  bool WaitForPred(std::condition_variable& cv,
+                   std::unique_lock<std::mutex>& lock, int64_t nanos,
+                   Pred pred) {
+    int64_t deadline = NowNanos() + nanos;
+    while (!pred()) {
+      int64_t left = deadline - NowNanos();
+      if (left <= 0) return pred();
+      WaitFor(cv, lock, left);
+    }
+    return true;
+  }
+};
+
+/// Deterministic test clock. Two modes:
+///
+///  - auto-advance (default): SleepForNanos and WaitFor timeouts
+///    advance simulated time by the full amount immediately, so code
+///    that sleeps or waits out a timer runs at full speed. WaitFor
+///    still performs one short *real* wait slice so cross-thread
+///    notifications keep working — a waiter observes either its (now
+///    already elapsed) timeout or the notification, and predicate
+///    loops terminate promptly either way.
+///  - manual: time moves only through AdvanceNanos/AdvanceMillis;
+///    sleepers and waiters block until the clock passes their wakeup
+///    point. For tests that step time across an exact boundary (e.g.
+///    "one nanosecond before the breaker cooldown expires").
+///
+/// Concurrent auto-advance uses advance-to-max, so two threads
+/// sleeping 10ms from the same instant both wake at +10ms (not +20ms),
+/// matching real time.
+class SimulatedClock : public Clock {
+ public:
+  struct Options {
+    bool auto_advance = true;
+    /// Real-time slice of each WaitFor in auto-advance mode.
+    int64_t real_wait_slice_nanos = 200'000;  // 0.2ms
+  };
+
+  SimulatedClock() : SimulatedClock(Options{}) {}
+  explicit SimulatedClock(Options options);
+
+  int64_t NowNanos() override { return now_.load(std::memory_order_acquire); }
+  void SleepForNanos(int64_t nanos) override;
+  std::cv_status WaitFor(std::condition_variable& cv,
+                         std::unique_lock<std::mutex>& lock,
+                         int64_t nanos) override;
+
+  /// Moves time forward and wakes blocked sleepers (manual mode).
+  void AdvanceNanos(int64_t nanos);
+  void AdvanceMillis(uint64_t ms) {
+    AdvanceNanos(static_cast<int64_t>(ms) * 1'000'000);
+  }
+
+ private:
+  /// Atomically raises now_ to at least `target`.
+  void RaiseTo(int64_t target);
+
+  Options options_;
+  std::atomic<int64_t> now_;
+  std::mutex mutex_;
+  std::condition_variable advanced_;
+};
+
+}  // namespace structura
+
+#endif  // STRUCTURA_COMMON_CLOCK_H_

@@ -4,56 +4,61 @@
 #include <chrono>
 #include <cstdint>
 
+#include "common/clock.h"
+
 namespace structura {
 
 /// A monotonic point in time after which a request should stop working.
-/// Built on steady_clock so wall-clock adjustments never shorten or
-/// extend a request's budget. Default-constructed deadlines are
-/// infinite: `Expired()` is always false and checks cost nothing beyond
-/// a comparison, so code can take a `Deadline` unconditionally.
+/// Reads time through an injectable Clock (default: the real
+/// steady_clock-backed one), so wall-clock adjustments never shorten or
+/// extend a request's budget and tests can expire deadlines by
+/// advancing a SimulatedClock instead of sleeping. Default-constructed
+/// deadlines are infinite: `Expired()` is always false and checks cost
+/// nothing beyond a comparison, so code can take a `Deadline`
+/// unconditionally.
 class Deadline {
  public:
-  using Clock = std::chrono::steady_clock;
-  using TimePoint = Clock::time_point;
-
   /// Infinite: never expires.
-  Deadline() : at_(TimePoint::max()) {}
+  Deadline() = default;
 
   static Deadline Infinite() { return Deadline(); }
-  static Deadline At(TimePoint tp) {
+
+  static Deadline AfterNanos(int64_t nanos, Clock* clock = nullptr) {
     Deadline d;
-    d.at_ = tp;
+    d.clock_ = Clock::OrReal(clock);
+    d.at_nanos_ = d.clock_->NowNanos() + nanos;
     return d;
   }
-  static Deadline AfterMillis(uint64_t ms) {
-    return At(Clock::now() + std::chrono::milliseconds(ms));
+  static Deadline AfterMillis(uint64_t ms, Clock* clock = nullptr) {
+    return AfterNanos(static_cast<int64_t>(ms) * 1'000'000, clock);
   }
-  static Deadline AfterMicros(uint64_t us) {
-    return At(Clock::now() + std::chrono::microseconds(us));
+  static Deadline AfterMicros(uint64_t us, Clock* clock = nullptr) {
+    return AfterNanos(static_cast<int64_t>(us) * 1'000, clock);
   }
 
-  bool IsInfinite() const { return at_ == TimePoint::max(); }
-  bool Expired() const { return !IsInfinite() && Clock::now() >= at_; }
-
-  TimePoint time_point() const { return at_; }
+  bool IsInfinite() const { return clock_ == nullptr; }
+  bool Expired() const {
+    return !IsInfinite() && clock_->NowNanos() >= at_nanos_;
+  }
 
   /// Time left before expiry, clamped at zero. Infinite deadlines report
   /// the maximum representable duration.
-  Clock::duration Remaining() const {
-    if (IsInfinite()) return Clock::duration::max();
-    TimePoint now = Clock::now();
-    return now >= at_ ? Clock::duration::zero() : at_ - now;
+  std::chrono::nanoseconds Remaining() const {
+    if (IsInfinite()) return std::chrono::nanoseconds::max();
+    int64_t left = at_nanos_ - clock_->NowNanos();
+    return std::chrono::nanoseconds(left > 0 ? left : 0);
   }
 
   uint64_t RemainingMillis() const {
     if (IsInfinite()) return UINT64_MAX;
-    auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
-        Remaining());
-    return static_cast<uint64_t>(ms.count());
+    return static_cast<uint64_t>(Remaining().count() / 1'000'000);
   }
 
  private:
-  TimePoint at_;
+  /// nullptr encodes the infinite deadline — a finite one always has a
+  /// clock to read.
+  Clock* clock_ = nullptr;
+  int64_t at_nanos_ = 0;
 };
 
 }  // namespace structura

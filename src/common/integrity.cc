@@ -12,20 +12,22 @@ void IntegrityCounters::Merge(const IntegrityCounters& other) {
   quarantined_segments += other.quarantined_segments;
   torn_tail_bytes += other.torn_tail_bytes;
   checkpoints_rejected += other.checkpoints_rejected;
+  stale_wal_records += other.stale_wal_records;
 }
 
 std::string IntegrityCounters::ToString() const {
   return StrFormat(
       "records_verified=%llu corrupt_records=%llu salvaged_records=%llu "
       "lost_txns=%llu quarantined_segments=%llu torn_tail_bytes=%llu "
-      "checkpoints_rejected=%llu",
+      "checkpoints_rejected=%llu stale_wal_records=%llu",
       static_cast<unsigned long long>(records_verified),
       static_cast<unsigned long long>(corrupt_records),
       static_cast<unsigned long long>(salvaged_records),
       static_cast<unsigned long long>(lost_txns),
       static_cast<unsigned long long>(quarantined_segments),
       static_cast<unsigned long long>(torn_tail_bytes),
-      static_cast<unsigned long long>(checkpoints_rejected));
+      static_cast<unsigned long long>(checkpoints_rejected),
+      static_cast<unsigned long long>(stale_wal_records));
 }
 
 }  // namespace structura

@@ -18,6 +18,8 @@ struct IntegrityCounters {
   uint64_t quarantined_segments = 0;  // segment files with mid-file damage
   uint64_t torn_tail_bytes = 0;    // trailing bytes truncated as torn
   uint64_t checkpoints_rejected = 0;  // checkpoint images failing their footer
+  uint64_t stale_wal_records = 0;  // records of a superseded (pre-checkpoint)
+                                   // log that resurrected and were dropped
 
   void Merge(const IntegrityCounters& other);
 

@@ -1,27 +1,32 @@
 #ifndef STRUCTURA_COMMON_STOPWATCH_H_
 #define STRUCTURA_COMMON_STOPWATCH_H_
 
-#include <chrono>
+#include <cstdint>
+
+#include "common/clock.h"
 
 namespace structura {
 
 /// Monotonic wall-clock stopwatch for coarse measurements in examples and
 /// experiment harnesses (benchmarks proper use google-benchmark timing).
+/// Takes an injectable Clock so simulated-time harnesses measure
+/// simulated elapsed time; nullptr = real time.
 class Stopwatch {
  public:
-  Stopwatch() : start_(Clock::now()) {}
+  explicit Stopwatch(Clock* clock = nullptr)
+      : clock_(Clock::OrReal(clock)), start_nanos_(clock_->NowNanos()) {}
 
-  void Reset() { start_ = Clock::now(); }
+  void Reset() { start_nanos_ = clock_->NowNanos(); }
 
   double ElapsedSeconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    return static_cast<double>(clock_->NowNanos() - start_nanos_) * 1e-9;
   }
 
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  Clock* clock_;
+  int64_t start_nanos_;
 };
 
 }  // namespace structura

@@ -49,6 +49,7 @@ Result<std::unique_ptr<System>> System::Create(Options options) {
   std::unique_ptr<System> sys(new System(std::move(options)));
   rdbms::DatabaseOptions db_options;
   db_options.wal.env = sys->options_.env;
+  db_options.wal.clock = sys->options_.clock;
   if (!sys->options_.workspace.empty()) {
     db_options.dir = sys->options_.workspace + "/db";
   }
@@ -260,18 +261,19 @@ void System::StopWatchdog() {
 }
 
 void System::WatchdogLoop() {
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point last_auto_scrub{};  // epoch: first scrub is immediate
-  Clock::time_point last_auto_heal{};
+  Clock* clk = clock();
+  int64_t last_auto_scrub = -1;  // -1: first scrub is immediate
+  int64_t last_auto_heal = -1;
   while (true) {
     health_.Evaluate();
     watchdog_ticks_.fetch_add(1);
     if (watchdog_options_.auto_heal &&
         health_.StateOf("storage.disk") != serve::HealthState::kHealthy) {
-      Clock::time_point now = Clock::now();
-      if (last_auto_heal == Clock::time_point{} ||
-          now - last_auto_heal >= std::chrono::milliseconds(
-                                      watchdog_options_.heal_cooldown_ms)) {
+      int64_t now = clk->NowNanos();
+      if (last_auto_heal < 0 ||
+          now - last_auto_heal >=
+              static_cast<int64_t>(watchdog_options_.heal_cooldown_ms) *
+                  1'000'000) {
         last_auto_heal = now;
         watchdog_heals_.fetch_add(1);
         // A failed heal (disk still dead) is fine: the signal stays
@@ -291,11 +293,12 @@ void System::WatchdogLoop() {
       bool storage_trouble =
           health_.StateOf("storage.wal") != serve::HealthState::kHealthy ||
           health_.StateOf("storage.segments") != serve::HealthState::kHealthy;
-      Clock::time_point now = Clock::now();
+      int64_t now = clk->NowNanos();
       bool cooled =
-          last_auto_scrub == Clock::time_point{} ||
+          last_auto_scrub < 0 ||
           now - last_auto_scrub >=
-              std::chrono::milliseconds(watchdog_options_.scrub_cooldown_ms);
+              static_cast<int64_t>(watchdog_options_.scrub_cooldown_ms) *
+                  1'000'000;
       if (storage_trouble && cooled) {
         last_auto_scrub = now;
         watchdog_scrubs_.fetch_add(1);
@@ -309,8 +312,9 @@ void System::WatchdogLoop() {
       }
     }
     std::unique_lock<std::mutex> lock(watchdog_mutex_);
-    if (watchdog_cv_.wait_for(
-            lock, std::chrono::milliseconds(watchdog_options_.interval_ms),
+    if (clk->WaitForPred(
+            watchdog_cv_, lock,
+            static_cast<int64_t>(watchdog_options_.interval_ms) * 1'000'000,
             [this] { return watchdog_stop_; })) {
       return;
     }

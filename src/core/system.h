@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/env.h"
 #include "common/integrity.h"
 #include "common/status.h"
@@ -58,6 +59,11 @@ class System {
     /// Env::Default(); tests pass a FaultInjectingEnv to exercise
     /// syscall-level failures.
     Env* env = nullptr;
+    /// Time source for every timer in the system (watchdog interval
+    /// and cooldowns, WAL group-commit window). nullptr = real time;
+    /// crash-simulation tests pass a SimulatedClock so runs are
+    /// deterministic and sweeps need not wait out real intervals.
+    Clock* clock = nullptr;
     bool optimize_plans = true;
     uint64_t seed = 42;
   };
@@ -345,6 +351,7 @@ class System {
   Env* env() const {
     return options_.env != nullptr ? options_.env : Env::Default();
   }
+  Clock* clock() const { return Clock::OrReal(options_.clock); }
 
   /// Registers the built-in storage/ie signals into health_ (called
   /// from Create, after the stores are open).

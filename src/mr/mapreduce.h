@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/cancellation.h"
+#include "common/clock.h"
 #include "common/failpoint.h"
 #include "common/hash.h"
 #include "common/random.h"
@@ -79,6 +80,9 @@ struct JobConfig {
   uint64_t retry_backoff_ms = 0;
   double backoff_multiplier = 2.0;
   uint64_t fault_seed = 7;
+  /// Time source for retry backoff sleeps. nullptr = real time; a
+  /// SimulatedClock makes backoff-heavy retry tests instantaneous.
+  Clock* clock = nullptr;
 };
 
 /// Counters reported by a finished job (also populated on failure, with
@@ -183,7 +187,7 @@ class MapReduceJob {
       for (int i = 2; i < attempt; ++i) delay *= config.backoff_multiplier;
       auto ms = static_cast<uint64_t>(delay);
       backoff_total_ms.fetch_add(ms);
-      std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+      Clock::OrReal(config.clock)->SleepForMillis(ms);
       return ms;
     };
     // Called exactly once per exit path: fills the caller's JobStats and

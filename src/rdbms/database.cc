@@ -109,6 +109,16 @@ Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
     STRUCTURA_RETURN_IF_ERROR(db->Recover());
     STRUCTURA_ASSIGN_OR_RETURN(
         db->wal_, WriteAheadLog::Open(db->WalPath(), db->options_.wal));
+    if (db->stale_wal_) {
+      // The on-disk log predates the loaded checkpoint — its
+      // truncation never became durable before a crash. Truncate it
+      // now and restamp the epoch marker so new appends never land
+      // after superseded content.
+      std::lock_guard<std::mutex> wal_lock(db->wal_mutex_);
+      STRUCTURA_RETURN_IF_ERROR(db->wal_->Reset());
+      STRUCTURA_RETURN_IF_ERROR(db->StampWalMarkerLocked());
+      db->stale_wal_ = false;
+    }
   }
   return db;
 }
@@ -127,6 +137,7 @@ Status Database::Recover() {
           << "checkpoint rejected (" << loaded.message()
           << "); falling back to WAL-only replay";
       tables_.clear();
+      checkpoint_seq_ = 0;
       ++recovery_.checkpoints_rejected;
       ++recovery_.corrupt_records;
       salvage = true;
@@ -164,6 +175,44 @@ Status Database::Recover() {
     if (ec) {
       return Status::Internal("cannot truncate torn wal tail: " +
                               ec.message());
+    }
+  }
+  // Stale-WAL detection. Each checkpoint stamps the freshly truncated
+  // log with a kCheckpoint epoch marker carrying the checkpoint's
+  // sequence number. If the checkpoint loaded but the log's first
+  // record is not a marker of at least that sequence, the truncation
+  // never became durable and this is the *superseded* pre-checkpoint
+  // log resurrected by a crash: replaying it over the checkpoint would
+  // double-apply (or outright fail on deletes of rows the checkpoint
+  // no longer has), so it is dropped wholesale. If damage destroyed
+  // the region where the marker would sit, staleness is unprovable and
+  // the log is replayed in salvage mode instead.
+  if (checkpoint_seq_ > 0 && !log.records.empty()) {
+    bool fresh = false;
+    const LogRecord& first = log.records.front();
+    if (first.type == LogRecord::Type::kCheckpoint) {
+      int64_t marker_seq = 0;
+      if (ParseInt64(first.payload, &marker_seq) && marker_seq >= 0 &&
+          static_cast<uint64_t>(marker_seq) >= checkpoint_seq_) {
+        fresh = true;
+      }
+    }
+    bool leading_damage = false;
+    for (size_t gap : log.gaps) {
+      if (gap == 0) leading_damage = true;
+    }
+    if (!fresh && leading_damage) {
+      salvage = true;
+    } else if (!fresh) {
+      STRUCTURA_LOG(kWarning)
+          << "wal predates checkpoint epoch "
+          << static_cast<unsigned long long>(checkpoint_seq_)
+          << " (resurrected pre-checkpoint log); dropping "
+          << log.records.size() << " stale records";
+      recovery_.stale_wal_records += log.records.size();
+      log.records.clear();
+      log.gaps.clear();
+      stale_wal_ = true;
     }
   }
   STRUCTURA_RETURN_IF_ERROR(ApplyCommitted(log, salvage));
@@ -316,7 +365,18 @@ Status Database::LoadCheckpoint(const std::string& path) {
     return true;
   };
   while (pos < data.size()) {
-    if (data.compare(pos, 6, "TABLE ") == 0) {
+    if (data.compare(pos, 5, "CKPT ") == 0) {
+      pos += 5;
+      std::string seq_str;
+      if (!read_to_newline(&seq_str)) {
+        return Status::Corruption("truncated checkpoint CKPT line");
+      }
+      int64_t seq = 0;
+      if (!ParseInt64(seq_str, &seq) || seq < 0) {
+        return Status::Corruption("bad checkpoint sequence");
+      }
+      checkpoint_seq_ = static_cast<uint64_t>(seq);
+    } else if (data.compare(pos, 6, "TABLE ") == 0) {
       pos += 6;
       std::string blob;
       if (!read_to_newline(&blob)) {
@@ -435,6 +495,11 @@ Status Database::CheckpointQuiesced(
     }
   }
   std::string image;
+  // Epoch header: ties this image to the kCheckpoint marker stamped
+  // into the truncated WAL below, so recovery can tell a legitimate
+  // post-checkpoint log from a resurrected pre-checkpoint one.
+  const uint64_t seq = checkpoint_seq_ + 1;
+  image += StrFormat("CKPT %llu\n", static_cast<unsigned long long>(seq));
   for (const auto& [name, entry] : tables_) {
     std::lock_guard<std::mutex> latch(entry->latch);
     std::string schema_blob = SerializeSchema(entry->table->schema());
@@ -470,10 +535,23 @@ Status Database::CheckpointQuiesced(
   // un-truncated WAL fully authoritative.
   STRUCTURA_RETURN_IF_ERROR(AtomicReplaceFile(
       env(), CheckpointPath(), image, "db.checkpoint.write"));
+  checkpoint_seq_ = seq;
   // Only now — with the new checkpoint durably in place — is the WAL
   // redundant and safe to truncate.
   std::lock_guard<std::mutex> wal_lock(wal_mutex_);
-  return wal_->Reset();
+  STRUCTURA_RETURN_IF_ERROR(wal_->Reset());
+  return StampWalMarkerLocked();
+}
+
+Status Database::StampWalMarkerLocked() {
+  LogRecord marker;
+  marker.type = LogRecord::Type::kCheckpoint;
+  marker.payload =
+      StrFormat("%llu", static_cast<unsigned long long>(checkpoint_seq_));
+  // Deliberately not synced: if the marker never reaches disk, neither
+  // did any later record (file writes are ordered), so the log reads
+  // back empty and the checkpoint is authoritative anyway.
+  return wal_->AppendRecord(marker).status();
 }
 
 Status Database::Scrub(IntegrityCounters* counters) {

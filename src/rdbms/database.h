@@ -117,6 +117,10 @@ class Database {
   Status CheckpointQuiesced(const std::unordered_set<std::string>& locked,
                             bool* raced);
   Status LoadCheckpoint(const std::string& path);
+  /// Appends the kCheckpoint epoch marker (payload: checkpoint_seq_)
+  /// as the first record of a freshly Reset() WAL. Caller holds
+  /// wal_mutex_.
+  Status StampWalMarkerLocked();
   /// Replays committed transactions. When `salvage` is set (the log had
   /// damaged regions or the checkpoint was rejected), records that no
   /// longer apply (e.g. writes to a table whose DDL was lost) are
@@ -137,6 +141,15 @@ class Database {
 
   DatabaseOptions options_;
   IntegrityCounters recovery_;
+  /// Sequence number of the loaded/last-written checkpoint (0: none).
+  /// Persisted as the image's leading "CKPT <seq>" line and mirrored
+  /// into the fresh WAL as a kCheckpoint marker record, so recovery
+  /// can tell a legitimate post-checkpoint log from a superseded one
+  /// whose truncation never reached disk.
+  uint64_t checkpoint_seq_ = 0;
+  /// Recover() found the WAL to be a resurrected pre-checkpoint log;
+  /// Open() truncates and restamps it before accepting writes.
+  bool stale_wal_ = false;
   mutable std::mutex catalog_mutex_;
   std::map<std::string, std::unique_ptr<TableEntry>> tables_;
   LockManager locks_;

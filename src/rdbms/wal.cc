@@ -105,7 +105,14 @@ Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
 Status WriteAheadLog::OpenFileLocked(bool truncate) {
   Env* env = options_.env != nullptr ? options_.env : Env::Default();
   STRUCTURA_ASSIGN_OR_RETURN(file_, env->NewWritableFile(path_, truncate));
-  return Status::OK();
+  // A freshly created log file exists only in its directory's entry;
+  // without a directory fsync a power cut can vanish the whole log, no
+  // matter how many times its contents were fsynced. Opening an
+  // existing file makes this a cheap no-op-equivalent.
+  size_t slash = path_.rfind('/');
+  std::string parent =
+      slash == std::string::npos ? std::string(".") : path_.substr(0, slash);
+  return env->SyncDir(parent);
 }
 
 std::string WriteAheadLog::Encode(const LogRecord& r) {
@@ -237,8 +244,10 @@ Status WriteAheadLog::SyncTo(uint64_t ticket) {
     sync_in_progress_ = true;
     if (options_.sync_policy == WalSyncPolicy::kGroupCommit &&
         options_.group_commit_window_us > 0) {
-      sync_cv_.wait_for(
-          lock, std::chrono::microseconds(options_.group_commit_window_us));
+      Clock::OrReal(options_.clock)
+          ->WaitFor(sync_cv_, lock,
+                    static_cast<int64_t>(options_.group_commit_window_us) *
+                        1'000);
     }
     WritableFile* file = file_.get();
     const uint64_t target = written_lsn_;
@@ -329,6 +338,9 @@ Status WriteAheadLog::Reset() {
   // checkpoint that triggered this reset; drop it and start fresh.
   file_.reset();
   Status opened = OpenFileLocked(/*truncate=*/true);
+  // Make the truncation itself durable: until an fsync covers it, a
+  // power cut can bring the entire superseded log back from the dead.
+  if (opened.ok()) opened = file_->Sync();
   appended_ = 0;
   written_lsn_ = 0;
   durable_lsn_ = 0;

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/env.h"
 #include "common/integrity.h"
 #include "common/recordio.h"
@@ -86,6 +87,8 @@ struct WalOptions {
   uint64_t group_commit_window_us = 100;
   /// I/O environment; nullptr = Env::Default().
   Env* env = nullptr;
+  /// Time source for the group-commit window; nullptr = real time.
+  Clock* clock = nullptr;
 };
 
 /// Append-only redo/undo log. Records are framed with a magic resync
@@ -161,7 +164,10 @@ class WriteAheadLog {
   /// Truncates the log (after a checkpoint made it redundant). Opens a
   /// fresh file handle, so this is also the recovery point for a
   /// sticky-failed log: the failed records were never acknowledged and
-  /// the checkpoint captured the authoritative state.
+  /// the checkpoint captured the authoritative state. The truncation
+  /// itself is fsynced before Reset returns — otherwise a crash could
+  /// resurrect the whole pre-checkpoint log and recovery would replay
+  /// records the checkpoint already contains.
   Status Reset();
 
   /// True once a write or sync failed: the log refuses further appends

@@ -16,7 +16,7 @@ const char* CircuitBreaker::StateName(State s) {
 
 void CircuitBreaker::OpenLocked() {
   state_ = State::kOpen;
-  opened_at_ = Clock::now();
+  opened_at_nanos_ = clock_->NowNanos();
   inflight_probes_ = 0;
   ++generation_;
   ++open_transitions_;
@@ -30,9 +30,9 @@ bool CircuitBreaker::Allow(uint64_t* admission) {
       admitted = true;
       break;
     case State::kOpen: {
-      auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
-          Clock::now() - opened_at_);
-      if (static_cast<uint64_t>(elapsed.count()) < options_.open_ms) {
+      int64_t elapsed_nanos = clock_->NowNanos() - opened_at_nanos_;
+      if (elapsed_nanos <
+          static_cast<int64_t>(options_.open_ms) * 1'000'000) {
         ++rejected_;
         break;
       }
@@ -40,7 +40,7 @@ bool CircuitBreaker::Allow(uint64_t* admission) {
       state_ = State::kHalfOpen;
       ++generation_;
       inflight_probes_ = 1;
-      last_probe_at_ = Clock::now();
+      last_probe_at_nanos_ = clock_->NowNanos();
       admitted = true;
       break;
     }
@@ -53,14 +53,13 @@ bool CircuitBreaker::Allow(uint64_t* admission) {
         // probe in the reclaimed slot. Without this, one wedged probe
         // parks the breaker in half-open forever.
         if (options_.probe_timeout_ms > 0 &&
-            static_cast<uint64_t>(
-                std::chrono::duration_cast<std::chrono::milliseconds>(
-                    Clock::now() - last_probe_at_)
-                    .count()) >= options_.probe_timeout_ms) {
+            clock_->NowNanos() - last_probe_at_nanos_ >=
+                static_cast<int64_t>(options_.probe_timeout_ms) *
+                    1'000'000) {
           ++generation_;
           ++probe_reclaims_;
           inflight_probes_ = 1;
-          last_probe_at_ = Clock::now();
+          last_probe_at_nanos_ = clock_->NowNanos();
           admitted = true;
           break;
         }
@@ -68,7 +67,7 @@ bool CircuitBreaker::Allow(uint64_t* admission) {
         break;
       }
       ++inflight_probes_;
-      last_probe_at_ = Clock::now();
+      last_probe_at_nanos_ = clock_->NowNanos();
       admitted = true;
       break;
   }

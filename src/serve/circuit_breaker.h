@@ -1,9 +1,10 @@
 #ifndef STRUCTURA_SERVE_CIRCUIT_BREAKER_H_
 #define STRUCTURA_SERVE_CIRCUIT_BREAKER_H_
 
-#include <chrono>
 #include <cstdint>
 #include <mutex>
+
+#include "common/clock.h"
 
 namespace structura::serve {
 
@@ -52,6 +53,10 @@ class CircuitBreaker {
     /// healthy probe is invalidated before it can report success and
     /// the breaker churns in half-open instead of re-closing.
     uint64_t probe_timeout_ms = 0;
+    /// Time source for the cooldown and reclamation timers. nullptr =
+    /// real time; tests inject a SimulatedClock to step the breaker
+    /// across its timing boundaries deterministically.
+    structura::Clock* clock = nullptr;
   };
 
   enum class State { kClosed, kOpen, kHalfOpen };
@@ -64,7 +69,8 @@ class CircuitBreaker {
   static const char* StateName(State s);
 
   CircuitBreaker() : CircuitBreaker(Options{}) {}
-  explicit CircuitBreaker(Options options) : options_(options) {}
+  explicit CircuitBreaker(Options options)
+      : options_(options), clock_(structura::Clock::OrReal(options.clock)) {}
 
   /// True when a call may proceed. An open breaker whose cooldown has
   /// elapsed transitions to half-open here and admits the caller as a
@@ -99,9 +105,8 @@ class CircuitBreaker {
   uint64_t probe_reclaims() const;
 
  private:
-  using Clock = std::chrono::steady_clock;
-
   Options options_;
+  structura::Clock* clock_;
   mutable std::mutex mutex_;
   State state_ = State::kClosed;
   uint32_t consecutive_failures_ = 0;
@@ -110,10 +115,10 @@ class CircuitBreaker {
   /// generation report into a world that no longer exists and are
   /// ignored (see class comment).
   uint64_t generation_ = 0;
-  Clock::time_point opened_at_{};
+  int64_t opened_at_nanos_ = 0;
   /// When the most recent half-open probe was admitted; the staleness
   /// anchor for probe-slot reclamation.
-  Clock::time_point last_probe_at_{};
+  int64_t last_probe_at_nanos_ = 0;
   uint64_t open_transitions_ = 0;
   uint64_t rejected_ = 0;
   uint64_t probe_reclaims_ = 0;

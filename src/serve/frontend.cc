@@ -20,8 +20,6 @@ constexpr uint64_t kCriticalCanaryEvery = 8;
 
 }  // namespace
 
-using Clock = std::chrono::steady_clock;
-
 std::string ServingCounters::ToString() const {
   std::string out = StrFormat(
       "issued=%llu admitted=%llu shed=%llu (brownout=%llu) not_found=%llu "
@@ -66,6 +64,7 @@ std::string ServingCounters::ToString() const {
 
 Frontend::Frontend(Options options)
     : options_(options),
+      clock_(structura::Clock::OrReal(options.clock)),
       registry_(options.registry != nullptr
                     ? options.registry
                     : &obs::MetricsRegistry::Default()),
@@ -139,8 +138,11 @@ Frontend::~Frontend() {
 
 void Frontend::RegisterOperator(const std::string& name, Handler handler) {
   std::lock_guard<std::mutex> lock(ops_mutex_);
+  CircuitBreaker::Options breaker_options = options_.breaker;
+  // Breakers tick on the frontend's clock unless the caller pinned one.
+  if (breaker_options.clock == nullptr) breaker_options.clock = clock_;
   auto [it, inserted] =
-      ops_.emplace(name, std::make_unique<Operator>(options_.breaker));
+      ops_.emplace(name, std::make_unique<Operator>(breaker_options));
   if (inserted) op_order_.push_back(name);
   it->second->handler = std::move(handler);
   it->second->span_name = obs::InternName("serve." + name);
@@ -231,9 +233,11 @@ std::future<Status> Frontend::Submit(const std::string& op_name,
     }
   }
 
-  Clock::time_point enqueued_at = Clock::now();
-  auto task = [this, op, op_name, ctx = std::move(ctx), enqueued_at,
-               done]() { Execute(op, op_name, ctx, enqueued_at, done.get()); };
+  int64_t enqueued_at_nanos = clock_->NowNanos();
+  auto task = [this, op, op_name, ctx = std::move(ctx), enqueued_at_nanos,
+               done]() {
+    Execute(op, op_name, ctx, enqueued_at_nanos, done.get());
+  };
   bool accepted;
   if (options_.shed_enabled) {
     accepted = pool_.TryPost(std::move(task));
@@ -346,35 +350,31 @@ bool Frontend::TryFallback(Operator* primary, const RequestContext& ctx,
 }
 
 void Frontend::Execute(Operator* op, const std::string& op_name,
-                       const RequestContext& ctx,
-                       Clock::time_point enqueued_at,
+                       const RequestContext& ctx, int64_t enqueued_at_nanos,
                        std::promise<Status>* done) {
   // Exactly one root span per admitted request: every Execute() runs
   // under this scope, including the queued-too-long shed path below.
   obs::TraceRequestScope root(ctx.trace_id, op->span_name);
   root_spans_->Increment();
-  auto dequeued_at = Clock::now();
+  int64_t dequeued_at_nanos = clock_->NowNanos();
   queue_wait_->Record(static_cast<uint64_t>(
-      std::max<int64_t>(0, std::chrono::duration_cast<std::chrono::nanoseconds>(
-                               dequeued_at - enqueued_at)
-                               .count())));
+      std::max<int64_t>(0, dequeued_at_nanos - enqueued_at_nanos)));
   // Request latency spans queue wait + every attempt, recorded on every
   // resolution path.
   struct LatencyRecorder {
     obs::Histogram* h;
-    Clock::time_point from;
+    structura::Clock* clock;
+    int64_t from_nanos;
     ~LatencyRecorder() {
-      h->Record(static_cast<uint64_t>(std::max<int64_t>(
-          0, std::chrono::duration_cast<std::chrono::nanoseconds>(
-                 Clock::now() - from)
-                 .count())));
+      h->Record(static_cast<uint64_t>(
+          std::max<int64_t>(0, clock->NowNanos() - from_nanos)));
     }
-  } latency{request_latency_, enqueued_at};
+  } latency{request_latency_, clock_, enqueued_at_nanos};
 
   if (options_.shed_enabled) {
-    auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
-        dequeued_at - enqueued_at);
-    if (static_cast<uint64_t>(std::max<int64_t>(0, waited.count())) >
+    int64_t waited_ms =
+        (dequeued_at_nanos - enqueued_at_nanos) / 1'000'000;
+    if (static_cast<uint64_t>(std::max<int64_t>(0, waited_ms)) >
         options_.max_queue_wait_ms) {
       // Running a request whose latency budget was spent waiting would
       // only add load exactly when the system is already behind.
@@ -506,7 +506,7 @@ void Frontend::Execute(Operator* op, const std::string& op_name,
     backoff_ms = std::min(backoff_ms, ctx.interrupt.deadline.RemainingMillis());
     if (backoff_ms > 0) {
       TRACE_SPAN("serve.retry_backoff");
-      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      clock_->SleepForMillis(backoff_ms);
     }
   }
 }

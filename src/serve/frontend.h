@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
@@ -116,6 +117,11 @@ class Frontend {
     /// the process-wide obs::MetricsRegistry::Default(); tests may
     /// inject a private registry (it must outlive the frontend).
     obs::MetricsRegistry* registry = nullptr;
+    /// Time source for queue-wait accounting, retry backoff, and the
+    /// per-operator breaker timers. nullptr = real time; a
+    /// SimulatedClock makes backoff and cooldowns instantaneous and
+    /// deterministic under test.
+    structura::Clock* clock = nullptr;
   };
 
   /// An operator handler: does the work, honours ctx.interrupt, returns
@@ -194,8 +200,7 @@ class Frontend {
   /// Runs on a pool worker: queued-wait shedding, breaker check,
   /// failpoint + handler, retry loop; resolves `done`.
   void Execute(Operator* op, const std::string& op_name,
-               const RequestContext& ctx,
-               std::chrono::steady_clock::time_point enqueued_at,
+               const RequestContext& ctx, int64_t enqueued_at_nanos,
                std::promise<Status>* done);
 
   /// Attempts the fallback ladder for `primary` (reason: `why`).
@@ -217,6 +222,7 @@ class Frontend {
   ServingCounters RegistryValues() const;
 
   Options options_;
+  structura::Clock* clock_;
 
   mutable std::mutex ops_mutex_;
   std::map<std::string, std::unique_ptr<Operator>> ops_;

@@ -98,6 +98,10 @@ Status SnapshotStore::AttachJournal(const std::string& dir, Env* env) {
   }
   STRUCTURA_ASSIGN_OR_RETURN(
       journal_, env_->NewWritableFile(journal_path_, /*truncate=*/false));
+  // A first-attach creates the journal file; until its parent
+  // directory is fsynced that is only a buffered directory entry, and
+  // a crash could drop the whole file even with every entry synced.
+  STRUCTURA_RETURN_IF_ERROR(env_->SyncDir(dir));
   attached_ = true;
   return Status::OK();
 }

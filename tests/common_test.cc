@@ -1,6 +1,8 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <map>
 #include <set>
 #include <stdexcept>
@@ -11,11 +13,13 @@
 #include <gtest/gtest.h>
 
 #include "common/cancellation.h"
+#include "common/clock.h"
 #include "common/deadline.h"
 #include "common/failpoint.h"
 #include "common/hash.h"
 #include "common/random.h"
 #include "common/status.h"
+#include "common/stopwatch.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
 
@@ -468,6 +472,108 @@ TEST(FailpointTest, RearmResetsCounters) {
   EXPECT_FALSE(MaybeFail("fp.test.rearm").ok());
   registry.Disarm("fp.test.rearm");
   EXPECT_FALSE(registry.IsArmed("fp.test.rearm"));
+}
+
+TEST(ClockTest, RealClockAdvances) {
+  Clock* clock = Clock::Real();
+  const int64_t a = clock->NowNanos();
+  clock->SleepForNanos(1'000'000);
+  EXPECT_GT(clock->NowNanos(), a);
+}
+
+TEST(ClockTest, ManualSimClockMovesOnlyWhenAdvanced) {
+  SimulatedClock::Options opts;
+  opts.auto_advance = false;
+  SimulatedClock clock(opts);
+  const int64_t a = clock.NowNanos();
+  EXPECT_EQ(clock.NowNanos(), a);
+  clock.AdvanceMillis(5);
+  EXPECT_EQ(clock.NowNanos(), a + 5'000'000);
+}
+
+TEST(ClockTest, AutoAdvanceSleepIsImmediate) {
+  SimulatedClock clock;  // auto-advance
+  const int64_t a = clock.NowNanos();
+  const auto real_start = std::chrono::steady_clock::now();
+  clock.SleepForMillis(30'000);  // 30 simulated seconds
+  EXPECT_GE(clock.NowNanos() - a, int64_t{30'000} * 1'000'000);
+  EXPECT_LT(std::chrono::steady_clock::now() - real_start,
+            std::chrono::seconds(5));
+}
+
+TEST(ClockTest, ManualSleeperWakesWhenAdvancedPastTarget) {
+  SimulatedClock::Options opts;
+  opts.auto_advance = false;
+  SimulatedClock clock(opts);
+  std::atomic<bool> woke{false};
+  std::thread sleeper([&] {
+    clock.SleepForMillis(50);
+    woke.store(true);
+  });
+  // Not yet: time has not moved.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(woke.load());
+  clock.AdvanceMillis(60);
+  sleeper.join();
+  EXPECT_TRUE(woke.load());
+}
+
+TEST(ClockTest, DeadlineExpiresOnSimulatedTime) {
+  SimulatedClock::Options opts;
+  opts.auto_advance = false;
+  SimulatedClock clock(opts);
+  Deadline d = Deadline::AfterMillis(100, &clock);
+  EXPECT_FALSE(d.Expired());
+  EXPECT_GT(d.RemainingMillis(), 0);
+  clock.AdvanceMillis(99);
+  EXPECT_FALSE(d.Expired());
+  clock.AdvanceMillis(2);
+  EXPECT_TRUE(d.Expired());
+  EXPECT_EQ(d.RemainingMillis(), 0);
+}
+
+TEST(ClockTest, DeadlineInfiniteNeverExpires) {
+  Deadline d;
+  EXPECT_TRUE(d.IsInfinite());
+  EXPECT_FALSE(d.Expired());
+}
+
+TEST(ClockTest, StopwatchMeasuresSimulatedTime) {
+  SimulatedClock::Options opts;
+  opts.auto_advance = false;
+  SimulatedClock clock(opts);
+  Stopwatch watch(&clock);
+  clock.AdvanceMillis(250);
+  EXPECT_DOUBLE_EQ(watch.ElapsedMillis(), 250.0);
+  watch.Reset();
+  EXPECT_DOUBLE_EQ(watch.ElapsedMillis(), 0.0);
+}
+
+TEST(ClockTest, WaitForPredHonorsNotification) {
+  // Manual mode: simulated time never moves, so the wait can only end
+  // via the cross-thread notification.
+  SimulatedClock::Options opts;
+  opts.auto_advance = false;
+  SimulatedClock clock(opts);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool ready = false;
+  std::thread notifier([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      ready = true;
+    }
+    cv.notify_all();
+  });
+  bool got = false;
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    got = clock.WaitForPred(cv, lock, int64_t{60'000} * 1'000'000'000,
+                            [&] { return ready; });
+  }
+  notifier.join();
+  EXPECT_TRUE(got);
 }
 
 }  // namespace
