@@ -228,4 +228,8 @@ BENCHMARK(BM_BreakerRecovery)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace structura
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return structura::bench::BenchmarkMainWithJson(argc, argv,
+                                                 "e15_serving_resilience",
+                                                 "BENCH_e15.json");
+}

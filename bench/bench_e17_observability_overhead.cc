@@ -119,4 +119,8 @@ BENCHMARK(BM_ServeThroughput)->Arg(1)->Arg(0)->UseRealTime();
 }  // namespace
 }  // namespace structura
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return structura::bench::BenchmarkMainWithJson(argc, argv,
+                                                 "e17_observability_overhead",
+                                                 "BENCH_e17.json");
+}

@@ -299,4 +299,8 @@ BENCHMARK(BM_FallbackSwitchLatency)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace structura
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return structura::bench::BenchmarkMainWithJson(argc, argv,
+                                                 "e18_degraded_serving",
+                                                 "BENCH_e18.json");
+}

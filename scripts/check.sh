@@ -8,7 +8,8 @@
 # Usage: scripts/check.sh [ctest-args...]
 #   e.g. scripts/check.sh -R RecoverySweep
 # Explicit ctest args apply to every leg, including the TSan one.
-set -euo pipefail
+# -E so the ERR trap below fires for failures inside run_suite too.
+set -Eeuo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 jobs="$(nproc 2>/dev/null || echo 4)"
@@ -28,6 +29,17 @@ CTEST_ARGS=("$@")
 # tests/serve_chaos_test.cc) so a red run is debuggable after the fact.
 export STRUCTURA_ARTIFACT_DIR="${STRUCTURA_ARTIFACT_DIR:-$repo_root/build-artifacts}"
 mkdir -p "$STRUCTURA_ARTIFACT_DIR"
+
+# On any red leg, point straight at the forensics: failure dumps from
+# the test suites plus any flight-recorder incident bundles
+# (incident_*_<trigger>/ directories with MANIFEST.json, metrics,
+# health, the event journal tail, and expensive-request span trees).
+on_failure() {
+  echo "==> FAILED — diagnostics in $STRUCTURA_ARTIFACT_DIR" >&2
+  find "$STRUCTURA_ARTIFACT_DIR" -mindepth 1 -maxdepth 1 2>/dev/null \
+    | sed 's/^/    /' >&2 || true
+}
+trap on_failure ERR
 
 echo "==> plain build + tests"
 run_suite "$repo_root/build"

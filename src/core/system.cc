@@ -1,6 +1,7 @@
 #include "core/system.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <map>
 #include <set>
 
@@ -43,7 +44,15 @@ void PublishIntegrityGauges(const std::string& prefix,
 System::System(Options options)
     : options_(std::move(options)), users_(options_.seed) {}
 
-System::~System() { StopWatchdog(); }
+System::~System() {
+  StopWatchdog();
+  // The event journal is process-global but was stamping on this
+  // system's clock; drop back to real time so a test-scoped
+  // SimulatedClock cannot dangle there.
+  if (options_.clock != nullptr) {
+    obs::EventJournal::Instance().SetClock(nullptr);
+  }
+}
 
 Result<std::unique_ptr<System>> System::Create(Options options) {
   std::unique_ptr<System> sys(new System(std::move(options)));
@@ -73,6 +82,51 @@ Result<std::unique_ptr<System>> System::Create(Options options) {
   recovered.Merge(sys->snapshots_.recovery_report());
   PublishIntegrityGauges("integrity.recovery", recovered);
   sys->RegisterBuiltinHealthSignals();
+  // The flight recorder's event journal stamps on this system's clock
+  // (process-global and observational; tests with a SimulatedClock get
+  // deterministic stamps).
+  obs::EventJournal::Instance().SetClock(sys->options_.clock);
+  std::string incident_dir = sys->options_.incident_dir;
+  if (incident_dir.empty()) {
+    const char* env_dir = std::getenv("STRUCTURA_ARTIFACT_DIR");
+    if (env_dir != nullptr) incident_dir = env_dir;
+  }
+  if (!incident_dir.empty()) {
+    obs::IncidentManager::Options io;
+    io.dir = incident_dir;
+    io.cooldown_ms = sys->options_.incident_cooldown_ms;
+    io.clock = sys->options_.clock;
+    sys->incidents_ = std::make_unique<obs::IncidentManager>(io);
+    // Sections render at dump time, so every bundle is a snapshot of
+    // the instant its trigger fired.
+    System* raw = sys.get();
+    sys->incidents_->AddSection("metrics.prom",
+                                [] { return MetricsPrometheus(); });
+    sys->incidents_->AddSection("metrics.json", [] { return MetricsJson(); });
+    sys->incidents_->AddSection("health.json",
+                                [raw] { return raw->HealthJson(); });
+    sys->incidents_->AddSection("status.txt",
+                                [raw] { return raw->StatusReport(); });
+    sys->incidents_->AddSection("events.json", [] {
+      return obs::EventJournal::Instance().TailJson(512);
+    });
+    sys->incidents_->AddSection("expensive.json",
+                                [] { return ExpensiveRequestsJson(); });
+    sys->incidents_->AddSection("slow.json", [] {
+      std::string out = "[";
+      bool first = true;
+      for (const obs::SlowRequestLog::Entry& e :
+           obs::SlowRequestLog::Instance().Recent()) {
+        if (!first) out += ',';
+        first = false;
+        out += "{\"trace_id\":" + std::to_string(e.trace_id) +
+               ",\"duration_ns\":" + std::to_string(e.duration_ns) +
+               ",\"root\":\"" + obs::JsonEscape(e.root_name) +
+               "\",\"tree\":\"" + obs::JsonEscape(e.tree) + "\"}";
+      }
+      return out + "]";
+    });
+  }
   return sys;
 }
 
@@ -221,22 +275,29 @@ std::string System::ReadOnlyReason() const {
 
 Status System::HealStorage() {
   if (options_.workspace.empty()) return Status::OK();
-  // Gate on a real probe: handing fresh handles to a still-dead disk
-  // would just re-latch them (and burn the WAL's checkpoint work).
-  STRUCTURA_RETURN_IF_ERROR(env()->ProbeWrite(options_.workspace));
-  if (db_->WalFailed()) {
-    // Checkpoint is the WAL's recovery point: it durably captures the
-    // in-memory state, then Reset() opens a fresh handle — so the new
-    // WAL never diverges from what memory already holds.
-    STRUCTURA_RETURN_IF_ERROR(db_->Checkpoint());
-  }
-  if (intermediate_ != nullptr && intermediate_->Failed()) {
-    STRUCTURA_RETURN_IF_ERROR(intermediate_->ReopenActive());
-  }
-  if (snapshots_.Failed()) {
-    STRUCTURA_RETURN_IF_ERROR(snapshots_.ReopenJournal());
-  }
-  return Status::OK();
+  Status result = [&]() -> Status {
+    // Gate on a real probe: handing fresh handles to a still-dead disk
+    // would just re-latch them (and burn the WAL's checkpoint work).
+    STRUCTURA_RETURN_IF_ERROR(env()->ProbeWrite(options_.workspace));
+    if (db_->WalFailed()) {
+      // Checkpoint is the WAL's recovery point: it durably captures the
+      // in-memory state, then Reset() opens a fresh handle — so the new
+      // WAL never diverges from what memory already holds.
+      STRUCTURA_RETURN_IF_ERROR(db_->Checkpoint());
+    }
+    if (intermediate_ != nullptr && intermediate_->Failed()) {
+      STRUCTURA_RETURN_IF_ERROR(intermediate_->ReopenActive());
+    }
+    if (snapshots_.Failed()) {
+      STRUCTURA_RETURN_IF_ERROR(snapshots_.ReopenJournal());
+    }
+    return Status::OK();
+  }();
+  last_heal_nanos_.store(clock()->NowNanos());
+  obs::RecordEvent(obs::EventCategory::kWatchdog,
+                   obs::EventCode::kWatchdogHeal, result.ok() ? 0 : 1, 0, 0,
+                   "heal storage");
+  return result;
 }
 
 void System::StartWatchdog(WatchdogOptions options) {
@@ -260,13 +321,67 @@ void System::StopWatchdog() {
   watchdog_running_.store(false);
 }
 
+void System::MaybeIncident(const char* trigger) {
+  if (incidents_ == nullptr || !watchdog_options_.auto_incident) return;
+  (void)incidents_->MaybeDump(trigger);
+}
+
 void System::WatchdogLoop() {
   Clock* clk = clock();
   int64_t last_auto_scrub = -1;  // -1: first scrub is immediate
   int64_t last_auto_heal = -1;
+  // Flight-recorder trigger state: edge detection over read-only /
+  // overall health, counter-delta detection over breaker opens and
+  // slow requests. The registry counters are process-global, so the
+  // baselines start at their current values.
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  obs::Counter* breaker_opens =
+      reg.GetCounter("serve.breaker.open_transitions");
+  obs::Counter* slow_requests = reg.GetCounter("obs.trace.slow_requests");
+  uint64_t seen_opens = breaker_opens->Value();
+  uint64_t seen_slow = slow_requests->Value();
+  uint64_t flap_accum = 0;
+  bool prev_read_only = false;
+  serve::HealthState prev_overall = serve::HealthState::kHealthy;
   while (true) {
     health_.Evaluate();
     watchdog_ticks_.fetch_add(1);
+    // --- flight-recorder triggers (before auto-heal, so a latch the
+    // heal below repairs within this same tick is still recorded) ---
+    bool read_only = ReadOnly();
+    if (read_only != prev_read_only) {
+      prev_read_only = read_only;
+      obs::RecordEvent(obs::EventCategory::kReadOnly,
+                       read_only ? obs::EventCode::kReadOnlyEnter
+                                 : obs::EventCode::kReadOnlyExit,
+                       0, 0, 0, "watchdog");
+      if (read_only) MaybeIncident("read_only_entered");
+    }
+    serve::HealthState overall = health_.Overall();
+    if (overall == serve::HealthState::kCritical &&
+        prev_overall != serve::HealthState::kCritical) {
+      MaybeIncident("health_critical");
+    }
+    prev_overall = overall;
+    uint64_t opens_now = breaker_opens->Value();
+    uint64_t opens_delta = opens_now - seen_opens;
+    seen_opens = opens_now;
+    if (opens_delta > 0) {
+      flap_accum += opens_delta;
+      if (flap_accum >= watchdog_options_.breaker_flap_threshold) {
+        MaybeIncident("breaker_flap");
+        flap_accum = 0;
+      }
+    } else {
+      // A quiet tick resets the accumulator: a flap is repeated opens
+      // in quick succession, not N opens spread over a lifetime.
+      flap_accum = 0;
+    }
+    uint64_t slow_now = slow_requests->Value();
+    if (slow_now != seen_slow) {
+      seen_slow = slow_now;
+      MaybeIncident("slow_request");
+    }
     if (watchdog_options_.auto_heal &&
         health_.StateOf("storage.disk") != serve::HealthState::kHealthy) {
       int64_t now = clk->NowNanos();
@@ -603,6 +718,33 @@ std::string System::StatusReport() const {
     }
     out += '\n';
   }
+  {
+    // Forensics ages, on the system clock: how stale is the evidence?
+    int64_t now = clock()->NowNanos();
+    auto age = [now](int64_t at) {
+      return at < 0 ? std::string("never")
+                    : StrFormat("%.1fs ago",
+                                static_cast<double>(now - at) / 1e9);
+    };
+    int64_t incident_at =
+        incidents_ != nullptr ? incidents_->last_dump_nanos() : -1;
+    out += StrFormat("forensics: last scrub %s, last heal %s, "
+                     "last incident %s",
+                     age(last_scrub_nanos_.load()).c_str(),
+                     age(last_heal_nanos_.load()).c_str(),
+                     age(incident_at).c_str());
+    if (incidents_ != nullptr) {
+      out += StrFormat(
+          " (bundles=%llu suppressed=%llu dir=%s)",
+          static_cast<unsigned long long>(incidents_->dumps()),
+          static_cast<unsigned long long>(incidents_->suppressed()),
+          incidents_->dir().c_str());
+    }
+    out += StrFormat("; events recorded: %llu",
+                     static_cast<unsigned long long>(
+                         obs::EventJournal::Instance().recorded()));
+    out += '\n';
+  }
   IntegrityCounters recovered = db_->recovery_report();
   if (intermediate_ != nullptr) {
     recovered.Merge(intermediate_->recovery_report());
@@ -645,6 +787,10 @@ std::string System::MetricsPrometheus() {
 
 std::string System::MetricsJson() {
   return obs::RenderJson(obs::MetricsRegistry::Default().Snapshot());
+}
+
+std::string System::ExpensiveRequestsJson() {
+  return obs::ExpensiveRequestTracker::Instance().ToJson();
 }
 
 Result<size_t> System::RunFeedbackRound(
@@ -869,6 +1015,11 @@ Result<IntegrityCounters> System::ScrubStorage() {
     scrubbed_ = true;
   }
   scrubs->Increment();
+  last_scrub_nanos_.store(clock()->NowNanos());
+  obs::RecordEvent(obs::EventCategory::kWatchdog,
+                   obs::EventCode::kWatchdogScrub,
+                   counters.AnyDamage() ? 1 : 0, counters.corrupt_records, 0,
+                   "scrub storage");
   PublishIntegrityGauges("integrity.scrub", counters);
   return counters;
 }

@@ -23,6 +23,8 @@
 #include "ie/extractor.h"
 #include "ii/schema_matcher.h"
 #include "lang/executor.h"
+#include "obs/flight_recorder.h"
+#include "obs/incident.h"
 #include "provenance/lineage.h"
 #include "query/hybrid.h"
 #include "query/keyword_index.h"
@@ -66,6 +68,15 @@ class System {
     Clock* clock = nullptr;
     bool optimize_plans = true;
     uint64_t seed = 42;
+    /// Directory automatic incident bundles are written under (one
+    /// subdirectory per incident). Empty = fall back to the
+    /// STRUCTURA_ARTIFACT_DIR environment variable; when that is unset
+    /// too, incident dumps are disabled.
+    std::string incident_dir;
+    /// Minimum spacing between incident bundles, measured on `clock`:
+    /// a flapping trigger produces one bundle per window plus a
+    /// suppressed count, never a dump storm.
+    uint64_t incident_cooldown_ms = 1000;
   };
 
   static Result<std::unique_ptr<System>> Create(Options options);
@@ -228,6 +239,15 @@ class System {
     /// hammered.
     bool auto_heal = true;
     uint64_t heal_cooldown_ms = 200;
+    /// When true (and the system has an incident directory), the
+    /// watchdog dumps an incident bundle when: overall health demotes
+    /// to critical, the system enters read-only brownout, breakers
+    /// flap (>= breaker_flap_threshold open transitions across
+    /// consecutive non-quiet ticks), or a request crosses the trace
+    /// layer's slow-request threshold. Bundles are rate-limited by
+    /// Options::incident_cooldown_ms.
+    bool auto_incident = true;
+    uint32_t breaker_flap_threshold = 3;
   };
 
   /// Starts the self-healing watchdog: a thread that evaluates the
@@ -321,6 +341,15 @@ class System {
   /// JSON exposition of the process metrics registry.
   static std::string MetricsJson();
 
+  /// JSON top-K expensive requests: per-request CostVector rollups with
+  /// their span trees rendered lazily from the trace rings.
+  static std::string ExpensiveRequestsJson();
+
+  /// Incident-bundle manager, or nullptr when dumps are disabled (no
+  /// incident_dir and no STRUCTURA_ARTIFACT_DIR). Tests use it to
+  /// trigger a bundle explicitly and to read dump/suppression counts.
+  obs::IncidentManager* incidents() { return incidents_.get(); }
+
   /// Wires a serving frontend's counters into StatusReport(). The
   /// provider is called on each report, so the section always reflects
   /// live values; pass nullptr to detach (e.g. before the frontend is
@@ -358,6 +387,9 @@ class System {
   void RegisterBuiltinHealthSignals();
   /// The watchdog thread body.
   void WatchdogLoop();
+  /// Dumps an incident bundle for `trigger` if incidents are enabled
+  /// (cooldown applied by the manager). Watchdog-thread only.
+  void MaybeIncident(const char* trigger);
 
   Options options_;
   text::DocumentCollection docs_;
@@ -402,6 +434,14 @@ class System {
   std::atomic<uint64_t> watchdog_ticks_{0};
   std::atomic<uint64_t> watchdog_scrubs_{0};
   std::atomic<uint64_t> watchdog_heals_{0};
+  /// Clock stamps of the last scrub/heal (any caller, not just the
+  /// watchdog); -1 = never. StatusReport() surfaces their ages.
+  std::atomic<int64_t> last_scrub_nanos_{-1};
+  std::atomic<int64_t> last_heal_nanos_{-1};
+  /// Automatic incident bundles (null when disabled). Sections
+  /// registered at Create() capture `this`; ~System stops the watchdog
+  /// (the only trigger source) before members are destroyed.
+  std::unique_ptr<obs::IncidentManager> incidents_;
   std::thread watchdog_;
   std::vector<uncertainty::AttributeBelief> beliefs_;
   ie::FactSet current_facts_;

@@ -8,6 +8,7 @@
 #include "common/strings.h"
 #include "ii/resolution.h"
 #include "ii/union_find.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -103,6 +104,7 @@ Result<query::Relation> ExecuteExtract(const PlanNode& plan,
       }
       const ie::Extractor* op = ops[op_index];
       ++ctx->extractor_runs;
+      obs::ChargeCost(obs::CostDim::kExtractorCalls, 1);
       for (const ie::ExtractedFact& fact : op->Extract(doc)) {
         if (plan.min_confidence >= 0 &&
             fact.confidence < plan.min_confidence) {

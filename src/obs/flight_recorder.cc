@@ -1,0 +1,307 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace structura::obs {
+
+namespace {
+
+std::atomic<bool> g_events_enabled{true};
+std::atomic<bool> g_cost_enabled{true};
+
+thread_local CostAccumulator* t_current_cost = nullptr;
+
+Counter* EventsRecordedCounter() {
+  static Counter* c =
+      MetricsRegistry::Default().GetCounter("obs.events.recorded");
+  return c;
+}
+
+}  // namespace
+
+void SetEventJournalEnabled(bool enabled) {
+  g_events_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool EventJournalEnabled() {
+  return g_events_enabled.load(std::memory_order_relaxed);
+}
+
+const char* EventCategoryName(EventCategory c) {
+  switch (c) {
+    case EventCategory::kBreaker:
+      return "breaker";
+    case EventCategory::kHealth:
+      return "health";
+    case EventCategory::kBrownout:
+      return "brownout";
+    case EventCategory::kWal:
+      return "wal";
+    case EventCategory::kCheckpoint:
+      return "checkpoint";
+    case EventCategory::kWatchdog:
+      return "watchdog";
+    case EventCategory::kReadOnly:
+      return "read_only";
+    case EventCategory::kIncident:
+      return "incident";
+  }
+  return "?";
+}
+
+const char* EventCodeName(EventCode c) {
+  switch (c) {
+    case EventCode::kBreakerOpen:
+      return "breaker_open";
+    case EventCode::kBreakerHalfOpen:
+      return "breaker_half_open";
+    case EventCode::kBreakerClose:
+      return "breaker_close";
+    case EventCode::kHealthDemote:
+      return "health_demote";
+    case EventCode::kHealthPromote:
+      return "health_promote";
+    case EventCode::kBrownoutEngage:
+      return "brownout_engage";
+    case EventCode::kBrownoutLift:
+      return "brownout_lift";
+    case EventCode::kWalStickyLatch:
+      return "wal_sticky_latch";
+    case EventCode::kCheckpointBegin:
+      return "checkpoint_begin";
+    case EventCode::kCheckpointEnd:
+      return "checkpoint_end";
+    case EventCode::kWatchdogScrub:
+      return "watchdog_scrub";
+    case EventCode::kWatchdogHeal:
+      return "watchdog_heal";
+    case EventCode::kReadOnlyEnter:
+      return "read_only_enter";
+    case EventCode::kReadOnlyExit:
+      return "read_only_exit";
+    case EventCode::kIncidentDump:
+      return "incident_dump";
+  }
+  return "?";
+}
+
+// ------------------------------------------------------------ journal
+
+EventJournal& EventJournal::Instance() {
+  // Leaked: the journal must stay readable for any late scanner (the
+  // same discipline as the trace rings).
+  static EventJournal* instance = new EventJournal();
+  return *instance;
+}
+
+void EventJournal::Record(EventCategory category, EventCode code,
+                          uint64_t a, uint64_t b, uint64_t c,
+                          const char* detail) {
+  int64_t nanos =
+      clock_.load(std::memory_order_acquire)->NowNanos();
+  uint64_t seq = next_.fetch_add(1, std::memory_order_relaxed);
+  internal::EventSlot& slot = slots_[seq % kSlots];
+  // Invalidate first so a concurrent reader cannot pair the old
+  // sequence number with the new fields.
+  slot.pub.store(0, std::memory_order_release);
+  slot.nanos.store(nanos, std::memory_order_relaxed);
+  slot.trace_id.store(CurrentTrace().trace_id, std::memory_order_relaxed);
+  slot.a.store(a, std::memory_order_relaxed);
+  slot.b.store(b, std::memory_order_relaxed);
+  slot.c.store(c, std::memory_order_relaxed);
+  slot.detail.store(detail, std::memory_order_relaxed);
+  slot.category.store(static_cast<uint8_t>(category),
+                      std::memory_order_relaxed);
+  slot.code.store(static_cast<uint8_t>(code), std::memory_order_relaxed);
+  // Publish: pub is the 1-based record number, so 0 stays "empty".
+  slot.pub.store(seq + 1, std::memory_order_release);
+  EventsRecordedCounter()->Increment();
+}
+
+std::vector<EventView> EventJournal::Tail(size_t max) const {
+  std::vector<EventView> out;
+  out.reserve(std::min(max, kSlots));
+  for (const internal::EventSlot& slot : slots_) {
+    uint64_t pub = slot.pub.load(std::memory_order_acquire);
+    if (pub == 0) continue;
+    EventView view;
+    view.seq = pub - 1;
+    view.nanos = slot.nanos.load(std::memory_order_relaxed);
+    view.trace_id = slot.trace_id.load(std::memory_order_relaxed);
+    view.a = slot.a.load(std::memory_order_relaxed);
+    view.b = slot.b.load(std::memory_order_relaxed);
+    view.c = slot.c.load(std::memory_order_relaxed);
+    const char* detail = slot.detail.load(std::memory_order_relaxed);
+    view.detail = detail == nullptr ? "" : detail;
+    view.category = static_cast<EventCategory>(
+        slot.category.load(std::memory_order_relaxed));
+    view.code =
+        static_cast<EventCode>(slot.code.load(std::memory_order_relaxed));
+    // A writer may have lapped us between the pub load and the field
+    // loads; re-checking the publication word discards such torn reads.
+    if (slot.pub.load(std::memory_order_acquire) != pub) continue;
+    out.push_back(view);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const EventView& x, const EventView& y) {
+              return x.seq < y.seq;
+            });
+  if (out.size() > max) {
+    out.erase(out.begin(),
+              out.begin() + static_cast<ptrdiff_t>(out.size() - max));
+  }
+  return out;
+}
+
+std::string EventJournal::TailJson(size_t max) const {
+  std::vector<EventView> events = Tail(max);
+  std::string out = "[";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const EventView& e = events[i];
+    if (i > 0) out += ',';
+    out += StrFormat(
+        "{\"seq\":%llu,\"nanos\":%lld,\"category\":\"%s\",\"code\":\"%s\","
+        "\"trace_id\":%llu,\"a\":%llu,\"b\":%llu,\"c\":%llu,"
+        "\"detail\":\"%s\"}",
+        static_cast<unsigned long long>(e.seq),
+        static_cast<long long>(e.nanos), EventCategoryName(e.category),
+        EventCodeName(e.code), static_cast<unsigned long long>(e.trace_id),
+        static_cast<unsigned long long>(e.a),
+        static_cast<unsigned long long>(e.b),
+        static_cast<unsigned long long>(e.c),
+        JsonEscape(e.detail).c_str());
+  }
+  out += "]";
+  return out;
+}
+
+// ---------------------------------------------------- cost accounting
+
+void SetCostAccountingEnabled(bool enabled) {
+  g_cost_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool CostAccountingEnabled() {
+  return g_cost_enabled.load(std::memory_order_relaxed);
+}
+
+const char* CostDimName(CostDim d) {
+  switch (d) {
+    case CostDim::kCpuNanos:
+      return "cpu_ns";
+    case CostDim::kRowsScanned:
+      return "rows_scanned";
+    case CostDim::kSegmentBytesRead:
+      return "segment_bytes_read";
+    case CostDim::kWalBytesAppended:
+      return "wal_bytes_appended";
+    case CostDim::kExtractorCalls:
+      return "extractor_calls";
+    case CostDim::kRetries:
+      return "retries";
+  }
+  return "?";
+}
+
+uint64_t CostVector::Score() const {
+  return (*this)[CostDim::kCpuNanos] +
+         (*this)[CostDim::kRowsScanned] * 1'000 +
+         (*this)[CostDim::kSegmentBytesRead] * 10 +
+         (*this)[CostDim::kWalBytesAppended] * 100 +
+         (*this)[CostDim::kExtractorCalls] * 10'000 +
+         (*this)[CostDim::kRetries] * 1'000'000;
+}
+
+std::string CostVector::ToJson() const {
+  std::string out = "{";
+  for (size_t i = 0; i < kNumCostDims; ++i) {
+    out += StrFormat("\"%s\":%llu,", CostDimName(static_cast<CostDim>(i)),
+                     static_cast<unsigned long long>(v[i]));
+  }
+  out += StrFormat("\"score\":%llu}",
+                   static_cast<unsigned long long>(Score()));
+  return out;
+}
+
+CostAccumulator* CurrentCost() { return t_current_cost; }
+
+ScopedCostContext::ScopedCostContext(CostAccumulator* acc)
+    : saved_(t_current_cost) {
+  t_current_cost = acc;
+}
+
+ScopedCostContext::~ScopedCostContext() { t_current_cost = saved_; }
+
+void ChargeCost(CostDim d, uint64_t n) {
+  CostAccumulator* acc = t_current_cost;
+  if (acc == nullptr || n == 0) return;
+  acc->Charge(d, n);
+}
+
+// ------------------------------------------- expensive-request tracker
+
+ExpensiveRequestTracker& ExpensiveRequestTracker::Instance() {
+  static ExpensiveRequestTracker* instance = new ExpensiveRequestTracker();
+  return *instance;
+}
+
+void ExpensiveRequestTracker::Record(uint64_t trace_id, const char* op,
+                                     int64_t at_nanos,
+                                     const CostVector& cost) {
+  uint64_t score = cost.Score();
+  // Fast reject off the serving path: a full tracker publishes its
+  // minimum score, and anything at or below it cannot change the top-K.
+  if (score <= floor_.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (entries_.size() >= kKeep && score <= entries_.back().score) return;
+  Entry e;
+  e.trace_id = trace_id;
+  e.op = op == nullptr ? "" : op;
+  e.at_nanos = at_nanos;
+  e.cost = cost;
+  e.score = score;
+  entries_.push_back(std::move(e));
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Entry& x, const Entry& y) { return x.score > y.score; });
+  if (entries_.size() > kKeep) entries_.resize(kKeep);
+  if (entries_.size() >= kKeep) {
+    floor_.store(entries_.back().score, std::memory_order_relaxed);
+  }
+}
+
+std::vector<ExpensiveRequestTracker::Entry> ExpensiveRequestTracker::TopK()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_;
+}
+
+std::string ExpensiveRequestTracker::ToJson() const {
+  std::vector<Entry> entries = TopK();
+  std::string out = "[";
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    if (i > 0) out += ',';
+    out += StrFormat(
+        "{\"trace_id\":%llu,\"op\":\"%s\",\"at_nanos\":%lld,\"cost\":%s,"
+        "\"tree\":\"%s\"}",
+        static_cast<unsigned long long>(e.trace_id),
+        JsonEscape(e.op).c_str(), static_cast<long long>(e.at_nanos),
+        e.cost.ToJson().c_str(),
+        JsonEscape(TraceRecorder::Instance().RenderTree(e.trace_id))
+            .c_str());
+  }
+  out += "]";
+  return out;
+}
+
+void ExpensiveRequestTracker::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  floor_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace structura::obs

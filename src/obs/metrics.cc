@@ -175,8 +175,6 @@ std::string RenderPrometheus(const MetricsSnapshot& snap) {
   return out;
 }
 
-namespace {
-
 std::string JsonEscape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
@@ -192,8 +190,6 @@ std::string JsonEscape(const std::string& s) {
   }
   return out;
 }
-
-}  // namespace
 
 std::string RenderJson(const MetricsSnapshot& snap) {
   std::string out = "{\"counters\":{";

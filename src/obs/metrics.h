@@ -236,6 +236,13 @@ std::string RenderJson(const MetricsSnapshot& snap);
 /// as count/mean/p50/p99 lines. Empty string when nothing is non-zero.
 std::string RenderCompact(const MetricsSnapshot& snap);
 
+/// Escapes `s` for embedding inside a JSON string literal: quotes,
+/// backslashes, and control characters become escape sequences. Every
+/// hand-rolled JSON renderer in the tree (metrics, health, events,
+/// incidents) uses this one implementation, so a metric or subsystem
+/// name containing `"` can never produce unparseable output.
+std::string JsonEscape(const std::string& s);
+
 /// Interns `name` into process-lifetime storage and returns a stable
 /// C string. Used for dynamic span names (trace slots hold `const
 /// char*` that must outlive every reader). The pool never shrinks, so

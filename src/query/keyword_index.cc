@@ -5,6 +5,7 @@
 #include <cmath>
 #include <map>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "text/tokenizer.h"
@@ -65,6 +66,9 @@ Result<std::vector<SearchHit>> KeywordIndex::Search(
     auto it = postings_.find(term);
     if (it == postings_.end()) continue;
     const std::vector<Posting>& plist = it->second;
+    // One "row" per posting scored: the unit the accounting compares
+    // across operators.
+    obs::ChargeCost(obs::CostDim::kRowsScanned, plist.size());
     double df = static_cast<double>(plist.size());
     double idf = std::log(1.0 + (n - df + 0.5) / (df + 0.5));
     for (const Posting& p : plist) {

@@ -1,6 +1,7 @@
 #include "query/structured_query.h"
 
 #include "common/strings.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -68,6 +69,7 @@ Result<Relation> ExecuteStructuredQuery(const StructuredQuery& q,
       "query.structured.latency_ns");
   queries->Increment();
   obs::ScopedLatency record_latency(latency);
+  obs::ChargeCost(obs::CostDim::kRowsScanned, source.size());
   STRUCTURA_RETURN_IF_ERROR(intr.Check());
   Relation current = source;
   if (!q.where.empty()) {

@@ -11,6 +11,7 @@
 #include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/strings.h"
+#include "obs/flight_recorder.h"
 
 namespace structura::rdbms {
 namespace {
@@ -453,6 +454,13 @@ Status Database::Checkpoint() {
   // them while holding it would deadlock) and looped until the table
   // set is stable, so a table created while we locked is covered too.
   TxnId cp_txn = next_txn_.fetch_add(1);
+  uint64_t begin_seq = 0;
+  {
+    std::lock_guard<std::mutex> catalog(catalog_mutex_);
+    begin_seq = checkpoint_seq_ + 1;
+  }
+  obs::RecordEvent(obs::EventCategory::kCheckpoint,
+                   obs::EventCode::kCheckpointBegin, begin_seq, 0, 0, "db");
   std::unordered_set<std::string> locked;
   Status result;
   for (;;) {
@@ -468,6 +476,9 @@ Status Database::Checkpoint() {
         // Deadlock victim: give way to the foreground transaction. The
         // caller (watchdog heal) simply retries after its cooldown.
         locks_.ReleaseAll(cp_txn);
+        obs::RecordEvent(obs::EventCategory::kCheckpoint,
+                         obs::EventCode::kCheckpointEnd, begin_seq, 1, 0,
+                         "db");
         return s;
       }
       locked.insert(name);
@@ -480,6 +491,9 @@ Status Database::Checkpoint() {
     if (!raced) break;
   }
   locks_.ReleaseAll(cp_txn);
+  obs::RecordEvent(obs::EventCategory::kCheckpoint,
+                   obs::EventCode::kCheckpointEnd, begin_seq,
+                   result.ok() ? 0 : 1, 0, "db");
   return result;
 }
 

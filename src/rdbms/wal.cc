@@ -6,6 +6,7 @@
 
 #include "common/failpoint.h"
 #include "common/strings.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -177,7 +178,10 @@ Result<uint64_t> WriteAheadLog::AppendRecord(const LogRecord& record) {
     if (file_ == nullptr) {
       return Status::IoError("wal has no open file: " + path_);
     }
-    if (file_->failed()) return file_->sticky_status();
+    if (file_->failed()) {
+      NoteStickyLocked();
+      return file_->sticky_status();
+    }
     file = file_.get();
   }
   std::string framed = FrameRecord(Encode(record));
@@ -192,6 +196,7 @@ Result<uint64_t> WriteAheadLog::AppendRecord(const LogRecord& record) {
     return torn;
   }
   STRUCTURA_RETURN_IF_ERROR(file->Append(framed));
+  obs::ChargeCost(obs::CostDim::kWalBytesAppended, framed.size());
   ++appended_;
   std::lock_guard<std::mutex> lock(sync_mutex_);
   return ++written_lsn_;
@@ -234,7 +239,10 @@ Status WriteAheadLog::SyncTo(uint64_t ticket) {
     if (file_ == nullptr) {
       return Status::IoError("wal has no open file: " + path_);
     }
-    if (file_->failed()) return file_->sticky_status();
+    if (file_->failed()) {
+      NoteStickyLocked();
+      return file_->sticky_status();
+    }
     if (sync_in_progress_) {
       sync_cv_.wait(lock);
       continue;
@@ -264,6 +272,11 @@ Status WriteAheadLog::SyncTo(uint64_t ticket) {
     if (synced.ok() && epoch_ == epoch && target > durable_lsn_) {
       durable_lsn_ = target;
     }
+    if (!synced.ok() && file_ != nullptr && file_->failed()) {
+      // Real fsync failure (not an injected leader-only one): the file
+      // is now latched sticky.
+      NoteStickyLocked();
+    }
     sync_cv_.notify_all();
     if (!synced.ok()) {
       // A real fsync failure latched the file sticky and every waiter
@@ -286,7 +299,10 @@ Status WriteAheadLog::Flush() {
     if (file_ == nullptr) {
       return Status::IoError("wal has no open file: " + path_);
     }
-    if (file_->failed()) return file_->sticky_status();
+    if (file_->failed()) {
+      NoteStickyLocked();
+      return file_->sticky_status();
+    }
     file = file_.get();
   }
   return file->Flush();
@@ -345,6 +361,7 @@ Status WriteAheadLog::Reset() {
   written_lsn_ = 0;
   durable_lsn_ = 0;
   ++epoch_;
+  sticky_event_recorded_ = false;
   sync_cv_.notify_all();
   return opened;
 }
@@ -365,6 +382,13 @@ Status WriteAheadLog::FailedStatus() const {
 uint64_t WriteAheadLog::LastLsn() const {
   std::lock_guard<std::mutex> lock(sync_mutex_);
   return written_lsn_;
+}
+
+void WriteAheadLog::NoteStickyLocked() {
+  if (sticky_event_recorded_) return;
+  sticky_event_recorded_ = true;
+  obs::RecordEvent(obs::EventCategory::kWal, obs::EventCode::kWalStickyLatch,
+                   epoch_, written_lsn_, durable_lsn_, "wal write path latched");
 }
 
 }  // namespace structura::rdbms

@@ -186,6 +186,10 @@ class WriteAheadLog {
   /// Opens/reopens the file handle (append or truncate). Caller holds
   /// sync_mutex_.
   Status OpenFileLocked(bool truncate);
+  /// Records the wal_sticky_latch flight-recorder event the first time
+  /// the latched write path is observed this epoch. Caller holds
+  /// sync_mutex_.
+  void NoteStickyLocked();
   /// Leader/follower fsync protocol behind WaitDurable and Sync.
   Status SyncTo(uint64_t ticket);
 
@@ -211,6 +215,9 @@ class WriteAheadLog {
   /// reset return OK, because the checkpoint that triggered the reset
   /// durably superseded every record they cover.
   uint64_t epoch_ = 0;
+  /// One wal_sticky_latch event per epoch (cleared by Reset), however
+  /// many appends observe the latched handle.
+  bool sticky_event_recorded_ = false;
 };
 
 }  // namespace structura::rdbms

@@ -1,6 +1,21 @@
 #include "serve/circuit_breaker.h"
 
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+
 namespace structura::serve {
+namespace {
+
+/// Process-wide open-transition count: the watchdog's flap detector
+/// reads the delta between ticks, so a breaker that keeps re-opening
+/// is visible without enumerating frontends.
+obs::Counter* OpensCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
+      "serve.breaker.open_transitions");
+  return c;
+}
+
+}  // namespace
 
 const char* CircuitBreaker::StateName(State s) {
   switch (s) {
@@ -20,6 +35,10 @@ void CircuitBreaker::OpenLocked() {
   inflight_probes_ = 0;
   ++generation_;
   ++open_transitions_;
+  OpensCounter()->Increment();
+  obs::RecordEvent(obs::EventCategory::kBreaker,
+                   obs::EventCode::kBreakerOpen, generation_, 0, 0,
+                   options_.name);
 }
 
 bool CircuitBreaker::Allow(uint64_t* admission) {
@@ -42,6 +61,9 @@ bool CircuitBreaker::Allow(uint64_t* admission) {
       inflight_probes_ = 1;
       last_probe_at_nanos_ = clock_->NowNanos();
       admitted = true;
+      obs::RecordEvent(obs::EventCategory::kBreaker,
+                       obs::EventCode::kBreakerHalfOpen, generation_, 0, 0,
+                       options_.name);
       break;
     }
     case State::kHalfOpen:
@@ -86,6 +108,9 @@ void CircuitBreaker::RecordSuccess(uint64_t admission) {
     state_ = State::kClosed;
     inflight_probes_ = 0;
     ++generation_;
+    obs::RecordEvent(obs::EventCategory::kBreaker,
+                     obs::EventCode::kBreakerClose, generation_, 0, 0,
+                     options_.name);
   }
 }
 

@@ -57,6 +57,10 @@ class CircuitBreaker {
     /// real time; tests inject a SimulatedClock to step the breaker
     /// across its timing boundaries deterministically.
     structura::Clock* clock = nullptr;
+    /// Name stamped on the breaker's flight-recorder events (its
+    /// operator name, typically). MUST have process lifetime — a string
+    /// literal or obs::InternName(); "" records anonymous events.
+    const char* name = "";
   };
 
   enum class State { kClosed, kOpen, kHalfOpen };

@@ -2,7 +2,24 @@
 
 #include <algorithm>
 
+#include "obs/flight_recorder.h"
+
 namespace structura::serve {
+namespace {
+
+/// Edge-triggers the per-tier brownout events: one engage when the
+/// tier starts shedding, one lift when it stops, however many Admit()
+/// calls land in between.
+void NoteBrownout(std::atomic<bool>* state, Priority p, bool shedding) {
+  if (state->load(std::memory_order_relaxed) == shedding) return;
+  state->store(shedding, std::memory_order_relaxed);
+  obs::RecordEvent(obs::EventCategory::kBrownout,
+                   shedding ? obs::EventCode::kBrownoutEngage
+                            : obs::EventCode::kBrownoutLift,
+                   static_cast<uint64_t>(p), 0, 0, PriorityName(p));
+}
+
+}  // namespace
 
 DegradationPolicy::Decision DegradationPolicy::Admit(Priority p,
                                                      size_t queue_depth,
@@ -14,6 +31,7 @@ DegradationPolicy::Decision DegradationPolicy::Admit(Priority p,
       health_ != nullptr ? health_->Overall() : HealthState::kHealthy;
   double fraction = p == Priority::kBatch ? options_.batch_queue_fraction
                                           : options_.background_queue_fraction;
+  std::atomic<bool>* browned = &browned_[static_cast<size_t>(p)];
   switch (h) {
     case HealthState::kHealthy:
       break;
@@ -22,13 +40,18 @@ DegradationPolicy::Decision DegradationPolicy::Admit(Priority p,
       break;
     case HealthState::kCritical:
       if (p == Priority::kBackground) {
+        NoteBrownout(browned, p, true);
         return Decision{false, "brownout: background refused while critical"};
       }
       fraction *= options_.degraded_tighten * options_.degraded_tighten;
       break;
   }
   double allowed = fraction * static_cast<double>(capacity);
-  if (static_cast<double>(queue_depth) < allowed) return Decision{};
+  if (static_cast<double>(queue_depth) < allowed) {
+    NoteBrownout(browned, p, false);
+    return Decision{};
+  }
+  NoteBrownout(browned, p, true);
   return Decision{false, p == Priority::kBatch
                              ? "brownout: batch queue share full"
                              : "brownout: background queue share full"};

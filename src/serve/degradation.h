@@ -1,6 +1,8 @@
 #ifndef STRUCTURA_SERVE_DEGRADATION_H_
 #define STRUCTURA_SERVE_DEGRADATION_H_
 
+#include <array>
+#include <atomic>
 #include <cstddef>
 
 #include "serve/health.h"
@@ -43,6 +45,8 @@ class DegradationPolicy {
   DegradationPolicy() : DegradationPolicy(Options{}, nullptr) {}
   DegradationPolicy(Options options, const HealthModel* health)
       : options_(options), health_(health) {}
+  DegradationPolicy(const DegradationPolicy&) = delete;
+  DegradationPolicy& operator=(const DegradationPolicy&) = delete;
 
   struct Decision {
     bool admit = true;
@@ -61,6 +65,11 @@ class DegradationPolicy {
  private:
   Options options_;
   const HealthModel* health_;
+  /// Last brownout verdict per tier, for edge-triggered flight-recorder
+  /// events (engage when a tier starts shedding, lift when it stops).
+  /// Relaxed atomics: Admit() sits on the Submit() hot path and the
+  /// events are observational — a racy duplicate edge is harmless.
+  mutable std::array<std::atomic<bool>, kNumPriorities> browned_{};
 };
 
 }  // namespace structura::serve

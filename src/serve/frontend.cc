@@ -141,11 +141,20 @@ void Frontend::RegisterOperator(const std::string& name, Handler handler) {
   CircuitBreaker::Options breaker_options = options_.breaker;
   // Breakers tick on the frontend's clock unless the caller pinned one.
   if (breaker_options.clock == nullptr) breaker_options.clock = clock_;
+  const char* span_name = obs::InternName("serve." + name);
+  // The breaker stamps its flight-recorder events with the operator it
+  // protects.
+  breaker_options.name = span_name;
   auto [it, inserted] =
       ops_.emplace(name, std::make_unique<Operator>(breaker_options));
   if (inserted) op_order_.push_back(name);
   it->second->handler = std::move(handler);
-  it->second->span_name = obs::InternName("serve." + name);
+  it->second->span_name = span_name;
+  for (size_t d = 0; d < obs::kNumCostDims; ++d) {
+    it->second->cost_hist[d] = registry_->GetHistogram(
+        "serve.op." + name + ".cost." +
+        obs::CostDimName(static_cast<obs::CostDim>(d)));
+  }
 }
 
 void Frontend::TagOperator(const std::string& name,
@@ -319,7 +328,11 @@ bool Frontend::TryFallback(Operator* primary, const RequestContext& ctx,
   if (st.ok()) st = MaybeFail("serve.op." + fb_name);
   if (st.ok()) {
     TRACE_SPAN("serve.handler");
+    int64_t started_nanos = clock_->NowNanos();
     st = fb->handler(ctx);
+    obs::ChargeCost(obs::CostDim::kCpuNanos,
+                    static_cast<uint64_t>(std::max<int64_t>(
+                        0, clock_->NowNanos() - started_nanos)));
   }
   if (st.ok()) {
     fb->breaker.RecordSuccess(admission);
@@ -356,9 +369,46 @@ void Frontend::Execute(Operator* op, const std::string& op_name,
   // under this scope, including the queued-too-long shed path below.
   obs::TraceRequestScope root(ctx.trace_id, op->span_name);
   root_spans_->Increment();
+  // Install the request's cost accumulator for everything below: charge
+  // sites deep in the query/storage layers reach it thread-locally.
+  // Frontend-owned accounting lives right here on the stack — a request
+  // never pays a heap allocation for it; callers that pre-allocated an
+  // accumulator in the context keep theirs (they want to read it back).
+  obs::CostAccumulator frame_cost;
+  obs::CostAccumulator* cost_acc =
+      ctx.cost != nullptr
+          ? ctx.cost.get()
+          : (obs::CostAccountingEnabled() ? &frame_cost : nullptr);
+  obs::ScopedCostContext cost_scope(cost_acc);
   int64_t dequeued_at_nanos = clock_->NowNanos();
   queue_wait_->Record(static_cast<uint64_t>(
       std::max<int64_t>(0, dequeued_at_nanos - enqueued_at_nanos)));
+  // On every resolution path: roll the accumulated CostVector up into
+  // the operator's per-dimension histograms and offer it to the top-K
+  // expensive-request tracker. The tracker entry is stamped with the
+  // dequeue time already in hand — the rollup itself never reads the
+  // clock.
+  struct CostRollup {
+    Operator* op;
+    const RequestContext* ctx;
+    obs::CostAccumulator* acc;
+    int64_t at_nanos;
+    ~CostRollup() {
+      if (acc == nullptr || !obs::CostAccountingEnabled()) return;
+      obs::CostVector cost = acc->Snapshot();
+      for (size_t d = 0; d < obs::kNumCostDims; ++d) {
+        // Zero-valued dims are skipped: the cpu histogram's count is the
+        // per-operator request count, so a dim's zero fraction is still
+        // derivable, and a trivial request stays one Record, not six.
+        if (cost.v[d] == 0 && d != static_cast<size_t>(obs::CostDim::kCpuNanos)) {
+          continue;
+        }
+        if (op->cost_hist[d] != nullptr) op->cost_hist[d]->Record(cost.v[d]);
+      }
+      obs::ExpensiveRequestTracker::Instance().Record(
+          ctx->trace_id, op->span_name, at_nanos, cost);
+    }
+  } rollup{op, &ctx, cost_acc, dequeued_at_nanos};
   // Request latency spans queue wait + every attempt, recorded on every
   // resolution path.
   struct LatencyRecorder {
@@ -463,7 +513,11 @@ void Frontend::Execute(Operator* op, const std::string& op_name,
     if (st.ok()) st = MaybeFail("serve.op." + op_name);
     if (st.ok()) {
       TRACE_SPAN("serve.handler");
+      int64_t started_nanos = clock_->NowNanos();
       st = op->handler(ctx);
+      obs::ChargeCost(obs::CostDim::kCpuNanos,
+                      static_cast<uint64_t>(std::max<int64_t>(
+                          0, clock_->NowNanos() - started_nanos)));
     }
     if (st.ok()) {
       op->breaker.RecordSuccess(admission);
@@ -497,6 +551,7 @@ void Frontend::Execute(Operator* op, const std::string& op_name,
     }
     --budget;
     retries_->Increment();
+    obs::ChargeCost(obs::CostDim::kRetries, 1);
     // Jittered exponential backoff, clipped to the remaining deadline.
     double base = static_cast<double>(options_.retry_base_ms);
     for (uint32_t i = 1; i < attempt; ++i) base *= options_.retry_multiplier;

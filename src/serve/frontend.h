@@ -14,6 +14,7 @@
 #include "common/clock.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "serve/circuit_breaker.h"
 #include "serve/counters.h"
@@ -193,6 +194,9 @@ class Frontend {
     /// Requests seen while the subsystem was critical; every Nth one is
     /// let through to the primary as a recovery canary (see Execute()).
     std::atomic<uint64_t> canary{0};
+    /// Per-dimension cost rollup histograms
+    /// (serve.op.<name>.cost.<dim>), cached at registration.
+    std::array<obs::Histogram*, obs::kNumCostDims> cost_hist{};
 
     explicit Operator(CircuitBreaker::Options bopts) : breaker(bopts) {}
   };

@@ -4,39 +4,14 @@
 #include <utility>
 
 #include "common/strings.h"
+#include "obs/flight_recorder.h"
 
 namespace structura::serve {
-namespace {
 
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          out += StrFormat("\\u%04x", c);
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-}  // namespace
+// The shared escaper (obs/metrics.h) — one implementation for every
+// hand-rolled JSON surface, so names with quotes/backslashes/control
+// characters always produce parseable output.
+using obs::JsonEscape;
 
 const char* HealthStateName(HealthState s) {
   switch (s) {
@@ -123,6 +98,14 @@ void HealthModel::ApplyLocked(Entry* e, const HealthSample& sample) {
       ++e->transitions;
       ++transitions_;
       transitions_counter_->Increment();
+      // Flight recorder: the verdict source goes in the detail so a
+      // bundle tells integrity-driven demotions from breaker-driven
+      // ones. Subsystem/source vocabularies are bounded → internable.
+      obs::RecordEvent(obs::EventCategory::kHealth,
+                       obs::EventCode::kHealthDemote,
+                       static_cast<uint64_t>(e->state),
+                       static_cast<uint64_t>(sample.state), 0,
+                       obs::InternName(e->subsystem + "/" + e->source));
     }
     e->state = sample.state;
     e->reason = sample.reason;
@@ -131,6 +114,11 @@ void HealthModel::ApplyLocked(Entry* e, const HealthSample& sample) {
   }
   // Better: promotion needs a streak — one lucky probe is not recovery.
   if (++e->improve_streak >= options_.promote_after) {
+    obs::RecordEvent(obs::EventCategory::kHealth,
+                     obs::EventCode::kHealthPromote,
+                     static_cast<uint64_t>(e->state),
+                     static_cast<uint64_t>(sample.state), 0,
+                     obs::InternName(e->subsystem + "/" + e->source));
     e->state = sample.state;
     e->reason = sample.reason;
     e->improve_streak = 0;

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "common/cancellation.h"
+#include "obs/flight_recorder.h"
 
 namespace structura::serve {
 
@@ -72,6 +73,13 @@ struct RequestContext {
   /// care allocate it before Submit(); handlers and the fallback path
   /// write through the shared pointer.
   std::shared_ptr<ResponseMeta> response;
+  /// Per-request resource accounting (obs/flight_recorder.h). Usually
+  /// left null — the executor then accounts on its own stack frame, no
+  /// allocation — and installed thread-locally either way so charge
+  /// sites deep in the storage and query layers attribute their cost to
+  /// this request. Callers that want to read the accumulated CostVector
+  /// back after the response resolves allocate one here before Submit().
+  std::shared_ptr<obs::CostAccumulator> cost;
 };
 
 }  // namespace structura::serve

@@ -11,6 +11,7 @@
 #include "common/logging.h"
 #include "common/recordio.h"
 #include "common/strings.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -236,6 +237,8 @@ Result<std::string> SegmentStore::ReadAt(const RecordRef& ref,
   if (Crc32c(payload) != payload_crc) {
     return Status::Corruption("record checksum mismatch");
   }
+  obs::ChargeCost(obs::CostDim::kSegmentBytesRead,
+                  kFrameHeaderBytes + payload.size());
   return payload;
 }
 

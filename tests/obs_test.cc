@@ -1,16 +1,25 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cctype>
 #include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "core/system.h"
+#include "obs/flight_recorder.h"
+#include "obs/incident.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "test_json_util.h"
 
 namespace structura {
 namespace {
@@ -476,6 +485,428 @@ TEST(ThreadPoolMetricsTest, StatsCountActiveWorkers) {
   release.store(true);
   pool.WaitIdle();
   EXPECT_EQ(pool.stats().active_workers, 0u);
+}
+
+// --- JSON exposition validity --------------------------------------------
+
+using testutil::IsValidJson;
+
+TEST(JsonExpositionTest, ValidatorSanity) {
+  EXPECT_TRUE(IsValidJson("{\"a\":[1,2,{\"b\":\"c\\n\"}],\"d\":null}"));
+  EXPECT_FALSE(IsValidJson("{\"a\":}"));
+  EXPECT_FALSE(IsValidJson("{\"a\":1"));
+  EXPECT_FALSE(IsValidJson(std::string("\"a\x01b\"")));  // raw control char
+  EXPECT_FALSE(IsValidJson("{\"a\":1}trailing"));
+}
+
+TEST(JsonExpositionTest, JsonEscapeHandlesHostileStrings) {
+  EXPECT_EQ(obs::JsonEscape("plain"), "plain");
+  EXPECT_EQ(obs::JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(obs::JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::JsonEscape("a\nb"), "a\\u000ab");
+  std::string ctrl = obs::JsonEscape(std::string("a\x01z"));
+  EXPECT_TRUE(IsValidJson("\"" + ctrl + "\""));
+}
+
+TEST(JsonExpositionTest, MetricsJsonValidWithHostileNames) {
+  MetricsRegistry r;
+  r.GetCounter("evil\"counter\\name")->Add(3);
+  r.GetGauge("evil\ngauge\x02name")->Set(-7);
+  r.GetHistogram("evil\thist")->Record(42);
+  std::string json = obs::RenderJson(r.Snapshot());
+  EXPECT_TRUE(IsValidJson(json)) << json;
+}
+
+TEST(JsonExpositionTest, EventTailAndTrackerJsonValid) {
+  obs::RecordEvent(obs::EventCategory::kWatchdog,
+                   obs::EventCode::kWatchdogScrub, 1, 2, 3, "json check");
+  EXPECT_TRUE(IsValidJson(obs::EventJournal::Instance().TailJson(64)));
+
+  obs::ExpensiveRequestTracker::Instance().Clear();
+  obs::CostVector cost;
+  cost.v[static_cast<size_t>(obs::CostDim::kRowsScanned)] = 9;
+  obs::ExpensiveRequestTracker::Instance().Record(77, "op\"name", 123, cost);
+  EXPECT_TRUE(IsValidJson(obs::ExpensiveRequestTracker::Instance().ToJson()));
+  EXPECT_TRUE(IsValidJson(cost.ToJson()));
+  obs::ExpensiveRequestTracker::Instance().Clear();
+}
+
+// --- Event journal -------------------------------------------------------
+
+TEST(EventJournalTest, RecordAndTailRoundTrip) {
+  obs::EventJournal& j = obs::EventJournal::Instance();
+  uint64_t base = j.recorded();
+  obs::RecordEvent(obs::EventCategory::kBreaker,
+                   obs::EventCode::kBreakerOpen, 7, 0, 0, "rt breaker");
+  obs::RecordEvent(obs::EventCategory::kHealth,
+                   obs::EventCode::kHealthDemote, 0, 2, 0, "rt health");
+  EXPECT_EQ(j.recorded(), base + 2);
+
+  std::vector<obs::EventView> tail = j.Tail(2);
+  ASSERT_EQ(tail.size(), 2u);
+  // Oldest first, contiguous sequence numbers.
+  EXPECT_EQ(tail[0].seq, base);
+  EXPECT_EQ(tail[1].seq, base + 1);
+  EXPECT_EQ(tail[0].category, obs::EventCategory::kBreaker);
+  EXPECT_EQ(tail[0].code, obs::EventCode::kBreakerOpen);
+  EXPECT_EQ(tail[0].a, 7u);
+  EXPECT_STREQ(tail[0].detail, "rt breaker");
+  EXPECT_EQ(tail[1].category, obs::EventCategory::kHealth);
+  EXPECT_EQ(tail[1].b, 2u);
+  EXPECT_GT(tail[1].nanos, 0);
+  EXPECT_GE(tail[1].nanos, tail[0].nanos);
+}
+
+TEST(EventJournalTest, StampsAmbientTraceId) {
+  uint64_t trace = obs::NextTraceId();
+  {
+    obs::TraceRequestScope scope(trace, "event.journal.test");
+    obs::RecordEvent(obs::EventCategory::kWal,
+                     obs::EventCode::kWalStickyLatch, 1, 0, 0, "in trace");
+  }
+  obs::RecordEvent(obs::EventCategory::kWal, obs::EventCode::kWalStickyLatch,
+                   2, 0, 0, "out of trace");
+  std::vector<obs::EventView> tail = obs::EventJournal::Instance().Tail(2);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0].trace_id, trace);
+  EXPECT_EQ(tail[1].trace_id, 0u);
+}
+
+TEST(EventJournalTest, KillSwitchDropsEvents) {
+  obs::EventJournal& j = obs::EventJournal::Instance();
+  obs::SetEventJournalEnabled(false);
+  uint64_t base = j.recorded();
+  obs::RecordEvent(obs::EventCategory::kBreaker,
+                   obs::EventCode::kBreakerClose, 0, 0, 0, "dropped");
+  EXPECT_EQ(j.recorded(), base);
+  obs::SetEventJournalEnabled(true);
+  obs::RecordEvent(obs::EventCategory::kBreaker,
+                   obs::EventCode::kBreakerClose, 0, 0, 0, "kept");
+  EXPECT_EQ(j.recorded(), base + 1);
+}
+
+TEST(EventJournalTest, WraparoundKeepsNewestRecords) {
+  obs::EventJournal& j = obs::EventJournal::Instance();
+  const size_t n = obs::EventJournal::kSlots + 300;
+  for (size_t i = 0; i < n; ++i) {
+    obs::RecordEvent(obs::EventCategory::kCheckpoint,
+                     obs::EventCode::kCheckpointBegin, i, 0, 0, "wrap");
+  }
+  uint64_t last = j.recorded() - 1;
+  std::vector<obs::EventView> tail = j.Tail(obs::EventJournal::kSlots);
+  // Every slot holds a published record; all of them survive the wrap.
+  ASSERT_EQ(tail.size(), obs::EventJournal::kSlots);
+  // Newest record present, sequence contiguous from the oldest survivor.
+  EXPECT_EQ(tail.back().seq, last);
+  for (size_t i = 0; i < tail.size(); ++i) {
+    EXPECT_EQ(tail[i].seq, tail.back().seq - (tail.size() - 1 - i));
+  }
+  // A bounded tail returns only the newest records.
+  std::vector<obs::EventView> bounded = j.Tail(16);
+  ASSERT_EQ(bounded.size(), 16u);
+  EXPECT_EQ(bounded.back().seq, last);
+  EXPECT_EQ(bounded.front().seq, last - 15);
+}
+
+TEST(EventJournalTest, ConcurrentWritersAndReadersStayCoherent) {
+  obs::EventJournal& j = obs::EventJournal::Instance();
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 4000;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> torn{0};
+
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      for (const obs::EventView& e : j.Tail(obs::EventJournal::kSlots)) {
+        // Published records must never be torn: name lookups stay in
+        // range and the detail pointer is always dereferenceable.
+        if (std::string(obs::EventCategoryName(e.category)) == "?" ||
+            std::string(obs::EventCodeName(e.code)) == "?" ||
+            e.detail == nullptr) {
+          torn.fetch_add(1);
+        }
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&j, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        j.Record(obs::EventCategory::kBrownout,
+                 obs::EventCode::kBrownoutEngage,
+                 static_cast<uint64_t>(w), static_cast<uint64_t>(i), 0,
+                 "concurrent");
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(torn.load(), 0u);
+  std::vector<obs::EventView> tail = j.Tail(obs::EventJournal::kSlots);
+  EXPECT_EQ(tail.size(), obs::EventJournal::kSlots);
+}
+
+// --- Cost accounting -----------------------------------------------------
+
+TEST(CostAccountingTest, ChargeOutsideContextIsNoop) {
+  ASSERT_EQ(obs::CurrentCost(), nullptr);
+  obs::ChargeCost(obs::CostDim::kRowsScanned, 100);  // must not crash
+}
+
+TEST(CostAccountingTest, ScopedContextChargesAndRestores) {
+  obs::CostAccumulator acc;
+  {
+    obs::ScopedCostContext scope(&acc);
+    EXPECT_EQ(obs::CurrentCost(), &acc);
+    obs::ChargeCost(obs::CostDim::kRowsScanned, 5);
+    obs::ChargeCost(obs::CostDim::kRowsScanned, 7);
+    obs::ChargeCost(obs::CostDim::kSegmentBytesRead, 1024);
+    {
+      // Nested context diverts charges, then restores the outer one.
+      obs::CostAccumulator inner;
+      obs::ScopedCostContext nested(&inner);
+      obs::ChargeCost(obs::CostDim::kRetries, 1);
+      EXPECT_EQ(inner.Snapshot()[obs::CostDim::kRetries], 1u);
+    }
+    obs::ChargeCost(obs::CostDim::kWalBytesAppended, 64);
+  }
+  EXPECT_EQ(obs::CurrentCost(), nullptr);
+  obs::CostVector cost = acc.Snapshot();
+  EXPECT_EQ(cost[obs::CostDim::kRowsScanned], 12u);
+  EXPECT_EQ(cost[obs::CostDim::kSegmentBytesRead], 1024u);
+  EXPECT_EQ(cost[obs::CostDim::kWalBytesAppended], 64u);
+  EXPECT_EQ(cost[obs::CostDim::kRetries], 0u);  // went to the nested acc
+}
+
+TEST(CostAccountingTest, CrossThreadChargesAccumulate) {
+  obs::CostAccumulator acc;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&acc] {
+      obs::ScopedCostContext scope(&acc);
+      for (int i = 0; i < 1000; ++i) {
+        obs::ChargeCost(obs::CostDim::kRowsScanned, 1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(acc.Snapshot()[obs::CostDim::kRowsScanned], 4000u);
+}
+
+TEST(CostAccountingTest, ScoreWeighsDimensions) {
+  obs::CostVector cost;
+  cost.v[static_cast<size_t>(obs::CostDim::kCpuNanos)] = 10;
+  cost.v[static_cast<size_t>(obs::CostDim::kRowsScanned)] = 2;
+  cost.v[static_cast<size_t>(obs::CostDim::kSegmentBytesRead)] = 3;
+  cost.v[static_cast<size_t>(obs::CostDim::kWalBytesAppended)] = 4;
+  cost.v[static_cast<size_t>(obs::CostDim::kExtractorCalls)] = 5;
+  cost.v[static_cast<size_t>(obs::CostDim::kRetries)] = 6;
+  EXPECT_EQ(cost.Score(), 10u + 2u * 1'000 + 3u * 10 + 4u * 100 +
+                              5u * 10'000 + 6u * 1'000'000);
+}
+
+TEST(CostAccountingTest, KillSwitchStopsFrontendAccounting) {
+  obs::SetCostAccountingEnabled(false);
+  EXPECT_FALSE(obs::CostAccountingEnabled());
+  obs::SetCostAccountingEnabled(true);
+  EXPECT_TRUE(obs::CostAccountingEnabled());
+}
+
+TEST(ExpensiveRequestTrackerTest, KeepsTopKByScore) {
+  obs::ExpensiveRequestTracker& tracker =
+      obs::ExpensiveRequestTracker::Instance();
+  tracker.Clear();
+  // More entries than capacity, in a shuffled-ish score order.
+  for (uint64_t i = 0; i < obs::ExpensiveRequestTracker::kKeep + 4; ++i) {
+    obs::CostVector cost;
+    cost.v[static_cast<size_t>(obs::CostDim::kCpuNanos)] =
+        ((i * 7) % 12 + 1) * 1000;
+    tracker.Record(/*trace_id=*/i + 1, "tracker.test",
+                   static_cast<int64_t>(i), cost);
+  }
+  std::vector<obs::ExpensiveRequestTracker::Entry> top = tracker.TopK();
+  ASSERT_EQ(top.size(), obs::ExpensiveRequestTracker::kKeep);
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].score, top[i].score);
+  }
+  // The cheapest scores (1000..4000) must have been evicted: capacity 8
+  // keeps 12000 down to 5000.
+  EXPECT_EQ(top.back().score, 5000u);
+  EXPECT_EQ(top.front().score, 12000u);
+
+  // A new cheap request below the current minimum is rejected outright.
+  obs::CostVector cheap;
+  cheap.v[static_cast<size_t>(obs::CostDim::kCpuNanos)] = 1;
+  tracker.Record(999, "tracker.test", 0, cheap);
+  EXPECT_EQ(tracker.TopK().back().score, 5000u);
+  tracker.Clear();
+  EXPECT_TRUE(tracker.TopK().empty());
+}
+
+// --- Trace ring wraparound -----------------------------------------------
+
+TEST(TraceRingWrapTest, WrapKeepsOnlyRingCapacity) {
+  constexpr size_t kRing = obs::internal::ThreadRing::kSlots;
+  uint64_t trace = obs::NextTraceId();
+  {
+    obs::TraceRequestScope scope(trace, "wrap.root");
+    for (size_t i = 0; i < 3 * kRing; ++i) {
+      TRACE_SPAN("wrap.child");
+    }
+  }
+  // 3×ring child spans plus the root were recorded into one 4096-slot
+  // ring; exactly one ring's worth survives, every record intact.
+  std::vector<obs::SpanView> spans =
+      obs::TraceRecorder::Instance().Collect(trace);
+  EXPECT_EQ(spans.size(), kRing);
+  size_t roots = 0;
+  for (const obs::SpanView& s : spans) {
+    EXPECT_EQ(s.trace_id, trace);
+    std::string name = s.name;
+    EXPECT_TRUE(name == "wrap.child" || name == "wrap.root") << name;
+    if (name == "wrap.root") ++roots;
+  }
+  // The root closed last, so it must be among the survivors.
+  EXPECT_EQ(roots, 1u);
+}
+
+TEST(TraceRingWrapTest, CrossThreadAdoptionSurvivesMidWrap) {
+  constexpr size_t kRing = obs::internal::ThreadRing::kSlots;
+  uint64_t trace = obs::NextTraceId();
+  obs::TraceRequestScope scope(trace, "wrap.adopt.root");
+  obs::TraceHandle handle = obs::CurrentTrace();
+
+  std::thread worker([&] {
+    {
+      // First batch of adopted spans — doomed to be overwritten below.
+      obs::ScopedTraceContext adopt(handle);
+      for (int i = 0; i < 100; ++i) {
+        TRACE_SPAN("wrap.adopt.early");
+      }
+    }
+    {
+      // Unrelated trace floods this thread's ring past a full lap.
+      obs::TraceHandle filler{obs::NextTraceId(), 0};
+      obs::ScopedTraceContext adopt(filler);
+      for (size_t i = 0; i < kRing; ++i) {
+        TRACE_SPAN("wrap.adopt.filler");
+      }
+    }
+    {
+      // Adopted spans recorded after the wrap must survive.
+      obs::ScopedTraceContext adopt(handle);
+      for (int i = 0; i < 50; ++i) {
+        TRACE_SPAN("wrap.adopt.late");
+      }
+    }
+  });
+  worker.join();
+
+  std::vector<obs::SpanView> spans =
+      obs::TraceRecorder::Instance().Collect(trace);
+  size_t early = 0, late = 0;
+  for (const obs::SpanView& s : spans) {
+    std::string name = s.name;
+    if (name == "wrap.adopt.early") ++early;
+    if (name == "wrap.adopt.late") ++late;
+    // Adopted spans keep the root as parent context (parent id from the
+    // handle), never a torn id from the filler trace.
+    if (name == "wrap.adopt.early" || name == "wrap.adopt.late") {
+      EXPECT_EQ(s.parent_id, handle.span_id);
+    }
+  }
+  EXPECT_EQ(early, 0u);  // lapped by the filler trace
+  EXPECT_EQ(late, 50u);
+}
+
+// --- Incident bundles ----------------------------------------------------
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(IncidentManagerTest, DumpWritesSectionsAndManifest) {
+  ScopedLogCapture capture;  // swallow the kWarning bundle announcement
+  std::string dir =
+      ::testing::TempDir() + "/structura_incident_dump_test";
+  std::filesystem::remove_all(dir);
+  obs::IncidentManager::Options options;
+  options.dir = dir;
+  obs::IncidentManager manager(options);
+  manager.AddSection("alpha.txt", [] { return std::string("alpha body"); });
+  manager.AddSection("beta.json", [] { return std::string("{\"b\":1}"); });
+
+  uint64_t events_before = obs::EventJournal::Instance().recorded();
+  std::string bundle = manager.MaybeDump("health_critical: test");
+  ASSERT_FALSE(bundle.empty());
+  EXPECT_EQ(manager.dumps(), 1u);
+  EXPECT_EQ(manager.suppressed(), 0u);
+  EXPECT_GE(manager.last_dump_nanos(), 0);
+
+  EXPECT_EQ(ReadFileOrDie(bundle + "/alpha.txt"), "alpha body");
+  EXPECT_EQ(ReadFileOrDie(bundle + "/beta.json"), "{\"b\":1}");
+  std::string manifest = ReadFileOrDie(bundle + "/MANIFEST.json");
+  EXPECT_TRUE(IsValidJson(manifest)) << manifest;
+  EXPECT_NE(manifest.find("\"trigger\":\"health_critical: test\""),
+            std::string::npos);
+  EXPECT_NE(manifest.find("\"alpha.txt\""), std::string::npos);
+  EXPECT_NE(manifest.find("\"beta.json\""), std::string::npos);
+
+  // The dump itself lands in the event journal.
+  EXPECT_EQ(obs::EventJournal::Instance().recorded(), events_before + 1);
+  std::vector<obs::EventView> tail = obs::EventJournal::Instance().Tail(1);
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0].category, obs::EventCategory::kIncident);
+  EXPECT_EQ(tail[0].code, obs::EventCode::kIncidentDump);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(IncidentManagerTest, CooldownSuppressesRepeatTriggers) {
+  ScopedLogCapture capture;
+  std::string dir =
+      ::testing::TempDir() + "/structura_incident_cooldown_test";
+  std::filesystem::remove_all(dir);
+  SimulatedClock::Options clock_options;
+  clock_options.auto_advance = false;
+  SimulatedClock clock(clock_options);
+  obs::IncidentManager::Options options;
+  options.dir = dir;
+  options.cooldown_ms = 1000;
+  options.clock = &clock;
+  obs::IncidentManager manager(options);
+  manager.AddSection("s.txt", [] { return std::string("s"); });
+
+  EXPECT_FALSE(manager.MaybeDump("first").empty());
+  // Inside the cooldown window: suppressed, counted, no directory.
+  EXPECT_TRUE(manager.MaybeDump("second").empty());
+  clock.AdvanceMillis(999);
+  EXPECT_TRUE(manager.MaybeDump("third").empty());
+  EXPECT_EQ(manager.dumps(), 1u);
+  EXPECT_EQ(manager.suppressed(), 2u);
+  // One more millisecond crosses the window.
+  clock.AdvanceMillis(1);
+  EXPECT_FALSE(manager.MaybeDump("fourth").empty());
+  EXPECT_EQ(manager.dumps(), 2u);
+
+  size_t bundles = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.is_directory()) ++bundles;
+  }
+  EXPECT_EQ(bundles, 2u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(IncidentManagerTest, EmptyDirDisablesDumping) {
+  obs::IncidentManager manager(obs::IncidentManager::Options{});
+  manager.AddSection("s.txt", [] { return std::string("s"); });
+  EXPECT_TRUE(manager.MaybeDump("anything").empty());
+  EXPECT_EQ(manager.dumps(), 0u);
+  EXPECT_EQ(manager.suppressed(), 0u);
+  EXPECT_EQ(manager.last_dump_nanos(), -1);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 // probabilistic failpoints and randomized 1–50ms deadlines. Run plain
 // and under -DSTRUCTURA_SANITIZE=thread.
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -11,7 +12,9 @@
 #include <filesystem>
 #include <fstream>
 #include <future>
+#include <iterator>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -26,8 +29,10 @@
 #include "corpus/generator.h"
 #include "ie/pipeline.h"
 #include "ie/standard.h"
+#include "obs/flight_recorder.h"
 #include "rdbms/database.h"
 #include "serve/frontend.h"
+#include "test_json_util.h"
 
 namespace structura::serve {
 namespace {
@@ -1446,6 +1451,218 @@ TEST(ServeChaosTest, DiskFaultEngagesReadOnlyBrownoutAndHeals) {
   DumpArtifactsOnFailure(sys.get(), "readonly");
   sys->StopWatchdog();
   std::filesystem::remove_all(sopts.workspace);
+}
+
+// ------------------------------------------------- Incident forensics
+
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+std::vector<std::string> IncidentBundleDirs(const std::string& dir) {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.is_directory()) out.push_back(entry.path().string());
+  }
+  return out;
+}
+
+/// Extracts the string value of `"key":"…"` from a hand-rolled JSON blob.
+std::string JsonStringField(const std::string& json, const std::string& key) {
+  std::string needle = "\"" + key + "\":\"";
+  size_t pos = json.find(needle);
+  if (pos == std::string::npos) return "";
+  pos += needle.size();
+  size_t end = json.find('"', pos);
+  if (end == std::string::npos) return "";
+  return json.substr(pos, end - pos);
+}
+
+// A breaker flapping under a persistent fault demotes its subsystem to
+// critical; the watchdog must dump exactly ONE incident bundle (the
+// cooldown suppresses every repeat trigger while the flap continues),
+// and the bundle must be self-contained: metrics, health, the event
+// journal tail, and at least one expensive-request span tree.
+TEST(ServeChaosTest, BreakerTripToCriticalDumpsExactlyOneIncidentBundle) {
+  obs::ExpensiveRequestTracker::Instance().Clear();
+  core::System::Options sopts;
+  sopts.workspace = TempDir("incident");
+  sopts.incident_dir = TempDir("incident_bundles");
+  sopts.incident_cooldown_ms = 60'000;  // longer than the whole test
+  auto sys_or = core::System::Create(sopts);
+  ASSERT_TRUE(sys_or.ok()) << sys_or.status().ToString();
+  std::unique_ptr<core::System> sys = std::move(sys_or).value();
+  ASSERT_NE(sys->incidents(), nullptr);
+
+  text::DocumentCollection docs;
+  text::Document doc;
+  doc.id = 1;
+  doc.title = "Madison";
+  doc.text = "Madison has a population of 233,209.";
+  docs.docs.push_back(doc);
+  ASSERT_TRUE(sys->IngestCrawl(docs).ok());
+
+  Frontend::Options fopts;
+  fopts.num_threads = 2;
+  fopts.breaker.failure_threshold = 2;
+  fopts.breaker.open_ms = 5;
+  fopts.health = &sys->health();
+  Frontend fe(fopts);
+  fe.RegisterOperator("search", [&](const RequestContext& ctx) {
+    auto hits = sys->KeywordSearch("Madison", 3, ctx.interrupt);
+    return hits.status();
+  });
+  fe.RegisterOperator("flaky", [](const RequestContext&) {
+    return Status::IoError("injected persistent fault");
+  });
+  fe.TagOperator("flaky", "query.flaky");
+
+  // A healthy request first, so the expensive-request tracker has a
+  // span tree with real cost (rows scanned) before the incident fires.
+  ASSERT_TRUE(fe.Call("search", RequestContext{}).ok());
+
+  core::System::WatchdogOptions wopts;
+  wopts.interval_ms = 20;
+  wopts.breaker_flap_threshold = 3;
+  sys->StartWatchdog(wopts);
+
+  // Keep the fault flapping until the watchdog has dumped a bundle AND
+  // suppressed at least one repeat trigger inside the cooldown window.
+  for (int i = 0; i < 6000 && sys->incidents()->suppressed() < 1; ++i) {
+    (void)fe.Call("flaky", RequestContext{});
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  sys->StopWatchdog();
+
+  EXPECT_EQ(sys->incidents()->dumps(), 1u)
+      << "cooldown must hold the flap to one bundle";
+  EXPECT_GE(sys->incidents()->suppressed(), 1u);
+
+  std::vector<std::string> bundles = IncidentBundleDirs(sopts.incident_dir);
+  ASSERT_EQ(bundles.size(), 1u);
+  const std::string& bundle = bundles[0];
+
+  std::string manifest = ReadWholeFile(bundle + "/MANIFEST.json");
+  EXPECT_TRUE(testutil::IsValidJson(manifest)) << manifest;
+  std::string trigger = JsonStringField(manifest, "trigger");
+  EXPECT_TRUE(trigger == "health_critical" || trigger == "breaker_flap")
+      << trigger;
+
+  std::string metrics = ReadWholeFile(bundle + "/metrics.json");
+  EXPECT_TRUE(testutil::IsValidJson(metrics));
+  EXPECT_NE(metrics.find("serve.breaker.open_transitions"),
+            std::string::npos);
+
+  std::string health = ReadWholeFile(bundle + "/health.json");
+  EXPECT_TRUE(testutil::IsValidJson(health));
+  EXPECT_NE(health.find("query.flaky"), std::string::npos) << health;
+
+  std::string events = ReadWholeFile(bundle + "/events.json");
+  EXPECT_TRUE(testutil::IsValidJson(events));
+  EXPECT_NE(events.find("\"code\":\"breaker_open\""), std::string::npos)
+      << events;
+  EXPECT_NE(events.find("\"code\":\"health_demote\""), std::string::npos)
+      << events;
+
+  std::string expensive = ReadWholeFile(bundle + "/expensive.json");
+  EXPECT_TRUE(testutil::IsValidJson(expensive));
+  EXPECT_NE(expensive.find("\"op\":\"serve."), std::string::npos)
+      << expensive;
+  EXPECT_NE(expensive.find("\"tree\":\""), std::string::npos);
+
+  EXPECT_TRUE(
+      testutil::IsValidJson(ReadWholeFile(bundle + "/slow.json")));
+  EXPECT_FALSE(ReadWholeFile(bundle + "/status.txt").empty());
+
+  // The operator-facing report points at the forensics.
+  std::string report = sys->StatusReport();
+  EXPECT_NE(report.find("forensics:"), std::string::npos) << report;
+  EXPECT_NE(report.find("bundles=1"), std::string::npos) << report;
+
+  std::filesystem::remove_all(sopts.workspace);
+  std::filesystem::remove_all(sopts.incident_dir);
+}
+
+// The bundle is a replayable record: walking its event-journal tail
+// with the watchdog's own trigger rules must re-derive the trigger
+// named in MANIFEST.json.
+TEST(ServeChaosTest, IncidentBundleTimelineReplaysItsTrigger) {
+  obs::ExpensiveRequestTracker::Instance().Clear();
+  constexpr uint32_t kFlapThreshold = 3;
+  core::System::Options sopts;
+  sopts.workspace = TempDir("replay");
+  sopts.incident_dir = TempDir("replay_bundles");
+  sopts.incident_cooldown_ms = 60'000;
+  auto sys_or = core::System::Create(sopts);
+  ASSERT_TRUE(sys_or.ok()) << sys_or.status().ToString();
+  std::unique_ptr<core::System> sys = std::move(sys_or).value();
+  ASSERT_NE(sys->incidents(), nullptr);
+
+  Frontend::Options fopts;
+  fopts.num_threads = 1;
+  fopts.breaker.failure_threshold = 2;
+  fopts.breaker.open_ms = 5;
+  // No TagOperator: health stays out of it, so the flap detector is the
+  // only trigger that can fire and the manifest is deterministic.
+  Frontend fe(fopts);
+  fe.RegisterOperator("flaky", [](const RequestContext&) {
+    return Status::IoError("injected persistent fault");
+  });
+
+  core::System::WatchdogOptions wopts;
+  wopts.interval_ms = 20;
+  wopts.breaker_flap_threshold = kFlapThreshold;
+  sys->StartWatchdog(wopts);
+  for (int i = 0; i < 6000 && sys->incidents()->dumps() < 1; ++i) {
+    (void)fe.Call("flaky", RequestContext{});
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  sys->StopWatchdog();
+  ASSERT_GE(sys->incidents()->dumps(), 1u);
+
+  std::vector<std::string> bundles = IncidentBundleDirs(sopts.incident_dir);
+  ASSERT_EQ(bundles.size(), 1u);
+  std::string manifest = ReadWholeFile(bundles[0] + "/MANIFEST.json");
+  std::string trigger = JsonStringField(manifest, "trigger");
+  ASSERT_FALSE(trigger.empty()) << manifest;
+
+  // Replay: walk the bundle's event timeline in order and apply the
+  // watchdog's trigger rules to re-derive what could have fired.
+  std::string events = ReadWholeFile(bundles[0] + "/events.json");
+  ASSERT_TRUE(testutil::IsValidJson(events));
+  std::vector<std::string> derived;
+  uint64_t breaker_opens = 0;
+  size_t pos = 0;
+  while (true) {
+    size_t at = events.find("\"nanos\":", pos);
+    if (at == std::string::npos) break;
+    std::string code =
+        JsonStringField(events.substr(at, events.find('}', at) - at),
+                        "code");
+    if (code == "breaker_open") {
+      if (++breaker_opens >= kFlapThreshold) {
+        derived.push_back("breaker_flap");
+      }
+    } else if (code == "health_demote") {
+      derived.push_back("health_critical");
+    } else if (code == "read_only_enter") {
+      derived.push_back("read_only_entered");
+    }
+    pos = at + 8;
+  }
+  EXPECT_NE(std::find(derived.begin(), derived.end(), trigger),
+            derived.end())
+      << "trigger '" << trigger << "' not derivable from the timeline:\n"
+      << events;
+  EXPECT_EQ(trigger, "breaker_flap");
+  EXPECT_GE(breaker_opens, kFlapThreshold);
+
+  std::filesystem::remove_all(sopts.workspace);
+  std::filesystem::remove_all(sopts.incident_dir);
 }
 
 }  // namespace
