@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
+
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -199,4 +201,7 @@ BENCHMARK(BM_DatabaseScrub)->Arg(500)->Arg(2000);
 }  // namespace
 }  // namespace structura
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return structura::bench::BenchmarkMainWithJson(
+      argc, argv, "e16_integrity_scrub", "BENCH_e16.json");
+}

@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
+
 #include <atomic>
 #include <filesystem>
 #include <memory>
@@ -142,4 +144,7 @@ BENCHMARK(BM_ConcurrentCommitByPolicy)
 }  // namespace
 }  // namespace structura
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return structura::bench::BenchmarkMainWithJson(
+      argc, argv, "e19_durable_wal", "BENCH_e19.json");
+}

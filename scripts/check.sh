@@ -56,6 +56,15 @@ STRUCTURA_SIM_SEED="${STRUCTURA_SIM_SEED:-$(date +%s)}" \
 STRUCTURA_SIM_ROUNDS="${STRUCTURA_SIM_ROUNDS:-100}" \
   ctest --test-dir "$repo_root/build" --output-on-failure -L sim
 
+echo "==> morsel-parallel differential + cache-coherence sweeps"
+# Seeded random-plan differential (parallel == serial, byte-for-byte)
+# and the result-cache coherence property sweep, labelled `parallel`.
+# Failures print the exact STRUCTURA_PARALLEL_SEED / STRUCTURA_CACHE_SEED
+# to replay.
+STRUCTURA_PARALLEL_ITERS="${STRUCTURA_PARALLEL_ITERS:-1000}" \
+STRUCTURA_CACHE_ITERS="${STRUCTURA_CACHE_ITERS:-1000}" \
+  ctest --test-dir "$repo_root/build" --output-on-failure -L parallel
+
 echo "==> address+undefined sanitizer build + tests"
 run_suite "$repo_root/build-asan" -DSTRUCTURA_SANITIZE=address,undefined
 
@@ -78,9 +87,17 @@ if [[ ${#CTEST_ARGS[@]} -eq 0 ]]; then
   # Default to the suites that exercise real concurrency: the serving
   # chaos harness, thread pool, map-reduce, the locking/txn layer, and
   # the metrics/tracing hot paths (sharded atomics + lock-free rings).
-  CTEST_ARGS=(-R 'ServeChaos|CircuitBreaker|Frontend|ThreadPool|MapReduce|Concurren|Lock|Metrics|Trace|Exposition|Logging')
+  CTEST_ARGS=(-R 'ServeChaos|CircuitBreaker|Frontend|ThreadPool|MapReduce|Concurren|Lock|Metrics|Trace|Exposition|Logging|ParallelExec|ResultCache')
 fi
 run_suite "$repo_root/build-tsan" -DSTRUCTURA_SANITIZE=thread
+
+echo "==> morsel-parallel + cache sweeps under TSan"
+# The differential and coherence sweeps are where executor/cache races
+# would actually surface; run them sanitized every time, even when the
+# caller narrowed CTEST_ARGS above.
+STRUCTURA_PARALLEL_ITERS="${STRUCTURA_PARALLEL_TSAN_ITERS:-200}" \
+STRUCTURA_CACHE_ITERS="${STRUCTURA_CACHE_TSAN_ITERS:-200}" \
+  ctest --test-dir "$repo_root/build-tsan" --output-on-failure -L parallel
 
 echo "==> degraded-mode chaos leg under TSan"
 # Explicit leg so the graceful-degradation machinery (health model,

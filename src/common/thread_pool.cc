@@ -135,45 +135,79 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+namespace {
+
+// Shared coordination state for one ParallelFor call. Heap-allocated
+// (shared_ptr) because continuation tasks may still sit in the pool
+// queue for a few instructions after the caller is released — they must
+// be able to observe "nothing left" without touching a dead frame. `fn`
+// is only ever invoked for indexes < n, all of which complete before
+// the caller unblocks, so the pointer stays valid for every actual
+// call; post-completion stragglers read the atomics and return.
+struct PfState {
+  size_t n = 0;
+  size_t grain = 0;
+  const std::function<void(size_t)>* fn = nullptr;
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+  std::mutex m;
+  std::condition_variable cv;
+  std::exception_ptr first_error;
+};
+
+// One scheduling quantum of the loop: claim indexes until the range is
+// exhausted or `grain` bodies have run, then re-post a *fresh*
+// continuation lambda to the back of the queue so concurrently Post()ed
+// tasks get a turn. A new lambda each time — a task capturing a
+// shared_ptr to a closure that contains itself would be a reference
+// cycle and leak.
+void RunChain(ThreadPool& pool, const std::shared_ptr<PfState>& s) {
+  size_t ran = 0;
+  while (true) {
+    size_t i = s->next.fetch_add(1);
+    if (i >= s->n) return;
+    // A throwing body must still count as done, or the caller would
+    // wait forever; the first exception is kept and rethrown there.
+    try {
+      (*s->fn)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(s->m);
+      if (!s->first_error) s->first_error = std::current_exception();
+    }
+    if (s->done.fetch_add(1) + 1 == s->n) {
+      std::lock_guard<std::mutex> lock(s->m);
+      s->cv.notify_all();
+      return;
+    }
+    if (s->grain > 0 && ++ran >= s->grain) {
+      // Yield: anything enqueued while this quantum ran goes first. The
+      // pool outlives the continuation (destruction drains the queue),
+      // and a continuation arriving after completion claims an index
+      // >= n and returns without touching `fn`.
+      pool.Post([&pool, s] { RunChain(pool, s); });
+      return;
+    }
+  }
+}
+
+}  // namespace
+
 void ParallelFor(ThreadPool& pool, size_t n,
                  const std::function<void(size_t)>& fn) {
+  ParallelFor(pool, n, ParallelForOptions{}, fn);
+}
+
+void ParallelFor(ThreadPool& pool, size_t n, const ParallelForOptions& opts,
+                 const std::function<void(size_t)>& fn) {
   if (n == 0) return;
-  // Shared ownership: workers may outlive this call by a few
-  // instructions (their final "any work left?" check happens after the
-  // completion notify), so the coordination state must not live on this
-  // frame. `fn` itself is only invoked for indexes < n, all of which
-  // complete before the caller is released — the reference stays valid
-  // for every actual call.
-  struct State {
-    std::atomic<size_t> next{0};
-    std::atomic<size_t> done{0};
-    std::mutex m;
-    std::condition_variable cv;
-    std::exception_ptr first_error;
-  };
-  auto state = std::make_shared<State>();
+  auto state = std::make_shared<PfState>();
+  state->n = n;
+  state->grain = opts.grain;
+  state->fn = &fn;
   size_t workers = std::min(pool.num_threads(), n);
+  if (opts.max_workers > 0) workers = std::min(workers, opts.max_workers);
   for (size_t w = 0; w < workers; ++w) {
-    pool.Post([state, n, &fn] {
-      while (true) {
-        size_t i = state->next.fetch_add(1);
-        if (i >= n) break;
-        // A throwing body must still count as done, or the caller would
-        // wait forever; the first exception is kept and rethrown there.
-        try {
-          fn(i);
-        } catch (...) {
-          std::lock_guard<std::mutex> lock(state->m);
-          if (!state->first_error) {
-            state->first_error = std::current_exception();
-          }
-        }
-        if (state->done.fetch_add(1) + 1 == n) {
-          std::lock_guard<std::mutex> lock(state->m);
-          state->cv.notify_all();
-        }
-      }
-    });
+    pool.Post([&pool, state] { RunChain(pool, state); });
   }
   std::unique_lock<std::mutex> lock(state->m);
   state->cv.wait(lock, [&] { return state->done.load() == n; });

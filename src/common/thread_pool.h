@@ -115,11 +115,28 @@ class ThreadPool {
   std::vector<std::pair<std::string, uint64_t>> published_gauges_;
 };
 
+/// Scheduling knobs for ParallelFor.
+struct ParallelForOptions {
+  /// Maximum loop indexes one dequeued task runs before yielding: after
+  /// `grain` bodies the task re-posts a fresh continuation to the BACK
+  /// of the pool queue, so tasks Post()ed concurrently (e.g. the serve
+  /// path) interleave instead of waiting out the whole range. 0 =
+  /// unbounded — a claimed task runs until the range is exhausted.
+  size_t grain = 0;
+  /// Cap on tasks seeded into the pool for this loop (0 = one per pool
+  /// thread). Lets a caller keep a wide pool mostly free for other work.
+  size_t max_workers = 0;
+};
+
 /// Runs `fn(i)` for i in [0, n) across `pool`, blocking until all
 /// complete. If any body throws, the first exception is rethrown on the
 /// calling thread after the loop finishes (remaining indexes may or may
 /// not have run).
 void ParallelFor(ThreadPool& pool, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+/// As above with explicit scheduling options (grain / worker cap).
+void ParallelFor(ThreadPool& pool, size_t n, const ParallelForOptions& opts,
                  const std::function<void(size_t)>& fn);
 
 }  // namespace structura

@@ -16,6 +16,7 @@
 #include "obs/trace.h"
 #include "query/hybrid.h"
 #include "query/structured_query.h"
+#include "serve/request_context.h"
 
 namespace structura::core {
 namespace {
@@ -46,6 +47,9 @@ System::System(Options options)
 
 System::~System() {
   StopWatchdog();
+  // The commit listener captures the result cache; detach it before
+  // members (cache included) are destroyed.
+  if (db_ != nullptr) db_->SetCommitListener(nullptr);
   // The event journal is process-global but was stamping on this
   // system's clock; drop back to real time so a test-scoped
   // SimulatedClock cannot dangle there.
@@ -81,6 +85,47 @@ Result<std::unique_ptr<System>> System::Create(Options options) {
   }
   recovered.Merge(sys->snapshots_.recovery_report());
   PublishIntegrityGauges("integrity.recovery", recovered);
+  // Morsel-parallel query execution: one shared pool, threaded through
+  // the execution context to every operator. parallelism <= 1 keeps
+  // the serial path (no pool at all).
+  sys->ctx_.exec.morsel_rows = sys->options_.query_morsel_rows;
+  if (sys->options_.query_parallelism > 1) {
+    sys->query_pool_ =
+        std::make_unique<ThreadPool>(sys->options_.query_parallelism);
+    sys->ctx_.exec.parallelism = sys->options_.query_parallelism;
+    sys->ctx_.exec.pool = sys->query_pool_.get();
+  }
+  // Epoch-versioned result cache. The database's commit listener bumps
+  // "table:<name>" at each durable commit; IngestCrawl bumps "docs";
+  // the interpreter bumps "view:<name>" — so a stale hit is
+  // structurally impossible: any committed write moves the epoch the
+  // cached entry was snapshotted against.
+  if (sys->options_.query_cache_entries > 0 &&
+      sys->options_.query_cache_bytes > 0) {
+    query::QueryResultCache::Options cache_options;
+    cache_options.max_entries = sys->options_.query_cache_entries;
+    cache_options.max_bytes = sys->options_.query_cache_bytes;
+    cache_options.min_cost_score = sys->options_.query_cache_min_cost;
+    sys->query_cache_ =
+        std::make_unique<query::QueryResultCache>(cache_options);
+    sys->ctx_.cache = sys->query_cache_.get();
+    System* self = sys.get();
+    // Degraded-mode policy: a browned-out or critical system serves
+    // queries fresh (still correct, never stale) rather than risking a
+    // cache warmed before the trouble; per-request no-cache rides the
+    // serve layer's thread-local bypass.
+    sys->ctx_.cache_gate = [self] {
+      return !self->ReadOnly() &&
+             self->health_.Overall() != serve::HealthState::kCritical &&
+             !serve::CacheBypassed();
+    };
+    sys->db_->SetCommitListener(
+        [self](const std::vector<std::string>& tables) {
+          for (const std::string& t : tables) {
+            self->query_cache_->epochs().Bump("table:" + t);
+          }
+        });
+  }
   sys->RegisterBuiltinHealthSignals();
   // The flight recorder's event journal stamps on this system's clock
   // (process-global and observational; tests with a SimulatedClock get
@@ -479,6 +524,9 @@ Status System::IngestCrawl(const text::DocumentCollection& docs) {
     keyword_index_.AddDocument(doc);
   }
   keyword_index_.Finalize();
+  // A new crawl is a new "docs" epoch: every cached result that read
+  // documents (directly or via a view) is invalidated at next lookup.
+  if (query_cache_ != nullptr) query_cache_->epochs().Bump("docs");
   ctx_.docs = &docs_;
   ctx_.db = db_.get();
   monitor_.RecordDocsProcessed(docs.size());
@@ -651,6 +699,9 @@ Result<std::map<std::string, std::string>> System::UnifyViewSchema(
       UnifyResult unified,
       UnifySchema(it->second, canonical_attributes, options));
   it->second = std::move(unified.unified);
+  // The view was rewritten outside the interpreter: bump its epoch so
+  // cached results over it are invalidated.
+  if (query_cache_ != nullptr) query_cache_->epochs().Bump("view:" + view);
   return unified.renames;
 }
 
@@ -699,6 +750,28 @@ std::string System::StatusReport() const {
   }
   if (serving_stats_) {
     out += "serving: " + serving_stats_().ToString() + "\n";
+  }
+  if (query_cache_ != nullptr) {
+    query::QueryResultCache::Stats cs = query_cache_->stats();
+    out += StrFormat(
+        "query cache: %zu entries, %zu bytes; hits=%llu misses=%llu "
+        "evictions=%llu invalidations=%llu rejected=%llu",
+        cs.entries, cs.bytes, static_cast<unsigned long long>(cs.hits),
+        static_cast<unsigned long long>(cs.misses),
+        static_cast<unsigned long long>(cs.evictions),
+        static_cast<unsigned long long>(cs.invalidations),
+        static_cast<unsigned long long>(cs.rejected));
+    if (ReadOnly()) {
+      out += " (bypassed: read-only brownout)";
+    } else if (health_.Overall() == serve::HealthState::kCritical) {
+      out += " (bypassed: health critical)";
+    }
+    out += '\n';
+  }
+  if (query_pool_ != nullptr) {
+    out += StrFormat("query execution: morsel-parallel, %zu workers, "
+                     "%zu-row morsels\n",
+                     options_.query_parallelism, options_.query_morsel_rows);
   }
   if (ReadOnly()) {
     out += "mode: READ-ONLY (" + ReadOnlyReason() + ")\n";
@@ -1031,7 +1104,7 @@ std::vector<query::SearchHit> System::KeywordSearch(const std::string& q,
 
 Result<std::vector<query::SearchHit>> System::KeywordSearch(
     const std::string& q, size_t k, const Interrupt& intr) const {
-  return keyword_index_.Search(q, k, intr);
+  return keyword_index_.Search(q, k, intr, ctx_.exec);
 }
 
 std::vector<query::QueryForm> System::SuggestQueries(
@@ -1056,7 +1129,7 @@ Result<std::vector<query::SearchHit>> System::HybridSearch(
   query::HybridQuery hq;
   hq.keywords = keywords;
   hq.structured = conditions;
-  return query::HybridSearch(keyword_index_, *rel, hq, k, intr);
+  return query::HybridSearch(keyword_index_, *rel, hq, k, intr, ctx_.exec);
 }
 
 Result<query::HybridAnswer> System::HybridSearchDegraded(
@@ -1090,7 +1163,8 @@ Result<query::HybridAnswer> System::HybridSearchDegraded(
   hq.structured = conditions;
   static const query::Relation kEmptyFacts;
   return query::HybridSearchDegradable(
-      keyword_index_, rel != nullptr ? *rel : kEmptyFacts, hq, k, fb, intr);
+      keyword_index_, rel != nullptr ? *rel : kEmptyFacts, hq, k, fb, intr,
+      ctx_.exec);
 }
 
 Result<query::Relation> System::RunForm(const query::QueryForm& form,
@@ -1100,7 +1174,34 @@ Result<query::Relation> System::RunForm(const query::QueryForm& form,
     return Status::FailedPrecondition(
         "no fact view bound (call BuildBeliefsFromView)");
   }
-  return query::ExecuteStructuredQuery(form.query, *rel, intr);
+  // Forms run over exactly one input — the bound fact view — so their
+  // cache entries carry a single epoch. The fingerprint is the rendered
+  // SQL: two forms with identical SQL are the same query.
+  bool use_cache =
+      query_cache_ != nullptr && (!ctx_.cache_gate || ctx_.cache_gate());
+  std::string fingerprint;
+  query::EpochVector at;
+  if (use_cache) {
+    fingerprint = "form:" + fact_view_ + ":" + form.query.ToSql();
+    at = query_cache_->epochs().Snapshot({"view:" + fact_view_});
+    if (std::optional<query::Relation> hit =
+            query_cache_->Lookup(fingerprint)) {
+      return std::move(*hit);
+    }
+  }
+  int64_t started_nanos = clock()->NowNanos();
+  STRUCTURA_ASSIGN_OR_RETURN(
+      query::Relation out,
+      query::ExecuteStructuredQuery(form.query, *rel, intr, ctx_.exec));
+  if (use_cache) {
+    obs::CostVector cost;
+    cost.v[static_cast<size_t>(obs::CostDim::kCpuNanos)] =
+        static_cast<uint64_t>(
+            std::max<int64_t>(0, clock()->NowNanos() - started_nanos));
+    cost.v[static_cast<size_t>(obs::CostDim::kRowsScanned)] = rel->size();
+    query_cache_->Insert(fingerprint, std::move(at), out, cost);
+  }
+  return out;
 }
 
 }  // namespace structura::core

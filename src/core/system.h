@@ -17,6 +17,7 @@
 #include "common/env.h"
 #include "common/integrity.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "debugger/semantic_debugger.h"
 #include "hi/aggregation.h"
 #include "hi/simulated_user.h"
@@ -28,6 +29,7 @@
 #include "provenance/lineage.h"
 #include "query/hybrid.h"
 #include "query/keyword_index.h"
+#include "query/result_cache.h"
 #include "query/standing_query.h"
 #include "query/translator.h"
 #include "rdbms/database.h"
@@ -77,6 +79,21 @@ class System {
     /// a flapping trigger produces one bundle per window plus a
     /// suppressed count, never a dump storm.
     uint64_t incident_cooldown_ms = 1000;
+    /// Worker threads for morsel-parallel query execution. 1 = serial
+    /// (no pool is created). Results are byte-identical across any
+    /// value — parallelism is a scheduling choice, never a semantic
+    /// one (see ExecutorOptions).
+    size_t query_parallelism = 1;
+    /// Rows per morsel; part of the determinism contract (aggregate
+    /// merge boundaries follow morsel boundaries on every path).
+    size_t query_morsel_rows = 1024;
+    /// Result-cache capacity. Either knob at 0 disables caching
+    /// entirely (no cache object is created).
+    size_t query_cache_entries = 1024;
+    size_t query_cache_bytes = 8u << 20;
+    /// Cost-aware admission: results whose measured CostVector score
+    /// falls below this are not worth caching. 0 = admit everything.
+    uint64_t query_cache_min_cost = 0;
   };
 
   static Result<std::unique_ptr<System>> Create(Options options);
@@ -365,6 +382,12 @@ class System {
     return ctx_.quarantined_extractors;
   }
 
+  /// The epoch-versioned query result cache, or nullptr when disabled
+  /// (query_cache_entries or query_cache_bytes = 0). Tests read stats
+  /// and epochs through it; the interpreter consults it via the
+  /// execution context.
+  query::QueryResultCache* result_cache() const { return query_cache_.get(); }
+
   // --- Component access -------------------------------------------------
 
   lang::ExecutionContext& context() { return ctx_; }
@@ -404,6 +427,11 @@ class System {
 
   std::unique_ptr<rdbms::Database> db_;
   std::unique_ptr<storage::SegmentStore> intermediate_;
+  /// Morsel-execution worker pool (null when query_parallelism <= 1)
+  /// and the epoch-versioned result cache (null when disabled).
+  /// ~System detaches the database commit listener before these die.
+  std::unique_ptr<ThreadPool> query_pool_;
+  std::unique_ptr<query::QueryResultCache> query_cache_;
   /// Guards the scrub results below: StatusReport() (any thread) and
   /// the watchdog's auto-scrub both touch them.
   mutable std::mutex scrub_mutex_;

@@ -1,11 +1,14 @@
 #include "lang/executor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
+#include <mutex>
 #include <set>
 
 #include "common/failpoint.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "ii/resolution.h"
 #include "ii/union_find.h"
 #include "obs/flight_recorder.h"
@@ -65,8 +68,13 @@ Result<query::Relation> ExecuteExtract(const PlanNode& plan,
 
   std::set<text::DocId> restriction(plan.children[0]->doc_restriction.begin(),
                                     plan.children[0]->doc_restriction.end());
-  query::Relation out(ExtractionColumns());
-  for (const text::Document& doc : ctx->docs->docs) {
+  // Select the docs to extract from up front (cheap, serial); the
+  // expensive extractor work then runs per-doc, morsel-parallel when
+  // the context says so, with per-morsel row buffers merged in doc
+  // order so output order matches the serial path exactly.
+  std::vector<size_t> selected;
+  for (size_t d = 0; d < ctx->docs->docs.size(); ++d) {
+    const text::Document& doc = ctx->docs->docs[d];
     if (!restriction.empty() && restriction.count(doc.id) == 0) continue;
     if (!category.empty()) {
       bool match = false;
@@ -75,12 +83,25 @@ Result<query::Relation> ExecuteExtract(const PlanNode& plan,
       }
       if (!match) continue;
     }
-    ++ctx->docs_scanned;
+    selected.push_back(d);
+  }
+
+  // Fault/quarantine bookkeeping is shared across morsels; one local
+  // mutex covers it. (ExecutionContext stays copyable — the lock lives
+  // on this frame, not in the context.)
+  std::mutex fault_mu;
+  auto extract_doc = [&](const text::Document& doc,
+                         std::vector<query::Row>* rows, size_t* runs) {
     std::string doc_category =
         doc.categories.empty() ? "" : doc.categories.front();
     for (size_t op_index = 0; op_index < ops.size(); ++op_index) {
       const std::string& op_name = plan.extractors[op_index];
-      if (ctx->quarantined_extractors.count(op_name) > 0) continue;
+      bool quarantined;
+      {
+        std::lock_guard<std::mutex> lock(fault_mu);
+        quarantined = ctx->quarantined_extractors.count(op_name) > 0;
+      }
+      if (quarantined) continue;
       Status injected = MaybeFail("ie.extract");
       if (injected.ok()) injected = MaybeFail("ie.extract." + op_name);
       if (!injected.ok()) {
@@ -95,6 +116,7 @@ Result<query::Relation> ExecuteExtract(const PlanNode& plan,
             obs::MetricsRegistry::Default().GetGauge(
                 "ie.quarantined_extractors");
         fault_counter->Increment();
+        std::lock_guard<std::mutex> lock(fault_mu);
         size_t faults = ++ctx->extractor_faults[op_name];
         if (faults >= ctx->extractor_error_budget &&
             ctx->quarantined_extractors.insert(op_name).second) {
@@ -103,7 +125,7 @@ Result<query::Relation> ExecuteExtract(const PlanNode& plan,
         continue;
       }
       const ie::Extractor* op = ops[op_index];
-      ++ctx->extractor_runs;
+      ++*runs;
       obs::ChargeCost(obs::CostDim::kExtractorCalls, 1);
       for (const ie::ExtractedFact& fact : op->Extract(doc)) {
         if (plan.min_confidence >= 0 &&
@@ -119,8 +141,54 @@ Result<query::Relation> ExecuteExtract(const PlanNode& plan,
         row.push_back(query::Value::Str(fact.value));
         row.push_back(query::Value::Double(fact.confidence));
         row.push_back(query::Value::Str(fact.extractor));
+        rows->push_back(std::move(row));
+      }
+    }
+  };
+
+  query::Relation out(ExtractionColumns());
+  if (!ctx->exec.Parallel() || selected.size() <= 1) {
+    std::vector<query::Row> rows;
+    for (size_t d : selected) {
+      STRUCTURA_RETURN_IF_ERROR(ctx->interrupt.Check());
+      ++ctx->docs_scanned;
+      rows.clear();
+      extract_doc(ctx->docs->docs[d], &rows, &ctx->extractor_runs);
+      for (query::Row& row : rows) {
         STRUCTURA_RETURN_IF_ERROR(out.Append(std::move(row)));
       }
+    }
+    return out;
+  }
+
+  size_t md = std::max<size_t>(1, ctx->exec.morsel_docs);
+  size_t morsels = (selected.size() + md - 1) / md;
+  std::vector<std::vector<query::Row>> parts(morsels);
+  std::vector<size_t> runs(morsels, 0);
+  std::vector<Status> statuses(morsels);
+  ParallelForOptions pf;
+  pf.grain = ctx->exec.grain;
+  pf.max_workers = ctx->exec.parallelism;
+  ParallelFor(*ctx->exec.pool, morsels, pf, [&](size_t m) {
+    Status s = ctx->interrupt.Check();
+    if (!s.ok()) {
+      statuses[m] = s;
+      return;
+    }
+    size_t begin = m * md;
+    size_t end = std::min(selected.size(), (m + 1) * md);
+    for (size_t i = begin; i < end; ++i) {
+      extract_doc(ctx->docs->docs[selected[i]], &parts[m], &runs[m]);
+    }
+  });
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+  ctx->docs_scanned += selected.size();
+  for (size_t m = 0; m < morsels; ++m) {
+    ctx->extractor_runs += runs[m];
+    for (query::Row& row : parts[m]) {
+      STRUCTURA_RETURN_IF_ERROR(out.Append(std::move(row)));
     }
   }
   return out;
@@ -219,6 +287,26 @@ Result<query::Relation> ExecuteResolve(const PlanNode& plan,
   return out;
 }
 
+/// Caching policy: only plans made of pure relational nodes are
+/// cacheable. Extraction mutates quarantine/fault bookkeeping (its
+/// results depend on state no epoch tracks) and RESOLVE can consult a
+/// human reviewer — replaying either from a cache would change
+/// semantics, so both are executed fresh every time.
+bool PlanIsCacheable(const PlanNode& plan) {
+  switch (plan.type) {
+    case PlanNode::Type::kScanDocs:
+    case PlanNode::Type::kExtract:
+    case PlanNode::Type::kResolve:
+      return false;
+    default:
+      break;
+  }
+  for (const PlanPtr& child : plan.children) {
+    if (!PlanIsCacheable(*child)) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 Result<query::Relation> ExecutePlan(const PlanNode& plan,
@@ -242,12 +330,12 @@ Result<query::Relation> ExecutePlan(const PlanNode& plan,
     case PlanNode::Type::kFilter: {
       STRUCTURA_ASSIGN_OR_RETURN(query::Relation in,
                                  ExecutePlan(*plan.children[0], ctx));
-      return query::Filter(in, plan.conditions);
+      return query::Filter(in, plan.conditions, ctx->interrupt, ctx->exec);
     }
     case PlanNode::Type::kProject: {
       STRUCTURA_ASSIGN_OR_RETURN(query::Relation in,
                                  ExecutePlan(*plan.children[0], ctx));
-      return query::Project(in, plan.columns);
+      return query::Project(in, plan.columns, ctx->interrupt, ctx->exec);
     }
     case PlanNode::Type::kJoin: {
       STRUCTURA_ASSIGN_OR_RETURN(query::Relation left,
@@ -255,7 +343,8 @@ Result<query::Relation> ExecutePlan(const PlanNode& plan,
       STRUCTURA_ASSIGN_OR_RETURN(query::Relation right,
                                  ExecutePlan(*plan.children[1], ctx));
       return query::HashJoin(left, right, plan.join_left_col,
-                             plan.join_right_col);
+                             plan.join_right_col, "r_", ctx->interrupt,
+                             ctx->exec);
     }
     case PlanNode::Type::kDistinct: {
       STRUCTURA_ASSIGN_OR_RETURN(query::Relation in,
@@ -265,7 +354,8 @@ Result<query::Relation> ExecutePlan(const PlanNode& plan,
     case PlanNode::Type::kAggregate: {
       STRUCTURA_ASSIGN_OR_RETURN(query::Relation in,
                                  ExecutePlan(*plan.children[0], ctx));
-      return query::Aggregate(in, plan.columns, plan.aggs);
+      return query::Aggregate(in, plan.columns, plan.aggs, ctx->interrupt,
+                              ctx->exec);
     }
     case PlanNode::Type::kResolve: {
       STRUCTURA_ASSIGN_OR_RETURN(query::Relation in,
@@ -368,6 +458,28 @@ Result<Interpreter::StatementResult> Interpreter::RunStatement(
     }
     return result;
   }
+  // Result caching for pure SELECTs: key by canonical plan fingerprint,
+  // validated against the epoch snapshot of every view the plan reads.
+  // The snapshot is taken BEFORE execution — if a writer bumps an input
+  // mid-run, the entry is recorded at the pre-write epoch and the next
+  // lookup discards it, so a stale hit is structurally impossible.
+  bool use_cache = stmt.kind == Statement::Kind::kSelect &&
+                   ctx_->cache != nullptr && PlanIsCacheable(*plan) &&
+                   (!ctx_->cache_gate || ctx_->cache_gate());
+  std::string fingerprint;
+  query::EpochVector at;
+  if (use_cache) {
+    fingerprint = PlanFingerprint(*plan);
+    at = ctx_->cache->epochs().Snapshot(CollectPlanInputs(*plan));
+    if (std::optional<query::Relation> hit =
+            ctx_->cache->Lookup(fingerprint)) {
+      result.relation = std::move(*hit);
+      result.has_relation = true;
+      result.text = StrFormat("%zu rows", result.relation.size());
+      return result;
+    }
+  }
+  auto exec_start = std::chrono::steady_clock::now();
   STRUCTURA_ASSIGN_OR_RETURN(query::Relation rel,
                              ExecutePlan(*plan, ctx_));
   if (stmt.kind == Statement::Kind::kCreateView) {
@@ -378,10 +490,25 @@ Result<Interpreter::StatementResult> Interpreter::RunStatement(
       ctx_->view_definitions[stmt.view_name] =
           std::get<ExtractAst>(stmt.body);
     }
+    // The view's contents changed: retire every cached result reading
+    // it (O(1) — entries are validated lazily at lookup).
+    if (ctx_->cache != nullptr) {
+      ctx_->cache->epochs().Bump("view:" + stmt.view_name);
+    }
     result.text = StrFormat("view %s created (%zu rows)",
                             stmt.view_name.c_str(),
                             ctx_->views[stmt.view_name].size());
   } else {
+    if (use_cache) {
+      obs::CostVector cost;
+      cost.v[static_cast<size_t>(obs::CostDim::kCpuNanos)] =
+          static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - exec_start)
+                  .count());
+      cost.v[static_cast<size_t>(obs::CostDim::kRowsScanned)] = rel.size();
+      ctx_->cache->Insert(fingerprint, std::move(at), rel, cost);
+    }
     result.relation = std::move(rel);
     result.has_relation = true;
     result.text = StrFormat("%zu rows", result.relation.size());
@@ -456,6 +583,9 @@ Result<Interpreter::StatementResult> Interpreter::RunRefresh(
       refresh.view.c_str(), replaced, fresh.size(),
       ctx_->dirty_docs.size(), merged.size());
   ctx_->views[refresh.view] = std::move(merged);
+  if (ctx_->cache != nullptr) {
+    ctx_->cache->epochs().Bump("view:" + refresh.view);
+  }
   return result;
 }
 

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "hi/task.h"
 #include "ie/extractor.h"
 #include "ii/matcher.h"
@@ -16,6 +17,7 @@
 #include "lang/parser.h"
 #include "lang/plan.h"
 #include "query/relation.h"
+#include "query/result_cache.h"
 #include "text/document.h"
 
 namespace structura::lang {
@@ -52,6 +54,27 @@ struct ExecutionContext {
   /// Human-review channel for WITH HUMAN REVIEW: gets a yes/no task,
   /// returns true for "yes". Unset = reviews silently approve.
   std::function<bool(const hi::Task&)> review_fn;
+
+  /// Morsel-execution knobs for scan-shaped operators and the EXTRACT
+  /// doc loop. Defaults select the serial path; the System facade wires
+  /// in its query pool when Options::query_parallelism > 1.
+  query::ExecutorOptions exec;
+
+  /// Cooperative interrupt polled between morsels and operators. The
+  /// default never fires; callers that want deadline/cancellation
+  /// semantics for a run set it beforehand.
+  Interrupt interrupt;
+
+  /// Epoch-versioned result cache (non-owning; null = caching off).
+  /// SELECT results over pure relational plans are keyed by canonical
+  /// plan fingerprint and validated against the epoch snapshot of the
+  /// views they read; view (re)creation bumps "view:<name>" here.
+  query::QueryResultCache* cache = nullptr;
+
+  /// Gate consulted before any cache lookup or insert; unset = always
+  /// allowed. The System wires degraded-mode policy (read-only
+  /// brownout, critical health) and per-request no-cache bypass here.
+  std::function<bool()> cache_gate;
 
   /// Execution counters (reset by the caller as needed).
   size_t docs_scanned = 0;

@@ -1,5 +1,7 @@
 #include "lang/plan.h"
 
+#include <algorithm>
+
 #include "common/strings.h"
 
 namespace structura::lang {
@@ -144,6 +146,111 @@ Result<PlanPtr> BuildPlan(const Statement& stmt) {
     return Status::Internal("REFRESH plans are built by the interpreter");
   }
   return BuildSelectPlan(std::get<SelectAst>(stmt.body));
+}
+
+namespace {
+
+/// Type-tagged literal rendering so values of different types that
+/// print alike stay distinct in a fingerprint.
+void AppendLiteral(const rdbms::Value& v, std::string* out) {
+  *out += std::to_string(static_cast<int>(v.type()));
+  *out += ':';
+  *out += v.ToString();
+}
+
+void AppendFingerprint(const PlanNode& n, std::string* out) {
+  *out += std::to_string(static_cast<int>(n.type));
+  *out += '(';
+  switch (n.type) {
+    case PlanNode::Type::kScanDocs:
+      *out += n.category_filter;
+      for (text::DocId id : n.doc_restriction) {
+        *out += '#';
+        *out += std::to_string(id);
+      }
+      break;
+    case PlanNode::Type::kExtract:
+      *out += Join(n.extractors, ",");
+      *out += StrFormat("@%.17g", n.min_confidence);
+      break;
+    case PlanNode::Type::kViewRef:
+      *out += n.view;
+      break;
+    case PlanNode::Type::kFilter:
+      for (const query::Condition& c : n.conditions) {
+        *out += c.column;
+        *out += ' ';
+        *out += std::to_string(static_cast<int>(c.op));
+        *out += ' ';
+        AppendLiteral(c.literal, out);
+        *out += ';';
+      }
+      break;
+    case PlanNode::Type::kProject:
+      *out += Join(n.columns, ",");
+      break;
+    case PlanNode::Type::kAggregate:
+      *out += Join(n.columns, ",");
+      *out += '|';
+      for (const query::AggSpec& a : n.aggs) {
+        *out += std::to_string(static_cast<int>(a.fn));
+        *out += ':';
+        *out += a.column;
+        *out += ':';
+        *out += a.output_name;
+        *out += ';';
+      }
+      break;
+    case PlanNode::Type::kJoin:
+      *out += n.join_left_col;
+      *out += '=';
+      *out += n.join_right_col;
+      break;
+    case PlanNode::Type::kResolve:
+      *out += n.resolve.source;
+      *out += ':';
+      *out += n.resolve.column;
+      *out += ':';
+      *out += n.resolve.matcher;
+      *out += StrFormat(":%.17g:%d", n.resolve.threshold,
+                        n.resolve.review_budget);
+      break;
+    case PlanNode::Type::kOrderBy:
+      *out += n.order_column;
+      *out += n.descending ? "-" : "+";
+      break;
+    case PlanNode::Type::kLimit:
+      *out += std::to_string(n.limit);
+      break;
+    case PlanNode::Type::kDistinct:
+      break;
+  }
+  for (const PlanPtr& child : n.children) {
+    AppendFingerprint(*child, out);
+  }
+  *out += ')';
+}
+
+void CollectInputs(const PlanNode& n, std::vector<std::string>* out) {
+  if (n.type == PlanNode::Type::kViewRef) out->push_back("view:" + n.view);
+  if (n.type == PlanNode::Type::kScanDocs) out->push_back("docs");
+  for (const PlanPtr& child : n.children) CollectInputs(*child, out);
+}
+
+}  // namespace
+
+std::string PlanFingerprint(const PlanNode& plan) {
+  std::string out;
+  AppendFingerprint(plan, &out);
+  return out;
+}
+
+std::vector<std::string> CollectPlanInputs(const PlanNode& plan) {
+  std::vector<std::string> out;
+  CollectInputs(plan, &out);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
 }
 
 std::string PlanNode::ToString(int indent) const {

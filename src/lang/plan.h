@@ -76,6 +76,19 @@ using PlanPtr = std::unique_ptr<PlanNode>;
 /// Builds the naive logical plan for one statement body.
 Result<PlanPtr> BuildPlan(const Statement& stmt);
 
+/// Canonical fingerprint: a compact, unambiguous rendering of every
+/// semantically meaningful field of the (optimized) plan, recursively.
+/// Literals carry a type tag so `= 5` and `= "5"` never collide. Two
+/// plans with equal fingerprints compute the same result over the same
+/// input epochs — this is the result-cache key.
+std::string PlanFingerprint(const PlanNode& plan);
+
+/// Epoch names of every tracked input the plan reads ("view:<name>"
+/// for view references, "docs" for document scans), sorted and
+/// deduplicated — the invalidation footprint a cached result must be
+/// validated against (see query::EpochMap).
+std::vector<std::string> CollectPlanInputs(const PlanNode& plan);
+
 }  // namespace structura::lang
 
 #endif  // STRUCTURA_LANG_PLAN_H_

@@ -12,8 +12,10 @@ namespace {
 /// Runs the structured side: the set of qualifying document ids.
 Result<std::set<int64_t>> QualifyingDocs(const Relation& facts,
                                          const std::vector<Condition>& conds,
-                                         const Interrupt& intr) {
-  STRUCTURA_ASSIGN_OR_RETURN(Relation qualifying, Filter(facts, conds, intr));
+                                         const Interrupt& intr,
+                                         const ExecutorOptions& opts) {
+  STRUCTURA_ASSIGN_OR_RETURN(Relation qualifying,
+                             Filter(facts, conds, intr, opts));
   int doc_col = qualifying.ColumnIndex("doc");
   if (doc_col < 0) {
     return Status::InvalidArgument("facts relation lacks a doc column");
@@ -45,8 +47,8 @@ bool DegradableError(const Status& s) {
 Result<std::vector<SearchHit>> HybridSearch(const KeywordIndex& index,
                                             const Relation& facts,
                                             const HybridQuery& query,
-                                            size_t k,
-                                            const Interrupt& intr) {
+                                            size_t k, const Interrupt& intr,
+                                            const ExecutorOptions& opts) {
   TRACE_SPAN("query.hybrid");
   static obs::Counter* searches =
       obs::MetricsRegistry::Default().GetCounter("query.hybrid.searches");
@@ -55,14 +57,15 @@ Result<std::vector<SearchHit>> HybridSearch(const KeywordIndex& index,
   searches->Increment();
   obs::ScopedLatency record_latency(latency);
   // 1. Structured side: the set of qualifying documents.
-  STRUCTURA_ASSIGN_OR_RETURN(std::set<int64_t> doc_ids,
-                             QualifyingDocs(facts, query.structured, intr));
+  STRUCTURA_ASSIGN_OR_RETURN(
+      std::set<int64_t> doc_ids,
+      QualifyingDocs(facts, query.structured, intr, opts));
 
   // 2. IR side: rank broadly, then keep qualifying docs. Over-fetch so
   // filtering still leaves k results when possible.
   STRUCTURA_ASSIGN_OR_RETURN(
       std::vector<SearchHit> hits,
-      index.Search(query.keywords, k * 10 + 50, intr));
+      index.Search(query.keywords, k * 10 + 50, intr, opts));
   std::vector<SearchHit> out;
   for (const SearchHit& hit : hits) {
     if (doc_ids.count(static_cast<int64_t>(hit.doc)) == 0) continue;
@@ -88,7 +91,8 @@ Result<HybridAnswer> HybridSearchDegradable(const KeywordIndex& index,
                                             const Relation& facts,
                                             const HybridQuery& query, size_t k,
                                             const HybridFallback& fallback,
-                                            const Interrupt& intr) {
+                                            const Interrupt& intr,
+                                            const ExecutorOptions& opts) {
   TRACE_SPAN("query.hybrid");
   static obs::Counter* searches =
       obs::MetricsRegistry::Default().GetCounter("query.hybrid.searches");
@@ -123,7 +127,7 @@ Result<HybridAnswer> HybridSearchDegradable(const KeywordIndex& index,
   bool have_docs = false;
   if (structured_ok) {
     Result<std::set<int64_t>> docs =
-        QualifyingDocs(facts, query.structured, intr);
+        QualifyingDocs(facts, query.structured, intr, opts);
     if (docs.ok()) {
       doc_ids = std::move(docs).value();
       have_docs = true;
@@ -139,7 +143,7 @@ Result<HybridAnswer> HybridSearchDegradable(const KeywordIndex& index,
   // keyword-only otherwise.
   if (keyword_ok) {
     Result<std::vector<SearchHit>> hits =
-        index.Search(query.keywords, have_docs ? k * 10 + 50 : k, intr);
+        index.Search(query.keywords, have_docs ? k * 10 + 50 : k, intr, opts);
     if (hits.ok()) {
       HybridAnswer ans;
       if (have_docs) {

@@ -29,7 +29,7 @@ struct HybridQuery {
 Result<std::vector<SearchHit>> HybridSearch(
     const KeywordIndex& index, const Relation& facts,
     const HybridQuery& query, size_t k,
-    const Interrupt& intr = Interrupt{});
+    const Interrupt& intr = Interrupt{}, const ExecutorOptions& opts = {});
 
 /// How a degradable hybrid search was actually answered.
 enum class HybridMode {
@@ -81,7 +81,7 @@ Result<HybridAnswer> HybridSearchDegradable(
     const KeywordIndex& index, const Relation& facts,
     const HybridQuery& query, size_t k,
     const HybridFallback& fallback = HybridFallback{},
-    const Interrupt& intr = Interrupt{});
+    const Interrupt& intr = Interrupt{}, const ExecutorOptions& opts = {});
 
 }  // namespace structura::query
 

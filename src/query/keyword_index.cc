@@ -5,6 +5,7 @@
 #include <cmath>
 #include <map>
 
+#include "common/thread_pool.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -38,6 +39,7 @@ void KeywordIndex::Finalize() {
       doc_lengths_.empty() ? 0 : total / static_cast<double>(
                                              doc_lengths_.size());
   finalized_ = true;
+  ++version_;
 }
 
 std::vector<SearchHit> KeywordIndex::Search(const std::string& query,
@@ -47,7 +49,8 @@ std::vector<SearchHit> KeywordIndex::Search(const std::string& query,
 }
 
 Result<std::vector<SearchHit>> KeywordIndex::Search(
-    const std::string& query, size_t k, const Interrupt& intr) const {
+    const std::string& query, size_t k, const Interrupt& intr,
+    const ExecutorOptions& opts) const {
   TRACE_SPAN("query.keyword");
   static obs::Counter* searches =
       obs::MetricsRegistry::Default().GetCounter("query.keyword.searches");
@@ -57,10 +60,19 @@ Result<std::vector<SearchHit>> KeywordIndex::Search(
   obs::ScopedLatency record_latency(latency);
   // Cooperative check-point cadence: cheap relative to the scoring work
   // between polls, frequent enough to honour millisecond deadlines.
+  // Doubles as the per-chunk unit of the parallel scoring path.
   constexpr size_t kCheckEvery = 4096;
   size_t since_check = 0;
   std::vector<double> scores(doc_ids_.size(), 0.0);
   const double n = static_cast<double>(doc_ids_.size());
+  // Per-posting BM25 contribution — the pure part of the scoring loop.
+  auto contribution = [&](double idf, const Posting& p) {
+    double tf = p.term_freq;
+    double len_norm = 1.0 - options_.b +
+                      options_.b * doc_lengths_[p.doc_index] /
+                          std::max(1.0, avg_doc_length_);
+    return idf * tf * (options_.k1 + 1.0) / (tf + options_.k1 * len_norm);
+  };
   for (const std::string& term : text::WordTokens(query)) {
     STRUCTURA_RETURN_IF_ERROR(intr.Check());
     auto it = postings_.find(term);
@@ -71,18 +83,47 @@ Result<std::vector<SearchHit>> KeywordIndex::Search(
     obs::ChargeCost(obs::CostDim::kRowsScanned, plist.size());
     double df = static_cast<double>(plist.size());
     double idf = std::log(1.0 + (n - df + 0.5) / (df + 0.5));
+    if (opts.Parallel() && plist.size() >= 2 * kCheckEvery) {
+      // Long posting list: compute contributions (pure, per-posting) in
+      // parallel chunks, then apply them serially IN POSTING ORDER —
+      // the same `scores[d] += contribution` sequence the serial loop
+      // performs, so every accumulated bit matches.
+      size_t chunks = (plist.size() + kCheckEvery - 1) / kCheckEvery;
+      std::vector<std::vector<double>> contribs(chunks);
+      std::vector<Status> status(chunks);
+      ParallelForOptions pf;
+      pf.grain = opts.grain;
+      pf.max_workers = opts.parallelism;
+      ParallelFor(*opts.pool, chunks, pf, [&](size_t c) {
+        Status s = intr.Check();
+        if (!s.ok()) {
+          status[c] = s;
+          return;
+        }
+        size_t begin = c * kCheckEvery;
+        size_t end = std::min(plist.size(), (c + 1) * kCheckEvery);
+        contribs[c].reserve(end - begin);
+        for (size_t j = begin; j < end; ++j) {
+          contribs[c].push_back(contribution(idf, plist[j]));
+        }
+      });
+      for (const Status& s : status) {
+        STRUCTURA_RETURN_IF_ERROR(s);
+      }
+      for (size_t c = 0; c < chunks; ++c) {
+        size_t begin = c * kCheckEvery;
+        for (size_t j = 0; j < contribs[c].size(); ++j) {
+          scores[plist[begin + j].doc_index] += contribs[c][j];
+        }
+      }
+      continue;
+    }
     for (const Posting& p : plist) {
       if (++since_check >= kCheckEvery) {
         since_check = 0;
         STRUCTURA_RETURN_IF_ERROR(intr.Check());
       }
-      double tf = p.term_freq;
-      double len_norm =
-          1.0 - options_.b +
-          options_.b * doc_lengths_[p.doc_index] /
-              std::max(1.0, avg_doc_length_);
-      scores[p.doc_index] +=
-          idf * tf * (options_.k1 + 1.0) / (tf + options_.k1 * len_norm);
+      scores[p.doc_index] += contribution(idf, p);
     }
   }
   STRUCTURA_RETURN_IF_ERROR(intr.Check());

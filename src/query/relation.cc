@@ -4,8 +4,10 @@
 #include <map>
 #include <set>
 #include <unordered_map>
+#include <utility>
 
 #include "common/strings.h"
+#include "common/thread_pool.h"
 
 namespace structura::query {
 
@@ -129,6 +131,48 @@ bool LikeMatch(const std::string& text, const std::string& pattern) {
   return true;
 }
 
+/// Fixed-size partitioning of [0, n) into morsels.
+struct Morsels {
+  size_t n = 0;
+  size_t size = 1;
+  size_t count = 0;
+  Morsels(size_t items, size_t morsel_size)
+      : n(items),
+        size(std::max<size_t>(1, morsel_size)),
+        count(items == 0 ? 0 : (items + size - 1) / size) {}
+  size_t begin(size_t i) const { return i * size; }
+  size_t end(size_t i) const { return std::min(n, (i + 1) * size); }
+};
+
+/// Runs `body(morsel)` for every morsel — sequentially, or dispatched
+/// over opts.pool when the options select the parallel path. `intr` is
+/// polled before each morsel on both paths. The first failure by morsel
+/// index wins, so the reported status does not depend on scheduling.
+Status RunMorsels(const Morsels& ms, const Interrupt& intr,
+                  const ExecutorOptions& opts,
+                  const std::function<Status(size_t)>& body) {
+  if (ms.count == 0) return Status::OK();
+  if (!opts.Parallel() || ms.count == 1) {
+    for (size_t i = 0; i < ms.count; ++i) {
+      STRUCTURA_RETURN_IF_ERROR(intr.Check());
+      STRUCTURA_RETURN_IF_ERROR(body(i));
+    }
+    return Status::OK();
+  }
+  std::vector<Status> status(ms.count);
+  ParallelForOptions pf;
+  pf.grain = opts.grain;
+  pf.max_workers = opts.parallelism;
+  ParallelFor(*opts.pool, ms.count, pf, [&](size_t i) {
+    Status s = intr.Check();
+    status[i] = s.ok() ? body(i) : s;
+  });
+  for (const Status& s : status) {
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 bool Condition::Eval(const Value& v) const {
@@ -192,8 +236,7 @@ const char* AggFnName(AggFn fn) {
 
 Result<Relation> Filter(const Relation& in,
                         const std::vector<Condition>& conditions,
-                        const Interrupt& intr) {
-  constexpr size_t kCheckEvery = 512;
+                        const Interrupt& intr, const ExecutorOptions& opts) {
   std::vector<int> cols;
   cols.reserve(conditions.size());
   for (const Condition& c : conditions) {
@@ -201,22 +244,44 @@ Result<Relation> Filter(const Relation& in,
     if (idx < 0) return Status::InvalidArgument("no column " + c.column);
     cols.push_back(idx);
   }
-  Relation out(in.columns());
-  size_t since_check = 0;
-  for (const Row& row : in.rows()) {
-    if (++since_check >= kCheckEvery) {
-      since_check = 0;
-      STRUCTURA_RETURN_IF_ERROR(intr.Check());
-    }
-    bool keep = true;
+  auto keep = [&](const Row& row) {
     for (size_t i = 0; i < conditions.size(); ++i) {
       if (!conditions[i].Eval(row[static_cast<size_t>(cols[i])])) {
-        keep = false;
-        break;
+        return false;
       }
     }
-    if (keep) {
-      Status s = out.Append(row);
+    return true;
+  };
+  Relation out(in.columns());
+  if (!opts.Parallel()) {
+    constexpr size_t kCheckEvery = 512;
+    size_t since_check = 0;
+    for (const Row& row : in.rows()) {
+      if (++since_check >= kCheckEvery) {
+        since_check = 0;
+        STRUCTURA_RETURN_IF_ERROR(intr.Check());
+      }
+      if (keep(row)) {
+        Status s = out.Append(row);
+        if (!s.ok()) return s;
+      }
+    }
+    return out;
+  }
+  // Parallel: each morsel collects its survivors; concatenating the
+  // buffers in morsel order reproduces the serial row order exactly.
+  Morsels ms(in.rows().size(), opts.morsel_rows);
+  std::vector<std::vector<Row>> parts(ms.count);
+  STRUCTURA_RETURN_IF_ERROR(RunMorsels(ms, intr, opts, [&](size_t i) {
+    for (size_t r = ms.begin(i); r < ms.end(i); ++r) {
+      const Row& row = in.rows()[r];
+      if (keep(row)) parts[i].push_back(row);
+    }
+    return Status::OK();
+  }));
+  for (std::vector<Row>& part : parts) {
+    for (Row& row : part) {
+      Status s = out.Append(std::move(row));
       if (!s.ok()) return s;
     }
   }
@@ -224,20 +289,48 @@ Result<Relation> Filter(const Relation& in,
 }
 
 Result<Relation> Project(const Relation& in,
-                         const std::vector<std::string>& columns) {
+                         const std::vector<std::string>& columns,
+                         const Interrupt& intr, const ExecutorOptions& opts) {
   std::vector<int> idx;
   for (const std::string& c : columns) {
     int i = in.ColumnIndex(c);
     if (i < 0) return Status::InvalidArgument("no column " + c);
     idx.push_back(i);
   }
-  Relation out(columns);
-  for (const Row& row : in.rows()) {
+  auto project = [&](const Row& row) {
     Row projected;
     projected.reserve(idx.size());
     for (int i : idx) projected.push_back(row[static_cast<size_t>(i)]);
-    Status s = out.Append(std::move(projected));
-    if (!s.ok()) return s;
+    return projected;
+  };
+  Relation out(columns);
+  if (!opts.Parallel()) {
+    constexpr size_t kCheckEvery = 512;
+    size_t since_check = 0;
+    for (const Row& row : in.rows()) {
+      if (++since_check >= kCheckEvery) {
+        since_check = 0;
+        STRUCTURA_RETURN_IF_ERROR(intr.Check());
+      }
+      Status s = out.Append(project(row));
+      if (!s.ok()) return s;
+    }
+    return out;
+  }
+  Morsels ms(in.rows().size(), opts.morsel_rows);
+  std::vector<std::vector<Row>> parts(ms.count);
+  STRUCTURA_RETURN_IF_ERROR(RunMorsels(ms, intr, opts, [&](size_t i) {
+    parts[i].reserve(ms.end(i) - ms.begin(i));
+    for (size_t r = ms.begin(i); r < ms.end(i); ++r) {
+      parts[i].push_back(project(in.rows()[r]));
+    }
+    return Status::OK();
+  }));
+  for (std::vector<Row>& part : parts) {
+    for (Row& row : part) {
+      Status s = out.Append(std::move(row));
+      if (!s.ok()) return s;
+    }
   }
   return out;
 }
@@ -245,7 +338,8 @@ Result<Relation> Project(const Relation& in,
 Result<Relation> HashJoin(const Relation& left, const Relation& right,
                           const std::string& left_col,
                           const std::string& right_col,
-                          const std::string& right_prefix) {
+                          const std::string& right_prefix,
+                          const Interrupt& intr, const ExecutorOptions& opts) {
   int li = left.ColumnIndex(left_col);
   int ri = right.ColumnIndex(right_col);
   if (li < 0) return Status::InvalidArgument("no column " + left_col);
@@ -263,31 +357,148 @@ Result<Relation> HashJoin(const Relation& left, const Relation& right,
     out_columns.push_back(collision ? right_prefix + c : c);
   }
 
-  // Build on the smaller side conceptually; here build on right.
+  // Build on the smaller side conceptually; here build on right. The
+  // build stays serial (one shared hash table); probing is read-only
+  // and morsel-parallel over the left side.
   std::unordered_map<uint64_t, std::vector<size_t>> table;
   for (size_t r = 0; r < right.rows().size(); ++r) {
     table[right.rows()[r][static_cast<size_t>(ri)].Hash()].push_back(r);
   }
-  Relation out(out_columns);
-  for (const Row& lrow : left.rows()) {
+  auto probe = [&](const Row& lrow, std::vector<Row>* dst) {
     const Value& key = lrow[static_cast<size_t>(li)];
     auto it = table.find(key.Hash());
-    if (it == table.end()) continue;
+    if (it == table.end()) return;
     for (size_t r : it->second) {
       const Row& rrow = right.rows()[r];
       if (rrow[static_cast<size_t>(ri)].Compare(key) != 0) continue;
       Row joined = lrow;
       joined.insert(joined.end(), rrow.begin(), rrow.end());
-      Status s = out.Append(std::move(joined));
+      dst->push_back(std::move(joined));
+    }
+  };
+  Relation out(out_columns);
+  if (!opts.Parallel()) {
+    std::vector<Row> matches;
+    for (const Row& lrow : left.rows()) {
+      matches.clear();
+      probe(lrow, &matches);
+      for (Row& row : matches) {
+        Status s = out.Append(std::move(row));
+        if (!s.ok()) return s;
+      }
+    }
+    return out;
+  }
+  Morsels ms(left.rows().size(), opts.morsel_rows);
+  std::vector<std::vector<Row>> parts(ms.count);
+  STRUCTURA_RETURN_IF_ERROR(RunMorsels(ms, intr, opts, [&](size_t i) {
+    for (size_t r = ms.begin(i); r < ms.end(i); ++r) {
+      probe(left.rows()[r], &parts[i]);
+    }
+    return Status::OK();
+  }));
+  for (std::vector<Row>& part : parts) {
+    for (Row& row : part) {
+      Status s = out.Append(std::move(row));
       if (!s.ok()) return s;
     }
   }
   return out;
 }
 
+namespace {
+
+struct AggAccum {
+  double sum = 0;
+  size_t count = 0;
+  Value min = Value::Null();
+  Value max = Value::Null();
+  Row group_values;
+};
+
+/// Group key (concatenated value renderings) -> one accumulator per
+/// AggSpec. std::map keeps output order deterministic.
+using GroupMap = std::map<std::string, std::vector<AggAccum>>;
+
+/// Accumulates rows [begin, end) into a fresh partial-state map — the
+/// per-morsel half of the aggregation. This is the ONLY code that folds
+/// individual rows, on both the serial and parallel paths.
+GroupMap AggregatePartial(const Relation& in, size_t begin, size_t end,
+                          const std::vector<int>& group_idx,
+                          const std::vector<int>& agg_idx, size_t num_aggs) {
+  GroupMap partial;
+  for (size_t r = begin; r < end; ++r) {
+    const Row& row = in.rows()[r];
+    std::string key;
+    for (int gi : group_idx) {
+      key += row[static_cast<size_t>(gi)].ToString();
+      key += '\x1f';
+    }
+    auto [it, inserted] = partial.try_emplace(key);
+    if (inserted) {
+      it->second.resize(num_aggs);
+      Row gv;
+      for (int gi : group_idx) gv.push_back(row[static_cast<size_t>(gi)]);
+      for (AggAccum& a : it->second) a.group_values = gv;
+      if (it->second.empty()) {
+        // No aggregates requested: still track group values.
+        AggAccum a;
+        a.group_values = std::move(gv);
+        it->second.push_back(std::move(a));
+      }
+    }
+    for (size_t a = 0; a < num_aggs; ++a) {
+      AggAccum& acc = it->second[a];
+      if (agg_idx[a] < 0) {
+        ++acc.count;  // COUNT(*)
+        continue;
+      }
+      const Value& v = row[static_cast<size_t>(agg_idx[a])];
+      if (v.is_null()) continue;
+      ++acc.count;
+      double num;
+      if (NumericValue(v, &num)) acc.sum += num;
+      if (acc.min.is_null() || v.Compare(acc.min) < 0) acc.min = v;
+      if (acc.max.is_null() || v.Compare(acc.max) > 0) acc.max = v;
+    }
+  }
+  return partial;
+}
+
+/// Merges `from` (a later morsel) into `into`. Ties on min/max keep the
+/// earlier morsel's value, matching the strict-< / strict-> updates of
+/// the row fold; sums add later partials on the right, so the float
+/// reduction tree is fixed by the morsel boundaries alone.
+void MergeAggPartial(GroupMap* into, GroupMap&& from) {
+  for (auto& [key, accs] : from) {
+    auto [it, inserted] = into->try_emplace(key);
+    if (inserted) {
+      it->second = std::move(accs);
+      continue;
+    }
+    for (size_t a = 0; a < accs.size(); ++a) {
+      AggAccum& dst = it->second[a];
+      AggAccum& src = accs[a];
+      dst.sum += src.sum;
+      dst.count += src.count;
+      if (!src.min.is_null() &&
+          (dst.min.is_null() || src.min.Compare(dst.min) < 0)) {
+        dst.min = std::move(src.min);
+      }
+      if (!src.max.is_null() &&
+          (dst.max.is_null() || src.max.Compare(dst.max) > 0)) {
+        dst.max = std::move(src.max);
+      }
+    }
+  }
+}
+
+}  // namespace
+
 Result<Relation> Aggregate(const Relation& in,
                            const std::vector<std::string>& group_columns,
-                           const std::vector<AggSpec>& aggs) {
+                           const std::vector<AggSpec>& aggs,
+                           const Interrupt& intr, const ExecutorOptions& opts) {
   std::vector<int> group_idx;
   for (const std::string& c : group_columns) {
     int i = in.ColumnIndex(c);
@@ -305,51 +516,18 @@ Result<Relation> Aggregate(const Relation& in,
     agg_idx.push_back(i);
   }
 
-  struct Accum {
-    double sum = 0;
-    size_t count = 0;
-    Value min = Value::Null();
-    Value max = Value::Null();
-    Row group_values;
-  };
-  // Group key: concatenation of value renderings with separators (map
-  // keeps output deterministic).
-  std::map<std::string, std::vector<Accum>> per_agg;  // parallel accums
-
-  for (const Row& row : in.rows()) {
-    std::string key;
-    for (int gi : group_idx) {
-      key += row[static_cast<size_t>(gi)].ToString();
-      key += '\x1f';
-    }
-    auto [it, inserted] = per_agg.try_emplace(key);
-    if (inserted) {
-      it->second.resize(aggs.size());
-      Row gv;
-      for (int gi : group_idx) gv.push_back(row[static_cast<size_t>(gi)]);
-      for (Accum& a : it->second) a.group_values = gv;
-      if (it->second.empty()) {
-        // No aggregates requested: still track group values.
-        Accum a;
-        a.group_values = std::move(gv);
-        it->second.push_back(std::move(a));
-      }
-    }
-    for (size_t a = 0; a < aggs.size(); ++a) {
-      Accum& acc = it->second[a];
-      if (agg_idx[a] < 0) {
-        ++acc.count;  // COUNT(*)
-        continue;
-      }
-      const Value& v = row[static_cast<size_t>(agg_idx[a])];
-      if (v.is_null()) continue;
-      ++acc.count;
-      double num;
-      if (NumericValue(v, &num)) acc.sum += num;
-      if (acc.min.is_null() || v.Compare(acc.min) < 0) acc.min = v;
-      if (acc.max.is_null() || v.Compare(acc.max) > 0) acc.max = v;
-    }
-  }
+  // Per-morsel partials merged in morsel order — the same computation
+  // tree whether the morsels ran serially or on the pool, which is what
+  // makes parallel float sums byte-identical to serial ones.
+  Morsels ms(in.rows().size(), opts.morsel_rows);
+  std::vector<GroupMap> parts(ms.count);
+  STRUCTURA_RETURN_IF_ERROR(RunMorsels(ms, intr, opts, [&](size_t i) {
+    parts[i] = AggregatePartial(in, ms.begin(i), ms.end(i), group_idx,
+                                agg_idx, aggs.size());
+    return Status::OK();
+  }));
+  GroupMap per_agg;
+  for (GroupMap& part : parts) MergeAggPartial(&per_agg, std::move(part));
 
   std::vector<std::string> out_columns = group_columns;
   for (const AggSpec& a : aggs) {
@@ -363,7 +541,7 @@ Result<Relation> Aggregate(const Relation& in,
   for (const auto& [key, accs] : per_agg) {
     Row row = accs.empty() ? Row{} : accs.front().group_values;
     for (size_t a = 0; a < aggs.size(); ++a) {
-      const Accum& acc = accs[a];
+      const AggAccum& acc = accs[a];
       switch (aggs[a].fn) {
         case AggFn::kCount:
           row.push_back(Value::Int(static_cast<int64_t>(acc.count)));

@@ -10,6 +10,10 @@
 #include "rdbms/schema.h"
 #include "rdbms/value.h"
 
+namespace structura {
+class ThreadPool;
+}
+
 namespace structura::query {
 
 using rdbms::Row;
@@ -81,32 +85,75 @@ struct AggSpec {
   std::string output_name; // result column name
 };
 
+// --- Execution options -------------------------------------------------
+
+/// Morsel-execution knobs shared by every scan-shaped operator
+/// (filter/project/join-probe/aggregate) and the EXTRACT doc loop.
+///
+/// Determinism contract: results are a pure function of the input and
+/// of `morsel_rows` — never of `parallelism`. Operators that merely
+/// collect rows concatenate per-morsel buffers in morsel order, which
+/// is trivially the serial row order; Aggregate computes per-morsel
+/// partial states and merges them in morsel order on BOTH paths, so the
+/// floating-point reduction tree (the only order-sensitive part) is
+/// fixed by `morsel_rows` alone and parallel output is byte-identical
+/// to serial output.
+struct ExecutorOptions {
+  /// Worker fan-out. <= 1 (or a null pool) selects the serial path.
+  size_t parallelism = 1;
+  /// Rows per morsel. Part of the result contract for float aggregates
+  /// (see above) — serial and parallel runs being compared must use the
+  /// same value.
+  size_t morsel_rows = 1024;
+  /// Documents per morsel in the EXTRACT loop, where per-item cost is
+  /// an extractor call rather than a row visit.
+  size_t morsel_docs = 8;
+  /// ParallelFor grain: morsel-chains re-queue after this many morsels
+  /// so serve-path submissions interleave instead of starving.
+  size_t grain = 1;
+  /// Pool morsels are dispatched on when parallelism > 1. Not owned.
+  ThreadPool* pool = nullptr;
+
+  bool Parallel() const { return parallelism > 1 && pool != nullptr; }
+};
+
 // --- Operators (each returns a new Relation) ---------------------------
 
 /// Rows satisfying every condition (conjunction). The scan polls `intr`
-/// every few hundred rows and returns kDeadlineExceeded / kCancelled
-/// instead of finishing; the default interrupt never fires.
+/// every few hundred rows (serial) or between morsels (parallel) and
+/// returns kDeadlineExceeded / kCancelled instead of finishing; the
+/// default interrupt never fires.
 Result<Relation> Filter(const Relation& in,
                         const std::vector<Condition>& conditions,
-                        const Interrupt& intr = Interrupt{});
+                        const Interrupt& intr = Interrupt{},
+                        const ExecutorOptions& opts = {});
 
 /// Keeps `columns`, in the given order.
 Result<Relation> Project(const Relation& in,
-                         const std::vector<std::string>& columns);
+                         const std::vector<std::string>& columns,
+                         const Interrupt& intr = Interrupt{},
+                         const ExecutorOptions& opts = {});
 
 /// Hash equi-join on left_col == right_col. Right columns are prefixed
-/// with `right_prefix` when names collide.
+/// with `right_prefix` when names collide. The build side stays serial
+/// (it mutates one hash table); the probe side is morsel-parallel.
 Result<Relation> HashJoin(const Relation& left, const Relation& right,
                           const std::string& left_col,
                           const std::string& right_col,
-                          const std::string& right_prefix = "r_");
+                          const std::string& right_prefix = "r_",
+                          const Interrupt& intr = Interrupt{},
+                          const ExecutorOptions& opts = {});
 
 /// Group by `group_columns` (may be empty: single global group) and
 /// compute aggregates. Null values are skipped by SUM/AVG/MIN/MAX and
-/// counted only by COUNT(column) when non-null.
+/// counted only by COUNT(column) when non-null. Both serial and
+/// parallel paths accumulate per-morsel partials merged in morsel
+/// order — see ExecutorOptions for the determinism contract.
 Result<Relation> Aggregate(const Relation& in,
                            const std::vector<std::string>& group_columns,
-                           const std::vector<AggSpec>& aggs);
+                           const std::vector<AggSpec>& aggs,
+                           const Interrupt& intr = Interrupt{},
+                           const ExecutorOptions& opts = {});
 
 /// Stable sort by column (ascending unless `descending`).
 Result<Relation> OrderBy(const Relation& in, const std::string& column,

@@ -1,0 +1,130 @@
+#ifndef STRUCTURA_QUERY_RESULT_CACHE_H_
+#define STRUCTURA_QUERY_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+#include "query/relation.h"
+
+namespace structura::query {
+
+/// A recorded (input name, epoch) pair — the version of one named input
+/// a cached result was computed against.
+using EpochVector = std::vector<std::pair<std::string, uint64_t>>;
+
+/// Monotonic version counters for every named input a query can read.
+/// The convention used across the system:
+///   "table:<name>"  — bumped by the Database commit listener for every
+///                     table a *committed* transaction touched (and on
+///                     DDL). Aborted or durability-failed transactions
+///                     never reach the listener, so they can never bump.
+///   "view:<name>"   — bumped when a view is (re)created, refreshed, or
+///                     schema-unified.
+///   "docs"          — bumped when the document collection / keyword
+///                     index is rebuilt by ingestion.
+/// Bump is an O(1) counter increment: writers never walk the cache.
+/// Cached entries carry the epochs they were computed at and are
+/// validated lazily on lookup, so a stale hit is structurally
+/// impossible no matter how lookups and bumps interleave.
+class EpochMap {
+ public:
+  /// Current epoch for `name` (0 = never written since startup).
+  uint64_t Get(const std::string& name) const;
+
+  /// O(1) version bump; invalidates every cache entry that reads
+  /// `name` (lazily, at their next lookup).
+  void Bump(const std::string& name);
+
+  /// Epoch vector for a set of input names. Callers snapshot BEFORE
+  /// executing the query and pass the snapshot to Insert — a write
+  /// committing mid-execution then leaves the entry recorded at the
+  /// pre-write epoch, and the first lookup discards it.
+  EpochVector Snapshot(const std::vector<std::string>& inputs) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, uint64_t> epochs_;
+};
+
+/// Bounded, epoch-validated cache of query results, keyed by canonical
+/// plan fingerprint. Eviction is LRU under both an entry count and a
+/// byte budget; admission is cost-aware (entries cheaper to recompute
+/// than `min_cost_score` are not worth their memory). All metrics are
+/// published as query.cache.{hit,miss,evict,inval,reject,bytes,entries}.
+class QueryResultCache {
+ public:
+  struct Options {
+    size_t max_entries = 1024;
+    size_t max_bytes = 8u << 20;
+    /// CostVector::Score() floor for admission; 0 admits everything.
+    uint64_t min_cost_score = 0;
+  };
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;      // LRU / budget evictions
+    uint64_t invalidations = 0;  // entries dropped on epoch mismatch
+    uint64_t rejected = 0;       // admission refused (cost/size)
+    size_t entries = 0;
+    size_t bytes = 0;
+  };
+
+  QueryResultCache() : QueryResultCache(Options()) {}
+  explicit QueryResultCache(Options opts);
+
+  /// The version counters writers bump. Shared with the cache so
+  /// validation and bumping agree on one source of truth.
+  EpochMap& epochs() { return epochs_; }
+  const EpochMap& epochs() const { return epochs_; }
+
+  /// Returns the cached relation iff an entry exists AND every epoch it
+  /// was computed at still matches the live map. A mismatching entry is
+  /// erased on the spot (counted as an invalidation) and reported as a
+  /// miss.
+  std::optional<Relation> Lookup(const std::string& fingerprint);
+
+  /// Admits `result` under `fingerprint`, recorded at `at` (the epoch
+  /// snapshot taken before execution — see EpochMap::Snapshot). Entries
+  /// below the admission cost floor, or alone bigger than the whole
+  /// byte budget, are rejected. Replaces any previous entry for the
+  /// same fingerprint.
+  void Insert(const std::string& fingerprint, EpochVector at,
+              Relation result, const obs::CostVector& cost);
+
+  /// Drops every entry (stats and epochs are preserved).
+  void Clear();
+
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::string fingerprint;
+    EpochVector at;
+    Relation result;
+    size_t bytes = 0;
+  };
+
+  /// Evicts from the LRU tail until budgets hold. Caller holds mutex_.
+  void EvictLocked();
+
+  Options options_;
+  EpochMap epochs_;
+
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  size_t bytes_ = 0;
+  Stats stats_;
+};
+
+}  // namespace structura::query
+
+#endif  // STRUCTURA_QUERY_RESULT_CACHE_H_

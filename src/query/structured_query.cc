@@ -61,7 +61,8 @@ std::string StructuredQuery::ToFormText() const {
 
 Result<Relation> ExecuteStructuredQuery(const StructuredQuery& q,
                                         const Relation& source,
-                                        const Interrupt& intr) {
+                                        const Interrupt& intr,
+                                        const ExecutorOptions& opts) {
   TRACE_SPAN("query.structured");
   static obs::Counter* queries =
       obs::MetricsRegistry::Default().GetCounter("query.structured.queries");
@@ -73,14 +74,14 @@ Result<Relation> ExecuteStructuredQuery(const StructuredQuery& q,
   STRUCTURA_RETURN_IF_ERROR(intr.Check());
   Relation current = source;
   if (!q.where.empty()) {
-    STRUCTURA_ASSIGN_OR_RETURN(current, Filter(current, q.where, intr));
+    STRUCTURA_ASSIGN_OR_RETURN(current, Filter(current, q.where, intr, opts));
   }
   STRUCTURA_RETURN_IF_ERROR(intr.Check());
   if (!q.aggregates.empty() || !q.group_by.empty()) {
-    STRUCTURA_ASSIGN_OR_RETURN(current,
-                               Aggregate(current, q.group_by, q.aggregates));
+    STRUCTURA_ASSIGN_OR_RETURN(
+        current, Aggregate(current, q.group_by, q.aggregates, intr, opts));
   } else if (!q.select.empty()) {
-    STRUCTURA_ASSIGN_OR_RETURN(current, Project(current, q.select));
+    STRUCTURA_ASSIGN_OR_RETURN(current, Project(current, q.select, intr, opts));
   }
   STRUCTURA_RETURN_IF_ERROR(intr.Check());
   if (!q.order_by.empty()) {

@@ -32,11 +32,14 @@ struct StructuredQuery {
 };
 
 /// Runs the query against the relation registered under its source view.
-/// `intr` is polled between pipeline stages and inside the filter scan;
+/// `intr` is polled between pipeline stages and inside the scans;
 /// evaluation stops with kDeadlineExceeded / kCancelled when it fires.
+/// `opts` selects serial vs morsel-parallel execution for the
+/// filter/aggregate/project stages (see ExecutorOptions for the
+/// determinism contract).
 Result<Relation> ExecuteStructuredQuery(
     const StructuredQuery& q, const Relation& source,
-    const Interrupt& intr = Interrupt{});
+    const Interrupt& intr = Interrupt{}, const ExecutorOptions& opts = {});
 
 }  // namespace structura::query
 

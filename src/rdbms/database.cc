@@ -592,6 +592,16 @@ Database::TableEntry* Database::FindEntry(const std::string& name) const {
   return it == tables_.end() ? nullptr : it->second.get();
 }
 
+void Database::NotifyCommit(const std::vector<std::string>& tables) {
+  if (tables.empty()) return;
+  CommitListener listener;
+  {
+    std::lock_guard<std::mutex> lock(commit_listener_mutex_);
+    listener = commit_listener_;
+  }
+  if (listener) listener(tables);
+}
+
 Result<Table*> Database::CreateTable(const TableSchema& schema) {
   if (schema.table_name.empty() ||
       schema.table_name.find('\n') != std::string::npos ||
@@ -620,6 +630,7 @@ Result<Table*> Database::CreateTable(const TableSchema& schema) {
   entry->table = std::make_unique<Table>(schema);
   Table* ptr = entry->table.get();
   tables_[schema.table_name] = std::move(entry);
+  NotifyCommit({schema.table_name});
   return ptr;
 }
 
@@ -640,8 +651,12 @@ Status Database::CreateIndex(const std::string& table,
     STRUCTURA_ASSIGN_OR_RETURN(uint64_t ticket, wal_->AppendRecord(rec));
     STRUCTURA_RETURN_IF_ERROR(wal_->WaitDurable(ticket));
   }
-  std::lock_guard<std::mutex> latch(entry->latch);
-  return entry->table->CreateIndex(column);
+  Status created = [&] {
+    std::lock_guard<std::mutex> latch(entry->latch);
+    return entry->table->CreateIndex(column);
+  }();
+  if (created.ok()) NotifyCommit({table});
+  return created;
 }
 
 Status Database::DropTable(const std::string& table) {
@@ -657,6 +672,7 @@ Status Database::DropTable(const std::string& table) {
     STRUCTURA_RETURN_IF_ERROR(wal_->WaitDurable(ticket));
   }
   tables_.erase(it);
+  NotifyCommit({table});
   return Status::OK();
 }
 
@@ -925,6 +941,18 @@ Status Transaction::Commit() {
   }
   state_ = State::kCommitted;
   db_->locks_.ReleaseAll(id_);
+  if (!undo_.empty()) {
+    // Distinct tables this transaction wrote, in first-touch order.
+    // Notified only here — the durable-success point: aborts and
+    // refused commits above never reach this line.
+    std::vector<std::string> touched;
+    for (const UndoEntry& u : undo_) {
+      bool seen = false;
+      for (const std::string& t : touched) seen = seen || t == u.table;
+      if (!seen) touched.push_back(u.table);
+    }
+    db_->NotifyCommit(touched);
+  }
   return Status::OK();
 }
 

@@ -98,6 +98,21 @@ class Database {
   LockManager& lock_manager() { return locks_; }
   size_t wal_records() const { return wal_ ? wal_->AppendedRecords() : 0; }
 
+  /// Called after every *successful* commit (and every auto-committed
+  /// DDL) with the distinct table names the operation touched. Fires at
+  /// the durable-success point only — an aborted transaction, or a
+  /// commit whose WAL acknowledgement failed, never notifies. The
+  /// System wires this to the query result cache's epoch map so a
+  /// committed write invalidates cached results in O(1). The listener
+  /// runs on the committing thread and must not call back into the
+  /// database. Pass nullptr to detach (required before destroying
+  /// whatever the listener captures).
+  using CommitListener = std::function<void(const std::vector<std::string>&)>;
+  void SetCommitListener(CommitListener listener) {
+    std::lock_guard<std::mutex> lock(commit_listener_mutex_);
+    commit_listener_ = std::move(listener);
+  }
+
  private:
   friend class Transaction;
 
@@ -107,6 +122,10 @@ class Database {
   Env* env() const {
     return options_.wal.env != nullptr ? options_.wal.env : Env::Default();
   }
+
+  /// Invokes the commit listener (if set) with `tables`. No-op on an
+  /// empty list.
+  void NotifyCommit(const std::vector<std::string>& tables);
 
   Status Recover();
   /// Checkpoint body; the public Checkpoint() holds shared locks on
@@ -156,6 +175,10 @@ class Database {
   std::unique_ptr<WriteAheadLog> wal_;
   std::mutex wal_mutex_;
   std::atomic<TxnId> next_txn_{1};
+  /// Guards commit_listener_ against SetCommitListener racing a
+  /// committing transaction's notification.
+  std::mutex commit_listener_mutex_;
+  CommitListener commit_listener_;
 };
 
 /// Handle for one ACID transaction. All reads/writes go through here so

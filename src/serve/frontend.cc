@@ -328,6 +328,7 @@ bool Frontend::TryFallback(Operator* primary, const RequestContext& ctx,
   if (st.ok()) st = MaybeFail("serve.op." + fb_name);
   if (st.ok()) {
     TRACE_SPAN("serve.handler");
+    ScopedCacheBypass bypass(ctx.no_cache);
     int64_t started_nanos = clock_->NowNanos();
     st = fb->handler(ctx);
     obs::ChargeCost(obs::CostDim::kCpuNanos,
@@ -513,6 +514,7 @@ void Frontend::Execute(Operator* op, const std::string& op_name,
     if (st.ok()) st = MaybeFail("serve.op." + op_name);
     if (st.ok()) {
       TRACE_SPAN("serve.handler");
+      ScopedCacheBypass bypass(ctx.no_cache);
       int64_t started_nanos = clock_->NowNanos();
       st = op->handler(ctx);
       obs::ChargeCost(obs::CostDim::kCpuNanos,

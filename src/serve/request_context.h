@@ -80,7 +80,40 @@ struct RequestContext {
   /// this request. Callers that want to read the accumulated CostVector
   /// back after the response resolves allocate one here before Submit().
   std::shared_ptr<obs::CostAccumulator> cost;
+  /// When true, this request bypasses the query result cache: it is
+  /// neither answered from a cached entry nor admitted into the cache.
+  /// The frontend scopes the flag thread-locally around the handler so
+  /// layers below (the SDL interpreter) see it without plumbing.
+  bool no_cache = false;
 };
+
+namespace internal {
+/// Thread-local no-cache flag for the request currently executing on
+/// this worker; see ScopedCacheBypass.
+inline thread_local bool t_cache_bypass = false;
+}  // namespace internal
+
+/// RAII scope the frontend wraps around a handler invocation to expose
+/// RequestContext::no_cache to the layers below. Nests: an inner scope
+/// can only widen the bypass, never re-enable caching an outer scope
+/// disabled.
+class ScopedCacheBypass {
+ public:
+  explicit ScopedCacheBypass(bool bypass)
+      : saved_(internal::t_cache_bypass) {
+    internal::t_cache_bypass = saved_ || bypass;
+  }
+  ~ScopedCacheBypass() { internal::t_cache_bypass = saved_; }
+  ScopedCacheBypass(const ScopedCacheBypass&) = delete;
+  ScopedCacheBypass& operator=(const ScopedCacheBypass&) = delete;
+
+ private:
+  bool saved_;
+};
+
+/// True while the current thread is inside a ScopedCacheBypass(true)
+/// scope. The System's cache gate consults this.
+inline bool CacheBypassed() { return internal::t_cache_bypass; }
 
 }  // namespace structura::serve
 

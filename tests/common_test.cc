@@ -299,6 +299,58 @@ TEST(ThreadPoolTest, ParallelForPropagatesBodyException) {
   EXPECT_EQ(hits.load(), 10);
 }
 
+TEST(ThreadPoolTest, ParallelForGrainYieldsQueueToOtherWork) {
+  // Starvation regression for the serve path: a long ParallelFor on a
+  // saturated pool used to hold its worker until every index ran,
+  // parking concurrently-posted tasks behind the whole scan. With a
+  // grain, the chain re-posts itself to the BACK of the queue after
+  // `grain` bodies, so the single worker below must run the marker task
+  // (posted from inside body 0) before it reaches body 1.
+  ThreadPool pool(1);
+  std::atomic<bool> marker_ran{false};
+  std::atomic<bool> marker_before_body1{false};
+  ParallelForOptions opts;
+  opts.grain = 1;
+  ParallelFor(pool, 4, opts, [&](size_t i) {
+    if (i == 0) {
+      pool.Post([&] { marker_ran.store(true); });
+    } else if (i == 1) {
+      marker_before_body1.store(marker_ran.load());
+    }
+  });
+  EXPECT_TRUE(marker_ran.load());
+  EXPECT_TRUE(marker_before_body1.load())
+      << "grain=1 chain ran body 1 before yielding to the queued marker";
+  // Contrast: with no grain the chain keeps its worker to the end, so
+  // the marker runs only after every body.
+  std::atomic<bool> marker2_ran{false};
+  std::atomic<bool> marker2_before_tail{true};
+  ParallelFor(pool, 4, [&](size_t i) {
+    if (i == 0) {
+      pool.Post([&] { marker2_ran.store(true); });
+    } else if (i == 3) {
+      marker2_before_tail.store(marker2_ran.load());
+    }
+  });
+  pool.WaitIdle();
+  EXPECT_TRUE(marker2_ran.load());
+  EXPECT_FALSE(marker2_before_tail.load())
+      << "ungrained chain unexpectedly yielded mid-range";
+}
+
+TEST(ThreadPoolTest, ParallelForGrainCoversAllIndexesAndCapsWorkers) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelForOptions opts;
+  opts.grain = 3;
+  opts.max_workers = 2;
+  ParallelFor(pool, hits.size(), opts,
+              [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
 TEST(DeadlineTest, InfiniteByDefaultAndExpires) {
   Deadline d;
   EXPECT_TRUE(d.IsInfinite());
